@@ -1,0 +1,109 @@
+// ABL4 — home-agent redundancy (the paper's "further work" citation [10]:
+// HA redundancy and load balancing). A bidirectional-tunnel receiver hangs
+// off home agent HA1 while HA2 replicates its bindings; HA1 dies mid-
+// stream. The sweep varies the heartbeat interval and measures the
+// multicast outage until HA2's takeover restores the tunnel — the
+// availability knob the paper's single-HA analysis leaves open.
+#include "common.hpp"
+#include "ipv6/udp_demux.hpp"
+#include "mipv6/ha_redundancy.hpp"
+#include "runner/parallel.hpp"
+
+using namespace mip6;
+using namespace mip6::bench;
+
+namespace {
+
+const Address kGroup = Address::parse("ff1e::60");
+
+ReplicationResult run(std::uint64_t seed, Time heartbeat, int threshold) {
+  World world(seed);
+  Link& hl = world.add_link("HL");
+  Link& tl = world.add_link("TL");
+  Link& fl = world.add_link("FL");
+  RouterEnv& ha1 = world.add_router("HA1", {&hl, &tl});
+  RouterEnv& ha2 = world.add_router("HA2", {&hl, &tl});
+  world.add_router("FR", {&tl, &fl});
+  HostEnv& mn = world.add_host(
+      "MN", hl, {McastStrategy::kBidirTunnel, HaRegistration::kGroupListBu});
+  HostEnv& src = world.add_host("SRC", hl);
+  world.finalize();
+
+  HaRedundancyConfig rc;
+  rc.heartbeat_interval = heartbeat;
+  rc.failure_threshold = threshold;
+  HaRedundancy red1(*ha1.stack, *ha1.ha, *ha1.udp, ha1.iface_on(hl),
+                    ha1.address_on(hl), rc);
+  HaRedundancy red2(*ha2.stack, *ha2.ha, *ha2.udp, ha2.iface_on(hl),
+                    ha2.address_on(hl), rc);
+  red1.add_peer(ha2.address_on(hl), {ha2.address_on(hl), ha2.address_on(tl)});
+  red2.add_peer(ha1.address_on(hl), {ha1.address_on(hl), ha1.address_on(tl)});
+
+  GroupReceiverApp app(*mn.stack, kPort);
+  mn.service->subscribe(kGroup);
+  CbrSource source(
+      world.scheduler(),
+      [&](Bytes p) {
+        src.service->send_multicast(kGroup, kPort, kPort, std::move(p));
+      },
+      Time::ms(50), 200);
+  source.start(Time::sec(1));
+  mn.mn->move_to(fl);
+
+  const Time death = Time::sec(20);
+  world.scheduler().schedule_at(death, [&] {
+    for (const auto& iface : ha1.node->interfaces()) iface->detach();
+  });
+  world.run_until(Time::sec(120));
+
+  ReplicationResult r;
+  auto resumed = app.first_rx_at_or_after(death);
+  r["outage_s"] = resumed ? (*resumed - death).to_seconds() : 100.0;
+  r["sync_bytes"] = static_cast<double>(
+      world.net().counters().get("hasync/tx-bytes"));
+  r["takeover"] = red2.takeovers() > 0 ? 1.0 : 0.0;
+  double sent = static_cast<double>(source.sent());
+  r["loss_pct"] =
+      100.0 * (sent - static_cast<double>(app.unique_received())) / sent;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t reps = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+  header("ABL4: home-agent failover (paper's further-work extension)",
+         "bidir-tunnel receiver, HA1 dies at t=20 s with HA2 as hot "
+         "standby; 20 dgram/s stream");
+
+  Table t({"heartbeat", "threshold", "detection bound", "measured outage",
+           "stream loss", "sync traffic"});
+  struct Case {
+    int hb_ms;
+    int threshold;
+  };
+  for (Case c : {Case{500, 3}, Case{1000, 3}, Case{2000, 3}, Case{5000, 3}}) {
+    ReplicationOptions opts;
+    opts.replications = reps;
+    opts.base_seed = 11;
+    auto m = run_replications(opts, [&](std::uint64_t seed) {
+      return run(seed, Time::ms(c.hb_ms), c.threshold);
+    });
+    t.add_row({fmt_double(c.hb_ms / 1000.0, 1) + " s",
+               std::to_string(c.threshold),
+               fmt_double(c.hb_ms / 1000.0 * c.threshold, 1) + " s",
+               fmt_double(m.at("outage_s").mean(), 2) + " s",
+               fmt_double(m.at("loss_pct").mean(), 1) + " %",
+               fmt_bytes(m.at("sync_bytes").mean())});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  paper_note(
+      "beyond the paper (its cited further work [10]): with binding "
+      "replication and VRRP-style address takeover, the multicast outage "
+      "after a home-agent failure is bounded by heartbeat_interval x "
+      "failure_threshold plus one tree-repair round trip, for a few bytes "
+      "per second of sync traffic — addressing the single-point-of-failure "
+      "the tunnel approaches otherwise introduce.");
+  return 0;
+}

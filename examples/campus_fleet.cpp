@@ -1,0 +1,138 @@
+// Campus fleet: the paper's motivating workload — "multimedia group
+// communication ... for mobile hosts" — at scale. A 12-router random campus
+// backbone streams one lecture feed to a fleet of mobile subscribers that
+// roam between the access LANs with exponential dwell times. Compares the
+// local-membership and bidirectional-tunnel approaches on delivery ratio
+// and network cost, using the parallel replication runner.
+//
+//   $ ./examples/campus_fleet [replications]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/metrics.hpp"
+#include "core/mobility.hpp"
+#include "core/random_topology.hpp"
+#include "core/traffic.hpp"
+#include "runner/parallel.hpp"
+#include "stats/table.hpp"
+#include "util/strings.hpp"
+
+using namespace mip6;
+
+namespace {
+
+constexpr std::uint16_t kPort = 9000;
+const char* kGroupStr = "ff1e::100";
+
+ReplicationResult run_fleet(std::uint64_t seed, StrategyOptions strategy,
+                            std::size_t fleet_size, Time mean_dwell) {
+  RandomTopologyParams params;
+  params.routers = 12;
+  params.extra_links = 3;
+  params.seed = seed;
+  RandomTopology topo = build_random_topology(params);
+  World& world = *topo.world;
+  const Address group = Address::parse(kGroupStr);
+
+  // The lecturer sits on stub 0.
+  HostEnv& lecturer = world.add_host("Lecturer", *topo.stub_links[0]);
+
+  // The fleet homes on the other stubs, round-robin.
+  std::vector<HostEnv*> fleet;
+  std::vector<std::unique_ptr<GroupReceiverApp>> apps;
+  for (std::size_t i = 0; i < fleet_size; ++i) {
+    Link& home = *topo.stub_links[1 + i % (topo.stub_links.size() - 1)];
+    HostEnv& h = world.add_host("MN" + std::to_string(i), home, strategy);
+    fleet.push_back(&h);
+    apps.push_back(std::make_unique<GroupReceiverApp>(*h.stack, kPort));
+  }
+  world.finalize();
+  for (HostEnv* h : fleet) h->service->subscribe(group);
+
+  CbrSource source(
+      world.scheduler(),
+      [&](Bytes payload) {
+        lecturer.service->send_multicast(group, kPort, kPort,
+                                         std::move(payload));
+      },
+      Time::ms(100), 512);
+  source.start(Time::sec(1));
+
+  // Everyone roams among all stub LANs.
+  std::vector<std::unique_ptr<RandomMover>> movers;
+  std::vector<Link*> roam_links(topo.stub_links.begin(),
+                                topo.stub_links.end());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    movers.push_back(std::make_unique<RandomMover>(
+        *fleet[i]->mn, world.net().rng(), roam_links, mean_dwell));
+    movers[i]->start(Time::sec(10) + Time::sec(static_cast<int>(i)));
+  }
+
+  const Time horizon = Time::sec(600);
+  world.run_until(horizon);
+
+  ReplicationResult r;
+  double sent = static_cast<double>(source.sent());
+  Summary ratio;
+  for (auto& app : apps) {
+    ratio.add(static_cast<double>(app->unique_received()) / sent);
+  }
+  r["delivery_ratio"] = ratio.mean();
+  r["worst_receiver_ratio"] = ratio.min();
+  r["ha_mcast_encaps"] = static_cast<double>(
+      world.net().counters().get("ha/encap-multicast"));
+  r["pim_ctrl_bytes"] =
+      static_cast<double>(world.net().counters().get("pimdm/tx-bytes"));
+  r["mld_ctrl_bytes"] =
+      static_cast<double>(world.net().counters().get("mld/tx-bytes"));
+  r["moves"] = [&] {
+    double total = 0;
+    for (auto& m : movers) total += static_cast<double>(m->moves());
+    return total;
+  }();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t replications = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+  const std::size_t fleet_size = 8;
+  const Time dwell = Time::sec(60);
+
+  std::printf("Campus lecture feed, %zu mobile subscribers, mean dwell %s, "
+              "%zu replications in parallel.\n\n",
+              fleet_size, dwell.str().c_str(), replications);
+
+  Table t({"approach", "delivery ratio", "worst receiver", "HA encaps",
+           "PIM ctrl", "MLD ctrl", "moves"});
+  struct Case {
+    const char* label;
+    StrategyOptions opts;
+  };
+  for (const Case& c :
+       {Case{"local membership",
+             {McastStrategy::kLocalMembership, HaRegistration::kGroupListBu}},
+        Case{"bidir tunnel",
+             {McastStrategy::kBidirTunnel, HaRegistration::kGroupListBu}}}) {
+    ReplicationOptions opts;
+    opts.replications = replications;
+    opts.base_seed = 2026;
+    auto merged = run_replications(opts, [&](std::uint64_t seed) {
+      return run_fleet(seed, c.opts, fleet_size, dwell);
+    });
+    t.add_row({c.label,
+               fmt_double(merged.at("delivery_ratio").mean(), 4) + " ± " +
+                   fmt_double(merged.at("delivery_ratio").ci95_halfwidth(), 4),
+               fmt_double(merged.at("worst_receiver_ratio").mean(), 4),
+               fmt_double(merged.at("ha_mcast_encaps").mean(), 0),
+               fmt_bytes(merged.at("pim_ctrl_bytes").mean()),
+               fmt_bytes(merged.at("mld_ctrl_bytes").mean()),
+               fmt_double(merged.at("moves").mean(), 0)});
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf("\npaper: the tunnel hides handoffs from the tree (high\n"
+              "delivery, heavy HA load); local membership keeps the HA idle\n"
+              "but pays a join delay on every one of the fleet's moves.\n");
+  return 0;
+}

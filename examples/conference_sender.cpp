@@ -1,0 +1,122 @@
+// Conference with a mobile speaker: a many-to-many session where the
+// *sender* is the mobile host — the paper's Section 4.2.2. Shows the cost
+// of a locally-sending mobile speaker (new flooded tree and spurious
+// asserts on every move, stale (S,G) state piling up) against the reverse
+// tunnel (stable home-rooted tree, per-packet encapsulation instead).
+//
+//   $ ./examples/conference_sender
+#include <cstdio>
+
+#include "core/figure1.hpp"
+#include "core/metrics.hpp"
+#include "core/mobility.hpp"
+#include "core/traffic.hpp"
+#include "stats/table.hpp"
+#include "util/strings.hpp"
+
+using namespace mip6;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t delivered_r1 = 0;
+  std::uint64_t delivered_r2 = 0;
+  std::uint64_t asserts = 0;
+  std::uint64_t floods = 0;  // (S,G) entries created network-wide
+  std::uint64_t max_trees = 0;
+  std::uint64_t mn_encaps = 0;
+  double stretch = 0;
+};
+
+Outcome run_case(StrategyOptions opts) {
+  Figure1 f = build_figure1(/*seed=*/3, {}, opts);
+  World& world = *f.world;
+  const Address group = Figure1::group();
+
+  GroupReceiverApp app1(*f.recv1->stack, Figure1::kDataPort);
+  GroupReceiverApp app2(*f.recv2->stack, Figure1::kDataPort);
+  f.recv1->service->subscribe(group);
+  f.recv2->service->subscribe(group);
+
+  McastMetrics metrics(world.net(), world.routing(), group,
+                       Figure1::kDataPort);
+  metrics.update_reference_tree(
+      f.link1->id(), {f.link1->id(), f.link2->id()});
+
+  CbrSource voice(
+      world.scheduler(),
+      [&](Bytes payload) {
+        f.sender->service->send_multicast(group, Figure1::kDataPort,
+                                          Figure1::kDataPort,
+                                          std::move(payload));
+      },
+      Time::ms(20), 160);  // 50 packets/s voice frames
+  voice.start(Time::sec(1));
+
+  // The speaker walks through the building: a move every 40 s.
+  ItineraryMover mover(*f.sender->mn, world.scheduler());
+  mover.add_step(Time::sec(40), *f.link2);
+  mover.add_step(Time::sec(80), *f.link3);
+  mover.add_step(Time::sec(120), *f.link6);
+
+  std::uint64_t max_trees = 0;
+  for (int s = 0; s <= 160; s += 5) {
+    world.scheduler().schedule_at(Time::sec(s), [&, s] {
+      std::uint64_t total = 0;
+      for (const auto& r : world.routers()) {
+        total = std::max<std::uint64_t>(total, r->pim->entry_count());
+      }
+      max_trees = std::max(max_trees, total);
+    });
+  }
+  world.run_until(Time::sec(160));
+
+  Outcome o;
+  o.delivered_r1 = app1.unique_received();
+  o.delivered_r2 = app2.unique_received();
+  o.asserts = world.net().counters().get("pimdm/tx/assert");
+  o.floods = world.net().counters().get("pimdm/sg-created");
+  o.max_trees = max_trees;
+  o.mn_encaps = world.net().counters().get("mn/encap");
+  o.stretch = metrics.stretch();
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Mobile speaker (50 pkt/s voice) walking Link1 -> Link2 -> "
+              "Link3 -> Link6; Receivers 1 and 2 listening. 8000 frames "
+              "total.\n\n");
+
+  Outcome local = run_case(
+      {McastStrategy::kLocalMembership, HaRegistration::kGroupListBu});
+  Outcome tunnel = run_case(
+      {McastStrategy::kBidirTunnel, HaRegistration::kGroupListBu});
+
+  Table t({"metric", "A: send locally", "B: reverse tunnel"});
+  t.add_row({"frames to Receiver1", std::to_string(local.delivered_r1),
+             std::to_string(tunnel.delivered_r1)});
+  t.add_row({"frames to Receiver2", std::to_string(local.delivered_r2),
+             std::to_string(tunnel.delivered_r2)});
+  t.add_row({"PIM asserts sent", std::to_string(local.asserts),
+             std::to_string(tunnel.asserts)});
+  t.add_row({"(S,G) entries created", std::to_string(local.floods),
+             std::to_string(tunnel.floods)});
+  t.add_row({"peak concurrent (S,G) per router",
+             std::to_string(local.max_trees),
+             std::to_string(tunnel.max_trees)});
+  t.add_row({"MN encapsulations", std::to_string(local.mn_encaps),
+             std::to_string(tunnel.mn_encaps)});
+  t.add_row({"routing stretch", fmt_double(local.stretch, 2),
+             fmt_double(tunnel.stretch, 2)});
+  std::printf("%s", t.str().c_str());
+
+  std::printf(
+      "\npaper Section 4.2.2/4.3.1: each move of a locally-sending source\n"
+      "creates a brand-new flooded tree (stale trees linger for the 210 s\n"
+      "data timeout) and its stale-source packets trigger asserts; the\n"
+      "reverse tunnel keeps the single home-rooted tree at the price of\n"
+      "encapsulating every frame.\n");
+  return 0;
+}

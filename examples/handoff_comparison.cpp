@@ -1,0 +1,117 @@
+// Handoff comparison: a mobile video-stream subscriber roams across the
+// Figure 1 network while each of the paper's four delivery approaches is
+// active in turn. Prints join delay, handoff loss, duplicates and the
+// tunnel/system-load counters per approach — Section 4.3 of the paper as a
+// runnable program.
+//
+//   $ ./examples/handoff_comparison
+#include <cstdio>
+
+#include "core/figure1.hpp"
+#include "core/metrics.hpp"
+#include "core/mobility.hpp"
+#include "core/traffic.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "util/strings.hpp"
+
+using namespace mip6;
+
+namespace {
+
+struct Result {
+  std::string approach;
+  double join_delay_s = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t ha_encaps = 0;
+  std::uint64_t grafts = 0;
+  double stretch = 0;
+};
+
+Result run_once(StrategyOptions opts, const char* label) {
+  Figure1 f = build_figure1(/*seed=*/7, {}, opts);
+  World& world = *f.world;
+  const Address group = Figure1::group();
+
+  GroupReceiverApp app(*f.recv3->stack, Figure1::kDataPort);
+  f.recv3->service->subscribe(group);
+  McastMetrics metrics(world.net(), world.routing(), group,
+                       Figure1::kDataPort);
+  metrics.update_reference_tree(f.link1->id(), {f.link4->id()});
+
+  CbrSource source(
+      world.scheduler(),
+      [&](Bytes payload) {
+        f.sender->service->send_multicast(group, Figure1::kDataPort,
+                                          Figure1::kDataPort,
+                                          std::move(payload));
+      },
+      Time::ms(50), 200);  // 20 datagrams/s, 200-byte payload
+  source.start(Time::sec(1));
+
+  // Roam: L4 -> L6 at 30 s, L6 -> L5 at 60 s, L5 -> L2 at 90 s.
+  ItineraryMover mover(*f.recv3->mn, world.scheduler());
+  mover.add_step(Time::sec(30), *f.link6);
+  mover.add_step(Time::sec(60), *f.link5);
+  mover.add_step(Time::sec(90), *f.link2);
+  std::vector<Time> move_times{Time::sec(30), Time::sec(60), Time::sec(90)};
+  mover.set_on_move([&](Link& to) {
+    metrics.update_reference_tree(f.link1->id(), {to.id()});
+  });
+
+  world.run_until(Time::sec(120));
+
+  Result r;
+  r.approach = label;
+  Summary join;
+  for (Time t : move_times) {
+    if (auto first = app.first_rx_at_or_after(t)) {
+      join.add((*first - t).to_seconds());
+    }
+  }
+  r.join_delay_s = join.mean();
+  std::uint64_t sent = source.sent();
+  r.lost = sent > app.unique_received() ? sent - app.unique_received() : 0;
+  r.duplicates = app.duplicates();
+  r.ha_encaps = world.net().counters().get("ha/encap-multicast");
+  r.grafts = world.net().counters().get("pimdm/tx/graft");
+  r.stretch = metrics.stretch();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Mobile receiver roaming Link4 -> Link6 -> Link5 -> Link2 "
+              "while Sender S streams 20 dgrams/s.\n\n");
+
+  std::vector<std::pair<const char*, StrategyOptions>> cases = {
+      {"1 local membership",
+       {McastStrategy::kLocalMembership, HaRegistration::kGroupListBu}},
+      {"2 bidir tunnel (group-list BU)",
+       {McastStrategy::kBidirTunnel, HaRegistration::kGroupListBu}},
+      {"2 bidir tunnel (tunneled MLD)",
+       {McastStrategy::kBidirTunnel, HaRegistration::kTunnelMld}},
+      {"3 tunnel MH->HA",
+       {McastStrategy::kTunnelMhToHa, HaRegistration::kGroupListBu}},
+      {"4 tunnel HA->MH",
+       {McastStrategy::kTunnelHaToMh, HaRegistration::kGroupListBu}},
+  };
+
+  Table t({"approach", "mean join delay", "lost", "dups", "HA encaps",
+           "grafts", "stretch"});
+  for (const auto& [label, opts] : cases) {
+    Result r = run_once(opts, label);
+    t.add_row({r.approach, fmt_double(r.join_delay_s, 3) + " s",
+               std::to_string(r.lost), std::to_string(r.duplicates),
+               std::to_string(r.ha_encaps), std::to_string(r.grafts),
+               fmt_double(r.stretch, 2)});
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf(
+      "\npaper: tunnels avoid join delay at the cost of suboptimal routing\n"
+      "and home-agent load; local membership is optimal but re-joins on\n"
+      "every link change (unsolicited reports keep that fast here).\n");
+  return 0;
+}

@@ -1,0 +1,212 @@
+// Playground: explore the paper's parameter space from the command line —
+// no recompilation. Runs a roaming mobile host (receiver of G1, sender of
+// G2) on the Figure 1 network and prints the Section 4.3 criteria.
+//
+//   $ ./examples/playground [options]
+//     --strategy local|bidir|mh-ha|ha-mh   delivery approach   [local]
+//     --registration bu|mld                HA registration     [bu]
+//     --tquery SECONDS                     MLD Query Interval  [125]
+//     --no-unsolicited                     wait for Queries instead
+//     --adaptive                           adaptive querier extension
+//     --dwell SECONDS                      mean dwell per link [120]
+//     --lifetime SECONDS                   binding lifetime    [256]
+//     --state-refresh                      PIM State Refresh extension
+//     --ripng                              RIPng instead of the oracle
+//     --horizon SECONDS                    simulated time      [600]
+//     --seed N                             RNG seed            [1]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/figure1.hpp"
+#include "core/metrics.hpp"
+#include "core/mobility.hpp"
+#include "core/traffic.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "util/strings.hpp"
+
+using namespace mip6;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--strategy local|bidir|mh-ha|ha-mh] "
+               "[--registration bu|mld] [--tquery S] [--no-unsolicited] "
+               "[--adaptive] [--dwell S] [--lifetime S] [--state-refresh] "
+               "[--ripng] [--horizon S] [--seed N]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  StrategyOptions strategy{McastStrategy::kLocalMembership,
+                           HaRegistration::kGroupListBu};
+  WorldConfig config;
+  int tquery = 125, dwell = 120, lifetime = 256, horizon = 600;
+  std::uint64_t seed = 1;
+  bool unsolicited = true, adaptive = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--strategy")) {
+      const char* v = value();
+      if (!std::strcmp(v, "local")) {
+        strategy.strategy = McastStrategy::kLocalMembership;
+      } else if (!std::strcmp(v, "bidir")) {
+        strategy.strategy = McastStrategy::kBidirTunnel;
+      } else if (!std::strcmp(v, "mh-ha")) {
+        strategy.strategy = McastStrategy::kTunnelMhToHa;
+      } else if (!std::strcmp(v, "ha-mh")) {
+        strategy.strategy = McastStrategy::kTunnelHaToMh;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (!std::strcmp(argv[i], "--registration")) {
+      const char* v = value();
+      if (!std::strcmp(v, "bu")) {
+        strategy.registration = HaRegistration::kGroupListBu;
+      } else if (!std::strcmp(v, "mld")) {
+        strategy.registration = HaRegistration::kTunnelMld;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (!std::strcmp(argv[i], "--tquery")) {
+      tquery = std::atoi(value());
+    } else if (!std::strcmp(argv[i], "--no-unsolicited")) {
+      unsolicited = false;
+    } else if (!std::strcmp(argv[i], "--adaptive")) {
+      adaptive = true;
+    } else if (!std::strcmp(argv[i], "--dwell")) {
+      dwell = std::atoi(value());
+    } else if (!std::strcmp(argv[i], "--lifetime")) {
+      lifetime = std::atoi(value());
+    } else if (!std::strcmp(argv[i], "--state-refresh")) {
+      config.pim.state_refresh = true;
+    } else if (!std::strcmp(argv[i], "--ripng")) {
+      config.unicast = UnicastRouting::kRipng;
+    } else if (!std::strcmp(argv[i], "--horizon")) {
+      horizon = std::atoi(value());
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = std::strtoull(value(), nullptr, 10);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (tquery <= 0 || dwell <= 0 || lifetime <= 0 || horizon <= 30) {
+    usage(argv[0]);
+  }
+
+  config.mld = MldConfig::with_query_interval(Time::sec(tquery));
+  config.mld.adaptive_querier = adaptive;
+  config.mld_host.unsolicited_reports = unsolicited;
+  config.mipv6.binding_lifetime = Time::sec(lifetime);
+  config.mipv6.bu_refresh_interval = Time::sec(lifetime / 2);
+
+  std::printf("strategy=%s registration=%s T_Query=%ds unsolicited=%s "
+              "adaptive=%s dwell=%ds lifetime=%ds state_refresh=%s "
+              "unicast=%s horizon=%ds seed=%llu\n\n",
+              strategy_name(strategy.strategy),
+              strategy.registration == HaRegistration::kGroupListBu
+                  ? "group-list-bu"
+                  : "tunneled-mld",
+              tquery, unsolicited ? "yes" : "no", adaptive ? "yes" : "no",
+              dwell, lifetime, config.pim.state_refresh ? "on" : "off",
+              config.unicast == UnicastRouting::kRipng ? "ripng" : "oracle",
+              horizon, static_cast<unsigned long long>(seed));
+
+  Figure1 f = build_figure1(seed, config, strategy);
+  World& world = *f.world;
+  const Address g1 = Address::parse("ff1e::1");
+  const Address g2 = Address::parse("ff1e::2");
+  constexpr std::uint16_t kPort = Figure1::kDataPort;
+
+  GroupReceiverApp mh_app(*f.recv3->stack, kPort);
+  GroupReceiverApp r2_app(*f.recv2->stack, kPort);
+  f.recv3->service->subscribe(g1);
+  f.recv1->service->subscribe(g1);
+  f.recv2->service->subscribe(g2);
+
+  McastMetrics metrics(world.net(), world.routing(), g1, kPort);
+  metrics.update_reference_tree(f.link1->id(),
+                                {f.link1->id(), f.link4->id()});
+
+  CbrSource s_source(
+      world.scheduler(),
+      [&](Bytes p) {
+        f.sender->service->send_multicast(g1, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  CbrSource mh_source(
+      world.scheduler(),
+      [&](Bytes p) {
+        f.recv3->service->send_multicast(g2, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  s_source.start(Time::sec(1));
+  mh_source.start(Time::sec(1));
+
+  std::vector<Link*> links;
+  for (int n = 1; n <= 6; ++n) links.push_back(&f.link(n));
+  RandomMover mover(*f.recv3->mn, world.net().rng(), links,
+                    Time::sec(dwell));
+  std::vector<Time> move_times;
+  mover.set_on_move([&](Link& to) {
+    move_times.push_back(world.now());
+    metrics.update_reference_tree(f.link1->id(),
+                                  {f.link1->id(), to.id()});
+  });
+  mover.start(Time::sec(20));
+  world.run_until(Time::sec(horizon));
+
+  Summary join;
+  for (Time t : move_times) {
+    if (auto first = mh_app.first_rx_at_or_after(t)) {
+      join.add((*first - t).to_seconds());
+    }
+  }
+  auto& c = world.net().counters();
+  double sent1 = static_cast<double>(s_source.sent());
+  double sent2 = static_cast<double>(mh_source.sent());
+
+  Table t({"criterion (Section 4.3)", "value"});
+  t.add_row({"moves", std::to_string(mover.moves())});
+  t.add_row({"join delay (mean / max)",
+             fmt_double(join.mean(), 3) + " / " + fmt_double(join.max(), 3) +
+                 " s"});
+  t.add_row({"receive loss",
+             fmt_double(100.0 * (sent1 - static_cast<double>(
+                                             mh_app.unique_received())) /
+                            sent1,
+                        2) + " %"});
+  t.add_row({"send loss (to Receiver 2)",
+             fmt_double(100.0 * (sent2 - static_cast<double>(
+                                             r2_app.unique_received())) /
+                            sent2,
+                        2) + " %"});
+  t.add_row({"wasted bandwidth",
+             fmt_bytes(static_cast<double>(metrics.wasted_bytes()))});
+  t.add_row({"routing stretch", fmt_double(metrics.stretch(), 2)});
+  t.add_row({"tunneled bytes",
+             fmt_bytes(static_cast<double>(metrics.tunneled_bytes()))});
+  t.add_row({"HA load (encap+decap ops)",
+             std::to_string(c.get("ha/encap-multicast") +
+                            c.get("ha/encap-unicast") + c.get("ha/decap"))});
+  t.add_row({"MH load (encap+decap ops)",
+             std::to_string(c.get("mn/encap") + c.get("mn/decap"))});
+  t.add_row({"PIM asserts", std::to_string(c.get("pimdm/tx/assert"))});
+  t.add_row({"(S,G) entries created",
+             std::to_string(c.get("pimdm/sg-created"))});
+  t.add_row({"control bytes (PIM+MLD+BU+RIPng)",
+             fmt_bytes(static_cast<double>(
+                 c.get("pimdm/tx-bytes") + c.get("mld/tx-bytes") +
+                 c.get("mn/bu-bytes") + c.get("ripng/tx-bytes")))});
+  std::printf("%s", t.str().c_str());
+  return 0;
+}

@@ -1,0 +1,174 @@
+#include "core/describe.hpp"
+
+#include "ipv6/datagram.hpp"
+#include "ipv6/icmpv6.hpp"
+#include "ipv6/ripng.hpp"
+#include "ipv6/udp.hpp"
+#include "mipv6/messages.hpp"
+#include "mld/messages.hpp"
+#include "pimdm/messages.hpp"
+
+namespace mip6 {
+namespace {
+
+std::string describe_icmpv6(const ParsedDatagram& d) {
+  try {
+    Icmpv6Message icmp = Icmpv6Message::parse(d.payload, d.hdr.src, d.hdr.dst);
+    switch (icmp.type) {
+      case icmpv6::kMldQuery: {
+        MldMessage m = MldMessage::from_icmpv6(icmp);
+        return m.is_general_query()
+                   ? "MLD GeneralQuery maxdelay=" +
+                         std::to_string(m.max_response_delay_ms) + "ms"
+                   : "MLD Query group=" + m.group.str();
+      }
+      case icmpv6::kMldReport:
+        return "MLD Report group=" +
+               MldMessage::from_icmpv6(icmp).group.str();
+      case icmpv6::kMldDone:
+        return "MLD Done group=" + MldMessage::from_icmpv6(icmp).group.str();
+      default:
+        return "ICMPv6 type=" + std::to_string(icmp.type);
+    }
+  } catch (const ParseError&) {
+    return "ICMPv6 <malformed>";
+  }
+}
+
+std::string describe_pim(const ParsedDatagram& d) {
+  try {
+    PimHeader h = parse_pim(d.payload, d.hdr.src, d.hdr.dst);
+    switch (h.type) {
+      case PimType::kHello:
+        return "PIM Hello holdtime=" +
+               std::to_string(PimHello::parse(h.body).holdtime) + "s";
+      case PimType::kJoinPrune:
+      case PimType::kGraft:
+      case PimType::kGraftAck: {
+        PimJoinPrune jp = PimJoinPrune::parse(h.body);
+        const char* kind = h.type == PimType::kJoinPrune ? "Join/Prune"
+                           : h.type == PimType::kGraft   ? "Graft"
+                                                         : "GraftAck";
+        std::string out = std::string("PIM ") + kind +
+                          " up=" + jp.upstream_neighbor.str();
+        for (const auto& g : jp.groups) {
+          for (const auto& s : g.joined_sources) {
+            out += " J(" + s.str() + "," + g.group.str() + ")";
+          }
+          for (const auto& s : g.pruned_sources) {
+            out += " P(" + s.str() + "," + g.group.str() + ")";
+          }
+        }
+        return out;
+      }
+      case PimType::kAssert: {
+        PimAssert a = PimAssert::parse(h.body);
+        return "PIM Assert (" + a.source.str() + "," + a.group.str() +
+               ") pref=" + std::to_string(a.metric_preference) +
+               " metric=" + std::to_string(a.metric);
+      }
+      case PimType::kStateRefresh: {
+        PimStateRefresh sr = PimStateRefresh::parse(h.body);
+        return "PIM StateRefresh (" + sr.source.str() + "," +
+               sr.group.str() + ") ttl=" + std::to_string(sr.ttl) +
+               (sr.prune_indicator ? " P" : "");
+      }
+    }
+    return "PIM type=" + std::to_string(static_cast<int>(h.type));
+  } catch (const ParseError&) {
+    return "PIM <malformed>";
+  }
+}
+
+std::string describe_udp(const ParsedDatagram& d) {
+  try {
+    UdpDatagram u = UdpDatagram::parse(d.payload, d.hdr.src, d.hdr.dst);
+    std::string out = "UDP " + std::to_string(u.src_port) + "->" +
+                      std::to_string(u.dst_port) + " (" +
+                      std::to_string(u.payload.size()) + " B)";
+    if (u.dst_port == kRipngPort) {
+      try {
+        auto rtes = parse_ripng_response(u.payload);
+        out = "RIPng Response " + std::to_string(rtes.size()) + " routes";
+      } catch (const ParseError&) {
+      }
+    }
+    return out;
+  } catch (const ParseError&) {
+    return "UDP <malformed>";
+  }
+}
+
+std::string describe_options(const ParsedDatagram& d) {
+  std::string out;
+  for (const auto& o : d.dest_options) {
+    switch (o.type) {
+      case opt::kBindingUpdate:
+        try {
+          BindingUpdateOption bu = BindingUpdateOption::decode(o);
+          out += " BU seq=" + std::to_string(bu.sequence) +
+                 " life=" + std::to_string(bu.lifetime_s) + "s";
+          if (const BuSubOption* sub =
+                  bu.find_sub_option(subopt::kMulticastGroupList)) {
+            out += " groups=" +
+                   std::to_string(
+                       MulticastGroupListSubOption::decode(*sub).groups.size());
+          }
+        } catch (const ParseError&) {
+          out += " BU<malformed>";
+        }
+        break;
+      case opt::kBindingAck:
+        out += " BAck";
+        break;
+      case opt::kHomeAddress:
+        try {
+          out += " Home=" + HomeAddressOption::decode(o).home_address.str();
+        } catch (const ParseError&) {
+          out += " Home<malformed>";
+        }
+        break;
+      default:
+        out += " opt" + std::to_string(o.type);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string describe_datagram(BytesView wire) {
+  ParsedDatagram d;
+  try {
+    d = parse_datagram(wire);
+  } catch (const ParseError& e) {
+    return "<malformed datagram: " + std::string(e.what()) + ">";
+  }
+  std::string out = "IPv6 " + d.hdr.src.str() + " -> " + d.hdr.dst.str() +
+                    " hl=" + std::to_string(d.hdr.hop_limit);
+  out += describe_options(d);
+  out += " | ";
+  switch (d.protocol) {
+    case proto::kUdp:
+      out += describe_udp(d);
+      break;
+    case proto::kIcmpv6:
+      out += describe_icmpv6(d);
+      break;
+    case proto::kPim:
+      out += describe_pim(d);
+      break;
+    case proto::kIpv6:
+      out += "tunnel[ " + describe_datagram(d.payload) + " ]";
+      break;
+    case proto::kNoNext:
+      out += "(no payload)";
+      break;
+    default:
+      out += "proto=" + std::to_string(d.protocol) + " (" +
+             std::to_string(d.payload.size()) + " B)";
+  }
+  return out;
+}
+
+}  // namespace mip6

@@ -1,0 +1,17 @@
+// One-line human-readable decoding of any datagram this stack produces —
+// for traces, examples and debugging. Never throws: malformed input is
+// described as such.
+#pragma once
+
+#include <string>
+
+#include "util/buffer.hpp"
+
+namespace mip6 {
+
+/// e.g. "IPv6 2001:db8:1::99 -> ff1e::1 hl=63 | UDP 9000->9000 (76 B)"
+///      "IPv6 fe80::2 -> ff02::d hl=1 | PIM Graft up=fe80::3 J(S,G)"
+///      "IPv6 2001:db8:4::4 -> 2001:db8:6::99 hl=64 | tunnel[ IPv6 ... ]"
+std::string describe_datagram(BytesView wire);
+
+}  // namespace mip6

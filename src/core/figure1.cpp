@@ -1,0 +1,57 @@
+#include "core/figure1.hpp"
+
+#include "util/errors.hpp"
+
+namespace mip6 {
+
+Link& Figure1::link(int n) const {
+  switch (n) {
+    case 1: return *link1;
+    case 2: return *link2;
+    case 3: return *link3;
+    case 4: return *link4;
+    case 5: return *link5;
+    case 6: return *link6;
+  }
+  throw LogicError("Figure 1 has links 1..6");
+}
+
+Figure1 build_figure1(std::uint64_t seed, WorldConfig config,
+                      StrategyOptions host_strategy) {
+  Figure1 f;
+  f.world = std::make_unique<World>(seed, config);
+  World& w = *f.world;
+
+  f.link1 = &w.add_link("Link1");
+  f.link2 = &w.add_link("Link2");
+  f.link3 = &w.add_link("Link3");
+  f.link4 = &w.add_link("Link4");
+  f.link5 = &w.add_link("Link5");
+  f.link6 = &w.add_link("Link6");
+
+  f.a = &w.add_router("RouterA", {f.link1, f.link2});
+  f.b = &w.add_router("RouterB", {f.link2, f.link3});
+  f.c = &w.add_router("RouterC", {f.link2, f.link3});
+  f.d = &w.add_router("RouterD", {f.link3, f.link4, f.link5});
+  f.e = &w.add_router("RouterE", {f.link3, f.link6});
+
+  // Home agent / default router assignment per the paper: A on Link1, B on
+  // Link2, C on Link3, D on Links 4+5, E on Link6. (add_router made A the
+  // default for Link2 and B for Link3; fix those.)
+  w.set_link_router(*f.link1, *f.a);
+  w.set_link_router(*f.link2, *f.b);
+  w.set_link_router(*f.link3, *f.c);
+  w.set_link_router(*f.link4, *f.d);
+  w.set_link_router(*f.link5, *f.d);
+  w.set_link_router(*f.link6, *f.e);
+
+  f.sender = &w.add_host("SenderS", *f.link1, host_strategy);
+  f.recv1 = &w.add_host("Receiver1", *f.link1, host_strategy);
+  f.recv2 = &w.add_host("Receiver2", *f.link2, host_strategy);
+  f.recv3 = &w.add_host("Receiver3", *f.link4, host_strategy);
+
+  w.finalize();
+  return f;
+}
+
+}  // namespace mip6

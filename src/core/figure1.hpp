@@ -1,0 +1,55 @@
+// The paper's reference network (Figure 1):
+//
+//      Receiver1   SenderS
+//      ----+----------+----   Link 1
+//              RouterA
+//      ----+----------+----   Link 2    (Receiver2 here)
+//        RouterB   RouterC
+//      ----+----------+----   Link 3
+//        RouterD   RouterE
+//      /      |        |
+//    Link4  Link5    Link6
+//   (Receiver3)
+//
+// Home agents per the paper: A on Link1, B on Link2, C on Link3, D on
+// Links 4+5, E on Link6. Sender S multicasts to group G, Receivers 1-3 are
+// members; the initial distribution tree covers Links 1-4.
+#pragma once
+
+#include <memory>
+
+#include "core/world.hpp"
+
+namespace mip6 {
+
+struct Figure1 {
+  std::unique_ptr<World> world;
+  Link* link1 = nullptr;
+  Link* link2 = nullptr;
+  Link* link3 = nullptr;
+  Link* link4 = nullptr;
+  Link* link5 = nullptr;
+  Link* link6 = nullptr;
+  RouterEnv* a = nullptr;
+  RouterEnv* b = nullptr;
+  RouterEnv* c = nullptr;
+  RouterEnv* d = nullptr;
+  RouterEnv* e = nullptr;
+  HostEnv* sender = nullptr;
+  HostEnv* recv1 = nullptr;
+  HostEnv* recv2 = nullptr;
+  HostEnv* recv3 = nullptr;
+
+  /// The multicast group G used throughout (global scope).
+  static Address group() { return Address::parse("ff1e::1"); }
+  static constexpr std::uint16_t kDataPort = 9000;
+
+  Link& link(int n) const;
+};
+
+/// Builds the Figure 1 world. All four hosts use `host_strategy`; the world
+/// is finalized (routes installed) before returning.
+Figure1 build_figure1(std::uint64_t seed = 1, WorldConfig config = {},
+                      StrategyOptions host_strategy = {});
+
+}  // namespace mip6

@@ -1,0 +1,91 @@
+#include "core/metrics.hpp"
+
+#include "core/traffic.hpp"
+#include "ipv6/datagram.hpp"
+
+namespace mip6 {
+
+McastMetrics::McastMetrics(Network& net, GlobalRouting& routing, Address group,
+                           std::uint16_t data_port)
+    : net_(&net), routing_(&routing), group_(group), data_port_(data_port) {
+  net.add_tx_hook(
+      [this](const Link& link, const Interface&, const Packet& pkt) {
+        on_tx(link, pkt);
+      });
+}
+
+void McastMetrics::update_reference_tree(
+    LinkId source_link, const std::vector<LinkId>& member_links) {
+  reference_tree_links_ =
+      routing_->shortest_path_tree(source_link, member_links).size();
+  // The tree includes the source link itself; data already exists there, so
+  // the cost in *additional* transmissions excludes it — but the source's
+  // own transmission onto its link is counted in actual_bytes_, so keep the
+  // source link in the reference for a like-for-like comparison.
+}
+
+void McastMetrics::on_tx(const Link& link, const Packet& pkt) {
+  ParsedDatagram d;
+  try {
+    d = parse_datagram(pkt.view());
+  } catch (const ParseError&) {
+    return;
+  }
+  bool tunneled = false;
+  const ParsedDatagram* data = &d;
+  ParsedDatagram inner;
+  if (d.protocol == proto::kIpv6) {
+    try {
+      inner = parse_datagram(d.payload);
+    } catch (const ParseError&) {
+      return;
+    }
+    data = &inner;
+    tunneled = true;
+  }
+  if (!(data->hdr.dst == group_) || data->protocol != proto::kUdp) return;
+
+  UdpDatagram udp;
+  CbrPayload payload;
+  try {
+    udp = UdpDatagram::parse(data->payload, data->hdr.src, data->hdr.dst);
+    if (udp.dst_port != data_port_) return;
+    payload = CbrPayload::decode(udp.payload);
+  } catch (const ParseError&) {
+    return;
+  }
+
+  ++data_tx_;
+  actual_bytes_ += pkt.size();
+  if (tunneled) tunneled_bytes_ += pkt.size();
+
+  if (seen_seqs_.insert(payload.seq).second) {
+    // First appearance of this application datagram anywhere: charge the
+    // ideal tree cost using the native (untunneled) wire size.
+    std::size_t native_size = Ipv6Header::kSize + data->payload.size();
+    optimal_bytes_ +=
+        static_cast<std::uint64_t>(native_size) * reference_tree_links_;
+  }
+
+  LinkStats& ls = per_link_[link.id()];
+  ls.tx += 1;
+  ls.bytes += pkt.size();
+  ls.last_tx = net_->now();
+}
+
+Time McastMetrics::last_data_tx_on(LinkId link) const {
+  auto it = per_link_.find(link);
+  return it == per_link_.end() ? Time::never() : it->second.last_tx;
+}
+
+std::uint64_t McastMetrics::data_tx_count_on(LinkId link) const {
+  auto it = per_link_.find(link);
+  return it == per_link_.end() ? 0 : it->second.tx;
+}
+
+std::uint64_t McastMetrics::data_bytes_on(LinkId link) const {
+  auto it = per_link_.find(link);
+  return it == per_link_.end() ? 0 : it->second.bytes;
+}
+
+}  // namespace mip6

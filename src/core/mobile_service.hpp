@@ -1,0 +1,53 @@
+// Strategy glue: implements the paper's four delivery approaches on top of
+// the unmodified MLD / PIM-DM / Mobile IPv6 engines.
+//
+// The mapping from Section 4.2:
+//  * receive locally  -> (re-)join via the MLD host side on every new link
+//    (with or without unsolicited Reports, per MldHostPolicy);
+//  * receive via tunnel -> register groups with the HA, either through the
+//    Multicast Group List Sub-Option in Binding Updates (Figure 5) or by
+//    sending MLD Reports through the tunnel;
+//  * send locally -> native transmission with the current source address
+//    (during the movement-detection window this is the stale address — the
+//    paper's spurious-assert trigger);
+//  * send via tunnel -> encapsulate with the home address as inner source.
+#pragma once
+
+#include <set>
+
+#include "core/strategy.hpp"
+#include "ipv6/udp.hpp"
+#include "mipv6/mobile_node.hpp"
+#include "mld/host.hpp"
+
+namespace mip6 {
+
+class MobileMulticastService {
+ public:
+  MobileMulticastService(MobileNode& mn, MldHost& mld, StrategyOptions opts,
+                         MldConfig mld_config);
+
+  void set_strategy(StrategyOptions opts);
+  const StrategyOptions& strategy() const { return opts_; }
+
+  /// Application subscribes to / leaves a group.
+  void subscribe(const Address& group);
+  void unsubscribe(const Address& group);
+
+  /// Sends one UDP datagram to the group per the sender-side strategy.
+  void send_multicast(const Address& group, std::uint16_t src_port,
+                      std::uint16_t dst_port, Bytes payload);
+
+  MobileNode& mobile_node() const { return *mn_; }
+
+ private:
+  void on_attached();
+  void apply_receive_policy();
+
+  MobileNode* mn_;
+  MldHost* mld_;
+  StrategyOptions opts_;
+  MldConfig mld_config_;
+};
+
+}  // namespace mip6

@@ -1,0 +1,55 @@
+#include "core/mobility.hpp"
+
+#include "util/errors.hpp"
+
+namespace mip6 {
+
+RandomMover::RandomMover(MobileNode& mn, Rng& rng,
+                         std::vector<Link*> candidates, Time mean_dwell)
+    : mn_(&mn), rng_(&rng), candidates_(std::move(candidates)),
+      mean_dwell_(mean_dwell),
+      timer_(mn.stack().scheduler(), [this] { move_once(); }) {
+  if (candidates_.empty()) {
+    throw LogicError("RandomMover needs at least one candidate link");
+  }
+}
+
+void RandomMover::start(Time first_move_at) {
+  Time delay = first_move_at - mn_->stack().scheduler().now();
+  if (delay < Time::zero()) delay = Time::zero();
+  timer_.arm(delay);
+}
+
+void RandomMover::stop() { timer_.cancel(); }
+
+void RandomMover::move_once() {
+  // Pick a candidate different from the current link when possible.
+  Interface& iface = mn_->stack().node().iface_by_id(mn_->iface());
+  Link* current = iface.link();
+  Link* target = nullptr;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    Link* cand = candidates_[rng_->uniform_int(candidates_.size())];
+    if (cand != current) {
+      target = cand;
+      break;
+    }
+  }
+  if (target == nullptr) target = candidates_[0];
+  mn_->move_to(*target);
+  ++moves_;
+  if (on_move_) on_move_(*target);
+  timer_.arm(Time::seconds(rng_->exponential(mean_dwell_.to_seconds())));
+}
+
+ItineraryMover::ItineraryMover(MobileNode& mn, Scheduler& sched)
+    : mn_(&mn), sched_(&sched) {}
+
+void ItineraryMover::add_step(Time at, Link& to) {
+  Link* target = &to;
+  sched_->schedule_at(at, [this, target] {
+    mn_->move_to(*target);
+    if (on_move_) on_move_(*target);
+  });
+}
+
+}  // namespace mip6

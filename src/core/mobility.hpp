@@ -1,0 +1,60 @@
+// Mobility processes for mobile hosts.
+//
+// RandomMover: the host hops among a candidate link set with exponential
+// dwell times (rate λ = 1/mean_dwell) — the "mobility rate" knob of the
+// paper's bandwidth-cost discussion. ItineraryMover: a scripted sequence of
+// (time, link) moves for the deterministic figure scenarios.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mipv6/mobile_node.hpp"
+#include "sim/timer.hpp"
+
+namespace mip6 {
+
+class RandomMover {
+ public:
+  RandomMover(MobileNode& mn, Rng& rng, std::vector<Link*> candidates,
+              Time mean_dwell);
+
+  void start(Time first_move_at);
+  void stop();
+  std::uint64_t moves() const { return moves_; }
+
+  /// Invoked right after each move (new link already attached).
+  void set_on_move(std::function<void(Link&)> cb) { on_move_ = std::move(cb); }
+
+ private:
+  void move_once();
+
+  MobileNode* mn_;
+  Rng* rng_;
+  std::vector<Link*> candidates_;
+  Time mean_dwell_;
+  std::uint64_t moves_ = 0;
+  Timer timer_;
+  std::function<void(Link&)> on_move_;
+};
+
+/// Scripted moves at fixed times.
+class ItineraryMover {
+ public:
+  struct Step {
+    Time at;
+    Link* to;
+  };
+
+  ItineraryMover(MobileNode& mn, Scheduler& sched);
+
+  void add_step(Time at, Link& to);
+  void set_on_move(std::function<void(Link&)> cb) { on_move_ = std::move(cb); }
+
+ private:
+  MobileNode* mn_;
+  Scheduler* sched_;
+  std::function<void(Link&)> on_move_;
+};
+
+}  // namespace mip6

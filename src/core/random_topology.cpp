@@ -1,0 +1,97 @@
+#include "core/random_topology.hpp"
+
+#include <algorithm>
+
+namespace mip6 {
+
+RandomTopology build_random_topology(const RandomTopologyParams& params,
+                                     WorldConfig config) {
+  RandomTopology t;
+  t.world = std::make_unique<World>(params.seed, config);
+  World& w = *t.world;
+  Rng topo_rng(Rng::derive_seed(params.seed, 0xb0b0));
+
+  const std::size_t n = std::max<std::size_t>(params.routers, 1);
+
+  // Stub link per router, created first so routers attach at creation.
+  for (std::size_t i = 0; i < n; ++i) {
+    t.stub_links.push_back(&w.add_link("Stub" + std::to_string(i)));
+  }
+
+  // Random spanning tree: router i>0 links to a random earlier router.
+  // Links must exist before add_router, so decide the shape first.
+  std::vector<std::vector<Link*>> attach(n);
+  for (std::size_t i = 0; i < n; ++i) attach[i].push_back(t.stub_links[i]);
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t parent = topo_rng.uniform_int(i);
+    Link& l = w.add_link("Transit" + std::to_string(t.transit_links.size()));
+    t.transit_links.push_back(&l);
+    attach[parent].push_back(&l);
+    attach[i].push_back(&l);
+  }
+  for (std::size_t k = 0; k < params.extra_links && n >= 2; ++k) {
+    std::size_t a = topo_rng.uniform_int(n);
+    std::size_t b = topo_rng.uniform_int(n);
+    if (a == b) continue;
+    Link& l = w.add_link("Transit" + std::to_string(t.transit_links.size()));
+    t.transit_links.push_back(&l);
+    attach[a].push_back(&l);
+    attach[b].push_back(&l);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    t.routers.push_back(
+        &w.add_router("Router" + std::to_string(i), attach[i]));
+    // The stub's default router / home agent is its own router.
+    w.set_link_router(*t.stub_links[i], *t.routers[i]);
+  }
+  return t;
+}
+
+RandomTopology build_line_topology(std::size_t routers, WorldConfig config,
+                                   std::uint64_t seed) {
+  RandomTopology t;
+  t.world = std::make_unique<World>(seed, config);
+  World& w = *t.world;
+  const std::size_t n = std::max<std::size_t>(routers, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.stub_links.push_back(&w.add_link("Stub" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    t.transit_links.push_back(&w.add_link("Transit" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<Link*> attach{t.stub_links[i]};
+    if (i > 0) attach.push_back(t.transit_links[i - 1]);
+    if (i + 1 < n) attach.push_back(t.transit_links[i]);
+    t.routers.push_back(
+        &w.add_router("Router" + std::to_string(i), attach));
+    w.set_link_router(*t.stub_links[i], *t.routers[i]);
+  }
+  return t;
+}
+
+RandomTopology build_star_topology(std::size_t arms, WorldConfig config,
+                                   std::uint64_t seed) {
+  RandomTopology t;
+  t.world = std::make_unique<World>(seed, config);
+  World& w = *t.world;
+  t.stub_links.push_back(&w.add_link("Stub0"));  // core's stub
+  for (std::size_t i = 0; i < arms; ++i) {
+    t.stub_links.push_back(&w.add_link("Stub" + std::to_string(i + 1)));
+    t.transit_links.push_back(&w.add_link("Transit" + std::to_string(i)));
+  }
+  std::vector<Link*> core_attach{t.stub_links[0]};
+  for (Link* l : t.transit_links) core_attach.push_back(l);
+  t.routers.push_back(&w.add_router("Core", core_attach));
+  w.set_link_router(*t.stub_links[0], *t.routers[0]);
+  for (std::size_t i = 0; i < arms; ++i) {
+    t.routers.push_back(&w.add_router(
+        "Edge" + std::to_string(i),
+        {t.transit_links[i], t.stub_links[i + 1]}));
+    w.set_link_router(*t.stub_links[i + 1], *t.routers[i + 1]);
+  }
+  return t;
+}
+
+}  // namespace mip6

@@ -1,0 +1,47 @@
+// Generated topologies for the sweep benches: a random connected router
+// graph (spanning tree plus extra cross links) where every router also owns
+// a stub LAN that hosts can home on or roam to.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/world.hpp"
+
+namespace mip6 {
+
+struct RandomTopologyParams {
+  std::size_t routers = 8;
+  /// Extra non-tree links between random router pairs (adds path diversity
+  /// and assert opportunities).
+  std::size_t extra_links = 2;
+  std::uint64_t seed = 1;
+};
+
+struct RandomTopology {
+  std::unique_ptr<World> world;
+  std::vector<RouterEnv*> routers;
+  /// One stub LAN per router (index-aligned with `routers`).
+  std::vector<Link*> stub_links;
+  /// Transit links between routers.
+  std::vector<Link*> transit_links;
+};
+
+/// Builds (but does not finalize) the topology so callers can still add
+/// hosts; call `topology.world->finalize()` after adding them.
+RandomTopology build_random_topology(const RandomTopologyParams& params,
+                                     WorldConfig config = {});
+
+/// Line (chain) of `routers` routers, a stub LAN per router, transit LANs
+/// between neighbors — the maximum-diameter case.
+RandomTopology build_line_topology(std::size_t routers,
+                                   WorldConfig config = {},
+                                   std::uint64_t seed = 1);
+
+/// Star: one core router connected by a transit LAN to each of
+/// `arms` edge routers, each with its own stub LAN (the core's stub is
+/// index 0) — the minimum-diameter case.
+RandomTopology build_star_topology(std::size_t arms, WorldConfig config = {},
+                                   std::uint64_t seed = 1);
+
+}  // namespace mip6

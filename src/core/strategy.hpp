@@ -1,0 +1,63 @@
+// The paper's four approaches to multicast for mobile hosts (Table 1):
+//
+//                          receive locally      receive via tunnel
+//   send locally           1 LocalMembership    4 TunnelHaToMh
+//   send via tunnel        3 TunnelMhToHa       2 BidirTunnel
+#pragma once
+
+#include <string>
+
+namespace mip6 {
+
+enum class McastStrategy {
+  /// Approach 1: group membership via the local multicast router on the
+  /// visited link; sending directly from the care-of address.
+  kLocalMembership,
+  /// Approach 2: both directions through the home agent tunnel.
+  kBidirTunnel,
+  /// Approach 3: uni-directional tunnel MH -> HA (send via tunnel, receive
+  /// locally).
+  kTunnelMhToHa,
+  /// Approach 4: uni-directional tunnel HA -> MH (receive via tunnel, send
+  /// locally).
+  kTunnelHaToMh,
+};
+
+/// How a tunnel-receiving mobile node registers its groups with the HA
+/// (the two Section 4.3.2 variants).
+enum class HaRegistration {
+  /// The paper's proposed Multicast Group List Sub-Option in Binding
+  /// Updates (Figure 5); works with home agents that are not PIM routers.
+  kGroupListBu,
+  /// Ordinary MLD Reports sent through the tunnel ("tunnels as
+  /// interfaces"); requires a PIM-capable home agent.
+  kTunnelMld,
+};
+
+struct StrategyOptions {
+  McastStrategy strategy = McastStrategy::kLocalMembership;
+  HaRegistration registration = HaRegistration::kGroupListBu;
+};
+
+/// Receive path uses the local multicast router (vs the HA tunnel).
+inline bool receives_locally(McastStrategy s) {
+  return s == McastStrategy::kLocalMembership ||
+         s == McastStrategy::kTunnelMhToHa;
+}
+/// Send path transmits natively on the visited link (vs reverse tunnel).
+inline bool sends_locally(McastStrategy s) {
+  return s == McastStrategy::kLocalMembership ||
+         s == McastStrategy::kTunnelHaToMh;
+}
+
+inline const char* strategy_name(McastStrategy s) {
+  switch (s) {
+    case McastStrategy::kLocalMembership: return "local-membership";
+    case McastStrategy::kBidirTunnel: return "bidir-tunnel";
+    case McastStrategy::kTunnelMhToHa: return "tunnel-mh-to-ha";
+    case McastStrategy::kTunnelHaToMh: return "tunnel-ha-to-mh";
+  }
+  return "?";
+}
+
+}  // namespace mip6

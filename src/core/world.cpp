@@ -1,0 +1,144 @@
+#include "core/world.hpp"
+
+#include "util/errors.hpp"
+
+namespace mip6 {
+
+Address RouterEnv::address_on(const Link& link) const {
+  return stack->global_address(iface_on(link));
+}
+
+IfaceId RouterEnv::iface_on(const Link& link) const {
+  for (const auto& iface : node->interfaces()) {
+    if (iface->attached() && iface->link() == &link) return iface->id();
+  }
+  throw LogicError(node->name() + " is not attached to " + link.name());
+}
+
+World::World(std::uint64_t seed, WorldConfig config)
+    : config_(config), net_(seed), routing_(net_, plan_) {}
+
+Link& World::add_link(const std::string& name, const std::string& prefix) {
+  Link& link = net_.add_link(name, config_.link_delay,
+                             config_.link_bit_rate_bps);
+  std::string p = prefix;
+  if (p.empty()) {
+    p = "2001:db8:" + std::to_string(next_prefix_index_++) + "::/64";
+  }
+  plan_.set_link_prefix(link.id(), Prefix::parse(p));
+  return link;
+}
+
+RouterEnv& World::add_router(const std::string& name,
+                             const std::vector<Link*>& links) {
+  auto env = std::make_unique<RouterEnv>();
+  env->node = &net_.add_node(name);
+  for (Link* link : links) {
+    Interface& iface = env->node->add_interface();
+    iface.attach(*link);
+  }
+  env->stack = std::make_unique<Ipv6Stack>(*env->node, plan_,
+                                           /*forwarding=*/true);
+  // Addresses: link-local + global per attached interface.
+  for (const auto& iface : env->node->interfaces()) {
+    env->stack->add_address(
+        iface->id(),
+        Address::from_prefix_iid(Address::parse("fe80::"),
+                                 env->stack->iid()));
+    const Prefix& prefix = plan_.prefix_of(iface->link()->id());
+    env->stack->add_address(
+        iface->id(),
+        Address::from_prefix_iid(prefix.network(), env->stack->iid()));
+  }
+  env->dispatch = std::make_unique<Icmpv6Dispatcher>(*env->stack);
+  env->udp = std::make_unique<UdpDemux>(*env->stack);
+  env->mld = std::make_unique<MldRouter>(*env->stack, *env->dispatch,
+                                         config_.mld);
+  env->pim = std::make_unique<PimDmRouter>(*env->stack, *env->mld,
+                                           config_.pim);
+  for (const auto& iface : env->node->interfaces()) {
+    env->mld->enable_iface(iface->id());
+    env->pim->enable_iface(iface->id());
+  }
+  if (config_.unicast == UnicastRouting::kRipng) {
+    env->ripng = std::make_unique<Ripng>(*env->stack, *env->udp,
+                                         config_.ripng);
+    for (const auto& iface : env->node->interfaces()) {
+      env->ripng->enable_iface(iface->id());
+    }
+  }
+  // Home agent with PIM-backed group membership ("HA is a PIM router").
+  PimDmRouter* pim = env->pim.get();
+  env->ha = std::make_unique<HomeAgent>(
+      *env->stack, config_.mipv6,
+      HomeAgent::MembershipBackend{
+          [pim](const Address& g) { pim->add_local_receiver(g); },
+          [pim](const Address& g) { pim->remove_local_receiver(g); }});
+  routing_.register_stack(*env->stack);
+  // First router on a link becomes its default router / home agent.
+  for (Link* link : links) {
+    if (!plan_.default_router(link->id())) {
+      plan_.set_default_router(link->id(), env->address_on(*link));
+    }
+  }
+  routers_.push_back(std::move(env));
+  return *routers_.back();
+}
+
+HostEnv& World::add_host(const std::string& name, Link& home,
+                         StrategyOptions strategy) {
+  auto env = std::make_unique<HostEnv>();
+  env->node = &net_.add_node(name);
+  Interface& iface = env->node->add_interface();
+  iface.attach(home);
+  env->stack = std::make_unique<Ipv6Stack>(*env->node, plan_,
+                                           /*forwarding=*/false);
+  env->dispatch = std::make_unique<Icmpv6Dispatcher>(*env->stack);
+  env->mld = std::make_unique<MldHost>(*env->stack, *env->dispatch,
+                                       config_.mld, config_.mld_host);
+
+  const Prefix& home_prefix = plan_.prefix_of(home.id());
+  Address home_addr =
+      Address::from_prefix_iid(home_prefix.network(), env->stack->iid());
+  auto gw = plan_.default_router(home.id());
+  if (!gw) {
+    throw LogicError("host " + name + " added to link " + home.name() +
+                     " without a router (add the router first)");
+  }
+  env->mn = std::make_unique<MobileNode>(*env->stack, iface.id(), home_addr,
+                                         *gw, config_.mipv6);
+  env->service = std::make_unique<MobileMulticastService>(
+      *env->mn, *env->mld, strategy, config_.mld);
+  routing_.register_stack(*env->stack);
+  hosts_.push_back(std::move(env));
+  return *hosts_.back();
+}
+
+void World::set_link_router(Link& link, RouterEnv& router) {
+  plan_.set_default_router(link.id(), router.address_on(link));
+}
+
+void World::finalize() {
+  if (config_.unicast == UnicastRouting::kRipng) {
+    // Router RIBs belong to RIPng; only hosts need autoconfiguration.
+    routing_.autoconfigure_hosts();
+  } else {
+    routing_.recompute();
+  }
+}
+
+RouterEnv& World::router_by_name(const std::string& name) const {
+  for (const auto& r : routers_) {
+    if (r->node->name() == name) return *r;
+  }
+  throw LogicError("no router named " + name);
+}
+
+HostEnv& World::host_by_name(const std::string& name) const {
+  for (const auto& h : hosts_) {
+    if (h->node->name() == name) return *h;
+  }
+  throw LogicError("no host named " + name);
+}
+
+}  // namespace mip6

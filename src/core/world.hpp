@@ -1,0 +1,124 @@
+// The scenario world: one Network plus fully wired protocol engines per
+// node. Routers get the full paper role — PIM-DM router, MLD querier and
+// Mobile IPv6 home agent — and every host is mobility-capable (a host that
+// never moves behaves exactly like a static host).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mobile_service.hpp"
+#include "core/strategy.hpp"
+#include "ipv6/global_routing.hpp"
+#include "ipv6/icmpv6_dispatch.hpp"
+#include "ipv6/ripng.hpp"
+#include "ipv6/udp_demux.hpp"
+#include "ipv6/stack.hpp"
+#include "mipv6/home_agent.hpp"
+#include "mipv6/mobile_node.hpp"
+#include "mld/host.hpp"
+#include "mld/router.hpp"
+#include "net/network.hpp"
+#include "pimdm/router.hpp"
+
+namespace mip6 {
+
+/// Which unicast substrate feeds the RPF checks.
+enum class UnicastRouting {
+  /// Instantly-converged oracle (ns-3 GlobalRouting style) — default.
+  kGlobalOracle,
+  /// Real distance-vector protocol with convergence transients.
+  kRipng,
+};
+
+struct WorldConfig {
+  MldConfig mld;
+  MldHostPolicy mld_host;
+  PimDmConfig pim;
+  Mipv6Config mipv6;
+  UnicastRouting unicast = UnicastRouting::kGlobalOracle;
+  RipngConfig ripng;
+  /// Per-link propagation delay / bit rate for new links.
+  Time link_delay = Time::us(100);
+  std::uint64_t link_bit_rate_bps = 0;  // 0 = infinitely fast
+};
+
+struct RouterEnv {
+  Node* node = nullptr;
+  std::unique_ptr<Ipv6Stack> stack;
+  std::unique_ptr<Icmpv6Dispatcher> dispatch;
+  std::unique_ptr<UdpDemux> udp;
+  std::unique_ptr<MldRouter> mld;
+  std::unique_ptr<PimDmRouter> pim;
+  std::unique_ptr<HomeAgent> ha;
+  std::unique_ptr<Ripng> ripng;  // only with UnicastRouting::kRipng
+
+  /// Global address of this router's interface attached to `link`.
+  Address address_on(const Link& link) const;
+  IfaceId iface_on(const Link& link) const;
+};
+
+struct HostEnv {
+  Node* node = nullptr;
+  std::unique_ptr<Ipv6Stack> stack;
+  std::unique_ptr<Icmpv6Dispatcher> dispatch;
+  std::unique_ptr<MldHost> mld;
+  std::unique_ptr<MobileNode> mn;
+  std::unique_ptr<MobileMulticastService> service;
+
+  IfaceId iface() const { return mn->iface(); }
+};
+
+class World {
+ public:
+  explicit World(std::uint64_t seed = 1, WorldConfig config = {});
+
+  Network& net() { return net_; }
+  AddressingPlan& plan() { return plan_; }
+  GlobalRouting& routing() { return routing_; }
+  Scheduler& scheduler() { return net_.scheduler(); }
+  Time now() const { return net_.now(); }
+  const WorldConfig& config() const { return config_; }
+
+  /// Creates a link; `prefix` empty means auto ("2001:db8:<n>::/64").
+  Link& add_link(const std::string& name, const std::string& prefix = "");
+
+  /// Creates a router attached to `links` with PIM + MLD enabled on every
+  /// interface and a home agent (PIM-backed membership).
+  RouterEnv& add_router(const std::string& name,
+                        const std::vector<Link*>& links);
+
+  /// Creates a (mobility-capable) host homed on `home`, with the link's
+  /// designated router as home agent. Strategy defaults to local membership.
+  HostEnv& add_host(const std::string& name, Link& home,
+                    StrategyOptions strategy = {});
+
+  /// Designates `router` as default router / home agent for `link` (done
+  /// automatically for the first router attached to a link).
+  void set_link_router(Link& link, RouterEnv& router);
+
+  /// Installs routes and autoconfigures hosts. Call after building the
+  /// topology and before run().
+  void finalize();
+
+  std::uint64_t run_until(Time t) { return net_.scheduler().run_until(t); }
+
+  const std::vector<std::unique_ptr<RouterEnv>>& routers() const {
+    return routers_;
+  }
+  const std::vector<std::unique_ptr<HostEnv>>& hosts() const { return hosts_; }
+  RouterEnv& router_by_name(const std::string& name) const;
+  HostEnv& host_by_name(const std::string& name) const;
+
+ private:
+  WorldConfig config_;
+  Network net_;
+  AddressingPlan plan_;
+  GlobalRouting routing_;
+  std::vector<std::unique_ptr<RouterEnv>> routers_;
+  std::vector<std::unique_ptr<HostEnv>> hosts_;
+  std::uint32_t next_prefix_index_ = 1;
+};
+
+}  // namespace mip6

@@ -1,0 +1,40 @@
+#include "ipv6/addressing.hpp"
+
+#include "util/errors.hpp"
+
+namespace mip6 {
+
+void AddressingPlan::set_link_prefix(LinkId link, const Prefix& prefix) {
+  prefixes_[link] = prefix;
+}
+
+const Prefix& AddressingPlan::prefix_of(LinkId link) const {
+  auto it = prefixes_.find(link);
+  if (it == prefixes_.end()) {
+    throw LogicError("link " + std::to_string(link) + " has no prefix");
+  }
+  return it->second;
+}
+
+bool AddressingPlan::has_prefix(LinkId link) const {
+  return prefixes_.contains(link);
+}
+
+void AddressingPlan::set_default_router(LinkId link, const Address& router) {
+  default_routers_[link] = router;
+}
+
+std::optional<Address> AddressingPlan::default_router(LinkId link) const {
+  auto it = default_routers_.find(link);
+  if (it == default_routers_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<LinkId> AddressingPlan::link_of(const Address& a) const {
+  for (const auto& [id, prefix] : prefixes_) {
+    if (prefix.contains(a)) return id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mip6

@@ -1,0 +1,45 @@
+// Network-wide addressing plan.
+//
+// Each link has a /64 prefix and a designated default router, the
+// information real hosts learn from Router Advertisements. Modelling the RA
+// *content* as an oracle (rather than RA packets) keeps host attachment
+// simple; the movement-detection + address-configuration latency that RAs
+// would introduce is an explicit, configurable delay in the MobileNode — the
+// same simplification the paper itself makes ("it takes the mobile sender a
+// certain time to detect the link change and generate a new care-of
+// address").
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "ipv6/address.hpp"
+#include "net/link.hpp"
+
+namespace mip6 {
+
+class AddressingPlan {
+ public:
+  void set_link_prefix(LinkId link, const Prefix& prefix);
+  /// Throws LogicError if the link has no prefix.
+  const Prefix& prefix_of(LinkId link) const;
+  bool has_prefix(LinkId link) const;
+
+  void set_default_router(LinkId link, const Address& router);
+  /// Router address hosts on `link` use as default gateway; nullopt if none.
+  std::optional<Address> default_router(LinkId link) const;
+
+  /// The link whose prefix contains `a`, if any.
+  std::optional<LinkId> link_of(const Address& a) const;
+
+  /// Deterministic interface identifier for a node (EUI-64 stand-in).
+  static std::uint64_t iid_for_node(std::uint32_t node_id) {
+    return 0x0200'0000'0000'0000ULL | (static_cast<std::uint64_t>(node_id) + 1);
+  }
+
+ private:
+  std::map<LinkId, Prefix> prefixes_;
+  std::map<LinkId, Address> default_routers_;
+};
+
+}  // namespace mip6

@@ -1,0 +1,82 @@
+#include "ipv6/datagram.hpp"
+
+namespace mip6 {
+
+Bytes build_datagram(const DatagramSpec& spec) {
+  BufferWriter w(Ipv6Header::kSize + 64 + spec.payload.size());
+
+  DestOptionsHeader dopts;
+  bool with_opts = !spec.dest_options.empty();
+  std::size_t ext_size = 0;
+  if (with_opts) {
+    dopts.next_header = spec.protocol;
+    dopts.options = spec.dest_options;
+    ext_size = dopts.wire_size();
+  }
+
+  Ipv6Header hdr;
+  hdr.src = spec.src;
+  hdr.dst = spec.dst;
+  hdr.hop_limit = spec.hop_limit;
+  hdr.next_header = with_opts ? proto::kDestOpts : spec.protocol;
+  std::size_t payload_len = ext_size + spec.payload.size();
+  if (payload_len > 0xffff) {
+    throw LogicError("datagram payload exceeds 65535 octets");
+  }
+  hdr.payload_length = static_cast<std::uint16_t>(payload_len);
+
+  hdr.write(w);
+  if (with_opts) dopts.write(w);
+  w.raw(spec.payload);
+  return std::move(w).take();
+}
+
+bool ParsedDatagram::has_option(std::uint8_t type) const {
+  return find_option(type) != nullptr;
+}
+
+const DestOption* ParsedDatagram::find_option(std::uint8_t type) const {
+  for (const auto& o : dest_options) {
+    if (o.type == type) return &o;
+  }
+  return nullptr;
+}
+
+ParsedDatagram parse_datagram(BytesView bytes) {
+  BufferReader r(bytes);
+  ParsedDatagram d;
+  d.hdr = Ipv6Header::read(r);
+  if (d.hdr.payload_length != r.remaining()) {
+    throw ParseError("IPv6 payload length " +
+                     std::to_string(d.hdr.payload_length) +
+                     " != actual " + std::to_string(r.remaining()));
+  }
+  std::uint8_t next = d.hdr.next_header;
+  while (next == proto::kDestOpts) {
+    DestOptionsHeader h = DestOptionsHeader::read(r);
+    for (auto& o : h.options) d.dest_options.push_back(std::move(o));
+    next = h.next_header;
+  }
+  d.protocol = next;
+  d.payload = r.raw(r.remaining());
+  d.effective_src = d.hdr.src;
+  if (const DestOption* home = d.find_option(opt::kHomeAddress)) {
+    if (home->data.size() == Address::kBytes) {
+      d.effective_src = Address::from_bytes(home->data);
+    } else {
+      throw ParseError("Home Address option with bad length");
+    }
+  }
+  return d;
+}
+
+bool decrement_hop_limit(Bytes& datagram) {
+  if (datagram.size() < Ipv6Header::kSize) {
+    throw ParseError("datagram shorter than fixed header");
+  }
+  if (datagram[7] <= 1) return false;
+  datagram[7] -= 1;
+  return true;
+}
+
+}  // namespace mip6

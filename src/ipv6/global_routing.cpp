@@ -1,0 +1,172 @@
+#include "ipv6/global_routing.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace mip6 {
+namespace {
+
+/// Router interfaces attached to `link` whose stack is in `stacks`.
+struct Adjacency {
+  Ipv6Stack* stack;
+  IfaceId iface;
+};
+
+}  // namespace
+
+void GlobalRouting::register_stack(Ipv6Stack& stack) {
+  if (std::find(stacks_.begin(), stacks_.end(), &stack) == stacks_.end()) {
+    stacks_.push_back(&stack);
+  }
+}
+
+std::map<Ipv6Stack*, GlobalRouting::HopInfo> GlobalRouting::bfs_from_link(
+    LinkId dst) const {
+  // stack -> (iface attached to link L), for quick adjacency scans.
+  auto stack_of_iface = [&](const Interface* iface) -> Ipv6Stack* {
+    for (Ipv6Stack* s : stacks_) {
+      if (&s->node() == &iface->node() && s->forwarding()) return s;
+    }
+    return nullptr;
+  };
+
+  std::map<Ipv6Stack*, HopInfo> result;
+  std::deque<Ipv6Stack*> queue;
+
+  // Routers directly on the destination link deliver on-link.
+  const Link& dst_link = net_->link(dst);
+  for (const Interface* iface : dst_link.attached()) {
+    Ipv6Stack* s = stack_of_iface(iface);
+    if (s == nullptr) continue;
+    auto [it, fresh] = result.try_emplace(
+        s, HopInfo{1, iface->id(), Address()});
+    if (fresh) queue.push_back(s);
+  }
+
+  while (!queue.empty()) {
+    Ipv6Stack* cur = queue.front();
+    queue.pop_front();
+    const HopInfo& cur_info = result.at(cur);
+    // Expand to routers that share any link with `cur`.
+    for (const auto& iface : cur->node().interfaces()) {
+      if (!iface->attached()) continue;
+      Link* l = iface->link();
+      // The address a neighbor uses to reach `cur` over link l.
+      Address cur_addr;
+      bool have_addr = false;
+      for (const Address& a : cur->addresses(iface->id())) {
+        if (!a.is_link_local_unicast() && !a.is_multicast()) {
+          cur_addr = a;
+          have_addr = true;
+          break;
+        }
+      }
+      if (!have_addr) {
+        // Fall back to link-local (links without a global prefix).
+        for (const Address& a : cur->addresses(iface->id())) {
+          if (a.is_link_local_unicast()) {
+            cur_addr = a;
+            have_addr = true;
+            break;
+          }
+        }
+      }
+      if (!have_addr) continue;
+      for (const Interface* peer_iface : l->attached()) {
+        if (peer_iface == iface.get()) continue;
+        Ipv6Stack* peer = stack_of_iface(peer_iface);
+        if (peer == nullptr || result.contains(peer)) continue;
+        result.emplace(peer, HopInfo{cur_info.dist + 1, peer_iface->id(),
+                                     cur_addr});
+        queue.push_back(peer);
+      }
+    }
+  }
+  return result;
+}
+
+void GlobalRouting::recompute() {
+  // Router prefix routes.
+  for (Ipv6Stack* s : stacks_) {
+    if (s->forwarding()) s->rib().clear();
+  }
+  for (const auto& link : net_->links()) {
+    if (!plan_->has_prefix(link->id())) continue;
+    const Prefix& prefix = plan_->prefix_of(link->id());
+    auto hops = bfs_from_link(link->id());
+    for (auto& [stack, info] : hops) {
+      stack->rib().add(
+          Route{prefix, info.out_iface, info.next_hop, info.dist});
+    }
+  }
+  autoconfigure_hosts();
+}
+
+void GlobalRouting::autoconfigure_hosts() {
+  // Host autoconfiguration (link-local + SLAAC + default route).
+  for (Ipv6Stack* s : stacks_) {
+    if (s->forwarding()) continue;
+    for (const auto& iface : s->node().interfaces()) {
+      s->autoconfigure(iface->id());
+    }
+  }
+}
+
+std::map<LinkId, std::pair<int, LinkId>> GlobalRouting::link_bfs(
+    LinkId root) const {
+  // dist/parent over the link graph; two links are adjacent if a forwarding
+  // stack has interfaces attached to both.
+  std::map<LinkId, std::pair<int, LinkId>> result;
+  result[root] = {0, root};
+  std::deque<LinkId> queue{root};
+  while (!queue.empty()) {
+    LinkId cur = queue.front();
+    queue.pop_front();
+    int d = result.at(cur).first;
+    for (Ipv6Stack* s : stacks_) {
+      if (!s->forwarding()) continue;
+      bool on_cur = false;
+      for (const auto& iface : s->node().interfaces()) {
+        if (iface->attached() && iface->link()->id() == cur) on_cur = true;
+      }
+      if (!on_cur) continue;
+      for (const auto& iface : s->node().interfaces()) {
+        if (!iface->attached()) continue;
+        LinkId next = iface->link()->id();
+        if (result.contains(next)) continue;
+        result[next] = {d + 1, cur};
+        queue.push_back(next);
+      }
+    }
+  }
+  return result;
+}
+
+int GlobalRouting::link_distance(LinkId from, LinkId to) const {
+  auto bfs = link_bfs(from);
+  auto it = bfs.find(to);
+  return it == bfs.end() ? -1 : it->second.first;
+}
+
+std::vector<LinkId> GlobalRouting::shortest_path_tree(
+    LinkId root, const std::vector<LinkId>& leaves) const {
+  auto bfs = link_bfs(root);
+  std::vector<LinkId> tree;
+  auto add_unique = [&](LinkId l) {
+    if (std::find(tree.begin(), tree.end(), l) == tree.end())
+      tree.push_back(l);
+  };
+  for (LinkId leaf : leaves) {
+    if (!bfs.contains(leaf)) continue;
+    LinkId cur = leaf;
+    while (true) {
+      add_unique(cur);
+      if (cur == root) break;
+      cur = bfs.at(cur).second;
+    }
+  }
+  std::sort(tree.begin(), tree.end());
+  return tree;
+}
+
+}  // namespace mip6

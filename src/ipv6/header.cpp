@@ -1,0 +1,33 @@
+#include "ipv6/header.hpp"
+
+namespace mip6 {
+
+void Ipv6Header::write(BufferWriter& w) const {
+  std::uint32_t word0 = (std::uint32_t{6} << 28) |
+                        (std::uint32_t{traffic_class} << 20) |
+                        (flow_label & 0xfffff);
+  w.u32(word0);
+  w.u16(payload_length);
+  w.u8(next_header);
+  w.u8(hop_limit);
+  src.write(w);
+  dst.write(w);
+}
+
+Ipv6Header Ipv6Header::read(BufferReader& r) {
+  std::uint32_t word0 = r.u32();
+  if ((word0 >> 28) != 6) {
+    throw ParseError("IPv6 version field is not 6");
+  }
+  Ipv6Header h;
+  h.traffic_class = static_cast<std::uint8_t>(word0 >> 20);
+  h.flow_label = word0 & 0xfffff;
+  h.payload_length = r.u16();
+  h.next_header = r.u8();
+  h.hop_limit = r.u8();
+  h.src = Address::read(r);
+  h.dst = Address::read(r);
+  return h;
+}
+
+}  // namespace mip6

@@ -1,0 +1,50 @@
+#include "ipv6/icmpv6.hpp"
+
+#include "ipv6/header.hpp"
+#include "util/checksum.hpp"
+
+namespace mip6 {
+
+std::uint16_t pseudo_header_checksum(const Address& src, const Address& dst,
+                                     std::uint32_t upper_len,
+                                     std::uint8_t next_header,
+                                     BytesView upper_bytes) {
+  InternetChecksum c;
+  c.add(BytesView(src.bytes()));
+  c.add(BytesView(dst.bytes()));
+  c.add_u32(upper_len);
+  c.add_u32(next_header);  // 3 zero octets + next header
+  c.add(upper_bytes);
+  return c.finish();
+}
+
+Bytes Icmpv6Message::serialize(const Address& src, const Address& dst) const {
+  BufferWriter w(4 + body.size());
+  w.u8(type);
+  w.u8(code);
+  w.u16(0);  // checksum placeholder
+  w.raw(body);
+  std::uint16_t ck = pseudo_header_checksum(
+      src, dst, static_cast<std::uint32_t>(w.size()), proto::kIcmpv6,
+      w.bytes());
+  w.patch_u16(2, ck);
+  return std::move(w).take();
+}
+
+Icmpv6Message Icmpv6Message::parse(BytesView payload, const Address& src,
+                                   const Address& dst) {
+  if (payload.size() < 4) throw ParseError("ICMPv6 message too short");
+  std::uint16_t folded = pseudo_header_checksum(
+      src, dst, static_cast<std::uint32_t>(payload.size()), proto::kIcmpv6,
+      payload);
+  if (folded != 0) throw ParseError("ICMPv6 checksum mismatch");
+  BufferReader r(payload);
+  Icmpv6Message m;
+  m.type = r.u8();
+  m.code = r.u8();
+  r.skip(2);  // checksum, already verified
+  m.body = r.raw(r.remaining());
+  return m;
+}
+
+}  // namespace mip6

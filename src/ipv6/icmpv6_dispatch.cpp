@@ -1,0 +1,33 @@
+#include "ipv6/icmpv6_dispatch.hpp"
+
+namespace mip6 {
+
+Icmpv6Dispatcher::Icmpv6Dispatcher(Ipv6Stack& stack) : stack_(&stack) {
+  stack.set_proto_handler(
+      proto::kIcmpv6,
+      [this](const ParsedDatagram& d, const Packet&, IfaceId iface) {
+        on_icmpv6(d, iface);
+      });
+}
+
+void Icmpv6Dispatcher::subscribe(std::uint8_t type, Handler h) {
+  handlers_[type].push_back(std::move(h));
+}
+
+void Icmpv6Dispatcher::on_icmpv6(const ParsedDatagram& d, IfaceId iface) {
+  Icmpv6Message msg;
+  try {
+    msg = Icmpv6Message::parse(d.payload, d.hdr.src, d.hdr.dst);
+  } catch (const ParseError&) {
+    stack_->network().counters().add("icmpv6/rx-drop/parse-error");
+    return;
+  }
+  auto it = handlers_.find(msg.type);
+  if (it == handlers_.end()) {
+    stack_->network().counters().add("icmpv6/rx-drop/unhandled-type");
+    return;
+  }
+  for (const auto& h : it->second) h(msg, d, iface);
+}
+
+}  // namespace mip6

@@ -1,0 +1,32 @@
+// Fan-out of received ICMPv6 messages by type. Owns the stack's ICMPv6
+// protocol handler; MLD router and host sides (and any future ICMPv6
+// consumer on the same node) subscribe per message type.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "ipv6/icmpv6.hpp"
+#include "ipv6/stack.hpp"
+
+namespace mip6 {
+
+class Icmpv6Dispatcher {
+ public:
+  using Handler = std::function<void(const Icmpv6Message&,
+                                     const ParsedDatagram&, IfaceId)>;
+
+  explicit Icmpv6Dispatcher(Ipv6Stack& stack);
+
+  void subscribe(std::uint8_t type, Handler h);
+
+ private:
+  void on_icmpv6(const ParsedDatagram& d, IfaceId iface);
+
+  Ipv6Stack* stack_;
+  std::map<std::uint8_t, std::vector<Handler>> handlers_;
+};
+
+}  // namespace mip6

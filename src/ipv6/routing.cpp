@@ -1,0 +1,45 @@
+#include "ipv6/routing.hpp"
+
+#include <algorithm>
+
+namespace mip6 {
+
+void Rib::add(Route route) { routes_.push_back(std::move(route)); }
+
+void Rib::remove_prefix(const Prefix& prefix) {
+  std::erase_if(routes_, [&](const Route& r) { return r.prefix == prefix; });
+}
+
+void Rib::clear() { routes_.clear(); }
+
+const Route* Rib::lookup(const Address& dst) const {
+  const Route* best = nullptr;
+  for (const auto& r : routes_) {
+    if (!r.prefix.contains(dst)) continue;
+    if (best == nullptr || r.prefix.length() > best->prefix.length() ||
+        (r.prefix.length() == best->prefix.length() &&
+         r.metric < best->metric)) {
+      best = &r;
+    }
+  }
+  return best;
+}
+
+void Rib::set_default(IfaceId out_iface, const Address& next_hop,
+                      std::uint32_t metric) {
+  Prefix def(Address(), 0);
+  remove_prefix(def);
+  add(Route{def, out_iface, next_hop, metric});
+}
+
+std::string Rib::str() const {
+  std::string out;
+  for (const auto& r : routes_) {
+    out += r.prefix.str() + " -> if" + std::to_string(r.out_iface) +
+           (r.on_link() ? " on-link" : (" via " + r.next_hop.str())) +
+           " metric " + std::to_string(r.metric) + "\n";
+  }
+  return out;
+}
+
+}  // namespace mip6

@@ -1,0 +1,52 @@
+// Unicast RIB: longest-prefix-match routing table.
+//
+// PIM-DM is "protocol independent" because it consumes whatever unicast RIB
+// exists — the RPF check (incoming interface and metric toward a source) is
+// a lookup here. Routes are installed either statically or by GlobalRouting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ipv6/address.hpp"
+#include "net/interface.hpp"
+
+namespace mip6 {
+
+struct Route {
+  Prefix prefix;
+  IfaceId out_iface = 0;
+  /// Next-hop router address; unspecified ("::") means on-link delivery.
+  Address next_hop;
+  /// Hop-count metric; used by PIM Assert comparison.
+  std::uint32_t metric = 0;
+
+  bool on_link() const { return next_hop.is_unspecified(); }
+};
+
+class Rib {
+ public:
+  void add(Route route);
+  /// Removes all routes with exactly this prefix.
+  void remove_prefix(const Prefix& prefix);
+  void clear();
+
+  /// Longest-prefix match; ties broken by lowest metric. nullptr = no route.
+  const Route* lookup(const Address& dst) const;
+
+  /// Sets/replaces the default route (::/0).
+  void set_default(IfaceId out_iface, const Address& next_hop,
+                   std::uint32_t metric = 16);
+
+  std::size_t size() const { return routes_.size(); }
+  const std::vector<Route>& routes() const { return routes_; }
+
+  std::string str() const;
+
+ private:
+  std::vector<Route> routes_;
+};
+
+}  // namespace mip6

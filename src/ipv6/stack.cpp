@@ -1,0 +1,348 @@
+#include "ipv6/stack.hpp"
+
+#include <algorithm>
+
+#include "util/errors.hpp"
+
+namespace mip6 {
+
+Ipv6Stack::Ipv6Stack(Node& node, AddressingPlan& plan, bool forwarding)
+    : node_(&node), plan_(&plan), forwarding_(forwarding) {
+  for (const auto& iface : node.interfaces()) register_iface(*iface);
+}
+
+void Ipv6Stack::register_iface(Interface& iface) {
+  IfaceId id = iface.id();
+  iface.set_rx_handler([this, id](const Packet& pkt) { on_rx(id, pkt); });
+  iface.set_address_filter([this](BytesView octets) {
+    Address a = Address::from_bytes(octets);
+    return owns_address(a) || intercepts(a);
+  });
+  addrs_.try_emplace(id);
+  groups_.try_emplace(id);
+}
+
+// ---------------------------------------------------------------------------
+// Addresses
+
+void Ipv6Stack::add_address(IfaceId iface, const Address& addr, bool pinned) {
+  auto& list = addrs_[iface];
+  for (auto& e : list) {
+    if (e.addr == addr) {
+      e.pinned = e.pinned || pinned;
+      return;
+    }
+  }
+  list.push_back(AddrEntry{addr, pinned});
+}
+
+void Ipv6Stack::remove_address(IfaceId iface, const Address& addr) {
+  auto it = addrs_.find(iface);
+  if (it == addrs_.end()) return;
+  std::erase_if(it->second,
+                [&](const AddrEntry& e) { return e.addr == addr; });
+}
+
+bool Ipv6Stack::owns_address(const Address& addr) const {
+  for (const auto& [id, list] : addrs_) {
+    for (const auto& e : list) {
+      if (e.addr == addr) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Address> Ipv6Stack::addresses(IfaceId iface) const {
+  std::vector<Address> out;
+  auto it = addrs_.find(iface);
+  if (it != addrs_.end()) {
+    for (const auto& e : it->second) out.push_back(e.addr);
+  }
+  return out;
+}
+
+Address Ipv6Stack::global_address(IfaceId iface) const {
+  auto it = addrs_.find(iface);
+  if (it != addrs_.end()) {
+    for (const auto& e : it->second) {
+      if (!e.addr.is_link_local_unicast() && !e.addr.is_multicast()) {
+        return e.addr;
+      }
+    }
+  }
+  throw LogicError(node_->name() + "/if" + std::to_string(iface) +
+                   " has no global address");
+}
+
+bool Ipv6Stack::has_global_address(IfaceId iface) const {
+  auto it = addrs_.find(iface);
+  if (it == addrs_.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [](const AddrEntry& e) {
+                       return !e.addr.is_link_local_unicast() &&
+                              !e.addr.is_multicast();
+                     });
+}
+
+Address Ipv6Stack::link_local_address(IfaceId iface) const {
+  auto it = addrs_.find(iface);
+  if (it != addrs_.end()) {
+    for (const auto& e : it->second) {
+      if (e.addr.is_link_local_unicast()) return e.addr;
+    }
+  }
+  throw LogicError(node_->name() + "/if" + std::to_string(iface) +
+                   " has no link-local address");
+}
+
+bool Ipv6Stack::has_link_local(IfaceId iface) const {
+  auto it = addrs_.find(iface);
+  if (it == addrs_.end()) return false;
+  return std::any_of(
+      it->second.begin(), it->second.end(),
+      [](const AddrEntry& e) { return e.addr.is_link_local_unicast(); });
+}
+
+void Ipv6Stack::autoconfigure(IfaceId iface) {
+  auto& list = addrs_[iface];
+  std::erase_if(list, [](const AddrEntry& e) { return !e.pinned; });
+  // Hosts keep only autoconfigured routes; flush stale on-link/default
+  // entries from the previous attachment.
+  if (!forwarding_) rib_.clear();
+
+  Interface& i = node_->iface_by_id(iface);
+  // fe80::/64 + iid
+  add_address(iface,
+              Address::from_prefix_iid(Address::parse("fe80::"), iid()));
+  if (i.link() == nullptr) return;
+  LinkId lid = i.link()->id();
+  if (plan_->has_prefix(lid)) {
+    add_address(iface, Address::from_prefix_iid(
+                           plan_->prefix_of(lid).network(), iid()));
+    if (!forwarding_) {
+      // Hosts: on-link route for the local prefix, default via the router.
+      rib_.remove_prefix(plan_->prefix_of(lid));
+      rib_.add(Route{plan_->prefix_of(lid), iface, Address(), 0});
+      if (auto gw = plan_->default_router(lid)) {
+        rib_.set_default(iface, *gw);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Groups
+
+void Ipv6Stack::join_local_group(IfaceId iface, const Address& group) {
+  groups_[iface].insert(group);
+}
+
+void Ipv6Stack::leave_local_group(IfaceId iface, const Address& group) {
+  auto it = groups_.find(iface);
+  if (it != groups_.end()) it->second.erase(group);
+}
+
+bool Ipv6Stack::in_group(IfaceId iface, const Address& group) const {
+  auto it = groups_.find(iface);
+  return it != groups_.end() && it->second.contains(group);
+}
+
+// ---------------------------------------------------------------------------
+// Sending
+
+Interface* Ipv6Stack::iface_ptr(IfaceId id) const {
+  return &node_->iface_by_id(id);
+}
+
+bool Ipv6Stack::transmit_unicast_on(IfaceId iface, const Address& l2_target,
+                                    const Packet& pkt) {
+  Interface* i = iface_ptr(iface);
+  if (!i->attached()) {
+    count("ipv6/tx-drop/detached");
+    return false;
+  }
+  Interface* peer = i->link()->resolve(BytesView(l2_target.bytes()), i);
+  if (peer == nullptr) {
+    count("ipv6/tx-drop/neighbor-unresolved");
+    return false;
+  }
+  i->send_to(pkt, peer->id());
+  return true;
+}
+
+bool Ipv6Stack::send(const DatagramSpec& spec) {
+  return send_raw(build_datagram(spec));
+}
+
+bool Ipv6Stack::send_raw(Bytes datagram) {
+  ParsedDatagram d = parse_datagram(datagram);
+  Packet pkt = network().make_packet(std::move(datagram));
+  if (d.hdr.dst.is_multicast()) {
+    throw LogicError("send_raw with multicast destination; use send_on_iface");
+  }
+  const Route* route = rib_.lookup(d.hdr.dst);
+  if (route == nullptr) {
+    count("ipv6/tx-drop/no-route");
+    return false;
+  }
+  const Address& target = route->on_link() ? d.hdr.dst : route->next_hop;
+  return transmit_unicast_on(route->out_iface, target, pkt);
+}
+
+bool Ipv6Stack::send_on_iface(IfaceId iface, const DatagramSpec& spec) {
+  return send_raw_on_iface(iface, build_datagram(spec));
+}
+
+bool Ipv6Stack::send_raw_on_iface(IfaceId iface, Bytes datagram) {
+  ParsedDatagram d = parse_datagram(datagram);
+  Packet pkt = network().make_packet(std::move(datagram));
+  Interface* i = iface_ptr(iface);
+  if (!i->attached()) {
+    count("ipv6/tx-drop/detached");
+    return false;
+  }
+  if (d.hdr.dst.is_multicast()) {
+    i->send(pkt);
+    return true;
+  }
+  return transmit_unicast_on(iface, d.hdr.dst, pkt);
+}
+
+void Ipv6Stack::receive_as_if(IfaceId iface, Bytes datagram) {
+  Packet pkt = network().make_packet(std::move(datagram));
+  process(iface, pkt);
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+void Ipv6Stack::set_proto_handler(std::uint8_t protocol, ProtoHandler h) {
+  proto_handlers_[protocol] = std::move(h);
+}
+
+void Ipv6Stack::set_option_handler(std::uint8_t type, OptionHandler h) {
+  option_handlers_[type] = std::move(h);
+}
+
+void Ipv6Stack::add_group_delivery_hook(GroupDeliveryHook h) {
+  group_hooks_.push_back(std::move(h));
+}
+
+// ---------------------------------------------------------------------------
+// Intercepts
+
+void Ipv6Stack::add_intercept(const Address& home_addr) {
+  intercepts_.insert(home_addr);
+}
+
+void Ipv6Stack::remove_intercept(const Address& home_addr) {
+  intercepts_.erase(home_addr);
+}
+
+bool Ipv6Stack::intercepts(const Address& addr) const {
+  return intercepts_.contains(addr);
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+
+void Ipv6Stack::on_rx(IfaceId iface, const Packet& pkt) {
+  process(iface, pkt);
+}
+
+void Ipv6Stack::process(IfaceId iface, const Packet& pkt) {
+  ParsedDatagram d;
+  try {
+    d = parse_datagram(pkt.view());
+  } catch (const ParseError&) {
+    count("ipv6/rx-drop/parse-error");
+    return;
+  }
+
+  if (d.hdr.dst.is_multicast()) {
+    bool local = d.hdr.dst == Address::all_nodes() ||
+                 (forwarding_ && d.hdr.dst == Address::all_routers()) ||
+                 mcast_promiscuous_ || in_group(iface, d.hdr.dst);
+    if (local) deliver_local(d, pkt, iface);
+    // Link-scope multicast is never forwarded off-link; wider scopes go to
+    // the multicast routing protocol if one is attached.
+    if (forwarding_ && !d.hdr.dst.is_link_scope_multicast() &&
+        mcast_forwarder_) {
+      mcast_forwarder_(d, pkt, iface);
+    }
+    return;
+  }
+
+  if (owns_address(d.hdr.dst)) {
+    deliver_local(d, pkt, iface);
+    return;
+  }
+  if (intercepts(d.hdr.dst)) {
+    count("ipv6/intercepted");
+    if (intercept_) intercept_(d, pkt);
+    return;
+  }
+  if (forwarding_) {
+    forward_unicast(d, pkt);
+    return;
+  }
+  count("ipv6/rx-drop/not-mine");
+}
+
+void Ipv6Stack::deliver_local(const ParsedDatagram& d, const Packet& pkt,
+                              IfaceId iface) {
+  for (const auto& o : d.dest_options) {
+    auto it = option_handlers_.find(o.type);
+    if (it != option_handlers_.end()) it->second(o, d, iface);
+  }
+  if (d.hdr.dst.is_multicast()) {
+    for (const auto& hook : group_hooks_) hook(d, pkt, iface);
+  }
+  auto it = proto_handlers_.find(d.protocol);
+  if (it != proto_handlers_.end()) {
+    it->second(d, pkt, iface);
+  } else if (d.protocol != proto::kNoNext && !d.hdr.dst.is_multicast()) {
+    count("ipv6/rx-drop/no-proto-handler");
+  }
+}
+
+void Ipv6Stack::forward_unicast(const ParsedDatagram& d, const Packet& pkt) {
+  Bytes data = pkt.data();
+  if (!decrement_hop_limit(data)) {
+    count("ipv6/fwd-drop/hop-limit");
+    return;
+  }
+  Packet fwd = pkt;
+  fwd.set_data(std::move(data));
+  const Route* route = rib_.lookup(d.hdr.dst);
+  if (route == nullptr) {
+    count("ipv6/fwd-drop/no-route");
+    return;
+  }
+  count("ipv6/fwd");
+  const Address& target = route->on_link() ? d.hdr.dst : route->next_hop;
+  transmit_unicast_on(route->out_iface, target, fwd);
+}
+
+bool Ipv6Stack::forward_out(const Packet& pkt, IfaceId out_iface) {
+  Bytes data = pkt.data();
+  if (!decrement_hop_limit(data)) {
+    count("ipv6/fwd-drop/hop-limit");
+    return false;
+  }
+  Interface* i = iface_ptr(out_iface);
+  if (!i->attached()) {
+    count("ipv6/tx-drop/detached");
+    return false;
+  }
+  Packet fwd = pkt;
+  fwd.set_data(std::move(data));
+  i->send(fwd);
+  return true;
+}
+
+void Ipv6Stack::count(const std::string& name, std::uint64_t delta) const {
+  network().counters().add(name, delta);
+}
+
+}  // namespace mip6

@@ -1,0 +1,159 @@
+// Per-node IPv6 stack: address ownership, neighbor-resolution filters,
+// sending (with unicast routing), receiving (local delivery, option and
+// protocol dispatch), router forwarding, and the hooks the multicast and
+// mobility engines plug into.
+//
+// Division of labour: the stack moves serialized datagrams and enforces the
+// generic IPv6 rules (hop limit, link-scope multicast never forwarded,
+// destination-option dispatch). Everything protocol-specific — MLD, PIM-DM,
+// Mobile IPv6 — registers handlers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "ipv6/addressing.hpp"
+#include "ipv6/datagram.hpp"
+#include "ipv6/routing.hpp"
+#include "net/network.hpp"
+
+namespace mip6 {
+
+class Ipv6Stack {
+ public:
+  /// `forwarding` true makes this node a router.
+  Ipv6Stack(Node& node, AddressingPlan& plan, bool forwarding);
+  Ipv6Stack(const Ipv6Stack&) = delete;
+  Ipv6Stack& operator=(const Ipv6Stack&) = delete;
+
+  Node& node() const { return *node_; }
+  Network& network() const { return node_->network(); }
+  Scheduler& scheduler() const { return network().scheduler(); }
+  AddressingPlan& plan() const { return *plan_; }
+  bool forwarding() const { return forwarding_; }
+
+  /// Hooks a (possibly later-added) interface into the stack. The stack
+  /// constructor registers all interfaces existing at that moment.
+  void register_iface(Interface& iface);
+
+  // --- Address configuration -----------------------------------------
+  /// `pinned` addresses survive autoconfigure() (the mobile node's home
+  /// address is pinned; care-of addresses are not).
+  void add_address(IfaceId iface, const Address& addr, bool pinned = false);
+  void remove_address(IfaceId iface, const Address& addr);
+  bool owns_address(const Address& addr) const;
+  std::vector<Address> addresses(IfaceId iface) const;
+  /// First global (non-link-local) address on the interface; throws if none.
+  Address global_address(IfaceId iface) const;
+  bool has_global_address(IfaceId iface) const;
+  Address link_local_address(IfaceId iface) const;
+  bool has_link_local(IfaceId iface) const;
+  std::uint64_t iid() const { return AddressingPlan::iid_for_node(node_->id()); }
+
+  /// SLAAC against the addressing plan for the currently attached link:
+  /// removes non-pinned addresses, assigns fe80::iid plus prefix:iid (if the
+  /// link has a prefix), and — on hosts — installs the default route via the
+  /// link's default router. No-op address-wise if detached (addresses are
+  /// still flushed).
+  void autoconfigure(IfaceId iface);
+
+  // --- Multicast group membership (receive filter) --------------------
+  void join_local_group(IfaceId iface, const Address& group);
+  void leave_local_group(IfaceId iface, const Address& group);
+  bool in_group(IfaceId iface, const Address& group) const;
+  /// Routers running MLD/PIM listen to all multicast on their links.
+  void set_mcast_promiscuous(bool on) { mcast_promiscuous_ = on; }
+
+  // --- Sending ---------------------------------------------------------
+  /// Builds and routes a unicast datagram. Returns false if no route or the
+  /// output interface is detached / neighbor resolution fails.
+  bool send(const DatagramSpec& spec);
+  /// Routes pre-serialized octets (tunnel outer packets, forwarded inners).
+  bool send_raw(Bytes datagram);
+  /// Transmits on a specific interface without routing; multicast and
+  /// link-local destinations go out as broadcast frames, unicast resolves
+  /// the neighbor on that link.
+  bool send_on_iface(IfaceId iface, const DatagramSpec& spec);
+  bool send_raw_on_iface(IfaceId iface, Bytes datagram);
+
+  /// Feeds a serialized datagram through the full receive path as if it had
+  /// just arrived on `iface` — used by tunnel endpoints to process inner
+  /// datagrams (decapsulated traffic re-enters the stack here).
+  void receive_as_if(IfaceId iface, Bytes datagram);
+
+  // --- Local delivery handlers ----------------------------------------
+  using ProtoHandler =
+      std::function<void(const ParsedDatagram&, const Packet&, IfaceId)>;
+  void set_proto_handler(std::uint8_t protocol, ProtoHandler h);
+
+  using OptionHandler =
+      std::function<void(const DestOption&, const ParsedDatagram&, IfaceId)>;
+  void set_option_handler(std::uint8_t type, OptionHandler h);
+
+  /// Invoked whenever a multicast datagram is accepted locally (any group).
+  /// The home agent hooks this to relay group traffic into MN tunnels.
+  using GroupDeliveryHook =
+      std::function<void(const ParsedDatagram&, const Packet&, IfaceId)>;
+  void add_group_delivery_hook(GroupDeliveryHook h);
+
+  // --- Router-side hooks -------------------------------------------------
+  Rib& rib() { return rib_; }
+  const Rib& rib() const { return rib_; }
+
+  /// Installed by PIM-DM: called for every non-link-scope multicast
+  /// datagram received on a forwarding node.
+  using McastForwarder =
+      std::function<void(const ParsedDatagram&, const Packet&, IfaceId)>;
+  void set_mcast_forwarder(McastForwarder f) { mcast_forwarder_ = std::move(f); }
+
+  /// Replicates `pkt` out of `out_iface` with the hop limit decremented
+  /// (used by PIM to place a copy on a downstream link). Returns false if
+  /// the hop limit ran out or the interface is detached.
+  bool forward_out(const Packet& pkt, IfaceId out_iface);
+
+  // --- Home-agent intercept (proxy for away-from-home addresses) -------
+  void add_intercept(const Address& home_addr);
+  void remove_intercept(const Address& home_addr);
+  bool intercepts(const Address& addr) const;
+  /// Receives datagrams whose destination is an intercepted address.
+  using InterceptHandler = std::function<void(const ParsedDatagram&, const Packet&)>;
+  void set_intercept_handler(InterceptHandler h) { intercept_ = std::move(h); }
+
+ private:
+  struct AddrEntry {
+    Address addr;
+    bool pinned;
+  };
+
+  void on_rx(IfaceId iface, const Packet& pkt);
+  void process(IfaceId iface, const Packet& pkt);
+  void deliver_local(const ParsedDatagram& d, const Packet& pkt,
+                     IfaceId iface);
+  void forward_unicast(const ParsedDatagram& d, const Packet& pkt);
+  bool transmit_unicast_on(IfaceId iface, const Address& l2_target,
+                           const Packet& pkt);
+  Interface* iface_ptr(IfaceId id) const;
+  void count(const std::string& name, std::uint64_t delta = 1) const;
+
+  Node* node_;
+  AddressingPlan* plan_;
+  bool forwarding_;
+  bool mcast_promiscuous_ = false;
+
+  std::map<IfaceId, std::vector<AddrEntry>> addrs_;
+  std::map<IfaceId, std::set<Address>> groups_;
+  std::set<Address> intercepts_;
+  Rib rib_;
+
+  std::map<std::uint8_t, ProtoHandler> proto_handlers_;
+  std::map<std::uint8_t, OptionHandler> option_handlers_;
+  std::vector<GroupDeliveryHook> group_hooks_;
+  McastForwarder mcast_forwarder_;
+  InterceptHandler intercept_;
+};
+
+}  // namespace mip6

@@ -1,0 +1,41 @@
+#include "ipv6/udp.hpp"
+
+#include "ipv6/header.hpp"
+#include "ipv6/icmpv6.hpp"
+
+namespace mip6 {
+
+Bytes UdpDatagram::serialize(const Address& src, const Address& dst) const {
+  BufferWriter w(kHeaderSize + payload.size());
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(static_cast<std::uint16_t>(kHeaderSize + payload.size()));
+  w.u16(0);  // checksum placeholder
+  w.raw(payload);
+  std::uint16_t ck = pseudo_header_checksum(
+      src, dst, static_cast<std::uint32_t>(w.size()), proto::kUdp, w.bytes());
+  if (ck == 0) ck = 0xffff;  // RFC 768: zero is "no checksum"
+  w.patch_u16(6, ck);
+  return std::move(w).take();
+}
+
+UdpDatagram UdpDatagram::parse(BytesView bytes, const Address& src,
+                               const Address& dst) {
+  if (bytes.size() < kHeaderSize) throw ParseError("UDP datagram too short");
+  if (pseudo_header_checksum(src, dst,
+                             static_cast<std::uint32_t>(bytes.size()),
+                             proto::kUdp, bytes) != 0) {
+    throw ParseError("UDP checksum mismatch");
+  }
+  BufferReader r(bytes);
+  UdpDatagram d;
+  d.src_port = r.u16();
+  d.dst_port = r.u16();
+  std::uint16_t len = r.u16();
+  if (len != bytes.size()) throw ParseError("UDP length field mismatch");
+  r.skip(2);  // checksum
+  d.payload = r.raw(r.remaining());
+  return d;
+}
+
+}  // namespace mip6

@@ -1,0 +1,26 @@
+// Minimal UDP (RFC 768 over IPv6): enough to carry the CBR application
+// payload with ports and a verified checksum, so data traffic on the wire is
+// structurally real.
+#pragma once
+
+#include <cstdint>
+
+#include "ipv6/address.hpp"
+#include "util/buffer.hpp"
+
+namespace mip6 {
+
+struct UdpDatagram {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Bytes payload;
+
+  Bytes serialize(const Address& src, const Address& dst) const;
+  /// Parses and verifies checksum/length; throws ParseError.
+  static UdpDatagram parse(BytesView bytes, const Address& src,
+                           const Address& dst);
+
+  static constexpr std::size_t kHeaderSize = 8;
+};
+
+}  // namespace mip6

@@ -1,0 +1,33 @@
+#include "ipv6/udp_demux.hpp"
+
+namespace mip6 {
+
+UdpDemux::UdpDemux(Ipv6Stack& stack) : stack_(&stack) {
+  stack.set_proto_handler(
+      proto::kUdp,
+      [this](const ParsedDatagram& d, const Packet&, IfaceId iface) {
+        on_udp(d, iface);
+      });
+}
+
+void UdpDemux::bind(std::uint16_t port, Handler h) {
+  handlers_[port] = std::move(h);
+}
+
+void UdpDemux::on_udp(const ParsedDatagram& d, IfaceId iface) {
+  UdpDatagram udp;
+  try {
+    udp = UdpDatagram::parse(d.payload, d.hdr.src, d.hdr.dst);
+  } catch (const ParseError&) {
+    stack_->network().counters().add("udp/rx-drop/parse-error");
+    return;
+  }
+  auto it = handlers_.find(udp.dst_port);
+  if (it == handlers_.end()) {
+    stack_->network().counters().add("udp/rx-drop/no-listener");
+    return;
+  }
+  it->second(udp, d, iface);
+}
+
+}  // namespace mip6

@@ -1,0 +1,31 @@
+// Fan-out of received UDP datagrams by destination port. Owns the stack's
+// UDP protocol handler; RIPng, the home-agent sync protocol and any future
+// UDP consumer on the same node subscribe per port.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "ipv6/stack.hpp"
+#include "ipv6/udp.hpp"
+
+namespace mip6 {
+
+class UdpDemux {
+ public:
+  using Handler =
+      std::function<void(const UdpDatagram&, const ParsedDatagram&, IfaceId)>;
+
+  explicit UdpDemux(Ipv6Stack& stack);
+
+  void bind(std::uint16_t port, Handler h);
+
+ private:
+  void on_udp(const ParsedDatagram& d, IfaceId iface);
+
+  Ipv6Stack* stack_;
+  std::map<std::uint16_t, Handler> handlers_;
+};
+
+}  // namespace mip6

@@ -1,0 +1,53 @@
+#include "mipv6/binding_cache.hpp"
+
+namespace mip6 {
+
+BindingCache::Entry& BindingCache::update(const Address& home,
+                                          const Address& care_of,
+                                          std::uint16_t sequence,
+                                          Time lifetime) {
+  auto it = entries_.find(home);
+  if (it == entries_.end()) {
+    auto entry = std::make_unique<Entry>();
+    entry->home = home;
+    entry->lifetime_timer = std::make_unique<Timer>(
+        *sched_, [this, home] { expire(home); });
+    it = entries_.emplace(home, std::move(entry)).first;
+  }
+  Entry& e = *it->second;
+  e.care_of = care_of;
+  e.sequence = sequence;
+  e.lifetime_timer->arm(lifetime);
+  return e;
+}
+
+void BindingCache::remove(const Address& home) { entries_.erase(home); }
+
+const BindingCache::Entry* BindingCache::find(const Address& home) const {
+  auto it = entries_.find(home);
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+BindingCache::Entry* BindingCache::find(const Address& home) {
+  auto it = entries_.find(home);
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const BindingCache::Entry*> BindingCache::entries() const {
+  std::vector<const Entry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [home, e] : entries_) out.push_back(e.get());
+  return out;
+}
+
+void BindingCache::expire(const Address& home) {
+  auto it = entries_.find(home);
+  if (it == entries_.end()) return;
+  // Invoke the callback after erasing so re-entrant lookups see the final
+  // state; keep the entry alive until the callback returns.
+  auto keep = std::move(it->second);
+  entries_.erase(it);
+  if (on_expiry_) on_expiry_(*keep);
+}
+
+}  // namespace mip6

@@ -1,0 +1,54 @@
+// Home agent binding cache: home address -> (care-of address, lifetime,
+// registered multicast groups). Entries expire on a timer; the paper's
+// observation that a silent mobile host loses its multicast representation
+// after the binding lifetime (default 256 s) is this expiry.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ipv6/address.hpp"
+#include "sim/timer.hpp"
+
+namespace mip6 {
+
+class BindingCache {
+ public:
+  struct Entry {
+    Address home;
+    Address care_of;
+    std::uint16_t sequence = 0;
+    std::vector<Address> groups;  // from the Multicast Group List sub-option
+    std::unique_ptr<Timer> lifetime_timer;
+  };
+
+  /// Receives the just-expired entry (already removed from the cache).
+  using ExpiryCallback = std::function<void(const Entry& expired)>;
+
+  explicit BindingCache(Scheduler& sched) : sched_(&sched) {}
+
+  /// Creates or refreshes a binding. Returns a reference valid until the
+  /// next mutation.
+  Entry& update(const Address& home, const Address& care_of,
+                std::uint16_t sequence, Time lifetime);
+  /// Explicit deregistration (lifetime 0 in a BU, or returning home).
+  void remove(const Address& home);
+
+  const Entry* find(const Address& home) const;
+  Entry* find(const Address& home);
+  std::size_t size() const { return entries_.size(); }
+  std::vector<const Entry*> entries() const;
+
+  void set_expiry_callback(ExpiryCallback cb) { on_expiry_ = std::move(cb); }
+
+ private:
+  void expire(const Address& home);
+
+  Scheduler* sched_;
+  std::map<Address, std::unique_ptr<Entry>> entries_;
+  ExpiryCallback on_expiry_;
+};
+
+}  // namespace mip6

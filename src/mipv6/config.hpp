@@ -1,0 +1,26 @@
+// Mobile IPv6 configuration (draft-ietf-mobileip-ipv6-10 subset).
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace mip6 {
+
+struct Mipv6Config {
+  /// Binding lifetime requested in Binding Updates. The paper quotes the
+  /// draft default MAX_BINDACK_TIMEOUT = 256 s as the relevant lifetime.
+  Time binding_lifetime = Time::sec(256);
+  /// How long before expiry the mobile node refreshes its binding.
+  Time bu_refresh_interval = Time::sec(128);
+  /// Time between attaching to a new link and having a usable care-of
+  /// address (movement detection + router discovery + address
+  /// configuration). The paper treats this as an opaque delay during which
+  /// outgoing datagrams still carry the stale source address.
+  Time movement_detection_delay = Time::ms(100);
+  /// Request a Binding Acknowledgement (A bit).
+  bool request_ack = true;
+  /// Retransmit an un-acknowledged BU after this long.
+  Time bu_retransmit_interval = Time::sec(1);
+  int bu_max_retransmits = 4;
+};
+
+}  // namespace mip6

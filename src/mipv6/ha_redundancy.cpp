@@ -1,0 +1,221 @@
+#include "mipv6/ha_redundancy.hpp"
+
+#include "ipv6/datagram.hpp"
+
+namespace mip6 {
+namespace {
+
+constexpr std::uint8_t kHeartbeat = 1;
+constexpr std::uint8_t kReplica = 2;
+constexpr std::uint8_t kDelete = 3;
+
+}  // namespace
+
+Address ha_sync_group() { return Address::parse("ff02::6a"); }
+
+HaRedundancy::HaRedundancy(Ipv6Stack& stack, HomeAgent& ha, UdpDemux& udp,
+                           IfaceId home_iface, Address identity,
+                           HaRedundancyConfig config)
+    : stack_(&stack), ha_(&ha), home_iface_(home_iface),
+      identity_(identity), config_(config),
+      heartbeat_timer_(stack.scheduler(), [this] {
+        send_heartbeat();
+        heartbeat_timer_.arm(config_.heartbeat_interval);
+      }) {
+  udp.bind(config.port,
+           [this](const UdpDatagram& u, const ParsedDatagram& d,
+                  IfaceId iface) { on_message(u, d, iface); });
+  ha.set_binding_change_callback(
+      [this](const BindingCache::Entry& e, bool deleted) {
+        send_replica(e, deleted);
+      });
+  stack.join_local_group(home_iface, ha_sync_group());
+  heartbeat_timer_.arm(Time::ms(10));
+}
+
+void HaRedundancy::add_peer(const Address& identity,
+                            std::vector<Address> addresses_to_assume) {
+  auto peer = std::make_unique<Peer>();
+  peer->identity = identity;
+  peer->addresses = std::move(addresses_to_assume);
+  Address id = identity;
+  peer->liveness = std::make_unique<Timer>(
+      stack_->scheduler(), [this, id] {
+        auto it = peers_.find(id);
+        if (it != peers_.end()) take_over(*it->second);
+      });
+  peer->liveness->arm(config_.heartbeat_interval * config_.failure_threshold);
+  peers_[identity] = std::move(peer);
+}
+
+bool HaRedundancy::has_taken_over(const Address& peer_identity) const {
+  auto it = peers_.find(peer_identity);
+  return it != peers_.end() && it->second->taken_over;
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+
+void HaRedundancy::transmit(Bytes payload) {
+  if (!stack_->has_global_address(home_iface_)) return;
+  DatagramSpec spec;
+  spec.src = stack_->global_address(home_iface_);
+  spec.dst = ha_sync_group();
+  spec.hop_limit = 1;
+  spec.protocol = proto::kUdp;
+  UdpDatagram udp;
+  udp.src_port = config_.port;
+  udp.dst_port = config_.port;
+  udp.payload = std::move(payload);
+  spec.payload = udp.serialize(spec.src, spec.dst);
+  stack_->network().counters().add("hasync/tx-bytes",
+                                   Ipv6Header::kSize + spec.payload.size());
+  stack_->send_on_iface(home_iface_, spec);
+}
+
+void HaRedundancy::send_heartbeat() {
+  BufferWriter w(17);
+  w.u8(kHeartbeat);
+  identity_.write(w);
+  transmit(std::move(w).take());
+  count("hasync/tx/heartbeat");
+}
+
+void HaRedundancy::send_replica(const BindingCache::Entry& entry,
+                                bool deleted) {
+  BufferWriter w(64);
+  w.u8(deleted ? kDelete : kReplica);
+  identity_.write(w);
+  entry.home.write(w);
+  if (!deleted) {
+    entry.care_of.write(w);
+    w.u16(entry.sequence);
+    w.u32(entry.lifetime_timer
+              ? static_cast<std::uint32_t>(
+                    entry.lifetime_timer->remaining().to_seconds())
+              : 0);
+    if (entry.groups.size() > 255) {
+      throw LogicError("too many groups in binding replica");
+    }
+    w.u8(static_cast<std::uint8_t>(entry.groups.size()));
+    for (const Address& g : entry.groups) g.write(w);
+  }
+  transmit(std::move(w).take());
+  count(deleted ? "hasync/tx/delete" : "hasync/tx/replica");
+}
+
+void HaRedundancy::on_message(const UdpDatagram& udp, const ParsedDatagram& d,
+                              IfaceId iface) {
+  if (iface != home_iface_) return;
+  (void)d;
+  try {
+    BufferReader r(udp.payload);
+    std::uint8_t type = r.u8();
+    Address identity = Address::read(r);
+    if (identity == identity_) return;  // our own message
+    switch (type) {
+      case kHeartbeat:
+        r.expect_end("ha-sync heartbeat");
+        on_heartbeat(identity);
+        break;
+      case kReplica: {
+        Replica rep;
+        rep.primary = identity;
+        rep.home = Address::read(r);
+        rep.care_of = Address::read(r);
+        rep.sequence = r.u16();
+        rep.lifetime_s = r.u32();
+        std::uint8_t n = r.u8();
+        for (std::uint8_t i = 0; i < n; ++i) {
+          rep.groups.push_back(Address::read(r));
+        }
+        r.expect_end("ha-sync replica");
+        on_replica(std::move(rep));
+        break;
+      }
+      case kDelete: {
+        Address home = Address::read(r);
+        r.expect_end("ha-sync delete");
+        on_delete(identity, home);
+        break;
+      }
+      default:
+        count("hasync/rx-drop/unknown-type");
+    }
+  } catch (const ParseError&) {
+    count("hasync/rx-drop/parse-error");
+  }
+}
+
+void HaRedundancy::on_heartbeat(const Address& identity) {
+  auto it = peers_.find(identity);
+  if (it == peers_.end()) return;
+  Peer& peer = *it->second;
+  if (peer.taken_over) fail_back(peer);
+  peer.liveness->arm(config_.heartbeat_interval * config_.failure_threshold);
+}
+
+void HaRedundancy::on_replica(Replica replica) {
+  count("hasync/rx/replica");
+  auto key = std::make_pair(replica.primary, replica.home);
+  bool active = has_taken_over(replica.primary);
+  replicas_[key] = replica;
+  if (active) {
+    // We are currently serving for this peer: apply the update live.
+    ha_->adopt_binding(replica.home, replica.care_of, replica.sequence,
+                       Time::sec(replica.lifetime_s), replica.groups);
+  }
+}
+
+void HaRedundancy::on_delete(const Address& primary, const Address& home) {
+  count("hasync/rx/delete");
+  replicas_.erase({primary, home});
+  if (has_taken_over(primary)) ha_->drop_binding(home);
+}
+
+// ---------------------------------------------------------------------------
+// Failover
+
+void HaRedundancy::take_over(Peer& peer) {
+  if (peer.taken_over) return;
+  peer.taken_over = true;
+  ++takeovers_;
+  count("hasync/takeover");
+  // Assume the dead agent's addresses so routed traffic (Binding Updates,
+  // reverse tunnels, intercepted packets) resolves to us.
+  for (const Address& a : peer.addresses) {
+    for (const auto& iface : stack_->node().interfaces()) {
+      if (!iface->attached()) continue;
+      LinkId link = iface->link()->id();
+      if (stack_->plan().has_prefix(link) &&
+          stack_->plan().prefix_of(link).contains(a)) {
+        stack_->add_address(iface->id(), a);
+      }
+    }
+  }
+  // Adopt every replicated binding of that peer.
+  for (const auto& [key, rep] : replicas_) {
+    if (!(key.first == peer.identity)) continue;
+    ha_->adopt_binding(rep.home, rep.care_of, rep.sequence,
+                       Time::sec(rep.lifetime_s), rep.groups);
+  }
+}
+
+void HaRedundancy::fail_back(Peer& peer) {
+  peer.taken_over = false;
+  count("hasync/failback");
+  for (const Address& a : peer.addresses) {
+    for (const auto& iface : stack_->node().interfaces()) {
+      stack_->remove_address(iface->id(), a);
+    }
+  }
+  for (const auto& [key, rep] : replicas_) {
+    if (key.first == peer.identity) ha_->drop_binding(rep.home);
+  }
+}
+
+void HaRedundancy::count(const std::string& name) {
+  stack_->network().counters().add(name);
+}
+
+}  // namespace mip6

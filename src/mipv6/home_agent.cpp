@@ -1,0 +1,320 @@
+#include "mipv6/home_agent.hpp"
+
+#include <algorithm>
+
+#include "ipv6/icmpv6.hpp"
+#include "ipv6/tunnel.hpp"
+#include "mld/messages.hpp"
+
+namespace mip6 {
+
+HomeAgent::HomeAgent(Ipv6Stack& stack, Mipv6Config config,
+                     MembershipBackend backend)
+    : stack_(&stack), config_(config), backend_(std::move(backend)),
+      cache_(stack.scheduler()) {
+  stack.set_option_handler(
+      opt::kBindingUpdate,
+      [this](const DestOption& o, const ParsedDatagram& d, IfaceId) {
+        try {
+          on_binding_update(BindingUpdateOption::decode(o), d);
+        } catch (const ParseError&) {
+          count("ha/rx-drop/bad-bu");
+        }
+      });
+  stack.set_intercept_handler(
+      [this](const ParsedDatagram& d, const Packet& pkt) {
+        on_intercepted(d, pkt);
+      });
+  stack.set_proto_handler(
+      proto::kIpv6,
+      [this](const ParsedDatagram& d, const Packet&, IfaceId iface) {
+        on_tunneled(d, iface);
+      });
+  stack.add_group_delivery_hook(
+      [this](const ParsedDatagram& d, const Packet& pkt, IfaceId) {
+        on_group_delivery(d, pkt);
+      });
+  cache_.set_expiry_callback(
+      [this](const BindingCache::Entry& e) { on_binding_expired(e); });
+}
+
+std::vector<Address> HomeAgent::represented_groups() const {
+  std::vector<Address> out;
+  for (const auto& [g, refs] : group_refs_) out.push_back(g);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Binding management
+
+void HomeAgent::on_binding_update(const BindingUpdateOption& bu,
+                                  const ParsedDatagram& d) {
+  if (!bu.home_registration) return;
+  // Draft-10: a BU from a roaming MN arrives with the care-of address as
+  // IPv6 source and the home address in a Home Address destination option;
+  // a deregistration sent from home carries the home address as plain
+  // source. effective_src covers both.
+  const Address home = d.effective_src;
+  const Address care_of = d.hdr.src;
+  count("ha/rx/bu");
+
+  if (bu.lifetime_s == 0 || care_of == home) {
+    // Deregistration (mobile node returned home).
+    BindingCache::Entry* old = cache_.find(home);
+    if (old != nullptr && on_binding_change_) on_binding_change_(*old, true);
+    set_binding_groups(home, {});
+    cache_.remove(home);
+    stack_->remove_intercept(home);
+    if (bu.ack_requested) send_binding_ack(home, care_of, bu.sequence);
+    return;
+  }
+
+  cache_.update(home, care_of, bu.sequence, Time::sec(bu.lifetime_s));
+  stack_->add_intercept(home);
+
+  if (const BuSubOption* sub =
+          bu.find_sub_option(subopt::kMulticastGroupList)) {
+    try {
+      set_binding_groups(home,
+                         MulticastGroupListSubOption::decode(*sub).groups);
+      count("ha/rx/bu-group-list");
+    } catch (const ParseError&) {
+      count("ha/rx-drop/bad-group-list");
+    }
+  }
+  if (bu.ack_requested) send_binding_ack(home, care_of, bu.sequence);
+  if (on_binding_change_) {
+    if (const BindingCache::Entry* e = cache_.find(home)) {
+      on_binding_change_(*e, false);
+    }
+  }
+}
+
+void HomeAgent::adopt_binding(const Address& home, const Address& care_of,
+                              std::uint16_t sequence, Time lifetime,
+                              std::vector<Address> groups) {
+  cache_.update(home, care_of, sequence, lifetime);
+  stack_->add_intercept(home);
+  set_binding_groups(home, std::move(groups));
+  count("ha/binding-adopted");
+}
+
+void HomeAgent::drop_binding(const Address& home) {
+  if (cache_.find(home) == nullptr) return;
+  set_binding_groups(home, {});
+  cache_.remove(home);
+  stack_->remove_intercept(home);
+  count("ha/binding-dropped");
+}
+
+void HomeAgent::on_binding_expired(const BindingCache::Entry& expired) {
+  count("ha/binding-expired");
+  const Address& home = expired.home;
+  stack_->remove_intercept(home);
+  // Give up multicast representation for this MN: both the BU-registered
+  // groups and any tunnel-MLD listener state.
+  for (const Address& g : expired.groups) unref_group(g);
+  for (auto it = tunnel_memberships_.begin();
+       it != tunnel_memberships_.end();) {
+    if (it->first.first == home) {
+      unref_group(it->first.second);
+      it = tunnel_memberships_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void HomeAgent::set_binding_groups(const Address& home,
+                                   std::vector<Address> groups) {
+  BindingCache::Entry* e = cache_.find(home);
+  std::vector<Address> old;
+  if (e != nullptr) old = e->groups;
+  for (const auto& g : groups) {
+    if (std::find(old.begin(), old.end(), g) == old.end()) ref_group(g);
+  }
+  for (const auto& g : old) {
+    if (std::find(groups.begin(), groups.end(), g) == groups.end()) {
+      unref_group(g);
+    }
+  }
+  if (e != nullptr) e->groups = std::move(groups);
+}
+
+// ---------------------------------------------------------------------------
+// Group membership on behalf of mobile nodes
+
+void HomeAgent::ref_group(const Address& group) {
+  if (++group_refs_[group] == 1 && backend_.join) backend_.join(group);
+}
+
+void HomeAgent::unref_group(const Address& group) {
+  auto it = group_refs_.find(group);
+  if (it == group_refs_.end()) return;
+  if (--it->second <= 0) {
+    group_refs_.erase(it);
+    if (backend_.leave) backend_.leave(group);
+  }
+}
+
+void HomeAgent::register_tunnel_membership(const Address& home,
+                                           const Address& group) {
+  auto key = std::make_pair(home, group);
+  auto it = tunnel_memberships_.find(key);
+  if (it == tunnel_memberships_.end()) {
+    auto timer = std::make_unique<Timer>(
+        stack_->scheduler(),
+        [this, home, group] { expire_tunnel_membership(home, group); });
+    timer->arm(tunnel_membership_lifetime_);
+    tunnel_memberships_.emplace(key, std::move(timer));
+    ref_group(group);
+    count("ha/tunnel-membership-added");
+  } else {
+    it->second->arm(tunnel_membership_lifetime_);
+  }
+}
+
+void HomeAgent::expire_tunnel_membership(const Address& home,
+                                         const Address& group) {
+  if (tunnel_memberships_.erase({home, group}) > 0) {
+    unref_group(group);
+    count("ha/tunnel-membership-expired");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Data plane
+
+void HomeAgent::on_intercepted(const ParsedDatagram& d, const Packet& pkt) {
+  const BindingCache::Entry* e = cache_.find(d.hdr.dst);
+  if (e == nullptr) {
+    count("ha/drop/intercept-without-binding");
+    return;
+  }
+  count("ha/encap-unicast");
+  tunnel_to(e->home, e->care_of, pkt.view());
+}
+
+void HomeAgent::on_group_delivery(const ParsedDatagram& d, const Packet& pkt) {
+  const Address& group = d.hdr.dst;
+  if (!group_refs_.contains(group)) return;
+  for (const BindingCache::Entry* e : cache_.entries()) {
+    bool in_bu_list =
+        std::find(e->groups.begin(), e->groups.end(), group) != e->groups.end();
+    bool in_tunnel_mld = tunnel_memberships_.contains({e->home, group});
+    if (!in_bu_list && !in_tunnel_mld) continue;
+    count("ha/encap-multicast");
+    tunnel_to(e->home, e->care_of, pkt.view());
+  }
+}
+
+void HomeAgent::on_tunneled(const ParsedDatagram& outer, IfaceId iface) {
+  (void)iface;
+  Bytes inner;
+  try {
+    inner = decapsulate(outer);
+  } catch (const ParseError&) {
+    count("ha/rx-drop/bad-tunnel");
+    return;
+  }
+  count("ha/decap");
+  ParsedDatagram in = parse_datagram(inner);
+
+  // MLD Report through the tunnel (tunnel-as-interface variant): the MN
+  // maintains its home-link group membership via the tunnel.
+  if (in.protocol == proto::kIcmpv6 && in.hdr.dst.is_multicast()) {
+    try {
+      Icmpv6Message icmp =
+          Icmpv6Message::parse(in.payload, in.hdr.src, in.hdr.dst);
+      if (icmp.type == icmpv6::kMldReport) {
+        MldMessage rep = MldMessage::from_icmpv6(icmp);
+        register_tunnel_membership(in.hdr.src, rep.group);
+        count("ha/rx/tunneled-mld-report");
+        // Also place the Report on the home link so an MLD querier other
+        // than ourselves learns the membership.
+        if (auto hi = iface_for_home(in.hdr.src)) {
+          stack_->send_raw_on_iface(*hi, inner);
+        }
+        return;
+      }
+    } catch (const ParseError&) {
+      count("ha/rx-drop/bad-tunneled-mld");
+      return;
+    }
+  }
+
+  if (in.hdr.dst.is_multicast()) {
+    // Reverse-tunneled multicast from a mobile sender: re-originate on the
+    // home link (paper Figure 4) and run it through our own forwarding
+    // plane so the source-rooted tree rooted at the home link is used.
+    count("ha/decap-multicast");
+    auto hi = iface_for_home(in.hdr.src);
+    if (!hi) {
+      count("ha/drop/unknown-home-link");
+      return;
+    }
+    stack_->send_raw_on_iface(*hi, inner);
+    stack_->receive_as_if(*hi, std::move(inner));
+    return;
+  }
+
+  // Reverse-tunneled unicast: forward like a freshly received datagram.
+  if (auto hi = iface_for_home(in.hdr.src)) {
+    stack_->receive_as_if(*hi, std::move(inner));
+  }
+}
+
+std::optional<IfaceId> HomeAgent::iface_for_home(const Address& home) const {
+  if (auto link = stack_->plan().link_of(home)) {
+    for (const auto& iface : stack_->node().interfaces()) {
+      if (iface->attached() && iface->link()->id() == *link) {
+        return iface->id();
+      }
+    }
+  }
+  // Fallback: any interface with a global address.
+  for (const auto& iface : stack_->node().interfaces()) {
+    if (stack_->has_global_address(iface->id())) return iface->id();
+  }
+  return std::nullopt;
+}
+
+void HomeAgent::tunnel_to(const Address& home, const Address& care_of,
+                          BytesView inner) {
+  auto hi = iface_for_home(home);
+  if (!hi || !stack_->has_global_address(*hi)) {
+    count("ha/drop/no-tunnel-source");
+    return;
+  }
+  Address src = stack_->global_address(*hi);
+  Bytes outer = encapsulate(inner, src, care_of);
+  stack_->network().counters().add("ha/tunnel-bytes", outer.size());
+  stack_->send_raw(std::move(outer));
+}
+
+void HomeAgent::send_binding_ack(const Address& home, const Address& care_of,
+                                 std::uint16_t sequence) {
+  BindingAckOption ack;
+  ack.status = 0;
+  ack.sequence = sequence;
+  ack.lifetime_s =
+      static_cast<std::uint32_t>(config_.binding_lifetime.to_seconds());
+  ack.refresh_s =
+      static_cast<std::uint32_t>(config_.bu_refresh_interval.to_seconds());
+  DatagramSpec spec;
+  auto hi = iface_for_home(home);
+  if (!hi || !stack_->has_global_address(*hi)) return;
+  spec.src = stack_->global_address(*hi);
+  spec.dst = care_of;
+  spec.dest_options.push_back(ack.encode());
+  spec.protocol = proto::kNoNext;
+  (void)home;
+  count("ha/tx/back");
+  stack_->send(spec);
+}
+
+void HomeAgent::count(const std::string& name, std::uint64_t delta) {
+  stack_->network().counters().add(name, delta);
+}
+
+}  // namespace mip6

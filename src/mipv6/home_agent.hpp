@@ -1,0 +1,110 @@
+// Mobile IPv6 home agent with the paper's multicast extensions.
+//
+// Core draft-10 duties: process Binding Updates (home registration), defend
+// the mobile node's home address on the home link (proxy intercept), tunnel
+// intercepted traffic to the care-of address, answer with Binding
+// Acknowledgements, expire bindings.
+//
+// Paper extensions, both Section 4.3.2 variants:
+//  * Multicast Group List Sub-Option (Figure 5): the BU carries the MN's
+//    subscribed groups; the HA becomes a member on the MN's behalf and
+//    relays every matching multicast datagram into the tunnel.
+//  * Tunnel-as-interface (HA is a PIM router): the MN sends ordinary MLD
+//    Reports *through the tunnel*; the HA keeps per-(MN, group) listener
+//    state with the Multicast Listener Interval lifetime, exactly like an
+//    MLD router would on a real interface.
+// How the HA "becomes a member" is delegated to a MembershipBackend: on a
+// PIM router it pins the group via PimDmRouter::add_local_receiver; on a
+// plain host-like HA it joins via its MLD host side.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "ipv6/icmpv6_dispatch.hpp"
+#include "ipv6/stack.hpp"
+#include "mipv6/binding_cache.hpp"
+#include "mipv6/config.hpp"
+#include "mipv6/messages.hpp"
+
+namespace mip6 {
+
+class HomeAgent {
+ public:
+  struct MembershipBackend {
+    std::function<void(const Address& group)> join;
+    std::function<void(const Address& group)> leave;
+  };
+
+  HomeAgent(Ipv6Stack& stack, Mipv6Config config, MembershipBackend backend);
+
+  BindingCache& cache() { return cache_; }
+  const BindingCache& cache() const { return cache_; }
+
+  /// Lifetime of tunnel-MLD listener state (defaults to the MLD Multicast
+  /// Listener Interval the paper quotes, 260 s).
+  void set_tunnel_membership_lifetime(Time t) { tunnel_membership_lifetime_ = t; }
+
+  /// Groups currently represented on behalf of any mobile node.
+  std::vector<Address> represented_groups() const;
+
+  /// Invoked whenever a binding is created/refreshed (deleted=false) or
+  /// deregistered (deleted=true) by Binding Update processing. Redundancy
+  /// peers subscribe to replicate state.
+  using BindingChangeCallback =
+      std::function<void(const BindingCache::Entry&, bool deleted)>;
+  void set_binding_change_callback(BindingChangeCallback cb) {
+    on_binding_change_ = std::move(cb);
+  }
+
+  /// Installs a binding received from a redundancy peer (same effects as a
+  /// locally processed Binding Update: cache entry, intercept, group
+  /// membership on behalf of the mobile node).
+  void adopt_binding(const Address& home, const Address& care_of,
+                     std::uint16_t sequence, Time lifetime,
+                     std::vector<Address> groups);
+  /// Drops a binding and everything attached to it (failback cleanup).
+  void drop_binding(const Address& home);
+  bool represents(const Address& group) const {
+    return group_refs_.contains(group);
+  }
+
+ private:
+  void on_binding_update(const BindingUpdateOption& bu,
+                         const ParsedDatagram& d);
+  void on_intercepted(const ParsedDatagram& d, const Packet& pkt);
+  void on_tunneled(const ParsedDatagram& outer, IfaceId iface);
+  void on_group_delivery(const ParsedDatagram& d, const Packet& pkt);
+  void on_binding_expired(const BindingCache::Entry& expired);
+
+  void set_binding_groups(const Address& home, std::vector<Address> groups);
+  void register_tunnel_membership(const Address& home, const Address& group);
+  void expire_tunnel_membership(const Address& home, const Address& group);
+  void ref_group(const Address& group);
+  void unref_group(const Address& group);
+  void tunnel_to(const Address& home, const Address& care_of,
+                 BytesView inner);
+  void send_binding_ack(const Address& home, const Address& care_of,
+                        std::uint16_t sequence);
+  /// The router interface on the link owning `home`'s prefix (a router can
+  /// be home agent on several links at once, e.g. Router D for Links 4 and
+  /// 5 in the paper's topology). Falls back to any interface with a global
+  /// address.
+  std::optional<IfaceId> iface_for_home(const Address& home) const;
+  void count(const std::string& name, std::uint64_t delta = 1);
+
+  Ipv6Stack* stack_;
+  Mipv6Config config_;
+  MembershipBackend backend_;
+  BindingCache cache_;
+  Time tunnel_membership_lifetime_ = Time::sec(260);
+  // (home, group) -> listener lifetime timer (tunnel-as-interface variant).
+  std::map<std::pair<Address, Address>, std::unique_ptr<Timer>>
+      tunnel_memberships_;
+  std::map<Address, int> group_refs_;
+  BindingChangeCallback on_binding_change_;
+};
+
+}  // namespace mip6

@@ -1,0 +1,130 @@
+#include "mipv6/messages.hpp"
+
+namespace mip6 {
+namespace {
+
+constexpr std::uint8_t kFlagAck = 0x80;
+constexpr std::uint8_t kFlagHome = 0x40;
+
+}  // namespace
+
+DestOption BindingUpdateOption::encode() const {
+  BufferWriter w(16);
+  std::uint8_t flags = 0;
+  if (ack_requested) flags |= kFlagAck;
+  if (home_registration) flags |= kFlagHome;
+  w.u8(flags);
+  w.u8(0);  // reserved / prefix length (unused here)
+  w.u16(sequence);
+  w.u32(lifetime_s);
+  for (const auto& s : sub_options) {
+    if (s.data.size() > 255) throw LogicError("BU sub-option too large");
+    w.u8(s.type);
+    w.u8(static_cast<std::uint8_t>(s.data.size()));
+    w.raw(s.data);
+  }
+  return DestOption{opt::kBindingUpdate, std::move(w).take()};
+}
+
+BindingUpdateOption BindingUpdateOption::decode(const DestOption& opt) {
+  if (opt.type != opt::kBindingUpdate) {
+    throw ParseError("not a Binding Update option");
+  }
+  BufferReader r(opt.data);
+  BindingUpdateOption bu;
+  std::uint8_t flags = r.u8();
+  bu.ack_requested = (flags & kFlagAck) != 0;
+  bu.home_registration = (flags & kFlagHome) != 0;
+  r.skip(1);
+  bu.sequence = r.u16();
+  bu.lifetime_s = r.u32();
+  while (!r.empty()) {
+    BuSubOption s;
+    s.type = r.u8();
+    s.data = r.raw(r.u8());
+    bu.sub_options.push_back(std::move(s));
+  }
+  return bu;
+}
+
+const BuSubOption* BindingUpdateOption::find_sub_option(
+    std::uint8_t type) const {
+  for (const auto& s : sub_options) {
+    if (s.type == type) return &s;
+  }
+  return nullptr;
+}
+
+DestOption BindingAckOption::encode() const {
+  BufferWriter w(11);
+  w.u8(status);
+  w.u16(sequence);
+  w.u32(lifetime_s);
+  w.u32(refresh_s);
+  return DestOption{opt::kBindingAck, std::move(w).take()};
+}
+
+BindingAckOption BindingAckOption::decode(const DestOption& opt) {
+  if (opt.type != opt::kBindingAck) {
+    throw ParseError("not a Binding Acknowledgement option");
+  }
+  BufferReader r(opt.data);
+  BindingAckOption ba;
+  ba.status = r.u8();
+  ba.sequence = r.u16();
+  ba.lifetime_s = r.u32();
+  ba.refresh_s = r.u32();
+  r.expect_end("Binding Acknowledgement option");
+  return ba;
+}
+
+DestOption HomeAddressOption::encode() const {
+  BufferWriter w(Address::kBytes);
+  home_address.write(w);
+  return DestOption{opt::kHomeAddress, std::move(w).take()};
+}
+
+HomeAddressOption HomeAddressOption::decode(const DestOption& opt) {
+  if (opt.type != opt::kHomeAddress) {
+    throw ParseError("not a Home Address option");
+  }
+  BufferReader r(opt.data);
+  HomeAddressOption h;
+  h.home_address = Address::read(r);
+  r.expect_end("Home Address option");
+  return h;
+}
+
+BuSubOption MulticastGroupListSubOption::encode() const {
+  // Figure 5 of the paper: Sub-Option Len must be 16*N, which bounds N at
+  // 15 groups per sub-option (len is a single octet).
+  if (groups.size() > 15) {
+    throw LogicError("Multicast Group List limited to 15 groups");
+  }
+  BufferWriter w(groups.size() * Address::kBytes);
+  for (const auto& g : groups) g.write(w);
+  return BuSubOption{subopt::kMulticastGroupList, std::move(w).take()};
+}
+
+MulticastGroupListSubOption MulticastGroupListSubOption::decode(
+    const BuSubOption& sub) {
+  if (sub.type != subopt::kMulticastGroupList) {
+    throw ParseError("not a Multicast Group List sub-option");
+  }
+  if (sub.data.size() % Address::kBytes != 0) {
+    throw ParseError("Multicast Group List length not a multiple of 16");
+  }
+  BufferReader r(sub.data);
+  MulticastGroupListSubOption m;
+  while (!r.empty()) {
+    Address g = Address::read(r);
+    if (!g.is_multicast()) {
+      throw ParseError("Multicast Group List contains unicast address " +
+                       g.str());
+    }
+    m.groups.push_back(g);
+  }
+  return m;
+}
+
+}  // namespace mip6

@@ -1,0 +1,121 @@
+// Mobile IPv6 mobile-node engine.
+//
+// Owns the mobility lifecycle on one interface: link change -> movement
+// detection delay -> care-of address via SLAAC -> Binding Update to the home
+// agent (retransmitted until acknowledged) -> periodic refresh. The home
+// address stays pinned on the interface (packets tunneled from the HA are
+// addressed to it after decapsulation).
+//
+// The multicast delivery strategies of the paper are glued on top through
+// three mechanisms exposed here: the BU's optional Multicast Group List
+// sub-option, reverse tunneling (tunnel_to_ha), and the attach callback that
+// strategies use to re-join groups locally / re-report through the tunnel.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "ipv6/icmpv6_dispatch.hpp"
+#include "ipv6/stack.hpp"
+#include "mipv6/config.hpp"
+#include "mipv6/messages.hpp"
+#include "sim/timer.hpp"
+
+namespace mip6 {
+
+class MobileNode {
+ public:
+  MobileNode(Ipv6Stack& stack, IfaceId iface, Address home_address,
+             Address home_agent, Mipv6Config config);
+
+  // --- Identity / state -------------------------------------------------
+  const Address& home_address() const { return home_address_; }
+  const Address& home_agent() const { return home_agent_; }
+  IfaceId iface() const { return iface_; }
+  /// Care-of address; unspecified while at home or before configuration.
+  const Address& care_of() const { return care_of_; }
+  bool away_from_home() const { return !care_of_.is_unspecified(); }
+  /// True once the current binding was acknowledged by the home agent.
+  bool binding_acked() const { return binding_acked_; }
+  /// Source address current outgoing datagrams carry: the care-of address
+  /// once formed; until then the previous (stale) one — exactly the window
+  /// in which the paper's spurious-assert problem occurs.
+  Address current_source() const;
+
+  // --- Group subscriptions ----------------------------------------------
+  /// Application-level subscription: installs the local receive filter.
+  /// What *signaling* results (local MLD, group list in BUs, tunneled MLD
+  /// reports) is the delivery strategy's choice.
+  void subscribe(const Address& group);
+  void unsubscribe(const Address& group);
+  const std::set<Address>& subscriptions() const { return subscriptions_; }
+
+  /// Include the Multicast Group List sub-option (paper Figure 5) in BUs.
+  void set_group_list_in_bu(bool on) { group_list_in_bu_ = on; }
+
+  // --- Mechanisms used by the strategies ---------------------------------
+  /// (Re)sends a Binding Update now.
+  void send_binding_update();
+  /// Sends a Binding Update carrying an explicit Multicast Group List with
+  /// exactly `groups` (an empty list deregisters all groups at the HA).
+  void send_binding_update_with_group_list(std::vector<Address> groups);
+  /// Encapsulates `inner` to the home agent (reverse tunnel). Uses the
+  /// current source as outer source. Returns false if unroutable.
+  bool tunnel_to_ha(Bytes inner);
+  /// Sends an MLD Report for `group` through the tunnel with the home
+  /// address as inner source (tunnel-as-interface variant). `periodic`
+  /// re-sends every `interval` to keep the HA's listener state alive.
+  void start_tunneled_reports(const Address& group, Time interval);
+  void stop_tunneled_reports(const Address& group);
+
+  /// Invoked after each movement once the care-of address is configured and
+  /// the Binding Update has been sent.
+  void set_on_attached(std::function<void()> cb) { on_attached_ = std::move(cb); }
+  /// Invoked immediately on attach (before movement detection completes).
+  void set_on_link_change(std::function<void()> cb) {
+    on_link_change_ = std::move(cb);
+  }
+
+  /// Simulation-side mobility command: detach and re-attach to `target`.
+  void move_to(Link& target);
+
+  Ipv6Stack& stack() const { return *stack_; }
+
+ private:
+  void on_link_changed(Link* link);
+  void complete_attachment();
+  void on_binding_ack(const BindingAckOption& ack);
+  void send_bu_impl(std::optional<std::vector<Address>> groups);
+  void send_tunneled_report(const Address& group);
+  void count(const std::string& name, std::uint64_t delta = 1);
+
+  Ipv6Stack* stack_;
+  IfaceId iface_;
+  Address home_address_;
+  Address home_agent_;
+  Mipv6Config config_;
+
+  Address care_of_;
+  std::uint16_t bu_sequence_ = 0;
+  bool binding_acked_ = false;
+  int bu_retransmits_left_ = 0;
+  std::unique_ptr<Timer> movement_timer_;
+  std::unique_ptr<Timer> bu_refresh_timer_;
+  std::unique_ptr<Timer> bu_retransmit_timer_;
+
+  bool group_list_in_bu_ = false;
+  std::set<Address> subscriptions_;
+  struct TunneledReportState {
+    Time interval;
+    std::unique_ptr<Timer> timer;
+  };
+  std::map<Address, TunneledReportState> tunneled_reports_;
+
+  std::function<void()> on_attached_;
+  std::function<void()> on_link_change_;
+};
+
+}  // namespace mip6

@@ -1,0 +1,171 @@
+#include "mld/host.hpp"
+
+namespace mip6 {
+
+MldHost::MldHost(Ipv6Stack& stack, Icmpv6Dispatcher& dispatch,
+                 MldConfig config, MldHostPolicy policy)
+    : stack_(&stack), config_(config), policy_(policy) {
+  auto handler = [this](const Icmpv6Message& msg, const ParsedDatagram& d,
+                        IfaceId iface) {
+    try {
+      on_message(MldMessage::from_icmpv6(msg), d, iface);
+    } catch (const ParseError&) {
+      count("mld/rx-drop/parse-error");
+    }
+  };
+  dispatch.subscribe(icmpv6::kMldQuery, handler);
+  dispatch.subscribe(icmpv6::kMldReport, handler);
+}
+
+void MldHost::join(IfaceId iface, const Address& group) {
+  if (!group.is_multicast()) {
+    throw LogicError("MLD join of non-multicast address " + group.str());
+  }
+  auto key = std::make_pair(iface, group);
+  auto [it, fresh] = groups_.try_emplace(key);
+  stack_->join_local_group(iface, group);
+  if (!fresh) return;
+  it->second.response_timer = std::make_unique<Timer>(
+      stack_->scheduler(),
+      [this, iface, group] { send_report(iface, group); });
+  if (policy_.unsolicited_reports) start_unsolicited(iface, group);
+}
+
+void MldHost::leave(IfaceId iface, const Address& group) {
+  auto key = std::make_pair(iface, group);
+  auto it = groups_.find(key);
+  if (it == groups_.end()) return;
+  bool last_reporter = it->second.we_were_last_reporter;
+  groups_.erase(it);
+  stack_->leave_local_group(iface, group);
+  if (policy_.send_done_on_leave && last_reporter) {
+    send_done(iface, group);
+  }
+}
+
+bool MldHost::joined(IfaceId iface, const Address& group) const {
+  return groups_.contains({iface, group});
+}
+
+void MldHost::announce_all(IfaceId iface) {
+  for (auto& [key, st] : groups_) {
+    if (key.first != iface) continue;
+    if (policy_.unsolicited_reports) {
+      start_unsolicited(iface, key.second);
+    }
+  }
+}
+
+void MldHost::cancel_pending(IfaceId iface) {
+  for (auto& [key, st] : groups_) {
+    if (key.first != iface) continue;
+    st.response_timer->cancel();
+    st.pending_unsolicited = 0;
+  }
+}
+
+void MldHost::reset_link_state(IfaceId iface) {
+  for (auto& [key, st] : groups_) {
+    if (key.first != iface) continue;
+    st.response_timer->cancel();
+    st.pending_unsolicited = 0;
+    st.we_were_last_reporter = false;
+  }
+}
+
+void MldHost::start_unsolicited(IfaceId iface, const Address& group) {
+  auto it = groups_.find({iface, group});
+  if (it == groups_.end()) return;
+  it->second.pending_unsolicited = config_.unsolicited_report_count;
+  // First report goes out immediately; repeats are spaced by the
+  // Unsolicited Report Interval via the response timer.
+  send_report(iface, group);
+}
+
+void MldHost::on_message(const MldMessage& msg, const ParsedDatagram& d,
+                         IfaceId iface) {
+  if (msg.type == MldType::kQuery) {
+    Time max_resp = Time::ms(msg.max_response_delay_ms);
+    for (auto& [key, st] : groups_) {
+      if (key.first != iface) continue;
+      if (!msg.is_general_query() && !(msg.group == key.second)) continue;
+      // RFC 2710 §4: random delay in [0, Maximum Response Delay]; re-arm
+      // only if the new value is earlier than a pending one.
+      Time delay = Time::ns(static_cast<std::int64_t>(
+          stack_->network().rng().uniform() *
+          static_cast<double>(max_resp.nanos())));
+      st.response_timer->arm_to_earlier(delay);
+    }
+    return;
+  }
+  if (msg.type == MldType::kReport) {
+    // Suppression: someone else reported this group on this link.
+    if (stack_->has_link_local(iface) &&
+        d.hdr.src == stack_->link_local_address(iface)) {
+      return;
+    }
+    auto it = groups_.find({iface, msg.group});
+    if (it == groups_.end()) return;
+    if (it->second.response_timer->running()) {
+      it->second.response_timer->cancel();
+      count("mld/report-suppressed");
+    }
+    it->second.we_were_last_reporter = false;
+    it->second.pending_unsolicited = 0;
+  }
+}
+
+void MldHost::send_report(IfaceId iface, const Address& group) {
+  auto it = groups_.find({iface, group});
+  if (it == groups_.end()) return;
+  if (!stack_->has_link_local(iface)) {
+    count("mld/tx-skip/no-address");
+    return;
+  }
+  MldMessage rep;
+  rep.type = MldType::kReport;
+  rep.group = group;
+  DatagramSpec spec;
+  spec.src = stack_->link_local_address(iface);
+  spec.dst = group;  // Reports go to the group itself (RFC 2710 §5)
+  spec.hop_limit = 1;
+  spec.protocol = proto::kIcmpv6;
+  spec.payload = rep.to_icmpv6().serialize(spec.src, spec.dst);
+  stack_->send_on_iface(iface, spec);
+  count("mld/tx/report");
+  stack_->network().counters().add("mld/tx-bytes",
+                                   MldMessage::kDatagramSize);
+  it->second.we_were_last_reporter = true;
+  if (it->second.pending_unsolicited > 0) {
+    --it->second.pending_unsolicited;
+    if (it->second.pending_unsolicited > 0) {
+      it->second.response_timer->arm(config_.unsolicited_report_interval);
+    }
+  }
+}
+
+void MldHost::send_done(IfaceId iface, const Address& group) {
+  if (!stack_->has_link_local(iface)) {
+    count("mld/tx-skip/no-address");
+    return;
+  }
+  MldMessage done;
+  done.type = MldType::kDone;
+  done.group = group;
+  DatagramSpec spec;
+  spec.src = stack_->link_local_address(iface);
+  spec.dst = Address::all_routers();
+  spec.hop_limit = 1;
+  spec.protocol = proto::kIcmpv6;
+  spec.payload = done.to_icmpv6().serialize(spec.src, spec.dst);
+  stack_->send_on_iface(iface, spec);
+  count("mld/tx/done");
+  stack_->network().counters().add("mld/tx-bytes",
+                                   MldMessage::kDatagramSize);
+}
+
+void MldHost::count(const std::string& name) {
+  stack_->network().counters().add(name);
+}
+
+}  // namespace mip6

@@ -1,0 +1,35 @@
+#include "mld/messages.hpp"
+
+namespace mip6 {
+
+Icmpv6Message MldMessage::to_icmpv6() const {
+  BufferWriter w(20);
+  w.u16(max_response_delay_ms);
+  w.u16(0);  // reserved
+  group.write(w);
+  Icmpv6Message m;
+  m.type = static_cast<std::uint8_t>(type);
+  m.code = 0;
+  m.body = std::move(w).take();
+  return m;
+}
+
+MldMessage MldMessage::from_icmpv6(const Icmpv6Message& msg) {
+  if (msg.type != icmpv6::kMldQuery && msg.type != icmpv6::kMldReport &&
+      msg.type != icmpv6::kMldDone) {
+    throw ParseError("not an MLD message type: " + std::to_string(msg.type));
+  }
+  BufferReader r(msg.body);
+  MldMessage m;
+  m.type = static_cast<MldType>(msg.type);
+  m.max_response_delay_ms = r.u16();
+  r.skip(2);  // reserved
+  m.group = Address::read(r);
+  r.expect_end("MLD message");
+  if (m.type != MldType::kQuery && m.group.is_unspecified()) {
+    throw ParseError("MLD report/done without group address");
+  }
+  return m;
+}
+
+}  // namespace mip6

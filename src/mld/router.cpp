@@ -1,0 +1,224 @@
+#include "mld/router.hpp"
+
+#include <algorithm>
+
+namespace mip6 {
+
+MldRouter::MldRouter(Ipv6Stack& stack, Icmpv6Dispatcher& dispatch,
+                     MldConfig config)
+    : stack_(&stack), config_(config) {
+  // Routers must hear Reports addressed to arbitrary group addresses.
+  stack.set_mcast_promiscuous(true);
+  auto handler = [this](const Icmpv6Message& msg, const ParsedDatagram& d,
+                        IfaceId iface) {
+    try {
+      on_message(MldMessage::from_icmpv6(msg), d, iface);
+    } catch (const ParseError&) {
+      count("mld/rx-drop/parse-error");
+    }
+  };
+  dispatch.subscribe(icmpv6::kMldQuery, handler);
+  dispatch.subscribe(icmpv6::kMldReport, handler);
+  dispatch.subscribe(icmpv6::kMldDone, handler);
+}
+
+void MldRouter::enable_iface(IfaceId iface) {
+  auto [it, fresh] = ifaces_.try_emplace(iface);
+  if (!fresh) return;
+  IfaceState& st = it->second;
+  st.iface = iface;
+  st.querier = true;
+  st.startup_queries_left = config_.startup_query_count;
+  st.query_timer = std::make_unique<Timer>(
+      stack_->scheduler(), [this, iface] { send_general_query(iface); });
+  st.other_querier_timer = std::make_unique<Timer>(
+      stack_->scheduler(), [this, iface] {
+        // The other querier vanished: resume querier duty.
+        IfaceState& s = state(iface);
+        s.querier = true;
+        count("mld/querier-elected");
+        send_general_query(iface);
+      });
+  // First startup query goes out immediately.
+  st.query_timer->arm(Time::zero());
+}
+
+bool MldRouter::is_querier(IfaceId iface) const {
+  auto it = ifaces_.find(iface);
+  return it != ifaces_.end() && it->second.querier;
+}
+
+bool MldRouter::has_listeners(IfaceId iface, const Address& group) const {
+  return listeners_.contains({iface, group});
+}
+
+std::vector<Address> MldRouter::groups_on(IfaceId iface) const {
+  std::vector<Address> out;
+  for (const auto& [key, st] : listeners_) {
+    if (key.first == iface) out.push_back(key.second);
+  }
+  return out;
+}
+
+MldRouter::IfaceState& MldRouter::state(IfaceId iface) {
+  auto it = ifaces_.find(iface);
+  if (it == ifaces_.end()) {
+    throw LogicError("MLD not enabled on iface " + std::to_string(iface));
+  }
+  return it->second;
+}
+
+void MldRouter::schedule_next_query(IfaceState& st) {
+  if (st.startup_queries_left > 0) {
+    st.query_timer->arm(config_.startup_query_interval);
+  } else {
+    st.query_timer->arm(effective_query_interval(st.iface));
+  }
+}
+
+Time MldRouter::effective_query_interval(IfaceId iface) const {
+  if (!config_.adaptive_querier) return config_.query_interval;
+  auto it = ifaces_.find(iface);
+  if (it == ifaces_.end()) return config_.query_interval;
+  Time now = stack_->scheduler().now();
+  int recent = static_cast<int>(std::count_if(
+      it->second.churn_events.begin(), it->second.churn_events.end(),
+      [&](Time t) { return now - t <= config_.adaptive_window; }));
+  return recent >= config_.adaptive_churn_threshold
+             ? config_.adaptive_min_interval
+             : config_.query_interval;
+}
+
+void MldRouter::note_churn(IfaceId iface) {
+  if (!config_.adaptive_querier) return;
+  auto it = ifaces_.find(iface);
+  if (it == ifaces_.end()) return;
+  IfaceState& st = it->second;
+  Time now = stack_->scheduler().now();
+  st.churn_events.push_back(now);
+  std::erase_if(st.churn_events, [&](Time t) {
+    return now - t > config_.adaptive_window;
+  });
+  // React immediately: if the accelerated interval is shorter than the
+  // pending general query, pull it forward.
+  if (st.querier) {
+    st.query_timer->arm_to_earlier(effective_query_interval(iface));
+  }
+}
+
+void MldRouter::send_general_query(IfaceId iface) {
+  IfaceState& st = state(iface);
+  if (!st.querier) return;
+  if (st.startup_queries_left > 0) --st.startup_queries_left;
+  send_query(iface, Address(), config_.query_response_interval);
+  schedule_next_query(st);
+}
+
+void MldRouter::send_group_specific_query(IfaceId iface, const Address& group,
+                                          int remaining) {
+  if (remaining <= 0) return;
+  // Only keep querying while the listener entry is still pending deletion.
+  if (!listeners_.contains({iface, group})) return;
+  send_query(iface, group, config_.last_listener_query_interval);
+  stack_->scheduler().schedule_in(
+      config_.last_listener_query_interval,
+      [this, iface, group, remaining] {
+        send_group_specific_query(iface, group, remaining - 1);
+      });
+}
+
+void MldRouter::send_query(IfaceId iface, const Address& group,
+                           Time max_resp) {
+  MldMessage q;
+  q.type = MldType::kQuery;
+  q.max_response_delay_ms =
+      static_cast<std::uint16_t>(max_resp.to_millis());
+  q.group = group;
+  DatagramSpec spec;
+  spec.src = stack_->link_local_address(iface);
+  spec.dst = group.is_unspecified() ? Address::all_nodes() : group;
+  spec.hop_limit = 1;
+  spec.protocol = proto::kIcmpv6;
+  spec.payload = q.to_icmpv6().serialize(spec.src, spec.dst);
+  stack_->send_on_iface(iface, spec);
+  count("mld/tx/query");
+  stack_->network().counters().add("mld/tx-bytes",
+                                   MldMessage::kDatagramSize);
+}
+
+void MldRouter::on_message(const MldMessage& msg, const ParsedDatagram& d,
+                           IfaceId iface) {
+  if (!ifaces_.contains(iface)) return;  // MLD not enabled here
+  switch (msg.type) {
+    case MldType::kQuery:
+      on_query(msg, d, iface);
+      break;
+    case MldType::kReport:
+      on_report(msg, iface);
+      break;
+    case MldType::kDone:
+      on_done(msg, iface);
+      break;
+  }
+}
+
+void MldRouter::on_query(const MldMessage& msg, const ParsedDatagram& d,
+                         IfaceId iface) {
+  (void)msg;
+  // Querier election: lowest source address wins (RFC 2710 §5).
+  IfaceState& st = state(iface);
+  Address mine = stack_->link_local_address(iface);
+  if (d.hdr.src < mine) {
+    if (st.querier) count("mld/querier-resigned");
+    st.querier = false;
+    st.query_timer->cancel();
+    st.other_querier_timer->arm(config_.other_querier_present_interval());
+  }
+}
+
+void MldRouter::on_report(const MldMessage& msg, IfaceId iface) {
+  count("mld/rx/report");
+  auto key = std::make_pair(iface, msg.group);
+  auto it = listeners_.find(key);
+  if (it == listeners_.end()) {
+    ListenerState st;
+    st.timer = std::make_unique<Timer>(
+        stack_->scheduler(),
+        [this, iface, group = msg.group] { expire_listener(iface, group); });
+    st.timer->arm(config_.multicast_listener_interval());
+    listeners_.emplace(key, std::move(st));
+    count("mld/listener-added");
+    note_churn(iface);
+    if (group_cb_) group_cb_(iface, msg.group, true);
+  } else {
+    it->second.timer->arm(config_.multicast_listener_interval());
+  }
+}
+
+void MldRouter::on_done(const MldMessage& msg, IfaceId iface) {
+  count("mld/rx/done");
+  auto key = std::make_pair(iface, msg.group);
+  auto it = listeners_.find(key);
+  if (it == listeners_.end()) return;
+  IfaceState& st = state(iface);
+  if (!st.querier) return;  // non-queriers leave Done handling to the querier
+  // Shorten the listener timer to LLQI * count and probe for remaining
+  // listeners with group-specific queries.
+  it->second.timer->arm(config_.last_listener_query_interval *
+                        config_.last_listener_query_count);
+  send_group_specific_query(iface, msg.group,
+                            config_.last_listener_query_count);
+}
+
+void MldRouter::expire_listener(IfaceId iface, const Address& group) {
+  listeners_.erase({iface, group});
+  count("mld/listener-expired");
+  note_churn(iface);
+  if (group_cb_) group_cb_(iface, group, false);
+}
+
+void MldRouter::count(const std::string& name) {
+  stack_->network().counters().add(name);
+}
+
+}  // namespace mip6

@@ -1,0 +1,87 @@
+// MLD router side (RFC 2710 §4): querier election, per-(interface, group)
+// listener state with the Multicast Listener Interval timer, Done handling
+// via Last-Listener Queries, and change notifications into the multicast
+// routing protocol (PIM-DM subscribes).
+//
+// This component is the origin of the paper's join/leave delays: a stale
+// listener entry persists up to T_MLI = 260 s after a mobile receiver left
+// the link (leave delay), and a new listener is only learned when a Report
+// arrives (join delay, bounded by the Query Interval when the host waits
+// for a Query).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "ipv6/icmpv6_dispatch.hpp"
+#include "ipv6/stack.hpp"
+#include "mld/config.hpp"
+#include "mld/messages.hpp"
+#include "sim/timer.hpp"
+
+namespace mip6 {
+
+class MldRouter {
+ public:
+  /// `present` true when the first listener for (iface, group) appears,
+  /// false when the last one times out / leaves.
+  using GroupCallback =
+      std::function<void(IfaceId, const Address& group, bool present)>;
+
+  MldRouter(Ipv6Stack& stack, Icmpv6Dispatcher& dispatch, MldConfig config);
+
+  /// Enables MLD on a router interface and starts querier duty (startup
+  /// queries, then periodic general queries).
+  void enable_iface(IfaceId iface);
+
+  void set_group_callback(GroupCallback cb) { group_cb_ = std::move(cb); }
+
+  bool is_querier(IfaceId iface) const;
+  bool has_listeners(IfaceId iface, const Address& group) const;
+  /// The general-query interval currently in effect on `iface` (differs
+  /// from the configured one when the adaptive querier reacted to churn).
+  Time effective_query_interval(IfaceId iface) const;
+  std::vector<Address> groups_on(IfaceId iface) const;
+  const MldConfig& config() const { return config_; }
+
+ private:
+  struct IfaceState {
+    IfaceId iface;
+    bool querier = true;
+    int startup_queries_left = 0;
+    std::unique_ptr<Timer> query_timer;          // next general query
+    std::unique_ptr<Timer> other_querier_timer;  // present-interval
+    /// Listener add/expire timestamps (adaptive querier churn window).
+    std::vector<Time> churn_events;
+  };
+  struct ListenerState {
+    std::unique_ptr<Timer> timer;  // multicast listener interval
+  };
+
+  void on_message(const MldMessage& msg, const ParsedDatagram& d,
+                  IfaceId iface);
+  void on_query(const MldMessage& msg, const ParsedDatagram& d,
+                IfaceId iface);
+  void on_report(const MldMessage& msg, IfaceId iface);
+  void on_done(const MldMessage& msg, IfaceId iface);
+  void send_general_query(IfaceId iface);
+  void send_group_specific_query(IfaceId iface, const Address& group,
+                                 int remaining);
+  void send_query(IfaceId iface, const Address& group, Time max_resp);
+  void schedule_next_query(IfaceState& st);
+  void expire_listener(IfaceId iface, const Address& group);
+  void note_churn(IfaceId iface);
+  IfaceState& state(IfaceId iface);
+  void count(const std::string& name);
+
+  Ipv6Stack* stack_;
+  MldConfig config_;
+  GroupCallback group_cb_;
+  std::map<IfaceId, IfaceState> ifaces_;
+  std::map<std::pair<IfaceId, Address>, ListenerState> listeners_;
+};
+
+}  // namespace mip6

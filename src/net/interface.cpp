@@ -1,0 +1,35 @@
+#include "net/interface.hpp"
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+
+namespace mip6 {
+
+void Interface::attach(Link& link) {
+  if (link_ == &link) return;
+  if (link_ != nullptr) link_->do_detach(*this);
+  link_ = &link;
+  link.do_attach(*this);
+  if (on_link_change_) on_link_change_(link_);
+}
+
+void Interface::detach() {
+  if (link_ == nullptr) return;
+  link_->do_detach(*this);
+  link_ = nullptr;
+  if (on_link_change_) on_link_change_(nullptr);
+}
+
+void Interface::send(const Packet& pkt) {
+  if (link_ != nullptr) link_->transmit(*this, pkt);
+}
+
+void Interface::send_to(const Packet& pkt, IfaceId l2_dst) {
+  if (link_ != nullptr) link_->transmit(*this, pkt, l2_dst);
+}
+
+std::string Interface::name() const {
+  return node_->name() + "/if" + std::to_string(id_);
+}
+
+}  // namespace mip6

@@ -1,0 +1,82 @@
+// A network interface: the attachment point of a node to a (multi-access)
+// link. Interfaces can detach and re-attach at runtime — that is the entire
+// mobility model at this layer; everything else (care-of addresses, binding
+// updates) is built above it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace mip6 {
+
+class Link;
+class Node;
+
+using IfaceId = std::uint32_t;
+
+class Interface {
+ public:
+  /// Called with each packet delivered to this interface by its link.
+  using RxHandler = std::function<void(const Packet&)>;
+  /// Called after attach/detach; the new link may be nullptr (detached).
+  using LinkChangeHandler = std::function<void(Link*)>;
+
+  Interface(IfaceId id, Node& node) : id_(id), node_(&node) {}
+  Interface(const Interface&) = delete;
+  Interface& operator=(const Interface&) = delete;
+
+  IfaceId id() const { return id_; }
+  Node& node() const { return *node_; }
+  Link* link() const { return link_; }
+  bool attached() const { return link_ != nullptr; }
+
+  /// Attaches to `link` (detaching from any current link first).
+  void attach(Link& link);
+  void detach();
+
+  /// Broadcast/multicast transmission: delivered to every other interface on
+  /// the attached link. A packet sent while detached is silently dropped
+  /// (the host radio is "out of coverage").
+  void send(const Packet& pkt);
+
+  /// Link-layer unicast: delivered only to the interface with id `l2_dst`
+  /// (the outcome of neighbor resolution). Dropped if detached.
+  void send_to(const Packet& pkt, IfaceId l2_dst);
+
+  /// "Does this interface answer neighbor resolution for address X?" —
+  /// installed by the L3 stack (address passed as its 16 raw octets so the
+  /// net layer stays L3-agnostic); covers owned addresses and, on home
+  /// agents, proxied (intercepted) home addresses — i.e. proxy Neighbor
+  /// Discovery is modelled by its outcome.
+  using AddressFilter = std::function<bool(BytesView)>;
+  void set_address_filter(AddressFilter f) { addr_filter_ = std::move(f); }
+  bool answers_for(BytesView addr) const {
+    return addr_filter_ && addr_filter_(addr);
+  }
+
+  /// Delivery from the link (called by Link, not by users).
+  void deliver(const Packet& pkt) const {
+    if (rx_) rx_(pkt);
+  }
+
+  void set_rx_handler(RxHandler h) { rx_ = std::move(h); }
+  void set_link_change_handler(LinkChangeHandler h) {
+    on_link_change_ = std::move(h);
+  }
+
+  std::string name() const;
+
+ private:
+  IfaceId id_;
+  Node* node_;
+  Link* link_ = nullptr;
+  RxHandler rx_;
+  LinkChangeHandler on_link_change_;
+  AddressFilter addr_filter_;
+};
+
+}  // namespace mip6

@@ -1,0 +1,65 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+#include "net/network.hpp"
+#include "util/errors.hpp"
+
+namespace mip6 {
+
+void Link::do_attach(Interface& iface) {
+  if (std::find(ifaces_.begin(), ifaces_.end(), &iface) != ifaces_.end()) {
+    throw LogicError("interface attached twice to link " + name_);
+  }
+  ifaces_.push_back(&iface);
+}
+
+void Link::do_detach(Interface& iface) {
+  auto it = std::find(ifaces_.begin(), ifaces_.end(), &iface);
+  if (it == ifaces_.end()) {
+    throw LogicError("detach of unattached interface from link " + name_);
+  }
+  ifaces_.erase(it);
+}
+
+void Link::transmit(const Interface& from, const Packet& pkt,
+                    std::optional<IfaceId> l2_dst) {
+  ++tx_packets_;
+  tx_bytes_ += pkt.size();
+  net_->notify_tx(*this, from, pkt);
+
+  Time ser = Time::zero();
+  if (bit_rate_bps_ > 0) {
+    // bits / (bits per second) -> seconds; keep integer ns arithmetic.
+    ser = Time::ns(static_cast<std::int64_t>(
+        (static_cast<__int128>(pkt.size()) * 8 * 1'000'000'000) /
+        bit_rate_bps_));
+  }
+  Time arrival_delay = ser + delay_;
+
+  // Snapshot receivers by interface id; delivery is skipped if the receiver
+  // has left the link in the meantime (it moved away mid-flight).
+  for (Interface* to : ifaces_) {
+    if (to == &from) continue;
+    if (l2_dst && to->id() != *l2_dst) continue;
+    IfaceId to_id = to->id();
+    net_->scheduler().schedule_in(arrival_delay, [this, to_id, pkt] {
+      for (Interface* candidate : ifaces_) {
+        if (candidate->id() != to_id) continue;
+        if (drop_ && drop_(pkt, *candidate)) return;
+        candidate->deliver(pkt);
+        return;
+      }
+    });
+  }
+}
+
+Interface* Link::resolve(BytesView addr_octets, const Interface* asker) const {
+  for (Interface* i : ifaces_) {
+    if (i == asker) continue;
+    if (i->answers_for(addr_octets)) return i;
+  }
+  return nullptr;
+}
+
+}  // namespace mip6

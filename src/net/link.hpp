@@ -1,0 +1,77 @@
+// Multi-access link (LAN segment / "Link N" in the paper's Figure 1).
+//
+// A transmission by one attached interface is delivered to every other
+// attached interface after serialization delay (size/bit-rate) plus
+// propagation delay. Per-link byte counters feed the bandwidth-consumption
+// metrics of Section 4.3; an optional drop function injects loss (used by
+// the binding-lifetime ablation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/interface.hpp"
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace mip6 {
+
+class Network;
+
+using LinkId = std::uint32_t;
+
+class Link {
+ public:
+  /// Returns true if the packet should be dropped on delivery to `to`.
+  using DropFn = std::function<bool(const Packet&, const Interface& to)>;
+
+  Link(Network& net, LinkId id, std::string name, Time delay,
+       std::uint64_t bit_rate_bps)
+      : net_(&net), id_(id), name_(std::move(name)), delay_(delay),
+        bit_rate_bps_(bit_rate_bps) {}
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  LinkId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Time delay() const { return delay_; }
+
+  /// Transmits from `from`. Without `l2_dst`: delivered to all other
+  /// attached interfaces (broadcast/multicast frame). With `l2_dst`:
+  /// delivered only to that interface (link-layer unicast).
+  void transmit(const Interface& from, const Packet& pkt,
+                std::optional<IfaceId> l2_dst = std::nullopt);
+
+  /// Neighbor resolution on this link: the attached interface (other than
+  /// `asker`) answering for `addr_octets`, or nullptr.
+  Interface* resolve(BytesView addr_octets, const Interface* asker) const;
+
+  const std::vector<Interface*>& attached() const { return ifaces_; }
+
+  std::uint64_t tx_packets() const { return tx_packets_; }
+  /// Octets placed onto the link (counted once per transmission, not per
+  /// receiver — a LAN carries the frame once).
+  std::uint64_t tx_bytes() const { return tx_bytes_; }
+
+  void set_drop_fn(DropFn fn) { drop_ = std::move(fn); }
+
+ private:
+  friend class Interface;
+  void do_attach(Interface& iface);
+  void do_detach(Interface& iface);
+
+  Network* net_;
+  LinkId id_;
+  std::string name_;
+  Time delay_;
+  std::uint64_t bit_rate_bps_;  // 0 = infinitely fast serialization
+  std::vector<Interface*> ifaces_;
+  DropFn drop_;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+};
+
+}  // namespace mip6

@@ -1,0 +1,40 @@
+#include "net/network.hpp"
+
+#include "util/errors.hpp"
+
+namespace mip6 {
+
+Network::Network(std::uint64_t seed) : rng_(seed) {}
+
+Node& Network::add_node(const std::string& name) {
+  nodes_.push_back(std::make_unique<Node>(
+      *this, static_cast<NodeId>(nodes_.size()), name));
+  return *nodes_.back();
+}
+
+Link& Network::add_link(const std::string& name, Time delay,
+                        std::uint64_t bit_rate_bps) {
+  links_.push_back(std::make_unique<Link>(
+      *this, static_cast<LinkId>(links_.size()), name, delay, bit_rate_bps));
+  return *links_.back();
+}
+
+Node& Network::node_by_name(const std::string& name) const {
+  for (const auto& n : nodes_) {
+    if (n->name() == name) return *n;
+  }
+  throw LogicError("no node named " + name);
+}
+
+Link& Network::link_by_name(const std::string& name) const {
+  for (const auto& l : links_) {
+    if (l->name() == name) return *l;
+  }
+  throw LogicError("no link named " + name);
+}
+
+Packet Network::make_packet(Bytes data) {
+  return Packet(std::move(data), next_packet_uid_++, now());
+}
+
+}  // namespace mip6

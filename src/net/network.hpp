@@ -1,0 +1,70 @@
+// The simulation world: owns the scheduler, rng, trace, counters, all nodes
+// and all links. One Network per replication; replications run in parallel
+// on separate Network instances with derived seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "stats/counters.hpp"
+
+namespace mip6 {
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 1);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Scheduler& scheduler() { return sched_; }
+  Rng& rng() { return rng_; }
+  Trace& trace() { return trace_; }
+  CounterRegistry& counters() { return counters_; }
+  Time now() const { return sched_.now(); }
+
+  Node& add_node(const std::string& name);
+  Link& add_link(const std::string& name, Time delay = Time::us(10),
+                 std::uint64_t bit_rate_bps = 0);
+
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+  Node& node(NodeId id) const { return *nodes_.at(id); }
+  Link& link(LinkId id) const { return *links_.at(id); }
+  Node& node_by_name(const std::string& name) const;
+  Link& link_by_name(const std::string& name) const;
+
+  /// Fresh packet with a network-unique uid stamped at the current time.
+  Packet make_packet(Bytes data);
+
+  /// Observation hook invoked for every link transmission (after the link's
+  /// own byte accounting). Core metrics classify traffic here.
+  using TxHook = std::function<void(const Link&, const Interface& from,
+                                    const Packet&)>;
+  void add_tx_hook(TxHook hook) { tx_hooks_.push_back(std::move(hook)); }
+  void notify_tx(const Link& link, const Interface& from, const Packet& pkt) {
+    for (auto& h : tx_hooks_) h(link, from, pkt);
+  }
+
+  IfaceId next_iface_id() { return next_iface_id_++; }
+
+ private:
+  Scheduler sched_;
+  Rng rng_;
+  Trace trace_;
+  CounterRegistry counters_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<TxHook> tx_hooks_;
+  std::uint64_t next_packet_uid_ = 1;
+  IfaceId next_iface_id_ = 0;
+};
+
+}  // namespace mip6

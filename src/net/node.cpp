@@ -1,0 +1,21 @@
+#include "net/node.hpp"
+
+#include "net/network.hpp"
+#include "util/errors.hpp"
+
+namespace mip6 {
+
+Interface& Node::add_interface() {
+  ifaces_.push_back(std::make_unique<Interface>(net_->next_iface_id(), *this));
+  return *ifaces_.back();
+}
+
+Interface& Node::iface_by_id(IfaceId id) const {
+  for (const auto& i : ifaces_) {
+    if (i->id() == id) return *i;
+  }
+  throw LogicError("node " + name_ + " has no interface " +
+                   std::to_string(id));
+}
+
+}  // namespace mip6

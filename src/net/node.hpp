@@ -1,0 +1,50 @@
+// A node: named container of interfaces. Whether the node behaves as a host,
+// a router, a home agent or any combination is decided by the protocol
+// engines instantiated on top of it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/interface.hpp"
+
+namespace mip6 {
+
+class Network;
+
+using NodeId = std::uint32_t;
+
+class Node {
+ public:
+  Node(Network& net, NodeId id, std::string name)
+      : net_(&net), id_(id), name_(std::move(name)) {}
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Network& network() const { return *net_; }
+
+  /// Creates a new interface on this node. The interface id is unique across
+  /// the whole network.
+  Interface& add_interface();
+
+  const std::vector<std::unique_ptr<Interface>>& interfaces() const {
+    return ifaces_;
+  }
+  Interface& iface(std::size_t i) const { return *ifaces_.at(i); }
+  std::size_t iface_count() const { return ifaces_.size(); }
+
+  /// Interface with the given global id; throws if not on this node.
+  Interface& iface_by_id(IfaceId id) const;
+
+ private:
+  Network* net_;
+  NodeId id_;
+  std::string name_;
+  std::vector<std::unique_ptr<Interface>> ifaces_;
+};
+
+}  // namespace mip6

@@ -1,0 +1,3 @@
+#include "net/packet.hpp"
+
+// Header-only today; TU anchors the target.

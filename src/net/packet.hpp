@@ -1,0 +1,36 @@
+// A packet is the serialized octets of a complete IPv6 datagram plus
+// simulator-side metadata (uid, creation time) that never appears "on the
+// wire". Layers above parse/serialize the octets; the net layer only moves
+// and counts them.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "util/buffer.hpp"
+
+namespace mip6 {
+
+class Packet {
+ public:
+  Packet() = default;
+  Packet(Bytes data, std::uint64_t uid, Time created)
+      : data_(std::move(data)), uid_(uid), created_(created) {}
+
+  const Bytes& data() const { return data_; }
+  BytesView view() const { return data_; }
+  std::size_t size() const { return data_.size(); }
+  std::uint64_t uid() const { return uid_; }
+  Time created() const { return created_; }
+
+  /// Replaces the octets (used by forwarding to decrement hop limit without
+  /// reallocating the packet identity).
+  void set_data(Bytes data) { data_ = std::move(data); }
+
+ private:
+  Bytes data_;
+  std::uint64_t uid_ = 0;
+  Time created_ = Time::zero();
+};
+
+}  // namespace mip6

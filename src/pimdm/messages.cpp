@@ -1,0 +1,251 @@
+#include "pimdm/messages.hpp"
+
+#include "ipv6/header.hpp"
+#include "ipv6/icmpv6.hpp"
+
+namespace mip6 {
+namespace {
+
+constexpr std::uint8_t kFamilyIpv6 = 2;
+constexpr std::uint8_t kEncodingNative = 0;
+constexpr std::uint8_t kPimVersion = 2;
+
+// Hello option types (draft §4.2).
+constexpr std::uint16_t kHelloOptHoldtime = 1;
+
+}  // namespace
+
+Bytes serialize_pim(PimType type, BytesView body, const Address& src,
+                    const Address& dst) {
+  BufferWriter w(4 + body.size());
+  w.u8(static_cast<std::uint8_t>((kPimVersion << 4) |
+                                 static_cast<std::uint8_t>(type)));
+  w.u8(0);   // reserved
+  w.u16(0);  // checksum placeholder
+  w.raw(body);
+  std::uint16_t ck = pseudo_header_checksum(
+      src, dst, static_cast<std::uint32_t>(w.size()), proto::kPim, w.bytes());
+  w.patch_u16(2, ck);
+  return std::move(w).take();
+}
+
+PimHeader parse_pim(BytesView payload, const Address& src,
+                    const Address& dst) {
+  if (payload.size() < 4) throw ParseError("PIM message too short");
+  if (pseudo_header_checksum(src, dst,
+                             static_cast<std::uint32_t>(payload.size()),
+                             proto::kPim, payload) != 0) {
+    throw ParseError("PIM checksum mismatch");
+  }
+  BufferReader r(payload);
+  std::uint8_t vt = r.u8();
+  if ((vt >> 4) != kPimVersion) throw ParseError("PIM version is not 2");
+  r.skip(3);  // reserved + checksum
+  PimHeader h;
+  h.type = static_cast<PimType>(vt & 0x0f);
+  h.body = r.raw(r.remaining());
+  return h;
+}
+
+// --- Encoded addresses -------------------------------------------------------
+
+void write_encoded_unicast(BufferWriter& w, const Address& a) {
+  w.u8(kFamilyIpv6);
+  w.u8(kEncodingNative);
+  a.write(w);
+}
+
+Address read_encoded_unicast(BufferReader& r) {
+  if (r.u8() != kFamilyIpv6) throw ParseError("encoded-unicast: not IPv6");
+  if (r.u8() != kEncodingNative) {
+    throw ParseError("encoded-unicast: unknown encoding");
+  }
+  return Address::read(r);
+}
+
+void write_encoded_group(BufferWriter& w, const Address& g) {
+  w.u8(kFamilyIpv6);
+  w.u8(kEncodingNative);
+  w.u8(0);    // reserved
+  w.u8(128);  // mask length
+  g.write(w);
+}
+
+Address read_encoded_group(BufferReader& r) {
+  if (r.u8() != kFamilyIpv6) throw ParseError("encoded-group: not IPv6");
+  if (r.u8() != kEncodingNative) {
+    throw ParseError("encoded-group: unknown encoding");
+  }
+  r.skip(1);  // reserved
+  if (r.u8() != 128) throw ParseError("encoded-group: partial masks unsupported");
+  return Address::read(r);
+}
+
+void write_encoded_source(BufferWriter& w, const Address& s,
+                          std::uint8_t flags) {
+  w.u8(kFamilyIpv6);
+  w.u8(kEncodingNative);
+  w.u8(flags);
+  w.u8(128);  // mask length
+  s.write(w);
+}
+
+Address read_encoded_source(BufferReader& r) {
+  if (r.u8() != kFamilyIpv6) throw ParseError("encoded-source: not IPv6");
+  if (r.u8() != kEncodingNative) {
+    throw ParseError("encoded-source: unknown encoding");
+  }
+  r.skip(1);  // flags
+  if (r.u8() != 128) {
+    throw ParseError("encoded-source: partial masks unsupported");
+  }
+  return Address::read(r);
+}
+
+// --- Hello -------------------------------------------------------------------
+
+Bytes PimHello::body() const {
+  BufferWriter w(8);
+  w.u16(kHelloOptHoldtime);
+  w.u16(2);  // option length
+  w.u16(holdtime);
+  return std::move(w).take();
+}
+
+PimHello PimHello::parse(BytesView body) {
+  BufferReader r(body);
+  PimHello h;
+  bool have_holdtime = false;
+  while (r.remaining() >= 4) {
+    std::uint16_t type = r.u16();
+    std::uint16_t len = r.u16();
+    BufferReader opt(r.view(len));
+    if (type == kHelloOptHoldtime) {
+      h.holdtime = opt.u16();
+      have_holdtime = true;
+    }
+    // Unknown options are skipped.
+  }
+  if (!r.empty()) throw ParseError("PIM Hello trailing octets");
+  if (!have_holdtime) throw ParseError("PIM Hello without holdtime option");
+  return h;
+}
+
+// --- Join/Prune ----------------------------------------------------------------
+
+Bytes PimJoinPrune::body() const {
+  BufferWriter w(64);
+  write_encoded_unicast(w, upstream_neighbor);
+  w.u8(0);  // reserved
+  if (groups.size() > 255) throw LogicError("too many groups in Join/Prune");
+  w.u8(static_cast<std::uint8_t>(groups.size()));
+  w.u16(holdtime);
+  for (const auto& g : groups) {
+    write_encoded_group(w, g.group);
+    w.u16(static_cast<std::uint16_t>(g.joined_sources.size()));
+    w.u16(static_cast<std::uint16_t>(g.pruned_sources.size()));
+    for (const auto& s : g.joined_sources) write_encoded_source(w, s);
+    for (const auto& s : g.pruned_sources) write_encoded_source(w, s);
+  }
+  return std::move(w).take();
+}
+
+PimJoinPrune PimJoinPrune::parse(BytesView body) {
+  BufferReader r(body);
+  PimJoinPrune m;
+  m.upstream_neighbor = read_encoded_unicast(r);
+  r.skip(1);  // reserved
+  std::uint8_t ngroups = r.u8();
+  m.holdtime = r.u16();
+  for (std::uint8_t i = 0; i < ngroups; ++i) {
+    GroupEntry g;
+    g.group = read_encoded_group(r);
+    std::uint16_t njoin = r.u16();
+    std::uint16_t nprune = r.u16();
+    for (std::uint16_t k = 0; k < njoin; ++k) {
+      g.joined_sources.push_back(read_encoded_source(r));
+    }
+    for (std::uint16_t k = 0; k < nprune; ++k) {
+      g.pruned_sources.push_back(read_encoded_source(r));
+    }
+    m.groups.push_back(std::move(g));
+  }
+  r.expect_end("PIM Join/Prune");
+  return m;
+}
+
+PimJoinPrune PimJoinPrune::join(const Address& upstream, const Address& src,
+                                const Address& group) {
+  PimJoinPrune m;
+  m.upstream_neighbor = upstream;
+  m.groups.push_back(GroupEntry{group, {src}, {}});
+  return m;
+}
+
+PimJoinPrune PimJoinPrune::prune(const Address& upstream, const Address& src,
+                                 const Address& group,
+                                 std::uint16_t holdtime) {
+  PimJoinPrune m;
+  m.upstream_neighbor = upstream;
+  m.holdtime = holdtime;
+  m.groups.push_back(GroupEntry{group, {}, {src}});
+  return m;
+}
+
+// --- State Refresh --------------------------------------------------------------
+
+Bytes PimStateRefresh::body() const {
+  BufferWriter w(64);
+  write_encoded_group(w, group);
+  write_encoded_unicast(w, source);
+  write_encoded_unicast(w, originator);
+  w.u32(metric_preference & 0x7fffffff);
+  w.u32(metric);
+  w.u8(128);  // mask length
+  w.u8(ttl);
+  w.u8(prune_indicator ? 0x80 : 0x00);  // P | N | O | reserved
+  w.u8(interval_s);
+  return std::move(w).take();
+}
+
+PimStateRefresh PimStateRefresh::parse(BytesView body) {
+  BufferReader r(body);
+  PimStateRefresh m;
+  m.group = read_encoded_group(r);
+  m.source = read_encoded_unicast(r);
+  m.originator = read_encoded_unicast(r);
+  m.metric_preference = r.u32() & 0x7fffffff;
+  m.metric = r.u32();
+  if (r.u8() != 128) {
+    throw ParseError("state-refresh: partial masks unsupported");
+  }
+  m.ttl = r.u8();
+  m.prune_indicator = (r.u8() & 0x80) != 0;
+  m.interval_s = r.u8();
+  r.expect_end("PIM State Refresh");
+  return m;
+}
+
+// --- Assert --------------------------------------------------------------------
+
+Bytes PimAssert::body() const {
+  BufferWriter w(48);
+  write_encoded_group(w, group);
+  write_encoded_unicast(w, source);
+  w.u32(metric_preference & 0x7fffffff);  // R bit always 0 in dense mode
+  w.u32(metric);
+  return std::move(w).take();
+}
+
+PimAssert PimAssert::parse(BytesView body) {
+  BufferReader r(body);
+  PimAssert a;
+  a.group = read_encoded_group(r);
+  a.source = read_encoded_unicast(r);
+  a.metric_preference = r.u32() & 0x7fffffff;
+  a.metric = r.u32();
+  r.expect_end("PIM Assert");
+  return a;
+}
+
+}  // namespace mip6

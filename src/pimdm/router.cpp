@@ -1,0 +1,757 @@
+#include "pimdm/router.hpp"
+
+#include <algorithm>
+
+namespace mip6 {
+
+PimDmRouter::PimDmRouter(Ipv6Stack& stack, MldRouter& mld, PimDmConfig config)
+    : stack_(&stack), mld_(&mld), config_(config) {
+  stack.set_mcast_forwarder(
+      [this](const ParsedDatagram& d, const Packet& pkt, IfaceId iface) {
+        on_multicast_data(d, pkt, iface);
+      });
+  stack.set_proto_handler(
+      proto::kPim,
+      [this](const ParsedDatagram& d, const Packet&, IfaceId iface) {
+        on_pim_message(d, iface);
+      });
+  mld.set_group_callback(
+      [this](IfaceId iface, const Address& group, bool present) {
+        on_mld_change(iface, group, present);
+      });
+}
+
+void PimDmRouter::enable_iface(IfaceId iface) {
+  auto [it, fresh] = ifaces_.try_emplace(iface);
+  if (!fresh) return;
+  it->second.hello_timer = std::make_unique<Timer>(
+      stack_->scheduler(), [this, iface] {
+        send_hello(iface);
+        ifaces_.at(iface).hello_timer->arm(config_.hello_period);
+      });
+  // First hello immediately (triggered hello on interface up).
+  it->second.hello_timer->arm(Time::zero());
+}
+
+void PimDmRouter::add_local_receiver(const Address& group) {
+  int& refs = local_receivers_[group];
+  ++refs;
+  if (refs > 1) return;
+  // Existing pruned entries for this group must be re-grafted.
+  for (auto& [key, e] : entries_) {
+    if (key.group == group) check_upstream(*e);
+  }
+}
+
+void PimDmRouter::remove_local_receiver(const Address& group) {
+  auto it = local_receivers_.find(group);
+  if (it == local_receivers_.end()) return;
+  if (--it->second <= 0) {
+    local_receivers_.erase(it);
+    for (auto& [key, e] : entries_) {
+      if (key.group == group) check_upstream(*e);
+    }
+  }
+}
+
+bool PimDmRouter::is_local_receiver(const Address& group) const {
+  return local_receivers_.contains(group);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+bool PimDmRouter::has_entry(const Address& src, const Address& group) const {
+  return entries_.contains(SgKey{src, group});
+}
+
+std::vector<IfaceId> PimDmRouter::outgoing(const Address& src,
+                                           const Address& group) const {
+  const SgEntry* e = find_entry(src, group);
+  if (e == nullptr) return {};
+  return oiflist(*e);
+}
+
+IfaceId PimDmRouter::incoming(const Address& src, const Address& group) const {
+  const SgEntry* e = find_entry(src, group);
+  if (e == nullptr) throw LogicError("no such (S,G) entry");
+  return e->incoming;
+}
+
+PimDmRouter::DownstreamState PimDmRouter::downstream_state(
+    const Address& src, const Address& group, IfaceId iface) const {
+  const SgEntry* e = find_entry(src, group);
+  if (e == nullptr) throw LogicError("no such (S,G) entry");
+  auto it = e->downstream.find(iface);
+  if (it == e->downstream.end()) return DownstreamState::kForwarding;
+  return it->second->state;
+}
+
+std::vector<Address> PimDmRouter::neighbors(IfaceId iface) const {
+  std::vector<Address> out;
+  auto it = ifaces_.find(iface);
+  if (it != ifaces_.end()) {
+    for (const auto& [addr, timer] : it->second.neighbors) out.push_back(addr);
+  }
+  return out;
+}
+
+bool PimDmRouter::has_neighbors(IfaceId iface) const {
+  auto it = ifaces_.find(iface);
+  return it != ifaces_.end() && !it->second.neighbors.empty();
+}
+
+// ---------------------------------------------------------------------------
+// Entry management
+
+PimDmRouter::SgEntry* PimDmRouter::find_entry(const Address& src,
+                                              const Address& group) {
+  auto it = entries_.find(SgKey{src, group});
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+const PimDmRouter::SgEntry* PimDmRouter::find_entry(
+    const Address& src, const Address& group) const {
+  auto it = entries_.find(SgKey{src, group});
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+PimDmRouter::SgEntry* PimDmRouter::create_entry(const Address& src,
+                                                const Address& group) {
+  const Route* route = stack_->rib().lookup(src);
+  if (route == nullptr) {
+    count("pimdm/rpf-fail");
+    return nullptr;
+  }
+  auto e = std::make_unique<SgEntry>();
+  e->source = src;
+  e->group = group;
+  e->incoming = route->out_iface;
+  e->rpf_neighbor = route->next_hop;  // unspecified when source is on-link
+  e->rpf_metric = route->metric;
+  e->assert_winner_pref = config_.metric_preference;
+  e->assert_winner_metric = route->metric;
+  SgKey key{src, group};
+  e->entry_timer = std::make_unique<Timer>(
+      stack_->scheduler(), [this, key] { delete_entry(key); });
+  e->entry_timer->arm(config_.data_timeout);
+  e->graft_retry_timer = std::make_unique<Timer>(
+      stack_->scheduler(), [this, key] {
+        SgEntry* entry = find_entry(key.source, key.group);
+        if (entry != nullptr && entry->graft_pending) {
+          count("pimdm/graft-retry");
+          send_graft_upstream(*entry);
+        }
+      });
+  e->join_override_timer = std::make_unique<Timer>(
+      stack_->scheduler(), [this, key] {
+        SgEntry* entry = find_entry(key.source, key.group);
+        if (entry != nullptr && wants_traffic(*entry)) {
+          // Name the router the observed prune was addressed to: a Join
+          // only overrides a prune if it targets the same upstream.
+          const Address& target = entry->join_override_target.is_unspecified()
+                                      ? entry->rpf_neighbor
+                                      : entry->join_override_target;
+          send_join_override(*entry, target);
+        }
+      });
+  // Dense mode: initially forward onto every PIM interface (except the
+  // incoming one). Interfaces without PIM neighbors contribute to the oif
+  // list only via MLD listeners — see oiflist().
+  for (const auto& [iface, st] : ifaces_) {
+    if (iface == e->incoming) continue;
+    e->downstream.emplace(iface, std::make_unique<Downstream>());
+  }
+  if (config_.state_refresh && route->on_link()) {
+    // We are a first-hop router for this source: originate refresh waves.
+    e->state_refresh_timer = std::make_unique<Timer>(
+        stack_->scheduler(), [this, key] {
+          SgEntry* entry = find_entry(key.source, key.group);
+          if (entry == nullptr) return;
+          originate_state_refresh(*entry);
+          entry->state_refresh_timer->arm(config_.state_refresh_interval);
+        });
+    e->state_refresh_timer->arm(config_.state_refresh_interval);
+  }
+  SgEntry* raw = e.get();
+  entries_.emplace(key, std::move(e));
+  count("pimdm/sg-created");
+  return raw;
+}
+
+void PimDmRouter::delete_entry(const SgKey& key) {
+  if (entries_.erase(key) > 0) count("pimdm/sg-expired");
+}
+
+PimDmRouter::Downstream& PimDmRouter::downstream(SgEntry& e, IfaceId iface) {
+  auto it = e.downstream.find(iface);
+  if (it == e.downstream.end()) {
+    it = e.downstream.emplace(iface, std::make_unique<Downstream>()).first;
+  }
+  return *it->second;
+}
+
+std::vector<IfaceId> PimDmRouter::oiflist(const SgEntry& e) const {
+  std::vector<IfaceId> out;
+  for (const auto& [iface, d] : e.downstream) {
+    if (iface == e.incoming) continue;
+    if (d->assert_loser) continue;
+    bool member = mld_->has_listeners(iface, e.group);
+    bool pim_fwd = (d->state != DownstreamState::kPruned) &&
+                   has_neighbors(iface);
+    // Members always get traffic; otherwise forward only where PIM
+    // neighbors exist and have not pruned.
+    if (member || pim_fwd) out.push_back(iface);
+  }
+  return out;
+}
+
+bool PimDmRouter::wants_traffic(const SgEntry& e) const {
+  return !oiflist(e).empty() || is_local_receiver(e.group);
+}
+
+void PimDmRouter::check_upstream(SgEntry& e) {
+  if (e.rpf_neighbor.is_unspecified()) return;  // we are the first hop
+  if (wants_traffic(e)) {
+    if (e.upstream_pruned) send_graft_upstream(e);
+  } else {
+    if (!e.upstream_pruned) send_prune_upstream(e);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Data plane
+
+void PimDmRouter::on_multicast_data(const ParsedDatagram& d, const Packet& pkt,
+                                    IfaceId iface) {
+  // PIM control traffic also arrives here (it is multicast to ff02::d), but
+  // link-scope groups are filtered before the forwarder hook; only routable
+  // group data reaches this point.
+  const Address& src = d.hdr.src;
+  const Address& group = d.hdr.dst;
+  if (src.is_multicast() || src.is_unspecified()) return;
+
+  SgEntry* e = find_entry(src, group);
+  if (e == nullptr) {
+    e = create_entry(src, group);
+    if (e == nullptr) return;
+  }
+
+  if (iface != e->incoming) {
+    // RPF change handling: with a live routing protocol the unicast route
+    // toward S can move after the entry was created. If the RIB now says
+    // this interface *is* the RPF interface, update the entry instead of
+    // treating good data as misrouted.
+    const Route* route = stack_->rib().lookup(src);
+    if (route != nullptr && route->out_iface == iface) {
+      e->incoming = route->out_iface;
+      e->rpf_neighbor = route->next_hop;
+      e->rpf_metric = route->metric;
+      e->assert_winner_pref = config_.metric_preference;
+      e->assert_winner_metric = route->metric;
+      e->assert_winner_addr = Address();
+      e->downstream.erase(iface);  // the new incoming iface is not an oif
+      count("pimdm/rpf-updated");
+    }
+  }
+
+  if (iface != e->incoming) {
+    // Arrived on an outgoing interface: if we actively forward on it (the
+    // interface is in the oif list), this is the Assert trigger (duplicate
+    // forwarder — or, in the paper's mobile-sender case, a moved sender
+    // emitting with a stale source onto a tree link). Otherwise we are a
+    // non-RPF bystander: tell the forwarder(s) on this link to prune —
+    // without this, loops in the topology keep branches alive forever
+    // (any router that still legitimately needs the link overrides with a
+    // Join, and MLD members keep it in the forwarder's oif list anyway).
+    std::vector<IfaceId> oifs = oiflist(*e);
+    if (std::find(oifs.begin(), oifs.end(), iface) != oifs.end()) {
+      send_assert(*e, iface);
+    } else {
+      Downstream& ds = downstream(*e, iface);
+      // Assert losers stay silent: the elected forwarder serves this LAN
+      // and pruning it would fight the election outcome.
+      if (!ds.assert_loser &&
+          (ds.last_nonrpf_prune_tx.is_never() ||
+           now() - ds.last_nonrpf_prune_tx >= config_.assert_rate_limit)) {
+        ds.last_nonrpf_prune_tx = now();
+        auto holdtime =
+            static_cast<std::uint16_t>(config_.prune_hold_time.to_seconds());
+        for (const Address& nbr : neighbors(iface)) {
+          PimJoinPrune m =
+              PimJoinPrune::prune(nbr, e->source, e->group, holdtime);
+          emit(iface, PimType::kJoinPrune, m.body(),
+               Address::all_pim_routers());
+          count("pimdm/tx/nonrpf-prune");
+        }
+      }
+    }
+    count("pimdm/rx-wrong-iface");
+    return;
+  }
+
+  e->entry_timer->arm(config_.data_timeout);
+  std::vector<IfaceId> oifs = oiflist(*e);
+  if (oifs.empty() && !is_local_receiver(e->group)) {
+    // Nothing downstream: prune ourselves off the tree (rate-limited; on a
+    // LAN the upstream may keep transmitting because a sibling overrode).
+    if (!e->rpf_neighbor.is_unspecified() &&
+        (e->last_prune_tx.is_never() ||
+         now() - e->last_prune_tx >= config_.prune_hold_time)) {
+      send_prune_upstream(*e);
+    }
+    return;
+  }
+  for (IfaceId oif : oifs) {
+    if (stack_->forward_out(pkt, oif)) {
+      count("pimdm/data-fwd");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control plane
+
+void PimDmRouter::on_pim_message(const ParsedDatagram& d, IfaceId iface) {
+  if (!pim_enabled(iface)) return;
+  PimHeader h;
+  try {
+    h = parse_pim(d.payload, d.hdr.src, d.hdr.dst);
+    switch (h.type) {
+      case PimType::kHello:
+        on_hello(PimHello::parse(h.body), d.hdr.src, iface);
+        break;
+      case PimType::kJoinPrune:
+        on_join_prune(PimJoinPrune::parse(h.body), d.hdr.src, iface);
+        break;
+      case PimType::kGraft:
+        on_graft(PimJoinPrune::parse(h.body), d.hdr.src, iface);
+        break;
+      case PimType::kGraftAck:
+        on_graft_ack(PimJoinPrune::parse(h.body), iface);
+        break;
+      case PimType::kAssert:
+        on_assert(PimAssert::parse(h.body), d.hdr.src, iface);
+        break;
+      case PimType::kStateRefresh:
+        on_state_refresh(PimStateRefresh::parse(h.body), iface);
+        break;
+    }
+  } catch (const ParseError&) {
+    count("pimdm/rx-drop/parse-error");
+  }
+}
+
+void PimDmRouter::on_hello(const PimHello& hello, const Address& from,
+                           IfaceId iface) {
+  IfaceState& st = ifaces_.at(iface);
+  auto it = st.neighbors.find(from);
+  if (it == st.neighbors.end()) {
+    auto timer = std::make_unique<Timer>(
+        stack_->scheduler(), [this, iface, from] {
+          ifaces_.at(iface).neighbors.erase(from);
+          count("pimdm/neighbor-expired");
+        });
+    timer->arm(Time::sec(hello.holdtime));
+    st.neighbors.emplace(from, std::move(timer));
+    count("pimdm/neighbor-up");
+    // Triggered hello so the new neighbor learns us quickly.
+    send_hello(iface);
+  } else {
+    it->second->arm(Time::sec(hello.holdtime));
+  }
+}
+
+void PimDmRouter::on_join_prune(const PimJoinPrune& jp, const Address& from,
+                                IfaceId iface) {
+  (void)from;  // the message's upstream_neighbor field drives everything
+  bool to_me = stack_->owns_address(jp.upstream_neighbor);
+  for (const auto& g : jp.groups) {
+    for (const auto& src : g.pruned_sources) {
+      SgEntry* e = find_entry(src, g.group);
+      if (e == nullptr) continue;
+      if (to_me) {
+        // We are the upstream: begin the LAN prune delay; an overriding
+        // Join within T_PruneDel cancels it.
+        Downstream& d = downstream(*e, iface);
+        if (d.state == DownstreamState::kPruned) {
+          // Refreshed prune (e.g. triggered by a State Refresh wave):
+          // re-arm the holdtime in place, no re-flood in between.
+          if (d.prune_expiry_timer) {
+            Time hold = Time::sec(jp.holdtime);
+            if (hold > config_.prune_hold_time || jp.holdtime == 0) {
+              hold = config_.prune_hold_time;
+            }
+            d.prune_expiry_timer->arm(hold);
+            count("pimdm/prune-refreshed");
+          }
+        } else if (d.state == DownstreamState::kForwarding) {
+          d.state = DownstreamState::kPrunePending;
+          SgKey key{src, g.group};
+          std::uint16_t holdtime = jp.holdtime;
+          if (!d.prune_pending_timer) {
+            d.prune_pending_timer = std::make_unique<Timer>(
+                stack_->scheduler(), [this, key, iface, holdtime] {
+                  SgEntry* entry = find_entry(key.source, key.group);
+                  if (entry == nullptr) return;
+                  Downstream& dd = downstream(*entry, iface);
+                  if (dd.state != DownstreamState::kPrunePending) return;
+                  dd.state = DownstreamState::kPruned;
+                  count("pimdm/iface-pruned");
+                  // Prune Echo (RFC 3973 §4.4.2): on a LAN with several
+                  // neighbors, repeat the prune naming ourselves so a
+                  // downstream router whose overriding Join was lost gets
+                  // a second chance to object.
+                  if (neighbors(iface).size() > 1) {
+                    std::uint16_t echo_hold = holdtime;
+                    PimJoinPrune echo = PimJoinPrune::prune(
+                        stack_->link_local_address(iface), key.source,
+                        key.group, echo_hold);
+                    emit(iface, PimType::kJoinPrune, echo.body(),
+                         Address::all_pim_routers());
+                    count("pimdm/tx/prune-echo");
+                  }
+                  Time hold = Time::sec(holdtime);
+                  if (hold > config_.prune_hold_time ||
+                      holdtime == 0) {
+                    hold = config_.prune_hold_time;
+                  }
+                  if (!dd.prune_expiry_timer) {
+                    dd.prune_expiry_timer = std::make_unique<Timer>(
+                        stack_->scheduler(), [this, key, iface] {
+                          SgEntry* en = find_entry(key.source, key.group);
+                          if (en == nullptr) return;
+                          Downstream& x = downstream(*en, iface);
+                          if (x.state == DownstreamState::kPruned) {
+                            x.state = DownstreamState::kForwarding;
+                            count("pimdm/prune-expired");
+                            // Downstream interest is presumed again; if we
+                            // had pruned ourselves upstream meanwhile, we
+                            // must graft back or the branch stays dark.
+                            check_upstream(*en);
+                          }
+                        });
+                  }
+                  dd.prune_expiry_timer->arm(hold);
+                  check_upstream(*entry);
+                });
+          }
+          d.prune_pending_timer->arm(config_.prune_delay);
+        }
+      } else if (iface == e->incoming && wants_traffic(*e)) {
+        // A prune crossed our upstream LAN — from a sibling, or a Prune
+        // Echo from the forwarder itself; either way, if we still need the
+        // traffic, override with a Join after a random delay below the
+        // prune delay. The Join must name the pruned upstream.
+        e->join_override_target = jp.upstream_neighbor;
+        if (!e->join_override_timer->running()) {
+          Time delay = Time::ns(static_cast<std::int64_t>(
+              stack_->network().rng().uniform() *
+              static_cast<double>(config_.join_override_window.nanos())));
+          e->join_override_timer->arm(delay);
+        }
+      }
+    }
+    for (const auto& src : g.joined_sources) {
+      SgEntry* e = find_entry(src, g.group);
+      if (e == nullptr) continue;
+      if (to_me) {
+        // Join override received: cancel a pending prune on that iface.
+        Downstream& d = downstream(*e, iface);
+        if (d.state == DownstreamState::kPrunePending) {
+          d.prune_pending_timer->cancel();
+          d.state = DownstreamState::kForwarding;
+          count("pimdm/prune-overridden");
+        } else if (d.state == DownstreamState::kPruned) {
+          if (d.prune_expiry_timer) d.prune_expiry_timer->cancel();
+          d.state = DownstreamState::kForwarding;
+        }
+      } else if (iface == e->incoming) {
+        // Someone else already sent the override; suppress ours.
+        e->join_override_timer->cancel();
+      }
+    }
+  }
+}
+
+void PimDmRouter::on_graft(const PimJoinPrune& graft, const Address& from,
+                           IfaceId iface) {
+  if (!stack_->owns_address(graft.upstream_neighbor)) return;
+  for (const auto& g : graft.groups) {
+    for (const auto& src : g.joined_sources) {
+      SgEntry* e = find_entry(src, g.group);
+      if (e == nullptr) {
+        // Graft for an entry we never created (e.g. it already timed out):
+        // recreate state so forwarding resumes with the next datagram.
+        e = create_entry(src, g.group);
+        if (e == nullptr) continue;
+      }
+      Downstream& d = downstream(*e, iface);
+      if (d.prune_pending_timer) d.prune_pending_timer->cancel();
+      if (d.prune_expiry_timer) d.prune_expiry_timer->cancel();
+      d.state = DownstreamState::kForwarding;
+      count("pimdm/graft-processed");
+      check_upstream(*e);  // cascade the graft upstream if we had pruned
+    }
+  }
+  send_graft_ack(graft, from, iface);
+}
+
+void PimDmRouter::on_graft_ack(const PimJoinPrune& ack, IfaceId iface) {
+  (void)iface;
+  for (const auto& g : ack.groups) {
+    for (const auto& src : g.joined_sources) {
+      SgEntry* e = find_entry(src, g.group);
+      if (e == nullptr) continue;
+      e->graft_pending = false;
+      e->graft_retry_timer->cancel();
+    }
+  }
+}
+
+void PimDmRouter::on_assert(const PimAssert& a, const Address& from,
+                            IfaceId iface) {
+  SgEntry* e = find_entry(a.source, a.group);
+  if (e == nullptr) return;
+  count("pimdm/rx-assert");
+
+  if (iface == e->incoming) {
+    // Downstream observer: the assert *winner* becomes our RPF neighbor
+    // (draft: "downstream routers ... store the elected forwarder for
+    // later protocol actions"). Track the best (preference, metric,
+    // address) tuple seen so the outcome is independent of arrival order.
+    bool better;
+    if (a.metric_preference != e->assert_winner_pref) {
+      better = a.metric_preference < e->assert_winner_pref;
+    } else if (a.metric != e->assert_winner_metric) {
+      better = a.metric < e->assert_winner_metric;
+    } else {
+      better = e->assert_winner_addr.is_unspecified() ||
+               from > e->assert_winner_addr;
+    }
+    if (better) {
+      e->assert_winner_pref = a.metric_preference;
+      e->assert_winner_metric = a.metric;
+      e->assert_winner_addr = from;
+      e->rpf_neighbor = from;
+    }
+    return;
+  }
+
+  auto it = e->downstream.find(iface);
+  if (it == e->downstream.end()) return;
+  Downstream& d = *it->second;
+  if (d.state != DownstreamState::kForwarding || d.assert_loser) return;
+
+  // Compare (preference, metric, address); lower tuple wins on pref/metric,
+  // higher address wins ties.
+  Address my_addr = stack_->link_local_address(iface);
+  bool they_win;
+  if (a.metric_preference != config_.metric_preference) {
+    they_win = a.metric_preference < config_.metric_preference;
+  } else if (a.metric != e->rpf_metric) {
+    they_win = a.metric < e->rpf_metric;
+  } else {
+    they_win = from > my_addr;
+  }
+  if (they_win) {
+    d.assert_loser = true;
+    count("pimdm/assert-lost");
+    SgKey key{a.source, a.group};
+    if (!d.assert_timer) {
+      d.assert_timer = std::make_unique<Timer>(
+          stack_->scheduler(), [this, key, iface] {
+            SgEntry* en = find_entry(key.source, key.group);
+            if (en == nullptr) return;
+            auto dit = en->downstream.find(iface);
+            if (dit != en->downstream.end()) {
+              dit->second->assert_loser = false;
+            }
+          });
+    }
+    d.assert_timer->arm(config_.assert_time);
+    // A loser that doesn't consume from this LAN itself (it is not its RPF
+    // interface) prunes toward the winner; routers that do depend on the
+    // LAN answer with an overriding Join, so this only clears truly
+    // unneeded branches (RFC 3973 assert-loser prune behaviour).
+    if (!mld_->has_listeners(iface, e->group)) {
+      auto holdtime =
+          static_cast<std::uint16_t>(config_.prune_hold_time.to_seconds());
+      PimJoinPrune m = PimJoinPrune::prune(from, e->source, e->group,
+                                           holdtime);
+      emit(iface, PimType::kJoinPrune, m.body(), Address::all_pim_routers());
+      count("pimdm/tx/assert-loser-prune");
+    }
+    check_upstream(*e);
+  } else {
+    send_assert(*e, iface);  // defend our role as forwarder
+  }
+}
+
+void PimDmRouter::on_mld_change(IfaceId iface, const Address& group,
+                                bool present) {
+  for (auto& [key, e] : entries_) {
+    if (key.group != group) continue;
+    if (present) {
+      if (iface != e->incoming) downstream(*e, iface);  // materialize state
+    }
+    check_upstream(*e);
+  }
+  (void)iface;
+}
+
+void PimDmRouter::on_state_refresh(const PimStateRefresh& sr, IfaceId iface) {
+  if (!config_.state_refresh) return;
+  count("pimdm/rx/state-refresh");
+  SgEntry* e = find_entry(sr.source, sr.group);
+  if (e == nullptr) {
+    e = create_entry(sr.source, sr.group);
+    if (e == nullptr) return;
+  }
+  if (iface != e->incoming) {
+    // Refresh wave on a non-RPF interface: we are a bystander that pruned
+    // this link earlier (or should). Re-advertise the prune so the
+    // forwarder's prune state is refreshed in place instead of expiring
+    // into a re-flood (RFC 3973 Prune-Indicator handling).
+    std::vector<IfaceId> oifs = oiflist(*e);
+    if (std::find(oifs.begin(), oifs.end(), iface) == oifs.end()) {
+      Downstream& d = downstream(*e, iface);
+      if (!d.assert_loser) {
+        d.last_nonrpf_prune_tx = now();
+        auto holdtime =
+            static_cast<std::uint16_t>(config_.prune_hold_time.to_seconds());
+        for (const Address& nbr : neighbors(iface)) {
+          PimJoinPrune m =
+              PimJoinPrune::prune(nbr, e->source, e->group, holdtime);
+          emit(iface, PimType::kJoinPrune, m.body(),
+               Address::all_pim_routers());
+          count("pimdm/tx/nonrpf-prune");
+        }
+      }
+    }
+    return;
+  }
+  // The wave attests that the source is alive: refresh the (S,G) entry.
+  e->entry_timer->arm(config_.data_timeout);
+  // A router that pruned itself off re-advertises its prune so the
+  // upstream holdtime is refreshed instead of expiring into a re-flood.
+  if (e->upstream_pruned && !e->rpf_neighbor.is_unspecified()) {
+    send_prune_upstream(*e);
+  }
+  forward_state_refresh(*e, sr);
+}
+
+void PimDmRouter::originate_state_refresh(SgEntry& e) {
+  PimStateRefresh sr;
+  sr.group = e.group;
+  sr.source = e.source;
+  sr.metric_preference = config_.metric_preference;
+  sr.metric = e.rpf_metric;
+  sr.ttl = 16;
+  sr.interval_s = static_cast<std::uint8_t>(
+      config_.state_refresh_interval.to_seconds());
+  // Originators need a global address for the originator field; fall back
+  // to link-local if the incoming interface has no global.
+  sr.originator = stack_->has_global_address(e.incoming)
+                      ? stack_->global_address(e.incoming)
+                      : stack_->link_local_address(e.incoming);
+  count("pimdm/tx/state-refresh-originated");
+  forward_state_refresh(e, sr);
+}
+
+void PimDmRouter::forward_state_refresh(SgEntry& e,
+                                        const PimStateRefresh& sr) {
+  if (sr.ttl <= 1) return;
+  for (auto& [iface, d] : e.downstream) {
+    if (iface == e.incoming) continue;
+    if (!has_neighbors(iface)) continue;
+    PimStateRefresh out = sr;
+    out.ttl = static_cast<std::uint8_t>(sr.ttl - 1);
+    out.prune_indicator = (d->state == DownstreamState::kPruned);
+    emit(iface, PimType::kStateRefresh, out.body(),
+         Address::all_pim_routers());
+    count("pimdm/tx/state-refresh");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Emission
+
+void PimDmRouter::emit(IfaceId iface, PimType type, BytesView body,
+                       const Address& dst) {
+  DatagramSpec spec;
+  spec.src = stack_->link_local_address(iface);
+  spec.dst = dst;
+  spec.hop_limit = 1;
+  spec.protocol = proto::kPim;
+  spec.payload = serialize_pim(type, body, spec.src, spec.dst);
+  std::size_t wire = Ipv6Header::kSize + spec.payload.size();
+  stack_->send_on_iface(iface, spec);
+  stack_->network().counters().add("pimdm/tx-bytes", wire);
+}
+
+void PimDmRouter::send_hello(IfaceId iface) {
+  PimHello hello;
+  hello.holdtime =
+      static_cast<std::uint16_t>(config_.hello_holdtime.to_seconds());
+  emit(iface, PimType::kHello, hello.body(), Address::all_pim_routers());
+  count("pimdm/tx/hello");
+}
+
+void PimDmRouter::send_prune_upstream(SgEntry& e) {
+  if (e.rpf_neighbor.is_unspecified()) return;
+  auto holdtime =
+      static_cast<std::uint16_t>(config_.prune_hold_time.to_seconds());
+  PimJoinPrune m =
+      PimJoinPrune::prune(e.rpf_neighbor, e.source, e.group, holdtime);
+  emit(e.incoming, PimType::kJoinPrune, m.body(), Address::all_pim_routers());
+  e.upstream_pruned = true;
+  e.last_prune_tx = now();
+  count("pimdm/tx/prune");
+}
+
+void PimDmRouter::send_graft_upstream(SgEntry& e) {
+  if (e.rpf_neighbor.is_unspecified()) return;
+  PimJoinPrune m = PimJoinPrune::join(e.rpf_neighbor, e.source, e.group);
+  // Grafts are unicast to the upstream neighbor.
+  emit(e.incoming, PimType::kGraft, m.body(), e.rpf_neighbor);
+  e.upstream_pruned = false;
+  e.graft_pending = true;
+  e.graft_retry_timer->arm(config_.graft_retry_period);
+  count("pimdm/tx/graft");
+}
+
+void PimDmRouter::send_join_override(SgEntry& e, const Address& upstream) {
+  PimJoinPrune m = PimJoinPrune::join(upstream, e.source, e.group);
+  emit(e.incoming, PimType::kJoinPrune, m.body(), Address::all_pim_routers());
+  count("pimdm/tx/join-override");
+}
+
+void PimDmRouter::send_assert(SgEntry& e, IfaceId iface) {
+  Downstream& d = downstream(e, iface);
+  if (!d.last_assert_tx.is_never() &&
+      now() - d.last_assert_tx < config_.assert_rate_limit) {
+    return;
+  }
+  d.last_assert_tx = now();
+  PimAssert a;
+  a.group = e.group;
+  a.source = e.source;
+  a.metric_preference = config_.metric_preference;
+  a.metric = e.rpf_metric;
+  emit(iface, PimType::kAssert, a.body(), Address::all_pim_routers());
+  count("pimdm/tx/assert");
+}
+
+void PimDmRouter::send_graft_ack(const PimJoinPrune& graft, const Address& to,
+                                 IfaceId iface) {
+  PimJoinPrune ack = graft;
+  emit(iface, PimType::kGraftAck, ack.body(), to);
+  count("pimdm/tx/graft-ack");
+}
+
+void PimDmRouter::count(const std::string& name, std::uint64_t delta) {
+  stack_->network().counters().add(name, delta);
+}
+
+}  // namespace mip6

@@ -1,0 +1,60 @@
+#include "runner/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/rng.hpp"
+
+namespace mip6 {
+
+std::map<std::string, Summary> run_replications(
+    const ReplicationOptions& options,
+    const std::function<ReplicationResult(std::uint64_t seed)>& body) {
+  const std::size_t n = options.replications;
+  std::vector<ReplicationResult> results(n);
+
+  std::size_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, n == 0 ? std::size_t{1} : n);
+
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      {
+        std::lock_guard<std::mutex> lock(err_mutex);
+        if (first_error) return;  // fail fast, skip remaining work
+      }
+      try {
+        results[i] = body(Rng::derive_seed(options.base_seed, i));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  std::map<std::string, Summary> merged;
+  for (const auto& r : results) {
+    for (const auto& [name, value] : r) merged[name].add(value);
+  }
+  return merged;
+}
+
+}  // namespace mip6

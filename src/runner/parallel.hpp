@@ -1,0 +1,38 @@
+// Parallel replication runner.
+//
+// Simulations here are single-threaded and deterministic per seed, so the
+// natural parallelism is across replications: run_replications() fans N
+// independent seeded runs over a thread pool and collects their per-metric
+// samples into Summary statistics. Worker threads never share simulation
+// state — each replication builds its own Network — so no synchronization
+// beyond the work queue is needed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace mip6 {
+
+/// One replication's named metric samples.
+using ReplicationResult = std::map<std::string, double>;
+
+struct ReplicationOptions {
+  std::size_t replications = 8;
+  std::uint64_t base_seed = 42;
+  /// 0 = hardware concurrency.
+  std::size_t threads = 0;
+};
+
+/// Runs `body(seed)` for `options.replications` derived seeds in parallel
+/// and merges the per-name samples. Exceptions inside a replication
+/// propagate to the caller (the first one thrown, after all workers stop).
+std::map<std::string, Summary> run_replications(
+    const ReplicationOptions& options,
+    const std::function<ReplicationResult(std::uint64_t seed)>& body);
+
+}  // namespace mip6

@@ -1,0 +1,70 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+namespace mip6 {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  // Lemire-style rejection-free-enough bounded draw; bias negligible for the
+  // n values used here, but do a rejection loop anyway for exactness.
+  std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::uniform() {
+  // 53 random bits -> [0,1)
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::exponential(double mean) {
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::uint64_t Rng::derive_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t x = base ^ (0x632be59bd9b4e019ULL * (index + 1));
+  return splitmix64(x);
+}
+
+}  // namespace mip6

@@ -1,0 +1,54 @@
+#include "sim/scheduler.hpp"
+
+namespace mip6 {
+
+void EventHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->executed;
+}
+
+EventHandle Scheduler::schedule_at(Time at, std::function<void()> fn) {
+  if (at < now_) {
+    throw LogicError("schedule_at into the past: " + at.str() + " < " +
+                     now_.str());
+  }
+  if (at.is_never()) {
+    throw LogicError("schedule_at(never)");
+  }
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Event{at, next_seq_++, std::move(fn), state});
+  return EventHandle(std::move(state));
+}
+
+EventHandle Scheduler::schedule_in(Time delay, std::function<void()> fn) {
+  if (delay < Time::zero()) {
+    throw LogicError("schedule_in negative delay: " + delay.str());
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+std::uint64_t Scheduler::run_until(Time until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.state->cancelled) continue;
+    now_ = ev.at;
+    ev.state->executed = true;
+    ev.fn();
+    ++n;
+    ++executed_;
+  }
+  // run() passes never() as the horizon; leave now_ at the last event then.
+  if (!until.is_never() && now_ < until) now_ = until;
+  return n;
+}
+
+std::uint64_t Scheduler::run() { return run_until(Time::never()); }
+
+std::size_t Scheduler::pending_events() const { return queue_.size(); }
+
+}  // namespace mip6

@@ -1,0 +1,85 @@
+// Discrete-event scheduler.
+//
+// Events are (time, sequence, callback); sequence numbers break same-time
+// ties in insertion order, which makes runs fully deterministic. Cancellation
+// is O(1) by invalidating a shared handle state; cancelled events are skipped
+// (and their storage reclaimed) when they reach the top of the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "util/errors.hpp"
+
+namespace mip6 {
+
+/// Cancellable handle to a scheduled event. Copyable; all copies refer to the
+/// same event. A default-constructed handle is inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not yet run. Safe to call repeatedly or on
+  /// an inert/expired handle.
+  void cancel();
+  /// True if the event is still scheduled (not run, not cancelled).
+  bool pending() const;
+
+ private:
+  friend class Scheduler;
+  struct State {
+    bool cancelled = false;
+    bool executed = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (must be >= now()).
+  EventHandle schedule_at(Time at, std::function<void()> fn);
+  /// Schedules `fn` to run `delay` from now (delay must be >= 0).
+  EventHandle schedule_in(Time delay, std::function<void()> fn);
+
+  /// Runs events until the queue is empty or `until` is reached; events at
+  /// exactly `until` are executed. Returns the number of events executed.
+  std::uint64_t run_until(Time until);
+  /// Runs to queue exhaustion.
+  std::uint64_t run();
+
+  std::size_t pending_events() const;
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace mip6

@@ -1,0 +1,26 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mip6 {
+
+Time Time::seconds(double v) {
+  return Time::ns(static_cast<std::int64_t>(std::llround(v * 1e9)));
+}
+
+std::string Time::str() const {
+  if (is_never()) return "never";
+  char buf[48];
+  std::int64_t s = ns_ / 1'000'000'000;
+  std::int64_t frac = ns_ % 1'000'000'000;
+  if (frac < 0) {  // normalize for negative times
+    s -= 1;
+    frac += 1'000'000'000;
+  }
+  std::snprintf(buf, sizeof buf, "%lld.%09llds", static_cast<long long>(s),
+                static_cast<long long>(frac));
+  return buf;
+}
+
+}  // namespace mip6

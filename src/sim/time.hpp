@@ -1,0 +1,51 @@
+// Simulation time: signed 64-bit integer nanoseconds.
+//
+// Integer time makes event ordering exact and runs bit-reproducible across
+// platforms; at nanosecond resolution the range covers ~292 years, far more
+// than any scenario here (MLD/PIM timers are tens to hundreds of seconds).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace mip6 {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time ns(std::int64_t v) { return Time(v); }
+  static constexpr Time us(std::int64_t v) { return Time(v * 1'000); }
+  static constexpr Time ms(std::int64_t v) { return Time(v * 1'000'000); }
+  static constexpr Time sec(std::int64_t v) { return Time(v * 1'000'000'000); }
+  static constexpr Time minutes(std::int64_t v) { return sec(v * 60); }
+  /// From floating seconds; rounds to nearest nanosecond.
+  static Time seconds(double v);
+  static constexpr Time zero() { return Time(0); }
+  /// Sentinel "never": larger than any schedulable time.
+  static constexpr Time never() { return Time(INT64_MAX); }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr bool is_never() const { return ns_ == INT64_MAX; }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time(a.ns_ + b.ns_); }
+  friend constexpr Time operator-(Time a, Time b) { return Time(a.ns_ - b.ns_); }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time(a.ns_ * k); }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return a * k; }
+  Time& operator+=(Time b) { ns_ += b.ns_; return *this; }
+  Time& operator-=(Time b) { ns_ -= b.ns_; return *this; }
+
+  friend constexpr auto operator<=>(Time, Time) = default;
+
+  /// "12.345678901s" — full precision, for traces and test expectations.
+  std::string str() const;
+
+ private:
+  constexpr explicit Time(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace mip6

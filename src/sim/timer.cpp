@@ -1,0 +1,4 @@
+#include "sim/timer.hpp"
+
+// Header-only today; translation unit kept so the target owns the header and
+// future out-of-line additions don't touch the build graph.

@@ -1,0 +1,72 @@
+// Restartable protocol timer.
+//
+// Every MLD/PIM/MIPv6 timer in the paper (query interval, listener interval,
+// prune delay, data timeout, binding lifetime...) is a Timer: arm it with a
+// duration, re-arming cancels the previous expiry, expiry invokes a fixed
+// callback. The callback is set once at construction, which mirrors how
+// protocol specs describe timers ("when the timer expires, do X").
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/scheduler.hpp"
+
+namespace mip6 {
+
+class Timer {
+ public:
+  Timer(Scheduler& sched, std::function<void()> on_expire)
+      : sched_(&sched), on_expire_(std::move(on_expire)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  ~Timer() { cancel(); }
+
+  /// (Re)arms to fire `delay` from now.
+  void arm(Time delay) {
+    cancel();
+    expiry_ = sched_->now() + delay;
+    handle_ = sched_->schedule_in(delay, [this] {
+      expiry_ = Time::never();
+      // Invoke through a copy: expiry handlers routinely destroy the state
+      // that owns this Timer (listener entries, (S,G) entries, neighbor
+      // records erase themselves), and destroying a std::function during
+      // its own invocation is undefined behaviour.
+      auto fn = on_expire_;
+      fn();
+    });
+  }
+
+  /// Arms only if not already running (used for "set if not set" semantics).
+  void arm_if_idle(Time delay) {
+    if (!running()) arm(delay);
+  }
+
+  /// Re-arms only if the new expiry would be earlier than the current one.
+  void arm_to_earlier(Time delay) {
+    Time candidate = sched_->now() + delay;
+    if (!running() || candidate < expiry_) arm(delay);
+  }
+
+  void cancel() {
+    handle_.cancel();
+    expiry_ = Time::never();
+  }
+
+  bool running() const { return handle_.pending(); }
+  /// Absolute expiry time, or Time::never() when idle.
+  Time expiry() const { return running() ? expiry_ : Time::never(); }
+  /// Time remaining until expiry; never() when idle.
+  Time remaining() const {
+    return running() ? expiry_ - sched_->now() : Time::never();
+  }
+
+ private:
+  Scheduler* sched_;
+  std::function<void()> on_expire_;
+  EventHandle handle_;
+  Time expiry_ = Time::never();
+};
+
+}  // namespace mip6

@@ -1,0 +1,22 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace mip6 {
+
+std::string TraceRecord::str() const {
+  return at.str() + " [" + component + "] " + event +
+         (detail.empty() ? "" : (" " + detail));
+}
+
+Trace::Sink Trace::recorder(std::vector<TraceRecord>& out) {
+  return [&out](const TraceRecord& r) { out.push_back(r); };
+}
+
+Trace::Sink Trace::stderr_printer() {
+  return [](const TraceRecord& r) {
+    std::fprintf(stderr, "%s\n", r.str().c_str());
+  };
+}
+
+}  // namespace mip6

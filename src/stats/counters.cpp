@@ -1,0 +1,30 @@
+#include "stats/counters.hpp"
+
+namespace mip6 {
+
+void CounterRegistry::add(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+std::uint64_t CounterRegistry::get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::uint64_t CounterRegistry::sum_prefix(const std::string& prefix) const {
+  std::uint64_t total = 0;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    total += it->second;
+  }
+  return total;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot()
+    const {
+  return {counters_.begin(), counters_.end()};
+}
+
+void CounterRegistry::reset() { counters_.clear(); }
+
+}  // namespace mip6

@@ -1,0 +1,31 @@
+// Named counter registry.
+//
+// Protocol engines account control/data traffic and processing events
+// (encapsulations, tree rebuilds, asserts...) against hierarchical names
+// like "pimdm/tx/graft" or "ha/encap". Scenario code reads them back by
+// exact name or by prefix sum, which is how the Section 4.3 criteria
+// (protocol overhead, system load) are computed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mip6 {
+
+class CounterRegistry {
+ public:
+  void add(const std::string& name, std::uint64_t delta = 1);
+  std::uint64_t get(const std::string& name) const;
+  /// Sum of all counters whose name starts with `prefix`.
+  std::uint64_t sum_prefix(const std::string& prefix) const;
+  /// All (name, value) pairs, name-ordered.
+  std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+  void reset();
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace mip6

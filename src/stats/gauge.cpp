@@ -1,0 +1,22 @@
+#include "stats/gauge.hpp"
+
+namespace mip6 {
+
+void TimeWeightedGauge::set(Time now, double value) {
+  if (now < last_change_) {
+    throw LogicError("TimeWeightedGauge: time went backwards");
+  }
+  weighted_sum_ += value_ * (now - last_change_).to_seconds();
+  last_change_ = now;
+  value_ = value;
+  if (value > peak_) peak_ = value;
+}
+
+double TimeWeightedGauge::average(Time now) const {
+  double span = (now - start_).to_seconds();
+  if (span <= 0) return value_;
+  double total = weighted_sum_ + value_ * (now - last_change_).to_seconds();
+  return total / span;
+}
+
+}  // namespace mip6

@@ -1,0 +1,36 @@
+// Time-weighted gauge: tracks a piecewise-constant quantity (queue depth,
+// (S,G) entry count, binding-cache size) and reports its time-average and
+// peak over the observation window.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "util/errors.hpp"
+
+namespace mip6 {
+
+class TimeWeightedGauge {
+ public:
+  /// Starts observing at `start` with value 0.
+  explicit TimeWeightedGauge(Time start = Time::zero()) : last_change_(start) {}
+
+  /// Records that the value changed to `value` at time `now` (must be
+  /// monotonically non-decreasing).
+  void set(Time now, double value);
+  void add(Time now, double delta) { set(now, value_ + delta); }
+
+  double value() const { return value_; }
+  double peak() const { return peak_; }
+  /// Time average over [start, now].
+  double average(Time now) const;
+
+ private:
+  Time last_change_;
+  Time start_ = last_change_;
+  double value_ = 0;
+  double peak_ = 0;
+  double weighted_sum_ = 0;  // integral of value dt, in value*seconds
+};
+
+}  // namespace mip6

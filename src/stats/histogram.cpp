@@ -1,0 +1,60 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+
+#include "util/errors.hpp"
+#include "util/strings.hpp"
+
+namespace mip6 {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi) || bins == 0) throw LogicError("bad histogram range");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto i = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                    static_cast<double>(counts_.size()));
+  counts_[std::min(i, counts_.size() - 1)] += 1;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+std::string Histogram::str(std::size_t bar_width) const {
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(
+                        static_cast<double>(counts_[i]) /
+                        static_cast<double>(peak) *
+                        static_cast<double>(bar_width));
+    out += "[" + pad_left(fmt_double(bin_lo(i), 1), 8) + "," +
+           pad_left(fmt_double(bin_hi(i), 1), 8) + ") " +
+           pad_left(std::to_string(counts_[i]), 7) + " " +
+           std::string(bar, '#') + "\n";
+  }
+  if (underflow_ || overflow_) {
+    out += "underflow=" + std::to_string(underflow_) +
+           " overflow=" + std::to_string(overflow_) + "\n";
+  }
+  return out;
+}
+
+}  // namespace mip6

@@ -1,0 +1,35 @@
+// Fixed-bin histogram for delay distributions (e.g. join-delay spread of the
+// query-wait policy, which is uniform over [0, T_Query + response delay]).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mip6 {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins over [lo, hi); out-of-range samples are counted
+  /// in underflow/overflow.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// ASCII rendering, one bin per line with a proportional bar.
+  std::string str(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace mip6

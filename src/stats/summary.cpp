@@ -1,0 +1,75 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace mip6 {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+  sum_ += x;
+  double n = static_cast<double>(samples_.size());
+  double delta = x - mean_;
+  mean_ += delta / n;
+  m2_ += delta * (x - mean_);
+}
+
+void Summary::merge(const Summary& other) {
+  for (double x : other.samples_) add(x);
+}
+
+double Summary::mean() const { return samples_.empty() ? 0.0 : mean_; }
+
+double Summary::variance() const {
+  if (samples_.size() < 2) return 0.0;
+  return m2_ / (static_cast<double>(samples_.size()) - 1.0);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::min() const {
+  return samples_.empty()
+             ? 0.0
+             : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  return samples_.empty()
+             ? 0.0
+             : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  double rank = p / 100.0 * (static_cast<double>(samples_.size()) - 1.0);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double Summary::ci95_halfwidth() const {
+  if (samples_.size() < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(samples_.size()));
+}
+
+std::string Summary::str(int decimals) const {
+  if (empty()) return "n=0";
+  return "mean=" + fmt_double(mean(), decimals) +
+         " sd=" + fmt_double(stddev(), decimals) +
+         " min=" + fmt_double(min(), decimals) +
+         " p50=" + fmt_double(median(), decimals) +
+         " max=" + fmt_double(max(), decimals) +
+         " n=" + std::to_string(count());
+}
+
+}  // namespace mip6

@@ -1,0 +1,42 @@
+// Streaming sample summary: count/mean/variance via Welford, min/max, and
+// exact percentiles (samples retained; scenario sample counts are small).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mip6 {
+
+class Summary {
+ public:
+  void add(double x);
+  void merge(const Summary& other);
+
+  std::uint64_t count() const { return static_cast<std::uint64_t>(samples_.size()); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+  /// Exact percentile by linear interpolation, p in [0,100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  /// Half-width of the 95% confidence interval on the mean (normal approx).
+  double ci95_halfwidth() const;
+
+  /// "mean=1.23 sd=0.4 min=0.8 p50=1.2 max=2.0 n=17"
+  std::string str(int decimals = 3) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+}  // namespace mip6

@@ -1,0 +1,27 @@
+// Plain-text and CSV table renderers used by every bench binary to print the
+// reproduced rows of the paper's tables/figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mip6 {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Monospace rendering with aligned columns.
+  std::string str() const;
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mip6

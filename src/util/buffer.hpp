@@ -1,0 +1,84 @@
+// Byte-order-safe serialization primitives.
+//
+// All protocol messages in this codebase are serialized to real octet
+// sequences in network byte order and parsed back on receive, mirroring what
+// an implementation on a wire would do. BufferWriter appends to a growable
+// byte vector; BufferReader consumes a read-only view and throws ParseError
+// on underrun, so every parser rejects truncated input by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/errors.hpp"
+
+namespace mip6 {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Appends integers (network byte order) and raw octets to a byte vector.
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+  explicit BufferWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void raw(BytesView bytes);
+  /// Appends `n` zero octets (padding).
+  void zeros(std::size_t n);
+
+  /// Overwrites a previously written big-endian u16 at `offset`.
+  /// Used to patch length/checksum fields after the body is known.
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& bytes() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Consumes a byte view front-to-back; throws ParseError on underrun.
+class BufferReader {
+ public:
+  explicit BufferReader(BytesView view) : view_(view) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  /// Reads exactly `n` octets into a fresh vector.
+  Bytes raw(std::size_t n);
+  /// Reads exactly `n` octets as a subview (no copy). The view is only valid
+  /// while the underlying buffer lives.
+  BytesView view(std::size_t n);
+  /// Skips `n` octets.
+  void skip(std::size_t n);
+
+  std::size_t remaining() const { return view_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool empty() const { return remaining() == 0; }
+
+  /// Throws ParseError unless the reader is fully consumed; call at the end
+  /// of a parse to reject trailing garbage.
+  void expect_end(const char* what) const;
+
+ private:
+  void require(std::size_t n) const;
+
+  BytesView view_;
+  std::size_t pos_ = 0;
+};
+
+/// Renders bytes as lowercase hex, e.g. "0a1b2c". For diagnostics and tests.
+std::string to_hex(BytesView bytes);
+
+}  // namespace mip6

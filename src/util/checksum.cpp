@@ -1,0 +1,55 @@
+#include "util/checksum.hpp"
+
+namespace mip6 {
+
+void InternetChecksum::add(BytesView bytes) {
+  std::size_t i = 0;
+  if (odd_ && !bytes.empty()) {
+    sum_ += (static_cast<std::uint16_t>(pending_) << 8) | bytes[0];
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum_ += (static_cast<std::uint16_t>(bytes[i]) << 8) | bytes[i + 1];
+  }
+  if (i < bytes.size()) {
+    odd_ = true;
+    pending_ = bytes[i];
+  }
+}
+
+void InternetChecksum::add_u16(std::uint16_t v) {
+  std::uint8_t b[2] = {static_cast<std::uint8_t>(v >> 8),
+                       static_cast<std::uint8_t>(v)};
+  add(BytesView(b, 2));
+}
+
+void InternetChecksum::add_u32(std::uint32_t v) {
+  add_u16(static_cast<std::uint16_t>(v >> 16));
+  add_u16(static_cast<std::uint16_t>(v));
+}
+
+std::uint16_t InternetChecksum::finish() const {
+  std::uint64_t s = sum_;
+  if (odd_) {
+    s += static_cast<std::uint16_t>(pending_) << 8;
+  }
+  while (s >> 16) {
+    s = (s & 0xffff) + (s >> 16);
+  }
+  return static_cast<std::uint16_t>(~s & 0xffff);
+}
+
+std::uint16_t internet_checksum(BytesView bytes) {
+  InternetChecksum c;
+  c.add(bytes);
+  return c.finish();
+}
+
+bool verify_internet_checksum(BytesView bytes) {
+  // Summing data that already contains a correct checksum yields all-ones,
+  // whose complement is zero.
+  return internet_checksum(bytes) == 0;
+}
+
+}  // namespace mip6

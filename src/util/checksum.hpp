@@ -1,0 +1,37 @@
+// RFC 1071 Internet checksum, used by the ICMPv6-family messages (MLD) and
+// PIM. Computed over real serialized octets so corrupted-packet injection in
+// tests is detected the same way a real stack would detect it.
+#pragma once
+
+#include <cstdint>
+
+#include "util/buffer.hpp"
+
+namespace mip6 {
+
+/// One's-complement sum accumulator. Feed octet ranges (16-bit words, big
+/// endian; a trailing odd octet is padded with zero) then call finish().
+class InternetChecksum {
+ public:
+  void add(BytesView bytes);
+  void add_u16(std::uint16_t v);
+  void add_u32(std::uint32_t v);
+
+  /// Folds the accumulator and returns the one's complement (the value to
+  /// place in the checksum field).
+  std::uint16_t finish() const;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  // true if an odd octet is pending in `pending_`
+  std::uint8_t pending_ = 0;
+};
+
+/// Convenience: checksum of a single contiguous range.
+std::uint16_t internet_checksum(BytesView bytes);
+
+/// Verifies a message whose checksum field was included in `bytes`; a valid
+/// message sums to 0xffff (i.e. folded sum of data incl. checksum is 0).
+bool verify_internet_checksum(BytesView bytes);
+
+}  // namespace mip6

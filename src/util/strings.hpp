@@ -1,0 +1,22 @@
+// Small string/formatting helpers shared by trace output and table renderers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mip6 {
+
+/// Splits on a single character; keeps empty fields ("a::b" -> "a","","b").
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// printf-style double with fixed decimals, locale-independent.
+std::string fmt_double(double v, int decimals);
+
+/// Human-readable byte count ("1.2 MiB").
+std::string fmt_bytes(double bytes);
+
+/// Left-pads / right-pads to a field width with spaces.
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace mip6

@@ -1,0 +1,103 @@
+#include "core/describe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ipv6/tunnel.hpp"
+#include "ipv6/udp.hpp"
+#include "mipv6/messages.hpp"
+#include "mld/messages.hpp"
+#include "pimdm/messages.hpp"
+
+namespace mip6 {
+namespace {
+
+TEST(Describe, UdpDatagram) {
+  Address src = Address::parse("2001:db8:1::99");
+  Address dst = Address::parse("ff1e::1");
+  DatagramSpec spec;
+  spec.src = src;
+  spec.dst = dst;
+  spec.protocol = proto::kUdp;
+  spec.payload = UdpDatagram{9000, 9000, Bytes(64)}.serialize(src, dst);
+  std::string s = describe_datagram(build_datagram(spec));
+  EXPECT_NE(s.find("IPv6 2001:db8:1::99 -> ff1e::1"), std::string::npos) << s;
+  EXPECT_NE(s.find("UDP 9000->9000"), std::string::npos) << s;
+}
+
+TEST(Describe, MldReport) {
+  Address src = Address::parse("fe80::1");
+  Address dst = Address::parse("ff1e::1");
+  MldMessage rep;
+  rep.type = MldType::kReport;
+  rep.group = dst;
+  DatagramSpec spec;
+  spec.src = src;
+  spec.dst = dst;
+  spec.hop_limit = 1;
+  spec.protocol = proto::kIcmpv6;
+  spec.payload = rep.to_icmpv6().serialize(src, dst);
+  std::string s = describe_datagram(build_datagram(spec));
+  EXPECT_NE(s.find("MLD Report group=ff1e::1"), std::string::npos) << s;
+}
+
+TEST(Describe, PimGraft) {
+  Address src = Address::parse("fe80::2");
+  Address dst = Address::parse("fe80::3");
+  PimJoinPrune m = PimJoinPrune::join(dst, Address::parse("2001:db8::1"),
+                                      Address::parse("ff1e::1"));
+  DatagramSpec spec;
+  spec.src = src;
+  spec.dst = dst;
+  spec.hop_limit = 1;
+  spec.protocol = proto::kPim;
+  spec.payload = serialize_pim(PimType::kGraft, m.body(), src, dst);
+  std::string s = describe_datagram(build_datagram(spec));
+  EXPECT_NE(s.find("PIM Graft"), std::string::npos) << s;
+  EXPECT_NE(s.find("J(2001:db8::1,ff1e::1)"), std::string::npos) << s;
+}
+
+TEST(Describe, BindingUpdateWithGroupListAndHomeAddress) {
+  BindingUpdateOption bu;
+  bu.home_registration = true;
+  bu.sequence = 3;
+  bu.lifetime_s = 256;
+  MulticastGroupListSubOption list;
+  list.groups.push_back(Address::parse("ff1e::1"));
+  bu.sub_options.push_back(list.encode());
+  DatagramSpec spec;
+  spec.src = Address::parse("2001:db8:6::99");
+  spec.dst = Address::parse("2001:db8:4::4");
+  spec.dest_options.push_back(bu.encode());
+  spec.dest_options.push_back(
+      HomeAddressOption{Address::parse("2001:db8:4::99")}.encode());
+  spec.protocol = proto::kNoNext;
+  std::string s = describe_datagram(build_datagram(spec));
+  EXPECT_NE(s.find("BU seq=3 life=256s groups=1"), std::string::npos) << s;
+  EXPECT_NE(s.find("Home=2001:db8:4::99"), std::string::npos) << s;
+}
+
+TEST(Describe, TunneledDatagramRecurses) {
+  DatagramSpec inner;
+  inner.src = Address::parse("2001:db8:1::99");
+  inner.dst = Address::parse("ff1e::1");
+  inner.protocol = proto::kUdp;
+  inner.payload =
+      UdpDatagram{9000, 9000, Bytes(8)}.serialize(inner.src, inner.dst);
+  Bytes outer = encapsulate(build_datagram(inner),
+                            Address::parse("2001:db8:4::4"),
+                            Address::parse("2001:db8:6::99"));
+  std::string s = describe_datagram(outer);
+  EXPECT_NE(s.find("tunnel[ IPv6 2001:db8:1::99"), std::string::npos) << s;
+  EXPECT_NE(s.find("UDP 9000->9000"), std::string::npos) << s;
+}
+
+TEST(Describe, MalformedNeverThrows) {
+  EXPECT_NO_THROW({
+    std::string s = describe_datagram(Bytes{1, 2, 3});
+    EXPECT_NE(s.find("malformed"), std::string::npos);
+  });
+  EXPECT_NO_THROW(describe_datagram(Bytes{}));
+}
+
+}  // namespace
+}  // namespace mip6

@@ -1,0 +1,109 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/figure1.hpp"
+#include "core/traffic.hpp"
+
+namespace mip6 {
+namespace {
+
+constexpr std::uint16_t kPort = Figure1::kDataPort;
+
+struct Fixture {
+  Figure1 f = build_figure1();
+  Address group = Figure1::group();
+  McastMetrics metrics{f.world->net(), f.world->routing(), group, kPort};
+  std::unique_ptr<CbrSource> source;
+
+  Fixture() {
+    source = std::make_unique<CbrSource>(
+        f.world->scheduler(),
+        [this](Bytes p) {
+          f.sender->service->send_multicast(group, kPort, kPort,
+                                            std::move(p));
+        },
+        Time::ms(100), 64);
+  }
+};
+
+TEST(McastMetrics, SteadyTreeHasUnitStretch) {
+  Fixture t;
+  t.f.recv3->service->subscribe(t.group);
+  // Reference: source on L1, member on L4.
+  t.metrics.update_reference_tree(
+      t.f.link1->id(), {t.f.link4->id()});
+  // Let the tree settle before measuring (flood already pruned).
+  t.f.world->run_until(Time::sec(30));
+  t.source->start(Time::sec(30));
+  t.f.world->run_until(Time::sec(60));
+  t.source->stop();
+  t.f.world->run_until(Time::sec(61));
+
+  // Path L1->L2->L3->L4 = 4 links including the source LAN. The very first
+  // datagram is duplicated once (both Routers B and C forward until the
+  // data-triggered Assert elects one of them), so allow that sliver.
+  EXPECT_GT(t.metrics.distinct_datagrams(), 250u);
+  EXPECT_NEAR(t.metrics.stretch(), 1.0, 0.01);
+  EXPECT_LT(t.metrics.wasted_bytes(), 500u);
+  EXPECT_EQ(t.metrics.tunneled_bytes(), 0u);
+}
+
+TEST(McastMetrics, FloodCountsAsWaste) {
+  Fixture t;
+  t.f.recv3->service->subscribe(t.group);
+  t.metrics.update_reference_tree(t.f.link1->id(), {t.f.link4->id()});
+  // Start sending immediately: the initial flood reaches links outside the
+  // reference tree and duplicate forwarders are active until asserts.
+  t.source->start(Time::ms(10));
+  t.f.world->run_until(Time::sec(30));
+  EXPECT_GT(t.metrics.wasted_bytes(), 0u);
+  EXPECT_GT(t.metrics.stretch(), 1.0);
+}
+
+TEST(McastMetrics, TunnelBytesTrackedAndStretchAboveOne) {
+  // Receiver 3 on a bidirectional tunnel after moving to Link 6: traffic
+  // goes L1..L4 natively, then is tunneled D -> Link6 (crossing L3 again).
+  Figure1 f = build_figure1(1, {}, StrategyOptions{
+      McastStrategy::kBidirTunnel, HaRegistration::kGroupListBu});
+  Address group = Figure1::group();
+  McastMetrics metrics(f.world->net(), f.world->routing(), group, kPort);
+  f.recv3->service->subscribe(group);
+  f.world->run_until(Time::sec(30));
+  f.recv3->mn->move_to(*f.link6);
+  f.world->run_until(Time::sec(40));
+  metrics.update_reference_tree(f.link1->id(), {f.link6->id()});
+
+  CbrSource source(
+      f.world->scheduler(),
+      [&](Bytes p) {
+        f.sender->service->send_multicast(group, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  source.start(Time::sec(40));
+  f.world->run_until(Time::sec(70));
+  source.stop();
+  f.world->run_until(Time::sec(71));
+
+  EXPECT_GT(metrics.tunneled_bytes(), 0u);
+  // Tunnel detour beats the optimal native tree: stretch strictly > 1.
+  EXPECT_GT(metrics.stretch(), 1.0);
+}
+
+TEST(McastMetrics, PerLinkLastTxSupportsLeaveDelay) {
+  Fixture t;
+  t.f.recv3->service->subscribe(t.group);
+  t.metrics.update_reference_tree(t.f.link1->id(), {t.f.link4->id()});
+  t.source->start(Time::ms(10));
+  t.f.world->run_until(Time::sec(10));
+  EXPECT_GT(t.metrics.data_tx_count_on(t.f.link4->id()), 0u);
+  Time last_before = t.metrics.last_data_tx_on(t.f.link4->id());
+  EXPECT_FALSE(last_before.is_never());
+  EXPECT_LE(last_before, Time::sec(10));
+  EXPECT_GT(t.metrics.data_bytes_on(t.f.link4->id()), 0u);
+  // A link with no data has never-valued last tx.
+  EXPECT_TRUE(t.metrics.last_data_tx_on(t.f.link5->id()).is_never());
+}
+
+}  // namespace
+}  // namespace mip6

@@ -1,0 +1,190 @@
+// MobileMulticastService behaviour: strategy mechanics at home vs away,
+// mid-run strategy switches, multi-group subscriptions, and several mobile
+// nodes sharing one home agent.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/traffic.hpp"
+#include "core/world.hpp"
+
+namespace mip6 {
+namespace {
+
+const Address kG1 = Address::parse("ff1e::a1");
+const Address kG2 = Address::parse("ff1e::a2");
+constexpr std::uint16_t kPort = 9000;
+
+struct Roam {
+  World world;
+  Link& hl;
+  Link& tl;
+  Link& fl;
+  RouterEnv& ha;
+  RouterEnv& fr;
+  HostEnv& mn;
+  HostEnv& src;
+
+  explicit Roam(StrategyOptions strategy = {}, std::uint64_t seed = 1)
+      : world(seed), hl(world.add_link("HL")), tl(world.add_link("TL")),
+        fl(world.add_link("FL")), ha(world.add_router("HA", {&hl, &tl})),
+        fr(world.add_router("FR", {&tl, &fl})),
+        mn(world.add_host("MN", hl, strategy)),
+        src(world.add_host("SRC", hl)) {
+    world.finalize();
+  }
+};
+
+TEST(MobileService, AtHomeTunnelStrategyBehavesLocally) {
+  // While at home the tunnel strategy must not tunnel anything: sending is
+  // native and no binding exists.
+  Roam t({McastStrategy::kBidirTunnel, HaRegistration::kGroupListBu});
+  GroupReceiverApp app(*t.src.stack, kPort);
+  t.src.service->subscribe(kG1);
+  t.mn.service->subscribe(kG1);
+  for (int i = 0; i < 10; ++i) {
+    CbrPayload p;
+    p.seq = static_cast<std::uint32_t>(i);
+    t.mn.service->send_multicast(kG1, kPort, kPort, p.encode(32));
+  }
+  t.world.run_until(Time::sec(2));
+  EXPECT_EQ(app.unique_received(), 10u);
+  EXPECT_EQ(t.world.net().counters().get("mn/encap"), 0u);
+  EXPECT_EQ(t.ha.ha->cache().size(), 0u);
+}
+
+TEST(MobileService, MultipleGroupsCarriedInOneBindingUpdate) {
+  Roam t({McastStrategy::kBidirTunnel, HaRegistration::kGroupListBu});
+  t.mn.service->subscribe(kG1);
+  t.mn.service->subscribe(kG2);
+  t.mn.mn->move_to(t.fl);
+  t.world.run_until(Time::sec(3));
+  EXPECT_TRUE(t.ha.ha->represents(kG1));
+  EXPECT_TRUE(t.ha.ha->represents(kG2));
+  const BindingCache::Entry* e =
+      t.ha.ha->cache().find(t.mn.mn->home_address());
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->groups.size(), 2u);
+}
+
+TEST(MobileService, StrategySwitchWhileAwayRewiresDelivery) {
+  Roam t({McastStrategy::kBidirTunnel, HaRegistration::kGroupListBu});
+  GroupReceiverApp app(*t.mn.stack, kPort);
+  t.mn.service->subscribe(kG1);
+  CbrSource source(
+      t.world.scheduler(),
+      [&](Bytes p) {
+        t.src.service->send_multicast(kG1, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  source.start(Time::sec(1));
+  t.mn.mn->move_to(t.fl);
+  t.world.run_until(Time::sec(10));
+  std::uint64_t tunneled_before =
+      t.world.net().counters().get("ha/encap-multicast");
+  EXPECT_GT(tunneled_before, 0u);
+
+  // Switch to local membership: MLD join on the foreign link, and the
+  // service deregisters the groups at the HA with an empty group list.
+  t.mn.service->set_strategy(
+      {McastStrategy::kLocalMembership, HaRegistration::kGroupListBu});
+  t.world.run_until(Time::sec(30));
+  EXPECT_FALSE(t.ha.ha->represents(kG1));
+  // Delivery continues via the native graft path.
+  EXPECT_GT(app.received_in(Time::sec(15), Time::sec(30)), 100u);
+  EXPECT_GT(t.world.net().counters().get("pimdm/tx/graft"), 0u);
+}
+
+TEST(MobileService, TwoMobileNodesShareOneHomeAgentFanOut) {
+  World world(5);
+  Link& hl = world.add_link("HL");
+  Link& tl = world.add_link("TL");
+  Link& fl1 = world.add_link("FL1");
+  Link& fl2 = world.add_link("FL2");
+  RouterEnv& ha = world.add_router("HA", {&hl, &tl});
+  world.add_router("FR", {&tl, &fl1, &fl2});
+  StrategyOptions tunnel{McastStrategy::kBidirTunnel,
+                         HaRegistration::kGroupListBu};
+  HostEnv& mn1 = world.add_host("MN1", hl, tunnel);
+  HostEnv& mn2 = world.add_host("MN2", hl, tunnel);
+  HostEnv& src = world.add_host("SRC", hl);
+  world.finalize();
+
+  GroupReceiverApp app1(*mn1.stack, kPort);
+  GroupReceiverApp app2(*mn2.stack, kPort);
+  mn1.service->subscribe(kG1);
+  mn2.service->subscribe(kG1);
+  CbrSource source(
+      world.scheduler(),
+      [&](Bytes p) {
+        src.service->send_multicast(kG1, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  source.start(Time::sec(1));
+  mn1.mn->move_to(fl1);
+  mn2.mn->move_to(fl2);
+  world.run_until(Time::sec(20));
+
+  // Both tunnels served: the paper's point that per-MN unicast copies
+  // multiply the HA's and the network's load.
+  EXPECT_GT(app1.received_in(Time::sec(5), Time::sec(20)), 100u);
+  EXPECT_GT(app2.received_in(Time::sec(5), Time::sec(20)), 100u);
+  EXPECT_EQ(ha.ha->cache().size(), 2u);
+  // One encapsulation per MN per datagram: roughly twice the stream.
+  std::uint64_t encaps = world.net().counters().get("ha/encap-multicast");
+  EXPECT_GT(encaps, 300u);
+}
+
+TEST(MobileService, UnsubscribeStopsLocalDelivery) {
+  Roam t;  // local membership
+  GroupReceiverApp app(*t.mn.stack, kPort);
+  t.mn.service->subscribe(kG1);
+  CbrSource source(
+      t.world.scheduler(),
+      [&](Bytes p) {
+        t.src.service->send_multicast(kG1, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  source.start(Time::sec(1));
+  t.world.run_until(Time::sec(5));
+  std::uint64_t before = app.unique_received();
+  ASSERT_GT(before, 30u);
+  t.mn.service->unsubscribe(kG1);
+  t.world.run_until(Time::sec(10));
+  // The receive filter is gone; at most a couple of in-flight datagrams.
+  EXPECT_LE(app.unique_received(), before + 2);
+}
+
+TEST(MobileService, SenderStrategySendsWithCorrectSourceAddress) {
+  // Reverse tunnel: receivers see the *home* address as source even while
+  // the sender roams (the paper's "home address as source of the inner
+  // datagram").
+  Roam t({McastStrategy::kBidirTunnel, HaRegistration::kGroupListBu});
+  std::vector<Address> sources;
+  t.src.service->subscribe(kG1);  // real MLD membership on the home link
+  t.src.stack->set_proto_handler(
+      proto::kUdp, [&](const ParsedDatagram& d, const Packet&, IfaceId) {
+        sources.push_back(d.hdr.src);
+      });
+  t.mn.mn->move_to(t.fl);
+  t.world.run_until(Time::sec(2));
+  CbrPayload p;
+  p.seq = 0;
+  t.mn.service->send_multicast(kG1, kPort, kPort, p.encode(32));
+  t.world.run_until(Time::sec(3));
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(sources[0], t.mn.mn->home_address());
+
+  // Local sending instead: care-of address as source.
+  t.mn.service->set_strategy(
+      {McastStrategy::kTunnelHaToMh, HaRegistration::kGroupListBu});
+  p.seq = 1;
+  t.mn.service->send_multicast(kG1, kPort, kPort, p.encode(32));
+  // Native send from the foreign link: a fresh (CoA, G) tree must flood
+  // its way to the home link, so allow a moment.
+  t.world.run_until(Time::sec(8));
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_EQ(sources[1], t.mn.mn->care_of());
+}
+
+}  // namespace
+}  // namespace mip6

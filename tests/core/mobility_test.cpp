@@ -1,0 +1,89 @@
+#include "core/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+
+namespace mip6 {
+namespace {
+
+struct ThreeLinks {
+  World world;
+  Link& l1;
+  Link& l2;
+  Link& l3;
+  HostEnv* host;
+
+  ThreeLinks()
+      : world(11), l1(world.add_link("L1")), l2(world.add_link("L2")),
+        l3(world.add_link("L3")) {
+    world.add_router("R", {&l1, &l2, &l3});
+    host = &world.add_host("H", l1);
+    world.finalize();
+  }
+};
+
+TEST(ItineraryMover, MovesAtScriptedTimes) {
+  ThreeLinks t;
+  ItineraryMover mover(*t.host->mn, t.world.scheduler());
+  std::vector<std::pair<Time, Link*>> moves;
+  mover.set_on_move([&](Link& l) { moves.emplace_back(t.world.now(), &l); });
+  mover.add_step(Time::sec(10), t.l2);
+  mover.add_step(Time::sec(20), t.l3);
+  t.world.run_until(Time::sec(30));
+  ASSERT_EQ(moves.size(), 2u);
+  EXPECT_EQ(moves[0], std::make_pair(Time::sec(10), &t.l2));
+  EXPECT_EQ(moves[1], std::make_pair(Time::sec(20), &t.l3));
+  EXPECT_EQ(t.host->node->iface(0).link(), &t.l3);
+  // The mobile node re-attached and formed a care-of address.
+  EXPECT_TRUE(t.host->mn->away_from_home());
+}
+
+TEST(RandomMover, MovesAtRoughlyConfiguredRate) {
+  ThreeLinks t;
+  RandomMover mover(*t.host->mn, t.world.net().rng(),
+                    {&t.l1, &t.l2, &t.l3}, Time::sec(50));
+  mover.start(Time::sec(1));
+  t.world.run_until(Time::sec(3000));
+  // Expected ~60 moves at mean dwell 50 s; accept a broad band.
+  EXPECT_GT(mover.moves(), 30u);
+  EXPECT_LT(mover.moves(), 120u);
+}
+
+TEST(RandomMover, NeverMovesToCurrentLink) {
+  ThreeLinks t;
+  RandomMover mover(*t.host->mn, t.world.net().rng(),
+                    {&t.l1, &t.l2, &t.l3}, Time::sec(10));
+  Link* last = t.host->node->iface(0).link();
+  bool self_move = false;
+  mover.set_on_move([&](Link& l) {
+    if (&l == last) self_move = true;
+    last = &l;
+  });
+  mover.start(Time::sec(1));
+  t.world.run_until(Time::sec(500));
+  EXPECT_GT(mover.moves(), 10u);
+  EXPECT_FALSE(self_move);
+}
+
+TEST(RandomMover, StopHaltsMovement) {
+  ThreeLinks t;
+  RandomMover mover(*t.host->mn, t.world.net().rng(), {&t.l1, &t.l2},
+                    Time::sec(10));
+  mover.start(Time::sec(1));
+  t.world.run_until(Time::sec(100));
+  std::uint64_t n = mover.moves();
+  mover.stop();
+  t.world.run_until(Time::sec(1000));
+  EXPECT_EQ(mover.moves(), n);
+}
+
+TEST(RandomMover, EmptyCandidatesThrows) {
+  ThreeLinks t;
+  EXPECT_THROW(
+      RandomMover(*t.host->mn, t.world.net().rng(), {}, Time::sec(1)),
+      LogicError);
+}
+
+}  // namespace
+}  // namespace mip6

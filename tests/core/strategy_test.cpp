@@ -1,0 +1,150 @@
+// Parameterized sweep over the paper's four approaches (× both HA
+// registration variants for tunnel reception): every combination must keep
+// a mobile receiver and a mobile sender connected across movements, with
+// the strategy-specific mechanics (tunnels vs grafts) actually engaged.
+#include <gtest/gtest.h>
+
+#include "core/figure1.hpp"
+#include "core/metrics.hpp"
+#include "core/traffic.hpp"
+
+namespace mip6 {
+namespace {
+
+constexpr std::uint16_t kPort = Figure1::kDataPort;
+
+struct StrategyCase {
+  const char* name;
+  StrategyOptions opts;
+};
+
+class StrategySweep : public ::testing::TestWithParam<StrategyCase> {};
+
+TEST_P(StrategySweep, MobileReceiverSurvivesMove) {
+  const StrategyOptions opts = GetParam().opts;
+  Figure1 f = build_figure1(1, {}, opts);
+  Address group = Figure1::group();
+  GroupReceiverApp app(*f.recv3->stack, kPort);
+  f.recv3->service->subscribe(group);
+  CbrSource source(
+      f.world->scheduler(),
+      [&](Bytes p) {
+        f.sender->service->send_multicast(group, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  source.start(Time::sec(1));
+  f.world->run_until(Time::sec(10));
+  ASSERT_GT(app.unique_received(), 50u) << GetParam().name;
+
+  // Move to the pruned Link 6, then onward to Link 5.
+  f.recv3->mn->move_to(*f.link6);
+  f.world->run_until(Time::sec(40));
+  std::uint64_t after_first_move = app.received_in(Time::sec(10), Time::sec(40));
+  EXPECT_GT(after_first_move, 200u) << GetParam().name;
+
+  f.recv3->mn->move_to(*f.link5);
+  f.world->run_until(Time::sec(70));
+  EXPECT_GT(app.received_in(Time::sec(40), Time::sec(70)), 200u)
+      << GetParam().name;
+
+  // Mechanics: tunnel-receive strategies decapsulate at the MN; local
+  // strategies graft instead.
+  auto& counters = f.world->net().counters();
+  if (receives_locally(opts.strategy)) {
+    EXPECT_EQ(counters.get("ha/encap-multicast"), 0u) << GetParam().name;
+    EXPECT_GE(counters.get("pimdm/tx/graft"), 1u) << GetParam().name;
+  } else {
+    EXPECT_GT(counters.get("ha/encap-multicast"), 0u) << GetParam().name;
+    EXPECT_GT(counters.get("mn/decap"), 0u) << GetParam().name;
+  }
+}
+
+TEST_P(StrategySweep, MobileSenderSurvivesMove) {
+  const StrategyOptions opts = GetParam().opts;
+  Figure1 f = build_figure1(2, {}, opts);
+  Address group = Figure1::group();
+  GroupReceiverApp app(*f.recv2->stack, kPort);
+  f.recv2->service->subscribe(group);
+  CbrSource source(
+      f.world->scheduler(),
+      [&](Bytes p) {
+        f.sender->service->send_multicast(group, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  source.start(Time::sec(1));
+  f.world->run_until(Time::sec(10));
+  ASSERT_GT(app.unique_received(), 50u) << GetParam().name;
+
+  f.sender->mn->move_to(*f.link6);
+  f.world->run_until(Time::sec(60));
+  // Delivery continues after the handoff (allowing the handoff gap).
+  EXPECT_GT(app.received_in(Time::sec(20), Time::sec(60)), 300u)
+      << GetParam().name;
+
+  auto& counters = f.world->net().counters();
+  const Address coa = f.sender->mn->care_of();
+  ASSERT_FALSE(coa.is_unspecified());
+  bool coa_tree = false;
+  for (const auto& r : f.world->routers()) {
+    if (r->pim->has_entry(coa, group)) coa_tree = true;
+  }
+  if (sends_locally(opts.strategy)) {
+    // New source-rooted tree from the care-of address.
+    EXPECT_TRUE(coa_tree) << GetParam().name;
+  } else {
+    // Reverse tunnel: the home-rooted tree is reused, no care-of tree.
+    EXPECT_FALSE(coa_tree) << GetParam().name;
+    EXPECT_GT(counters.get("mn/encap"), 0u) << GetParam().name;
+    EXPECT_GT(counters.get("ha/decap-multicast"), 0u) << GetParam().name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApproaches, StrategySweep,
+    ::testing::Values(
+        StrategyCase{"local_membership",
+                     {McastStrategy::kLocalMembership,
+                      HaRegistration::kGroupListBu}},
+        StrategyCase{"bidir_tunnel_grouplist",
+                     {McastStrategy::kBidirTunnel,
+                      HaRegistration::kGroupListBu}},
+        StrategyCase{"bidir_tunnel_tunnelmld",
+                     {McastStrategy::kBidirTunnel,
+                      HaRegistration::kTunnelMld}},
+        StrategyCase{"tunnel_mh_to_ha",
+                     {McastStrategy::kTunnelMhToHa,
+                      HaRegistration::kGroupListBu}},
+        StrategyCase{"tunnel_ha_to_mh_grouplist",
+                     {McastStrategy::kTunnelHaToMh,
+                      HaRegistration::kGroupListBu}},
+        StrategyCase{"tunnel_ha_to_mh_tunnelmld",
+                     {McastStrategy::kTunnelHaToMh,
+                      HaRegistration::kTunnelMld}}),
+    [](const ::testing::TestParamInfo<StrategyCase>& info) {
+      return info.param.name;
+    });
+
+TEST(StrategyHelpers, TableOneMapping) {
+  // Table 1 of the paper: the 2x2 send/receive matrix.
+  EXPECT_TRUE(receives_locally(McastStrategy::kLocalMembership));
+  EXPECT_TRUE(sends_locally(McastStrategy::kLocalMembership));
+  EXPECT_FALSE(receives_locally(McastStrategy::kBidirTunnel));
+  EXPECT_FALSE(sends_locally(McastStrategy::kBidirTunnel));
+  EXPECT_TRUE(receives_locally(McastStrategy::kTunnelMhToHa));
+  EXPECT_FALSE(sends_locally(McastStrategy::kTunnelMhToHa));
+  EXPECT_FALSE(receives_locally(McastStrategy::kTunnelHaToMh));
+  EXPECT_TRUE(sends_locally(McastStrategy::kTunnelHaToMh));
+}
+
+TEST(StrategyHelpers, Names) {
+  EXPECT_STREQ(strategy_name(McastStrategy::kLocalMembership),
+               "local-membership");
+  EXPECT_STREQ(strategy_name(McastStrategy::kBidirTunnel), "bidir-tunnel");
+  EXPECT_STREQ(strategy_name(McastStrategy::kTunnelMhToHa),
+               "tunnel-mh-to-ha");
+  EXPECT_STREQ(strategy_name(McastStrategy::kTunnelHaToMh),
+               "tunnel-ha-to-mh");
+}
+
+}  // namespace
+}  // namespace mip6

@@ -1,0 +1,73 @@
+// Line and star topology builders: shape, reachability, and multicast
+// end-to-end across each (the two diameter extremes for the sweeps).
+#include <gtest/gtest.h>
+
+#include "core/random_topology.hpp"
+#include "core/traffic.hpp"
+
+namespace mip6 {
+namespace {
+
+const Address kGroup = Address::parse("ff1e::88");
+constexpr std::uint16_t kPort = 9000;
+
+TEST(LineTopology, ShapeAndDistances) {
+  RandomTopology t = build_line_topology(6);
+  t.world->finalize();
+  ASSERT_EQ(t.routers.size(), 6u);
+  ASSERT_EQ(t.stub_links.size(), 6u);
+  ASSERT_EQ(t.transit_links.size(), 5u);
+  // End-to-end link distance = transits + both stubs' hops.
+  EXPECT_EQ(t.world->routing().link_distance(t.stub_links[0]->id(),
+                                             t.stub_links[5]->id()),
+            6);
+}
+
+TEST(StarTopology, ShapeAndDistances) {
+  RandomTopology t = build_star_topology(5);
+  t.world->finalize();
+  ASSERT_EQ(t.routers.size(), 6u);  // core + 5 edges
+  ASSERT_EQ(t.stub_links.size(), 6u);
+  // Any edge stub to any other edge stub: 3 link hops via the core
+  // (transit in, transit out, destination stub).
+  EXPECT_EQ(t.world->routing().link_distance(t.stub_links[1]->id(),
+                                             t.stub_links[2]->id()),
+            3);
+  // Core stub to edge stub: 2.
+  EXPECT_EQ(t.world->routing().link_distance(t.stub_links[0]->id(),
+                                             t.stub_links[3]->id()),
+            2);
+}
+
+class ShapeSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShapeSweep, MulticastEndToEnd) {
+  const std::string shape = GetParam();
+  RandomTopology t = shape == "line" ? build_line_topology(5)
+                     : shape == "star"
+                         ? build_star_topology(4)
+                         : build_random_topology({8, 2, 17});
+  World& world = *t.world;
+  HostEnv& sender = world.add_host("S", *t.stub_links.front());
+  HostEnv& receiver = world.add_host("R", *t.stub_links.back());
+  world.finalize();
+
+  GroupReceiverApp app(*receiver.stack, kPort);
+  receiver.service->subscribe(kGroup);
+  CbrSource source(
+      world.scheduler(),
+      [&](Bytes p) {
+        sender.service->send_multicast(kGroup, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  source.start(Time::sec(1));
+  world.run_until(Time::sec(30));
+  EXPECT_GT(app.unique_received(), 280u) << shape;
+  EXPECT_EQ(app.duplicates(), 0u) << shape;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShapeSweep,
+                         ::testing::Values("line", "star", "random"));
+
+}  // namespace
+}  // namespace mip6

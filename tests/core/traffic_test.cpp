@@ -1,0 +1,158 @@
+#include "core/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+
+namespace mip6 {
+namespace {
+
+TEST(CbrPayload, RoundTrip) {
+  CbrPayload p;
+  p.seq = 12345;
+  p.sent_at = Time::ms(6789);
+  Bytes wire = p.encode(64);
+  EXPECT_EQ(wire.size(), 64u);
+  CbrPayload back = CbrPayload::decode(wire);
+  EXPECT_EQ(back.seq, 12345u);
+  EXPECT_EQ(back.sent_at, Time::ms(6789));
+}
+
+TEST(CbrPayload, MinimumSizeEnforced) {
+  CbrPayload p;
+  Bytes wire = p.encode(1);
+  EXPECT_EQ(wire.size(), CbrPayload::kMinSize);
+}
+
+TEST(CbrPayload, DecodeRejectsTruncation) {
+  Bytes wire(CbrPayload::kMinSize - 1);
+  EXPECT_THROW(CbrPayload::decode(wire), ParseError);
+}
+
+TEST(CbrSource, EmitsAtConfiguredRate) {
+  Scheduler sched;
+  std::vector<Time> sends;
+  CbrSource src(
+      sched, [&](Bytes) { sends.push_back(sched.now()); }, Time::ms(250), 32);
+  src.start(Time::sec(1));
+  sched.run_until(Time::sec(2));
+  // t = 1.0, 1.25, 1.5, 1.75, 2.0
+  ASSERT_EQ(sends.size(), 5u);
+  EXPECT_EQ(sends[0], Time::sec(1));
+  EXPECT_EQ(sends[4], Time::sec(2));
+  EXPECT_EQ(src.sent(), 5u);
+}
+
+TEST(CbrSource, StopHalts) {
+  Scheduler sched;
+  int sends = 0;
+  CbrSource src(sched, [&](Bytes) { ++sends; }, Time::ms(100), 32);
+  src.start(Time::zero());
+  sched.run_until(Time::ms(450));
+  src.stop();
+  sched.run_until(Time::sec(10));
+  EXPECT_EQ(sends, 5);
+}
+
+TEST(CbrSource, SequenceNumbersIncrease) {
+  Scheduler sched;
+  std::vector<std::uint32_t> seqs;
+  CbrSource src(
+      sched, [&](Bytes b) { seqs.push_back(CbrPayload::decode(b).seq); },
+      Time::ms(100), 32);
+  src.start(Time::zero());
+  sched.run_until(Time::ms(300));
+  ASSERT_EQ(seqs.size(), 4u);
+  for (std::size_t i = 0; i < seqs.size(); ++i) EXPECT_EQ(seqs[i], i);
+}
+
+TEST(GroupReceiverApp, DeduplicatesBySequence) {
+  World world(1);
+  Link& lan = world.add_link("lan");
+  world.add_router("R", {&lan});
+  HostEnv& h = world.add_host("H", lan);
+  world.finalize();
+  GroupReceiverApp app(*h.stack, 9000);
+
+  Address group = Address::parse("ff1e::3");
+  h.stack->join_local_group(h.iface(), group);
+
+  auto make = [&](std::uint32_t seq) {
+    CbrPayload p;
+    p.seq = seq;
+    p.sent_at = world.now();
+    DatagramSpec spec;
+    spec.src = Address::parse("2001:db8:9::1");
+    spec.dst = group;
+    spec.protocol = proto::kUdp;
+    spec.payload =
+        UdpDatagram{9000, 9000, p.encode(32)}.serialize(spec.src, spec.dst);
+    return build_datagram(spec);
+  };
+  h.stack->receive_as_if(h.iface(), make(1));
+  h.stack->receive_as_if(h.iface(), make(1));
+  h.stack->receive_as_if(h.iface(), make(2));
+  EXPECT_EQ(app.unique_received(), 2u);
+  EXPECT_EQ(app.duplicates(), 1u);
+}
+
+TEST(GroupReceiverApp, FiltersByPort) {
+  World world(1);
+  Link& lan = world.add_link("lan");
+  world.add_router("R", {&lan});
+  HostEnv& h = world.add_host("H", lan);
+  world.finalize();
+  GroupReceiverApp app(*h.stack, 9000);
+
+  Address group = Address::parse("ff1e::3");
+  h.stack->join_local_group(h.iface(), group);
+  CbrPayload p;
+  p.seq = 7;
+  DatagramSpec spec;
+  spec.src = Address::parse("2001:db8:9::1");
+  spec.dst = group;
+  spec.protocol = proto::kUdp;
+  spec.payload =
+      UdpDatagram{1, 8888, p.encode(32)}.serialize(spec.src, spec.dst);
+  h.stack->receive_as_if(h.iface(), build_datagram(spec));
+  EXPECT_EQ(app.unique_received(), 0u);
+}
+
+TEST(GroupReceiverApp, TimeQueries) {
+  World world(1);
+  Link& lan = world.add_link("lan");
+  world.add_router("R", {&lan});
+  HostEnv& h = world.add_host("H", lan);
+  world.finalize();
+  GroupReceiverApp app(*h.stack, 9000);
+  Address group = Address::parse("ff1e::3");
+  h.stack->join_local_group(h.iface(), group);
+
+  auto deliver_at = [&](Time at, std::uint32_t seq) {
+    world.scheduler().schedule_at(at, [&, seq] {
+      CbrPayload p;
+      p.seq = seq;
+      p.sent_at = world.now();
+      DatagramSpec spec;
+      spec.src = Address::parse("2001:db8:9::1");
+      spec.dst = group;
+      spec.protocol = proto::kUdp;
+      spec.payload =
+          UdpDatagram{9000, 9000, p.encode(32)}.serialize(spec.src, spec.dst);
+      h.stack->receive_as_if(h.iface(), build_datagram(spec));
+    });
+  };
+  deliver_at(Time::sec(1), 1);
+  deliver_at(Time::sec(5), 2);
+  deliver_at(Time::sec(9), 3);
+  world.run_until(Time::sec(10));
+
+  EXPECT_EQ(app.first_rx_at_or_after(Time::sec(2)), Time::sec(5));
+  EXPECT_EQ(app.last_rx(), Time::sec(9));
+  EXPECT_EQ(app.received_in(Time::sec(0), Time::sec(6)), 2u);
+  EXPECT_EQ(app.received_in(Time::sec(5), Time::sec(5)), 0u);
+  EXPECT_FALSE(app.first_rx_at_or_after(Time::sec(10)).has_value());
+}
+
+}  // namespace
+}  // namespace mip6

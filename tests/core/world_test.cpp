@@ -1,0 +1,144 @@
+#include "core/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/figure1.hpp"
+#include "core/random_topology.hpp"
+
+namespace mip6 {
+namespace {
+
+TEST(World, LinksGetAutoPrefixes) {
+  World w(1);
+  Link& l1 = w.add_link("L1");
+  Link& l2 = w.add_link("L2", "2001:db8:aa::/64");
+  EXPECT_EQ(w.plan().prefix_of(l1.id()).str(), "2001:db8:1::/64");
+  EXPECT_EQ(w.plan().prefix_of(l2.id()).str(), "2001:db8:aa::/64");
+}
+
+TEST(World, RouterGetsAddressesOnEveryLink) {
+  World w(1);
+  Link& l1 = w.add_link("L1");
+  Link& l2 = w.add_link("L2");
+  RouterEnv& r = w.add_router("R", {&l1, &l2});
+  EXPECT_TRUE(
+      w.plan().prefix_of(l1.id()).contains(r.address_on(l1)));
+  EXPECT_TRUE(
+      w.plan().prefix_of(l2.id()).contains(r.address_on(l2)));
+  EXPECT_NE(r.iface_on(l1), r.iface_on(l2));
+}
+
+TEST(World, FirstRouterBecomesDefaultUnlessOverridden) {
+  World w(1);
+  Link& lan = w.add_link("L");
+  RouterEnv& r1 = w.add_router("R1", {&lan});
+  RouterEnv& r2 = w.add_router("R2", {&lan});
+  EXPECT_EQ(*w.plan().default_router(lan.id()), r1.address_on(lan));
+  w.set_link_router(lan, r2);
+  EXPECT_EQ(*w.plan().default_router(lan.id()), r2.address_on(lan));
+}
+
+TEST(World, HostWithoutRouterThrows) {
+  World w(1);
+  Link& lan = w.add_link("L");
+  EXPECT_THROW(w.add_host("H", lan), LogicError);
+}
+
+TEST(World, HostHomeAddressOnHomePrefix) {
+  World w(1);
+  Link& lan = w.add_link("L");
+  w.add_router("R", {&lan});
+  HostEnv& h = w.add_host("H", lan);
+  w.finalize();
+  EXPECT_TRUE(w.plan().prefix_of(lan.id()).contains(h.mn->home_address()));
+  EXPECT_TRUE(h.stack->owns_address(h.mn->home_address()));
+  EXPECT_FALSE(h.mn->away_from_home());
+}
+
+TEST(World, LookupByName) {
+  World w(1);
+  Link& lan = w.add_link("L");
+  w.add_router("R", {&lan});
+  w.add_host("H", lan);
+  EXPECT_EQ(w.router_by_name("R").node->name(), "R");
+  EXPECT_EQ(w.host_by_name("H").node->name(), "H");
+  EXPECT_THROW(w.router_by_name("H"), LogicError);
+  EXPECT_THROW(w.host_by_name("R"), LogicError);
+}
+
+TEST(Figure1Topology, MatchesPaperWiring) {
+  Figure1 f = build_figure1();
+  World& w = *f.world;
+  // 5 routers, 4 hosts, 6 links.
+  EXPECT_EQ(w.routers().size(), 5u);
+  EXPECT_EQ(w.hosts().size(), 4u);
+  EXPECT_EQ(w.net().links().size(), 6u);
+
+  // Home agents per the paper: A on L1, B on L2, C on L3, D on L4+L5, E on
+  // L6.
+  EXPECT_EQ(*w.plan().default_router(f.link1->id()),
+            f.a->address_on(*f.link1));
+  EXPECT_EQ(*w.plan().default_router(f.link2->id()),
+            f.b->address_on(*f.link2));
+  EXPECT_EQ(*w.plan().default_router(f.link3->id()),
+            f.c->address_on(*f.link3));
+  EXPECT_EQ(*w.plan().default_router(f.link4->id()),
+            f.d->address_on(*f.link4));
+  EXPECT_EQ(*w.plan().default_router(f.link5->id()),
+            f.d->address_on(*f.link5));
+  EXPECT_EQ(*w.plan().default_router(f.link6->id()),
+            f.e->address_on(*f.link6));
+
+  // Receiver 3 is homed on Link 4, so its home agent is Router D.
+  EXPECT_EQ(f.recv3->mn->home_agent(), f.d->address_on(*f.link4));
+
+  // Unicast distances over the router graph (links on the path).
+  GlobalRouting& routing = w.routing();
+  EXPECT_EQ(routing.link_distance(f.link1->id(), f.link2->id()), 1);
+  EXPECT_EQ(routing.link_distance(f.link1->id(), f.link4->id()), 3);
+  EXPECT_EQ(routing.link_distance(f.link1->id(), f.link6->id()), 3);
+  EXPECT_EQ(routing.link_distance(f.link4->id(), f.link6->id()), 2);
+}
+
+TEST(Figure1Topology, LinkAccessorByIndex) {
+  Figure1 f = build_figure1();
+  EXPECT_EQ(&f.link(1), f.link1);
+  EXPECT_EQ(&f.link(6), f.link6);
+  EXPECT_THROW(f.link(0), LogicError);
+  EXPECT_THROW(f.link(7), LogicError);
+}
+
+TEST(RandomTopology, ConnectedAndRoutable) {
+  RandomTopologyParams params;
+  params.routers = 10;
+  params.extra_links = 3;
+  params.seed = 77;
+  RandomTopology t = build_random_topology(params);
+  t.world->finalize();
+  ASSERT_EQ(t.routers.size(), 10u);
+  ASSERT_EQ(t.stub_links.size(), 10u);
+  // Every stub reachable from every other stub.
+  for (Link* a : t.stub_links) {
+    for (Link* b : t.stub_links) {
+      EXPECT_GE(t.world->routing().link_distance(a->id(), b->id()), 0)
+          << a->name() << " -> " << b->name();
+    }
+  }
+}
+
+TEST(RandomTopology, DeterministicPerSeed) {
+  RandomTopologyParams params;
+  params.routers = 6;
+  params.seed = 5;
+  RandomTopology t1 = build_random_topology(params);
+  RandomTopology t2 = build_random_topology(params);
+  ASSERT_EQ(t1.transit_links.size(), t2.transit_links.size());
+  // Same shape: identical attachment counts per router.
+  for (std::size_t i = 0; i < t1.routers.size(); ++i) {
+    EXPECT_EQ(t1.routers[i]->node->iface_count(),
+              t2.routers[i]->node->iface_count());
+  }
+}
+
+}  // namespace
+}  // namespace mip6

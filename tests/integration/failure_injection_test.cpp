@@ -1,0 +1,185 @@
+// Failure injection: random packet corruption and loss on links. The
+// protocol stack must never crash, must count malformed input, and its
+// recovery machinery (checksum rejection, graft retransmission, BU
+// retransmission, MLD robustness reports) must keep the application
+// streams alive.
+#include <gtest/gtest.h>
+
+#include "core/figure1.hpp"
+#include "core/traffic.hpp"
+#include "sim/rng.hpp"
+
+namespace mip6 {
+namespace {
+
+constexpr std::uint16_t kPort = Figure1::kDataPort;
+
+class LossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossSweep, StreamRecoversUnderRandomLossOnEveryLink) {
+  // Dense mode is *specified* to be fragile to individual control losses:
+  // a lost Join override can sever a branch until the 210 s prune holdtime
+  // expires and the next flood repairs it. The invariant to hold is
+  // therefore recovery, not continuity: over a horizon spanning several
+  // prune lifetimes the stream must keep coming back, and nothing may
+  // crash or wedge permanently.
+  const double loss = GetParam();
+  Figure1 f = build_figure1(11);
+  Address group = Figure1::group();
+  auto drop_rng = std::make_shared<Rng>(4096);
+  for (const auto& link : f.world->net().links()) {
+    link->set_drop_fn([drop_rng, loss](const Packet&, const Interface&) {
+      return drop_rng->uniform() < loss;
+    });
+  }
+  GroupReceiverApp app(*f.recv3->stack, kPort);
+  f.recv3->service->subscribe(group);
+  CbrSource source(
+      f.world->scheduler(),
+      [&](Bytes p) {
+        f.sender->service->send_multicast(group, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  source.start(Time::sec(1));
+  f.world->scheduler().schedule_at(Time::sec(30), [&] {
+    f.recv3->mn->move_to(*f.link6);
+  });
+  const Time horizon = Time::sec(900);
+  f.world->run_until(horizon);
+
+  // Delivery happened in the last quarter of the run (the tree keeps
+  // healing), and the overall ratio is far above "collapsed".
+  EXPECT_GT(app.received_in(Time::sec(675), horizon), 50u)
+      << "loss=" << loss;
+  double delivered =
+      static_cast<double>(app.unique_received()) / source.sent();
+  // Floor: the raw 4-link data-loss survival, discounted for branch
+  // outages while pruned state heals.
+  double survival = 1.0;
+  for (int hop = 0; hop < 4; ++hop) survival *= (1.0 - loss);
+  EXPECT_GT(delivered, survival * 0.3) << "loss=" << loss;
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossSweep,
+                         ::testing::Values(0.01, 0.05, 0.15),
+                         [](const ::testing::TestParamInfo<double>& pi) {
+                           return "pct" + std::to_string(static_cast<int>(
+                                              pi.param * 100));
+                         });
+
+TEST(FailureInjection, RandomCorruptionNeverCrashesAndIsCounted) {
+  Figure1 f = build_figure1(13);
+  Address group = Figure1::group();
+  // Corrupt ~20% of all frames by flipping a random byte on delivery. The
+  // drop function mutates a copy via const_cast-free trick: we can't mutate
+  // the packet in the hook, so instead corrupt at the source: wrap the
+  // CBR payload occasionally and, more importantly, inject raw junk frames
+  // directly onto links.
+  GroupReceiverApp app(*f.recv3->stack, kPort);
+  f.recv3->service->subscribe(group);
+  CbrSource source(
+      f.world->scheduler(),
+      [&](Bytes p) {
+        f.sender->service->send_multicast(group, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  source.start(Time::sec(1));
+
+  // Periodically blast malformed frames onto every link from the sender's
+  // interface: truncated datagrams, bad versions, random junk, and valid
+  // headers with corrupted ICMPv6/PIM payloads.
+  auto junk_rng = std::make_shared<Rng>(90210);
+  for (int t = 2; t < 60; t += 2) {
+    f.world->scheduler().schedule_at(Time::sec(t), [&f, junk_rng] {
+      for (const auto& link : f.world->net().links()) {
+        if (link->attached().empty()) continue;
+        Interface* from = link->attached()[0];
+        Bytes junk(junk_rng->uniform_int(80));
+        for (auto& b : junk) {
+          b = static_cast<std::uint8_t>(junk_rng->next_u64());
+        }
+        from->send(f.world->net().make_packet(std::move(junk)));
+
+        // A syntactically valid IPv6 header whose PIM payload is garbage.
+        DatagramSpec spec;
+        spec.src = Address::parse("fe80::bad");
+        spec.dst = Address::all_pim_routers();
+        spec.hop_limit = 1;
+        spec.protocol = proto::kPim;
+        spec.payload = Bytes(16, 0xff);
+        from->send(f.world->net().make_packet(build_datagram(spec)));
+      }
+    });
+  }
+  f.world->run_until(Time::sec(60));
+
+  // Junk was seen and rejected...
+  auto& c = f.world->net().counters();
+  EXPECT_GT(c.get("ipv6/rx-drop/parse-error"), 0u);
+  EXPECT_GT(c.get("pimdm/rx-drop/parse-error"), 0u);
+  // ...and the real stream was unaffected.
+  EXPECT_GT(app.unique_received(), 550u);
+}
+
+TEST(FailureInjection, CorruptedDataPayloadRejectedByChecksum) {
+  Figure1 f = build_figure1(17);
+  Address group = Figure1::group();
+  GroupReceiverApp app(*f.recv1->stack, kPort);
+  f.recv1->service->subscribe(group);
+
+  // Hand-corrupt a valid data datagram and deliver it directly.
+  CbrPayload p;
+  p.seq = 0;
+  DatagramSpec spec;
+  spec.src = f.sender->mn->home_address();
+  spec.dst = group;
+  spec.protocol = proto::kUdp;
+  spec.payload =
+      UdpDatagram{kPort, kPort, p.encode(64)}.serialize(spec.src, spec.dst);
+  Bytes wire = build_datagram(spec);
+  wire[50] ^= 0x01;  // flip a bit inside the UDP payload
+  f.recv1->stack->receive_as_if(f.recv1->iface(), std::move(wire));
+  EXPECT_EQ(app.unique_received(), 0u);  // checksum rejected it
+}
+
+TEST(FailureInjection, RouterFailureSevershPathUntilRemoved) {
+  // Router C fails (all interfaces detach). B remains as the parallel
+  // path on Link2/Link3; the stream must keep (or resume) flowing without
+  // any routing recomputation because B was already attached.
+  Figure1 f = build_figure1(19);
+  Address group = Figure1::group();
+  GroupReceiverApp app(*f.recv3->stack, kPort);
+  f.recv3->service->subscribe(group);
+  CbrSource source(
+      f.world->scheduler(),
+      [&](Bytes p) {
+        f.sender->service->send_multicast(group, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  source.start(Time::sec(1));
+  f.world->run_until(Time::sec(20));
+  std::uint64_t before = app.unique_received();
+  ASSERT_GT(before, 100u);
+
+  // Kill whichever of B/C currently forwards onto Link3.
+  const Address s = f.sender->mn->home_address();
+  RouterEnv* forwarder = nullptr;
+  for (RouterEnv* r : {f.b, f.c}) {
+    if (!r->pim->outgoing(s, group).empty()) forwarder = r;
+  }
+  ASSERT_NE(forwarder, nullptr);
+  for (const auto& iface : forwarder->node->interfaces()) iface->detach();
+
+  // The surviving router takes over once its assert-loser state (180 s)
+  // and any pruned downstream state (210 s holdtime) expire. Verify
+  // delivery resumes within that bound.
+  f.world->run_until(Time::sec(20) + Time::sec(300));
+  std::uint64_t tail_window =
+      app.received_in(Time::sec(20) + Time::sec(230),
+                      Time::sec(20) + Time::sec(300));
+  EXPECT_GT(tail_window, 100u)
+      << "stream did not recover after forwarder failure";
+}
+
+}  // namespace
+}  // namespace mip6

@@ -1,0 +1,72 @@
+// Statistical shape of the paper's central quantity: for a query-waiting
+// mobile receiver, the join delay is (time to the next Query) + response delay,
+// i.e. ~Uniform(0, T_Query) + small — mean ≈ T_Query/2, max ≈ T_Query +
+// T_RespDel. Samples come from many seeds/move phases; the parallel runner
+// collects them.
+#include <gtest/gtest.h>
+
+#include "core/figure1.hpp"
+#include "core/traffic.hpp"
+#include "runner/parallel.hpp"
+
+namespace mip6 {
+namespace {
+
+TEST(JoinDelayDistribution, QueryWaitIsUniformOverTheQueryInterval) {
+  constexpr int kTq = 60;
+  auto body = [](std::uint64_t seed) {
+    WorldConfig config;
+    config.mld = MldConfig::with_query_interval(Time::sec(kTq));
+    config.mld_host.unsolicited_reports = false;
+    Figure1 f = build_figure1(seed, config);
+    Address group = Figure1::group();
+    GroupReceiverApp app(*f.recv3->stack, Figure1::kDataPort);
+    f.recv3->service->subscribe(group);
+    CbrSource source(
+        f.world->scheduler(),
+        [&](Bytes p) {
+          f.sender->service->send_multicast(group, Figure1::kDataPort,
+                                            Figure1::kDataPort, std::move(p));
+        },
+        Time::ms(100), 64);
+    source.start(Time::ms(500));
+    // Randomize the move phase against the query schedule.
+    Rng phase(Rng::derive_seed(seed, 0xfa5e));
+    Time move_at =
+        Time::sec(30) + Time::seconds(phase.uniform(0.0, kTq));
+    f.world->scheduler().schedule_at(
+        move_at, [&f] { f.recv3->mn->move_to(*f.link6); });
+    f.world->run_until(move_at + Time::sec(kTq + 15));
+    ReplicationResult r;
+    auto first = app.first_rx_at_or_after(move_at);
+    r["join_delay_s"] =
+        first ? (*first - move_at).to_seconds() : -1.0;
+    return r;
+  };
+
+  ReplicationOptions opts;
+  opts.replications = 48;
+  opts.base_seed = 20260707;
+  auto merged = run_replications(opts, body);
+  const Summary& join = merged.at("join_delay_s");
+
+  ASSERT_EQ(join.count(), 48u);
+  EXPECT_GT(join.min(), -0.5);  // every replication eventually joined
+  // Uniform(0, 60) + response delay in [0, 10]:
+  //   mean ≈ 30 + 5 = 35, tolerate sampling noise.
+  EXPECT_NEAR(join.mean(), 35.0, 8.0);
+  EXPECT_LT(join.max(), kTq + 10 + 2.0);  // hard bound from the paper
+  EXPECT_GT(join.max(), 40.0);            // the tail actually occurs
+  EXPECT_LT(join.min(), 15.0);            // and so do lucky joins
+
+  // Spread check: quartiles of a uniform-ish distribution are distinct.
+  EXPECT_LT(join.percentile(25), join.percentile(50) - 3.0);
+  EXPECT_LT(join.percentile(50), join.percentile(75) - 3.0);
+
+  // Tails present on both ends of the interval.
+  EXPECT_LT(join.percentile(10), 14.0);
+  EXPECT_GT(join.percentile(90), 42.0);
+}
+
+}  // namespace
+}  // namespace mip6

@@ -1,0 +1,82 @@
+#include "ipv6/routing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mip6 {
+namespace {
+
+TEST(Rib, LongestPrefixMatchWins) {
+  Rib rib;
+  rib.add(Route{Prefix::parse("2001:db8::/32"), 1, Address(), 5});
+  rib.add(Route{Prefix::parse("2001:db8:5::/64"), 2, Address(), 5});
+  const Route* r = rib.lookup(Address::parse("2001:db8:5::1"));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->out_iface, 2u);
+  r = rib.lookup(Address::parse("2001:db8:6::1"));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->out_iface, 1u);
+}
+
+TEST(Rib, NoMatchReturnsNull) {
+  Rib rib;
+  rib.add(Route{Prefix::parse("2001:db8:1::/64"), 1, Address(), 1});
+  EXPECT_EQ(rib.lookup(Address::parse("2001:db9::1")), nullptr);
+}
+
+TEST(Rib, EqualLengthTieBrokenByMetric) {
+  Rib rib;
+  rib.add(Route{Prefix::parse("2001:db8:1::/64"), 1,
+                Address::parse("fe80::1"), 10});
+  rib.add(Route{Prefix::parse("2001:db8:1::/64"), 2,
+                Address::parse("fe80::2"), 3});
+  const Route* r = rib.lookup(Address::parse("2001:db8:1::9"));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->out_iface, 2u);
+  EXPECT_EQ(r->metric, 3u);
+}
+
+TEST(Rib, DefaultRouteMatchesEverythingLast) {
+  Rib rib;
+  rib.set_default(7, Address::parse("2001:db8:1::1"));
+  rib.add(Route{Prefix::parse("2001:db8:2::/64"), 3, Address(), 1});
+  EXPECT_EQ(rib.lookup(Address::parse("abcd::1"))->out_iface, 7u);
+  EXPECT_EQ(rib.lookup(Address::parse("2001:db8:2::1"))->out_iface, 3u);
+}
+
+TEST(Rib, SetDefaultReplaces) {
+  Rib rib;
+  rib.set_default(1, Address::parse("fe80::1"));
+  rib.set_default(2, Address::parse("fe80::2"));
+  EXPECT_EQ(rib.size(), 1u);
+  EXPECT_EQ(rib.lookup(Address::parse("::9"))->out_iface, 2u);
+}
+
+TEST(Rib, RemovePrefixAndClear) {
+  Rib rib;
+  rib.add(Route{Prefix::parse("2001:db8:1::/64"), 1, Address(), 1});
+  rib.add(Route{Prefix::parse("2001:db8:2::/64"), 2, Address(), 1});
+  rib.remove_prefix(Prefix::parse("2001:db8:1::/64"));
+  EXPECT_EQ(rib.size(), 1u);
+  EXPECT_EQ(rib.lookup(Address::parse("2001:db8:1::5")), nullptr);
+  rib.clear();
+  EXPECT_EQ(rib.size(), 0u);
+}
+
+TEST(Rib, OnLinkFlag) {
+  Route on_link{Prefix::parse("::/0"), 0, Address(), 0};
+  EXPECT_TRUE(on_link.on_link());
+  Route via{Prefix::parse("::/0"), 0, Address::parse("fe80::1"), 0};
+  EXPECT_FALSE(via.on_link());
+}
+
+TEST(Rib, StrListsRoutes) {
+  Rib rib;
+  rib.add(Route{Prefix::parse("2001:db8:1::/64"), 4, Address(), 2});
+  std::string s = rib.str();
+  EXPECT_NE(s.find("2001:db8:1::/64"), std::string::npos);
+  EXPECT_NE(s.find("if4"), std::string::npos);
+  EXPECT_NE(s.find("on-link"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mip6

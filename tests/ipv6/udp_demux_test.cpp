@@ -1,0 +1,89 @@
+#include "ipv6/udp_demux.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+
+namespace mip6 {
+namespace {
+
+TEST(UdpDemux, DispatchesByDestinationPort) {
+  World world(1);
+  Link& lan = world.add_link("lan");
+  RouterEnv& r = world.add_router("R", {&lan});
+  HostEnv& h = world.add_host("H", lan);
+  world.finalize();
+
+  int on_100 = 0, on_200 = 0;
+  r.udp->bind(100, [&](const UdpDatagram&, const ParsedDatagram&, IfaceId) {
+    ++on_100;
+  });
+  r.udp->bind(200, [&](const UdpDatagram& u, const ParsedDatagram&, IfaceId) {
+    ++on_200;
+    EXPECT_EQ(u.payload.size(), 3u);
+  });
+
+  auto send = [&](std::uint16_t port) {
+    DatagramSpec spec;
+    spec.src = h.stack->global_address(h.iface());
+    spec.dst = r.address_on(lan);
+    spec.protocol = proto::kUdp;
+    spec.payload =
+        UdpDatagram{55, port, Bytes{1, 2, 3}}.serialize(spec.src, spec.dst);
+    h.stack->send(spec);
+  };
+  send(100);
+  send(200);
+  send(200);
+  send(999);  // unbound
+  world.run_until(Time::sec(1));
+  EXPECT_EQ(on_100, 1);
+  EXPECT_EQ(on_200, 2);
+  EXPECT_EQ(world.net().counters().get("udp/rx-drop/no-listener"), 1u);
+}
+
+TEST(UdpDemux, MalformedUdpCounted) {
+  World world(1);
+  Link& lan = world.add_link("lan");
+  RouterEnv& r = world.add_router("R", {&lan});
+  HostEnv& h = world.add_host("H", lan);
+  world.finalize();
+  (void)r;
+
+  DatagramSpec spec;
+  spec.src = h.stack->global_address(h.iface());
+  spec.dst = r.address_on(lan);
+  spec.protocol = proto::kUdp;
+  spec.payload = Bytes{1, 2, 3};  // shorter than a UDP header
+  h.stack->send(spec);
+  world.run_until(Time::sec(1));
+  EXPECT_EQ(world.net().counters().get("udp/rx-drop/parse-error"), 1u);
+}
+
+TEST(UdpDemux, RebindReplacesHandler) {
+  World world(1);
+  Link& lan = world.add_link("lan");
+  RouterEnv& r = world.add_router("R", {&lan});
+  HostEnv& h = world.add_host("H", lan);
+  world.finalize();
+
+  int first = 0, second = 0;
+  r.udp->bind(42, [&](const UdpDatagram&, const ParsedDatagram&, IfaceId) {
+    ++first;
+  });
+  r.udp->bind(42, [&](const UdpDatagram&, const ParsedDatagram&, IfaceId) {
+    ++second;
+  });
+  DatagramSpec spec;
+  spec.src = h.stack->global_address(h.iface());
+  spec.dst = r.address_on(lan);
+  spec.protocol = proto::kUdp;
+  spec.payload = UdpDatagram{1, 42, Bytes{}}.serialize(spec.src, spec.dst);
+  h.stack->send(spec);
+  world.run_until(Time::sec(1));
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+}  // namespace
+}  // namespace mip6

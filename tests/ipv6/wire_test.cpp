@@ -1,0 +1,314 @@
+// Wire-format tests: fixed header, destination options, whole datagrams,
+// ICMPv6, UDP and RFC 2473 tunneling.
+#include <gtest/gtest.h>
+
+#include "ipv6/datagram.hpp"
+#include "ipv6/header.hpp"
+#include "ipv6/icmpv6.hpp"
+#include "ipv6/tunnel.hpp"
+#include "ipv6/udp.hpp"
+#include "sim/rng.hpp"
+
+namespace mip6 {
+namespace {
+
+TEST(Ipv6Header, RoundTrip) {
+  Ipv6Header h;
+  h.traffic_class = 0xab;
+  h.flow_label = 0xcdef1;
+  h.payload_length = 1234;
+  h.next_header = proto::kUdp;
+  h.hop_limit = 17;
+  h.src = Address::parse("2001:db8::1");
+  h.dst = Address::parse("ff1e::1");
+  BufferWriter w;
+  h.write(w);
+  EXPECT_EQ(w.size(), Ipv6Header::kSize);
+  BufferReader r(w.bytes());
+  Ipv6Header back = Ipv6Header::read(r);
+  EXPECT_EQ(back.traffic_class, 0xab);
+  EXPECT_EQ(back.flow_label, 0xcdef1u);
+  EXPECT_EQ(back.payload_length, 1234);
+  EXPECT_EQ(back.next_header, proto::kUdp);
+  EXPECT_EQ(back.hop_limit, 17);
+  EXPECT_EQ(back.src, h.src);
+  EXPECT_EQ(back.dst, h.dst);
+}
+
+TEST(Ipv6Header, VersionFieldIsSix) {
+  Ipv6Header h;
+  BufferWriter w;
+  h.write(w);
+  EXPECT_EQ(w.bytes()[0] >> 4, 6);
+}
+
+TEST(Ipv6Header, RejectsWrongVersion) {
+  Ipv6Header h;
+  BufferWriter w;
+  h.write(w);
+  Bytes bad = w.bytes();
+  bad[0] = 0x45;  // IPv4-looking version nibble
+  BufferReader r(bad);
+  EXPECT_THROW(Ipv6Header::read(r), ParseError);
+}
+
+TEST(DestOptions, PadsToEightOctets) {
+  DestOptionsHeader h;
+  h.next_header = proto::kNoNext;
+  h.options.push_back(DestOption{opt::kHomeAddress, Bytes(16)});
+  BufferWriter w;
+  h.write(w);
+  EXPECT_EQ(w.size() % 8, 0u);
+  EXPECT_EQ(w.size(), h.wire_size());
+  BufferReader r(w.bytes());
+  DestOptionsHeader back = DestOptionsHeader::read(r);
+  EXPECT_TRUE(r.empty());
+  ASSERT_EQ(back.options.size(), 1u);
+  EXPECT_EQ(back.options[0].type, opt::kHomeAddress);
+  EXPECT_EQ(back.options[0].data.size(), 16u);
+}
+
+TEST(DestOptions, MultipleOptionsSurviveRoundTrip) {
+  DestOptionsHeader h;
+  h.next_header = proto::kUdp;
+  h.options.push_back(DestOption{opt::kBindingUpdate, Bytes{1, 2, 3}});
+  h.options.push_back(DestOption{opt::kHomeAddress, Bytes(16, 0xaa)});
+  BufferWriter w;
+  h.write(w);
+  BufferReader r(w.bytes());
+  DestOptionsHeader back = DestOptionsHeader::read(r);
+  ASSERT_EQ(back.options.size(), 2u);
+  EXPECT_EQ(back.next_header, proto::kUdp);
+  EXPECT_NE(back.find(opt::kBindingUpdate), nullptr);
+  EXPECT_NE(back.find(opt::kHomeAddress), nullptr);
+  EXPECT_EQ(back.find(0x33), nullptr);
+}
+
+TEST(DestOptions, PaddingOptionsInvisibleAfterParse) {
+  // An empty options header is 2 octets + 6 octets PadN.
+  DestOptionsHeader h;
+  h.next_header = proto::kNoNext;
+  BufferWriter w;
+  h.write(w);
+  EXPECT_EQ(w.size(), 8u);
+  BufferReader r(w.bytes());
+  DestOptionsHeader back = DestOptionsHeader::read(r);
+  EXPECT_TRUE(back.options.empty());
+}
+
+TEST(DestOptions, TruncatedHeaderThrows) {
+  DestOptionsHeader h;
+  h.next_header = proto::kNoNext;
+  h.options.push_back(DestOption{opt::kHomeAddress, Bytes(16)});
+  BufferWriter w;
+  h.write(w);
+  Bytes trunc(w.bytes().begin(), w.bytes().end() - 4);
+  BufferReader r(trunc);
+  EXPECT_THROW(DestOptionsHeader::read(r), ParseError);
+}
+
+TEST(Datagram, BuildParseNoOptions) {
+  DatagramSpec spec;
+  spec.src = Address::parse("2001:db8:1::1");
+  spec.dst = Address::parse("2001:db8:2::2");
+  spec.protocol = proto::kUdp;
+  spec.payload = Bytes{9, 8, 7};
+  Bytes wire = build_datagram(spec);
+  ParsedDatagram d = parse_datagram(wire);
+  EXPECT_EQ(d.hdr.src, spec.src);
+  EXPECT_EQ(d.protocol, proto::kUdp);
+  EXPECT_EQ(d.payload, spec.payload);
+  EXPECT_TRUE(d.dest_options.empty());
+  EXPECT_EQ(d.effective_src, spec.src);
+}
+
+TEST(Datagram, HomeAddressOptionOverridesEffectiveSource) {
+  Address home = Address::parse("2001:db8:4::99");
+  DatagramSpec spec;
+  spec.src = Address::parse("2001:db8:6::99");  // care-of
+  spec.dst = Address::parse("2001:db8:1::1");
+  spec.dest_options.push_back(
+      DestOption{opt::kHomeAddress, Bytes(home.bytes().begin(),
+                                          home.bytes().end())});
+  spec.protocol = proto::kNoNext;
+  Bytes wire = build_datagram(spec);
+  ParsedDatagram d = parse_datagram(wire);
+  EXPECT_EQ(d.hdr.src, spec.src);
+  EXPECT_EQ(d.effective_src, home);
+  EXPECT_TRUE(d.has_option(opt::kHomeAddress));
+}
+
+TEST(Datagram, PayloadLengthMismatchRejected) {
+  DatagramSpec spec;
+  spec.protocol = proto::kUdp;
+  spec.payload = Bytes(10);
+  Bytes wire = build_datagram(spec);
+  wire.pop_back();
+  EXPECT_THROW(parse_datagram(wire), ParseError);
+  wire.push_back(0);
+  wire.push_back(0);
+  EXPECT_THROW(parse_datagram(wire), ParseError);
+}
+
+TEST(Datagram, MalformedHomeAddressOptionRejected) {
+  DatagramSpec spec;
+  spec.dest_options.push_back(DestOption{opt::kHomeAddress, Bytes(8)});
+  spec.protocol = proto::kNoNext;
+  Bytes wire = build_datagram(spec);
+  EXPECT_THROW(parse_datagram(wire), ParseError);
+}
+
+TEST(Datagram, HopLimitDecrement) {
+  DatagramSpec spec;
+  spec.hop_limit = 2;
+  spec.protocol = proto::kNoNext;
+  Bytes wire = build_datagram(spec);
+  EXPECT_TRUE(decrement_hop_limit(wire));
+  EXPECT_EQ(parse_datagram(wire).hdr.hop_limit, 1);
+  EXPECT_FALSE(decrement_hop_limit(wire));  // 1 -> must be discarded
+  EXPECT_EQ(parse_datagram(wire).hdr.hop_limit, 1);
+}
+
+TEST(Datagram, FuzzedInputNeverCrashes) {
+  Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes junk(rng.uniform_int(120));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    try {
+      parse_datagram(junk);
+    } catch (const ParseError&) {
+      // expected for almost all inputs
+    }
+  }
+}
+
+TEST(Datagram, TruncationFuzzAlwaysThrows) {
+  DatagramSpec spec;
+  spec.src = Address::parse("2001:db8::1");
+  spec.dst = Address::parse("2001:db8::2");
+  spec.dest_options.push_back(DestOption{opt::kBindingUpdate, Bytes(8, 1)});
+  spec.protocol = proto::kUdp;
+  spec.payload = Bytes(20, 2);
+  Bytes wire = build_datagram(spec);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    Bytes trunc(wire.begin(), wire.begin() + static_cast<long>(len));
+    EXPECT_THROW(parse_datagram(trunc), ParseError) << "len=" << len;
+  }
+  EXPECT_NO_THROW(parse_datagram(wire));
+}
+
+TEST(Icmpv6, ChecksumRoundTrip) {
+  Address src = Address::parse("fe80::1");
+  Address dst = Address::parse("ff02::1");
+  Icmpv6Message m;
+  m.type = 130;
+  m.code = 0;
+  m.body = Bytes{1, 2, 3, 4};
+  Bytes wire = m.serialize(src, dst);
+  Icmpv6Message back = Icmpv6Message::parse(wire, src, dst);
+  EXPECT_EQ(back.type, 130);
+  EXPECT_EQ(back.body, m.body);
+}
+
+TEST(Icmpv6, ChecksumCoversPseudoHeader) {
+  Address src = Address::parse("fe80::1");
+  Address dst = Address::parse("ff02::1");
+  Icmpv6Message m;
+  m.type = 131;
+  m.body = Bytes(20);
+  Bytes wire = m.serialize(src, dst);
+  // Same bytes with a different claimed source must fail verification.
+  EXPECT_THROW(Icmpv6Message::parse(wire, Address::parse("fe80::2"), dst),
+               ParseError);
+}
+
+TEST(Icmpv6, CorruptionDetected) {
+  Address src = Address::parse("fe80::1");
+  Address dst = Address::parse("ff02::1");
+  Icmpv6Message m;
+  m.type = 130;
+  m.body = Bytes{5, 6, 7, 8};
+  Bytes wire = m.serialize(src, dst);
+  wire[5] ^= 0x10;
+  EXPECT_THROW(Icmpv6Message::parse(wire, src, dst), ParseError);
+}
+
+TEST(Udp, RoundTripWithChecksum) {
+  Address src = Address::parse("2001:db8::1");
+  Address dst = Address::parse("ff1e::1");
+  UdpDatagram u;
+  u.src_port = 1234;
+  u.dst_port = 9000;
+  u.payload = Bytes{1, 1, 2, 3, 5, 8};
+  Bytes wire = u.serialize(src, dst);
+  EXPECT_EQ(wire.size(), UdpDatagram::kHeaderSize + 6);
+  UdpDatagram back = UdpDatagram::parse(wire, src, dst);
+  EXPECT_EQ(back.src_port, 1234);
+  EXPECT_EQ(back.dst_port, 9000);
+  EXPECT_EQ(back.payload, u.payload);
+}
+
+TEST(Udp, LengthFieldValidated) {
+  Address src = Address::parse("2001:db8::1");
+  Address dst = Address::parse("ff1e::1");
+  UdpDatagram u;
+  u.payload = Bytes(4);
+  Bytes wire = u.serialize(src, dst);
+  wire.push_back(0);  // trailing garbage breaks both checksum and length
+  EXPECT_THROW(UdpDatagram::parse(wire, src, dst), ParseError);
+}
+
+TEST(Tunnel, EncapsulateDecapsulateRoundTrip) {
+  DatagramSpec inner_spec;
+  inner_spec.src = Address::parse("2001:db8:4::99");
+  inner_spec.dst = Address::parse("ff1e::1");
+  inner_spec.protocol = proto::kUdp;
+  inner_spec.payload = Bytes{42};
+  Bytes inner = build_datagram(inner_spec);
+
+  Address ha = Address::parse("2001:db8:4::4");
+  Address coa = Address::parse("2001:db8:6::99");
+  Bytes outer = encapsulate(inner, ha, coa);
+  EXPECT_EQ(outer.size(), inner.size() + kTunnelOverhead);
+
+  ParsedDatagram parsed_outer = parse_datagram(outer);
+  EXPECT_EQ(parsed_outer.hdr.src, ha);
+  EXPECT_EQ(parsed_outer.hdr.dst, coa);
+  EXPECT_EQ(parsed_outer.protocol, proto::kIpv6);
+  Bytes back = decapsulate(parsed_outer);
+  EXPECT_EQ(back, inner);
+  ParsedDatagram parsed_inner = parse_datagram(back);
+  EXPECT_EQ(parsed_inner.hdr.dst, inner_spec.dst);
+}
+
+TEST(Tunnel, DecapsulateRejectsNonTunnel) {
+  DatagramSpec spec;
+  spec.protocol = proto::kUdp;
+  spec.payload = Bytes(12);
+  ParsedDatagram d = parse_datagram(build_datagram(spec));
+  EXPECT_THROW(decapsulate(d), ParseError);
+}
+
+TEST(Tunnel, DecapsulateRejectsGarbageInner) {
+  DatagramSpec spec;
+  spec.protocol = proto::kIpv6;
+  spec.payload = Bytes{1, 2, 3};  // not a datagram
+  ParsedDatagram d = parse_datagram(build_datagram(spec));
+  EXPECT_THROW(decapsulate(d), ParseError);
+}
+
+TEST(Tunnel, NestedEncapsulation) {
+  DatagramSpec inner_spec;
+  inner_spec.protocol = proto::kNoNext;
+  Bytes inner = build_datagram(inner_spec);
+  Bytes mid = encapsulate(inner, Address::parse("::1"), Address::parse("::2"));
+  Bytes outer = encapsulate(mid, Address::parse("::3"), Address::parse("::4"));
+  ParsedDatagram po = parse_datagram(outer);
+  Bytes back_mid = decapsulate(po);
+  ParsedDatagram pm = parse_datagram(back_mid);
+  Bytes back_inner = decapsulate(pm);
+  EXPECT_EQ(back_inner, inner);
+}
+
+}  // namespace
+}  // namespace mip6

@@ -1,0 +1,165 @@
+// Home-agent redundancy: binding replication between peer agents on the
+// home link, VRRP-style address takeover when the primary dies, continued
+// multicast representation through the backup, and failback.
+#include "mipv6/ha_redundancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/traffic.hpp"
+#include "core/world.hpp"
+
+namespace mip6 {
+namespace {
+
+const Address kGroup = Address::parse("ff1e::50");
+constexpr std::uint16_t kPort = 9000;
+
+/// home link HL with two HAs; both also on transit TL; foreign router FR
+/// serves foreign link FL. A multicast source and a peer host sit on HL.
+struct Redundant {
+  World world;
+  Link& hl;
+  Link& tl;
+  Link& fl;
+  RouterEnv& ha1;
+  RouterEnv& ha2;
+  RouterEnv& fr;
+  HostEnv& mn;
+  HostEnv& src;
+  std::unique_ptr<HaRedundancy> red1;
+  std::unique_ptr<HaRedundancy> red2;
+
+  Redundant()
+      : world(1), hl(world.add_link("HL")), tl(world.add_link("TL")),
+        fl(world.add_link("FL")),
+        ha1(world.add_router("HA1", {&hl, &tl})),
+        ha2(world.add_router("HA2", {&hl, &tl})),
+        fr(world.add_router("FR", {&tl, &fl})),
+        mn(world.add_host("MN", hl,
+                          {McastStrategy::kBidirTunnel,
+                           HaRegistration::kGroupListBu})),
+        src(world.add_host("SRC", hl)) {
+    world.finalize();
+    red1 = std::make_unique<HaRedundancy>(
+        *ha1.stack, *ha1.ha, *ha1.udp, ha1.iface_on(hl),
+        ha1.address_on(hl));
+    red2 = std::make_unique<HaRedundancy>(
+        *ha2.stack, *ha2.ha, *ha2.udp, ha2.iface_on(hl),
+        ha2.address_on(hl));
+    red1->add_peer(ha2.address_on(hl),
+                   {ha2.address_on(hl), ha2.address_on(tl)});
+    red2->add_peer(ha1.address_on(hl),
+                   {ha1.address_on(hl), ha1.address_on(tl)});
+  }
+};
+
+TEST(HaRedundancy, BindingsReplicateToPeer) {
+  Redundant t;
+  t.mn.service->subscribe(kGroup);
+  t.mn.mn->move_to(t.fl);
+  t.world.run_until(Time::sec(5));
+  ASSERT_EQ(t.ha1.ha->cache().size(), 1u);   // primary holds the binding
+  EXPECT_EQ(t.red2->replica_count(), 1u);    // backup holds the replica
+  EXPECT_EQ(t.ha2.ha->cache().size(), 0u);   // but is not serving it
+  EXPECT_FALSE(t.ha2.ha->represents(kGroup));
+}
+
+TEST(HaRedundancy, DeregistrationClearsReplica) {
+  Redundant t;
+  t.mn.mn->move_to(t.fl);
+  t.world.run_until(Time::sec(5));
+  ASSERT_EQ(t.red2->replica_count(), 1u);
+  t.mn.mn->move_to(t.hl);  // return home: dereg BU
+  t.world.run_until(Time::sec(10));
+  EXPECT_EQ(t.red2->replica_count(), 0u);
+}
+
+TEST(HaRedundancy, BackupTakesOverAndMulticastResumes) {
+  Redundant t;
+  GroupReceiverApp app(*t.mn.stack, kPort);
+  t.mn.service->subscribe(kGroup);
+  CbrSource source(
+      t.world.scheduler(),
+      [&](Bytes p) {
+        t.src.service->send_multicast(kGroup, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  source.start(Time::sec(1));
+  t.mn.mn->move_to(t.fl);
+  t.world.run_until(Time::sec(10));
+  ASSERT_GT(app.unique_received(), 50u);  // tunneled via HA1
+
+  // HA1 dies.
+  const Time death = Time::sec(10);
+  const Address ha1_id = t.ha1.address_on(t.hl);
+  for (const auto& iface : t.ha1.node->interfaces()) iface->detach();
+  t.world.run_until(Time::sec(40));
+  EXPECT_TRUE(t.red2->has_taken_over(ha1_id));
+  EXPECT_EQ(t.ha2.ha->cache().size(), 1u);
+  EXPECT_TRUE(t.ha2.ha->represents(kGroup));
+  EXPECT_TRUE(t.ha2.pim->is_local_receiver(kGroup));
+
+  // Multicast resumed through HA2 within the failure-detection window plus
+  // a little signalling (heartbeat 2 s * threshold 3 = 6 s).
+  auto resumed = app.first_rx_at_or_after(death + Time::sec(7));
+  ASSERT_TRUE(resumed.has_value());
+  EXPECT_GT(app.received_in(Time::sec(20), Time::sec(40)), 150u);
+
+  // BU refreshes addressed to the dead HA1 are now answered by HA2: run
+  // far beyond the binding lifetime; the binding must stay alive.
+  t.world.run_until(Time::sec(10) + Time::sec(300));
+  EXPECT_EQ(t.ha2.ha->cache().size(), 1u);
+  EXPECT_GT(t.world.net().counters().get("ha/binding-adopted"), 0u);
+}
+
+TEST(HaRedundancy, UnicastInterceptServedByBackup) {
+  Redundant t;
+  t.mn.mn->move_to(t.fl);
+  t.world.run_until(Time::sec(5));
+  const Address ha1_id = t.ha1.address_on(t.hl);
+  for (const auto& iface : t.ha1.node->interfaces()) iface->detach();
+  t.world.run_until(Time::sec(20));
+  ASSERT_TRUE(t.red2->has_taken_over(ha1_id));
+
+  int delivered = 0;
+  t.mn.stack->set_proto_handler(
+      proto::kNoNext,
+      [&](const ParsedDatagram& d, const Packet&, IfaceId) {
+        if (d.hdr.dst == t.mn.mn->home_address()) ++delivered;
+      });
+  DatagramSpec spec;
+  spec.src = t.src.stack->global_address(t.src.iface());
+  spec.dst = t.mn.mn->home_address();
+  spec.protocol = proto::kNoNext;
+  t.src.stack->send(spec);
+  t.world.run_until(Time::sec(21));
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(HaRedundancy, FailbackReleasesAdoptedState) {
+  Redundant t;
+  t.mn.service->subscribe(kGroup);
+  t.mn.mn->move_to(t.fl);
+  t.world.run_until(Time::sec(5));
+
+  // Simulate HA1 silence without killing it entirely: detach only its home
+  // link interface (heartbeats stop reaching HA2).
+  const Address ha1_id = t.ha1.address_on(t.hl);
+  Interface& ha1_home = t.ha1.node->iface_by_id(t.ha1.iface_on(t.hl));
+  ha1_home.detach();
+  t.world.run_until(Time::sec(20));
+  ASSERT_TRUE(t.red2->has_taken_over(ha1_id));
+  ASSERT_EQ(t.ha2.ha->cache().size(), 1u);
+
+  // HA1 comes back: heartbeats resume, HA2 releases everything.
+  ha1_home.attach(t.hl);
+  t.world.run_until(Time::sec(40));
+  EXPECT_FALSE(t.red2->has_taken_over(ha1_id));
+  EXPECT_EQ(t.ha2.ha->cache().size(), 0u);
+  EXPECT_FALSE(t.ha2.ha->represents(kGroup));
+  EXPECT_FALSE(t.ha2.stack->owns_address(ha1_id));
+  EXPECT_GT(t.world.net().counters().get("hasync/failback"), 0u);
+}
+
+}  // namespace
+}  // namespace mip6

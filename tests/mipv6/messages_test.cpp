@@ -1,0 +1,133 @@
+#include "mipv6/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mip6 {
+namespace {
+
+TEST(Mipv6Messages, BindingUpdateRoundTrip) {
+  BindingUpdateOption bu;
+  bu.ack_requested = true;
+  bu.home_registration = true;
+  bu.sequence = 4711;
+  bu.lifetime_s = 256;
+  DestOption opt = bu.encode();
+  EXPECT_EQ(opt.type, opt::kBindingUpdate);
+  BindingUpdateOption back = BindingUpdateOption::decode(opt);
+  EXPECT_TRUE(back.ack_requested);
+  EXPECT_TRUE(back.home_registration);
+  EXPECT_EQ(back.sequence, 4711);
+  EXPECT_EQ(back.lifetime_s, 256u);
+  EXPECT_TRUE(back.sub_options.empty());
+}
+
+TEST(Mipv6Messages, BindingUpdateFlagsIndependent) {
+  BindingUpdateOption bu;
+  bu.ack_requested = false;
+  bu.home_registration = true;
+  BindingUpdateOption back = BindingUpdateOption::decode(bu.encode());
+  EXPECT_FALSE(back.ack_requested);
+  EXPECT_TRUE(back.home_registration);
+}
+
+TEST(Mipv6Messages, BindingUpdateWithSubOptions) {
+  BindingUpdateOption bu;
+  bu.sub_options.push_back(BuSubOption{subopt::kUniqueIdentifier, {1, 2}});
+  MulticastGroupListSubOption list;
+  list.groups.push_back(Address::parse("ff1e::1"));
+  list.groups.push_back(Address::parse("ff1e::2"));
+  bu.sub_options.push_back(list.encode());
+
+  BindingUpdateOption back = BindingUpdateOption::decode(bu.encode());
+  ASSERT_EQ(back.sub_options.size(), 2u);
+  EXPECT_NE(back.find_sub_option(subopt::kUniqueIdentifier), nullptr);
+  const BuSubOption* sub = back.find_sub_option(subopt::kMulticastGroupList);
+  ASSERT_NE(sub, nullptr);
+  MulticastGroupListSubOption got = MulticastGroupListSubOption::decode(*sub);
+  ASSERT_EQ(got.groups.size(), 2u);
+  EXPECT_EQ(got.groups[1], Address::parse("ff1e::2"));
+}
+
+TEST(Mipv6Messages, GroupListLenIsSixteenTimesN) {
+  // Figure 5 of the paper: Sub-Option Len = 16 * N.
+  for (std::size_t n = 0; n <= 8; ++n) {
+    MulticastGroupListSubOption list;
+    for (std::size_t i = 0; i < n; ++i) {
+      list.groups.push_back(
+          Address::from_prefix_iid(Address::parse("ff1e::"), i + 1));
+    }
+    BuSubOption sub = list.encode();
+    EXPECT_EQ(sub.type, subopt::kMulticastGroupList);
+    EXPECT_EQ(sub.data.size(), 16 * n);
+    MulticastGroupListSubOption back =
+        MulticastGroupListSubOption::decode(sub);
+    EXPECT_EQ(back.groups.size(), n);
+  }
+}
+
+TEST(Mipv6Messages, GroupListCapsAtFifteenGroups) {
+  MulticastGroupListSubOption list;
+  for (int i = 0; i < 16; ++i) {
+    list.groups.push_back(
+        Address::from_prefix_iid(Address::parse("ff1e::"), i + 1));
+  }
+  EXPECT_THROW(list.encode(), LogicError);
+  list.groups.pop_back();
+  EXPECT_NO_THROW(list.encode());
+}
+
+TEST(Mipv6Messages, GroupListRejectsBadLength) {
+  BuSubOption sub{subopt::kMulticastGroupList, Bytes(17)};
+  EXPECT_THROW(MulticastGroupListSubOption::decode(sub), ParseError);
+}
+
+TEST(Mipv6Messages, GroupListRejectsUnicastEntries) {
+  Address unicast = Address::parse("2001:db8::1");
+  BuSubOption sub{subopt::kMulticastGroupList,
+                  Bytes(unicast.bytes().begin(), unicast.bytes().end())};
+  EXPECT_THROW(MulticastGroupListSubOption::decode(sub), ParseError);
+}
+
+TEST(Mipv6Messages, BindingAckRoundTrip) {
+  BindingAckOption ack;
+  ack.status = 0;
+  ack.sequence = 99;
+  ack.lifetime_s = 256;
+  ack.refresh_s = 128;
+  BindingAckOption back = BindingAckOption::decode(ack.encode());
+  EXPECT_EQ(back.sequence, 99);
+  EXPECT_EQ(back.lifetime_s, 256u);
+  EXPECT_EQ(back.refresh_s, 128u);
+}
+
+TEST(Mipv6Messages, BindingAckRejectsTrailing) {
+  DestOption opt = BindingAckOption{}.encode();
+  opt.data.push_back(0);
+  EXPECT_THROW(BindingAckOption::decode(opt), ParseError);
+}
+
+TEST(Mipv6Messages, HomeAddressRoundTrip) {
+  HomeAddressOption h;
+  h.home_address = Address::parse("2001:db8:4::99");
+  DestOption opt = h.encode();
+  EXPECT_EQ(opt.type, opt::kHomeAddress);
+  EXPECT_EQ(opt.data.size(), 16u);
+  EXPECT_EQ(HomeAddressOption::decode(opt).home_address, h.home_address);
+}
+
+TEST(Mipv6Messages, DecodeRejectsWrongOptionType) {
+  DestOption wrong{opt::kBindingAck, Bytes(11)};
+  EXPECT_THROW(BindingUpdateOption::decode(wrong), ParseError);
+  DestOption wrong2{opt::kBindingUpdate, Bytes(8)};
+  EXPECT_THROW(BindingAckOption::decode(wrong2), ParseError);
+  EXPECT_THROW(HomeAddressOption::decode(wrong2), ParseError);
+}
+
+TEST(Mipv6Messages, TruncatedBindingUpdateRejected) {
+  DestOption opt = BindingUpdateOption{}.encode();
+  opt.data.resize(3);
+  EXPECT_THROW(BindingUpdateOption::decode(opt), ParseError);
+}
+
+}  // namespace
+}  // namespace mip6

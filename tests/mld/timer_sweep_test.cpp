@@ -1,0 +1,68 @@
+// Parameterized MLD timer sweeps — the testable core of the paper's
+// Section 4.4: for every Query Interval, a silently departed listener must
+// expire within the derived T_MLI, and a query-waiting joiner must be
+// learned within T_Query + T_RespDel.
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+
+namespace mip6 {
+namespace {
+
+const Address kGroup = Address::parse("ff1e::77");
+
+class QueryIntervalSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueryIntervalSweep, LeaveDetectedWithinListenerInterval) {
+  const int tq = GetParam();
+  WorldConfig config;
+  config.mld = MldConfig::with_query_interval(Time::sec(tq));
+  World world(1, config);
+  Link& lan = world.add_link("lan");
+  RouterEnv& r = world.add_router("R", {&lan});
+  HostEnv& h = world.add_host("H", lan);
+  world.finalize();
+
+  h.mld->join(h.iface(), kGroup);
+  world.run_until(Time::sec(5));
+  ASSERT_TRUE(r.mld->has_listeners(r.iface_on(lan), kGroup)) << tq;
+
+  // Silent departure at t=5: listener must be gone within T_MLI of the
+  // *last report* — conservatively, T_MLI + one query cycle from now.
+  h.node->iface(0).detach();
+  Time bound = config.mld.multicast_listener_interval() + Time::sec(tq) +
+               Time::sec(11);
+  world.run_until(Time::sec(5) + bound);
+  EXPECT_FALSE(r.mld->has_listeners(r.iface_on(lan), kGroup))
+      << "T_Query=" << tq;
+}
+
+TEST_P(QueryIntervalSweep, QueryWaitingJoinerLearnedWithinBound) {
+  const int tq = GetParam();
+  WorldConfig config;
+  config.mld = MldConfig::with_query_interval(Time::sec(tq));
+  config.mld_host.unsolicited_reports = false;  // worst case
+  World world(1, config);
+  Link& lan = world.add_link("lan");
+  RouterEnv& r = world.add_router("R", {&lan});
+  HostEnv& h = world.add_host("H", lan);
+  world.finalize();
+
+  // Join mid-cycle, far from startup queries.
+  Time join_at = Time::sec(3 * tq) + Time::sec(tq / 2);
+  world.run_until(join_at);
+  h.mld->join(h.iface(), kGroup);
+  // Paper bound: next Query within T_Query, response within T_RespDel.
+  world.run_until(join_at + Time::sec(tq) + Time::sec(10) + Time::sec(1));
+  EXPECT_TRUE(r.mld->has_listeners(r.iface_on(lan), kGroup))
+      << "T_Query=" << tq;
+}
+
+INSTANTIATE_TEST_SUITE_P(TQuery, QueryIntervalSweep,
+                         ::testing::Values(10, 25, 60, 125),
+                         [](const ::testing::TestParamInfo<int>& pi) {
+                           return "tq" + std::to_string(pi.param);
+                         });
+
+}  // namespace
+}  // namespace mip6

@@ -1,0 +1,174 @@
+#include "pimdm/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace mip6 {
+namespace {
+
+const Address kSrc = Address::parse("fe80::1");
+const Address kDst = Address::parse("ff02::d");
+
+TEST(PimMessages, HeaderRoundTripAndChecksum) {
+  PimHello hello;
+  hello.holdtime = 105;
+  Bytes wire = serialize_pim(PimType::kHello, hello.body(), kSrc, kDst);
+  PimHeader h = parse_pim(wire, kSrc, kDst);
+  EXPECT_EQ(h.type, PimType::kHello);
+  PimHello back = PimHello::parse(h.body);
+  EXPECT_EQ(back.holdtime, 105);
+}
+
+TEST(PimMessages, ChecksumDetectsCorruption) {
+  Bytes wire = serialize_pim(PimType::kHello, PimHello{105}.body(), kSrc, kDst);
+  wire[wire.size() - 1] ^= 0x01;
+  EXPECT_THROW(parse_pim(wire, kSrc, kDst), ParseError);
+}
+
+TEST(PimMessages, ChecksumCoversPseudoHeader) {
+  Bytes wire = serialize_pim(PimType::kHello, PimHello{105}.body(), kSrc, kDst);
+  EXPECT_THROW(parse_pim(wire, Address::parse("fe80::2"), kDst), ParseError);
+}
+
+TEST(PimMessages, RejectsWrongVersion) {
+  Bytes wire = serialize_pim(PimType::kHello, PimHello{30}.body(), kSrc, kDst);
+  // Flip the version nibble and fix the checksum by recomputation trick:
+  // easier to just corrupt and expect either error.
+  wire[0] = static_cast<std::uint8_t>((3 << 4) | (wire[0] & 0x0f));
+  EXPECT_THROW(parse_pim(wire, kSrc, kDst), ParseError);
+}
+
+TEST(PimMessages, HelloWithUnknownOptionsStillParses) {
+  BufferWriter w;
+  w.u16(999);  // unknown option
+  w.u16(4);
+  w.u32(0xdeadbeef);
+  w.u16(1);  // holdtime option
+  w.u16(2);
+  w.u16(77);
+  PimHello h = PimHello::parse(w.bytes());
+  EXPECT_EQ(h.holdtime, 77);
+}
+
+TEST(PimMessages, HelloWithoutHoldtimeRejected) {
+  BufferWriter w;
+  w.u16(999);
+  w.u16(2);
+  w.u16(0);
+  EXPECT_THROW(PimHello::parse(w.bytes()), ParseError);
+}
+
+TEST(PimMessages, JoinPruneRoundTrip) {
+  PimJoinPrune m;
+  m.upstream_neighbor = Address::parse("2001:db8:3::5");
+  m.holdtime = 210;
+  PimJoinPrune::GroupEntry g;
+  g.group = Address::parse("ff1e::1");
+  g.joined_sources.push_back(Address::parse("2001:db8:1::10"));
+  g.pruned_sources.push_back(Address::parse("2001:db8:1::11"));
+  g.pruned_sources.push_back(Address::parse("2001:db8:1::12"));
+  m.groups.push_back(g);
+
+  PimJoinPrune back = PimJoinPrune::parse(m.body());
+  EXPECT_EQ(back.upstream_neighbor, m.upstream_neighbor);
+  EXPECT_EQ(back.holdtime, 210);
+  ASSERT_EQ(back.groups.size(), 1u);
+  EXPECT_EQ(back.groups[0].joined_sources.size(), 1u);
+  EXPECT_EQ(back.groups[0].pruned_sources.size(), 2u);
+  EXPECT_EQ(back.groups[0].pruned_sources[1],
+            Address::parse("2001:db8:1::12"));
+}
+
+TEST(PimMessages, JoinPruneConvenienceConstructors) {
+  Address up = Address::parse("fe80::9");
+  Address s = Address::parse("2001:db8::1");
+  Address g = Address::parse("ff1e::1");
+  PimJoinPrune join = PimJoinPrune::join(up, s, g);
+  ASSERT_EQ(join.groups.size(), 1u);
+  EXPECT_EQ(join.groups[0].joined_sources.size(), 1u);
+  EXPECT_TRUE(join.groups[0].pruned_sources.empty());
+
+  PimJoinPrune prune = PimJoinPrune::prune(up, s, g, 210);
+  EXPECT_EQ(prune.holdtime, 210);
+  EXPECT_EQ(prune.groups[0].pruned_sources.size(), 1u);
+}
+
+TEST(PimMessages, MultiGroupJoinPrune) {
+  PimJoinPrune m;
+  m.upstream_neighbor = Address::parse("fe80::1");
+  for (int i = 0; i < 5; ++i) {
+    PimJoinPrune::GroupEntry g;
+    g.group = Address::from_prefix_iid(Address::parse("ff1e::"), i + 1);
+    g.joined_sources.push_back(
+        Address::from_prefix_iid(Address::parse("2001:db8::"), i));
+    m.groups.push_back(g);
+  }
+  PimJoinPrune back = PimJoinPrune::parse(m.body());
+  EXPECT_EQ(back.groups.size(), 5u);
+}
+
+TEST(PimMessages, JoinPruneTruncationRejected) {
+  PimJoinPrune m = PimJoinPrune::join(Address::parse("fe80::1"),
+                                      Address::parse("2001:db8::1"),
+                                      Address::parse("ff1e::1"));
+  Bytes body = m.body();
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    Bytes trunc(body.begin(), body.begin() + static_cast<long>(len));
+    EXPECT_THROW(PimJoinPrune::parse(trunc), ParseError) << len;
+  }
+}
+
+TEST(PimMessages, AssertRoundTrip) {
+  PimAssert a;
+  a.group = Address::parse("ff1e::1");
+  a.source = Address::parse("2001:db8:1::10");
+  a.metric_preference = 101;
+  a.metric = 3;
+  PimAssert back = PimAssert::parse(a.body());
+  EXPECT_EQ(back.group, a.group);
+  EXPECT_EQ(back.source, a.source);
+  EXPECT_EQ(back.metric_preference, 101u);
+  EXPECT_EQ(back.metric, 3u);
+}
+
+TEST(PimMessages, AssertRptBitMasked) {
+  PimAssert a;
+  a.group = Address::parse("ff1e::1");
+  a.source = Address::parse("2001:db8::1");
+  a.metric_preference = 0xffffffff;  // R bit would be set
+  PimAssert back = PimAssert::parse(a.body());
+  EXPECT_EQ(back.metric_preference, 0x7fffffffu);
+}
+
+TEST(PimMessages, EncodedAddressFamilyValidated) {
+  BufferWriter w;
+  w.u8(1);  // IPv4 family
+  w.u8(0);
+  w.zeros(16);
+  BufferReader r(w.bytes());
+  EXPECT_THROW(read_encoded_unicast(r), ParseError);
+}
+
+TEST(PimMessages, FuzzedBodiesNeverCrash) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes junk(rng.uniform_int(80));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    try {
+      PimJoinPrune::parse(junk);
+    } catch (const ParseError&) {
+    }
+    try {
+      PimAssert::parse(junk);
+    } catch (const ParseError&) {
+    }
+    try {
+      PimHello::parse(junk);
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mip6

@@ -1,0 +1,88 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mip6 {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    if (va != c.next_u64()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeEvenly) {
+  Rng rng(7);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) counts[rng.uniform_int(kBuckets)]++;
+  for (std::uint64_t b = 0; b < kBuckets; ++b) {
+    // Each bucket expects 10000; allow 10% deviation.
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, kDraws / kBuckets / 10.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(8);
+  double sum = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int heads = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) heads += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / static_cast<double>(kDraws), 0.3, 0.01);
+}
+
+TEST(Rng, DerivedSeedsAreDistinct) {
+  std::uint64_t base = 42;
+  std::uint64_t s0 = Rng::derive_seed(base, 0);
+  std::uint64_t s1 = Rng::derive_seed(base, 1);
+  std::uint64_t s2 = Rng::derive_seed(base, 2);
+  EXPECT_NE(s0, s1);
+  EXPECT_NE(s1, s2);
+  EXPECT_NE(s0, s2);
+  // Stable across calls.
+  EXPECT_EQ(s0, Rng::derive_seed(base, 0));
+}
+
+TEST(Rng, MeanOfUniformIsHalf) {
+  Rng rng(10);
+  double sum = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace mip6

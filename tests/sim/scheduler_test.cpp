@@ -1,0 +1,113 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mip6 {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(Time::sec(3), [&] { order.push_back(3); });
+  s.schedule_at(Time::sec(1), [&] { order.push_back(1); });
+  s.schedule_at(Time::sec(2), [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), Time::sec(3));
+}
+
+TEST(Scheduler, SameTimeTiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(Time::sec(1), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, RunUntilExecutesInclusiveBoundary) {
+  Scheduler s;
+  int ran = 0;
+  s.schedule_at(Time::sec(5), [&] { ++ran; });
+  s.schedule_at(Time::sec(6), [&] { ++ran; });
+  EXPECT_EQ(s.run_until(Time::sec(5)), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(s.now(), Time::sec(5));
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWithoutEvents) {
+  Scheduler s;
+  s.run_until(Time::sec(42));
+  EXPECT_EQ(s.now(), Time::sec(42));
+}
+
+TEST(Scheduler, ScheduleInIsRelative) {
+  Scheduler s;
+  s.run_until(Time::sec(10));
+  Time fired = Time::never();
+  s.schedule_in(Time::sec(5), [&] { fired = s.now(); });
+  s.run();
+  EXPECT_EQ(fired, Time::sec(15));
+}
+
+TEST(Scheduler, SchedulingIntoThePastThrows) {
+  Scheduler s;
+  s.run_until(Time::sec(10));
+  EXPECT_THROW(s.schedule_at(Time::sec(9), [] {}), LogicError);
+  EXPECT_THROW(s.schedule_in(Time::zero() - Time::sec(1), [] {}), LogicError);
+  EXPECT_THROW(s.schedule_at(Time::never(), [] {}), LogicError);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  int ran = 0;
+  EventHandle h = s.schedule_at(Time::sec(1), [&] { ++ran; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.run();
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(Scheduler, CancelAfterExecutionIsNoop) {
+  Scheduler s;
+  int ran = 0;
+  EventHandle h = s.schedule_at(Time::sec(1), [&] { ++ran; });
+  s.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash or affect anything
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  std::vector<Time> fire_times;
+  std::function<void()> chain = [&] {
+    fire_times.push_back(s.now());
+    if (fire_times.size() < 5) s.schedule_in(Time::sec(1), chain);
+  };
+  s.schedule_at(Time::sec(1), chain);
+  s.run();
+  ASSERT_EQ(fire_times.size(), 5u);
+  EXPECT_EQ(fire_times.back(), Time::sec(5));
+}
+
+TEST(Scheduler, InertHandleIsSafe) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+}
+
+TEST(Scheduler, ExecutedEventsCounterAccumulates) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.schedule_in(Time::sec(i + 1), [] {});
+  s.run();
+  EXPECT_EQ(s.executed_events(), 7u);
+}
+
+}  // namespace
+}  // namespace mip6

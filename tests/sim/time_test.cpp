@@ -1,0 +1,59 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mip6 {
+namespace {
+
+TEST(Time, Constructors) {
+  EXPECT_EQ(Time::ns(5).nanos(), 5);
+  EXPECT_EQ(Time::us(5).nanos(), 5'000);
+  EXPECT_EQ(Time::ms(5).nanos(), 5'000'000);
+  EXPECT_EQ(Time::sec(5).nanos(), 5'000'000'000LL);
+  EXPECT_EQ(Time::minutes(2).nanos(), 120'000'000'000LL);
+  EXPECT_EQ(Time::zero().nanos(), 0);
+}
+
+TEST(Time, SecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(Time::seconds(1.5).nanos(), 1'500'000'000LL);
+  EXPECT_EQ(Time::seconds(0.1234567894).nanos(), 123'456'789LL);
+  EXPECT_EQ(Time::seconds(-0.5).nanos(), -500'000'000LL);
+}
+
+TEST(Time, Arithmetic) {
+  Time a = Time::sec(2), b = Time::ms(500);
+  EXPECT_EQ((a + b).nanos(), 2'500'000'000LL);
+  EXPECT_EQ((a - b).nanos(), 1'500'000'000LL);
+  EXPECT_EQ((b * 4).nanos(), 2'000'000'000LL);
+  a += b;
+  EXPECT_EQ(a.to_millis(), 2500.0);
+  a -= b;
+  EXPECT_EQ(a, Time::sec(2));
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(Time::ms(1), Time::ms(2));
+  EXPECT_EQ(Time::sec(1), Time::ms(1000));
+  EXPECT_GT(Time::never(), Time::sec(1'000'000'000));
+  EXPECT_TRUE(Time::never().is_never());
+  EXPECT_FALSE(Time::sec(1).is_never());
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(Time::ms(250).to_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(Time::us(1500).to_millis(), 1.5);
+}
+
+TEST(Time, StrFormatsFullPrecision) {
+  EXPECT_EQ(Time::zero().str(), "0.000000000s");
+  EXPECT_EQ(Time::ns(1).str(), "0.000000001s");
+  EXPECT_EQ((Time::sec(12) + Time::ns(345)).str(), "12.000000345s");
+  EXPECT_EQ(Time::never().str(), "never");
+}
+
+TEST(Time, StrHandlesNegative) {
+  EXPECT_EQ((Time::zero() - Time::ms(1)).str(), "-1.999000000s");
+}
+
+}  // namespace
+}  // namespace mip6

@@ -1,0 +1,101 @@
+#include "sim/timer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mip6 {
+namespace {
+
+TEST(Timer, FiresOnceAtExpiry) {
+  Scheduler s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.arm(Time::sec(2));
+  EXPECT_TRUE(t.running());
+  EXPECT_EQ(t.expiry(), Time::sec(2));
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.running());
+  EXPECT_TRUE(t.expiry().is_never());
+}
+
+TEST(Timer, RearmReplacesPreviousExpiry) {
+  Scheduler s;
+  Time fired_at = Time::never();
+  Timer t(s, [&] { fired_at = s.now(); });
+  t.arm(Time::sec(2));
+  t.arm(Time::sec(10));  // re-arm later: the 2 s expiry must not fire
+  s.run();
+  EXPECT_EQ(fired_at, Time::sec(10));
+}
+
+TEST(Timer, CancelStopsExpiry) {
+  Scheduler s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.arm(Time::sec(1));
+  t.cancel();
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, ArmIfIdleOnlyWhenStopped) {
+  Scheduler s;
+  Timer t(s, [] {});
+  t.arm(Time::sec(5));
+  t.arm_if_idle(Time::sec(1));  // ignored, already running
+  EXPECT_EQ(t.expiry(), Time::sec(5));
+  t.cancel();
+  t.arm_if_idle(Time::sec(1));
+  EXPECT_EQ(t.expiry(), Time::sec(1));
+}
+
+TEST(Timer, ArmToEarlierOnlyShortens) {
+  Scheduler s;
+  Timer t(s, [] {});
+  t.arm(Time::sec(5));
+  t.arm_to_earlier(Time::sec(10));  // later: ignored
+  EXPECT_EQ(t.expiry(), Time::sec(5));
+  t.arm_to_earlier(Time::sec(2));  // earlier: taken
+  EXPECT_EQ(t.expiry(), Time::sec(2));
+  t.cancel();
+  t.arm_to_earlier(Time::sec(7));  // idle: arms
+  EXPECT_EQ(t.expiry(), Time::sec(7));
+}
+
+TEST(Timer, RemainingTracksClock) {
+  Scheduler s;
+  Timer t(s, [] {});
+  t.arm(Time::sec(10));
+  s.run_until(Time::sec(4));
+  EXPECT_EQ(t.remaining(), Time::sec(6));
+  t.cancel();
+  EXPECT_TRUE(t.remaining().is_never());
+}
+
+TEST(Timer, CanRearmFromItsOwnCallback) {
+  Scheduler s;
+  int fired = 0;
+  Timer* self = nullptr;
+  Timer t(s, [&] {
+    if (++fired < 3) self->arm(Time::sec(1));
+  });
+  self = &t;
+  t.arm(Time::sec(1));
+  s.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(s.now(), Time::sec(3));
+}
+
+TEST(Timer, DestructorCancels) {
+  Scheduler s;
+  int fired = 0;
+  {
+    Timer t(s, [&] { ++fired; });
+    t.arm(Time::sec(1));
+  }
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace mip6

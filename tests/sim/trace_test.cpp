@@ -1,0 +1,44 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mip6 {
+namespace {
+
+TEST(Trace, DisabledByDefaultAndDropsEmits) {
+  Trace t;
+  EXPECT_FALSE(t.enabled());
+  t.emit(Time::sec(1), "c", "e", "d");  // must not crash
+}
+
+TEST(Trace, RecorderCapturesRecords) {
+  Trace t;
+  std::vector<TraceRecord> records;
+  t.set_sink(Trace::recorder(records));
+  EXPECT_TRUE(t.enabled());
+  t.emit(Time::sec(1), "pimdm/RouterA", "tx-graft", "S=...");
+  t.emit(Time::sec(2), "mld/Host", "report", "");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].component, "pimdm/RouterA");
+  EXPECT_EQ(records[1].at, Time::sec(2));
+}
+
+TEST(Trace, ClearSinkStopsRecording) {
+  Trace t;
+  std::vector<TraceRecord> records;
+  t.set_sink(Trace::recorder(records));
+  t.emit(Time::zero(), "a", "b", "c");
+  t.clear_sink();
+  t.emit(Time::zero(), "a", "b", "c");
+  EXPECT_EQ(records.size(), 1u);
+}
+
+TEST(TraceRecord, StrFormat) {
+  TraceRecord r{Time::sec(3), "comp", "event", "detail"};
+  EXPECT_EQ(r.str(), "3.000000000s [comp] event detail");
+  TraceRecord no_detail{Time::zero(), "c", "e", ""};
+  EXPECT_EQ(no_detail.str(), "0.000000000s [c] e");
+}
+
+}  // namespace
+}  // namespace mip6

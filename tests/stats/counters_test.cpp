@@ -1,0 +1,56 @@
+#include "stats/counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mip6 {
+namespace {
+
+TEST(CounterRegistry, AddAndGet) {
+  CounterRegistry c;
+  EXPECT_EQ(c.get("x"), 0u);
+  c.add("x");
+  c.add("x", 4);
+  EXPECT_EQ(c.get("x"), 5u);
+}
+
+TEST(CounterRegistry, PrefixSum) {
+  CounterRegistry c;
+  c.add("pimdm/tx/hello", 3);
+  c.add("pimdm/tx/prune", 2);
+  c.add("pimdm/rx/hello", 10);
+  c.add("mld/tx/report", 7);
+  EXPECT_EQ(c.sum_prefix("pimdm/tx/"), 5u);
+  EXPECT_EQ(c.sum_prefix("pimdm/"), 15u);
+  EXPECT_EQ(c.sum_prefix(""), 22u);
+  EXPECT_EQ(c.sum_prefix("nothing"), 0u);
+}
+
+TEST(CounterRegistry, PrefixSumDoesNotOvermatch) {
+  CounterRegistry c;
+  c.add("ab", 1);
+  c.add("abc", 2);
+  c.add("abd", 4);
+  c.add("ac", 8);
+  EXPECT_EQ(c.sum_prefix("ab"), 7u);  // ab, abc, abd — not ac
+}
+
+TEST(CounterRegistry, SnapshotOrderedByName) {
+  CounterRegistry c;
+  c.add("b", 2);
+  c.add("a", 1);
+  auto snap = c.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "a");
+  EXPECT_EQ(snap[1].first, "b");
+}
+
+TEST(CounterRegistry, ResetClears) {
+  CounterRegistry c;
+  c.add("x", 3);
+  c.reset();
+  EXPECT_EQ(c.get("x"), 0u);
+  EXPECT_TRUE(c.snapshot().empty());
+}
+
+}  // namespace
+}  // namespace mip6

@@ -1,0 +1,48 @@
+#include "stats/gauge.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mip6 {
+namespace {
+
+TEST(TimeWeightedGauge, PiecewiseConstantAverage) {
+  TimeWeightedGauge g;
+  g.set(Time::sec(0), 2.0);   // 2 over [0,10)
+  g.set(Time::sec(10), 6.0);  // 6 over [10,20)
+  // average over [0,20] = (2*10 + 6*10)/20 = 4
+  EXPECT_DOUBLE_EQ(g.average(Time::sec(20)), 4.0);
+  EXPECT_DOUBLE_EQ(g.value(), 6.0);
+  EXPECT_DOUBLE_EQ(g.peak(), 6.0);
+}
+
+TEST(TimeWeightedGauge, AddAccumulatesDeltas) {
+  TimeWeightedGauge g;
+  g.add(Time::sec(0), 1.0);
+  g.add(Time::sec(5), 1.0);   // 2 from t=5
+  g.add(Time::sec(10), -2.0); // 0 from t=10
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_DOUBLE_EQ(g.peak(), 2.0);
+  // integral = 1*5 + 2*5 + 0*10 = 15 over 20s
+  EXPECT_DOUBLE_EQ(g.average(Time::sec(20)), 0.75);
+}
+
+TEST(TimeWeightedGauge, AverageBeforeAnyTimeElapsed) {
+  TimeWeightedGauge g(Time::sec(3));
+  g.set(Time::sec(3), 7.0);
+  EXPECT_DOUBLE_EQ(g.average(Time::sec(3)), 7.0);
+}
+
+TEST(TimeWeightedGauge, NonObservedTailCountsAtCurrentValue) {
+  TimeWeightedGauge g;
+  g.set(Time::sec(0), 4.0);
+  EXPECT_DOUBLE_EQ(g.average(Time::sec(100)), 4.0);
+}
+
+TEST(TimeWeightedGauge, BackwardsTimeThrows) {
+  TimeWeightedGauge g;
+  g.set(Time::sec(5), 1.0);
+  EXPECT_THROW(g.set(Time::sec(4), 2.0), LogicError);
+}
+
+}  // namespace
+}  // namespace mip6

@@ -1,0 +1,86 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mip6 {
+namespace {
+
+TEST(Summary, EmptyIsSafe) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.percentile(50), 0.0);
+  EXPECT_EQ(s.str(), "n=0");
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.median(), 3.5);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(Summary, PercentilesInterpolate) {
+  Summary s;
+  for (int i = 1; i <= 5; ++i) s.add(i);  // 1..5
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(12.5), 1.5);
+}
+
+TEST(Summary, PercentileAfterMoreAddsResorts) {
+  Summary s;
+  s.add(10.0);
+  EXPECT_EQ(s.median(), 10.0);
+  s.add(0.0);
+  s.add(5.0);
+  EXPECT_EQ(s.median(), 5.0);
+}
+
+TEST(Summary, MergeCombinesSamples) {
+  Summary a, b;
+  a.add(1.0);
+  a.add(2.0);
+  b.add(3.0);
+  b.add(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_EQ(a.max(), 4.0);
+}
+
+TEST(Summary, Ci95ShrinksWithSamples) {
+  Summary small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(Summary, StrMentionsAllFields) {
+  Summary s;
+  s.add(1.0);
+  s.add(3.0);
+  std::string str = s.str(1);
+  EXPECT_NE(str.find("mean=2.0"), std::string::npos);
+  EXPECT_NE(str.find("n=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mip6

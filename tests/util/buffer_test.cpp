@@ -1,0 +1,109 @@
+#include "util/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mip6 {
+namespace {
+
+TEST(BufferWriter, IntegersAreBigEndian) {
+  BufferWriter w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u32(0x04050607);
+  w.u64(0x08090a0b0c0d0e0fULL);
+  EXPECT_EQ(to_hex(w.bytes()), "0102030405060708090a0b0c0d0e0f");
+}
+
+TEST(BufferWriter, RawAppendsVerbatim) {
+  BufferWriter w;
+  Bytes data{0xde, 0xad, 0xbe, 0xef};
+  w.raw(data);
+  EXPECT_EQ(w.bytes(), data);
+}
+
+TEST(BufferWriter, ZerosAppendsPadding) {
+  BufferWriter w;
+  w.u8(0xff);
+  w.zeros(3);
+  EXPECT_EQ(to_hex(w.bytes()), "ff000000");
+}
+
+TEST(BufferWriter, PatchU16OverwritesInPlace) {
+  BufferWriter w;
+  w.u32(0);
+  w.patch_u16(1, 0xabcd);
+  EXPECT_EQ(to_hex(w.bytes()), "00abcd00");
+}
+
+TEST(BufferWriter, PatchOutOfRangeThrows) {
+  BufferWriter w;
+  w.u16(0);
+  EXPECT_THROW(w.patch_u16(1, 1), LogicError);
+  EXPECT_THROW(w.patch_u16(2, 1), LogicError);
+}
+
+TEST(BufferWriter, TakeMovesBufferOut) {
+  BufferWriter w;
+  w.u16(0x1234);
+  Bytes b = std::move(w).take();
+  EXPECT_EQ(to_hex(b), "1234");
+}
+
+TEST(BufferReader, ReadsBackWhatWriterWrote) {
+  BufferWriter w;
+  w.u8(7);
+  w.u16(500);
+  w.u32(70000);
+  w.u64(1ULL << 40);
+  Bytes data = std::move(w).take();
+  BufferReader r(data);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 500);
+  EXPECT_EQ(r.u32(), 70000u);
+  EXPECT_EQ(r.u64(), 1ULL << 40);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(BufferReader, UnderrunThrowsParseError) {
+  Bytes data{1, 2};
+  BufferReader r(data);
+  EXPECT_THROW(r.u32(), ParseError);
+  // Failed read must not consume.
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_EQ(r.u16(), 0x0102);
+}
+
+TEST(BufferReader, RawAndViewConsume) {
+  Bytes data{1, 2, 3, 4, 5};
+  BufferReader r(data);
+  Bytes head = r.raw(2);
+  EXPECT_EQ(to_hex(head), "0102");
+  BytesView rest = r.view(3);
+  EXPECT_EQ(to_hex(rest), "030405");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(BufferReader, SkipAdvances) {
+  Bytes data{1, 2, 3};
+  BufferReader r(data);
+  r.skip(2);
+  EXPECT_EQ(r.u8(), 3);
+  EXPECT_THROW(r.skip(1), ParseError);
+}
+
+TEST(BufferReader, ExpectEndRejectsTrailingBytes) {
+  Bytes data{1};
+  BufferReader r(data);
+  EXPECT_THROW(r.expect_end("msg"), ParseError);
+  r.u8();
+  EXPECT_NO_THROW(r.expect_end("msg"));
+}
+
+TEST(ToHex, EmptyAndValues) {
+  EXPECT_EQ(to_hex({}), "");
+  Bytes data{0x00, 0x0f, 0xf0, 0xff};
+  EXPECT_EQ(to_hex(data), "000ff0ff");
+}
+
+}  // namespace
+}  // namespace mip6

@@ -1,0 +1,70 @@
+#include "util/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace mip6 {
+namespace {
+
+TEST(InternetChecksum, KnownVector) {
+  // RFC 1071 §3 example: words 0x0001 0xf203 0xf4f5 0xf6f7 sum to 0x2ddf0,
+  // fold to 0xddf2, complement 0x220d.
+  Bytes data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  Bytes odd{0x12, 0x34, 0x56};
+  Bytes even{0x12, 0x34, 0x56, 0x00};
+  EXPECT_EQ(internet_checksum(odd), internet_checksum(even));
+}
+
+TEST(InternetChecksum, VerifyAcceptsSelfChecksummedData) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes data(2 + rng.uniform_int(64), 0);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+    // Place checksum in the first two octets.
+    data[0] = data[1] = 0;
+    std::uint16_t ck = internet_checksum(data);
+    data[0] = static_cast<std::uint8_t>(ck >> 8);
+    data[1] = static_cast<std::uint8_t>(ck);
+    EXPECT_TRUE(verify_internet_checksum(data)) << "trial " << trial;
+  }
+}
+
+TEST(InternetChecksum, SingleBitCorruptionDetected) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes data(16, 0);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+    data[0] = data[1] = 0;
+    std::uint16_t ck = internet_checksum(data);
+    data[0] = static_cast<std::uint8_t>(ck >> 8);
+    data[1] = static_cast<std::uint8_t>(ck);
+    std::size_t byte = rng.uniform_int(data.size());
+    std::uint8_t bit = static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+    data[byte] ^= bit;
+    EXPECT_FALSE(verify_internet_checksum(data)) << "trial " << trial;
+  }
+}
+
+TEST(InternetChecksum, IncrementalMatchesOneShot) {
+  Bytes data{1, 2, 3, 4, 5, 6, 7};
+  InternetChecksum inc;
+  inc.add(BytesView(data).subspan(0, 3));  // odd split exercises carry
+  inc.add(BytesView(data).subspan(3));
+  EXPECT_EQ(inc.finish(), internet_checksum(data));
+}
+
+TEST(InternetChecksum, AddU16U32MatchRawBytes) {
+  InternetChecksum a;
+  a.add_u16(0x1234);
+  a.add_u32(0x56789abc);
+  Bytes raw{0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc};
+  EXPECT_EQ(a.finish(), internet_checksum(raw));
+}
+
+}  // namespace
+}  // namespace mip6
