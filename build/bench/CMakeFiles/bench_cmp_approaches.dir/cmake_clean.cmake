@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cmp_approaches.dir/bench_cmp_approaches.cpp.o"
+  "CMakeFiles/bench_cmp_approaches.dir/bench_cmp_approaches.cpp.o.d"
+  "bench_cmp_approaches"
+  "bench_cmp_approaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cmp_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_receiver_local.dir/bench_fig2_receiver_local.cpp.o"
+  "CMakeFiles/bench_fig2_receiver_local.dir/bench_fig2_receiver_local.cpp.o.d"
+  "bench_fig2_receiver_local"
+  "bench_fig2_receiver_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_receiver_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

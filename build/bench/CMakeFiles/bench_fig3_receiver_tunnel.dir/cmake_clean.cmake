@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_receiver_tunnel.dir/bench_fig3_receiver_tunnel.cpp.o"
+  "CMakeFiles/bench_fig3_receiver_tunnel.dir/bench_fig3_receiver_tunnel.cpp.o.d"
+  "bench_fig3_receiver_tunnel"
+  "bench_fig3_receiver_tunnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_receiver_tunnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sender_tunnel.dir/bench_fig4_sender_tunnel.cpp.o"
+  "CMakeFiles/bench_fig4_sender_tunnel.dir/bench_fig4_sender_tunnel.cpp.o.d"
+  "bench_fig4_sender_tunnel"
+  "bench_fig4_sender_tunnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sender_tunnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

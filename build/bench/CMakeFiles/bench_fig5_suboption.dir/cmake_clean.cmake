@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_suboption.dir/bench_fig5_suboption.cpp.o"
+  "CMakeFiles/bench_fig5_suboption.dir/bench_fig5_suboption.cpp.o.d"
+  "bench_fig5_suboption"
+  "bench_fig5_suboption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_suboption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mld_timers.dir/bench_mld_timers.cpp.o"
+  "CMakeFiles/bench_mld_timers.dir/bench_mld_timers.cpp.o.d"
+  "bench_mld_timers"
+  "bench_mld_timers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mld_timers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prune_delay.dir/bench_prune_delay.cpp.o"
+  "CMakeFiles/bench_prune_delay.dir/bench_prune_delay.cpp.o.d"
+  "bench_prune_delay"
+  "bench_prune_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prune_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

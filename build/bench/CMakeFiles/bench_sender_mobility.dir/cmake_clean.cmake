@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sender_mobility.dir/bench_sender_mobility.cpp.o"
+  "CMakeFiles/bench_sender_mobility.dir/bench_sender_mobility.cpp.o.d"
+  "bench_sender_mobility"
+  "bench_sender_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sender_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_state_refresh.cpp" "bench/CMakeFiles/bench_state_refresh.dir/bench_state_refresh.cpp.o" "gcc" "bench/CMakeFiles/bench_state_refresh.dir/bench_state_refresh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mip6_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runner/CMakeFiles/mip6_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/pimdm/CMakeFiles/mip6_pimdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mipv6/CMakeFiles/mip6_mipv6.dir/DependInfo.cmake"
+  "/root/repo/build/src/mld/CMakeFiles/mip6_mld.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipv6/CMakeFiles/mip6_ipv6.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mip6_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mip6_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mip6_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mip6_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_refresh.dir/bench_state_refresh.cpp.o"
+  "CMakeFiles/bench_state_refresh.dir/bench_state_refresh.cpp.o.d"
+  "bench_state_refresh"
+  "bench_state_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

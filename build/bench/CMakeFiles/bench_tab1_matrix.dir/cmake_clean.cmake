@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_matrix.dir/bench_tab1_matrix.cpp.o"
+  "CMakeFiles/bench_tab1_matrix.dir/bench_tab1_matrix.cpp.o.d"
+  "bench_tab1_matrix"
+  "bench_tab1_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

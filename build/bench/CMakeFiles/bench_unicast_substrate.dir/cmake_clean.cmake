@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unicast_substrate.dir/bench_unicast_substrate.cpp.o"
+  "CMakeFiles/bench_unicast_substrate.dir/bench_unicast_substrate.cpp.o.d"
+  "bench_unicast_substrate"
+  "bench_unicast_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unicast_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conference_sender.dir/conference_sender.cpp.o"
+  "CMakeFiles/conference_sender.dir/conference_sender.cpp.o.d"
+  "conference_sender"
+  "conference_sender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conference_sender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

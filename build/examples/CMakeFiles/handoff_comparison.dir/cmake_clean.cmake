@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handoff_comparison.dir/handoff_comparison.cpp.o"
+  "CMakeFiles/handoff_comparison.dir/handoff_comparison.cpp.o.d"
+  "handoff_comparison"
+  "handoff_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handoff_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/playground.dir/playground.cpp.o"
+  "CMakeFiles/playground.dir/playground.cpp.o.d"
+  "playground"
+  "playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/describe.cpp" "src/core/CMakeFiles/mip6_core.dir/describe.cpp.o" "gcc" "src/core/CMakeFiles/mip6_core.dir/describe.cpp.o.d"
+  "/root/repo/src/core/figure1.cpp" "src/core/CMakeFiles/mip6_core.dir/figure1.cpp.o" "gcc" "src/core/CMakeFiles/mip6_core.dir/figure1.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/mip6_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/mip6_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/mobile_service.cpp" "src/core/CMakeFiles/mip6_core.dir/mobile_service.cpp.o" "gcc" "src/core/CMakeFiles/mip6_core.dir/mobile_service.cpp.o.d"
+  "/root/repo/src/core/mobility.cpp" "src/core/CMakeFiles/mip6_core.dir/mobility.cpp.o" "gcc" "src/core/CMakeFiles/mip6_core.dir/mobility.cpp.o.d"
+  "/root/repo/src/core/random_topology.cpp" "src/core/CMakeFiles/mip6_core.dir/random_topology.cpp.o" "gcc" "src/core/CMakeFiles/mip6_core.dir/random_topology.cpp.o.d"
+  "/root/repo/src/core/traffic.cpp" "src/core/CMakeFiles/mip6_core.dir/traffic.cpp.o" "gcc" "src/core/CMakeFiles/mip6_core.dir/traffic.cpp.o.d"
+  "/root/repo/src/core/world.cpp" "src/core/CMakeFiles/mip6_core.dir/world.cpp.o" "gcc" "src/core/CMakeFiles/mip6_core.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipv6/CMakeFiles/mip6_ipv6.dir/DependInfo.cmake"
+  "/root/repo/build/src/mld/CMakeFiles/mip6_mld.dir/DependInfo.cmake"
+  "/root/repo/build/src/pimdm/CMakeFiles/mip6_pimdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mipv6/CMakeFiles/mip6_mipv6.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mip6_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mip6_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mip6_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mip6_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip6_core.dir/describe.cpp.o"
+  "CMakeFiles/mip6_core.dir/describe.cpp.o.d"
+  "CMakeFiles/mip6_core.dir/figure1.cpp.o"
+  "CMakeFiles/mip6_core.dir/figure1.cpp.o.d"
+  "CMakeFiles/mip6_core.dir/metrics.cpp.o"
+  "CMakeFiles/mip6_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/mip6_core.dir/mobile_service.cpp.o"
+  "CMakeFiles/mip6_core.dir/mobile_service.cpp.o.d"
+  "CMakeFiles/mip6_core.dir/mobility.cpp.o"
+  "CMakeFiles/mip6_core.dir/mobility.cpp.o.d"
+  "CMakeFiles/mip6_core.dir/random_topology.cpp.o"
+  "CMakeFiles/mip6_core.dir/random_topology.cpp.o.d"
+  "CMakeFiles/mip6_core.dir/traffic.cpp.o"
+  "CMakeFiles/mip6_core.dir/traffic.cpp.o.d"
+  "CMakeFiles/mip6_core.dir/world.cpp.o"
+  "CMakeFiles/mip6_core.dir/world.cpp.o.d"
+  "libmip6_core.a"
+  "libmip6_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip6_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

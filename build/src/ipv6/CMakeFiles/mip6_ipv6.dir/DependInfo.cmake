@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipv6/address.cpp" "src/ipv6/CMakeFiles/mip6_ipv6.dir/address.cpp.o" "gcc" "src/ipv6/CMakeFiles/mip6_ipv6.dir/address.cpp.o.d"
+  "/root/repo/src/ipv6/addressing.cpp" "src/ipv6/CMakeFiles/mip6_ipv6.dir/addressing.cpp.o" "gcc" "src/ipv6/CMakeFiles/mip6_ipv6.dir/addressing.cpp.o.d"
+  "/root/repo/src/ipv6/datagram.cpp" "src/ipv6/CMakeFiles/mip6_ipv6.dir/datagram.cpp.o" "gcc" "src/ipv6/CMakeFiles/mip6_ipv6.dir/datagram.cpp.o.d"
+  "/root/repo/src/ipv6/ext_headers.cpp" "src/ipv6/CMakeFiles/mip6_ipv6.dir/ext_headers.cpp.o" "gcc" "src/ipv6/CMakeFiles/mip6_ipv6.dir/ext_headers.cpp.o.d"
+  "/root/repo/src/ipv6/global_routing.cpp" "src/ipv6/CMakeFiles/mip6_ipv6.dir/global_routing.cpp.o" "gcc" "src/ipv6/CMakeFiles/mip6_ipv6.dir/global_routing.cpp.o.d"
+  "/root/repo/src/ipv6/header.cpp" "src/ipv6/CMakeFiles/mip6_ipv6.dir/header.cpp.o" "gcc" "src/ipv6/CMakeFiles/mip6_ipv6.dir/header.cpp.o.d"
+  "/root/repo/src/ipv6/icmpv6.cpp" "src/ipv6/CMakeFiles/mip6_ipv6.dir/icmpv6.cpp.o" "gcc" "src/ipv6/CMakeFiles/mip6_ipv6.dir/icmpv6.cpp.o.d"
+  "/root/repo/src/ipv6/icmpv6_dispatch.cpp" "src/ipv6/CMakeFiles/mip6_ipv6.dir/icmpv6_dispatch.cpp.o" "gcc" "src/ipv6/CMakeFiles/mip6_ipv6.dir/icmpv6_dispatch.cpp.o.d"
+  "/root/repo/src/ipv6/ripng.cpp" "src/ipv6/CMakeFiles/mip6_ipv6.dir/ripng.cpp.o" "gcc" "src/ipv6/CMakeFiles/mip6_ipv6.dir/ripng.cpp.o.d"
+  "/root/repo/src/ipv6/routing.cpp" "src/ipv6/CMakeFiles/mip6_ipv6.dir/routing.cpp.o" "gcc" "src/ipv6/CMakeFiles/mip6_ipv6.dir/routing.cpp.o.d"
+  "/root/repo/src/ipv6/stack.cpp" "src/ipv6/CMakeFiles/mip6_ipv6.dir/stack.cpp.o" "gcc" "src/ipv6/CMakeFiles/mip6_ipv6.dir/stack.cpp.o.d"
+  "/root/repo/src/ipv6/tunnel.cpp" "src/ipv6/CMakeFiles/mip6_ipv6.dir/tunnel.cpp.o" "gcc" "src/ipv6/CMakeFiles/mip6_ipv6.dir/tunnel.cpp.o.d"
+  "/root/repo/src/ipv6/udp.cpp" "src/ipv6/CMakeFiles/mip6_ipv6.dir/udp.cpp.o" "gcc" "src/ipv6/CMakeFiles/mip6_ipv6.dir/udp.cpp.o.d"
+  "/root/repo/src/ipv6/udp_demux.cpp" "src/ipv6/CMakeFiles/mip6_ipv6.dir/udp_demux.cpp.o" "gcc" "src/ipv6/CMakeFiles/mip6_ipv6.dir/udp_demux.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mip6_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mip6_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mip6_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mip6_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip6_ipv6.dir/address.cpp.o"
+  "CMakeFiles/mip6_ipv6.dir/address.cpp.o.d"
+  "CMakeFiles/mip6_ipv6.dir/addressing.cpp.o"
+  "CMakeFiles/mip6_ipv6.dir/addressing.cpp.o.d"
+  "CMakeFiles/mip6_ipv6.dir/datagram.cpp.o"
+  "CMakeFiles/mip6_ipv6.dir/datagram.cpp.o.d"
+  "CMakeFiles/mip6_ipv6.dir/ext_headers.cpp.o"
+  "CMakeFiles/mip6_ipv6.dir/ext_headers.cpp.o.d"
+  "CMakeFiles/mip6_ipv6.dir/global_routing.cpp.o"
+  "CMakeFiles/mip6_ipv6.dir/global_routing.cpp.o.d"
+  "CMakeFiles/mip6_ipv6.dir/header.cpp.o"
+  "CMakeFiles/mip6_ipv6.dir/header.cpp.o.d"
+  "CMakeFiles/mip6_ipv6.dir/icmpv6.cpp.o"
+  "CMakeFiles/mip6_ipv6.dir/icmpv6.cpp.o.d"
+  "CMakeFiles/mip6_ipv6.dir/icmpv6_dispatch.cpp.o"
+  "CMakeFiles/mip6_ipv6.dir/icmpv6_dispatch.cpp.o.d"
+  "CMakeFiles/mip6_ipv6.dir/ripng.cpp.o"
+  "CMakeFiles/mip6_ipv6.dir/ripng.cpp.o.d"
+  "CMakeFiles/mip6_ipv6.dir/routing.cpp.o"
+  "CMakeFiles/mip6_ipv6.dir/routing.cpp.o.d"
+  "CMakeFiles/mip6_ipv6.dir/stack.cpp.o"
+  "CMakeFiles/mip6_ipv6.dir/stack.cpp.o.d"
+  "CMakeFiles/mip6_ipv6.dir/tunnel.cpp.o"
+  "CMakeFiles/mip6_ipv6.dir/tunnel.cpp.o.d"
+  "CMakeFiles/mip6_ipv6.dir/udp.cpp.o"
+  "CMakeFiles/mip6_ipv6.dir/udp.cpp.o.d"
+  "CMakeFiles/mip6_ipv6.dir/udp_demux.cpp.o"
+  "CMakeFiles/mip6_ipv6.dir/udp_demux.cpp.o.d"
+  "libmip6_ipv6.a"
+  "libmip6_ipv6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip6_ipv6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

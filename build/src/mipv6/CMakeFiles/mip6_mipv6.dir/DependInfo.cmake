@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mipv6/binding_cache.cpp" "src/mipv6/CMakeFiles/mip6_mipv6.dir/binding_cache.cpp.o" "gcc" "src/mipv6/CMakeFiles/mip6_mipv6.dir/binding_cache.cpp.o.d"
+  "/root/repo/src/mipv6/ha_redundancy.cpp" "src/mipv6/CMakeFiles/mip6_mipv6.dir/ha_redundancy.cpp.o" "gcc" "src/mipv6/CMakeFiles/mip6_mipv6.dir/ha_redundancy.cpp.o.d"
+  "/root/repo/src/mipv6/home_agent.cpp" "src/mipv6/CMakeFiles/mip6_mipv6.dir/home_agent.cpp.o" "gcc" "src/mipv6/CMakeFiles/mip6_mipv6.dir/home_agent.cpp.o.d"
+  "/root/repo/src/mipv6/messages.cpp" "src/mipv6/CMakeFiles/mip6_mipv6.dir/messages.cpp.o" "gcc" "src/mipv6/CMakeFiles/mip6_mipv6.dir/messages.cpp.o.d"
+  "/root/repo/src/mipv6/mobile_node.cpp" "src/mipv6/CMakeFiles/mip6_mipv6.dir/mobile_node.cpp.o" "gcc" "src/mipv6/CMakeFiles/mip6_mipv6.dir/mobile_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipv6/CMakeFiles/mip6_ipv6.dir/DependInfo.cmake"
+  "/root/repo/build/src/mld/CMakeFiles/mip6_mld.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mip6_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mip6_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mip6_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mip6_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

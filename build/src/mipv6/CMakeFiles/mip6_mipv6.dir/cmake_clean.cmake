@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip6_mipv6.dir/binding_cache.cpp.o"
+  "CMakeFiles/mip6_mipv6.dir/binding_cache.cpp.o.d"
+  "CMakeFiles/mip6_mipv6.dir/ha_redundancy.cpp.o"
+  "CMakeFiles/mip6_mipv6.dir/ha_redundancy.cpp.o.d"
+  "CMakeFiles/mip6_mipv6.dir/home_agent.cpp.o"
+  "CMakeFiles/mip6_mipv6.dir/home_agent.cpp.o.d"
+  "CMakeFiles/mip6_mipv6.dir/messages.cpp.o"
+  "CMakeFiles/mip6_mipv6.dir/messages.cpp.o.d"
+  "CMakeFiles/mip6_mipv6.dir/mobile_node.cpp.o"
+  "CMakeFiles/mip6_mipv6.dir/mobile_node.cpp.o.d"
+  "libmip6_mipv6.a"
+  "libmip6_mipv6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip6_mipv6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip6_mld.dir/host.cpp.o"
+  "CMakeFiles/mip6_mld.dir/host.cpp.o.d"
+  "CMakeFiles/mip6_mld.dir/messages.cpp.o"
+  "CMakeFiles/mip6_mld.dir/messages.cpp.o.d"
+  "CMakeFiles/mip6_mld.dir/router.cpp.o"
+  "CMakeFiles/mip6_mld.dir/router.cpp.o.d"
+  "libmip6_mld.a"
+  "libmip6_mld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip6_mld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

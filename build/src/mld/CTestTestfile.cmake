@@ -1,0 +1,6 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/mld
+# Build directory: /root/repo/build/src/mld
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.

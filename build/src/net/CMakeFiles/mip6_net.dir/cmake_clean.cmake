@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip6_net.dir/interface.cpp.o"
+  "CMakeFiles/mip6_net.dir/interface.cpp.o.d"
+  "CMakeFiles/mip6_net.dir/link.cpp.o"
+  "CMakeFiles/mip6_net.dir/link.cpp.o.d"
+  "CMakeFiles/mip6_net.dir/network.cpp.o"
+  "CMakeFiles/mip6_net.dir/network.cpp.o.d"
+  "CMakeFiles/mip6_net.dir/node.cpp.o"
+  "CMakeFiles/mip6_net.dir/node.cpp.o.d"
+  "CMakeFiles/mip6_net.dir/packet.cpp.o"
+  "CMakeFiles/mip6_net.dir/packet.cpp.o.d"
+  "libmip6_net.a"
+  "libmip6_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip6_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip6_pimdm.dir/messages.cpp.o"
+  "CMakeFiles/mip6_pimdm.dir/messages.cpp.o.d"
+  "CMakeFiles/mip6_pimdm.dir/router.cpp.o"
+  "CMakeFiles/mip6_pimdm.dir/router.cpp.o.d"
+  "libmip6_pimdm.a"
+  "libmip6_pimdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip6_pimdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

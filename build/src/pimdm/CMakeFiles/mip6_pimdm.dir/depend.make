@@ -1,0 +1,2 @@
+# Empty dependencies file for mip6_pimdm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip6_runner.dir/parallel.cpp.o"
+  "CMakeFiles/mip6_runner.dir/parallel.cpp.o.d"
+  "libmip6_runner.a"
+  "libmip6_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip6_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

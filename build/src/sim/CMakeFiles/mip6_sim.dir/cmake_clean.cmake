@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip6_sim.dir/rng.cpp.o"
+  "CMakeFiles/mip6_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/mip6_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/mip6_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/mip6_sim.dir/time.cpp.o"
+  "CMakeFiles/mip6_sim.dir/time.cpp.o.d"
+  "CMakeFiles/mip6_sim.dir/timer.cpp.o"
+  "CMakeFiles/mip6_sim.dir/timer.cpp.o.d"
+  "CMakeFiles/mip6_sim.dir/trace.cpp.o"
+  "CMakeFiles/mip6_sim.dir/trace.cpp.o.d"
+  "libmip6_sim.a"
+  "libmip6_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip6_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

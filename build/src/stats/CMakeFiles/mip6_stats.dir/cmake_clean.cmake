@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip6_stats.dir/counters.cpp.o"
+  "CMakeFiles/mip6_stats.dir/counters.cpp.o.d"
+  "CMakeFiles/mip6_stats.dir/gauge.cpp.o"
+  "CMakeFiles/mip6_stats.dir/gauge.cpp.o.d"
+  "CMakeFiles/mip6_stats.dir/histogram.cpp.o"
+  "CMakeFiles/mip6_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/mip6_stats.dir/summary.cpp.o"
+  "CMakeFiles/mip6_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/mip6_stats.dir/table.cpp.o"
+  "CMakeFiles/mip6_stats.dir/table.cpp.o.d"
+  "libmip6_stats.a"
+  "libmip6_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip6_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

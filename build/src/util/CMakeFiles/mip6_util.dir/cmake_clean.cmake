@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip6_util.dir/buffer.cpp.o"
+  "CMakeFiles/mip6_util.dir/buffer.cpp.o.d"
+  "CMakeFiles/mip6_util.dir/checksum.cpp.o"
+  "CMakeFiles/mip6_util.dir/checksum.cpp.o.d"
+  "CMakeFiles/mip6_util.dir/strings.cpp.o"
+  "CMakeFiles/mip6_util.dir/strings.cpp.o.d"
+  "libmip6_util.a"
+  "libmip6_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip6_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

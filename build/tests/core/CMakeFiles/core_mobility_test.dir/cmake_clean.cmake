@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mobility_test.dir/mobility_test.cpp.o"
+  "CMakeFiles/core_mobility_test.dir/mobility_test.cpp.o.d"
+  "core_mobility_test"
+  "core_mobility_test.pdb"
+  "core_mobility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mobility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

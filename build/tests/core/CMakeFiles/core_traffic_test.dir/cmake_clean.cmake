@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_traffic_test.dir/traffic_test.cpp.o"
+  "CMakeFiles/core_traffic_test.dir/traffic_test.cpp.o.d"
+  "core_traffic_test"
+  "core_traffic_test.pdb"
+  "core_traffic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_traffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_world_test.dir/world_test.cpp.o"
+  "CMakeFiles/core_world_test.dir/world_test.cpp.o.d"
+  "core_world_test"
+  "core_world_test.pdb"
+  "core_world_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

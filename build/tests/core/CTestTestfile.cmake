@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/core_traffic_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_world_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_mobility_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_strategy_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_describe_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_mobile_service_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_topology_shapes_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_delay_distribution_test.dir/join_delay_distribution_test.cpp.o"
+  "CMakeFiles/join_delay_distribution_test.dir/join_delay_distribution_test.cpp.o.d"
+  "join_delay_distribution_test"
+  "join_delay_distribution_test.pdb"
+  "join_delay_distribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_delay_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

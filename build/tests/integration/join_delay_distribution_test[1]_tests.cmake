@@ -1,0 +1,3 @@
+add_test([=[JoinDelayDistribution.QueryWaitIsUniformOverTheQueryInterval]=]  /root/repo/build/tests/integration/join_delay_distribution_test [==[--gtest_filter=JoinDelayDistribution.QueryWaitIsUniformOverTheQueryInterval]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[JoinDelayDistribution.QueryWaitIsUniformOverTheQueryInterval]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests/integration SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  join_delay_distribution_test_TESTS JoinDelayDistribution.QueryWaitIsUniformOverTheQueryInterval)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipv6_datagram_sweep_test.dir/datagram_sweep_test.cpp.o"
+  "CMakeFiles/ipv6_datagram_sweep_test.dir/datagram_sweep_test.cpp.o.d"
+  "ipv6_datagram_sweep_test"
+  "ipv6_datagram_sweep_test.pdb"
+  "ipv6_datagram_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipv6_datagram_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipv6_wire_test.dir/wire_test.cpp.o"
+  "CMakeFiles/ipv6_wire_test.dir/wire_test.cpp.o.d"
+  "ipv6_wire_test"
+  "ipv6_wire_test.pdb"
+  "ipv6_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipv6_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ipv6
+# Build directory: /root/repo/build/tests/ipv6
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ipv6/ipv6_address_test[1]_include.cmake")
+include("/root/repo/build/tests/ipv6/ipv6_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/ipv6/ipv6_routing_test[1]_include.cmake")
+include("/root/repo/build/tests/ipv6/ipv6_stack_test[1]_include.cmake")
+include("/root/repo/build/tests/ipv6/ipv6_ripng_test[1]_include.cmake")
+include("/root/repo/build/tests/ipv6/ipv6_udp_demux_test[1]_include.cmake")
+include("/root/repo/build/tests/ipv6/ipv6_datagram_sweep_test[1]_include.cmake")

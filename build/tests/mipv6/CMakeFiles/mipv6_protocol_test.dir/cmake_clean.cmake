@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mipv6_protocol_test.dir/protocol_test.cpp.o"
+  "CMakeFiles/mipv6_protocol_test.dir/protocol_test.cpp.o.d"
+  "mipv6_protocol_test"
+  "mipv6_protocol_test.pdb"
+  "mipv6_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mipv6_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mipv6
+# Build directory: /root/repo/build/tests/mipv6
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mipv6/mipv6_messages_test[1]_include.cmake")
+include("/root/repo/build/tests/mipv6/mipv6_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/mipv6/mipv6_ha_redundancy_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mld_adaptive_querier_test.dir/adaptive_querier_test.cpp.o"
+  "CMakeFiles/mld_adaptive_querier_test.dir/adaptive_querier_test.cpp.o.d"
+  "mld_adaptive_querier_test"
+  "mld_adaptive_querier_test.pdb"
+  "mld_adaptive_querier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mld_adaptive_querier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mld_messages_test.dir/messages_test.cpp.o"
+  "CMakeFiles/mld_messages_test.dir/messages_test.cpp.o.d"
+  "mld_messages_test"
+  "mld_messages_test.pdb"
+  "mld_messages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mld_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mld_protocol_test.dir/protocol_test.cpp.o"
+  "CMakeFiles/mld_protocol_test.dir/protocol_test.cpp.o.d"
+  "mld_protocol_test"
+  "mld_protocol_test.pdb"
+  "mld_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mld_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mld_timer_sweep_test.dir/timer_sweep_test.cpp.o"
+  "CMakeFiles/mld_timer_sweep_test.dir/timer_sweep_test.cpp.o.d"
+  "mld_timer_sweep_test"
+  "mld_timer_sweep_test.pdb"
+  "mld_timer_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mld_timer_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

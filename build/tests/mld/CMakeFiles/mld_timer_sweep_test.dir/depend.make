@@ -1,0 +1,2 @@
+# Empty dependencies file for mld_timer_sweep_test.
+# This may be replaced when dependencies are built.

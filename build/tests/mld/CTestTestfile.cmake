@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mld
+# Build directory: /root/repo/build/tests/mld
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mld/mld_messages_test[1]_include.cmake")
+include("/root/repo/build/tests/mld/mld_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/mld/mld_adaptive_querier_test[1]_include.cmake")
+include("/root/repo/build/tests/mld/mld_timer_sweep_test[1]_include.cmake")

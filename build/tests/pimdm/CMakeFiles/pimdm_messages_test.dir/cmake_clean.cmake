@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimdm_messages_test.dir/messages_test.cpp.o"
+  "CMakeFiles/pimdm_messages_test.dir/messages_test.cpp.o.d"
+  "pimdm_messages_test"
+  "pimdm_messages_test.pdb"
+  "pimdm_messages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimdm_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

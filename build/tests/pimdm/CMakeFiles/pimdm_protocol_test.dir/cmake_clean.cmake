@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimdm_protocol_test.dir/protocol_test.cpp.o"
+  "CMakeFiles/pimdm_protocol_test.dir/protocol_test.cpp.o.d"
+  "pimdm_protocol_test"
+  "pimdm_protocol_test.pdb"
+  "pimdm_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimdm_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

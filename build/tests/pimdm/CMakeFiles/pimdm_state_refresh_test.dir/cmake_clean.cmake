@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimdm_state_refresh_test.dir/state_refresh_test.cpp.o"
+  "CMakeFiles/pimdm_state_refresh_test.dir/state_refresh_test.cpp.o.d"
+  "pimdm_state_refresh_test"
+  "pimdm_state_refresh_test.pdb"
+  "pimdm_state_refresh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimdm_state_refresh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

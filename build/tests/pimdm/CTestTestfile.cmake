@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/pimdm
+# Build directory: /root/repo/build/tests/pimdm
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pimdm/pimdm_messages_test[1]_include.cmake")
+include("/root/repo/build/tests/pimdm/pimdm_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/pimdm/pimdm_state_refresh_test[1]_include.cmake")

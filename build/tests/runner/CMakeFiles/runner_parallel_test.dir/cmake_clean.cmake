@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runner_parallel_test.dir/parallel_test.cpp.o"
+  "CMakeFiles/runner_parallel_test.dir/parallel_test.cpp.o.d"
+  "runner_parallel_test"
+  "runner_parallel_test.pdb"
+  "runner_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runner_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

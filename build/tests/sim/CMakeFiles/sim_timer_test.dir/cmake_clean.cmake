@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_timer_test.dir/timer_test.cpp.o"
+  "CMakeFiles/sim_timer_test.dir/timer_test.cpp.o.d"
+  "sim_timer_test"
+  "sim_timer_test.pdb"
+  "sim_timer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_timer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

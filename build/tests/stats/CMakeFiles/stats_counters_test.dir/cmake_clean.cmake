@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_counters_test.dir/counters_test.cpp.o"
+  "CMakeFiles/stats_counters_test.dir/counters_test.cpp.o.d"
+  "stats_counters_test"
+  "stats_counters_test.pdb"
+  "stats_counters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_counters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_gauge_test.dir/gauge_test.cpp.o"
+  "CMakeFiles/stats_gauge_test.dir/gauge_test.cpp.o.d"
+  "stats_gauge_test"
+  "stats_gauge_test.pdb"
+  "stats_gauge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_gauge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/stats
+# Build directory: /root/repo/build/tests/stats
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/stats/stats_summary_test[1]_include.cmake")
+include("/root/repo/build/tests/stats/stats_counters_test[1]_include.cmake")
+include("/root/repo/build/tests/stats/stats_histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/stats/stats_table_test[1]_include.cmake")
+include("/root/repo/build/tests/stats/stats_gauge_test[1]_include.cmake")

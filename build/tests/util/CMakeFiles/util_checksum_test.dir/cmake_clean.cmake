@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_checksum_test.dir/checksum_test.cpp.o"
+  "CMakeFiles/util_checksum_test.dir/checksum_test.cpp.o.d"
+  "util_checksum_test"
+  "util_checksum_test.pdb"
+  "util_checksum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_checksum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
