@@ -5,6 +5,7 @@
 // multicast outage until HA2's takeover restores the tunnel — the
 // availability knob the paper's single-HA analysis leaves open.
 #include "common.hpp"
+#include "fault/chaos.hpp"
 #include "ipv6/udp_demux.hpp"
 #include "mipv6/ha_redundancy.hpp"
 #include "runner/parallel.hpp"
@@ -50,15 +51,19 @@ ReplicationResult run(std::uint64_t seed, Time heartbeat, int threshold) {
   source.start(Time::sec(1));
   mn.mn->move_to(fl);
 
+  // HA1 dies through the fault plan: bindings and protocol soft state are
+  // wiped and the node powers off, exactly what a real crash leaves behind.
   const Time death = Time::sec(20);
-  world.scheduler().schedule_at(death, [&] {
-    for (const auto& iface : ha1.node->interfaces()) iface->detach();
-  });
+  ChaosEngine chaos(world,
+                    FaultPlan().router_crash(death, "HA1"));
+  chaos.arm();
   world.run_until(Time::sec(120));
 
   ReplicationResult r;
-  auto resumed = app.first_rx_at_or_after(death);
-  r["outage_s"] = resumed ? (*resumed - death).to_seconds() : 100.0;
+  auto recs = chaos.recoveries(app);
+  r["outage_s"] = !recs.empty() && recs[0].recovery_time()
+                      ? recs[0].recovery_time()->to_seconds()
+                      : 100.0;
   r["sync_bytes"] = static_cast<double>(
       world.net().counters().get("hasync/tx-bytes"));
   r["takeover"] = red2.takeovers() > 0 ? 1.0 : 0.0;

@@ -1,5 +1,7 @@
 #include "core/describe.hpp"
 
+#include "net/link.hpp"
+
 #include "ipv6/datagram.hpp"
 #include "ipv6/icmpv6.hpp"
 #include "ipv6/ripng.hpp"
@@ -168,6 +170,26 @@ std::string describe_datagram(BytesView wire) {
       out += "proto=" + std::to_string(d.protocol) + " (" +
              std::to_string(d.payload.size()) + " B)";
   }
+  return out;
+}
+
+std::string describe_link(const Link& link) {
+  std::string out = link.name() + ": " + (link.up() ? "up" : "DOWN");
+  const LinkImpairment& imp = link.impairment();
+  if (imp.loss > 0.0) {
+    out += " loss=" + std::to_string(static_cast<int>(imp.loss * 100)) + "%";
+  }
+  if (imp.corrupt > 0.0) {
+    out +=
+        " corrupt=" + std::to_string(static_cast<int>(imp.corrupt * 100)) + "%";
+  }
+  if (imp.jitter > Time::zero()) {
+    out += " jitter=" + std::to_string(imp.jitter.to_millis()) + "ms";
+  }
+  out += " tx=" + std::to_string(link.tx_packets()) +
+         " rx=" + std::to_string(link.rx_packets()) +
+         " dropped=" + std::to_string(link.dropped_packets()) +
+         " corrupted=" + std::to_string(link.corrupted_packets());
   return out;
 }
 

@@ -1,0 +1,277 @@
+#include "fault/auditor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace mip6 {
+
+namespace {
+
+std::string sg_str(const PimDmRouter::SgKey& key) {
+  return "(" + key.source.str() + "," + key.group.str() + ")";
+}
+
+}  // namespace
+
+std::string AuditReport::str() const {
+  std::string out = "audit @" + at.str() + ": ";
+  if (ok()) return out + "OK";
+  out += std::to_string(violations.size()) + " violation(s)\n";
+  for (const auto& v : violations) {
+    out += "  [" + v.check + "] " + v.detail + "\n";
+  }
+  return out;
+}
+
+Auditor::Auditor(World& world, AuditorConfig config)
+    : world_(&world), config_(config) {}
+
+AuditReport Auditor::run() {
+  AuditReport r;
+  r.at = world_->now();
+  if (config_.check_oif_iif) check_oif_iif(r);
+  if (config_.check_forwarding_loops) check_forwarding_loops(r);
+  if (config_.check_binding_coherence) check_binding_coherence(r);
+  if (config_.quiesced) {
+    if (config_.check_duplicate_forwarders) check_duplicate_forwarders(r);
+    if (config_.check_prune_coherence) check_prune_coherence(r);
+    if (config_.check_mld_coverage) check_mld_coverage(r);
+  }
+  world_->net().counters().add("audit/runs");
+  world_->net().counters().add("audit/violations", r.violations.size());
+  return r;
+}
+
+const Link* Auditor::link_of(const Node& node, IfaceId iface) {
+  const Interface& i = node.iface_by_id(iface);
+  return i.attached() ? i.link() : nullptr;
+}
+
+bool Auditor::is_router_address_on(const RouterEnv& router, const Link& link,
+                                   const Address& addr) {
+  for (const auto& iface : router.node->interfaces()) {
+    if (!iface->attached() || iface->link() != &link) continue;
+    if (router.stack->has_global_address(iface->id()) &&
+        router.stack->global_address(iface->id()) == addr) {
+      return true;
+    }
+    if (router.stack->has_link_local(iface->id()) &&
+        router.stack->link_local_address(iface->id()) == addr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<PimDmRouter::SgKey> Auditor::all_sg_keys() const {
+  std::set<PimDmRouter::SgKey> keys;
+  for (const auto& r : world_->routers()) {
+    if (!r->node->up()) continue;
+    for (const auto& key : r->pim->sg_keys()) keys.insert(key);
+  }
+  return {keys.begin(), keys.end()};
+}
+
+void Auditor::check_oif_iif(AuditReport& r) const {
+  for (const auto& env : world_->routers()) {
+    if (!env->node->up()) continue;
+    for (const auto& key : env->pim->sg_keys()) {
+      IfaceId iif = env->pim->incoming(key.source, key.group);
+      auto oifs = env->pim->outgoing(key.source, key.group);
+      if (std::find(oifs.begin(), oifs.end(), iif) != oifs.end()) {
+        r.violations.push_back(
+            {"oif-contains-iif",
+             env->node->name() + " " + sg_str(key) + " forwards onto its own "
+             "incoming interface " + std::to_string(iif)});
+      }
+    }
+  }
+}
+
+void Auditor::check_forwarding_loops(AuditReport& r) const {
+  // Per (S,G): router X reaches router Y if X forwards onto a link Y's
+  // incoming interface sits on. A cycle in that graph means a datagram
+  // could circulate until its hop limit expires.
+  const auto& routers = world_->routers();
+  for (const auto& key : all_sg_keys()) {
+    std::vector<std::set<LinkId>> out_links(routers.size());
+    std::vector<const Link*> in_link(routers.size(), nullptr);
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      const RouterEnv& env = *routers[i];
+      if (!env.node->up() || !env.pim->has_entry(key.source, key.group)) {
+        continue;
+      }
+      in_link[i] = link_of(*env.node, env.pim->incoming(key.source, key.group));
+      for (IfaceId oif : env.pim->outgoing(key.source, key.group)) {
+        if (const Link* l = link_of(*env.node, oif)) {
+          if (l->up()) out_links[i].insert(l->id());
+        }
+      }
+    }
+    std::vector<std::vector<std::size_t>> adj(routers.size());
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      for (std::size_t j = 0; j < routers.size(); ++j) {
+        if (i == j || in_link[j] == nullptr) continue;
+        if (out_links[i].contains(in_link[j]->id())) adj[i].push_back(j);
+      }
+    }
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    std::vector<int> color(routers.size(), 0);
+    auto dfs = [&](auto&& self, std::size_t v) -> bool {
+      color[v] = 1;
+      for (std::size_t w : adj[v]) {
+        if (color[w] == 1) return true;
+        if (color[w] == 0 && self(self, w)) return true;
+      }
+      color[v] = 2;
+      return false;
+    };
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      if (color[i] == 0 && dfs(dfs, i)) {
+        r.violations.push_back(
+            {"forwarding-loop",
+             sg_str(key) + " oif sets form a cycle through " +
+                 routers[i]->node->name()});
+        break;
+      }
+    }
+  }
+}
+
+void Auditor::check_binding_coherence(AuditReport& r) const {
+  for (const auto& env : world_->routers()) {
+    if (!env->node->up()) continue;
+    for (const BindingCache::Entry* e : env->ha->cache().entries()) {
+      for (const auto& h : world_->hosts()) {
+        if (!(h->mn->home_address() == e->home)) continue;
+        if (h->node->up() && h->mn->binding_acked() &&
+            h->mn->away_from_home() && !(e->care_of == h->mn->care_of())) {
+          r.violations.push_back(
+              {"binding-care-of-mismatch",
+               env->node->name() + " binds " + e->home.str() + " -> " +
+                   e->care_of.str() + " but " + h->node->name() +
+                   " is at " + h->mn->care_of().str()});
+        }
+      }
+    }
+  }
+  if (!config_.quiesced) return;
+  // Inverse direction: an MN that believes it is registered must actually
+  // have a binding at its home agent. (Quiesced-only: an HA outage leaves
+  // the MN convinced until its next refresh — that window is the expected
+  // transient the recovery metrics measure.)
+  for (const auto& h : world_->hosts()) {
+    if (!h->node->up() || !h->mn->binding_acked() ||
+        !h->mn->away_from_home()) {
+      continue;
+    }
+    bool found = false;
+    for (const auto& env : world_->routers()) {
+      if (env->ha->cache().find(h->mn->home_address()) != nullptr) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      r.violations.push_back(
+          {"binding-missing",
+           h->node->name() + " believes it is registered for " +
+               h->mn->home_address().str() + " but no home agent has a "
+               "binding"});
+    }
+  }
+}
+
+void Auditor::check_duplicate_forwarders(AuditReport& r) const {
+  for (const auto& key : all_sg_keys()) {
+    std::map<LinkId, std::vector<std::string>> forwarders;
+    for (const auto& env : world_->routers()) {
+      if (!env->node->up() || !env->pim->has_entry(key.source, key.group)) {
+        continue;
+      }
+      for (IfaceId oif : env->pim->outgoing(key.source, key.group)) {
+        if (const Link* l = link_of(*env->node, oif)) {
+          forwarders[l->id()].push_back(env->node->name());
+        }
+      }
+    }
+    for (const auto& [link_id, names] : forwarders) {
+      if (names.size() <= 1) continue;
+      std::string who = names[0];
+      for (std::size_t i = 1; i < names.size(); ++i) who += "+" + names[i];
+      r.violations.push_back(
+          {"duplicate-forwarders",
+           sg_str(key) + " on " + world_->net().link(link_id).name() +
+               " forwarded by " + who + " (assert unresolved)"});
+    }
+  }
+}
+
+void Auditor::check_prune_coherence(AuditReport& r) const {
+  for (const auto& up : world_->routers()) {
+    if (!up->node->up()) continue;
+    for (const auto& key : up->pim->sg_keys()) {
+      for (IfaceId oif_iface : up->pim->enabled_ifaces()) {
+        if (up->pim->downstream_state(key.source, key.group, oif_iface) !=
+            PimDmRouter::DownstreamState::kPruned) {
+          continue;
+        }
+        const Link* l = link_of(*up->node, oif_iface);
+        if (l == nullptr || !l->up()) continue;
+        for (const auto& down : world_->routers()) {
+          if (down.get() == up.get() || !down->node->up() ||
+              !down->pim->has_entry(key.source, key.group)) {
+            continue;
+          }
+          const Link* in =
+              link_of(*down->node, down->pim->incoming(key.source, key.group));
+          if (in != l) continue;
+          Address rpf = down->pim->rpf_neighbor_of(key.source, key.group);
+          if (!is_router_address_on(*up, *l, rpf)) continue;
+          bool wants = !down->pim->outgoing(key.source, key.group).empty() ||
+                       down->pim->is_local_receiver(key.group);
+          if (wants && !down->pim->upstream_pruned(key.source, key.group)) {
+            r.violations.push_back(
+                {"prune-starvation",
+                 down->node->name() + " wants " + sg_str(key) + " via " +
+                     up->node->name() + " on " + l->name() +
+                     " but that link is pruned"});
+          }
+        }
+      }
+    }
+  }
+}
+
+void Auditor::check_mld_coverage(AuditReport& r) const {
+  for (const auto& h : world_->hosts()) {
+    if (!h->node->up()) continue;
+    IfaceId iface = h->iface();
+    const Link* l = link_of(*h->node, iface);
+    if (l == nullptr || !l->up()) continue;
+    for (const Address& g : h->mn->subscriptions()) {
+      if (!h->mld->joined(iface, g)) continue;  // strategy reports elsewhere
+      bool covered = false;
+      for (const auto& env : world_->routers()) {
+        if (!env->node->up()) continue;
+        for (const auto& ri : env->node->interfaces()) {
+          if (ri->attached() && ri->link() == l &&
+              env->mld->has_listeners(ri->id(), g)) {
+            covered = true;
+            break;
+          }
+        }
+        if (covered) break;
+      }
+      if (!covered) {
+        r.violations.push_back(
+            {"mld-listener-missing",
+             h->node->name() + " is joined to " + g.str() + " on " +
+                 l->name() + " but no up router tracks a listener there"});
+      }
+    }
+  }
+}
+
+}  // namespace mip6

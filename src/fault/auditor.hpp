@@ -1,0 +1,84 @@
+// Whole-world invariant checker.
+//
+// The Auditor walks every protocol engine in a World and cross-checks state
+// *between* nodes — properties no single engine can verify about itself:
+//
+//  structural (safe at any instant, even mid-transient):
+//   * an (S,G) entry never forwards onto its own incoming interface
+//   * the union of all routers' (S,G) oif sets forms no forwarding loop
+//   * a home-agent binding for an acknowledged, away-from-home mobile node
+//     names that node's actual care-of address
+//
+//  quiesced-only (valid once the protocols have converged — duplicate
+//  forwarders and pruned-but-wanted links are *expected* transients of
+//  dense-mode flood-and-prune):
+//   * at most one forwarder per (S,G) per link (assert coherence)
+//   * a downstream router that wants (S,G) traffic is not stuck behind an
+//     upstream neighbor that holds the shared link pruned
+//   * some MLD router tracks every live local subscription (listener state
+//     is a superset of what up hosts are actually joined to)
+//   * every acknowledged away binding exists in its home agent's cache
+//
+// Violations are returned (and counted under "audit/violations"), never
+// thrown — tests assert on the report, chaos runs collect them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/world.hpp"
+
+namespace mip6 {
+
+struct AuditorConfig {
+  bool check_oif_iif = true;
+  bool check_forwarding_loops = true;
+  bool check_binding_coherence = true;
+  /// Enables the quiesced-only checks below.
+  bool quiesced = false;
+  bool check_duplicate_forwarders = true;
+  bool check_prune_coherence = true;
+  bool check_mld_coverage = true;
+};
+
+struct AuditViolation {
+  std::string check;   // e.g. "forwarding-loop"
+  std::string detail;  // human-readable; names nodes/links/(S,G)
+};
+
+struct AuditReport {
+  Time at;
+  std::vector<AuditViolation> violations;
+  bool ok() const { return violations.empty(); }
+  std::string str() const;
+};
+
+class Auditor {
+ public:
+  explicit Auditor(World& world, AuditorConfig config = {});
+
+  /// Runs every enabled check and returns the findings. Also bumps the
+  /// "audit/runs" and "audit/violations" counters on the world's network.
+  AuditReport run();
+
+ private:
+  void check_oif_iif(AuditReport& r) const;
+  void check_forwarding_loops(AuditReport& r) const;
+  void check_binding_coherence(AuditReport& r) const;
+  void check_duplicate_forwarders(AuditReport& r) const;
+  void check_prune_coherence(AuditReport& r) const;
+  void check_mld_coverage(AuditReport& r) const;
+
+  /// Every (S,G) key present on any up router, deduplicated.
+  std::vector<PimDmRouter::SgKey> all_sg_keys() const;
+  /// Link the interface is attached to, or nullptr.
+  static const Link* link_of(const Node& node, IfaceId iface);
+  /// True if `addr` is one of `router`'s addresses on `link`.
+  static bool is_router_address_on(const RouterEnv& router, const Link& link,
+                                   const Address& addr);
+
+  World* world_;
+  AuditorConfig config_;
+};
+
+}  // namespace mip6

@@ -1,0 +1,157 @@
+#include "fault/chaos.hpp"
+
+#include "util/errors.hpp"
+
+namespace mip6 {
+
+ChaosEngine::ChaosEngine(World& world, FaultPlan plan, ChaosConfig config)
+    : world_(&world), plan_(std::move(plan)), config_(config) {}
+
+void ChaosEngine::arm() {
+  if (armed_) throw LogicError("ChaosEngine::arm called twice");
+  armed_ = true;
+  for (const FaultEvent& e : plan_.sorted()) {
+    world_->scheduler().schedule_at(e.at, [this, e] { apply(e); });
+  }
+}
+
+void ChaosEngine::apply(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kLinkDown:
+      world_->net().link_by_name(e.target).set_up(false);
+      recompute_if_oracle();
+      break;
+    case FaultKind::kLinkUp:
+      world_->net().link_by_name(e.target).set_up(true);
+      recompute_if_oracle();
+      break;
+    case FaultKind::kLinkDegrade:
+      world_->net().link_by_name(e.target).set_impairment(e.impairment);
+      break;
+    case FaultKind::kLinkRestore:
+      world_->net().link_by_name(e.target).clear_impairments();
+      break;
+    case FaultKind::kRouterCrash:
+      apply_router_crash(world_->router_by_name(e.target));
+      break;
+    case FaultKind::kRouterRestart:
+      apply_router_restart(world_->router_by_name(e.target));
+      break;
+    case FaultKind::kHostCrash:
+      apply_host_crash(world_->host_by_name(e.target));
+      break;
+    case FaultKind::kHostRestart:
+      apply_host_restart(world_->host_by_name(e.target));
+      break;
+    case FaultKind::kHaOutage: {
+      RouterEnv& env = world_->router_by_name(e.target);
+      env.ha->set_enabled(false);
+      env.ha->clear_bindings();
+      break;
+    }
+    case FaultKind::kHaRestore:
+      world_->router_by_name(e.target).ha->set_enabled(true);
+      break;
+  }
+  executed_.push_back(e.str());
+  applied_.push_back(e);
+  count(std::string("chaos/") + fault_kind_name(e.kind));
+  if (config_.audit_after_each_event) {
+    Auditor auditor(*world_, config_.audit);
+    audits_.push_back(auditor.run());
+  }
+}
+
+void ChaosEngine::apply_router_crash(RouterEnv& env) {
+  if (!env.node->up()) return;
+  // Protocol soft state first (no goodbyes — a crash sends nothing), then
+  // power-off. The home agent loses every binding and represented group.
+  env.ha->clear_bindings();
+  env.ha->set_enabled(false);
+  env.pim->shutdown();
+  env.mld->shutdown();
+  if (env.ripng) env.ripng->shutdown();
+  env.stack->rib().clear();
+  env.node->crash();
+  recompute_if_oracle();
+}
+
+void ChaosEngine::apply_router_restart(RouterEnv& env) {
+  if (env.node->up()) return;
+  env.node->restart();
+  // Cold boot: protocols come back on every attached interface and learn
+  // everything again (Hellos, queries, flood-and-prune, RIPng updates).
+  for (const auto& iface : env.node->interfaces()) {
+    if (!iface->attached()) continue;
+    env.mld->enable_iface(iface->id());
+    env.pim->enable_iface(iface->id());
+    if (env.ripng) env.ripng->enable_iface(iface->id());
+  }
+  env.ha->set_enabled(true);
+  recompute_if_oracle();
+}
+
+void ChaosEngine::apply_host_crash(HostEnv& env) {
+  if (!env.node->up()) return;
+  env.node->crash();
+  // Mobility and membership soft state dies with the node; application
+  // subscriptions survive (the app still wants its groups at restart).
+  env.mn->reset_soft_state();
+  env.mld->shutdown();
+}
+
+void ChaosEngine::apply_host_restart(HostEnv& env) {
+  if (env.node->up()) return;
+  // Re-attaching fires the interface link-change handler: movement
+  // detection, SLAAC care-of address, Binding Update, strategy re-join —
+  // the ordinary "arrived on a link" path, which is exactly what a
+  // rebooted mobile node does.
+  env.node->restart();
+}
+
+void ChaosEngine::recompute_if_oracle() {
+  if (!config_.recompute_oracle) return;
+  if (world_->config().unicast != UnicastRouting::kGlobalOracle) return;
+  world_->routing().recompute();
+}
+
+std::string ChaosEngine::trace_str() const {
+  std::string out;
+  for (const std::string& line : executed_) out += line + "\n";
+  return out;
+}
+
+bool ChaosEngine::all_audits_ok() const {
+  for (const AuditReport& r : audits_) {
+    if (!r.ok()) return false;
+  }
+  return true;
+}
+
+std::vector<ChaosEngine::Recovery> ChaosEngine::recoveries(
+    const GroupReceiverApp& app) const {
+  std::vector<Recovery> out;
+  for (const FaultEvent& e : applied_) {
+    if (!is_disruption(e.kind)) continue;
+    out.push_back({e, app.first_rx_at_or_after(e.at)});
+  }
+  return out;
+}
+
+void ChaosEngine::record_recoveries(const GroupReceiverApp& app) {
+  for (const Recovery& rec : recoveries(app)) {
+    if (auto rt = rec.recovery_time()) {
+      count("chaos/recovered");
+      world_->net().counters().add("chaos/recovery-total-ns",
+                                   static_cast<std::uint64_t>(rt->nanos()));
+    } else {
+      count("chaos/unrecovered");
+    }
+  }
+}
+
+void ChaosEngine::count(const std::string& name) {
+  world_->net().counters().add(name);
+}
+
+}  // namespace mip6

@@ -1,0 +1,96 @@
+// Chaos engine: applies a FaultPlan to a live World.
+//
+// arm() schedules every plan event on the world's scheduler; as simulation
+// time passes, links go down and come back, nodes crash (protocol soft
+// state — PIM (S,G) entries, MLD listeners, binding caches, RIBs — is
+// wiped) and restart (re-autoconfiguration and real protocol
+// re-convergence), and home agents black-hole. After each disruptive event
+// the engine can run the Auditor (structural checks by default, which are
+// safe mid-transient) and it appends the event to an executed trace — the
+// artifact the reproducibility contract is stated over: two runs of the
+// same seeded (world, plan) produce identical traces, identical audit
+// outcomes and identical recovery metrics.
+//
+// Recovery time per disruptive event — fault to first re-delivered packet
+// at a receiver app — is computed by recoveries() and recorded under
+// "chaos/" counters.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/traffic.hpp"
+#include "core/world.hpp"
+#include "fault/auditor.hpp"
+#include "fault/plan.hpp"
+
+namespace mip6 {
+
+struct ChaosConfig {
+  /// Run the auditor right after each event is applied.
+  bool audit_after_each_event = true;
+  /// Auditor settings for those runs; keep `quiesced` false here — the
+  /// instant after a crash is the definition of a transient.
+  AuditorConfig audit;
+  /// Recompute the GlobalRouting oracle after topology-changing events
+  /// (ignored under UnicastRouting::kRipng, which converges on its own).
+  bool recompute_oracle = true;
+};
+
+class ChaosEngine {
+ public:
+  ChaosEngine(World& world, FaultPlan plan, ChaosConfig config = {});
+
+  /// Schedules every plan event on the world's scheduler. Call once,
+  /// before (or during) the run.
+  void arm();
+
+  /// Applies one event immediately (also used internally by arm()).
+  void apply(const FaultEvent& e);
+
+  /// Executed events in application order, one string each.
+  const std::vector<std::string>& executed() const { return executed_; }
+  std::string trace_str() const;
+
+  /// Audit reports collected after each event (empty if auditing is off).
+  const std::vector<AuditReport>& audit_reports() const { return audits_; }
+  bool all_audits_ok() const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Recovery measurement: for each *disruptive* event (the fault half of
+  /// a pair, not the repair half), the first packet the app received at or
+  /// after the fault time. `recovered_at` empty = never recovered within
+  /// the run.
+  struct Recovery {
+    FaultEvent event;
+    std::optional<Time> recovered_at;
+    std::optional<Time> recovery_time() const {
+      if (!recovered_at) return std::nullopt;
+      return *recovered_at - event.at;
+    }
+  };
+  std::vector<Recovery> recoveries(const GroupReceiverApp& app) const;
+  /// Records recoveries() into counters: "chaos/recovered",
+  /// "chaos/unrecovered" and "chaos/recovery-total-ns".
+  void record_recoveries(const GroupReceiverApp& app);
+
+ private:
+  void apply_router_crash(RouterEnv& env);
+  void apply_router_restart(RouterEnv& env);
+  void apply_host_crash(HostEnv& env);
+  void apply_host_restart(HostEnv& env);
+  void recompute_if_oracle();
+  void count(const std::string& name);
+
+  World* world_;
+  FaultPlan plan_;
+  ChaosConfig config_;
+  std::vector<std::string> executed_;
+  std::vector<FaultEvent> applied_;
+  std::vector<AuditReport> audits_;
+  bool armed_ = false;
+};
+
+}  // namespace mip6

@@ -1,0 +1,178 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+
+#include "sim/rng.hpp"
+#include "util/errors.hpp"
+
+namespace mip6 {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kLinkUp: return "link-up";
+    case FaultKind::kLinkDegrade: return "link-degrade";
+    case FaultKind::kLinkRestore: return "link-restore";
+    case FaultKind::kRouterCrash: return "router-crash";
+    case FaultKind::kRouterRestart: return "router-restart";
+    case FaultKind::kHostCrash: return "host-crash";
+    case FaultKind::kHostRestart: return "host-restart";
+    case FaultKind::kHaOutage: return "ha-outage";
+    case FaultKind::kHaRestore: return "ha-restore";
+  }
+  return "?";
+}
+
+bool is_disruption(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkDegrade:
+    case FaultKind::kRouterCrash:
+    case FaultKind::kHostCrash:
+    case FaultKind::kHaOutage:
+      return true;
+    case FaultKind::kLinkUp:
+    case FaultKind::kLinkRestore:
+    case FaultKind::kRouterRestart:
+    case FaultKind::kHostRestart:
+    case FaultKind::kHaRestore:
+      return false;
+  }
+  return false;
+}
+
+std::string FaultEvent::str() const {
+  std::string out = at.str() + " " + fault_kind_name(kind) + " " + target;
+  if (kind == FaultKind::kLinkDegrade) {
+    out += " loss=" + std::to_string(impairment.loss) +
+           " corrupt=" + std::to_string(impairment.corrupt) +
+           " jitter=" + impairment.jitter.str();
+  }
+  return out;
+}
+
+FaultPlan& FaultPlan::add(FaultEvent e) {
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_down(Time at, const std::string& link) {
+  return add({at, FaultKind::kLinkDown, link, {}});
+}
+FaultPlan& FaultPlan::link_up(Time at, const std::string& link) {
+  return add({at, FaultKind::kLinkUp, link, {}});
+}
+FaultPlan& FaultPlan::degrade(Time at, const std::string& link,
+                              LinkImpairment imp) {
+  return add({at, FaultKind::kLinkDegrade, link, imp});
+}
+FaultPlan& FaultPlan::restore(Time at, const std::string& link) {
+  return add({at, FaultKind::kLinkRestore, link, {}});
+}
+FaultPlan& FaultPlan::router_crash(Time at, const std::string& router) {
+  return add({at, FaultKind::kRouterCrash, router, {}});
+}
+FaultPlan& FaultPlan::router_restart(Time at, const std::string& router) {
+  return add({at, FaultKind::kRouterRestart, router, {}});
+}
+FaultPlan& FaultPlan::host_crash(Time at, const std::string& host) {
+  return add({at, FaultKind::kHostCrash, host, {}});
+}
+FaultPlan& FaultPlan::host_restart(Time at, const std::string& host) {
+  return add({at, FaultKind::kHostRestart, host, {}});
+}
+FaultPlan& FaultPlan::ha_outage(Time at, const std::string& router) {
+  return add({at, FaultKind::kHaOutage, router, {}});
+}
+FaultPlan& FaultPlan::ha_restore(Time at, const std::string& router) {
+  return add({at, FaultKind::kHaRestore, router, {}});
+}
+
+std::vector<FaultEvent> FaultPlan::sorted() const {
+  std::vector<FaultEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+std::string FaultPlan::str() const {
+  std::string out;
+  for (const FaultEvent& e : sorted()) out += e.str() + "\n";
+  return out;
+}
+
+FaultPlan FaultPlan::random(const RandomPlanSpec& spec, std::uint64_t seed) {
+  if (spec.links.empty() && spec.routers.empty() && spec.hosts.empty() &&
+      spec.home_agents.empty()) {
+    throw LogicError("FaultPlan::random: spec names no targets");
+  }
+  if (spec.end <= spec.start) {
+    throw LogicError("FaultPlan::random: empty time window");
+  }
+  Rng rng(seed);
+  FaultPlan plan;
+
+  // A disruption draws a category first (uniform over *available*
+  // categories), then a target within it — so adding hosts to the spec
+  // never changes which link a given seed degrades.
+  enum Category { kLink, kLinkDegradeCat, kRouter, kHost, kHa };
+  std::vector<Category> cats;
+  if (!spec.links.empty()) {
+    cats.push_back(kLink);
+    if (spec.allow_degrade) cats.push_back(kLinkDegradeCat);
+  }
+  if (!spec.routers.empty()) cats.push_back(kRouter);
+  if (!spec.hosts.empty()) cats.push_back(kHost);
+  if (!spec.home_agents.empty()) cats.push_back(kHa);
+
+  auto pick = [&rng](const std::vector<std::string>& v) -> const std::string& {
+    return v[rng.uniform_int(v.size())];
+  };
+
+  const std::int64_t window = spec.end.nanos() - spec.start.nanos();
+  const std::int64_t outage_span =
+      std::max<std::int64_t>(1, spec.max_outage.nanos() -
+                                    spec.min_outage.nanos() + 1);
+  for (int i = 0; i < spec.disruptions; ++i) {
+    Category cat = cats[rng.uniform_int(cats.size())];
+    Time begin = spec.start +
+                 Time::ns(static_cast<std::int64_t>(
+                     rng.uniform_int(static_cast<std::uint64_t>(window))));
+    Time outage = spec.min_outage +
+                  Time::ns(static_cast<std::int64_t>(rng.uniform_int(
+                      static_cast<std::uint64_t>(outage_span))));
+    Time finish = std::min(begin + outage, spec.end);
+    switch (cat) {
+      case kLink: {
+        const std::string& t = pick(spec.links);
+        plan.link_down(begin, t).link_up(finish, t);
+        break;
+      }
+      case kLinkDegradeCat: {
+        const std::string& t = pick(spec.links);
+        plan.degrade(begin, t, spec.degrade).restore(finish, t);
+        break;
+      }
+      case kRouter: {
+        const std::string& t = pick(spec.routers);
+        plan.router_crash(begin, t).router_restart(finish, t);
+        break;
+      }
+      case kHost: {
+        const std::string& t = pick(spec.hosts);
+        plan.host_crash(begin, t).host_restart(finish, t);
+        break;
+      }
+      case kHa: {
+        const std::string& t = pick(spec.home_agents);
+        plan.ha_outage(begin, t).ha_restore(finish, t);
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace mip6

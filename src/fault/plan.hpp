@@ -1,0 +1,109 @@
+// Deterministic fault schedules.
+//
+// A FaultPlan is an ordered list of fault events — link outages, link
+// degradation windows (loss / corruption / jitter), node crashes and
+// restarts, home-agent outages — with absolute activation times. Plans are
+// plain data: building one has no side effects; the ChaosEngine applies it
+// against a World. Plans can be hand-written through the builder interface
+// or generated from a seed (FaultPlan::random), and a given (spec, seed)
+// pair always yields the same plan, so chaos runs are bit-for-bit
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/time.hpp"
+
+namespace mip6 {
+
+enum class FaultKind {
+  kLinkDown,       // link carries nothing until kLinkUp
+  kLinkUp,
+  kLinkDegrade,    // apply a LinkImpairment (loss/corrupt/jitter)
+  kLinkRestore,    // clear all impairments
+  kRouterCrash,    // wipe protocol soft state + detach interfaces
+  kRouterRestart,
+  kHostCrash,
+  kHostRestart,
+  kHaOutage,       // home agent ignores traffic, bindings lost
+  kHaRestore,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// True for the fault half of a fault/repair pair (crash, down, degrade,
+/// outage) — the events recovery is measured from.
+bool is_disruption(FaultKind kind);
+
+struct FaultEvent {
+  Time at;
+  FaultKind kind = FaultKind::kLinkDown;
+  /// Link name for link faults, node name for crashes, router name for HA
+  /// outages.
+  std::string target;
+  /// Only meaningful for kLinkDegrade.
+  LinkImpairment impairment;
+
+  /// e.g. "12.000s link-down link3" — the unit of the reproducibility
+  /// contract (same seed => identical event traces).
+  std::string str() const;
+};
+
+/// Parameters for FaultPlan::random(). Targets are drawn only from the
+/// names listed here, so a spec can scope chaos to part of a topology.
+struct RandomPlanSpec {
+  Time start = Time::sec(5);
+  Time end = Time::sec(60);
+  /// Number of disruptions; each contributes a fault and its paired
+  /// recovery event (down+up, crash+restart, degrade+restore).
+  int disruptions = 4;
+  Time min_outage = Time::sec(1);
+  Time max_outage = Time::sec(10);
+  std::vector<std::string> links;
+  std::vector<std::string> routers;
+  std::vector<std::string> hosts;
+  /// Routers whose home agent may be taken out.
+  std::vector<std::string> home_agents;
+  /// Impairment used for degradation windows on `links`.
+  LinkImpairment degrade{0.2, 0.05, Time::ms(5)};
+  bool allow_degrade = true;
+};
+
+class FaultPlan {
+ public:
+  // Builder sugar; all return *this for chaining.
+  FaultPlan& link_down(Time at, const std::string& link);
+  FaultPlan& link_up(Time at, const std::string& link);
+  FaultPlan& degrade(Time at, const std::string& link, LinkImpairment imp);
+  FaultPlan& restore(Time at, const std::string& link);
+  FaultPlan& router_crash(Time at, const std::string& router);
+  FaultPlan& router_restart(Time at, const std::string& router);
+  FaultPlan& host_crash(Time at, const std::string& host);
+  FaultPlan& host_restart(Time at, const std::string& host);
+  FaultPlan& ha_outage(Time at, const std::string& router);
+  FaultPlan& ha_restore(Time at, const std::string& router);
+  FaultPlan& add(FaultEvent e);
+
+  /// Events in activation order (stable for equal times: insertion order).
+  std::vector<FaultEvent> sorted() const;
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// One line per event, activation order.
+  std::string str() const;
+
+  /// Seed-deterministic plan: `disruptions` fault/recovery pairs drawn
+  /// uniformly over the spec's targets and the [start, end] window. Uses
+  /// its own Rng(seed) — independent of any Network RNG, so the plan is a
+  /// pure function of (spec, seed).
+  static FaultPlan random(const RandomPlanSpec& spec, std::uint64_t seed);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace mip6

@@ -51,6 +51,7 @@ std::map<Ipv6Stack*, GlobalRouting::HopInfo> GlobalRouting::bfs_from_link(
     for (const auto& iface : cur->node().interfaces()) {
       if (!iface->attached()) continue;
       Link* l = iface->link();
+      if (!l->up()) continue;  // down links carry nothing
       // The address a neighbor uses to reach `cur` over link l.
       Address cur_addr;
       bool have_addr = false;
@@ -131,7 +132,7 @@ std::map<LinkId, std::pair<int, LinkId>> GlobalRouting::link_bfs(
       }
       if (!on_cur) continue;
       for (const auto& iface : s->node().interfaces()) {
-        if (!iface->attached()) continue;
+        if (!iface->attached() || !iface->link()->up()) continue;
         LinkId next = iface->link()->id();
         if (result.contains(next)) continue;
         result[next] = {d + 1, cur};

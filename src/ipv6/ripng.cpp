@@ -68,6 +68,8 @@ Ripng::Ripng(Ipv6Stack& stack, UdpDemux& udp, RipngConfig config)
 void Ripng::enable_iface(IfaceId iface) {
   ifaces_.push_back(iface);
   stack_->join_local_group(iface, ripng_group());
+  // Re-arm the update cycle if a shutdown() stopped it.
+  if (!update_timer_.running()) update_timer_.arm(Time::ms(100));
 
   Interface& i = stack_->node().iface_by_id(iface);
   if (i.link() != nullptr && stack_->plan().has_prefix(i.link()->id())) {
@@ -81,6 +83,16 @@ void Ripng::enable_iface(IfaceId iface) {
     sync_rib(*r, false);
     routes_[prefix] = std::move(r);
   }
+}
+
+void Ripng::shutdown() {
+  for (const auto& [prefix, r] : routes_) sync_rib(*r, /*removed=*/true);
+  routes_.clear();  // cancels timeout / gc timers
+  ifaces_.clear();
+  update_timer_.cancel();
+  triggered_timer_.cancel();
+  triggered_pending_ = false;
+  count("ripng/shutdown");
 }
 
 std::uint8_t Ripng::metric_of(const Prefix& prefix) const {

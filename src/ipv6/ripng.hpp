@@ -55,6 +55,13 @@ class Ripng {
   /// the addressing plan) at metric 1.
   void enable_iface(IfaceId iface);
 
+  /// Crash support: forgets every route (and its RIB entry), all enabled
+  /// interfaces, and stops the update timers. enable_iface() after a
+  /// restart brings the protocol back from scratch.
+  void shutdown();
+  /// The interfaces RIPng is currently enabled on (for restart wiring).
+  const std::vector<IfaceId>& enabled_ifaces() const { return ifaces_; }
+
   std::size_t route_count() const { return routes_.size(); }
   /// Metric toward `prefix`, or infinity if unknown.
   std::uint8_t metric_of(const Prefix& prefix) const;

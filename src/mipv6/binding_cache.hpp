@@ -35,6 +35,9 @@ class BindingCache {
                 std::uint16_t sequence, Time lifetime);
   /// Explicit deregistration (lifetime 0 in a BU, or returning home).
   void remove(const Address& home);
+  /// Drops every entry without firing expiry callbacks (crash support —
+  /// lifetime timers are cancelled alongside).
+  void clear() { entries_.clear(); }
 
   const Entry* find(const Address& home) const;
   Entry* find(const Address& home);

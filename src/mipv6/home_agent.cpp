@@ -49,6 +49,10 @@ std::vector<Address> HomeAgent::represented_groups() const {
 
 void HomeAgent::on_binding_update(const BindingUpdateOption& bu,
                                   const ParsedDatagram& d) {
+  if (!enabled_) {
+    count("ha/drop/disabled-bu");
+    return;
+  }
   if (!bu.home_registration) return;
   // Draft-10: a BU from a roaming MN arrives with the care-of address as
   // IPv6 source and the home address in a Home Address destination option;
@@ -97,6 +101,25 @@ void HomeAgent::adopt_binding(const Address& home, const Address& care_of,
   stack_->add_intercept(home);
   set_binding_groups(home, std::move(groups));
   count("ha/binding-adopted");
+}
+
+void HomeAgent::clear_bindings() {
+  for (const BindingCache::Entry* e : cache_.entries()) {
+    stack_->remove_intercept(e->home);
+    for (const Address& g : e->groups) unref_group(g);
+  }
+  for (const auto& [key, timer] : tunnel_memberships_) {
+    unref_group(key.second);
+  }
+  tunnel_memberships_.clear();
+  cache_.clear();
+  count("ha/bindings-cleared");
+}
+
+void HomeAgent::set_enabled(bool enabled) {
+  if (enabled_ == enabled) return;
+  enabled_ = enabled;
+  count(enabled ? "ha/enabled" : "ha/disabled");
 }
 
 void HomeAgent::drop_binding(const Address& home) {
@@ -186,6 +209,10 @@ void HomeAgent::expire_tunnel_membership(const Address& home,
 // Data plane
 
 void HomeAgent::on_intercepted(const ParsedDatagram& d, const Packet& pkt) {
+  if (!enabled_) {
+    count("ha/drop/disabled-intercept");
+    return;
+  }
   const BindingCache::Entry* e = cache_.find(d.hdr.dst);
   if (e == nullptr) {
     count("ha/drop/intercept-without-binding");
@@ -196,6 +223,7 @@ void HomeAgent::on_intercepted(const ParsedDatagram& d, const Packet& pkt) {
 }
 
 void HomeAgent::on_group_delivery(const ParsedDatagram& d, const Packet& pkt) {
+  if (!enabled_) return;
   const Address& group = d.hdr.dst;
   if (!group_refs_.contains(group)) return;
   for (const BindingCache::Entry* e : cache_.entries()) {
@@ -210,6 +238,10 @@ void HomeAgent::on_group_delivery(const ParsedDatagram& d, const Packet& pkt) {
 
 void HomeAgent::on_tunneled(const ParsedDatagram& outer, IfaceId iface) {
   (void)iface;
+  if (!enabled_) {
+    count("ha/drop/disabled-tunnel");
+    return;
+  }
   Bytes inner;
   try {
     inner = decapsulate(outer);

@@ -67,6 +67,13 @@ class HomeAgent {
                      std::vector<Address> groups);
   /// Drops a binding and everything attached to it (failback cleanup).
   void drop_binding(const Address& home);
+  /// Drops every binding, tunnel membership, and represented group (the
+  /// backend sees the leaves). Used by crash / outage injection.
+  void clear_bindings();
+  /// A disabled home agent ignores Binding Updates, intercepts, tunneled
+  /// traffic and group deliveries — the data-plane face of an HA outage.
+  void set_enabled(bool enabled);
+  bool enabled() const { return enabled_; }
   bool represents(const Address& group) const {
     return group_refs_.contains(group);
   }
@@ -105,6 +112,7 @@ class HomeAgent {
       tunnel_memberships_;
   std::map<Address, int> group_refs_;
   BindingChangeCallback on_binding_change_;
+  bool enabled_ = true;
 };
 
 }  // namespace mip6

@@ -80,6 +80,17 @@ void MobileNode::move_to(Link& target) {
   i.attach(target);
 }
 
+void MobileNode::reset_soft_state() {
+  care_of_ = Address();
+  binding_acked_ = false;
+  bu_retransmits_left_ = 0;
+  movement_timer_->cancel();
+  bu_refresh_timer_->cancel();
+  bu_retransmit_timer_->cancel();
+  tunneled_reports_.clear();  // cancels the report timers
+  count("mn/soft-state-reset");
+}
+
 void MobileNode::on_link_changed(Link* link) {
   movement_timer_->cancel();
   if (on_link_change_) on_link_change_();

@@ -82,6 +82,12 @@ class MobileNode {
   /// Simulation-side mobility command: detach and re-attach to `target`.
   void move_to(Link& target);
 
+  /// Crash support: forgets the care-of address, the acked binding, and any
+  /// tunneled-report schedule, and cancels every timer. Application-level
+  /// subscriptions survive (the app still wants them after restart); the
+  /// restart path re-runs attachment and re-registers with the home agent.
+  void reset_soft_state();
+
   Ipv6Stack& stack() const { return *stack_; }
 
  private:

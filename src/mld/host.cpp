@@ -73,6 +73,11 @@ void MldHost::reset_link_state(IfaceId iface) {
   }
 }
 
+void MldHost::shutdown() {
+  groups_.clear();  // cancels response timers
+  count("mld/host-shutdown");
+}
+
 void MldHost::start_unsolicited(IfaceId iface, const Address& group) {
   auto it = groups_.find({iface, group});
   if (it == groups_.end()) return;

@@ -57,6 +57,11 @@ class MldHost {
   /// new link (a spurious Done there would be wrong).
   void reset_link_state(IfaceId iface);
 
+  /// Crash support: forgets every joined group and cancels all timers (the
+  /// receive filters in the stack are left to the caller). The application
+  /// re-joins after restart.
+  void shutdown();
+
   const MldHostPolicy& policy() const { return policy_; }
   void set_policy(MldHostPolicy p) { policy_ = p; }
 

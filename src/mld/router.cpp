@@ -43,6 +43,18 @@ void MldRouter::enable_iface(IfaceId iface) {
   st.query_timer->arm(Time::zero());
 }
 
+void MldRouter::shutdown() {
+  listeners_.clear();  // cancels listener-interval timers
+  ifaces_.clear();     // cancels query / other-querier timers
+  count("mld/shutdown");
+}
+
+std::vector<IfaceId> MldRouter::enabled_ifaces() const {
+  std::vector<IfaceId> out;
+  for (const auto& [iface, st] : ifaces_) out.push_back(iface);
+  return out;
+}
+
 bool MldRouter::is_querier(IfaceId iface) const {
   auto it = ifaces_.find(iface);
   return it != ifaces_.end() && it->second.querier;

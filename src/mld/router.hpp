@@ -37,6 +37,13 @@ class MldRouter {
   /// queries, then periodic general queries).
   void enable_iface(IfaceId iface);
 
+  /// Crash support: forgets all listener state and querier duty on every
+  /// interface (timers cancelled). Listener-removal callbacks are NOT
+  /// invoked — the multicast routing protocol is wiped alongside.
+  void shutdown();
+  /// The interfaces MLD is currently enabled on (for restart wiring).
+  std::vector<IfaceId> enabled_ifaces() const;
+
   void set_group_callback(GroupCallback cb) { group_cb_ = std::move(cb); }
 
   bool is_querier(IfaceId iface) const;

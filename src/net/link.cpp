@@ -22,10 +22,33 @@ void Link::do_detach(Interface& iface) {
   ifaces_.erase(it);
 }
 
+void Link::set_up(bool up) {
+  if (up_ == up) return;
+  up_ = up;
+  count(up ? "up" : "down");
+}
+
+void Link::count(const char* what, std::uint64_t delta) {
+  net_->counters().add(counter_prefix_ + what, delta);
+}
+
+const LinkImpairment& Link::impairment_towards(IfaceId to) const {
+  auto it = directional_impairments_.find(to);
+  return it == directional_impairments_.end() ? impairment_ : it->second;
+}
+
 void Link::transmit(const Interface& from, const Packet& pkt,
                     std::optional<IfaceId> l2_dst) {
+  if (!up_) {
+    // Carrier lost: the frame never makes it onto the wire.
+    ++dropped_packets_;
+    count("dropped");
+    return;
+  }
   ++tx_packets_;
   tx_bytes_ += pkt.size();
+  count("tx");
+  count("tx-bytes", pkt.size());
   net_->notify_tx(*this, from, pkt);
 
   Time ser = Time::zero();
@@ -43,14 +66,62 @@ void Link::transmit(const Interface& from, const Packet& pkt,
     if (to == &from) continue;
     if (l2_dst && to->id() != *l2_dst) continue;
     IfaceId to_id = to->id();
-    net_->scheduler().schedule_in(arrival_delay, [this, to_id, pkt] {
-      for (Interface* candidate : ifaces_) {
-        if (candidate->id() != to_id) continue;
-        if (drop_ && drop_(pkt, *candidate)) return;
-        candidate->deliver(pkt);
-        return;
-      }
-    });
+    Time extra = Time::zero();
+    const LinkImpairment& imp = impairment_towards(to_id);
+    if (imp.jitter > Time::zero()) {
+      // Sampled at transmit time so the event order (and with it the whole
+      // run) stays deterministic for a given seed.
+      extra = Time::ns(static_cast<std::int64_t>(
+          net_->rng().uniform_int(
+              static_cast<std::uint64_t>(imp.jitter.nanos()) + 1)));
+    }
+    net_->scheduler().schedule_in(arrival_delay + extra,
+                                  [this, to_id, pkt] {
+                                    deliver_one(to_id, pkt);
+                                  });
+  }
+}
+
+void Link::deliver_one(IfaceId to_id, const Packet& pkt) {
+  if (!up_) {
+    // Link went down while the frame was in flight.
+    ++dropped_packets_;
+    count("dropped");
+    return;
+  }
+  for (Interface* candidate : ifaces_) {
+    if (candidate->id() != to_id) continue;
+    if (drop_ && drop_(pkt, *candidate)) {
+      ++dropped_packets_;
+      count("dropped");
+      return;
+    }
+    const LinkImpairment& imp = impairment_towards(to_id);
+    if (imp.loss > 0.0 && net_->rng().bernoulli(imp.loss)) {
+      ++dropped_packets_;
+      count("dropped");
+      return;
+    }
+    if (imp.corrupt > 0.0 && net_->rng().bernoulli(imp.corrupt) &&
+        pkt.size() > 0) {
+      Bytes bytes = pkt.data();
+      std::size_t idx = net_->rng().uniform_int(bytes.size());
+      // Flip at least one bit (xor with a non-zero mask).
+      bytes[idx] ^= static_cast<std::uint8_t>(
+          1 + net_->rng().uniform_int(255));
+      Packet corrupted = pkt;
+      corrupted.set_data(std::move(bytes));
+      ++corrupted_packets_;
+      count("corrupted");
+      ++rx_packets_;
+      count("rx");
+      candidate->deliver(corrupted);
+      return;
+    }
+    ++rx_packets_;
+    count("rx");
+    candidate->deliver(pkt);
+    return;
   }
 }
 

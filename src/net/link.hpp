@@ -5,10 +5,18 @@
 // propagation delay. Per-link byte counters feed the bandwidth-consumption
 // metrics of Section 4.3; an optional drop function injects loss (used by
 // the binding-lifetime ablation).
+//
+// Fault-injection surface (chaos engine): a link can be administratively
+// down (transmissions and in-flight deliveries are dropped and counted) and
+// can carry per-direction impairments — random loss, random single-byte
+// corruption (the corrupted frame is still delivered, so every parser above
+// must reject it), and bounded delay jitter. All randomness comes from the
+// owning Network's RNG, so a seeded run is bit-for-bit reproducible.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,6 +31,20 @@ class Network;
 
 using LinkId = std::uint32_t;
 
+/// Degradation applied to deliveries (chaos engine "degrade" windows).
+struct LinkImpairment {
+  /// Probability a delivery is silently lost.
+  double loss = 0.0;
+  /// Probability a delivered frame has one random byte flipped.
+  double corrupt = 0.0;
+  /// Extra per-delivery delay, uniform in [0, jitter].
+  Time jitter = Time::zero();
+
+  bool any() const {
+    return loss > 0.0 || corrupt > 0.0 || jitter > Time::zero();
+  }
+};
+
 class Link {
  public:
   /// Returns true if the packet should be dropped on delivery to `to`.
@@ -31,7 +53,7 @@ class Link {
   Link(Network& net, LinkId id, std::string name, Time delay,
        std::uint64_t bit_rate_bps)
       : net_(&net), id_(id), name_(std::move(name)), delay_(delay),
-        bit_rate_bps_(bit_rate_bps) {}
+        bit_rate_bps_(bit_rate_bps), counter_prefix_("link/" + name_ + "/") {}
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
@@ -51,10 +73,38 @@ class Link {
 
   const std::vector<Interface*>& attached() const { return ifaces_; }
 
+  // --- Administrative state (fault injection) ---------------------------
+  bool up() const { return up_; }
+  /// Takes the link down / brings it back up. While down, transmissions
+  /// are dropped at the sender and frames already in flight are dropped on
+  /// delivery (both counted under dropped()).
+  void set_up(bool up);
+
+  /// Applies `imp` to every delivery on this link (both directions).
+  void set_impairment(LinkImpairment imp) { impairment_ = imp; }
+  /// Applies `imp` only to deliveries *toward* interface `to`, overriding
+  /// the link-wide impairment for that direction.
+  void set_impairment_towards(IfaceId to, LinkImpairment imp) {
+    directional_impairments_[to] = imp;
+  }
+  void clear_impairments() {
+    impairment_ = LinkImpairment{};
+    directional_impairments_.clear();
+  }
+  const LinkImpairment& impairment() const { return impairment_; }
+
+  // --- Counters ---------------------------------------------------------
   std::uint64_t tx_packets() const { return tx_packets_; }
   /// Octets placed onto the link (counted once per transmission, not per
   /// receiver — a LAN carries the frame once).
   std::uint64_t tx_bytes() const { return tx_bytes_; }
+  /// Per-receiver deliveries that reached an interface's rx handler.
+  std::uint64_t rx_packets() const { return rx_packets_; }
+  /// Per-receiver deliveries lost: drop_fn hits, loss impairment, link-down
+  /// drops (in-flight and at the sender).
+  std::uint64_t dropped_packets() const { return dropped_packets_; }
+  /// Deliveries that arrived with an injected byte flip.
+  std::uint64_t corrupted_packets() const { return corrupted_packets_; }
 
   void set_drop_fn(DropFn fn) { drop_ = std::move(fn); }
 
@@ -63,6 +113,10 @@ class Link {
   void do_attach(Interface& iface);
   void do_detach(Interface& iface);
 
+  const LinkImpairment& impairment_towards(IfaceId to) const;
+  void deliver_one(IfaceId to_id, const Packet& pkt);
+  void count(const char* what, std::uint64_t delta = 1);
+
   Network* net_;
   LinkId id_;
   std::string name_;
@@ -70,8 +124,15 @@ class Link {
   std::uint64_t bit_rate_bps_;  // 0 = infinitely fast serialization
   std::vector<Interface*> ifaces_;
   DropFn drop_;
+  bool up_ = true;
+  LinkImpairment impairment_;
+  std::map<IfaceId, LinkImpairment> directional_impairments_;
+  std::string counter_prefix_;
   std::uint64_t tx_packets_ = 0;
   std::uint64_t tx_bytes_ = 0;
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t dropped_packets_ = 0;
+  std::uint64_t corrupted_packets_ = 0;
 };
 
 }  // namespace mip6

@@ -18,4 +18,27 @@ Interface& Node::iface_by_id(IfaceId id) const {
                    std::to_string(id));
 }
 
+void Node::crash() {
+  if (!up_) return;
+  up_ = false;
+  links_at_crash_.clear();
+  for (const auto& i : ifaces_) {
+    links_at_crash_.emplace_back(i.get(), i->link());
+    if (i->attached()) i->detach();
+  }
+  net_->counters().add("node/" + name_ + "/crash");
+  for (const auto& h : crash_hooks_) h();
+}
+
+void Node::restart() {
+  if (up_) return;
+  up_ = true;
+  for (auto& [iface, link] : links_at_crash_) {
+    if (link != nullptr) iface->attach(*link);
+  }
+  links_at_crash_.clear();
+  net_->counters().add("node/" + name_ + "/restart");
+  for (const auto& h : restart_hooks_) h();
+}
+
 }  // namespace mip6

@@ -1,17 +1,27 @@
 // A node: named container of interfaces. Whether the node behaves as a host,
 // a router, a home agent or any combination is decided by the protocol
 // engines instantiated on top of it.
+//
+// Fault injection: crash() powers the node off — every interface detaches
+// (remembering its link) and registered crash hooks run so the protocol
+// engines wipe their soft state; restart() re-attaches the interfaces and
+// runs restart hooks so the engines re-initialize. Re-convergence after a
+// restart is therefore real: addresses are re-autoconfigured, neighbors are
+// re-learned, and multicast/binding state is rebuilt by the protocols.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/interface.hpp"
 
 namespace mip6 {
 
+class Link;
 class Network;
 
 using NodeId = std::uint32_t;
@@ -40,11 +50,35 @@ class Node {
   /// Interface with the given global id; throws if not on this node.
   Interface& iface_by_id(IfaceId id) const;
 
+  // --- Crash / restart (fault injection) --------------------------------
+  bool up() const { return up_; }
+  /// Powers the node off: detaches every attached interface (links are
+  /// remembered for restart()) and invokes the crash hooks. No-op if the
+  /// node is already down.
+  void crash();
+  /// Powers the node back on: re-attaches each interface to the link it
+  /// was on at crash time and invokes the restart hooks. No-op if up.
+  void restart();
+  /// Registered by protocol wiring (e.g. the scenario World): runs during
+  /// crash(), after interfaces have detached — wipe soft state here.
+  void add_crash_hook(std::function<void()> h) {
+    crash_hooks_.push_back(std::move(h));
+  }
+  /// Runs during restart(), after interfaces have re-attached — re-enable
+  /// protocol engines here.
+  void add_restart_hook(std::function<void()> h) {
+    restart_hooks_.push_back(std::move(h));
+  }
+
  private:
   Network* net_;
   NodeId id_;
   std::string name_;
   std::vector<std::unique_ptr<Interface>> ifaces_;
+  bool up_ = true;
+  std::vector<std::pair<Interface*, Link*>> links_at_crash_;
+  std::vector<std::function<void()>> crash_hooks_;
+  std::vector<std::function<void()>> restart_hooks_;
 };
 
 }  // namespace mip6

@@ -33,6 +33,21 @@ void PimDmRouter::enable_iface(IfaceId iface) {
   it->second.hello_timer->arm(Time::zero());
 }
 
+void PimDmRouter::shutdown() {
+  // unique_ptr destruction cancels every timer (hello, neighbor liveness,
+  // prune, assert, graft-retry, entry, state-refresh).
+  entries_.clear();
+  ifaces_.clear();
+  local_receivers_.clear();
+  count("pimdm/shutdown");
+}
+
+std::vector<IfaceId> PimDmRouter::enabled_ifaces() const {
+  std::vector<IfaceId> out;
+  for (const auto& [iface, st] : ifaces_) out.push_back(iface);
+  return out;
+}
+
 void PimDmRouter::add_local_receiver(const Address& group) {
   int& refs = local_receivers_[group];
   ++refs;
@@ -63,6 +78,33 @@ bool PimDmRouter::is_local_receiver(const Address& group) const {
 
 bool PimDmRouter::has_entry(const Address& src, const Address& group) const {
   return entries_.contains(SgKey{src, group});
+}
+
+std::vector<PimDmRouter::SgKey> PimDmRouter::sg_keys() const {
+  std::vector<SgKey> out;
+  for (const auto& [key, e] : entries_) out.push_back(key);
+  return out;
+}
+
+bool PimDmRouter::upstream_pruned(const Address& src,
+                                  const Address& group) const {
+  const SgEntry* e = find_entry(src, group);
+  return e != nullptr && e->upstream_pruned;
+}
+
+Address PimDmRouter::rpf_neighbor_of(const Address& src,
+                                     const Address& group) const {
+  const SgEntry* e = find_entry(src, group);
+  if (e == nullptr) throw LogicError("no such (S,G) entry");
+  return e->rpf_neighbor;
+}
+
+bool PimDmRouter::assert_loser(const Address& src, const Address& group,
+                               IfaceId iface) const {
+  const SgEntry* e = find_entry(src, group);
+  if (e == nullptr) return false;
+  auto it = e->downstream.find(iface);
+  return it != e->downstream.end() && it->second->assert_loser;
 }
 
 std::vector<IfaceId> PimDmRouter::outgoing(const Address& src,

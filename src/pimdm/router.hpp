@@ -36,6 +36,13 @@ class PimDmRouter {
   /// Enables PIM on an interface: Hello emission + neighbor tracking.
   void enable_iface(IfaceId iface);
 
+  /// Crash support: drops every (S,G) entry, every neighbor, all timers and
+  /// all local-receiver pins — the router forgets everything it learned.
+  /// Re-enable interfaces (enable_iface) to bring the protocol back up.
+  void shutdown();
+  /// The interfaces PIM is currently enabled on (for restart wiring).
+  std::vector<IfaceId> enabled_ifaces() const;
+
   /// Marks this router node itself as a receiver for `group` (the home
   /// agent "joins on behalf of" mobile nodes this way): the router will not
   /// prune itself off the (S,G) trees of the group even with an empty
@@ -53,7 +60,16 @@ class PimDmRouter {
   enum class DownstreamState { kForwarding, kPrunePending, kPruned };
 
   std::size_t entry_count() const { return entries_.size(); }
+  /// Keys of every live (S,G) entry (auditor walks these).
+  std::vector<SgKey> sg_keys() const;
   bool has_entry(const Address& src, const Address& group) const;
+  /// True if this router pruned itself off the (S,G) tree upstream.
+  bool upstream_pruned(const Address& src, const Address& group) const;
+  /// The upstream RPF neighbor (unspecified when first-hop router).
+  Address rpf_neighbor_of(const Address& src, const Address& group) const;
+  /// True if this router lost the Assert election on `iface`.
+  bool assert_loser(const Address& src, const Address& group,
+                    IfaceId iface) const;
   /// Interfaces the entry currently forwards onto (the "oif list").
   std::vector<IfaceId> outgoing(const Address& src, const Address& group) const;
   IfaceId incoming(const Address& src, const Address& group) const;

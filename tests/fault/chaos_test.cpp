@@ -1,0 +1,241 @@
+// ChaosEngine: seeded fault schedules against the Figure 1 world must be
+// bit-for-bit reproducible, recovery must actually happen through the real
+// protocol machinery (re-flood, asserts, MLD queries, BU refreshes), and
+// the auditor must stay green through every transient.
+#include <gtest/gtest.h>
+
+#include "core/figure1.hpp"
+#include "core/traffic.hpp"
+#include "fault/chaos.hpp"
+
+namespace mip6 {
+namespace {
+
+constexpr std::uint16_t kPort = Figure1::kDataPort;
+
+struct Harness {
+  Figure1 f;
+  std::unique_ptr<GroupReceiverApp> app;
+  std::unique_ptr<CbrSource> source;
+
+  explicit Harness(std::uint64_t seed, WorldConfig config = {},
+                   StrategyOptions strategy = {})
+      : f(build_figure1(seed, config, strategy)) {
+    Address group = Figure1::group();
+    app = std::make_unique<GroupReceiverApp>(*f.recv3->stack, kPort);
+    f.recv3->service->subscribe(group);
+    auto* sender = f.sender;
+    source = std::make_unique<CbrSource>(
+        f.world->scheduler(),
+        [sender, group](Bytes p) {
+          sender->service->send_multicast(group, kPort, kPort, std::move(p));
+        },
+        Time::ms(100), 64);
+    source->start(Time::sec(1));
+  }
+};
+
+std::string recovery_trace(const ChaosEngine& chaos,
+                           const GroupReceiverApp& app) {
+  std::string out;
+  for (const auto& rec : chaos.recoveries(app)) {
+    out += rec.event.str() + " -> ";
+    out += rec.recovered_at ? rec.recovered_at->str() : "never";
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(Chaos, SameSeedSameTraceSameRecoveries) {
+  RandomPlanSpec spec;
+  spec.start = Time::sec(10);
+  spec.end = Time::sec(70);
+  spec.disruptions = 5;
+  spec.min_outage = Time::sec(2);
+  spec.max_outage = Time::sec(10);
+  spec.links = {"Link2", "Link3", "Link4"};
+  spec.routers = {"RouterB", "RouterC"};
+  spec.hosts = {"Receiver3"};
+  spec.home_agents = {"RouterD"};
+
+  auto run_once = [&] {
+    Harness h(33);
+    ChaosEngine chaos(*h.f.world, FaultPlan::random(spec, 99));
+    chaos.arm();
+    h.f.world->run_until(Time::sec(120));
+    EXPECT_TRUE(chaos.all_audits_ok());
+    return chaos.trace_str() + "---\n" + recovery_trace(chaos, *h.app) +
+           "received=" + std::to_string(h.app->unique_received());
+  };
+  std::string first = run_once();
+  std::string second = run_once();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("---"), std::string::npos);
+}
+
+TEST(Chaos, LinkOutageDropsAndRecoversTheStream) {
+  Harness h(35);
+  FaultPlan plan;
+  plan.link_down(Time::sec(20), "Link3").link_up(Time::sec(25), "Link3");
+  ChaosEngine chaos(*h.f.world, plan);
+  chaos.arm();
+  h.f.world->run_until(Time::sec(40));
+
+  EXPECT_TRUE(chaos.all_audits_ok());
+  ASSERT_EQ(chaos.executed().size(), 2u);
+  // Nothing crosses the severed Link3...
+  EXPECT_EQ(h.app->received_in(Time::sec(21), Time::sec(25)), 0u);
+  // ...and the next datagram after repair gets through.
+  auto recs = chaos.recoveries(*h.app);
+  ASSERT_EQ(recs.size(), 1u);
+  ASSERT_TRUE(recs[0].recovered_at.has_value());
+  EXPECT_GE(*recs[0].recovered_at, Time::sec(25));
+  EXPECT_LT(*recs[0].recovered_at, Time::sec(26));
+  EXPECT_GT(h.app->received_in(Time::sec(25), Time::sec(40)), 100u);
+  // The link itself accounted for the outage.
+  EXPECT_GT(h.f.world->net().link_by_name("Link3").dropped_packets(), 0u);
+}
+
+TEST(Chaos, RouterCrashWipesStateAndRestartReconverges) {
+  Harness h(37);
+  FaultPlan plan;
+  plan.router_crash(Time::sec(20), "RouterD")
+      .router_restart(Time::sec(25), "RouterD");
+  ChaosEngine chaos(*h.f.world, plan);
+  chaos.arm();
+
+  const Address s = h.f.sender->mn->home_address();
+  h.f.world->run_until(Time::sec(21));
+  // Soft state is gone, node is down.
+  EXPECT_FALSE(h.f.d->node->up());
+  EXPECT_EQ(h.f.d->pim->entry_count(), 0u);
+  EXPECT_FALSE(h.f.d->pim->has_entry(s, Figure1::group()));
+  EXPECT_TRUE(h.f.d->mld->enabled_ifaces().empty());
+
+  h.f.world->run_until(Time::sec(60));
+  EXPECT_TRUE(chaos.all_audits_ok());
+  EXPECT_TRUE(h.f.d->node->up());
+  // Real re-convergence: the (S,G) entry and the Link4 listener are back,
+  // learned from scratch via flood + MLD startup queries.
+  EXPECT_TRUE(h.f.d->pim->has_entry(s, Figure1::group()));
+  auto recs = chaos.recoveries(*h.app);
+  ASSERT_EQ(recs.size(), 1u);
+  ASSERT_TRUE(recs[0].recovered_at.has_value());
+  // MLD startup query + report bound the re-join.
+  EXPECT_LT(*recs[0].recovered_at,
+            Time::sec(25) + h.f.world->config().mld.query_response_interval +
+                Time::sec(2));
+  EXPECT_GT(h.app->received_in(Time::sec(45), Time::sec(60)), 100u);
+}
+
+TEST(Chaos, RouterCrashReconvergesUnderRipng) {
+  WorldConfig config;
+  config.unicast = UnicastRouting::kRipng;
+  Harness h(39, config);
+  FaultPlan plan;
+  plan.router_crash(Time::sec(30), "RouterD")
+      .router_restart(Time::sec(35), "RouterD");
+  ChaosEngine chaos(*h.f.world, plan);
+  chaos.arm();
+  h.f.world->run_until(Time::sec(120));
+
+  EXPECT_TRUE(chaos.all_audits_ok());
+  // RIPng re-learns routes within its periodic update cycle; delivery must
+  // resume well before the horizon.
+  auto recs = chaos.recoveries(*h.app);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_TRUE(recs[0].recovered_at.has_value());
+  EXPECT_GT(h.app->received_in(Time::sec(80), Time::sec(120)), 100u);
+}
+
+TEST(Chaos, HostCrashRestartRejoinsThroughAttachmentPath) {
+  Harness h(41);
+  FaultPlan plan;
+  plan.host_crash(Time::sec(20), "Receiver3")
+      .host_restart(Time::sec(25), "Receiver3");
+  ChaosEngine chaos(*h.f.world, plan);
+  chaos.arm();
+
+  h.f.world->run_until(Time::sec(21));
+  EXPECT_FALSE(h.f.recv3->node->up());
+  EXPECT_FALSE(h.f.recv3->mld->joined(h.f.recv3->iface(), Figure1::group()));
+
+  h.f.world->run_until(Time::sec(45));
+  EXPECT_TRUE(chaos.all_audits_ok());
+  EXPECT_TRUE(h.f.recv3->node->up());
+  // The restart ran the ordinary attachment path: local membership is back.
+  EXPECT_TRUE(h.f.recv3->mld->joined(h.f.recv3->iface(), Figure1::group()));
+  EXPECT_EQ(h.app->received_in(Time::sec(21), Time::sec(25)), 0u);
+  EXPECT_GT(h.app->received_in(Time::sec(26), Time::sec(45)), 150u);
+}
+
+TEST(Chaos, HaOutageRecoveredByBindingRefresh) {
+  // Receiver3 roams to Link6 and receives only through the RouterD tunnel
+  // (approach 4). Killing the home agent black-holes the stream; the next
+  // Binding Update refresh after the restore re-registers the group list
+  // and delivery resumes — the recovery the paper's Section 4.3.2 relies on.
+  WorldConfig config;
+  config.mipv6.bu_refresh_interval = Time::sec(5);
+  StrategyOptions strategy;
+  strategy.strategy = McastStrategy::kTunnelHaToMh;
+  strategy.registration = HaRegistration::kGroupListBu;
+  Harness h(43, config, strategy);
+  h.f.world->scheduler().schedule_at(Time::sec(5), [&h] {
+    h.f.recv3->mn->move_to(*h.f.link6);
+  });
+  FaultPlan plan;
+  plan.ha_outage(Time::sec(20), "RouterD")
+      .ha_restore(Time::sec(30), "RouterD");
+  ChaosEngine chaos(*h.f.world, plan);
+  chaos.arm();
+  h.f.world->run_until(Time::sec(60));
+
+  EXPECT_TRUE(chaos.all_audits_ok());
+  // Tunnel delivery worked before the outage, died during it...
+  EXPECT_GT(h.app->received_in(Time::sec(10), Time::sec(20)), 50u);
+  EXPECT_EQ(h.app->received_in(Time::sec(21), Time::sec(30)), 0u);
+  // ...and came back within a couple of refresh intervals of the restore.
+  auto recs = chaos.recoveries(*h.app);
+  ASSERT_EQ(recs.size(), 1u);
+  ASSERT_TRUE(recs[0].recovered_at.has_value());
+  EXPECT_LT(*recs[0].recovered_at, Time::sec(45));
+  EXPECT_GT(h.app->received_in(Time::sec(45), Time::sec(60)), 100u);
+  EXPECT_GT(h.f.world->net().counters().get("ha/drop/disabled-bu"), 0u);
+}
+
+TEST(Chaos, DegradeWindowCountsLossAndCorruptionOnTheLink) {
+  Harness h(45);
+  FaultPlan plan;
+  plan.degrade(Time::sec(10), "Link4",
+               LinkImpairment{0.3, 0.2, Time::ms(2)})
+      .restore(Time::sec(30), "Link4");
+  ChaosEngine chaos(*h.f.world, plan);
+  chaos.arm();
+  // Snapshot just before the degrade window opens: the startup flood can
+  // legitimately double-deliver the first datagram (both RouterB and
+  // RouterC forward onto Link3 until the assert election resolves).
+  std::uint64_t dups_before = 0;
+  h.f.world->scheduler().schedule_at(Time::sec(10),
+                                     [&] { dups_before = h.app->duplicates(); });
+  h.f.world->run_until(Time::sec(40));
+
+  Link& l4 = h.f.world->net().link_by_name("Link4");
+  EXPECT_GT(l4.dropped_packets(), 0u);
+  EXPECT_GT(l4.corrupted_packets(), 0u);
+  EXPECT_FALSE(l4.impairment().any());  // restored
+  // Corrupted datagrams were rejected by the UDP checksum, never delivered
+  // to the app as extra data, and the stream survives the window.
+  EXPECT_EQ(h.app->duplicates(), dups_before);
+  EXPECT_GT(h.app->received_in(Time::sec(30), Time::sec(40)), 80u);
+  EXPECT_TRUE(chaos.all_audits_ok());
+}
+
+TEST(Chaos, ArmTwiceThrows) {
+  Harness h(47);
+  ChaosEngine chaos(*h.f.world, FaultPlan().link_down(Time::sec(1), "Link1"));
+  chaos.arm();
+  EXPECT_THROW(chaos.arm(), LogicError);
+}
+
+}  // namespace
+}  // namespace mip6

@@ -1,0 +1,95 @@
+// FaultPlan: builder ordering, trace format, and the seed-reproducibility
+// contract of random plan generation.
+#include <gtest/gtest.h>
+
+#include "fault/plan.hpp"
+#include "util/errors.hpp"
+
+namespace mip6 {
+namespace {
+
+TEST(FaultPlan, BuilderKeepsEventsAndSortsByTime) {
+  FaultPlan plan;
+  plan.link_up(Time::sec(30), "Link3")
+      .link_down(Time::sec(20), "Link3")
+      .router_crash(Time::sec(10), "RouterD");
+  ASSERT_EQ(plan.size(), 3u);
+  auto sorted = plan.sorted();
+  EXPECT_EQ(sorted[0].kind, FaultKind::kRouterCrash);
+  EXPECT_EQ(sorted[1].kind, FaultKind::kLinkDown);
+  EXPECT_EQ(sorted[2].kind, FaultKind::kLinkUp);
+  EXPECT_EQ(sorted[0].target, "RouterD");
+}
+
+TEST(FaultPlan, StableSortPreservesInsertionOrderAtEqualTimes) {
+  FaultPlan plan;
+  plan.ha_outage(Time::sec(5), "RouterA").link_down(Time::sec(5), "Link1");
+  auto sorted = plan.sorted();
+  EXPECT_EQ(sorted[0].kind, FaultKind::kHaOutage);
+  EXPECT_EQ(sorted[1].kind, FaultKind::kLinkDown);
+}
+
+TEST(FaultPlan, EventStrNamesKindTargetAndTime) {
+  FaultEvent e{Time::sec(12), FaultKind::kLinkDown, "Link3", {}};
+  EXPECT_EQ(e.str(), "12.000000000s link-down Link3");
+  FaultEvent d{Time::ms(500), FaultKind::kLinkDegrade, "Link1",
+               LinkImpairment{0.5, 0.0, Time::zero()}};
+  EXPECT_NE(d.str().find("link-degrade Link1"), std::string::npos);
+  EXPECT_NE(d.str().find("loss=0.5"), std::string::npos);
+}
+
+RandomPlanSpec fig1_spec() {
+  RandomPlanSpec spec;
+  spec.start = Time::sec(5);
+  spec.end = Time::sec(60);
+  spec.disruptions = 6;
+  spec.min_outage = Time::sec(1);
+  spec.max_outage = Time::sec(8);
+  spec.links = {"Link1", "Link2", "Link3", "Link4"};
+  spec.routers = {"RouterB", "RouterC"};
+  spec.hosts = {"Receiver3"};
+  spec.home_agents = {"RouterD"};
+  return spec;
+}
+
+TEST(FaultPlanRandom, SameSeedSamePlanBitForBit) {
+  RandomPlanSpec spec = fig1_spec();
+  FaultPlan a = FaultPlan::random(spec, 42);
+  FaultPlan b = FaultPlan::random(spec, 42);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_FALSE(a.str().empty());
+}
+
+TEST(FaultPlanRandom, DifferentSeedsDiverge) {
+  RandomPlanSpec spec = fig1_spec();
+  EXPECT_NE(FaultPlan::random(spec, 1).str(),
+            FaultPlan::random(spec, 2).str());
+}
+
+TEST(FaultPlanRandom, EveryDisruptionIsPairedAndInsideTheWindow) {
+  RandomPlanSpec spec = fig1_spec();
+  FaultPlan plan = FaultPlan::random(spec, 7);
+  ASSERT_EQ(plan.size(), static_cast<std::size_t>(spec.disruptions) * 2);
+  const auto& events = plan.events();
+  for (std::size_t i = 0; i < events.size(); i += 2) {
+    const FaultEvent& fault = events[i];
+    const FaultEvent& repair = events[i + 1];
+    EXPECT_TRUE(is_disruption(fault.kind)) << fault.str();
+    EXPECT_FALSE(is_disruption(repair.kind)) << repair.str();
+    EXPECT_EQ(fault.target, repair.target);
+    EXPECT_GE(fault.at, spec.start);
+    EXPECT_LE(repair.at, spec.end);
+    EXPECT_GT(repair.at, fault.at);
+  }
+}
+
+TEST(FaultPlanRandom, RejectsEmptySpecs) {
+  RandomPlanSpec empty;
+  EXPECT_THROW(FaultPlan::random(empty, 1), LogicError);
+  RandomPlanSpec inverted = fig1_spec();
+  inverted.end = inverted.start;
+  EXPECT_THROW(FaultPlan::random(inverted, 1), LogicError);
+}
+
+}  // namespace
+}  // namespace mip6
