@@ -4,6 +4,7 @@
 // and pruning, the tree must cover Links 1-4 and exclude Links 5 and 6,
 // with a single elected forwarder on the B/C parallel segment.
 #include "common.hpp"
+#include "report.hpp"
 
 using namespace mip6;
 using namespace mip6::bench;
@@ -12,13 +13,33 @@ int main() {
   header("FIG1: initial multicast distribution tree",
          "Fig. 1 topology, S streaming 10 dgram/s, all receivers at home");
 
-  Fig1Harness h;
-  h.subscribe_all();
-  h.metrics->update_reference_tree(
-      h.f.link1->id(),
-      {h.f.link1->id(), h.f.link2->id(), h.f.link4->id()});
-  h.source->start(Time::sec(1));
-  h.world().run_until(Time::sec(120));
+  // The 120 s horizon executes in ~15 ms of wall clock — far too short for
+  // one timing to mean anything. Repeat the whole run and report the best
+  // rep: min-of-N is the standard estimator for the noise-free cost.
+  const int reps = smoke_mode() ? 1 : 9;
+  double wall = 0.0;
+  double best_ns = 0.0;
+  std::unique_ptr<Fig1Harness> kept;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto h = std::make_unique<Fig1Harness>();
+    h->subscribe_all();
+    h->metrics->update_reference_tree(
+        h->f.link1->id(),
+        {h->f.link1->id(), h->f.link2->id(), h->f.link4->id()});
+    h->source->start(Time::sec(1));
+    WallTimer timer;
+    h->world().run_until(Time::sec(120));
+    double rep_wall = timer.elapsed_s();
+    double events =
+        static_cast<double>(h->world().scheduler().executed_events());
+    double ns = events > 0 ? rep_wall * 1e9 / events : 0.0;
+    if (rep == 0 || ns < best_ns) {
+      best_ns = ns;
+      wall = rep_wall;
+    }
+    kept = std::move(h);
+  }
+  Fig1Harness& h = *kept;
 
   const Address s = h.f.sender->mn->home_address();
   Table trees({"router", "(S,G) entry", "incoming link", "forwards onto"});
@@ -62,6 +83,19 @@ int main() {
               "elected)\n\n",
               static_cast<unsigned long long>(
                   h.counters().get("pimdm/tx/assert")));
+  BenchReport report("fig1_tree");
+  report.record_run(wall,
+                    static_cast<double>(
+                        h.world().scheduler().executed_events()));
+  report.metric("reps", reps);
+  report.metric("packets_forwarded",
+                static_cast<double>(h.counters().get("pimdm/data-fwd")));
+  report.metric("delivered",
+                static_cast<double>(h.app1->unique_received() +
+                                    h.app2->unique_received() +
+                                    h.app3->unique_received()));
+  report.write();
+
   paper_note(
       "the loop-free tree connects S to all members over Links 1-4; "
       "Links 5 and 6 carry no group data (Fig. 1 shading); duplicate "

@@ -1,0 +1,182 @@
+// SCALE — hot-path throughput sweep over topology size × group count ×
+// receiver mobility rate on seeded random topologies. This is the bench the
+// perf trajectory is judged against: every cell records wall time and
+// executed scheduler events per replication, and the headline ns/event //
+// events/s aggregate lands in BENCH_scale.json (schema in docs/PERF.md).
+// The sweep axes mirror the scaling studies of the related literature
+// (Helmy cs/0006022; Schmidt & Wählisch cs/0408009): credible mobility
+// numbers need topology size and handover rate swept together.
+#include "common.hpp"
+#include "core/random_topology.hpp"
+#include "report.hpp"
+#include "runner/parallel.hpp"
+
+using namespace mip6;
+using namespace mip6::bench;
+
+namespace {
+
+struct Cell {
+  std::size_t routers;
+  std::size_t groups;
+  int dwell_s;  // 0 = static receivers
+};
+
+ReplicationResult run_cell(std::uint64_t seed, const Cell& cell,
+                           Time horizon) {
+  RandomTopologyParams params;
+  params.routers = cell.routers;
+  params.extra_links = cell.routers / 4;
+  params.seed = seed;
+  RandomTopology topo = build_random_topology(params);
+  World& world = *topo.world;
+
+  struct GroupEnv {
+    Address group;
+    HostEnv* sender = nullptr;
+    std::vector<HostEnv*> receivers;
+    std::unique_ptr<CbrSource> source;
+    std::vector<std::unique_ptr<GroupReceiverApp>> apps;
+    std::vector<std::unique_ptr<RandomMover>> movers;
+  };
+  std::vector<GroupEnv> envs(cell.groups);
+
+  const std::size_t n = topo.stub_links.size();
+  for (std::size_t g = 0; g < cell.groups; ++g) {
+    GroupEnv& env = envs[g];
+    env.group = Address::parse("ff1e::" + std::to_string(0x100 + g));
+    env.sender = &world.add_host("S" + std::to_string(g),
+                                 *topo.stub_links[g % n]);
+    // Two receivers per group, spread over the stubs.
+    for (std::size_t r = 0; r < 2; ++r) {
+      env.receivers.push_back(&world.add_host(
+          "R" + std::to_string(g) + "_" + std::to_string(r),
+          *topo.stub_links[(g + 1 + r * (n / 2 + 1)) % n]));
+    }
+  }
+  world.finalize();
+
+  for (GroupEnv& env : envs) {
+    for (HostEnv* r : env.receivers) {
+      env.apps.push_back(std::make_unique<GroupReceiverApp>(*r->stack, kPort));
+      r->service->subscribe(env.group);
+      if (cell.dwell_s > 0) {
+        std::vector<Link*> roam(topo.stub_links.begin(),
+                                topo.stub_links.end());
+        auto mover = std::make_unique<RandomMover>(
+            *r->mn, world.net().rng(), roam, Time::sec(cell.dwell_s));
+        mover->start(Time::sec(5));
+        env.movers.push_back(std::move(mover));
+      }
+    }
+    env.source = std::make_unique<CbrSource>(
+        world.scheduler(),
+        [&world, &env](Bytes p) {
+          env.sender->service->send_multicast(env.group, kPort, kPort,
+                                              std::move(p));
+        },
+        Time::ms(50), 128);
+    env.source->start(Time::sec(1));
+  }
+
+  WallTimer timer;
+  world.run_until(horizon);
+  double wall = timer.elapsed_s();
+
+  auto& c = world.net().counters();
+  std::uint64_t delivered = 0;
+  for (const GroupEnv& env : envs) {
+    for (const auto& app : env.apps) delivered += app->unique_received();
+  }
+  ReplicationResult r;
+  r["wall_s"] = wall;
+  r["events"] = static_cast<double>(world.scheduler().executed_events());
+  r["data_fwd"] = static_cast<double>(c.get("pimdm/data-fwd"));
+  r["unicast_fwd"] = static_cast<double>(c.get("ipv6/fwd"));
+  r["delivered"] = static_cast<double>(delivered);
+  r["pending_at_end"] =
+      static_cast<double>(world.scheduler().pending_events());
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = smoke_mode();
+  std::size_t reps = argc > 1 ? std::strtoul(argv[1], nullptr, 10)
+                              : (smoke ? 2 : 4);
+  const Time horizon = smoke ? Time::sec(30) : Time::sec(120);
+
+  header("SCALE: event/packet hot-path throughput sweep",
+         smoke ? "smoke mode: 8 routers, 1-2 groups, 30 s horizon"
+               : "routers x groups x receiver dwell; 20 dgram/s per group, "
+                 "120 s horizon");
+
+  std::vector<Cell> cells;
+  if (smoke) {
+    cells = {{8, 1, 0}, {8, 2, 30}};
+  } else {
+    for (std::size_t routers : {8, 16, 32}) {
+      for (std::size_t groups : {std::size_t{1}, std::size_t{4}}) {
+        for (int dwell : {0, 30}) cells.push_back({routers, groups, dwell});
+      }
+    }
+  }
+
+  BenchReport report("scale");
+  Table t({"routers", "groups", "dwell", "events/rep", "Mev/s", "ns/event",
+           "data fwd", "delivered", "pending@end"});
+  double total_wall = 0.0, total_events = 0.0, total_fwd = 0.0;
+  for (const Cell& cell : cells) {
+    ReplicationOptions opts;
+    opts.replications = reps;
+    opts.base_seed = 4242;
+    // Serial on purpose: parallel replications would share cores and
+    // poison each other's wall-clock (the quantity under test).
+    opts.threads = 1;
+    auto m = run_replications(opts, [&](std::uint64_t seed) {
+      return run_cell(seed, cell, horizon);
+    });
+    double wall = m.at("wall_s").mean() * static_cast<double>(reps);
+    double events = m.at("events").mean() * static_cast<double>(reps);
+    double fwd = m.at("data_fwd").mean() * static_cast<double>(reps) +
+                 m.at("unicast_fwd").mean() * static_cast<double>(reps);
+    total_wall += wall;
+    total_events += events;
+    total_fwd += fwd;
+    double ns_per_event = events > 0 ? wall * 1e9 / events : 0.0;
+    t.add_row({std::to_string(cell.routers), std::to_string(cell.groups),
+               cell.dwell_s == 0 ? "static" : std::to_string(cell.dwell_s) +
+                                                  " s",
+               fmt_double(m.at("events").mean(), 0),
+               fmt_double(events / wall / 1e6, 2),
+               fmt_double(ns_per_event, 0),
+               fmt_double(m.at("data_fwd").mean(), 0),
+               fmt_double(m.at("delivered").mean(), 0),
+               fmt_double(m.at("pending_at_end").mean(), 0)});
+    Json row = Json::object();
+    row.set("routers", static_cast<double>(cell.routers));
+    row.set("groups", static_cast<double>(cell.groups));
+    row.set("dwell_s", cell.dwell_s);
+    row.set("events", m.at("events").mean());
+    row.set("ns_per_event", ns_per_event);
+    row.set("data_fwd", m.at("data_fwd").mean());
+    row.set("delivered", m.at("delivered").mean());
+    row.set("pending_at_end", m.at("pending_at_end").mean());
+    report.add_row(std::move(row));
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  report.record_run(total_wall, total_events);
+  report.metric("packets_forwarded", total_fwd);
+  report.metric("replications", static_cast<double>(reps));
+  report.write();
+
+  paper_note(
+      "not a paper figure: this is the simulator's own scaling envelope. "
+      "Sweeping topology size and handover rate at once is what made the "
+      "related scaling studies credible (cs/0006022, cs/0408009); the "
+      "ns/event trajectory recorded here bounds how far the Figure 1-4 "
+      "scenarios can be swept.");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Machine-readable bench reports.
+//
+// Every bench that participates in the perf trajectory writes a
+// BENCH_<name>.json next to its stdout tables (schema "mip6-bench-v1",
+// documented in docs/PERF.md). The trajectory is the point: the JSON from
+// the commit before a perf PR is the baseline the PR's numbers are judged
+// against, and bench-smoke CI validates that every report stays
+// well-formed.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "util/json.hpp"
+
+namespace mip6::bench {
+
+/// Peak resident set size of this process in bytes (0 where unsupported).
+inline double peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    // Linux reports KiB, macOS bytes; normalize to bytes.
+#if defined(__APPLE__)
+    return static_cast<double>(ru.ru_maxrss);
+#else
+    return static_cast<double>(ru.ru_maxrss) * 1024.0;
+#endif
+  }
+#endif
+  return 0.0;
+}
+
+/// Wall-clock stopwatch for ns/event accounting around scheduler runs.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {
+    doc_ = Json::object();
+    doc_.set("schema", "mip6-bench-v1");
+    doc_.set("name", name_);
+    doc_.set("metrics", Json::object());
+    doc_.set("rows", Json::array());
+  }
+
+  void metric(const std::string& key, double value) {
+    metrics_.push_back({key, value});
+  }
+
+  /// Records a sweep point (arbitrary key/value object).
+  void add_row(Json row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience: derives ns/event + events/s from a timed scheduler run
+  /// and folds it into the headline metrics.
+  void record_run(double wall_s, double events) {
+    metric("wall_s", wall_s);
+    metric("events", events);
+    metric("ns_per_event", events > 0 ? wall_s * 1e9 / events : 0.0);
+    metric("events_per_s", wall_s > 0 ? events / wall_s : 0.0);
+  }
+
+  /// Writes BENCH_<name>.json into the current directory (or $MIP6_BENCH_DIR
+  /// if set) and echoes the headline metrics to stdout.
+  void write() {
+    Json metrics = Json::object();
+    for (const auto& [k, v] : metrics_) metrics.set(k, v);
+    metrics.set("peak_rss_bytes", peak_rss_bytes());
+    doc_.set("metrics", std::move(metrics));
+    Json rows = Json::array();
+    for (auto& r : rows_) rows.push_back(std::move(r));
+    doc_.set("rows", std::move(rows));
+
+    std::string dir = ".";
+    if (const char* env = std::getenv("MIP6_BENCH_DIR")) dir = env;
+    std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::string text = doc_.dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("# report: %s\n", path.c_str());
+    for (const auto& [k, v] : metrics_) {
+      std::printf("#   %s = %g\n", k.c_str(), v);
+    }
+  }
+
+ private:
+  std::string name_;
+  Json doc_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<Json> rows_;
+};
+
+/// True when the bench should shrink to a few iterations (CI smoke runs).
+inline bool smoke_mode() { return std::getenv("MIP6_BENCH_SMOKE") != nullptr; }
+
+}  // namespace mip6::bench

@@ -1,0 +1,89 @@
+// Validates BENCH_*.json reports against the mip6-bench-v1 schema
+// (docs/PERF.md). Run by the bench-smoke ctest label after each reporting
+// bench so the perf tooling cannot silently rot: a bench that stops writing
+// its report, or writes a malformed one, fails CI instead of dropping out
+// of the trajectory unnoticed.
+//
+// Usage: validate_bench_json FILE...
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace {
+
+bool fail(const std::string& file, const std::string& why) {
+  std::fprintf(stderr, "%s: %s\n", file.c_str(), why.c_str());
+  return false;
+}
+
+bool require_number(const mip6::Json& metrics, const std::string& file,
+                    const char* key) {
+  if (!metrics.contains(key)) {
+    return fail(file, std::string("metrics missing \"") + key + "\"");
+  }
+  if (!metrics[key].is_number()) {
+    return fail(file, std::string("metrics[\"") + key + "\"] not a number");
+  }
+  return true;
+}
+
+bool validate(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) return fail(file, "cannot open");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  mip6::Json doc;
+  try {
+    doc = mip6::Json::parse(buf.str());
+  } catch (const std::exception& e) {
+    return fail(file, std::string("parse error: ") + e.what());
+  }
+
+  if (!doc.is_object()) return fail(file, "top level is not an object");
+  if (!doc.contains("schema") || !doc["schema"].is_string() ||
+      doc["schema"].as_string() != "mip6-bench-v1") {
+    return fail(file, "schema != \"mip6-bench-v1\"");
+  }
+  if (!doc.contains("name") || !doc["name"].is_string() ||
+      doc["name"].as_string().empty()) {
+    return fail(file, "missing non-empty \"name\"");
+  }
+  if (!doc.contains("metrics") || !doc["metrics"].is_object()) {
+    return fail(file, "missing \"metrics\" object");
+  }
+  const mip6::Json& metrics = doc["metrics"];
+  for (const char* key :
+       {"wall_s", "events", "ns_per_event", "events_per_s",
+        "peak_rss_bytes"}) {
+    if (!require_number(metrics, file, key)) return false;
+  }
+  if (metrics["ns_per_event"].as_number() < 0.0) {
+    return fail(file, "ns_per_event negative");
+  }
+  if (!doc.contains("rows") || !doc["rows"].is_array()) {
+    return fail(file, "missing \"rows\" array");
+  }
+  for (const mip6::Json& row : doc["rows"].items()) {
+    if (!row.is_object()) return fail(file, "row is not an object");
+  }
+  std::printf("%s: ok (%s, %zu rows, %.0f ns/event)\n", file.c_str(),
+              doc["name"].as_string().c_str(), doc["rows"].size(),
+              metrics["ns_per_event"].as_number());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH_*.json...\n", argv[0]);
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) ok = validate(argv[i]) && ok;
+  return ok ? 0 : 1;
+}

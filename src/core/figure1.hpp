@@ -41,7 +41,10 @@ struct Figure1 {
   HostEnv* recv3 = nullptr;
 
   /// The multicast group G used throughout (global scope).
-  static Address group() { return Address::parse("ff1e::1"); }
+  static Address group() {
+    static const Address kGroup = Address::parse("ff1e::1");
+    return kGroup;
+  }
   static constexpr std::uint16_t kDataPort = 9000;
 
   Link& link(int n) const;

@@ -86,10 +86,24 @@ Address Address::from_prefix_iid(const Address& prefix_bits,
   return a;
 }
 
-Address Address::all_nodes() { return parse("ff02::1"); }
-Address Address::all_routers() { return parse("ff02::2"); }
-Address Address::all_pim_routers() { return parse("ff02::d"); }
-Address Address::loopback() { return parse("::1"); }
+// Parsed once: these sit on per-packet paths (e.g. the local-delivery check
+// against ff02::1), where re-parsing the literal showed up in profiles.
+Address Address::all_nodes() {
+  static const Address kAddr = parse("ff02::1");
+  return kAddr;
+}
+Address Address::all_routers() {
+  static const Address kAddr = parse("ff02::2");
+  return kAddr;
+}
+Address Address::all_pim_routers() {
+  static const Address kAddr = parse("ff02::d");
+  return kAddr;
+}
+Address Address::loopback() {
+  static const Address kAddr = parse("::1");
+  return kAddr;
+}
 
 bool Address::is_unspecified() const {
   for (auto b : b_) {

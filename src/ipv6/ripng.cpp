@@ -8,7 +8,10 @@ constexpr std::uint8_t kVersion = 1;
 
 }  // namespace
 
-Address ripng_group() { return Address::parse("ff02::9"); }
+Address ripng_group() {
+  static const Address kAddr = Address::parse("ff02::9");
+  return kAddr;
+}
 
 Bytes ripng_response_payload(const std::vector<RipngRte>& rtes) {
   BufferWriter w(4 + rtes.size() * 20);

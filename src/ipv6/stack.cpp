@@ -7,7 +7,8 @@
 namespace mip6 {
 
 Ipv6Stack::Ipv6Stack(Node& node, AddressingPlan& plan, bool forwarding)
-    : node_(&node), plan_(&plan), forwarding_(forwarding) {
+    : node_(&node), plan_(&plan), forwarding_(forwarding),
+      c_fwd_(&node.network().counters().counter("ipv6/fwd")) {
   for (const auto& iface : node.interfaces()) register_iface(*iface);
 }
 
@@ -307,38 +308,66 @@ void Ipv6Stack::deliver_local(const ParsedDatagram& d, const Packet& pkt,
 }
 
 void Ipv6Stack::forward_unicast(const ParsedDatagram& d, const Packet& pkt) {
-  Bytes data = pkt.data();
-  if (!decrement_hop_limit(data)) {
-    count("ipv6/fwd-drop/hop-limit");
-    return;
-  }
-  Packet fwd = pkt;
-  fwd.set_data(std::move(data));
+  // Route first: a routing miss must not burn a pooled buffer copy.
   const Route* route = rib_.lookup(d.hdr.dst);
   if (route == nullptr) {
     count("ipv6/fwd-drop/no-route");
     return;
   }
-  count("ipv6/fwd");
+  Packet fwd = pkt;
+  if (!rewrite_decremented(fwd)) {
+    count("ipv6/fwd-drop/hop-limit");
+    return;
+  }
+  ++*c_fwd_;
   const Address& target = route->on_link() ? d.hdr.dst : route->next_hop;
   transmit_unicast_on(route->out_iface, target, fwd);
 }
 
+bool Ipv6Stack::rewrite_decremented(Packet& pkt) {
+  auto buf = network().buffer_pool().checkout_copy(pkt.data());
+  if (!decrement_hop_limit(*buf)) return false;
+  pkt.set_buffer(std::move(buf));
+  return true;
+}
+
 bool Ipv6Stack::forward_out(const Packet& pkt, IfaceId out_iface) {
-  Bytes data = pkt.data();
-  if (!decrement_hop_limit(data)) {
-    count("ipv6/fwd-drop/hop-limit");
-    return false;
-  }
   Interface* i = iface_ptr(out_iface);
   if (!i->attached()) {
     count("ipv6/tx-drop/detached");
     return false;
   }
   Packet fwd = pkt;
-  fwd.set_data(std::move(data));
+  if (!rewrite_decremented(fwd)) {
+    count("ipv6/fwd-drop/hop-limit");
+    return false;
+  }
   i->send(fwd);
   return true;
+}
+
+std::size_t Ipv6Stack::forward_out_many(const Packet& pkt,
+                                        const std::vector<IfaceId>& oifs) {
+  if (oifs.empty()) return 0;
+  // One decremented copy shared by every outgoing replica: each interface's
+  // transmit only bumps the buffer's reference count. The per-oif copy the
+  // naive loop made was the hottest allocation in multicast-heavy runs.
+  Packet fwd = pkt;
+  if (!rewrite_decremented(fwd)) {
+    count("ipv6/fwd-drop/hop-limit");
+    return 0;
+  }
+  std::size_t sent = 0;
+  for (IfaceId oif : oifs) {
+    Interface* i = iface_ptr(oif);
+    if (!i->attached()) {
+      count("ipv6/tx-drop/detached");
+      continue;
+    }
+    i->send(fwd);
+    ++sent;
+  }
+  return sent;
 }
 
 void Ipv6Stack::count(const std::string& name, std::uint64_t delta) const {

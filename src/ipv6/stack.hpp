@@ -115,6 +115,13 @@ class Ipv6Stack {
   /// the hop limit ran out or the interface is detached.
   bool forward_out(const Packet& pkt, IfaceId out_iface);
 
+  /// Fan-out variant: decrements the hop limit ONCE and shares the same
+  /// rewritten buffer across every outgoing interface, so replicating to N
+  /// links costs one buffer copy instead of N. Returns the number of
+  /// interfaces actually transmitted on (detached ones are skipped).
+  std::size_t forward_out_many(const Packet& pkt,
+                               const std::vector<IfaceId>& oifs);
+
   // --- Home-agent intercept (proxy for away-from-home addresses) -------
   void add_intercept(const Address& home_addr);
   void remove_intercept(const Address& home_addr);
@@ -134,6 +141,9 @@ class Ipv6Stack {
   void deliver_local(const ParsedDatagram& d, const Packet& pkt,
                      IfaceId iface);
   void forward_unicast(const ParsedDatagram& d, const Packet& pkt);
+  /// Installs a pooled, hop-limit-decremented copy of pkt's octets into
+  /// `pkt`; false (pkt untouched semantically) when the hop limit ran out.
+  bool rewrite_decremented(Packet& pkt);
   bool transmit_unicast_on(IfaceId iface, const Address& l2_target,
                            const Packet& pkt);
   Interface* iface_ptr(IfaceId id) const;
@@ -142,6 +152,9 @@ class Ipv6Stack {
   Node* node_;
   AddressingPlan* plan_;
   bool forwarding_;
+  /// Cell for the per-packet "ipv6/fwd" counter, resolved once (the string
+  /// lookup per forwarded datagram showed up in profiles).
+  std::uint64_t* c_fwd_;
   bool mcast_promiscuous_ = false;
 
   std::map<IfaceId, std::vector<AddrEntry>> addrs_;

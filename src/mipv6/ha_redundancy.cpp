@@ -11,7 +11,10 @@ constexpr std::uint8_t kDelete = 3;
 
 }  // namespace
 
-Address ha_sync_group() { return Address::parse("ff02::6a"); }
+Address ha_sync_group() {
+  static const Address kAddr = Address::parse("ff02::6a");
+  return kAddr;
+}
 
 HaRedundancy::HaRedundancy(Ipv6Stack& stack, HomeAgent& ha, UdpDemux& udp,
                            IfaceId home_iface, Address identity,

@@ -10,7 +10,8 @@ namespace mip6 {
 
 HomeAgent::HomeAgent(Ipv6Stack& stack, Mipv6Config config,
                      MembershipBackend backend)
-    : stack_(&stack), config_(config), backend_(std::move(backend)),
+    : stack_(&stack), component_("ha/" + stack.node().name()),
+      config_(config), backend_(std::move(backend)),
       cache_(stack.scheduler()) {
   stack.set_option_handler(
       opt::kBindingUpdate,
@@ -61,9 +62,14 @@ void HomeAgent::on_binding_update(const BindingUpdateOption& bu,
   const Address home = d.effective_src;
   const Address care_of = d.hdr.src;
   count("ha/rx/bu");
+  trace_event("rx-bu", [&] {
+    return "home=" + home.str() + " coa=" + care_of.str() + " lifetime=" +
+           std::to_string(bu.lifetime_s);
+  });
 
   if (bu.lifetime_s == 0 || care_of == home) {
     // Deregistration (mobile node returned home).
+    trace_event("dereg", [&] { return "home=" + home.str(); });
     BindingCache::Entry* old = cache_.find(home);
     if (old != nullptr && on_binding_change_) on_binding_change_(*old, true);
     set_binding_groups(home, {});
@@ -132,6 +138,8 @@ void HomeAgent::drop_binding(const Address& home) {
 
 void HomeAgent::on_binding_expired(const BindingCache::Entry& expired) {
   count("ha/binding-expired");
+  trace_event("binding-expired",
+              [&] { return "home=" + expired.home.str(); });
   const Address& home = expired.home;
   stack_->remove_intercept(home);
   // Give up multicast representation for this MN: both the BU-registered
@@ -219,6 +227,10 @@ void HomeAgent::on_intercepted(const ParsedDatagram& d, const Packet& pkt) {
     return;
   }
   count("ha/encap-unicast");
+  trace_event("intercept", [&] {
+    return "home=" + e->home.str() + " coa=" + e->care_of.str() + " bytes=" +
+           std::to_string(pkt.size());
+  });
   tunnel_to(e->home, e->care_of, pkt.view());
 }
 
@@ -232,6 +244,10 @@ void HomeAgent::on_group_delivery(const ParsedDatagram& d, const Packet& pkt) {
     bool in_tunnel_mld = tunnel_memberships_.contains({e->home, group});
     if (!in_bu_list && !in_tunnel_mld) continue;
     count("ha/encap-multicast");
+    trace_event("tunnel-multicast", [&] {
+      return "group=" + group.str() + " home=" + e->home.str() + " coa=" +
+             e->care_of.str();
+    });
     tunnel_to(e->home, e->care_of, pkt.view());
   }
 }
@@ -251,6 +267,9 @@ void HomeAgent::on_tunneled(const ParsedDatagram& outer, IfaceId iface) {
   }
   count("ha/decap");
   ParsedDatagram in = parse_datagram(inner);
+  trace_event("decap", [&] {
+    return "src=" + in.hdr.src.str() + " dst=" + in.hdr.dst.str();
+  });
 
   // MLD Report through the tunnel (tunnel-as-interface variant): the MN
   // maintains its home-link group membership via the tunnel.
@@ -262,6 +281,9 @@ void HomeAgent::on_tunneled(const ParsedDatagram& outer, IfaceId iface) {
         MldMessage rep = MldMessage::from_icmpv6(icmp);
         register_tunnel_membership(in.hdr.src, rep.group);
         count("ha/rx/tunneled-mld-report");
+        trace_event("tunneled-mld-report", [&] {
+          return "home=" + in.hdr.src.str() + " group=" + rep.group.str();
+        });
         // Also place the Report on the home link so an MLD querier other
         // than ourselves learns the membership.
         if (auto hi = iface_for_home(in.hdr.src)) {

@@ -101,8 +101,16 @@ class HomeAgent {
   /// address.
   std::optional<IfaceId> iface_for_home(const Address& home) const;
   void count(const std::string& name, std::uint64_t delta = 1);
+  /// Lazy protocol-event trace; `detail_fn` only runs when a sink is
+  /// installed, so this is free in benches.
+  template <typename DetailFn>
+  void trace_event(const char* event, DetailFn&& detail_fn) const {
+    stack_->network().trace().emit(stack_->network().now(), component_, event,
+                                   std::forward<DetailFn>(detail_fn));
+  }
 
   Ipv6Stack* stack_;
+  std::string component_;  // "ha/<node>", cached for trace records
   Mipv6Config config_;
   MembershipBackend backend_;
   BindingCache cache_;

@@ -6,7 +6,8 @@ namespace mip6 {
 
 MldRouter::MldRouter(Ipv6Stack& stack, Icmpv6Dispatcher& dispatch,
                      MldConfig config)
-    : stack_(&stack), config_(config) {
+    : stack_(&stack), component_("mld/" + stack.node().name()),
+      config_(config) {
   // Routers must hear Reports addressed to arbitrary group addresses.
   stack.set_mcast_promiscuous(true);
   auto handler = [this](const Icmpv6Message& msg, const ParsedDatagram& d,
@@ -37,6 +38,8 @@ void MldRouter::enable_iface(IfaceId iface) {
         IfaceState& s = state(iface);
         s.querier = true;
         count("mld/querier-elected");
+        trace_event("querier-elected",
+                    [&] { return "iface=" + std::to_string(iface); });
         send_general_query(iface);
       });
   // First startup query goes out immediately.
@@ -154,6 +157,11 @@ void MldRouter::send_query(IfaceId iface, const Address& group,
   spec.payload = q.to_icmpv6().serialize(spec.src, spec.dst);
   stack_->send_on_iface(iface, spec);
   count("mld/tx/query");
+  trace_event("tx-query", [&] {
+    return "iface=" + std::to_string(iface) +
+           (group.is_unspecified() ? std::string(" general")
+                                   : " group=" + group.str());
+  });
   stack_->network().counters().add("mld/tx-bytes",
                                    MldMessage::kDatagramSize);
 }
@@ -181,7 +189,12 @@ void MldRouter::on_query(const MldMessage& msg, const ParsedDatagram& d,
   IfaceState& st = state(iface);
   Address mine = stack_->link_local_address(iface);
   if (d.hdr.src < mine) {
-    if (st.querier) count("mld/querier-resigned");
+    if (st.querier) {
+      count("mld/querier-resigned");
+      trace_event("querier-resigned", [&] {
+        return "iface=" + std::to_string(iface) + " to=" + d.hdr.src.str();
+      });
+    }
     st.querier = false;
     st.query_timer->cancel();
     st.other_querier_timer->arm(config_.other_querier_present_interval());
@@ -200,6 +213,9 @@ void MldRouter::on_report(const MldMessage& msg, IfaceId iface) {
     st.timer->arm(config_.multicast_listener_interval());
     listeners_.emplace(key, std::move(st));
     count("mld/listener-added");
+    trace_event("listener-added", [&] {
+      return "iface=" + std::to_string(iface) + " group=" + msg.group.str();
+    });
     note_churn(iface);
     if (group_cb_) group_cb_(iface, msg.group, true);
   } else {
@@ -209,6 +225,9 @@ void MldRouter::on_report(const MldMessage& msg, IfaceId iface) {
 
 void MldRouter::on_done(const MldMessage& msg, IfaceId iface) {
   count("mld/rx/done");
+  trace_event("rx-done", [&] {
+    return "iface=" + std::to_string(iface) + " group=" + msg.group.str();
+  });
   auto key = std::make_pair(iface, msg.group);
   auto it = listeners_.find(key);
   if (it == listeners_.end()) return;
@@ -225,6 +244,9 @@ void MldRouter::on_done(const MldMessage& msg, IfaceId iface) {
 void MldRouter::expire_listener(IfaceId iface, const Address& group) {
   listeners_.erase({iface, group});
   count("mld/listener-expired");
+  trace_event("listener-expired", [&] {
+    return "iface=" + std::to_string(iface) + " group=" + group.str();
+  });
   note_churn(iface);
   if (group_cb_) group_cb_(iface, group, false);
 }

@@ -14,6 +14,8 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "ipv6/icmpv6_dispatch.hpp"
@@ -83,8 +85,16 @@ class MldRouter {
   void note_churn(IfaceId iface);
   IfaceState& state(IfaceId iface);
   void count(const std::string& name);
+  /// Lazy protocol-event trace; `detail_fn` only runs when a sink is
+  /// installed, so this is free in benches.
+  template <typename DetailFn>
+  void trace_event(const char* event, DetailFn&& detail_fn) const {
+    stack_->network().trace().emit(stack_->network().now(), component_, event,
+                                   std::forward<DetailFn>(detail_fn));
+  }
 
   Ipv6Stack* stack_;
+  std::string component_;  // "mld/<node>", cached for trace records
   MldConfig config_;
   GroupCallback group_cb_;
   std::map<IfaceId, IfaceState> ifaces_;

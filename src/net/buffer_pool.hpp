@@ -1,0 +1,71 @@
+// Recycling pool for packet byte buffers.
+//
+// Forwarding a datagram needs a mutated copy of its octets (hop-limit
+// decrement), and with tens of routers relaying CBR streams that is the
+// single biggest source of allocator traffic in a run. The pool keeps a
+// bounded set of strong buffer references; a slot whose reference count has
+// dropped back to 1 (every Packet that shared it is gone) is handed out
+// again with its heap capacity intact, so the steady-state forwarding path
+// does vector::assign into recycled storage instead of malloc/free per hop.
+//
+// Consumers receive shared_ptr<Bytes> but typically store it as a Packet's
+// shared_ptr<const Bytes>: the pool keeps the only mutable handle, and it
+// only mutates (clears) a buffer after proving no one else holds it. There
+// is no custom deleter — slots are plain strong references — so pool
+// lifetime is decoupled from buffer lifetime and destruction order between
+// the pool, the scheduler, and in-flight packets cannot dangle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/buffer.hpp"
+
+namespace mip6 {
+
+class BufferPool {
+ public:
+  /// Upper bound on retained slots; beyond it checkout() falls back to plain
+  /// allocation (the buffer is simply never recycled). Sized to absorb the
+  /// in-flight packet population of the largest bench topologies.
+  static constexpr std::size_t kMaxSlots = 256;
+
+  /// Returns an empty buffer, reusing a retired slot's capacity when one is
+  /// available.
+  std::shared_ptr<Bytes> checkout() {
+    const std::size_t n = slots_.size();
+    for (std::size_t probe = 0; probe < n; ++probe) {
+      std::size_t i = cursor_;
+      cursor_ = (cursor_ + 1 == n) ? 0 : cursor_ + 1;
+      if (slots_[i].use_count() == 1) {
+        ++reused_;
+        slots_[i]->clear();
+        return slots_[i];
+      }
+    }
+    ++fresh_;
+    auto buf = std::make_shared<Bytes>();
+    if (slots_.size() < kMaxSlots) slots_.push_back(buf);
+    return buf;
+  }
+
+  /// Checkout pre-filled with a copy of `src` (the common forward-path use).
+  std::shared_ptr<Bytes> checkout_copy(const Bytes& src) {
+    auto buf = checkout();
+    buf->assign(src.begin(), src.end());
+    return buf;
+  }
+
+  std::size_t slots() const { return slots_.size(); }
+  std::uint64_t reused() const { return reused_; }
+  std::uint64_t fresh() const { return fresh_; }
+
+ private:
+  std::vector<std::shared_ptr<Bytes>> slots_;
+  std::size_t cursor_ = 0;
+  std::uint64_t reused_ = 0;
+  std::uint64_t fresh_ = 0;
+};
+
+}  // namespace mip6

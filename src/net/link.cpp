@@ -7,6 +7,17 @@
 
 namespace mip6 {
 
+Link::Link(Network& net, LinkId id, std::string name, Time delay,
+           std::uint64_t bit_rate_bps)
+    : net_(&net), id_(id), name_(std::move(name)), delay_(delay),
+      bit_rate_bps_(bit_rate_bps), counter_prefix_("link/" + name_ + "/") {
+  auto& counters = net_->counters();
+  c_tx_ = &counters.counter(counter_prefix_ + "tx");
+  c_tx_bytes_ = &counters.counter(counter_prefix_ + "tx-bytes");
+  c_rx_ = &counters.counter(counter_prefix_ + "rx");
+  c_dropped_ = &counters.counter(counter_prefix_ + "dropped");
+}
+
 void Link::do_attach(Interface& iface) {
   if (std::find(ifaces_.begin(), ifaces_.end(), &iface) != ifaces_.end()) {
     throw LogicError("interface attached twice to link " + name_);
@@ -42,13 +53,13 @@ void Link::transmit(const Interface& from, const Packet& pkt,
   if (!up_) {
     // Carrier lost: the frame never makes it onto the wire.
     ++dropped_packets_;
-    count("dropped");
+    ++*c_dropped_;
     return;
   }
   ++tx_packets_;
   tx_bytes_ += pkt.size();
-  count("tx");
-  count("tx-bytes", pkt.size());
+  ++*c_tx_;
+  *c_tx_bytes_ += pkt.size();
   net_->notify_tx(*this, from, pkt);
 
   Time ser = Time::zero();
@@ -86,20 +97,20 @@ void Link::deliver_one(IfaceId to_id, const Packet& pkt) {
   if (!up_) {
     // Link went down while the frame was in flight.
     ++dropped_packets_;
-    count("dropped");
+    ++*c_dropped_;
     return;
   }
   for (Interface* candidate : ifaces_) {
     if (candidate->id() != to_id) continue;
     if (drop_ && drop_(pkt, *candidate)) {
       ++dropped_packets_;
-      count("dropped");
+      ++*c_dropped_;
       return;
     }
     const LinkImpairment& imp = impairment_towards(to_id);
     if (imp.loss > 0.0 && net_->rng().bernoulli(imp.loss)) {
       ++dropped_packets_;
-      count("dropped");
+      ++*c_dropped_;
       return;
     }
     if (imp.corrupt > 0.0 && net_->rng().bernoulli(imp.corrupt) &&
@@ -114,12 +125,12 @@ void Link::deliver_one(IfaceId to_id, const Packet& pkt) {
       ++corrupted_packets_;
       count("corrupted");
       ++rx_packets_;
-      count("rx");
+      ++*c_rx_;
       candidate->deliver(corrupted);
       return;
     }
     ++rx_packets_;
-    count("rx");
+    ++*c_rx_;
     candidate->deliver(pkt);
     return;
   }

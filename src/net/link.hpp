@@ -51,9 +51,7 @@ class Link {
   using DropFn = std::function<bool(const Packet&, const Interface& to)>;
 
   Link(Network& net, LinkId id, std::string name, Time delay,
-       std::uint64_t bit_rate_bps)
-      : net_(&net), id_(id), name_(std::move(name)), delay_(delay),
-        bit_rate_bps_(bit_rate_bps), counter_prefix_("link/" + name_ + "/") {}
+       std::uint64_t bit_rate_bps);
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
@@ -128,6 +126,13 @@ class Link {
   LinkImpairment impairment_;
   std::map<IfaceId, LinkImpairment> directional_impairments_;
   std::string counter_prefix_;
+  // Registry cells for the per-transmission / per-delivery counters,
+  // resolved once at construction (references are stable; see
+  // CounterRegistry::counter). count() stays for the cold names.
+  std::uint64_t* c_tx_ = nullptr;
+  std::uint64_t* c_tx_bytes_ = nullptr;
+  std::uint64_t* c_rx_ = nullptr;
+  std::uint64_t* c_dropped_ = nullptr;
   std::uint64_t tx_packets_ = 0;
   std::uint64_t tx_bytes_ = 0;
   std::uint64_t rx_packets_ = 0;

@@ -37,4 +37,8 @@ Packet Network::make_packet(Bytes data) {
   return Packet(std::move(data), next_packet_uid_++, now());
 }
 
+Packet Network::make_packet(Packet::Buffer data) {
+  return Packet(std::move(data), next_packet_uid_++, now());
+}
+
 }  // namespace mip6

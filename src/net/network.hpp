@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "net/buffer_pool.hpp"
 #include "net/link.hpp"
 #include "net/node.hpp"
 #include "sim/rng.hpp"
@@ -28,6 +29,7 @@ class Network {
   Rng& rng() { return rng_; }
   Trace& trace() { return trace_; }
   CounterRegistry& counters() { return counters_; }
+  BufferPool& buffer_pool() { return buffer_pool_; }
   Time now() const { return sched_.now(); }
 
   Node& add_node(const std::string& name);
@@ -43,6 +45,7 @@ class Network {
 
   /// Fresh packet with a network-unique uid stamped at the current time.
   Packet make_packet(Bytes data);
+  Packet make_packet(Packet::Buffer data);
 
   /// Observation hook invoked for every link transmission (after the link's
   /// own byte accounting). Core metrics classify traffic here.
@@ -60,6 +63,7 @@ class Network {
   Rng rng_;
   Trace trace_;
   CounterRegistry counters_;
+  BufferPool buffer_pool_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<TxHook> tx_hooks_;

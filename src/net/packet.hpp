@@ -2,9 +2,17 @@
 // simulator-side metadata (uid, creation time) that never appears "on the
 // wire". Layers above parse/serialize the octets; the net layer only moves
 // and counts them.
+//
+// The octets are held behind a shared immutable buffer, so copying a Packet
+// — which delivery fan-out does once per receiver per hop — is a reference
+// bump, not a byte copy. Anything that needs different octets (hop-limit
+// decrement, corruption) installs a fresh buffer via set_data()/set_buffer();
+// in-place mutation is impossible by construction.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "sim/time.hpp"
 #include "util/buffer.hpp"
@@ -13,22 +21,37 @@ namespace mip6 {
 
 class Packet {
  public:
-  Packet() = default;
-  Packet(Bytes data, std::uint64_t uid, Time created)
-      : data_(std::move(data)), uid_(uid), created_(created) {}
+  using Buffer = std::shared_ptr<const Bytes>;
 
-  const Bytes& data() const { return data_; }
-  BytesView view() const { return data_; }
-  std::size_t size() const { return data_.size(); }
+  Packet() = default;
+  Packet(Buffer data, std::uint64_t uid, Time created)
+      : data_(std::move(data)), uid_(uid), created_(created) {}
+  Packet(Bytes data, std::uint64_t uid, Time created)
+      : Packet(std::make_shared<const Bytes>(std::move(data)), uid, created) {}
+
+  const Bytes& data() const { return data_ ? *data_ : empty_bytes(); }
+  BytesView view() const { return data(); }
+  std::size_t size() const { return data_ ? data_->size() : 0; }
   std::uint64_t uid() const { return uid_; }
   Time created() const { return created_; }
 
-  /// Replaces the octets (used by forwarding to decrement hop limit without
-  /// reallocating the packet identity).
-  void set_data(Bytes data) { data_ = std::move(data); }
+  /// The shared buffer itself (may be null for a default-constructed packet).
+  const Buffer& buffer() const { return data_; }
+
+  /// Replaces the octets, keeping the packet identity (uid, creation time).
+  /// Used by forwarding to install the hop-limit-decremented copy.
+  void set_data(Bytes data) {
+    data_ = std::make_shared<const Bytes>(std::move(data));
+  }
+  void set_buffer(Buffer data) { data_ = std::move(data); }
 
  private:
-  Bytes data_;
+  static const Bytes& empty_bytes() {
+    static const Bytes kEmpty;
+    return kEmpty;
+  }
+
+  Buffer data_;
   std::uint64_t uid_ = 0;
   Time created_ = Time::zero();
 };

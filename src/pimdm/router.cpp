@@ -5,7 +5,10 @@
 namespace mip6 {
 
 PimDmRouter::PimDmRouter(Ipv6Stack& stack, MldRouter& mld, PimDmConfig config)
-    : stack_(&stack), mld_(&mld), config_(config) {
+    : stack_(&stack), mld_(&mld), config_(config),
+      component_("pimdm/" + stack.node().name()),
+      c_data_fwd_(
+          &stack.network().counters().counter("pimdm/data-fwd")) {
   stack.set_mcast_forwarder(
       [this](const ParsedDatagram& d, const Packet& pkt, IfaceId iface) {
         on_multicast_data(d, pkt, iface);
@@ -218,11 +221,20 @@ PimDmRouter::SgEntry* PimDmRouter::create_entry(const Address& src,
   SgEntry* raw = e.get();
   entries_.emplace(key, std::move(e));
   count("pimdm/sg-created");
+  trace_event("sg-created", [&] {
+    return "src=" + src.str() + " group=" + group.str() + " iif=" +
+           std::to_string(raw->incoming);
+  });
   return raw;
 }
 
 void PimDmRouter::delete_entry(const SgKey& key) {
-  if (entries_.erase(key) > 0) count("pimdm/sg-expired");
+  if (entries_.erase(key) > 0) {
+    count("pimdm/sg-expired");
+    trace_event("sg-expired", [&] {
+      return "src=" + key.source.str() + " group=" + key.group.str();
+    });
+  }
 }
 
 PimDmRouter::Downstream& PimDmRouter::downstream(SgEntry& e, IfaceId iface) {
@@ -344,11 +356,9 @@ void PimDmRouter::on_multicast_data(const ParsedDatagram& d, const Packet& pkt,
     }
     return;
   }
-  for (IfaceId oif : oifs) {
-    if (stack_->forward_out(pkt, oif)) {
-      count("pimdm/data-fwd");
-    }
-  }
+  // One hop-limit-decremented buffer shared by every replica; see
+  // Ipv6Stack::forward_out_many.
+  *c_data_fwd_ += stack_->forward_out_many(pkt, oifs);
 }
 
 // ---------------------------------------------------------------------------
@@ -393,10 +403,16 @@ void PimDmRouter::on_hello(const PimHello& hello, const Address& from,
         stack_->scheduler(), [this, iface, from] {
           ifaces_.at(iface).neighbors.erase(from);
           count("pimdm/neighbor-expired");
+          trace_event("neighbor-expired", [&] {
+            return "iface=" + std::to_string(iface) + " nbr=" + from.str();
+          });
         });
     timer->arm(Time::sec(hello.holdtime));
     st.neighbors.emplace(from, std::move(timer));
     count("pimdm/neighbor-up");
+    trace_event("neighbor-up", [&] {
+      return "iface=" + std::to_string(iface) + " nbr=" + from.str();
+    });
     // Triggered hello so the new neighbor learns us quickly.
     send_hello(iface);
   } else {
@@ -440,6 +456,10 @@ void PimDmRouter::on_join_prune(const PimJoinPrune& jp, const Address& from,
                   if (dd.state != DownstreamState::kPrunePending) return;
                   dd.state = DownstreamState::kPruned;
                   count("pimdm/iface-pruned");
+                  trace_event("iface-pruned", [&] {
+                    return "src=" + key.source.str() + " group=" +
+                           key.group.str() + " iface=" + std::to_string(iface);
+                  });
                   // Prune Echo (RFC 3973 §4.4.2): on a LAN with several
                   // neighbors, repeat the prune naming ourselves so a
                   // downstream router whose overriding Join was lost gets
@@ -504,6 +524,10 @@ void PimDmRouter::on_join_prune(const PimJoinPrune& jp, const Address& from,
           d.prune_pending_timer->cancel();
           d.state = DownstreamState::kForwarding;
           count("pimdm/prune-overridden");
+          trace_event("prune-overridden", [&] {
+            return "src=" + src.str() + " group=" + g.group.str() +
+                   " iface=" + std::to_string(iface);
+          });
         } else if (d.state == DownstreamState::kPruned) {
           if (d.prune_expiry_timer) d.prune_expiry_timer->cancel();
           d.state = DownstreamState::kForwarding;
@@ -599,6 +623,10 @@ void PimDmRouter::on_assert(const PimAssert& a, const Address& from,
   if (they_win) {
     d.assert_loser = true;
     count("pimdm/assert-lost");
+    trace_event("assert-lost", [&] {
+      return "src=" + e->source.str() + " group=" + e->group.str() +
+             " iface=" + std::to_string(iface) + " winner=" + from.str();
+    });
     SgKey key{a.source, a.group};
     if (!d.assert_timer) {
       d.assert_timer = std::make_unique<Timer>(
@@ -698,6 +726,10 @@ void PimDmRouter::originate_state_refresh(SgEntry& e) {
                       ? stack_->global_address(e.incoming)
                       : stack_->link_local_address(e.incoming);
   count("pimdm/tx/state-refresh-originated");
+  trace_event("tx-state-refresh", [&] {
+    return "src=" + e.source.str() + " group=" + e.group.str() +
+           " originator=" + sr.originator.str();
+  });
   forward_state_refresh(e, sr);
 }
 
@@ -738,6 +770,8 @@ void PimDmRouter::send_hello(IfaceId iface) {
       static_cast<std::uint16_t>(config_.hello_holdtime.to_seconds());
   emit(iface, PimType::kHello, hello.body(), Address::all_pim_routers());
   count("pimdm/tx/hello");
+  trace_event("tx-hello",
+              [&] { return "iface=" + std::to_string(iface); });
 }
 
 void PimDmRouter::send_prune_upstream(SgEntry& e) {
@@ -750,6 +784,10 @@ void PimDmRouter::send_prune_upstream(SgEntry& e) {
   e.upstream_pruned = true;
   e.last_prune_tx = now();
   count("pimdm/tx/prune");
+  trace_event("tx-prune", [&] {
+    return "src=" + e.source.str() + " group=" + e.group.str() +
+           " upstream=" + e.rpf_neighbor.str();
+  });
 }
 
 void PimDmRouter::send_graft_upstream(SgEntry& e) {
@@ -761,12 +799,20 @@ void PimDmRouter::send_graft_upstream(SgEntry& e) {
   e.graft_pending = true;
   e.graft_retry_timer->arm(config_.graft_retry_period);
   count("pimdm/tx/graft");
+  trace_event("tx-graft", [&] {
+    return "src=" + e.source.str() + " group=" + e.group.str() +
+           " upstream=" + e.rpf_neighbor.str();
+  });
 }
 
 void PimDmRouter::send_join_override(SgEntry& e, const Address& upstream) {
   PimJoinPrune m = PimJoinPrune::join(upstream, e.source, e.group);
   emit(e.incoming, PimType::kJoinPrune, m.body(), Address::all_pim_routers());
   count("pimdm/tx/join-override");
+  trace_event("tx-join-override", [&] {
+    return "src=" + e.source.str() + " group=" + e.group.str() +
+           " upstream=" + upstream.str();
+  });
 }
 
 void PimDmRouter::send_assert(SgEntry& e, IfaceId iface) {
@@ -783,6 +829,10 @@ void PimDmRouter::send_assert(SgEntry& e, IfaceId iface) {
   a.metric = e.rpf_metric;
   emit(iface, PimType::kAssert, a.body(), Address::all_pim_routers());
   count("pimdm/tx/assert");
+  trace_event("tx-assert", [&] {
+    return "src=" + e.source.str() + " group=" + e.group.str() + " iface=" +
+           std::to_string(iface);
+  });
 }
 
 void PimDmRouter::send_graft_ack(const PimJoinPrune& graft, const Address& to,
@@ -790,6 +840,9 @@ void PimDmRouter::send_graft_ack(const PimJoinPrune& graft, const Address& to,
   PimJoinPrune ack = graft;
   emit(iface, PimType::kGraftAck, ack.body(), to);
   count("pimdm/tx/graft-ack");
+  trace_event("tx-graft-ack", [&] {
+    return "to=" + to.str() + " iface=" + std::to_string(iface);
+  });
 }
 
 void PimDmRouter::count(const std::string& name, std::uint64_t delta) {

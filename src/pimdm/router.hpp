@@ -19,6 +19,8 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "ipv6/stack.hpp"
@@ -159,10 +161,20 @@ class PimDmRouter {
   bool has_neighbors(IfaceId iface) const;
   void count(const std::string& name, std::uint64_t delta = 1);
   Time now() const { return stack_->network().now(); }
+  Trace& trace() const { return stack_->network().trace(); }
+  /// Lazy protocol-event trace; `detail_fn` only runs when a sink is
+  /// installed, so this is free in benches.
+  template <typename DetailFn>
+  void trace_event(const char* event, DetailFn&& detail_fn) const {
+    trace().emit(now(), component_, event, std::forward<DetailFn>(detail_fn));
+  }
 
   Ipv6Stack* stack_;
   MldRouter* mld_;
   PimDmConfig config_;
+  std::string component_;  // "pimdm/<node>", cached for trace records
+  /// Cell for the per-fan-out "pimdm/data-fwd" counter, resolved once.
+  std::uint64_t* c_data_fwd_;
   std::map<IfaceId, IfaceState> ifaces_;
   std::map<SgKey, std::unique_ptr<SgEntry>> entries_;
   std::map<Address, int> local_receivers_;

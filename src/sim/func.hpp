@@ -1,0 +1,118 @@
+// Move-only type-erased void() callable for scheduler events.
+//
+// std::function's inline buffer (16 bytes on libstdc++) is smaller than the
+// closures the hot path schedules — a link-delivery event captures a Link
+// pointer, an interface id and a 32-byte Packet — so routing every event
+// through std::function heap-allocates once per scheduled event. SchedFn
+// widens the inline buffer to kInlineSize so those closures (and everything
+// smaller) are stored in place; larger callables still fall back to the
+// heap. tests/sim/alloc_guard_test.cpp pins the no-allocation property.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mip6 {
+
+class SchedFn {
+ public:
+  /// Sized for the largest hot-path closure: Link delivery at
+  /// (this, IfaceId, Packet) = 48 bytes.
+  static constexpr std::size_t kInlineSize = 48;
+
+  SchedFn() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, SchedFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  SchedFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  SchedFn(SchedFn&& other) noexcept { move_from(other); }
+  SchedFn& operator=(SchedFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SchedFn(const SchedFn&) = delete;
+  SchedFn& operator=(const SchedFn&) = delete;
+  ~SchedFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  void operator()() { ops_->invoke(heap_ != nullptr ? heap_ : buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Moves src's target into dst (which must be empty) and destroys src's.
+    void (*relocate)(SchedFn& dst, SchedFn& src) noexcept;
+    void (*destroy)(SchedFn& self) noexcept;
+  };
+
+  template <typename Fn>
+  static void invoke_target(void* p) {
+    (*static_cast<Fn*>(p))();
+  }
+  template <typename Fn>
+  static void inline_relocate(SchedFn& dst, SchedFn& src) noexcept {
+    Fn* from = reinterpret_cast<Fn*>(src.buf_);
+    ::new (static_cast<void*>(dst.buf_)) Fn(std::move(*from));
+    from->~Fn();
+  }
+  template <typename Fn>
+  static void inline_destroy(SchedFn& self) noexcept {
+    reinterpret_cast<Fn*>(self.buf_)->~Fn();
+  }
+  static void heap_relocate(SchedFn& dst, SchedFn& src) noexcept {
+    dst.heap_ = src.heap_;
+    src.heap_ = nullptr;
+  }
+  template <typename Fn>
+  static void heap_destroy(SchedFn& self) noexcept {
+    delete static_cast<Fn*>(self.heap_);
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {&invoke_target<Fn>, &inline_relocate<Fn>,
+                                     &inline_destroy<Fn>};
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {&invoke_target<Fn>, &heap_relocate,
+                                   &heap_destroy<Fn>};
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(*this);
+      ops_ = nullptr;
+      heap_ = nullptr;
+    }
+  }
+  void move_from(SchedFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(*this, other);
+      other.ops_ = nullptr;
+      other.heap_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize] = {};
+  void* heap_ = nullptr;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace mip6

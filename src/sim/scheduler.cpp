@@ -1,16 +1,113 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
+
 namespace mip6 {
+namespace {
+
+// Free-list cap: enough to absorb every live timer in a large topology
+// without letting a transient spike pin memory forever.
+constexpr std::size_t kStatePoolMax = 1024;
+
+}  // namespace
 
 void EventHandle::cancel() {
-  if (state_) state_->cancelled = true;
+  if (!state_ || state_->cancelled || state_->executed) return;
+  state_->cancelled = true;
+  if (state_->cancelled_in_heap) ++*state_->cancelled_in_heap;
 }
 
 bool EventHandle::pending() const {
   return state_ && !state_->cancelled && !state_->executed;
 }
 
-EventHandle Scheduler::schedule_at(Time at, std::function<void()> fn) {
+std::shared_ptr<EventHandle::State> Scheduler::make_state() {
+  if (!cancelled_in_heap_) {
+    cancelled_in_heap_ = std::make_shared<std::uint64_t>(0);
+  }
+  if (state_pool_.empty()) sweep_deferred();
+  if (!state_pool_.empty()) {
+    auto state = std::move(state_pool_.back());
+    state_pool_.pop_back();
+    return state;
+  }
+  auto state = std::make_shared<EventHandle::State>();
+  state->cancelled_in_heap = cancelled_in_heap_;
+  return state;
+}
+
+void Scheduler::recycle(std::shared_ptr<EventHandle::State>&& state) {
+  // Only reclaim once every handle has let go; a surviving handle keeps its
+  // (executed or cancelled) state so pending() stays truthful. Park such
+  // states in deferred_ — the common case is a Timer that drops its handle
+  // on the next arm(), at which point sweep_deferred() reclaims it.
+  if (!state) return;
+  if (state.use_count() != 1) {
+    if (deferred_.size() < kStatePoolMax) deferred_.push_back(std::move(state));
+    return;
+  }
+  if (state_pool_.size() >= kStatePoolMax) return;
+  state->cancelled = false;
+  state->executed = false;
+  state_pool_.push_back(std::move(state));
+}
+
+void Scheduler::sweep_deferred() {
+  // Bounded sweep: reclamation keeps pace with the one-deferral-per-pop
+  // inflow without turning make_state() into an O(deferred) scan.
+  constexpr std::size_t kSweepMax = 8;
+  std::size_t scanned = 0;
+  for (std::size_t i = deferred_.size();
+       i-- > 0 && scanned < kSweepMax; ++scanned) {
+    if (deferred_[i].use_count() != 1) continue;
+    auto state = std::move(deferred_[i]);
+    deferred_[i] = std::move(deferred_.back());
+    deferred_.pop_back();
+    if (state_pool_.size() >= kStatePoolMax) continue;
+    state->cancelled = false;
+    state->executed = false;
+    state_pool_.push_back(std::move(state));
+  }
+}
+
+std::uint32_t Scheduler::acquire_slot(
+    SchedFn&& fn, std::shared_ptr<EventHandle::State> state) {
+  if (!free_slots_.empty()) {
+    std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot].fn = std::move(fn);
+    slots_[slot].state = std::move(state);
+    return slot;
+  }
+  slots_.push_back(Event{std::move(fn), std::move(state)});
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Scheduler::release_slot(std::uint32_t slot) {
+  slots_[slot].fn = SchedFn();
+  recycle(std::move(slots_[slot].state));
+  free_slots_.push_back(slot);
+}
+
+void Scheduler::maybe_compact() {
+  const std::uint64_t dead = cancelled();
+  if (dead < kCompactMin || dead * 2 < heap_.size()) return;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    if (slots_[heap_[i].slot].state->cancelled) {
+      release_slot(heap_[i].slot);
+      continue;
+    }
+    heap_[keep] = heap_[i];
+    ++keep;
+  }
+  heap_.resize(keep);
+  *cancelled_in_heap_ = 0;
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  ++compactions_;
+}
+
+EventHandle Scheduler::schedule_at(Time at, SchedFn fn) {
   if (at < now_) {
     throw LogicError("schedule_at into the past: " + at.str() + " < " +
                      now_.str());
@@ -18,12 +115,15 @@ EventHandle Scheduler::schedule_at(Time at, std::function<void()> fn) {
   if (at.is_never()) {
     throw LogicError("schedule_at(never)");
   }
-  auto state = std::make_shared<EventHandle::State>();
-  queue_.push(Event{at, next_seq_++, std::move(fn), state});
+  maybe_compact();
+  auto state = make_state();
+  std::uint32_t slot = acquire_slot(std::move(fn), state);
+  heap_.push_back(HeapEntry{at, next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   return EventHandle(std::move(state));
 }
 
-EventHandle Scheduler::schedule_in(Time delay, std::function<void()> fn) {
+EventHandle Scheduler::schedule_in(Time delay, SchedFn fn) {
   if (delay < Time::zero()) {
     throw LogicError("schedule_in negative delay: " + delay.str());
   }
@@ -32,13 +132,24 @@ EventHandle Scheduler::schedule_in(Time delay, std::function<void()> fn) {
 
 std::uint64_t Scheduler::run_until(Time until) {
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().at <= until) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (ev.state->cancelled) continue;
-    now_ = ev.at;
+  while (!heap_.empty() && heap_.front().at <= until) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    HeapEntry entry = heap_.back();
+    heap_.pop_back();
+    Event& ev = slots_[entry.slot];
+    if (ev.state->cancelled) {
+      --*cancelled_in_heap_;
+      release_slot(entry.slot);
+      continue;
+    }
+    now_ = entry.at;
     ev.state->executed = true;
-    ev.fn();
+    // Move the callback out and free the slot before invoking: the callback
+    // may schedule (growing slots_, invalidating `ev`) and can even reuse
+    // this very slot.
+    SchedFn fn = std::move(ev.fn);
+    release_slot(entry.slot);
+    fn();
     ++n;
     ++executed_;
   }
@@ -48,7 +159,5 @@ std::uint64_t Scheduler::run_until(Time until) {
 }
 
 std::uint64_t Scheduler::run() { return run_until(Time::never()); }
-
-std::size_t Scheduler::pending_events() const { return queue_.size(); }
 
 }  // namespace mip6

@@ -1,17 +1,25 @@
 // Discrete-event scheduler.
 //
 // Events are (time, sequence, callback); sequence numbers break same-time
-// ties in insertion order, which makes runs fully deterministic. Cancellation
-// is O(1) by invalidating a shared handle state; cancelled events are skipped
-// (and their storage reclaimed) when they reach the top of the heap.
+// ties in insertion order, which makes runs fully deterministic.
+// Cancellation is O(1) by invalidating a shared handle state; cancelled
+// events are skipped when they surface at the top of the heap AND reclaimed
+// in bulk by threshold-based compaction: once more than half the heap (and
+// at least kCompactMin entries) is cancelled, the heap is rebuilt without
+// them. Without compaction, timer-heavy workloads — every Timer::arm()
+// cancels the previous expiry — grow the heap with dead entries faster than
+// pops drain them.
+//
+// Allocation discipline: handle states are recycled through a free list, so
+// the steady-state rearm cycle (arm → cancel → arm ...) performs no heap
+// allocation. tests/sim/alloc_guard_test.cpp enforces this.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/func.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 #include "util/errors.hpp"
@@ -35,6 +43,9 @@ class EventHandle {
   struct State {
     bool cancelled = false;
     bool executed = false;
+    /// Count of cancelled-but-still-heaped events, shared with the owning
+    /// scheduler (shared so a handle outliving the scheduler stays safe).
+    std::shared_ptr<std::uint64_t> cancelled_in_heap;
   };
   explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
   std::shared_ptr<State> state_;
@@ -49,9 +60,10 @@ class Scheduler {
   Time now() const { return now_; }
 
   /// Schedules `fn` to run at absolute time `at` (must be >= now()).
-  EventHandle schedule_at(Time at, std::function<void()> fn);
+  /// SchedFn stores closures up to 48 bytes without heap allocation.
+  EventHandle schedule_at(Time at, SchedFn fn);
   /// Schedules `fn` to run `delay` from now (delay must be >= 0).
-  EventHandle schedule_in(Time delay, std::function<void()> fn);
+  EventHandle schedule_in(Time delay, SchedFn fn);
 
   /// Runs events until the queue is empty or `until` is reached; events at
   /// exactly `until` are executed. Returns the number of events executed.
@@ -59,27 +71,70 @@ class Scheduler {
   /// Runs to queue exhaustion.
   std::uint64_t run();
 
-  std::size_t pending_events() const;
+  /// Heap entries, including not-yet-reclaimed cancelled events (bounded by
+  /// compaction at ~2x the live count).
+  std::size_t pending_events() const { return heap_.size(); }
+  /// Event payload slots currently allocated (high-water mark of pending).
+  std::size_t event_slots() const { return slots_.size(); }
+  /// Entries scheduled and not yet executed or cancelled.
+  std::size_t live_events() const { return heap_.size() - cancelled(); }
+  /// Cancelled entries still occupying heap slots.
+  std::size_t cancelled_events() const { return cancelled(); }
   std::uint64_t executed_events() const { return executed_; }
+  /// Times the heap was rebuilt to shed cancelled entries.
+  std::uint64_t compactions() const { return compactions_; }
+
+  /// Cancelled fraction above which (and entry count kCompactMin above
+  /// which) the heap is compacted.
+  static constexpr std::size_t kCompactMin = 64;
 
  private:
+  /// Event payloads live in slots_ and never move; the binary heap orders
+  /// trivially-copyable 24-byte entries, so push_heap/pop_heap sifts are
+  /// plain memcpys instead of type-erased closure relocations (which
+  /// dominated the profile when the heap held whole events).
   struct Event {
-    Time at;
-    std::uint64_t seq;
-    std::function<void()> fn;
+    SchedFn fn;
     std::shared_ptr<EventHandle::State> state;
   };
+  struct HeapEntry {
+    Time at;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
+  std::uint64_t cancelled() const {
+    return cancelled_in_heap_ ? *cancelled_in_heap_ : 0;
+  }
+  std::shared_ptr<EventHandle::State> make_state();
+  /// Returns a finished (executed or cancelled-and-popped) state to the free
+  /// list. A state some handle still references — a Timer keeps its handle
+  /// until the next arm() — parks in deferred_ and is swept back into the
+  /// pool by make_state() once the last handle lets go.
+  void recycle(std::shared_ptr<EventHandle::State>&& state);
+  void sweep_deferred();
+  void maybe_compact();
+
+  std::uint32_t acquire_slot(SchedFn&& fn,
+                             std::shared_ptr<EventHandle::State> state);
+  void release_slot(std::uint32_t slot);
+
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t compactions_ = 0;
+  std::vector<HeapEntry> heap_;  // binary heap ordered by Later
+  std::vector<Event> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::shared_ptr<std::uint64_t> cancelled_in_heap_;
+  std::vector<std::shared_ptr<EventHandle::State>> state_pool_;
+  std::vector<std::shared_ptr<EventHandle::State>> deferred_;
 };
 
 }  // namespace mip6

@@ -3,11 +3,21 @@
 // Components emit (time, component, event, detail) records. Sinks are
 // pluggable: tests install a recording sink and assert on protocol behaviour
 // (e.g. "Router E sent GRAFT at t"), examples install a stderr printer, and
-// benches leave tracing disabled (the null sink costs one branch per emit).
+// benches leave tracing disabled.
+//
+// Disabled tracing must be free: hot paths (packet forwarding, timer
+// expiries) emit too. Use the lazy overload — the detail string is built by
+// a callable that only runs when a sink is installed — or guard expensive
+// argument construction with enabled(). The eager std::string overload
+// builds its arguments at the call site even when dropped; keep it off hot
+// paths. tests/sim/alloc_guard_test.cpp asserts the disabled emit path
+// performs zero allocations.
 #pragma once
 
 #include <functional>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -34,10 +44,31 @@ class Trace {
   void clear_sink() { sink_ = nullptr; }
   bool enabled() const { return static_cast<bool>(sink_); }
 
+  /// Eager emit: arguments are materialized by the caller even when no sink
+  /// is installed. Fine for tests and cold paths; use the lazy overload (or
+  /// an enabled() guard) anywhere per-event cost matters.
   void emit(Time at, std::string component, std::string event,
             std::string detail) const {
     if (sink_) sink_({at, std::move(component), std::move(event),
                       std::move(detail)});
+  }
+
+  /// Lazy emit for hot paths: `detail_fn` is only invoked — and the record's
+  /// strings only constructed — when a sink is installed. With tracing
+  /// disabled this costs one branch and allocates nothing.
+  template <typename DetailFn>
+    requires std::is_invocable_r_v<std::string, DetailFn&>
+  void emit(Time at, std::string_view component, std::string_view event,
+            DetailFn&& detail_fn) const {
+    if (!sink_) return;
+    sink_({at, std::string(component), std::string(event),
+           std::forward<DetailFn>(detail_fn)()});
+  }
+
+  /// Lazy emit with no detail payload.
+  void emit(Time at, std::string_view component, std::string_view event) const {
+    if (!sink_) return;
+    sink_({at, std::string(component), std::string(event), std::string()});
   }
 
   /// Sink that appends to a vector (owned by the caller).

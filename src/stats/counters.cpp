@@ -11,6 +11,10 @@ std::uint64_t CounterRegistry::get(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+std::uint64_t& CounterRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
 std::uint64_t CounterRegistry::sum_prefix(const std::string& prefix) const {
   std::uint64_t total = 0;
   for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
@@ -22,9 +26,17 @@ std::uint64_t CounterRegistry::sum_prefix(const std::string& prefix) const {
 
 std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot()
     const {
-  return {counters_.begin(), counters_.end()};
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) {
+    if (value != 0) out.emplace_back(name, value);
+  }
+  return out;
 }
 
-void CounterRegistry::reset() { counters_.clear(); }
+// Zero in place instead of erasing: counter() references must survive reset.
+void CounterRegistry::reset() {
+  for (auto& [name, value] : counters_) value = 0;
+}
 
 }  // namespace mip6

@@ -18,9 +18,15 @@ class CounterRegistry {
  public:
   void add(const std::string& name, std::uint64_t delta = 1);
   std::uint64_t get(const std::string& name) const;
+  /// Direct reference to a counter cell, created at zero if absent. The
+  /// reference stays valid for the registry's lifetime (reset() zeroes
+  /// values in place rather than erasing); hot paths resolve it once and
+  /// increment through it instead of paying a string lookup per event.
+  std::uint64_t& counter(const std::string& name);
   /// Sum of all counters whose name starts with `prefix`.
   std::uint64_t sum_prefix(const std::string& prefix) const;
-  /// All (name, value) pairs, name-ordered.
+  /// All (name, value) pairs with a non-zero count, name-ordered.
+  /// (Zero-valued cells are pre-registered hot counters that never fired.)
   std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
   void reset();
 

@@ -1,0 +1,89 @@
+// Minimal JSON value type for the machine-readable bench trajectory.
+//
+// Covers exactly what the BENCH_*.json reports need: objects, arrays,
+// strings, doubles, bools and null, with a strict recursive-descent parser
+// (throws ParseError on malformed input) and a deterministic dumper
+// (object keys keep insertion order, so reports diff cleanly run-to-run).
+// Not a general-purpose library: no \uXXXX escapes beyond pass-through,
+// no integer/double distinction.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/errors.hpp"
+
+namespace mip6 {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double n) : type_(Type::kNumber), num_(n) {}
+  Json(int n) : type_(Type::kNumber), num_(n) {}
+  Json(std::int64_t n) : type_(Type::kNumber), num_(static_cast<double>(n)) {}
+  Json(std::uint64_t n) : type_(Type::kNumber), num_(static_cast<double>(n)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw LogicError on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  // --- Array ------------------------------------------------------------
+  void push_back(Json v);
+  std::size_t size() const;
+  const Json& at(std::size_t i) const;
+  const std::vector<Json>& items() const;
+
+  // --- Object -----------------------------------------------------------
+  /// Inserts or replaces; keys keep first-insertion order.
+  void set(const std::string& key, Json v);
+  bool contains(const std::string& key) const;
+  /// Throws LogicError if absent.
+  const Json& operator[](const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  /// Parses a complete document; throws ParseError on any malformation
+  /// (trailing garbage included).
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace mip6

@@ -3,9 +3,12 @@
 // paper's two multicast registration mechanisms at the HA.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/traffic.hpp"
 #include "core/world.hpp"
 #include "mipv6/binding_cache.hpp"
+#include "sim/trace.hpp"
 
 namespace mip6 {
 namespace {
@@ -87,6 +90,38 @@ TEST(Mipv6, InterceptedUnicastTunneledToCareOf) {
   EXPECT_EQ(delivered, 1);
   EXPECT_EQ(t.world.net().counters().get("ha/encap-unicast"), 1u);
   EXPECT_EQ(t.world.net().counters().get("mn/decap"), 1u);
+}
+
+TEST(Mipv6, TraceRecordsRegistrationAndTunneling) {
+  Roam t;
+  std::vector<TraceRecord> records;
+  t.world.net().trace().set_sink(Trace::recorder(records));
+
+  t.mn.mn->move_to(t.fl);
+  t.world.run_until(Time::sec(2));
+  Address src = t.peer.stack->global_address(t.peer.iface());
+  DatagramSpec spec;
+  spec.src = src;
+  spec.dst = t.mn.mn->home_address();
+  spec.protocol = proto::kUdp;
+  spec.payload = UdpDatagram{1, 2, Bytes{9}}.serialize(src, spec.dst);
+  t.peer.stack->send(spec);
+  t.world.run_until(Time::sec(3));
+
+  auto find = [&](const char* event) {
+    return std::find_if(records.begin(), records.end(),
+                        [&](const TraceRecord& r) {
+                          return r.component == "ha/HA" && r.event == event;
+                        });
+  };
+  auto bu = find("rx-bu");
+  ASSERT_NE(bu, records.end());
+  EXPECT_NE(bu->detail.find(t.mn.mn->home_address().str()),
+            std::string::npos);
+  auto intercept = find("intercept");
+  ASSERT_NE(intercept, records.end());
+  EXPECT_NE(intercept->detail.find(t.mn.mn->care_of().str()),
+            std::string::npos);
 }
 
 TEST(Mipv6, BindingUpdateRetransmittedWhenAckLost) {

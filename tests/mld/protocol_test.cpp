@@ -4,7 +4,10 @@
 // reports and query-waiting that the paper's Section 4.4 turns on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/world.hpp"
+#include "sim/trace.hpp"
 
 namespace mip6 {
 namespace {
@@ -166,6 +169,32 @@ TEST(MldProtocol, GroupsOnListsLearnedGroups) {
   t.world.run_until(Time::sec(5));
   auto groups = t.router.mld->groups_on(t.riface());
   EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(MldProtocol, TraceRecordsQueryReportDoneLifecycle) {
+  Lan t;
+  std::vector<TraceRecord> records;
+  t.world.net().trace().set_sink(Trace::recorder(records));
+
+  t.h1.mld->join(t.h1.iface(), kGroup);
+  t.world.run_until(Time::sec(5));
+  t.h1.mld->leave(t.h1.iface(), kGroup);
+  t.world.run_until(Time::sec(10));
+
+  auto find = [&](const char* event) {
+    return std::find_if(records.begin(), records.end(),
+                        [&](const TraceRecord& r) {
+                          return r.component == "mld/R" && r.event == event;
+                        });
+  };
+  EXPECT_NE(find("tx-query"), records.end());
+  auto added = find("listener-added");
+  ASSERT_NE(added, records.end());
+  EXPECT_NE(added->detail.find(kGroup.str()), std::string::npos);
+  auto done = find("rx-done");
+  ASSERT_NE(done, records.end());
+  EXPECT_NE(done->detail.find(kGroup.str()), std::string::npos);
+  EXPECT_NE(find("listener-expired"), records.end());
 }
 
 TEST(MldProtocol, GroupCallbackFiresOnAddAndExpiry) {

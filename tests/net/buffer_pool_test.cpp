@@ -1,0 +1,80 @@
+#include "net/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace mip6 {
+namespace {
+
+TEST(BufferPool, ReusesSlotOnceAllReferencesDrop) {
+  BufferPool pool;
+  auto a = pool.checkout();
+  a->assign({1, 2, 3, 4});
+  const Bytes* storage = a.get();
+  EXPECT_EQ(pool.fresh(), 1u);
+
+  // Still referenced: checkout must NOT hand the same buffer out again.
+  auto b = pool.checkout();
+  EXPECT_NE(b.get(), storage);
+  EXPECT_EQ(pool.fresh(), 2u);
+
+  a.reset();
+  b.reset();
+  auto c = pool.checkout();
+  EXPECT_TRUE(c->empty());  // recycled buffers come back cleared
+  EXPECT_EQ(pool.reused(), 1u);
+  EXPECT_EQ(pool.slots(), 2u);
+}
+
+TEST(BufferPool, RecycledBufferKeepsCapacity) {
+  BufferPool pool;
+  {
+    auto a = pool.checkout();
+    a->assign(512, 0xab);
+  }
+  auto b = pool.checkout();
+  EXPECT_EQ(pool.reused(), 1u);
+  EXPECT_TRUE(b->empty());
+  EXPECT_GE(b->capacity(), 512u);  // clear() keeps the allocation
+}
+
+TEST(BufferPool, LiveBufferIsNeverMutatedByLaterCheckouts) {
+  BufferPool pool;
+  auto held = pool.checkout_copy(Bytes{9, 9, 9});
+  for (int i = 0; i < 100; ++i) {
+    auto tmp = pool.checkout_copy(Bytes{1, 2});
+  }
+  EXPECT_EQ(*held, (Bytes{9, 9, 9}));
+}
+
+TEST(BufferPool, FallsBackToPlainAllocationWhenFull) {
+  BufferPool pool;
+  std::vector<std::shared_ptr<Bytes>> live;
+  for (std::size_t i = 0; i < BufferPool::kMaxSlots + 10; ++i) {
+    live.push_back(pool.checkout());
+  }
+  EXPECT_EQ(pool.slots(), BufferPool::kMaxSlots);
+  // Every buffer is distinct even past the cap.
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    for (std::size_t j = i + 1; j < live.size(); ++j) {
+      ASSERT_NE(live[i].get(), live[j].get());
+    }
+  }
+}
+
+TEST(BufferPool, PacketSharingIsReferenceNotCopy) {
+  Network net;
+  Packet pkt = net.make_packet(Bytes{1, 2, 3});
+  Packet copy = pkt;
+  EXPECT_EQ(&pkt.data(), &copy.data());  // same underlying octets
+  EXPECT_EQ(copy.uid(), pkt.uid());
+
+  // Replacing one copy's buffer must not disturb the other.
+  copy.set_data(Bytes{4, 5});
+  EXPECT_EQ(pkt.data(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(copy.data(), (Bytes{4, 5}));
+}
+
+}  // namespace
+}  // namespace mip6

@@ -1,0 +1,124 @@
+// Allocation-discipline guards for the simulation hot path.
+//
+// This TU overrides global operator new/delete with counting wrappers so the
+// tests can assert an exact allocation count over a code window. It must stay
+// its own test binary: the override is process-wide.
+//
+// Guarded invariants (see src/sim/scheduler.hpp):
+//  * steady-state Timer::arm -> cancel -> arm cycles allocate nothing — the
+//    scheduler recycles EventHandle states through a free list and the arm
+//    lambda fits std::function's inline buffer;
+//  * Trace::emit with no sink installed allocates nothing — detail strings
+//    are built lazily, only when a sink will consume them.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "sim/scheduler.hpp"
+#include "sim/timer.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mip6 {
+namespace {
+
+std::uint64_t allocations() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+TEST(AllocGuard, SteadyStateTimerRearmDoesNotAllocate) {
+  Scheduler sched;
+  int fired = 0;
+  Timer timer(sched, [&fired] { ++fired; });
+
+  // Warm-up: grow the heap vector, the state free list, and their
+  // capacities to steady state. Each arm() cancels the previous expiry;
+  // the dead entry drains lazily ~9 pops later and its state recycles
+  // into the free list.
+  for (int i = 0; i < 256; ++i) {
+    timer.arm(Time::ms(10));
+    sched.run_until(sched.now() + Time::ms(1));
+  }
+  sched.run_until(sched.now() + Time::ms(20));  // drain the last expiry
+  ASSERT_EQ(fired, 1);
+
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 10000; ++i) {
+    timer.arm(Time::ms(10));
+    sched.run_until(sched.now() + Time::ms(1));
+  }
+  EXPECT_EQ(allocations(), before)
+      << "Timer::arm re-arm cycle allocated on the hot path";
+}
+
+TEST(AllocGuard, ExpiringTimersDoNotAllocateAtSteadyState) {
+  Scheduler sched;
+  std::uint64_t fired = 0;
+  Timer timer(sched, [&fired] { ++fired; });
+
+  for (int i = 0; i < 256; ++i) {
+    timer.arm(Time::ms(1));
+    sched.run_until(sched.now() + Time::ms(2));
+  }
+  ASSERT_EQ(fired, 256u);
+
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 10000; ++i) {
+    timer.arm(Time::ms(1));
+    sched.run_until(sched.now() + Time::ms(2));
+  }
+  EXPECT_EQ(allocations(), before)
+      << "arm -> expire cycle allocated on the hot path";
+  EXPECT_EQ(fired, 10256u);
+}
+
+TEST(AllocGuard, DisabledTraceEmitDoesNotAllocate) {
+  Trace trace;
+  ASSERT_FALSE(trace.enabled());
+
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 10000; ++i) {
+    trace.emit(Time::ms(i), "pimdm", "graft-tx", [&] {
+      // This detail builder must never run while no sink is installed.
+      return std::string(64, 'x') + std::to_string(i);
+    });
+  }
+  EXPECT_EQ(allocations(), before)
+      << "Trace::emit allocated with tracing disabled";
+}
+
+TEST(AllocGuard, EnabledTraceStillInvokesDetailBuilder) {
+  Trace trace;
+  std::vector<TraceRecord> records;
+  trace.set_sink(Trace::recorder(records));
+  trace.emit(Time::sec(1), "mld", "listener-added", [] {
+    return std::string("group=ff1e::1");
+  });
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].component, "mld");
+  EXPECT_EQ(records[0].event, "listener-added");
+  EXPECT_EQ(records[0].detail, "group=ff1e::1");
+}
+
+}  // namespace
+}  // namespace mip6

@@ -109,5 +109,62 @@ TEST(Scheduler, ExecutedEventsCounterAccumulates) {
   EXPECT_EQ(s.executed_events(), 7u);
 }
 
+// Regression: cancelled events used to sit in the queue until their expiry
+// time surfaced at the top, so the re-arm pattern (schedule far-future,
+// cancel, repeat — what every Timer::arm does) grew the heap without bound.
+// Compaction must keep the heap proportional to the LIVE event count.
+TEST(Scheduler, TenThousandCancelsKeepQueueBounded) {
+  Scheduler s;
+  for (int i = 0; i < 10000; ++i) {
+    EventHandle h = s.schedule_at(Time::sec(1000 + i), [] {});
+    h.cancel();
+  }
+  EXPECT_EQ(s.live_events(), 0u);
+  EXPECT_LT(s.pending_events(), 2 * Scheduler::kCompactMin);
+  EXPECT_GT(s.compactions(), 0u);
+  EXPECT_EQ(s.run(), 0u);
+}
+
+TEST(Scheduler, CompactionPreservesLiveEventsAndOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    s.schedule_at(Time::sec(i + 1), [&order, i] { order.push_back(i); });
+  }
+  // Interleave enough schedule+cancel churn to force several compactions
+  // while the live events above are still in the heap.
+  for (int i = 0; i < 1000; ++i) {
+    EventHandle h = s.schedule_at(Time::sec(5000), [] {});
+    h.cancel();
+  }
+  EXPECT_GT(s.compactions(), 0u);
+  EXPECT_EQ(s.live_events(), 100u);
+  s.run_until(Time::sec(200));
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, HandleOutlivesSchedulerSafely) {
+  EventHandle h;
+  {
+    Scheduler s;
+    h = s.schedule_at(Time::sec(1), [] {});
+  }
+  EXPECT_TRUE(h.pending());  // never ran, never cancelled
+  h.cancel();                // must not touch the destroyed scheduler
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Scheduler, RecycledStatesDoNotConfuseOldHandles) {
+  Scheduler s;
+  EventHandle stale = s.schedule_at(Time::sec(1), [] {});
+  s.run_until(Time::sec(1));
+  EXPECT_FALSE(stale.pending());
+  // The executed event's state cannot be recycled while `stale` holds it,
+  // so a burst of new events must not flip `stale` back to pending.
+  for (int i = 0; i < 50; ++i) s.schedule_at(Time::sec(10), [] {});
+  EXPECT_FALSE(stale.pending());
+}
+
 }  // namespace
 }  // namespace mip6

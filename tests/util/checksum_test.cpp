@@ -66,5 +66,68 @@ TEST(InternetChecksum, AddU16U32MatchRawBytes) {
   EXPECT_EQ(a.finish(), internet_checksum(raw));
 }
 
+TEST(InternetChecksum, OddAddFollowedByAddPairsAcrossBuffers) {
+  // The dangling octet of an odd-length add() must pair with the FIRST
+  // octet of the next buffer, exactly as if the data were contiguous —
+  // not be zero-padded early.
+  Bytes data{0xab, 0xcd, 0xef, 0x01, 0x23, 0x45, 0x67};
+  for (std::size_t split = 1; split < data.size(); split += 2) {
+    InternetChecksum inc;
+    inc.add(BytesView(data).subspan(0, split));  // odd prefix
+    inc.add(BytesView(data).subspan(split));
+    EXPECT_EQ(inc.finish(), internet_checksum(data)) << "split " << split;
+  }
+}
+
+TEST(InternetChecksum, ManyOddFragmentsMatchOneShot) {
+  Bytes data{9, 8, 7, 6, 5, 4, 3, 2, 1};
+  InternetChecksum inc;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    inc.add(BytesView(data).subspan(i, 1));  // one octet at a time
+  }
+  EXPECT_EQ(inc.finish(), internet_checksum(data));
+}
+
+TEST(InternetChecksum, AddU16U32InterleavedWithOddBuffers) {
+  // Word adds after an odd buffer must honour the pending octet: the
+  // sequence below is octet-identical to `raw`.
+  Bytes odd{0x11, 0x22, 0x33};
+  InternetChecksum inc;
+  inc.add(odd);
+  inc.add_u16(0x4455);
+  inc.add(BytesView(odd).subspan(0, 1));  // another dangling octet
+  inc.add_u32(0x66778899);
+  Bytes raw{0x11, 0x22, 0x33, 0x44, 0x55, 0x11, 0x66, 0x77, 0x88, 0x99};
+  EXPECT_EQ(inc.finish(), internet_checksum(raw));
+}
+
+TEST(InternetChecksum, FinishIsIdempotentAndNonDestructive) {
+  Bytes data{0xde, 0xad, 0xbe, 0xef, 0x42};  // odd length: pending octet
+  InternetChecksum inc;
+  inc.add(data);
+  std::uint16_t first = inc.finish();
+  EXPECT_EQ(first, internet_checksum(data));
+  // finish() must not consume the pending odd octet or fold the
+  // accumulator in place.
+  EXPECT_EQ(inc.finish(), first);
+  EXPECT_EQ(inc.finish(), first);
+  // ...and the accumulator must still be usable afterwards.
+  inc.add_u16(0xcafe);
+  Bytes extended{0xde, 0xad, 0xbe, 0xef, 0x42, 0xca, 0xfe};
+  EXPECT_EQ(inc.finish(), internet_checksum(extended));
+}
+
+TEST(InternetChecksum, EmptyAndAllZeroInputs) {
+  InternetChecksum empty;
+  EXPECT_EQ(empty.finish(), 0xffff);  // ~0 folded
+  EXPECT_EQ(internet_checksum(Bytes{}), 0xffff);
+  Bytes zeros(8, 0);
+  EXPECT_EQ(internet_checksum(zeros), 0xffff);
+  InternetChecksum inc;
+  inc.add(BytesView(zeros).subspan(0, 3));
+  inc.add(BytesView(zeros).subspan(3));
+  EXPECT_EQ(inc.finish(), 0xffff);
+}
+
 }  // namespace
 }  // namespace mip6

@@ -1,0 +1,86 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mip6 {
+namespace {
+
+TEST(Json, ScalarsRoundTrip) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(Json::parse("\"a b\"").as_string(), "a b");
+}
+
+TEST(Json, ObjectKeepsInsertionOrderAndReplaces) {
+  Json o = Json::object();
+  o.set("b", 1);
+  o.set("a", 2);
+  o.set("b", 3);
+  EXPECT_EQ(o.dump(), "{\"b\":3,\"a\":2}");
+  EXPECT_TRUE(o.contains("a"));
+  EXPECT_FALSE(o.contains("c"));
+  EXPECT_DOUBLE_EQ(o["b"].as_number(), 3.0);
+  EXPECT_THROW(o["missing"], LogicError);
+}
+
+TEST(Json, NestedDocumentRoundTrips) {
+  Json doc = Json::object();
+  doc.set("schema", "mip6-bench-v1");
+  Json metrics = Json::object();
+  metrics.set("ns_per_event", 123.5);
+  doc.set("metrics", std::move(metrics));
+  Json rows = Json::array();
+  Json row = Json::object();
+  row.set("routers", 8);
+  rows.push_back(std::move(row));
+  doc.set("rows", std::move(rows));
+
+  Json back = Json::parse(doc.dump(2));
+  EXPECT_EQ(back["schema"].as_string(), "mip6-bench-v1");
+  EXPECT_DOUBLE_EQ(back["metrics"]["ns_per_event"].as_number(), 123.5);
+  ASSERT_EQ(back["rows"].size(), 1u);
+  EXPECT_DOUBLE_EQ(back["rows"].at(0)["routers"].as_number(), 8.0);
+}
+
+TEST(Json, StringEscapes) {
+  Json s(std::string("a\"b\\c\nd\te"));
+  std::string dumped = s.dump();
+  EXPECT_EQ(dumped, "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(Json::parse(dumped).as_string(), "a\"b\\c\nd\te");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), ParseError);
+  EXPECT_THROW(Json::parse("{"), ParseError);
+  EXPECT_THROW(Json::parse("[1,]"), ParseError);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), ParseError);
+  EXPECT_THROW(Json::parse("\"unterminated"), ParseError);
+  EXPECT_THROW(Json::parse("tru"), ParseError);
+  EXPECT_THROW(Json::parse("1 2"), ParseError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), ParseError);
+  EXPECT_THROW(Json::parse("nan"), ParseError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  EXPECT_THROW(Json(1).as_string(), LogicError);
+  EXPECT_THROW(Json("x").as_number(), LogicError);
+  EXPECT_THROW(Json().push_back(Json(1)), LogicError);
+  EXPECT_THROW(Json::array().set("k", Json(1)), LogicError);
+}
+
+TEST(Json, PrettyPrintParsesBack) {
+  Json doc = Json::parse("{\"a\":[1,2,{\"b\":null}],\"c\":true}");
+  Json back = Json::parse(doc.dump(2));
+  EXPECT_EQ(back.dump(), doc.dump());
+}
+
+}  // namespace
+}  // namespace mip6
