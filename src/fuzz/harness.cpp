@@ -1,0 +1,96 @@
+#include "fuzz/harness.hpp"
+
+#include <map>
+
+#include "util/errors.hpp"
+
+namespace mip6 {
+
+std::string FuzzReport::str() const {
+  std::string out = "cases=" + std::to_string(cases) +
+                    " accepted=" + std::to_string(accepted) +
+                    " rejected=" + std::to_string(rejected);
+  for (std::size_t i = 0; i < by_reason.size(); ++i) {
+    if (by_reason[i] == 0) continue;
+    out += " ";
+    out += parse_reason_name(static_cast<ParseReason>(i));
+    out += "=";
+    out += std::to_string(by_reason[i]);
+  }
+  return out;
+}
+
+FuzzReport fuzz_decoder(FuzzProto proto, std::uint64_t seed,
+                        std::size_t cases) {
+  std::vector<FuzzFrame> seeds = seed_frames(proto);
+  if (seeds.empty()) {
+    throw LogicError("no seed frames for fuzz protocol " +
+                     std::string(fuzz_proto_name(proto)));
+  }
+  // Unmutated seeds must decode cleanly: if a generator drifts from its
+  // decoder the whole run would silently degenerate into noise-fuzzing.
+  for (const FuzzFrame& f : seeds) {
+    if (auto fail = drive_decoder(proto, f.octets)) {
+      throw LogicError("seed frame '" + f.name + "' rejected: " +
+                       fail->str());
+    }
+  }
+
+  Rng rng(seed);
+  FuzzReport report;
+  for (std::size_t i = 0; i < cases; ++i) {
+    const FuzzFrame& base = seeds[rng.uniform_int(seeds.size())];
+    Bytes mutated = mutate_frame(base, rng);
+    ++report.cases;
+    std::optional<ParseFailure> fail = drive_decoder(proto, mutated);
+    if (!fail) {
+      ++report.accepted;
+    } else {
+      ++report.rejected;
+      ++report.by_reason[static_cast<std::size_t>(fail->reason)];
+    }
+  }
+  return report;
+}
+
+bool reject_counters_consistent(const CounterRegistry& counters,
+                                std::string* detail) {
+  // parse/<proto>/rejects vs sum over parse/<proto>/reject/<reason>.
+  std::map<std::string, std::uint64_t> totals;
+  std::map<std::string, std::uint64_t> sums;
+  for (const auto& [name, value] : counters.snapshot()) {
+    constexpr std::string_view kPrefix = "parse/";
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    std::size_t proto_end = name.find('/', kPrefix.size());
+    if (proto_end == std::string::npos) continue;
+    std::string proto = name.substr(kPrefix.size(), proto_end - kPrefix.size());
+    std::string_view rest = std::string_view(name).substr(proto_end + 1);
+    if (rest == "rejects") {
+      totals[proto] += value;
+    } else if (rest.rfind("reject/", 0) == 0) {
+      sums[proto] += value;
+    }
+  }
+  for (const auto& [proto, total] : totals) {
+    std::uint64_t sum = sums.count(proto) ? sums.at(proto) : 0;
+    if (sum != total) {
+      if (detail != nullptr) {
+        *detail = "proto " + proto + ": rejects=" + std::to_string(total) +
+                  " but reason cells sum to " + std::to_string(sum);
+      }
+      return false;
+    }
+  }
+  for (const auto& [proto, sum] : sums) {
+    if (!totals.count(proto)) {
+      if (detail != nullptr) {
+        *detail = "proto " + proto + ": reason cells present (" +
+                  std::to_string(sum) + ") without a rejects total";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mip6

@@ -1,0 +1,47 @@
+// Deterministic fuzz executor: N seeds x M mutations per protocol, each
+// case classified into the parse taxonomy. The same (protocol, seed, cases)
+// triple always explores the same inputs, so a CI failure is reproducible
+// locally with no corpus exchange.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "fuzz/corpus.hpp"
+#include "stats/counters.hpp"
+
+namespace mip6 {
+
+struct FuzzReport {
+  std::uint64_t cases = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::array<std::uint64_t, kParseReasonCount> by_reason{};
+
+  /// Attribution invariant: every rejected case landed in exactly one
+  /// taxonomy bucket.
+  bool attribution_consistent() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : by_reason) sum += v;
+    return sum == rejected && accepted + rejected == cases;
+  }
+
+  std::string str() const;
+};
+
+/// Runs `cases` mutated frames (derived from `seed`) through the decoders
+/// for `proto`. Every seed frame is also replayed unmutated and must be
+/// accepted — a generator/decoder drift fails fast instead of silently
+/// fuzzing garbage.
+FuzzReport fuzz_decoder(FuzzProto proto, std::uint64_t seed,
+                        std::size_t cases);
+
+/// Checks the receive-path attribution invariant over a live counter set:
+/// for every protocol with `parse/<proto>/rejects`, the per-reason cells
+/// must sum to exactly that total. On violation returns false and fills
+/// `detail`.
+bool reject_counters_consistent(const CounterRegistry& counters,
+                                std::string* detail);
+
+}  // namespace mip6

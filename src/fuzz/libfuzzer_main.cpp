@@ -1,0 +1,20 @@
+// Optional libFuzzer entry point (built only with -DMIP6_LIBFUZZER=ON and a
+// clang toolchain; the deterministic ctest harness is the tier-1 path).
+// The first input octet selects the decoder family; the rest is the frame.
+//
+//   cmake -B build-fuzz -DMIP6_LIBFUZZER=ON \
+//         -DCMAKE_CXX_COMPILER=clang++ -DMIP6_SANITIZE=address
+//   ./build-fuzz/src/fuzz/mip6_libfuzzer tests/fuzz/corpus/
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/corpus.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 1) return 0;
+  mip6::FuzzProto proto =
+      static_cast<mip6::FuzzProto>(data[0] % mip6::kFuzzProtoCount);
+  (void)mip6::drive_decoder(proto, mip6::BytesView(data + 1, size - 1));
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "fuzz/mutator.hpp"
+
+#include <algorithm>
+
+namespace mip6 {
+namespace {
+
+constexpr std::uint8_t kBoundaryValues[] = {0x00, 0x01, 0x7f, 0x80, 0xff};
+
+std::uint8_t boundary_value(Rng& rng) {
+  return kBoundaryValues[rng.uniform_int(sizeof(kBoundaryValues))];
+}
+
+}  // namespace
+
+void apply_mutation(Bytes& frame,
+                    const std::vector<std::size_t>& length_offsets, Rng& rng) {
+  MutationOp op = static_cast<MutationOp>(rng.uniform_int(kMutationOpCount));
+  // Length lies need a surviving length offset; everything except kExtend
+  // needs at least one octet to chew on. Fall back to kExtend so every call
+  // mutates *something* (a no-op case would silently shrink coverage).
+  if (op == MutationOp::kLengthLie) {
+    bool usable = std::any_of(length_offsets.begin(), length_offsets.end(),
+                              [&](std::size_t o) { return o < frame.size(); });
+    if (!usable) op = MutationOp::kExtend;
+  }
+  if (frame.empty() && op != MutationOp::kExtend) op = MutationOp::kExtend;
+
+  switch (op) {
+    case MutationOp::kTruncate:
+      frame.resize(rng.uniform_int(frame.size()));
+      break;
+    case MutationOp::kExtend: {
+      std::size_t n = 1 + rng.uniform_int(32);
+      for (std::size_t i = 0; i < n; ++i) {
+        frame.push_back(static_cast<std::uint8_t>(rng.uniform_int(256)));
+      }
+      break;
+    }
+    case MutationOp::kSplice: {
+      std::size_t start = rng.uniform_int(frame.size());
+      std::size_t len = 1 + rng.uniform_int(frame.size() - start);
+      for (std::size_t i = start; i < start + len; ++i) {
+        frame[i] = static_cast<std::uint8_t>(rng.uniform_int(256));
+      }
+      break;
+    }
+    case MutationOp::kLengthLie: {
+      std::vector<std::size_t> usable;
+      for (std::size_t o : length_offsets) {
+        if (o < frame.size()) usable.push_back(o);
+      }
+      std::size_t target = usable[rng.uniform_int(usable.size())];
+      frame[target] = rng.bernoulli(0.5)
+                          ? boundary_value(rng)
+                          : static_cast<std::uint8_t>(rng.uniform_int(256));
+      break;
+    }
+    case MutationOp::kBoundary:
+      frame[rng.uniform_int(frame.size())] = boundary_value(rng);
+      break;
+    case MutationOp::kBitFlip: {
+      std::size_t flips = 1 + rng.uniform_int(8);
+      for (std::size_t i = 0; i < flips; ++i) {
+        std::size_t bit = rng.uniform_int(frame.size() * 8);
+        frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      break;
+    }
+  }
+}
+
+Bytes mutate_frame(const FuzzFrame& seed, Rng& rng) {
+  Bytes out = seed.octets;
+  std::size_t ops = 1 + rng.uniform_int(3);
+  for (std::size_t i = 0; i < ops; ++i) {
+    apply_mutation(out, seed.length_offsets, rng);
+  }
+  return out;
+}
+
+}  // namespace mip6

@@ -1,0 +1,47 @@
+// Deterministic structure-aware frame mutator.
+//
+// Every mutation is a pure function of (seed frame, Rng state), so a fuzz
+// run is reproducible from its seed alone: failures can be replayed
+// byte-exact by re-running the same seed, and the committed corpus under
+// tests/fuzz/corpus/ pins the interesting boundary shapes forever.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "util/buffer.hpp"
+
+namespace mip6 {
+
+/// A valid wire frame plus the structural hints the mutator exploits.
+struct FuzzFrame {
+  std::string name;
+  Bytes octets;
+  /// Offsets of length / count fields inside `octets`. The "length-field
+  /// lie" mutation targets exactly these, which is what separates a
+  /// structure-aware fuzzer from random bit noise: an attacker forging a
+  /// count field is the realistic hostile input.
+  std::vector<std::size_t> length_offsets;
+};
+
+/// The individual mutation operators, exposed for tests.
+enum class MutationOp : std::uint8_t {
+  kTruncate = 0,   // cut the frame short at a random point
+  kExtend,         // append random trailing octets
+  kSplice,         // overwrite a random range with random octets
+  kLengthLie,      // set a known length/count field to a boundary value
+  kBoundary,       // set one octet to a boundary value (0x00/0x7f/0x80/0xff)
+  kBitFlip,        // flip 1..8 random bits
+};
+inline constexpr std::size_t kMutationOpCount = 6;
+
+/// Applies one randomly chosen operator in place.
+void apply_mutation(Bytes& frame, const std::vector<std::size_t>& length_offsets,
+                    Rng& rng);
+
+/// Produces a mutated copy of `seed` with 1..3 stacked operators.
+Bytes mutate_frame(const FuzzFrame& seed, Rng& rng);
+
+}  // namespace mip6

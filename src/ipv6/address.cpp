@@ -1,5 +1,6 @@
 #include "ipv6/address.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "util/strings.hpp"
@@ -146,6 +147,14 @@ std::uint64_t Address::low64() const {
 void Address::write(BufferWriter& w) const { w.raw(BytesView(b_)); }
 
 Address Address::read(BufferReader& r) { return from_bytes(r.view(kBytes)); }
+
+Address Address::read(WireCursor& c) {
+  BytesView v = c.view(kBytes);
+  if (v.size() != kBytes) return Address();  // cursor now failed()
+  Address a;
+  std::copy(v.begin(), v.end(), a.b_.begin());
+  return a;
+}
 
 std::string Address::str() const {
   std::array<std::uint16_t, 8> g;

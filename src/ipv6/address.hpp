@@ -10,6 +10,7 @@
 #include <string>
 
 #include "util/buffer.hpp"
+#include "util/parse_result.hpp"
 
 namespace mip6 {
 
@@ -49,6 +50,9 @@ class Address {
 
   void write(BufferWriter& w) const;
   static Address read(BufferReader& r);
+  /// No-throw read: returns the unspecified address and fails the cursor on
+  /// underrun (callers check c.failed() once after reading a whole layout).
+  static Address read(WireCursor& c);
 
   /// Canonical textual form with longest-zero-run compression.
   std::string str() const;

@@ -42,32 +42,59 @@ const DestOption* ParsedDatagram::find_option(std::uint8_t type) const {
   return nullptr;
 }
 
-ParsedDatagram parse_datagram(BytesView bytes) {
-  BufferReader r(bytes);
+ParseResult<ParsedDatagram> try_parse_datagram(BytesView bytes) {
+  WireCursor c(bytes);
   ParsedDatagram d;
-  d.hdr = Ipv6Header::read(r);
-  if (d.hdr.payload_length != r.remaining()) {
-    throw ParseError("IPv6 payload length " +
-                     std::to_string(d.hdr.payload_length) +
-                     " != actual " + std::to_string(r.remaining()));
+  ParseResult<Ipv6Header> hdr = Ipv6Header::try_read(c);
+  if (!hdr.ok()) return hdr.failure();
+  d.hdr = hdr.value();
+  if (d.hdr.payload_length > c.remaining()) {
+    return ParseFailure{ParseReason::kTruncated,
+                        "IPv6 payload length exceeds received octets"};
+  }
+  if (d.hdr.payload_length < c.remaining()) {
+    return ParseFailure{ParseReason::kOverlength,
+                        "octets beyond IPv6 payload length"};
   }
   std::uint8_t next = d.hdr.next_header;
+  std::size_t chain = 0;
   while (next == proto::kDestOpts) {
-    DestOptionsHeader h = DestOptionsHeader::read(r);
-    for (auto& o : h.options) d.dest_options.push_back(std::move(o));
-    next = h.next_header;
+    if (++chain > bound::kMaxExtHeaderChain) {
+      return ParseFailure{ParseReason::kBoundExceeded,
+                          "extension header chain"};
+    }
+    std::size_t base = c.position();
+    d.next_header_offset = static_cast<std::uint16_t>(base);
+    ParseResult<DestOptionsHeader> h = DestOptionsHeader::try_read(c, base);
+    if (!h.ok()) return h.failure();
+    if (d.dest_options.size() + h.value().options.size() >
+        bound::kMaxDestOptions) {
+      return ParseFailure{ParseReason::kBoundExceeded,
+                          "destination options in one datagram"};
+    }
+    for (auto& o : h.value().options) d.dest_options.push_back(std::move(o));
+    next = h.value().next_header;
   }
   d.protocol = next;
-  d.payload = r.raw(r.remaining());
+  d.payload = c.raw(c.remaining());
   d.effective_src = d.hdr.src;
   if (const DestOption* home = d.find_option(opt::kHomeAddress)) {
-    if (home->data.size() == Address::kBytes) {
-      d.effective_src = Address::from_bytes(home->data);
-    } else {
-      throw ParseError("Home Address option with bad length");
+    if (home->data.size() != Address::kBytes) {
+      return ParseFailure{ParseReason::kBadLength,
+                          "Home Address option length"};
     }
+    Address ha = Address::from_bytes(home->data);
+    if (ha.is_multicast() || ha.is_unspecified()) {
+      return ParseFailure{ParseReason::kSemantic,
+                          "Home Address option is not a unicast address"};
+    }
+    d.effective_src = ha;
   }
   return d;
+}
+
+ParsedDatagram parse_datagram(BytesView bytes) {
+  return try_parse_datagram(bytes).take_or_throw();
 }
 
 bool decrement_hop_limit(Bytes& datagram) {

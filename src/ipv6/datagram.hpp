@@ -38,13 +38,21 @@ struct ParsedDatagram {
   Bytes payload;                           // final upper-layer octets
   /// hdr.src unless a Home Address option is present, then the home address.
   Address effective_src;
+  /// Offset within the datagram of the Next Header octet that selected
+  /// `protocol` (6 in the fixed header, or inside the last extension
+  /// header). Feeds the ICMPv6 Parameter Problem code-1 pointer.
+  std::uint16_t next_header_offset = 6;
 
   bool has_option(std::uint8_t type) const;
   const DestOption* find_option(std::uint8_t type) const;
 };
 
-/// Parses a complete datagram; throws ParseError on any malformation
-/// (bad version, truncation, payload-length mismatch).
+/// No-throw whole-datagram parse: bad version, truncation, payload-length
+/// mismatch, extension-chain/option bounds, and Home Address option
+/// malformations all come back as taxonomy failures instead of exceptions.
+ParseResult<ParsedDatagram> try_parse_datagram(BytesView bytes);
+
+/// Throwing wrapper over try_parse_datagram for legacy call sites.
 ParsedDatagram parse_datagram(BytesView bytes);
 
 /// In-place hop-limit decrement on serialized octets (offset 7).

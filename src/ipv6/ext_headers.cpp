@@ -43,20 +43,39 @@ void DestOptionsHeader::write(BufferWriter& w) const {
   }
 }
 
-DestOptionsHeader DestOptionsHeader::read(BufferReader& r) {
+ParseResult<DestOptionsHeader> DestOptionsHeader::try_read(
+    WireCursor& c, std::size_t base_offset) {
   DestOptionsHeader h;
-  h.next_header = r.u8();
-  std::size_t len = (static_cast<std::size_t>(r.u8()) + 1) * 8;
-  BufferReader body(r.view(len - 2));
+  h.next_header = c.u8();
+  std::size_t len = (static_cast<std::size_t>(c.u8()) + 1) * 8;
+  BytesView body_view = c.view(len - 2);
+  if (c.failed()) {
+    return ParseFailure{ParseReason::kTruncated, "destination-options header"};
+  }
+  WireCursor body(body_view);
   while (!body.empty()) {
+    std::size_t opt_off = base_offset + 2 + body.position();
     std::uint8_t type = body.u8();
     if (type == opt::kPad1) continue;
     std::uint8_t dlen = body.u8();
     Bytes data = body.raw(dlen);
+    if (body.failed()) {
+      return ParseFailure{ParseReason::kTruncated, "destination option TLV"};
+    }
     if (type == opt::kPadN) continue;
-    h.options.push_back(DestOption{type, std::move(data)});
+    if (h.options.size() >= bound::kMaxDestOptions) {
+      return ParseFailure{ParseReason::kBoundExceeded,
+                          "destination options in one header"};
+    }
+    h.options.push_back(DestOption{type, std::move(data),
+                                   static_cast<std::uint16_t>(opt_off)});
   }
   return h;
+}
+
+DestOptionsHeader DestOptionsHeader::read(BufferReader& r) {
+  WireCursor c(r.view(r.remaining()));
+  return DestOptionsHeader::try_read(c).take_or_throw();
 }
 
 const DestOption* DestOptionsHeader::find(std::uint8_t type) const {

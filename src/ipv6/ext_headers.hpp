@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/buffer.hpp"
+#include "util/parse_result.hpp"
 
 namespace mip6 {
 
@@ -19,6 +20,10 @@ namespace mip6 {
 struct DestOption {
   std::uint8_t type = 0;
   Bytes data;
+  /// Offset of the option's type octet from the start of the datagram (set
+  /// by parsing; ignored when writing). Feeds the ICMPv6 Parameter Problem
+  /// pointer for unrecognized options.
+  std::uint16_t wire_offset = 0;
 };
 
 namespace opt {
@@ -38,7 +43,13 @@ struct DestOptionsHeader {
 
   /// Serializes with PadN so the header length is a multiple of 8 octets.
   void write(BufferWriter& w) const;
-  /// Parses one destination-options header; consumes exactly its length.
+  /// No-throw parse of one destination-options header; consumes exactly its
+  /// length. `base_offset` is the header's offset within the datagram, used
+  /// to stamp each option's wire_offset.
+  static ParseResult<DestOptionsHeader> try_read(WireCursor& c,
+                                                 std::size_t base_offset = 0);
+  /// Throwing wrapper over try_read for tests/legacy callers. Consumes the
+  /// whole reader; throws ParseError on malformation.
   static DestOptionsHeader read(BufferReader& r);
 
   /// Returns the first option of `type`, or nullptr.

@@ -1,5 +1,7 @@
 #include "ipv6/header.hpp"
 
+#include <algorithm>
+
 namespace mip6 {
 
 void Ipv6Header::write(BufferWriter& w) const {
@@ -14,20 +16,28 @@ void Ipv6Header::write(BufferWriter& w) const {
   dst.write(w);
 }
 
-Ipv6Header Ipv6Header::read(BufferReader& r) {
-  std::uint32_t word0 = r.u32();
-  if ((word0 >> 28) != 6) {
-    throw ParseError("IPv6 version field is not 6");
-  }
+ParseResult<Ipv6Header> Ipv6Header::try_read(WireCursor& c) {
+  std::uint32_t word0 = c.u32();
   Ipv6Header h;
   h.traffic_class = static_cast<std::uint8_t>(word0 >> 20);
   h.flow_label = word0 & 0xfffff;
-  h.payload_length = r.u16();
-  h.next_header = r.u8();
-  h.hop_limit = r.u8();
-  h.src = Address::read(r);
-  h.dst = Address::read(r);
+  h.payload_length = c.u16();
+  h.next_header = c.u8();
+  h.hop_limit = c.u8();
+  h.src = Address::read(c);
+  h.dst = Address::read(c);
+  if (c.failed()) {
+    return ParseFailure{ParseReason::kTruncated, "IPv6 fixed header"};
+  }
+  if ((word0 >> 28) != 6) {
+    return ParseFailure{ParseReason::kBadType, "IPv6 version field is not 6"};
+  }
   return h;
+}
+
+Ipv6Header Ipv6Header::read(BufferReader& r) {
+  WireCursor c(r.view(std::min(r.remaining(), kSize)));
+  return Ipv6Header::try_read(c).take_or_throw();
 }
 
 }  // namespace mip6

@@ -6,6 +6,7 @@
 
 #include "ipv6/address.hpp"
 #include "util/buffer.hpp"
+#include "util/parse_result.hpp"
 
 namespace mip6 {
 
@@ -34,7 +35,9 @@ struct Ipv6Header {
   Address dst;
 
   void write(BufferWriter& w) const;
-  /// Parses and validates (version must be 6); throws ParseError.
+  /// No-throw parse; validates the version field.
+  static ParseResult<Ipv6Header> try_read(WireCursor& c);
+  /// Throwing wrapper over try_read for legacy call sites; throws ParseError.
   static Ipv6Header read(BufferReader& r);
 };
 

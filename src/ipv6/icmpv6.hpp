@@ -6,10 +6,16 @@
 
 #include "ipv6/address.hpp"
 #include "util/buffer.hpp"
+#include "util/parse_result.hpp"
 
 namespace mip6 {
 
 namespace icmpv6 {
+/// Parameter Problem (RFC 2463 §3.4).
+inline constexpr std::uint8_t kParamProblem = 4;
+inline constexpr std::uint8_t kCodeErroneousField = 0;
+inline constexpr std::uint8_t kCodeUnrecognizedNextHeader = 1;
+inline constexpr std::uint8_t kCodeUnrecognizedOption = 2;
 inline constexpr std::uint8_t kMldQuery = 130;
 inline constexpr std::uint8_t kMldReport = 131;
 inline constexpr std::uint8_t kMldDone = 132;
@@ -24,10 +30,20 @@ struct Icmpv6Message {
   /// (src, dst, upper-layer length, next-header 58) plus the message.
   Bytes serialize(const Address& src, const Address& dst) const;
 
-  /// Parses and verifies the checksum; throws ParseError on failure.
+  /// No-throw parse + checksum verification.
+  static ParseResult<Icmpv6Message> try_parse(BytesView payload,
+                                              const Address& src,
+                                              const Address& dst);
+  /// Throwing wrapper over try_parse for legacy call sites.
   static Icmpv6Message parse(BytesView payload, const Address& src,
                              const Address& dst);
 };
+
+/// Builds a Parameter Problem message: 4-octet pointer into the invoking
+/// datagram, then as much of the invoking datagram as fits under the
+/// minimum-MTU error-size budget (RFC 2463 §2.4(c)).
+Icmpv6Message make_param_problem(std::uint8_t code, std::uint32_t pointer,
+                                 BytesView invoking);
 
 /// Computes the RFC 2460 §8.1 upper-layer checksum.
 std::uint16_t pseudo_header_checksum(const Address& src, const Address& dst,

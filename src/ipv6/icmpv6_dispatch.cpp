@@ -1,5 +1,7 @@
 #include "ipv6/icmpv6_dispatch.hpp"
 
+#include "net/wire_stats.hpp"
+
 namespace mip6 {
 
 Icmpv6Dispatcher::Icmpv6Dispatcher(Ipv6Stack& stack) : stack_(&stack) {
@@ -15,19 +17,32 @@ void Icmpv6Dispatcher::subscribe(std::uint8_t type, Handler h) {
 }
 
 void Icmpv6Dispatcher::on_icmpv6(const ParsedDatagram& d, IfaceId iface) {
-  Icmpv6Message msg;
-  try {
-    msg = Icmpv6Message::parse(d.payload, d.hdr.src, d.hdr.dst);
-  } catch (const ParseError&) {
+  ParseResult<Icmpv6Message> parsed =
+      Icmpv6Message::try_parse(d.payload, d.hdr.src, d.hdr.dst);
+  if (!parsed.ok()) {
     stack_->network().counters().add("icmpv6/rx-drop/parse-error");
+    note_parse_reject(stack_->network(), "icmpv6", parsed.failure());
     return;
   }
+  Icmpv6Message msg = std::move(parsed).value();
   auto it = handlers_.find(msg.type);
   if (it == handlers_.end()) {
     stack_->network().counters().add("icmpv6/rx-drop/unhandled-type");
     return;
   }
-  for (const auto& h : it->second) h(msg, d, iface);
+  // Isolation boundary: a malformed body that slips past one subscriber's
+  // decoder must not abort delivery to its siblings. Only the offending
+  // subscriber's element is dropped.
+  for (const auto& h : it->second) {
+    try {
+      h(msg, d, iface);
+    } catch (const ParseError&) {
+      stack_->network().counters().add("icmpv6/rx-drop/handler-parse-error");
+      note_parse_reject(
+          stack_->network(), "icmpv6",
+          ParseFailure{ParseReason::kSemantic, "subscriber rejected body"});
+    }
+  }
 }
 
 }  // namespace mip6

@@ -1,5 +1,7 @@
 #include "ipv6/ripng.hpp"
 
+#include "net/wire_stats.hpp"
+
 namespace mip6 {
 namespace {
 
@@ -27,26 +29,49 @@ Bytes ripng_response_payload(const std::vector<RipngRte>& rtes) {
   return std::move(w).take();
 }
 
-std::vector<RipngRte> parse_ripng_response(BytesView payload) {
-  BufferReader r(payload);
-  if (r.u8() != kCommandResponse) {
-    throw ParseError("RIPng: not a Response");
+ParseResult<std::vector<RipngRte>> try_parse_ripng_response(
+    BytesView payload) {
+  WireCursor c(payload);
+  std::uint8_t command = c.u8();
+  std::uint8_t version = c.u8();
+  c.skip(2);
+  if (c.failed()) {
+    return ParseFailure{ParseReason::kTruncated, "RIPng header"};
   }
-  if (r.u8() != kVersion) throw ParseError("RIPng: bad version");
-  r.skip(2);
-  if (r.remaining() % 20 != 0) {
-    throw ParseError("RIPng: truncated route entries");
+  if (command != kCommandResponse) {
+    return ParseFailure{ParseReason::kBadType, "RIPng: not a Response"};
+  }
+  if (version != kVersion) {
+    return ParseFailure{ParseReason::kBadType, "RIPng: bad version"};
+  }
+  if (c.remaining() % 20 != 0) {
+    return ParseFailure{ParseReason::kTruncated,
+                        "RIPng: truncated route entries"};
+  }
+  if (c.remaining() / 20 > bound::kMaxRipngRtes) {
+    return ParseFailure{ParseReason::kBoundExceeded,
+                        "RIPng route entries per response"};
   }
   std::vector<RipngRte> rtes;
-  while (!r.empty()) {
-    Address addr = Address::read(r);
-    r.skip(2);  // route tag
-    std::uint8_t len = r.u8();
-    std::uint8_t metric = r.u8();
-    if (len > 128) throw ParseError("RIPng: prefix length > 128");
+  while (!c.empty()) {
+    Address addr = Address::read(c);
+    c.skip(2);  // route tag
+    std::uint8_t len = c.u8();
+    std::uint8_t metric = c.u8();
+    if (c.failed()) {
+      return ParseFailure{ParseReason::kTruncated, "RIPng route entry"};
+    }
+    if (len > 128) {
+      return ParseFailure{ParseReason::kSemantic,
+                          "RIPng: prefix length > 128"};
+    }
     rtes.push_back(RipngRte{Prefix(addr, len), metric});
   }
   return rtes;
+}
+
+std::vector<RipngRte> parse_ripng_response(BytesView payload) {
+  return try_parse_ripng_response(payload).take_or_throw();
 }
 
 Ripng::Ripng(Ipv6Stack& stack, UdpDemux& udp, RipngConfig config)
@@ -114,15 +139,15 @@ void Ripng::on_response(const UdpDatagram& udp, const ParsedDatagram& d,
       d.hdr.src == stack_->link_local_address(iface)) {
     return;  // our own update echoed back
   }
-  std::vector<RipngRte> rtes;
-  try {
-    rtes = parse_ripng_response(udp.payload);
-  } catch (const ParseError&) {
+  ParseResult<std::vector<RipngRte>> rtes =
+      try_parse_ripng_response(udp.payload);
+  if (!rtes.ok()) {
     count("ripng/rx-drop/parse-error");
+    note_parse_reject(stack_->network(), "ripng", rtes.failure());
     return;
   }
   count("ripng/rx/response");
-  for (const auto& rte : rtes) process_rte(rte, d.hdr.src, iface);
+  for (const auto& rte : rtes.value()) process_rte(rte, d.hdr.src, iface);
 }
 
 void Ripng::process_rte(const RipngRte& rte, const Address& from,

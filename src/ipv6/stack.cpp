@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ipv6/icmpv6.hpp"
+#include "net/wire_stats.hpp"
 #include "util/errors.hpp"
 
 namespace mip6 {
@@ -252,13 +254,13 @@ void Ipv6Stack::on_rx(IfaceId iface, const Packet& pkt) {
 }
 
 void Ipv6Stack::process(IfaceId iface, const Packet& pkt) {
-  ParsedDatagram d;
-  try {
-    d = parse_datagram(pkt.view());
-  } catch (const ParseError&) {
+  ParseResult<ParsedDatagram> parsed = try_parse_datagram(pkt.view());
+  if (!parsed.ok()) {
     count("ipv6/rx-drop/parse-error");
+    note_parse_reject(network(), "ipv6", parsed.failure());
     return;
   }
+  ParsedDatagram d = std::move(parsed).value();
 
   if (d.hdr.dst.is_multicast()) {
     bool local = d.hdr.dst == Address::all_nodes() ||
@@ -290,11 +292,49 @@ void Ipv6Stack::process(IfaceId iface, const Packet& pkt) {
   count("ipv6/rx-drop/not-mine");
 }
 
+namespace {
+
+// Option types this implementation knows structurally, even on nodes that
+// registered no handler for them (a host ignoring a Binding Update must not
+// start Parameter-Probleming mobility traffic). Pad1/PadN never surface in
+// dest_options — the parser consumes them.
+bool recognized_option(std::uint8_t type) {
+  return type == opt::kBindingUpdate || type == opt::kBindingAck ||
+         type == opt::kBindingRequest || type == opt::kHomeAddress;
+}
+
+}  // namespace
+
 void Ipv6Stack::deliver_local(const ParsedDatagram& d, const Packet& pkt,
                               IfaceId iface) {
   for (const auto& o : d.dest_options) {
     auto it = option_handlers_.find(o.type);
-    if (it != option_handlers_.end()) it->second(o, d, iface);
+    if (it != option_handlers_.end()) {
+      it->second(o, d, iface);
+      continue;
+    }
+    if (recognized_option(o.type)) continue;
+    // RFC 2460 §4.2: the two high-order bits of an unrecognized option's
+    // type select the action.
+    switch (o.type >> 6) {
+      case 0:  // skip over the option
+        break;
+      case 1:  // silently discard the datagram
+        count("ipv6/rx-drop/unrecognized-option");
+        return;
+      case 2:  // discard + Parameter Problem, even for multicast dst
+        count("ipv6/rx-drop/unrecognized-option");
+        send_param_problem(d, pkt, iface, icmpv6::kCodeUnrecognizedOption,
+                           o.wire_offset);
+        return;
+      case 3:  // discard + Parameter Problem only for non-multicast dst
+        count("ipv6/rx-drop/unrecognized-option");
+        if (!d.hdr.dst.is_multicast()) {
+          send_param_problem(d, pkt, iface, icmpv6::kCodeUnrecognizedOption,
+                             o.wire_offset);
+        }
+        return;
+    }
   }
   if (d.hdr.dst.is_multicast()) {
     for (const auto& hook : group_hooks_) hook(d, pkt, iface);
@@ -304,6 +344,39 @@ void Ipv6Stack::deliver_local(const ParsedDatagram& d, const Packet& pkt,
     it->second(d, pkt, iface);
   } else if (d.protocol != proto::kNoNext && !d.hdr.dst.is_multicast()) {
     count("ipv6/rx-drop/no-proto-handler");
+    // RFC 2463 §3.4, code 1: unrecognized Next Header. The pointer names
+    // the Next Header octet that selected the unknown protocol.
+    send_param_problem(d, pkt, iface, icmpv6::kCodeUnrecognizedNextHeader,
+                       d.next_header_offset);
+  }
+}
+
+void Ipv6Stack::send_param_problem(const ParsedDatagram& d, const Packet& pkt,
+                                   IfaceId iface, std::uint8_t code,
+                                   std::uint32_t pointer) {
+  // RFC 2463 §2.4(e): never answer a source that cannot be replied to.
+  if (d.hdr.src.is_unspecified() || d.hdr.src.is_multicast()) return;
+  Address src;
+  if (d.hdr.src.is_link_local_unicast() && has_link_local(iface)) {
+    src = link_local_address(iface);
+  } else if (has_global_address(iface)) {
+    src = global_address(iface);
+  } else if (has_link_local(iface)) {
+    src = link_local_address(iface);
+  } else {
+    return;
+  }
+  Icmpv6Message msg = make_param_problem(code, pointer, pkt.view());
+  DatagramSpec spec;
+  spec.src = src;
+  spec.dst = d.hdr.src;
+  spec.protocol = proto::kIcmpv6;
+  spec.payload = msg.serialize(src, d.hdr.src);
+  count("icmpv6/tx/param-problem");
+  if (d.hdr.src.is_link_local_unicast()) {
+    send_on_iface(iface, spec);
+  } else {
+    send(spec);
   }
 }
 

@@ -140,6 +140,12 @@ class Ipv6Stack {
   void process(IfaceId iface, const Packet& pkt);
   void deliver_local(const ParsedDatagram& d, const Packet& pkt,
                      IfaceId iface);
+  /// Originates an ICMPv6 Parameter Problem (RFC 2463 §3.4) back at the
+  /// offending datagram's source, unless that source is unanswerable
+  /// (multicast / unspecified) or no usable local address exists.
+  void send_param_problem(const ParsedDatagram& d, const Packet& pkt,
+                          IfaceId iface, std::uint8_t code,
+                          std::uint32_t pointer);
   void forward_unicast(const ParsedDatagram& d, const Packet& pkt);
   /// Installs a pooled, hop-limit-decremented copy of pkt's octets into
   /// `pkt`; false (pkt untouched semantically) when the hop limit ran out.

@@ -19,9 +19,12 @@ Bytes encapsulate(BytesView inner, const Address& tunnel_src,
 /// Per-packet tunneling overhead on the wire.
 inline constexpr std::size_t kTunnelOverhead = Ipv6Header::kSize;
 
-/// Extracts the inner datagram octets from a parsed outer datagram whose
-/// protocol is proto::kIpv6; throws ParseError if the payload is not a
-/// well-formed datagram.
+/// No-throw extraction of the inner datagram octets from a parsed outer
+/// datagram whose protocol is proto::kIpv6; fails if the outer protocol is
+/// wrong or the payload is not itself a well-formed datagram.
+ParseResult<Bytes> try_decapsulate(const ParsedDatagram& outer);
+
+/// Throwing wrapper over try_decapsulate for legacy call sites.
 Bytes decapsulate(const ParsedDatagram& outer);
 
 }  // namespace mip6

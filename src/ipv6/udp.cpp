@@ -19,23 +19,38 @@ Bytes UdpDatagram::serialize(const Address& src, const Address& dst) const {
   return std::move(w).take();
 }
 
-UdpDatagram UdpDatagram::parse(BytesView bytes, const Address& src,
-                               const Address& dst) {
-  if (bytes.size() < kHeaderSize) throw ParseError("UDP datagram too short");
+ParseResult<UdpDatagram> UdpDatagram::try_parse(BytesView bytes,
+                                                const Address& src,
+                                                const Address& dst) {
+  if (bytes.size() < kHeaderSize) {
+    return ParseFailure{ParseReason::kTruncated, "UDP datagram too short"};
+  }
   if (pseudo_header_checksum(src, dst,
                              static_cast<std::uint32_t>(bytes.size()),
                              proto::kUdp, bytes) != 0) {
-    throw ParseError("UDP checksum mismatch");
+    return ParseFailure{ParseReason::kBadChecksum, "UDP checksum"};
   }
-  BufferReader r(bytes);
+  WireCursor c(bytes);
   UdpDatagram d;
-  d.src_port = r.u16();
-  d.dst_port = r.u16();
-  std::uint16_t len = r.u16();
-  if (len != bytes.size()) throw ParseError("UDP length field mismatch");
-  r.skip(2);  // checksum
-  d.payload = r.raw(r.remaining());
+  d.src_port = c.u16();
+  d.dst_port = c.u16();
+  std::uint16_t len = c.u16();
+  if (len > bytes.size()) {
+    return ParseFailure{ParseReason::kTruncated,
+                        "UDP length field exceeds received octets"};
+  }
+  if (len < bytes.size()) {
+    return ParseFailure{ParseReason::kOverlength,
+                        "octets beyond UDP length field"};
+  }
+  c.skip(2);  // checksum
+  d.payload = c.raw(c.remaining());
   return d;
+}
+
+UdpDatagram UdpDatagram::parse(BytesView bytes, const Address& src,
+                               const Address& dst) {
+  return try_parse(bytes, src, dst).take_or_throw();
 }
 
 }  // namespace mip6

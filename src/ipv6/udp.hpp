@@ -7,6 +7,7 @@
 
 #include "ipv6/address.hpp"
 #include "util/buffer.hpp"
+#include "util/parse_result.hpp"
 
 namespace mip6 {
 
@@ -16,7 +17,11 @@ struct UdpDatagram {
   Bytes payload;
 
   Bytes serialize(const Address& src, const Address& dst) const;
-  /// Parses and verifies checksum/length; throws ParseError.
+  /// No-throw parse + checksum/length verification.
+  static ParseResult<UdpDatagram> try_parse(BytesView bytes,
+                                            const Address& src,
+                                            const Address& dst);
+  /// Throwing wrapper over try_parse for legacy call sites.
   static UdpDatagram parse(BytesView bytes, const Address& src,
                            const Address& dst);
 

@@ -1,5 +1,7 @@
 #include "ipv6/udp_demux.hpp"
 
+#include "net/wire_stats.hpp"
+
 namespace mip6 {
 
 UdpDemux::UdpDemux(Ipv6Stack& stack) : stack_(&stack) {
@@ -15,13 +17,14 @@ void UdpDemux::bind(std::uint16_t port, Handler h) {
 }
 
 void UdpDemux::on_udp(const ParsedDatagram& d, IfaceId iface) {
-  UdpDatagram udp;
-  try {
-    udp = UdpDatagram::parse(d.payload, d.hdr.src, d.hdr.dst);
-  } catch (const ParseError&) {
+  ParseResult<UdpDatagram> parsed =
+      UdpDatagram::try_parse(d.payload, d.hdr.src, d.hdr.dst);
+  if (!parsed.ok()) {
     stack_->network().counters().add("udp/rx-drop/parse-error");
+    note_parse_reject(stack_->network(), "udp", parsed.failure());
     return;
   }
+  UdpDatagram udp = std::move(parsed).value();
   auto it = handlers_.find(udp.dst_port);
   if (it == handlers_.end()) {
     stack_->network().counters().add("udp/rx-drop/no-listener");

@@ -18,8 +18,13 @@ struct Mipv6Config {
   Time movement_detection_delay = Time::ms(100);
   /// Request a Binding Acknowledgement (A bit).
   bool request_ack = true;
-  /// Retransmit an un-acknowledged BU after this long.
+  /// Initial retransmission timeout for an un-acknowledged BU
+  /// (INITIAL_BINDACK_TIMEOUT in draft-10). Each retransmission doubles the
+  /// interval — exponential backoff — up to bu_retransmit_max.
   Time bu_retransmit_interval = Time::sec(1);
+  /// Backoff ceiling (MAX_BINDACK_TIMEOUT in draft-10 is 256 s; a hostile
+  /// or dead home agent must not elicit a fixed-rate BU stream forever).
+  Time bu_retransmit_max = Time::sec(32);
   int bu_max_retransmits = 4;
 };
 

@@ -1,6 +1,7 @@
 #include "mipv6/ha_redundancy.hpp"
 
 #include "ipv6/datagram.hpp"
+#include "net/wire_stats.hpp"
 
 namespace mip6 {
 namespace {
@@ -111,42 +112,55 @@ void HaRedundancy::on_message(const UdpDatagram& udp, const ParsedDatagram& d,
                               IfaceId iface) {
   if (iface != home_iface_) return;
   (void)d;
-  try {
-    BufferReader r(udp.payload);
-    std::uint8_t type = r.u8();
-    Address identity = Address::read(r);
-    if (identity == identity_) return;  // our own message
-    switch (type) {
-      case kHeartbeat:
-        r.expect_end("ha-sync heartbeat");
-        on_heartbeat(identity);
-        break;
-      case kReplica: {
-        Replica rep;
-        rep.primary = identity;
-        rep.home = Address::read(r);
-        rep.care_of = Address::read(r);
-        rep.sequence = r.u16();
-        rep.lifetime_s = r.u32();
-        std::uint8_t n = r.u8();
-        for (std::uint8_t i = 0; i < n; ++i) {
-          rep.groups.push_back(Address::read(r));
-        }
-        r.expect_end("ha-sync replica");
-        on_replica(std::move(rep));
-        break;
-      }
-      case kDelete: {
-        Address home = Address::read(r);
-        r.expect_end("ha-sync delete");
-        on_delete(identity, home);
-        break;
-      }
-      default:
-        count("hasync/rx-drop/unknown-type");
-    }
-  } catch (const ParseError&) {
+  auto reject = [&](const char* detail) {
     count("hasync/rx-drop/parse-error");
+    note_parse_reject(stack_->network(), "hasync",
+                      ParseFailure{ParseReason::kTruncated, detail});
+  };
+  auto overlength = [&](const char* detail) {
+    count("hasync/rx-drop/parse-error");
+    note_parse_reject(stack_->network(), "hasync",
+                      ParseFailure{ParseReason::kOverlength, detail});
+  };
+  WireCursor c(udp.payload);
+  std::uint8_t type = c.u8();
+  Address identity = Address::read(c);
+  if (c.failed()) return reject("ha-sync message header");
+  if (identity == identity_) return;  // our own message
+  switch (type) {
+    case kHeartbeat:
+      if (!c.empty()) return overlength("ha-sync heartbeat");
+      on_heartbeat(identity);
+      break;
+    case kReplica: {
+      Replica rep;
+      rep.primary = identity;
+      rep.home = Address::read(c);
+      rep.care_of = Address::read(c);
+      rep.sequence = c.u16();
+      rep.lifetime_s = c.u32();
+      std::uint8_t n = c.u8();
+      if (c.failed()) return reject("ha-sync replica");
+      for (std::uint8_t i = 0; i < n; ++i) {
+        rep.groups.push_back(Address::read(c));
+      }
+      if (c.failed()) return reject("ha-sync replica group list");
+      if (!c.empty()) return overlength("ha-sync replica");
+      on_replica(std::move(rep));
+      break;
+    }
+    case kDelete: {
+      Address home = Address::read(c);
+      if (c.failed()) return reject("ha-sync delete");
+      if (!c.empty()) return overlength("ha-sync delete");
+      on_delete(identity, home);
+      break;
+    }
+    default:
+      count("hasync/rx-drop/unknown-type");
+      note_parse_reject(
+          stack_->network(), "hasync",
+          ParseFailure{ParseReason::kBadType, "unknown ha-sync type"});
   }
 }
 

@@ -5,6 +5,7 @@
 #include "ipv6/icmpv6.hpp"
 #include "ipv6/tunnel.hpp"
 #include "mld/messages.hpp"
+#include "net/wire_stats.hpp"
 
 namespace mip6 {
 
@@ -16,11 +17,14 @@ HomeAgent::HomeAgent(Ipv6Stack& stack, Mipv6Config config,
   stack.set_option_handler(
       opt::kBindingUpdate,
       [this](const DestOption& o, const ParsedDatagram& d, IfaceId) {
-        try {
-          on_binding_update(BindingUpdateOption::decode(o), d);
-        } catch (const ParseError&) {
+        ParseResult<BindingUpdateOption> bu =
+            BindingUpdateOption::try_decode(o);
+        if (!bu.ok()) {
           count("ha/rx-drop/bad-bu");
+          note_parse_reject(stack_->network(), "mipv6", bu.failure());
+          return;
         }
+        on_binding_update(bu.value(), d);
       });
   stack.set_intercept_handler(
       [this](const ParsedDatagram& d, const Packet& pkt) {
@@ -84,12 +88,14 @@ void HomeAgent::on_binding_update(const BindingUpdateOption& bu,
 
   if (const BuSubOption* sub =
           bu.find_sub_option(subopt::kMulticastGroupList)) {
-    try {
-      set_binding_groups(home,
-                         MulticastGroupListSubOption::decode(*sub).groups);
+    ParseResult<MulticastGroupListSubOption> mgl =
+        MulticastGroupListSubOption::try_decode(*sub);
+    if (mgl.ok()) {
+      set_binding_groups(home, std::move(mgl).value().groups);
       count("ha/rx/bu-group-list");
-    } catch (const ParseError&) {
+    } else {
       count("ha/rx-drop/bad-group-list");
+      note_parse_reject(stack_->network(), "mipv6", mgl.failure());
     }
   }
   if (bu.ack_requested) send_binding_ack(home, care_of, bu.sequence);
@@ -258,13 +264,13 @@ void HomeAgent::on_tunneled(const ParsedDatagram& outer, IfaceId iface) {
     count("ha/drop/disabled-tunnel");
     return;
   }
-  Bytes inner;
-  try {
-    inner = decapsulate(outer);
-  } catch (const ParseError&) {
+  ParseResult<Bytes> decap = try_decapsulate(outer);
+  if (!decap.ok()) {
     count("ha/rx-drop/bad-tunnel");
+    note_parse_reject(stack_->network(), "mipv6", decap.failure());
     return;
   }
+  Bytes inner = std::move(decap).value();
   count("ha/decap");
   ParsedDatagram in = parse_datagram(inner);
   trace_event("decap", [&] {
@@ -274,25 +280,30 @@ void HomeAgent::on_tunneled(const ParsedDatagram& outer, IfaceId iface) {
   // MLD Report through the tunnel (tunnel-as-interface variant): the MN
   // maintains its home-link group membership via the tunnel.
   if (in.protocol == proto::kIcmpv6 && in.hdr.dst.is_multicast()) {
-    try {
-      Icmpv6Message icmp =
-          Icmpv6Message::parse(in.payload, in.hdr.src, in.hdr.dst);
-      if (icmp.type == icmpv6::kMldReport) {
-        MldMessage rep = MldMessage::from_icmpv6(icmp);
-        register_tunnel_membership(in.hdr.src, rep.group);
-        count("ha/rx/tunneled-mld-report");
-        trace_event("tunneled-mld-report", [&] {
-          return "home=" + in.hdr.src.str() + " group=" + rep.group.str();
-        });
-        // Also place the Report on the home link so an MLD querier other
-        // than ourselves learns the membership.
-        if (auto hi = iface_for_home(in.hdr.src)) {
-          stack_->send_raw_on_iface(*hi, inner);
-        }
+    ParseResult<Icmpv6Message> icmp =
+        Icmpv6Message::try_parse(in.payload, in.hdr.src, in.hdr.dst);
+    if (!icmp.ok()) {
+      count("ha/rx-drop/bad-tunneled-mld");
+      note_parse_reject(stack_->network(), "mipv6", icmp.failure());
+      return;
+    }
+    if (icmp.value().type == icmpv6::kMldReport) {
+      ParseResult<MldMessage> rep = MldMessage::try_from_icmpv6(icmp.value());
+      if (!rep.ok()) {
+        count("ha/rx-drop/bad-tunneled-mld");
+        note_parse_reject(stack_->network(), "mipv6", rep.failure());
         return;
       }
-    } catch (const ParseError&) {
-      count("ha/rx-drop/bad-tunneled-mld");
+      register_tunnel_membership(in.hdr.src, rep.value().group);
+      count("ha/rx/tunneled-mld-report");
+      trace_event("tunneled-mld-report", [&] {
+        return "home=" + in.hdr.src.str() + " group=" + rep.value().group.str();
+      });
+      // Also place the Report on the home link so an MLD querier other
+      // than ourselves learns the membership.
+      if (auto hi = iface_for_home(in.hdr.src)) {
+        stack_->send_raw_on_iface(*hi, inner);
+      }
       return;
     }
   }

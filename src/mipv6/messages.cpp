@@ -26,25 +26,40 @@ DestOption BindingUpdateOption::encode() const {
   return DestOption{opt::kBindingUpdate, std::move(w).take()};
 }
 
-BindingUpdateOption BindingUpdateOption::decode(const DestOption& opt) {
+ParseResult<BindingUpdateOption> BindingUpdateOption::try_decode(
+    const DestOption& opt) {
   if (opt.type != opt::kBindingUpdate) {
-    throw ParseError("not a Binding Update option");
+    return ParseFailure{ParseReason::kBadType, "not a Binding Update option"};
   }
-  BufferReader r(opt.data);
+  WireCursor c(opt.data);
   BindingUpdateOption bu;
-  std::uint8_t flags = r.u8();
+  std::uint8_t flags = c.u8();
   bu.ack_requested = (flags & kFlagAck) != 0;
   bu.home_registration = (flags & kFlagHome) != 0;
-  r.skip(1);
-  bu.sequence = r.u16();
-  bu.lifetime_s = r.u32();
-  while (!r.empty()) {
+  c.skip(1);
+  bu.sequence = c.u16();
+  bu.lifetime_s = c.u32();
+  if (c.failed()) {
+    return ParseFailure{ParseReason::kTruncated, "Binding Update fixed part"};
+  }
+  while (!c.empty()) {
+    if (bu.sub_options.size() >= bound::kMaxBuSubOptions) {
+      return ParseFailure{ParseReason::kBoundExceeded,
+                          "too many BU sub-options"};
+    }
     BuSubOption s;
-    s.type = r.u8();
-    s.data = r.raw(r.u8());
+    s.type = c.u8();
+    s.data = c.raw(c.u8());
+    if (c.failed()) {
+      return ParseFailure{ParseReason::kTruncated, "BU sub-option body"};
+    }
     bu.sub_options.push_back(std::move(s));
   }
   return bu;
+}
+
+BindingUpdateOption BindingUpdateOption::decode(const DestOption& opt) {
+  return try_decode(opt).take_or_throw();
 }
 
 const BuSubOption* BindingUpdateOption::find_sub_option(
@@ -64,18 +79,31 @@ DestOption BindingAckOption::encode() const {
   return DestOption{opt::kBindingAck, std::move(w).take()};
 }
 
-BindingAckOption BindingAckOption::decode(const DestOption& opt) {
+ParseResult<BindingAckOption> BindingAckOption::try_decode(
+    const DestOption& opt) {
   if (opt.type != opt::kBindingAck) {
-    throw ParseError("not a Binding Acknowledgement option");
+    return ParseFailure{ParseReason::kBadType,
+                        "not a Binding Acknowledgement option"};
   }
-  BufferReader r(opt.data);
+  WireCursor c(opt.data);
   BindingAckOption ba;
-  ba.status = r.u8();
-  ba.sequence = r.u16();
-  ba.lifetime_s = r.u32();
-  ba.refresh_s = r.u32();
-  r.expect_end("Binding Acknowledgement option");
+  ba.status = c.u8();
+  ba.sequence = c.u16();
+  ba.lifetime_s = c.u32();
+  ba.refresh_s = c.u32();
+  if (c.failed()) {
+    return ParseFailure{ParseReason::kTruncated,
+                        "Binding Acknowledgement option"};
+  }
+  if (!c.empty()) {
+    return ParseFailure{ParseReason::kOverlength,
+                        "trailing octets after Binding Acknowledgement"};
+  }
   return ba;
+}
+
+BindingAckOption BindingAckOption::decode(const DestOption& opt) {
+  return try_decode(opt).take_or_throw();
 }
 
 DestOption HomeAddressOption::encode() const {
@@ -84,15 +112,26 @@ DestOption HomeAddressOption::encode() const {
   return DestOption{opt::kHomeAddress, std::move(w).take()};
 }
 
-HomeAddressOption HomeAddressOption::decode(const DestOption& opt) {
+ParseResult<HomeAddressOption> HomeAddressOption::try_decode(
+    const DestOption& opt) {
   if (opt.type != opt::kHomeAddress) {
-    throw ParseError("not a Home Address option");
+    return ParseFailure{ParseReason::kBadType, "not a Home Address option"};
   }
-  BufferReader r(opt.data);
+  WireCursor c(opt.data);
   HomeAddressOption h;
-  h.home_address = Address::read(r);
-  r.expect_end("Home Address option");
+  h.home_address = Address::read(c);
+  if (c.failed()) {
+    return ParseFailure{ParseReason::kTruncated, "Home Address option"};
+  }
+  if (!c.empty()) {
+    return ParseFailure{ParseReason::kOverlength,
+                        "trailing octets after Home Address option"};
+  }
   return h;
+}
+
+HomeAddressOption HomeAddressOption::decode(const DestOption& opt) {
+  return try_decode(opt).take_or_throw();
 }
 
 BuSubOption MulticastGroupListSubOption::encode() const {
@@ -106,25 +145,32 @@ BuSubOption MulticastGroupListSubOption::encode() const {
   return BuSubOption{subopt::kMulticastGroupList, std::move(w).take()};
 }
 
-MulticastGroupListSubOption MulticastGroupListSubOption::decode(
+ParseResult<MulticastGroupListSubOption> MulticastGroupListSubOption::try_decode(
     const BuSubOption& sub) {
   if (sub.type != subopt::kMulticastGroupList) {
-    throw ParseError("not a Multicast Group List sub-option");
+    return ParseFailure{ParseReason::kBadType,
+                        "not a Multicast Group List sub-option"};
   }
   if (sub.data.size() % Address::kBytes != 0) {
-    throw ParseError("Multicast Group List length not a multiple of 16");
+    return ParseFailure{ParseReason::kBadLength,
+                        "Multicast Group List length not a multiple of 16"};
   }
-  BufferReader r(sub.data);
+  WireCursor c(sub.data);
   MulticastGroupListSubOption m;
-  while (!r.empty()) {
-    Address g = Address::read(r);
+  while (!c.empty()) {
+    Address g = Address::read(c);
     if (!g.is_multicast()) {
-      throw ParseError("Multicast Group List contains unicast address " +
-                       g.str());
+      return ParseFailure{ParseReason::kSemantic,
+                          "Multicast Group List contains unicast address"};
     }
     m.groups.push_back(g);
   }
   return m;
+}
+
+MulticastGroupListSubOption MulticastGroupListSubOption::decode(
+    const BuSubOption& sub) {
+  return try_decode(sub).take_or_throw();
 }
 
 }  // namespace mip6

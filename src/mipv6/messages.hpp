@@ -12,6 +12,7 @@
 #include "ipv6/address.hpp"
 #include "ipv6/ext_headers.hpp"
 #include "util/buffer.hpp"
+#include "util/parse_result.hpp"
 
 namespace mip6 {
 
@@ -37,6 +38,8 @@ struct BindingUpdateOption {
   std::vector<BuSubOption> sub_options;
 
   DestOption encode() const;
+  /// No-throw decode; bounds the sub-option count.
+  static ParseResult<BindingUpdateOption> try_decode(const DestOption& opt);
   static BindingUpdateOption decode(const DestOption& opt);
 
   const BuSubOption* find_sub_option(std::uint8_t type) const;
@@ -49,6 +52,7 @@ struct BindingAckOption {
   std::uint32_t refresh_s = 0;
 
   DestOption encode() const;
+  static ParseResult<BindingAckOption> try_decode(const DestOption& opt);
   static BindingAckOption decode(const DestOption& opt);
 };
 
@@ -56,6 +60,7 @@ struct HomeAddressOption {
   Address home_address;
 
   DestOption encode() const;
+  static ParseResult<HomeAddressOption> try_decode(const DestOption& opt);
   static HomeAddressOption decode(const DestOption& opt);
 };
 
@@ -64,6 +69,10 @@ struct MulticastGroupListSubOption {
   std::vector<Address> groups;
 
   BuSubOption encode() const;
+  /// No-throw decode; length must be a multiple of 16 and every address a
+  /// multicast group.
+  static ParseResult<MulticastGroupListSubOption> try_decode(
+      const BuSubOption& sub);
   static MulticastGroupListSubOption decode(const BuSubOption& sub);
 };
 

@@ -3,6 +3,7 @@
 #include "ipv6/icmpv6.hpp"
 #include "ipv6/tunnel.hpp"
 #include "mld/messages.hpp"
+#include "net/wire_stats.hpp"
 
 namespace mip6 {
 
@@ -23,12 +24,7 @@ MobileNode::MobileNode(Ipv6Stack& stack, IfaceId iface, Address home_address,
         }
       });
   bu_retransmit_timer_ = std::make_unique<Timer>(
-      stack.scheduler(), [this] {
-        if (binding_acked_ || bu_retransmits_left_ <= 0) return;
-        --bu_retransmits_left_;
-        count("mn/bu-retransmit");
-        send_binding_update();
-      });
+      stack.scheduler(), [this] { retransmit_binding_update(); });
 
   Interface& i = stack.node().iface_by_id(iface);
   i.set_link_change_handler([this](Link* link) { on_link_changed(link); });
@@ -37,11 +33,13 @@ MobileNode::MobileNode(Ipv6Stack& stack, IfaceId iface, Address home_address,
   stack.set_option_handler(
       opt::kBindingAck,
       [this](const DestOption& o, const ParsedDatagram&, IfaceId) {
-        try {
-          on_binding_ack(BindingAckOption::decode(o));
-        } catch (const ParseError&) {
+        ParseResult<BindingAckOption> ack = BindingAckOption::try_decode(o);
+        if (!ack.ok()) {
           count("mn/rx-drop/bad-back");
+          note_parse_reject(stack_->network(), "mipv6", ack.failure());
+          return;
         }
+        on_binding_ack(ack.value());
       });
 
   // Tunneled traffic from the home agent: decapsulate and re-process the
@@ -49,13 +47,14 @@ MobileNode::MobileNode(Ipv6Stack& stack, IfaceId iface, Address home_address,
   stack.set_proto_handler(
       proto::kIpv6,
       [this](const ParsedDatagram& d, const Packet&, IfaceId rx_iface) {
-        try {
-          Bytes inner = decapsulate(d);
-          count("mn/decap");
-          stack_->receive_as_if(rx_iface, std::move(inner));
-        } catch (const ParseError&) {
+        ParseResult<Bytes> inner = try_decapsulate(d);
+        if (!inner.ok()) {
           count("mn/rx-drop/bad-tunnel");
+          note_parse_reject(stack_->network(), "mipv6", inner.failure());
+          return;
         }
+        count("mn/decap");
+        stack_->receive_as_if(rx_iface, std::move(inner).value());
       });
 }
 
@@ -84,6 +83,8 @@ void MobileNode::reset_soft_state() {
   care_of_ = Address();
   binding_acked_ = false;
   bu_retransmits_left_ = 0;
+  bu_retransmit_current_ = Time::zero();
+  last_bu_wire_.clear();
   movement_timer_->cancel();
   bu_refresh_timer_->cancel();
   bu_retransmit_timer_->cancel();
@@ -178,12 +179,34 @@ void MobileNode::send_bu_impl(std::optional<std::vector<Address>> groups) {
   Bytes wire = build_datagram(spec);
   stack_->network().counters().add("mn/bu-bytes", wire.size());
   count("mn/tx/bu");
-  stack_->send_raw(std::move(wire));
 
   if (config_.request_ack) {
+    // A fresh BU (new sequence number) restarts the retransmission budget
+    // and resets the backoff to the initial interval.
+    last_bu_wire_ = wire;
     bu_retransmits_left_ = config_.bu_max_retransmits;
-    bu_retransmit_timer_->arm(config_.bu_retransmit_interval);
+    bu_retransmit_current_ = config_.bu_retransmit_interval;
+    bu_retransmit_timer_->arm(bu_retransmit_current_);
   }
+  stack_->send_raw(std::move(wire));
+}
+
+void MobileNode::retransmit_binding_update() {
+  if (binding_acked_ || bu_retransmits_left_ <= 0 || last_bu_wire_.empty()) {
+    return;
+  }
+  --bu_retransmits_left_;
+  count("mn/bu-retransmit");
+  stack_->network().counters().add("mn/bu-bytes", last_bu_wire_.size());
+  count("mn/tx/bu");
+  stack_->send_raw(Bytes(last_bu_wire_));
+  // Exponential backoff (draft-10 §5.5.5): double up to the ceiling. A dead
+  // home agent costs O(log) signaling, not a fixed-rate stream.
+  Time next = bu_retransmit_current_ * 2;
+  if (next > config_.bu_retransmit_max) next = config_.bu_retransmit_max;
+  bu_retransmit_current_ = next;
+  count("mn/bu-backoff-step");
+  if (bu_retransmits_left_ > 0) bu_retransmit_timer_->arm(bu_retransmit_current_);
 }
 
 void MobileNode::on_binding_ack(const BindingAckOption& ack) {

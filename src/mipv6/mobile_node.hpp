@@ -95,6 +95,9 @@ class MobileNode {
   void complete_attachment();
   void on_binding_ack(const BindingAckOption& ack);
   void send_bu_impl(std::optional<std::vector<Address>> groups);
+  /// Re-sends the last BU wire image (same sequence number) and doubles the
+  /// retransmission interval, capped at config.bu_retransmit_max.
+  void retransmit_binding_update();
   void send_tunneled_report(const Address& group);
   void count(const std::string& name, std::uint64_t delta = 1);
 
@@ -108,6 +111,12 @@ class MobileNode {
   std::uint16_t bu_sequence_ = 0;
   bool binding_acked_ = false;
   int bu_retransmits_left_ = 0;
+  /// Current backoff interval; reset to config.bu_retransmit_interval on
+  /// every fresh BU, doubled (capped) per retransmission.
+  Time bu_retransmit_current_ = Time::zero();
+  /// Wire image of the last BU, kept so retransmissions reuse the same
+  /// sequence number instead of minting a new binding attempt.
+  Bytes last_bu_wire_;
   std::unique_ptr<Timer> movement_timer_;
   std::unique_ptr<Timer> bu_refresh_timer_;
   std::unique_ptr<Timer> bu_retransmit_timer_;

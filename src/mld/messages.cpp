@@ -14,22 +14,37 @@ Icmpv6Message MldMessage::to_icmpv6() const {
   return m;
 }
 
-MldMessage MldMessage::from_icmpv6(const Icmpv6Message& msg) {
+ParseResult<MldMessage> MldMessage::try_from_icmpv6(const Icmpv6Message& msg) {
   if (msg.type != icmpv6::kMldQuery && msg.type != icmpv6::kMldReport &&
       msg.type != icmpv6::kMldDone) {
-    throw ParseError("not an MLD message type: " + std::to_string(msg.type));
+    return ParseFailure{ParseReason::kBadType, "not an MLD message type"};
   }
-  BufferReader r(msg.body);
+  WireCursor c(msg.body);
   MldMessage m;
   m.type = static_cast<MldType>(msg.type);
-  m.max_response_delay_ms = r.u16();
-  r.skip(2);  // reserved
-  m.group = Address::read(r);
-  r.expect_end("MLD message");
+  m.max_response_delay_ms = c.u16();
+  c.skip(2);  // reserved
+  m.group = Address::read(c);
+  if (c.failed()) {
+    return ParseFailure{ParseReason::kTruncated, "MLD message body"};
+  }
+  if (!c.empty()) {
+    return ParseFailure{ParseReason::kOverlength,
+                        "trailing octets after MLD message"};
+  }
   if (m.type != MldType::kQuery && m.group.is_unspecified()) {
-    throw ParseError("MLD report/done without group address");
+    return ParseFailure{ParseReason::kSemantic,
+                        "MLD report/done without group address"};
+  }
+  if (!m.group.is_unspecified() && !m.group.is_multicast()) {
+    return ParseFailure{ParseReason::kSemantic,
+                        "MLD group address is not multicast"};
   }
   return m;
+}
+
+MldMessage MldMessage::from_icmpv6(const Icmpv6Message& msg) {
+  return try_from_icmpv6(msg).take_or_throw();
 }
 
 }  // namespace mip6

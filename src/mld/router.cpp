@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "net/wire_stats.hpp"
+
 namespace mip6 {
 
 MldRouter::MldRouter(Ipv6Stack& stack, Icmpv6Dispatcher& dispatch,
@@ -12,11 +14,13 @@ MldRouter::MldRouter(Ipv6Stack& stack, Icmpv6Dispatcher& dispatch,
   stack.set_mcast_promiscuous(true);
   auto handler = [this](const Icmpv6Message& msg, const ParsedDatagram& d,
                         IfaceId iface) {
-    try {
-      on_message(MldMessage::from_icmpv6(msg), d, iface);
-    } catch (const ParseError&) {
+    ParseResult<MldMessage> m = MldMessage::try_from_icmpv6(msg);
+    if (!m.ok()) {
       count("mld/rx-drop/parse-error");
+      note_parse_reject(stack_->network(), "mld", m.failure());
+      return;
     }
+    on_message(m.value(), d, iface);
   };
   dispatch.subscribe(icmpv6::kMldQuery, handler);
   dispatch.subscribe(icmpv6::kMldReport, handler);

@@ -1,0 +1,17 @@
+#include "net/wire_stats.hpp"
+
+#include "net/network.hpp"
+
+namespace mip6 {
+
+void note_parse_reject(Network& net, std::string_view proto,
+                       const ParseFailure& f) {
+  std::string base = "parse/";
+  base += proto;
+  net.counters().add(base + "/rejects");
+  net.counters().add(base + "/reject/" + parse_reason_name(f.reason));
+  net.trace().emit(net.scheduler().now(), base, "parse-reject",
+                   [&f] { return f.str(); });
+}
+
+}  // namespace mip6

@@ -1,0 +1,26 @@
+// Reject accounting for the no-throw parse taxonomy (util/parse_result.hpp).
+//
+// Every receive path that rejects a wire input calls note_parse_reject()
+// exactly once per rejected frame/element, which attributes the rejection to
+// exactly one taxonomy counter:
+//
+//   parse/<proto>/rejects                  total rejects for the protocol
+//   parse/<proto>/reject/<reason>          one cell per ParseReason
+//
+// and emits a "parse-reject" trace event carrying the failure detail. The
+// fuzz harness (tests/fuzz) asserts the sum of the per-reason cells equals
+// the total for every protocol.
+#pragma once
+
+#include <string_view>
+
+#include "util/parse_result.hpp"
+
+namespace mip6 {
+
+class Network;
+
+void note_parse_reject(Network& net, std::string_view proto,
+                       const ParseFailure& f);
+
+}  // namespace mip6

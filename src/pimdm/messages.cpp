@@ -29,22 +29,31 @@ Bytes serialize_pim(PimType type, BytesView body, const Address& src,
   return std::move(w).take();
 }
 
-PimHeader parse_pim(BytesView payload, const Address& src,
-                    const Address& dst) {
-  if (payload.size() < 4) throw ParseError("PIM message too short");
+ParseResult<PimHeader> try_parse_pim(BytesView payload, const Address& src,
+                                     const Address& dst) {
+  if (payload.size() < 4) {
+    return ParseFailure{ParseReason::kTruncated, "PIM message too short"};
+  }
   if (pseudo_header_checksum(src, dst,
                              static_cast<std::uint32_t>(payload.size()),
                              proto::kPim, payload) != 0) {
-    throw ParseError("PIM checksum mismatch");
+    return ParseFailure{ParseReason::kBadChecksum, "PIM checksum"};
   }
-  BufferReader r(payload);
-  std::uint8_t vt = r.u8();
-  if ((vt >> 4) != kPimVersion) throw ParseError("PIM version is not 2");
-  r.skip(3);  // reserved + checksum
+  WireCursor c(payload);
+  std::uint8_t vt = c.u8();
+  if ((vt >> 4) != kPimVersion) {
+    return ParseFailure{ParseReason::kBadType, "PIM version is not 2"};
+  }
+  c.skip(3);  // reserved + checksum
   PimHeader h;
   h.type = static_cast<PimType>(vt & 0x0f);
-  h.body = r.raw(r.remaining());
+  h.body = c.raw(c.remaining());
   return h;
+}
+
+PimHeader parse_pim(BytesView payload, const Address& src,
+                    const Address& dst) {
+  return try_parse_pim(payload, src, dst).take_or_throw();
 }
 
 // --- Encoded addresses -------------------------------------------------------
@@ -63,6 +72,23 @@ Address read_encoded_unicast(BufferReader& r) {
   return Address::read(r);
 }
 
+ParseResult<Address> try_read_encoded_unicast(WireCursor& c) {
+  std::uint8_t family = c.u8();
+  std::uint8_t encoding = c.u8();
+  Address a = Address::read(c);
+  if (c.failed()) {
+    return ParseFailure{ParseReason::kTruncated, "encoded-unicast address"};
+  }
+  if (family != kFamilyIpv6) {
+    return ParseFailure{ParseReason::kBadType, "encoded-unicast: not IPv6"};
+  }
+  if (encoding != kEncodingNative) {
+    return ParseFailure{ParseReason::kBadType,
+                        "encoded-unicast: unknown encoding"};
+  }
+  return a;
+}
+
 void write_encoded_group(BufferWriter& w, const Address& g) {
   w.u8(kFamilyIpv6);
   w.u8(kEncodingNative);
@@ -79,6 +105,29 @@ Address read_encoded_group(BufferReader& r) {
   r.skip(1);  // reserved
   if (r.u8() != 128) throw ParseError("encoded-group: partial masks unsupported");
   return Address::read(r);
+}
+
+ParseResult<Address> try_read_encoded_group(WireCursor& c) {
+  std::uint8_t family = c.u8();
+  std::uint8_t encoding = c.u8();
+  c.skip(1);  // reserved
+  std::uint8_t mask = c.u8();
+  Address a = Address::read(c);
+  if (c.failed()) {
+    return ParseFailure{ParseReason::kTruncated, "encoded-group address"};
+  }
+  if (family != kFamilyIpv6) {
+    return ParseFailure{ParseReason::kBadType, "encoded-group: not IPv6"};
+  }
+  if (encoding != kEncodingNative) {
+    return ParseFailure{ParseReason::kBadType,
+                        "encoded-group: unknown encoding"};
+  }
+  if (mask != 128) {
+    return ParseFailure{ParseReason::kSemantic,
+                        "encoded-group: partial masks unsupported"};
+  }
+  return a;
 }
 
 void write_encoded_source(BufferWriter& w, const Address& s,
@@ -102,6 +151,29 @@ Address read_encoded_source(BufferReader& r) {
   return Address::read(r);
 }
 
+ParseResult<Address> try_read_encoded_source(WireCursor& c) {
+  std::uint8_t family = c.u8();
+  std::uint8_t encoding = c.u8();
+  c.skip(1);  // flags
+  std::uint8_t mask = c.u8();
+  Address a = Address::read(c);
+  if (c.failed()) {
+    return ParseFailure{ParseReason::kTruncated, "encoded-source address"};
+  }
+  if (family != kFamilyIpv6) {
+    return ParseFailure{ParseReason::kBadType, "encoded-source: not IPv6"};
+  }
+  if (encoding != kEncodingNative) {
+    return ParseFailure{ParseReason::kBadType,
+                        "encoded-source: unknown encoding"};
+  }
+  if (mask != 128) {
+    return ParseFailure{ParseReason::kSemantic,
+                        "encoded-source: partial masks unsupported"};
+  }
+  return a;
+}
+
 // --- Hello -------------------------------------------------------------------
 
 Bytes PimHello::body() const {
@@ -112,23 +184,42 @@ Bytes PimHello::body() const {
   return std::move(w).take();
 }
 
-PimHello PimHello::parse(BytesView body) {
-  BufferReader r(body);
+ParseResult<PimHello> PimHello::try_parse(BytesView body) {
+  WireCursor c(body);
   PimHello h;
   bool have_holdtime = false;
-  while (r.remaining() >= 4) {
-    std::uint16_t type = r.u16();
-    std::uint16_t len = r.u16();
-    BufferReader opt(r.view(len));
+  while (c.remaining() >= 4) {
+    std::uint16_t type = c.u16();
+    std::uint16_t len = c.u16();
+    BytesView opt_view = c.view(len);
+    if (c.failed()) {
+      return ParseFailure{ParseReason::kTruncated,
+                          "PIM Hello option exceeds body"};
+    }
     if (type == kHelloOptHoldtime) {
+      WireCursor opt(opt_view);
       h.holdtime = opt.u16();
+      if (opt.failed()) {
+        return ParseFailure{ParseReason::kBadLength,
+                            "PIM Hello holdtime option too short"};
+      }
       have_holdtime = true;
     }
     // Unknown options are skipped.
   }
-  if (!r.empty()) throw ParseError("PIM Hello trailing octets");
-  if (!have_holdtime) throw ParseError("PIM Hello without holdtime option");
+  if (!c.empty()) {
+    return ParseFailure{ParseReason::kTruncated,
+                        "PIM Hello option header fragment"};
+  }
+  if (!have_holdtime) {
+    return ParseFailure{ParseReason::kSemantic,
+                        "PIM Hello without holdtime option"};
+  }
   return h;
+}
+
+PimHello PimHello::parse(BytesView body) {
+  return try_parse(body).take_or_throw();
 }
 
 // --- Join/Prune ----------------------------------------------------------------
@@ -150,28 +241,67 @@ Bytes PimJoinPrune::body() const {
   return std::move(w).take();
 }
 
-PimJoinPrune PimJoinPrune::parse(BytesView body) {
-  BufferReader r(body);
+ParseResult<PimJoinPrune> PimJoinPrune::try_parse(BytesView body) {
+  // Each encoded source is 20 octets; a count field promising more sources
+  // than the body holds is rejected before any per-element work, so a
+  // 65535-source lie costs O(1), not O(n) allocations.
+  constexpr std::size_t kEncodedSourceSize = 20;
+  WireCursor c(body);
   PimJoinPrune m;
-  m.upstream_neighbor = read_encoded_unicast(r);
-  r.skip(1);  // reserved
-  std::uint8_t ngroups = r.u8();
-  m.holdtime = r.u16();
+  ParseResult<Address> upstream = try_read_encoded_unicast(c);
+  if (!upstream.ok()) return upstream.failure();
+  m.upstream_neighbor = upstream.value();
+  c.skip(1);  // reserved
+  std::uint8_t ngroups = c.u8();
+  m.holdtime = c.u16();
+  if (c.failed()) {
+    return ParseFailure{ParseReason::kTruncated, "PIM Join/Prune header"};
+  }
+  if (ngroups > bound::kMaxPimGroupRecords) {
+    return ParseFailure{ParseReason::kBoundExceeded,
+                        "PIM Join/Prune group records"};
+  }
   for (std::uint8_t i = 0; i < ngroups; ++i) {
     GroupEntry g;
-    g.group = read_encoded_group(r);
-    std::uint16_t njoin = r.u16();
-    std::uint16_t nprune = r.u16();
+    ParseResult<Address> group = try_read_encoded_group(c);
+    if (!group.ok()) return group.failure();
+    g.group = group.value();
+    std::uint16_t njoin = c.u16();
+    std::uint16_t nprune = c.u16();
+    if (c.failed()) {
+      return ParseFailure{ParseReason::kTruncated,
+                          "PIM Join/Prune source counts"};
+    }
+    std::size_t nsources = std::size_t{njoin} + nprune;
+    if (nsources > bound::kMaxPimSourcesPerGroup) {
+      return ParseFailure{ParseReason::kBoundExceeded,
+                          "PIM Join/Prune sources in one group record"};
+    }
+    if (nsources * kEncodedSourceSize > c.remaining()) {
+      return ParseFailure{ParseReason::kTruncated,
+                          "PIM Join/Prune source count exceeds body"};
+    }
     for (std::uint16_t k = 0; k < njoin; ++k) {
-      g.joined_sources.push_back(read_encoded_source(r));
+      ParseResult<Address> s = try_read_encoded_source(c);
+      if (!s.ok()) return s.failure();
+      g.joined_sources.push_back(s.value());
     }
     for (std::uint16_t k = 0; k < nprune; ++k) {
-      g.pruned_sources.push_back(read_encoded_source(r));
+      ParseResult<Address> s = try_read_encoded_source(c);
+      if (!s.ok()) return s.failure();
+      g.pruned_sources.push_back(s.value());
     }
     m.groups.push_back(std::move(g));
   }
-  r.expect_end("PIM Join/Prune");
+  if (!c.empty()) {
+    return ParseFailure{ParseReason::kOverlength,
+                        "trailing octets after PIM Join/Prune"};
+  }
   return m;
+}
+
+PimJoinPrune PimJoinPrune::parse(BytesView body) {
+  return try_parse(body).take_or_throw();
 }
 
 PimJoinPrune PimJoinPrune::join(const Address& upstream, const Address& src,
@@ -208,22 +338,40 @@ Bytes PimStateRefresh::body() const {
   return std::move(w).take();
 }
 
-PimStateRefresh PimStateRefresh::parse(BytesView body) {
-  BufferReader r(body);
+ParseResult<PimStateRefresh> PimStateRefresh::try_parse(BytesView body) {
+  WireCursor c(body);
   PimStateRefresh m;
-  m.group = read_encoded_group(r);
-  m.source = read_encoded_unicast(r);
-  m.originator = read_encoded_unicast(r);
-  m.metric_preference = r.u32() & 0x7fffffff;
-  m.metric = r.u32();
-  if (r.u8() != 128) {
-    throw ParseError("state-refresh: partial masks unsupported");
+  ParseResult<Address> group = try_read_encoded_group(c);
+  if (!group.ok()) return group.failure();
+  m.group = group.value();
+  ParseResult<Address> source = try_read_encoded_unicast(c);
+  if (!source.ok()) return source.failure();
+  m.source = source.value();
+  ParseResult<Address> originator = try_read_encoded_unicast(c);
+  if (!originator.ok()) return originator.failure();
+  m.originator = originator.value();
+  m.metric_preference = c.u32() & 0x7fffffff;
+  m.metric = c.u32();
+  std::uint8_t mask = c.u8();
+  m.ttl = c.u8();
+  m.prune_indicator = (c.u8() & 0x80) != 0;
+  m.interval_s = c.u8();
+  if (c.failed()) {
+    return ParseFailure{ParseReason::kTruncated, "PIM State Refresh body"};
   }
-  m.ttl = r.u8();
-  m.prune_indicator = (r.u8() & 0x80) != 0;
-  m.interval_s = r.u8();
-  r.expect_end("PIM State Refresh");
+  if (mask != 128) {
+    return ParseFailure{ParseReason::kSemantic,
+                        "state-refresh: partial masks unsupported"};
+  }
+  if (!c.empty()) {
+    return ParseFailure{ParseReason::kOverlength,
+                        "trailing octets after PIM State Refresh"};
+  }
   return m;
+}
+
+PimStateRefresh PimStateRefresh::parse(BytesView body) {
+  return try_parse(body).take_or_throw();
 }
 
 // --- Assert --------------------------------------------------------------------
@@ -237,15 +385,29 @@ Bytes PimAssert::body() const {
   return std::move(w).take();
 }
 
-PimAssert PimAssert::parse(BytesView body) {
-  BufferReader r(body);
+ParseResult<PimAssert> PimAssert::try_parse(BytesView body) {
+  WireCursor c(body);
   PimAssert a;
-  a.group = read_encoded_group(r);
-  a.source = read_encoded_unicast(r);
-  a.metric_preference = r.u32() & 0x7fffffff;
-  a.metric = r.u32();
-  r.expect_end("PIM Assert");
+  ParseResult<Address> group = try_read_encoded_group(c);
+  if (!group.ok()) return group.failure();
+  a.group = group.value();
+  ParseResult<Address> source = try_read_encoded_unicast(c);
+  if (!source.ok()) return source.failure();
+  a.source = source.value();
+  a.metric_preference = c.u32() & 0x7fffffff;
+  a.metric = c.u32();
+  if (c.failed()) {
+    return ParseFailure{ParseReason::kTruncated, "PIM Assert body"};
+  }
+  if (!c.empty()) {
+    return ParseFailure{ParseReason::kOverlength,
+                        "trailing octets after PIM Assert"};
+  }
   return a;
+}
+
+PimAssert PimAssert::parse(BytesView body) {
+  return try_parse(body).take_or_throw();
 }
 
 }  // namespace mip6

@@ -8,6 +8,7 @@
 
 #include "ipv6/address.hpp"
 #include "util/buffer.hpp"
+#include "util/parse_result.hpp"
 
 namespace mip6 {
 
@@ -29,18 +30,24 @@ struct PimHeader {
   PimType type;
   Bytes body;
 };
-/// Parses and checksum-verifies a PIM payload; throws ParseError.
+/// No-throw parse + checksum verification of a PIM payload.
+ParseResult<PimHeader> try_parse_pim(BytesView payload, const Address& src,
+                                     const Address& dst);
+/// Throwing wrapper over try_parse_pim for legacy call sites.
 PimHeader parse_pim(BytesView payload, const Address& src, const Address& dst);
 
 // --- Encoded address blocks (family 2 = IPv6, encoding 0) -----------------
 
 void write_encoded_unicast(BufferWriter& w, const Address& a);
 Address read_encoded_unicast(BufferReader& r);
+ParseResult<Address> try_read_encoded_unicast(WireCursor& c);
 void write_encoded_group(BufferWriter& w, const Address& g);
 Address read_encoded_group(BufferReader& r);
+ParseResult<Address> try_read_encoded_group(WireCursor& c);
 void write_encoded_source(BufferWriter& w, const Address& s,
                           std::uint8_t flags = 0x4 /* S bit */);
 Address read_encoded_source(BufferReader& r);
+ParseResult<Address> try_read_encoded_source(WireCursor& c);
 
 // --- Hello -----------------------------------------------------------------
 
@@ -48,6 +55,7 @@ struct PimHello {
   std::uint16_t holdtime = 105;
 
   Bytes body() const;
+  static ParseResult<PimHello> try_parse(BytesView body);
   static PimHello parse(BytesView body);
 };
 
@@ -65,6 +73,8 @@ struct PimJoinPrune {
   std::vector<GroupEntry> groups;
 
   Bytes body() const;
+  /// No-throw parse; bounds group records and per-group source counts.
+  static ParseResult<PimJoinPrune> try_parse(BytesView body);
   static PimJoinPrune parse(BytesView body);
 
   /// Single-source convenience constructors.
@@ -91,6 +101,7 @@ struct PimStateRefresh {
   std::uint8_t interval_s = 60;
 
   Bytes body() const;
+  static ParseResult<PimStateRefresh> try_parse(BytesView body);
   static PimStateRefresh parse(BytesView body);
 };
 
@@ -103,6 +114,7 @@ struct PimAssert {
   std::uint32_t metric = 0;
 
   Bytes body() const;
+  static ParseResult<PimAssert> try_parse(BytesView body);
   static PimAssert parse(BytesView body);
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "net/wire_stats.hpp"
+
 namespace mip6 {
 
 PimDmRouter::PimDmRouter(Ipv6Stack& stack, MldRouter& mld, PimDmConfig config)
@@ -366,31 +368,57 @@ void PimDmRouter::on_multicast_data(const ParsedDatagram& d, const Packet& pkt,
 
 void PimDmRouter::on_pim_message(const ParsedDatagram& d, IfaceId iface) {
   if (!pim_enabled(iface)) return;
-  PimHeader h;
-  try {
-    h = parse_pim(d.payload, d.hdr.src, d.hdr.dst);
-    switch (h.type) {
-      case PimType::kHello:
-        on_hello(PimHello::parse(h.body), d.hdr.src, iface);
-        break;
-      case PimType::kJoinPrune:
-        on_join_prune(PimJoinPrune::parse(h.body), d.hdr.src, iface);
-        break;
-      case PimType::kGraft:
-        on_graft(PimJoinPrune::parse(h.body), d.hdr.src, iface);
-        break;
-      case PimType::kGraftAck:
-        on_graft_ack(PimJoinPrune::parse(h.body), iface);
-        break;
-      case PimType::kAssert:
-        on_assert(PimAssert::parse(h.body), d.hdr.src, iface);
-        break;
-      case PimType::kStateRefresh:
-        on_state_refresh(PimStateRefresh::parse(h.body), iface);
-        break;
-    }
-  } catch (const ParseError&) {
+  auto reject = [&](const ParseFailure& f) {
     count("pimdm/rx-drop/parse-error");
+    note_parse_reject(stack_->network(), "pimdm", f);
+  };
+  ParseResult<PimHeader> hdr = try_parse_pim(d.payload, d.hdr.src, d.hdr.dst);
+  if (!hdr.ok()) {
+    reject(hdr.failure());
+    return;
+  }
+  PimHeader h = std::move(hdr).value();
+  switch (h.type) {
+    case PimType::kHello: {
+      ParseResult<PimHello> m = PimHello::try_parse(h.body);
+      if (!m.ok()) return reject(m.failure());
+      on_hello(m.value(), d.hdr.src, iface);
+      break;
+    }
+    case PimType::kJoinPrune: {
+      ParseResult<PimJoinPrune> m = PimJoinPrune::try_parse(h.body);
+      if (!m.ok()) return reject(m.failure());
+      on_join_prune(m.value(), d.hdr.src, iface);
+      break;
+    }
+    case PimType::kGraft: {
+      ParseResult<PimJoinPrune> m = PimJoinPrune::try_parse(h.body);
+      if (!m.ok()) return reject(m.failure());
+      on_graft(m.value(), d.hdr.src, iface);
+      break;
+    }
+    case PimType::kGraftAck: {
+      ParseResult<PimJoinPrune> m = PimJoinPrune::try_parse(h.body);
+      if (!m.ok()) return reject(m.failure());
+      on_graft_ack(m.value(), iface);
+      break;
+    }
+    case PimType::kAssert: {
+      ParseResult<PimAssert> m = PimAssert::try_parse(h.body);
+      if (!m.ok()) return reject(m.failure());
+      on_assert(m.value(), d.hdr.src, iface);
+      break;
+    }
+    case PimType::kStateRefresh: {
+      ParseResult<PimStateRefresh> m = PimStateRefresh::try_parse(h.body);
+      if (!m.ok()) return reject(m.failure());
+      on_state_refresh(m.value(), iface);
+      break;
+    }
+    default:
+      // Unknown PIM message type: taxonomy says bad-type, not a crash.
+      reject(ParseFailure{ParseReason::kBadType, "unknown PIM message type"});
+      break;
   }
 }
 

@@ -1,0 +1,87 @@
+// Replays the committed boundary-length corpus byte-exact: every frame under
+// tests/fuzz/corpus/ must keep classifying into the taxonomy bucket recorded
+// in MANIFEST. A change here means the accept/reject boundary of a decoder
+// moved — either fix the regression or regenerate the corpus deliberately
+// with mip6_make_corpus and review the diff.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "fuzz/corpus.hpp"
+
+#ifndef MIP6_FUZZ_CORPUS_DIR
+#error "MIP6_FUZZ_CORPUS_DIR must point at tests/fuzz/corpus"
+#endif
+
+namespace mip6 {
+namespace {
+
+std::optional<FuzzProto> proto_by_name(const std::string& name) {
+  for (std::size_t i = 0; i < kFuzzProtoCount; ++i) {
+    auto p = static_cast<FuzzProto>(i);
+    if (fuzz_proto_name(p) == name) return p;
+  }
+  return std::nullopt;
+}
+
+struct ManifestEntry {
+  std::string file;
+  FuzzProto proto;
+  std::string expected;
+};
+
+std::vector<ManifestEntry> load_manifest() {
+  std::ifstream in(std::string(MIP6_FUZZ_CORPUS_DIR) + "/MANIFEST");
+  EXPECT_TRUE(in.good()) << "missing " << MIP6_FUZZ_CORPUS_DIR << "/MANIFEST";
+  std::vector<ManifestEntry> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string file, proto, expected;
+    fields >> file >> proto >> expected;
+    EXPECT_FALSE(expected.empty()) << "malformed MANIFEST line: " << line;
+    auto p = proto_by_name(proto);
+    EXPECT_TRUE(p.has_value()) << "unknown protocol in MANIFEST: " << proto;
+    if (!p || expected.empty()) continue;
+    out.push_back(ManifestEntry{file, *p, expected});
+  }
+  return out;
+}
+
+TEST(CorpusReplay, EveryFrameKeepsItsClassification) {
+  std::vector<ManifestEntry> entries = load_manifest();
+  ASSERT_GE(entries.size(), 15u) << "corpus unexpectedly small";
+  for (const ManifestEntry& e : entries) {
+    std::ifstream f(std::string(MIP6_FUZZ_CORPUS_DIR) + "/" + e.file);
+    ASSERT_TRUE(f.good()) << "corpus file missing: " << e.file;
+    std::string hex((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+    Bytes frame = from_hex(hex);
+    ASSERT_FALSE(frame.empty()) << e.file << " decoded to zero octets";
+
+    auto fail = drive_decoder(e.proto, frame);
+    std::string got = fail ? parse_reason_name(fail->reason) : "ok";
+    EXPECT_EQ(got, e.expected)
+        << e.file << " (" << fuzz_proto_name(e.proto) << "): "
+        << (fail ? fail->str() : std::string("accepted"));
+  }
+}
+
+TEST(CorpusReplay, CorpusCoversRejectAndAcceptSides) {
+  std::vector<ManifestEntry> entries = load_manifest();
+  std::size_t ok = 0, rejected = 0;
+  for (const ManifestEntry& e : entries) {
+    (e.expected == "ok" ? ok : rejected)++;
+  }
+  // The corpus must pin the boundary from both sides: valid frames that must
+  // stay accepted, malformed neighbours that must stay rejected.
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(rejected, ok);
+}
+
+}  // namespace
+}  // namespace mip6

@@ -8,6 +8,7 @@
 #include "core/traffic.hpp"
 #include "core/world.hpp"
 #include "mipv6/binding_cache.hpp"
+#include "mipv6/messages.hpp"
 #include "sim/trace.hpp"
 
 namespace mip6 {
@@ -147,6 +148,60 @@ TEST(Mipv6, BindingUpdateRetransmittedWhenAckLost) {
   EXPECT_GE(dropped, 2);
   // The binding itself exists at the HA (BUs got through).
   EXPECT_EQ(t.ha.ha->cache().size(), 1u);
+}
+
+TEST(Mipv6, BuRetransmissionBacksOffExponentiallyToCap) {
+  WorldConfig config;
+  config.mipv6.bu_retransmit_max = Time::sec(4);
+  config.mipv6.bu_max_retransmits = 5;
+  Roam t(config);
+  // Record every BU reaching the HA across the transit link; drop every
+  // Binding Ack so the retransmission machinery runs its whole budget.
+  std::vector<Time> bu_times;
+  std::vector<std::uint16_t> bu_sequences;
+  t.tl.set_drop_fn([&](const Packet& pkt, const Interface& to) {
+    if (&to.node() == t.ha.node) {
+      try {
+        ParsedDatagram d = parse_datagram(pkt.view());
+        if (const DestOption* o = d.find_option(opt::kBindingUpdate)) {
+          bu_times.push_back(t.world.now());
+          bu_sequences.push_back(BindingUpdateOption::decode(*o).sequence);
+        }
+      } catch (const ParseError&) {
+      }
+    }
+    return false;
+  });
+  t.fl.set_drop_fn([&](const Packet& pkt, const Interface& to) {
+    if (&to.node() != t.mn.node) return false;
+    try {
+      return parse_datagram(pkt.view()).has_option(opt::kBindingAck);
+    } catch (const ParseError&) {
+      return false;
+    }
+  });
+
+  t.mn.mn->move_to(t.fl);
+  t.world.run_until(Time::sec(40));
+  EXPECT_FALSE(t.mn.mn->binding_acked());
+
+  // Fresh BU + 5 retransmissions of the identical message (same sequence —
+  // a retransmission is a resend, not a new registration).
+  ASSERT_EQ(bu_times.size(), 6u);
+  for (std::uint16_t seq : bu_sequences) EXPECT_EQ(seq, bu_sequences[0]);
+
+  // Gaps double from the initial 1 s and clamp at the 4 s ceiling.
+  const Time expected[] = {Time::sec(1), Time::sec(2), Time::sec(4),
+                           Time::sec(4), Time::sec(4)};
+  for (std::size_t i = 0; i + 1 < bu_times.size(); ++i) {
+    EXPECT_EQ(bu_times[i + 1] - bu_times[i], expected[i]) << "gap " << i;
+  }
+  EXPECT_EQ(t.world.net().counters().get("mn/bu-retransmit"), 5u);
+  EXPECT_EQ(t.world.net().counters().get("mn/bu-backoff-step"), 5u);
+  // Budget exhausted: no further BUs until the next refresh cycle.
+  std::size_t settled = bu_times.size();
+  t.world.run_until(Time::sec(60));
+  EXPECT_EQ(bu_times.size(), settled);
 }
 
 TEST(Mipv6, BindingRefreshKeepsCacheAlive) {
