@@ -22,12 +22,12 @@ ReplicationResult run(std::uint64_t seed, Time heartbeat, int threshold) {
   Link& hl = world.add_link("HL");
   Link& tl = world.add_link("TL");
   Link& fl = world.add_link("FL");
-  RouterEnv& ha1 = world.add_router("HA1", {&hl, &tl});
-  RouterEnv& ha2 = world.add_router("HA2", {&hl, &tl});
+  NodeRuntime& ha1 = world.add_router("HA1", {&hl, &tl});
+  NodeRuntime& ha2 = world.add_router("HA2", {&hl, &tl});
   world.add_router("FR", {&tl, &fl});
-  HostEnv& mn = world.add_host(
+  NodeRuntime& mn = world.add_host(
       "MN", hl, {McastStrategy::kBidirTunnel, HaRegistration::kGroupListBu});
-  HostEnv& src = world.add_host("SRC", hl);
+  NodeRuntime& src = world.add_host("SRC", hl);
   world.finalize();
 
   HaRedundancyConfig rc;

@@ -110,7 +110,7 @@ void BM_Figure1SimulatedSecond(benchmark::State& state) {
   // 100 datagrams/s with all three receivers subscribed.
   Figure1 f = build_figure1();
   const Address group = Figure1::group();
-  for (HostEnv* r : {f.recv1, f.recv2, f.recv3}) {
+  for (NodeRuntime* r : {f.recv1, f.recv2, f.recv3}) {
     r->service->subscribe(group);
   }
   CbrSource source(

@@ -28,11 +28,11 @@ ReplicationResult run(std::uint64_t seed, Time prune_delay,
   RandomTopology topo = build_random_topology(params, config);
   World& world = *topo.world;
 
-  HostEnv& sender = world.add_host(
+  NodeRuntime& sender = world.add_host(
       "S", *topo.stub_links[0],
       {McastStrategy::kLocalMembership, HaRegistration::kGroupListBu});
-  HostEnv& m1 = world.add_host("M1", *topo.stub_links[3]);
-  HostEnv& m2 = world.add_host("M2", *topo.stub_links[7]);
+  NodeRuntime& m1 = world.add_host("M1", *topo.stub_links[3]);
+  NodeRuntime& m2 = world.add_host("M2", *topo.stub_links[7]);
   world.finalize();
 
   GroupReceiverApp app1(*m1.stack, kPort);
@@ -120,8 +120,8 @@ int main(int argc, char** argv) {
     world.add_router("U", {&la, &lb});
     world.add_router("D1", {&lb, &lc});
     world.add_router("D2", {&lb, &ld});
-    HostEnv& src = world.add_host("S", la);
-    HostEnv& member = world.add_host("M", ld);
+    NodeRuntime& src = world.add_host("S", la);
+    NodeRuntime& member = world.add_host("M", ld);
     world.finalize();
     GroupReceiverApp app(*member.stack, kPort);
     member.service->subscribe(kGroup);

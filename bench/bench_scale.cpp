@@ -33,8 +33,8 @@ ReplicationResult run_cell(std::uint64_t seed, const Cell& cell,
 
   struct GroupEnv {
     Address group;
-    HostEnv* sender = nullptr;
-    std::vector<HostEnv*> receivers;
+    NodeRuntime* sender = nullptr;
+    std::vector<NodeRuntime*> receivers;
     std::unique_ptr<CbrSource> source;
     std::vector<std::unique_ptr<GroupReceiverApp>> apps;
     std::vector<std::unique_ptr<RandomMover>> movers;
@@ -57,7 +57,7 @@ ReplicationResult run_cell(std::uint64_t seed, const Cell& cell,
   world.finalize();
 
   for (GroupEnv& env : envs) {
-    for (HostEnv* r : env.receivers) {
+    for (NodeRuntime* r : env.receivers) {
       env.apps.push_back(std::make_unique<GroupReceiverApp>(*r->stack, kPort));
       r->service->subscribe(env.group);
       if (cell.dwell_s > 0) {

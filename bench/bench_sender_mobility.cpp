@@ -27,9 +27,9 @@ ReplicationResult run(std::uint64_t seed, McastStrategy strategy,
   World& world = *topo.world;
 
   StrategyOptions opts{strategy, HaRegistration::kGroupListBu};
-  HostEnv& sender = world.add_host("S", *topo.stub_links[0], opts);
-  HostEnv& m1 = world.add_host("M1", *topo.stub_links[3]);
-  HostEnv& m2 = world.add_host("M2", *topo.stub_links[7]);
+  NodeRuntime& sender = world.add_host("S", *topo.stub_links[0], opts);
+  NodeRuntime& m1 = world.add_host("M1", *topo.stub_links[3]);
+  NodeRuntime& m2 = world.add_host("M2", *topo.stub_links[7]);
   world.finalize();
 
   GroupReceiverApp app1(*m1.stack, kPort);
@@ -66,7 +66,7 @@ ReplicationResult run(std::uint64_t seed, McastStrategy strategy,
   world.run_until(horizon);
 
   std::uint64_t peak_sg = 0;
-  for (RouterEnv* r : topo.routers) {
+  for (NodeRuntime* r : topo.routers) {
     peak_sg = std::max<std::uint64_t>(peak_sg, r->pim->entry_count());
   }
   auto& c = world.net().counters();

@@ -27,9 +27,9 @@ ReplicationResult run(std::uint64_t seed, bool state_refresh, bool roaming) {
   RandomTopology topo = build_random_topology(params, config);
   World& world = *topo.world;
 
-  HostEnv& sender = world.add_host("S", *topo.stub_links[0]);
-  HostEnv& m1 = world.add_host("M1", *topo.stub_links[3]);
-  HostEnv& m2 = world.add_host("M2", *topo.stub_links[7]);
+  NodeRuntime& sender = world.add_host("S", *topo.stub_links[0]);
+  NodeRuntime& m1 = world.add_host("M1", *topo.stub_links[3]);
+  NodeRuntime& m2 = world.add_host("M2", *topo.stub_links[7]);
   world.finalize();
 
   GroupReceiverApp app1(*m1.stack, kPort);

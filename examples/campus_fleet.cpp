@@ -35,19 +35,19 @@ ReplicationResult run_fleet(std::uint64_t seed, StrategyOptions strategy,
   const Address group = Address::parse(kGroupStr);
 
   // The lecturer sits on stub 0.
-  HostEnv& lecturer = world.add_host("Lecturer", *topo.stub_links[0]);
+  NodeRuntime& lecturer = world.add_host("Lecturer", *topo.stub_links[0]);
 
   // The fleet homes on the other stubs, round-robin.
-  std::vector<HostEnv*> fleet;
+  std::vector<NodeRuntime*> fleet;
   std::vector<std::unique_ptr<GroupReceiverApp>> apps;
   for (std::size_t i = 0; i < fleet_size; ++i) {
     Link& home = *topo.stub_links[1 + i % (topo.stub_links.size() - 1)];
-    HostEnv& h = world.add_host("MN" + std::to_string(i), home, strategy);
+    NodeRuntime& h = world.add_host("MN" + std::to_string(i), home, strategy);
     fleet.push_back(&h);
     apps.push_back(std::make_unique<GroupReceiverApp>(*h.stack, kPort));
   }
   world.finalize();
-  for (HostEnv* h : fleet) h->service->subscribe(group);
+  for (NodeRuntime* h : fleet) h->service->subscribe(group);
 
   CbrSource source(
       world.scheduler(),

@@ -30,15 +30,15 @@ struct Figure1 {
   Link* link4 = nullptr;
   Link* link5 = nullptr;
   Link* link6 = nullptr;
-  RouterEnv* a = nullptr;
-  RouterEnv* b = nullptr;
-  RouterEnv* c = nullptr;
-  RouterEnv* d = nullptr;
-  RouterEnv* e = nullptr;
-  HostEnv* sender = nullptr;
-  HostEnv* recv1 = nullptr;
-  HostEnv* recv2 = nullptr;
-  HostEnv* recv3 = nullptr;
+  NodeRuntime* a = nullptr;
+  NodeRuntime* b = nullptr;
+  NodeRuntime* c = nullptr;
+  NodeRuntime* d = nullptr;
+  NodeRuntime* e = nullptr;
+  NodeRuntime* sender = nullptr;
+  NodeRuntime* recv1 = nullptr;
+  NodeRuntime* recv2 = nullptr;
+  NodeRuntime* recv3 = nullptr;
 
   /// The multicast group G used throughout (global scope).
   static Address group() {

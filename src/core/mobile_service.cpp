@@ -15,6 +15,11 @@ MobileMulticastService::MobileMulticastService(MobileNode& mn, MldHost& mld,
   });
 }
 
+void MobileMulticastService::stop() {
+  mn_->set_on_attached(nullptr);
+  mn_->set_on_link_change(nullptr);
+}
+
 void MobileMulticastService::set_strategy(StrategyOptions opts) {
   const bool was_ha_registered = !receives_locally(opts_.strategy);
   opts_ = opts;

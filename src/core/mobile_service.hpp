@@ -19,13 +19,23 @@
 #include "ipv6/udp.hpp"
 #include "mipv6/mobile_node.hpp"
 #include "mld/host.hpp"
+#include "net/protocol_module.hpp"
 
 namespace mip6 {
 
-class MobileMulticastService {
+class MobileMulticastService : public ProtocolModule {
  public:
   MobileMulticastService(MobileNode& mn, MldHost& mld, StrategyOptions opts,
                          MldConfig mld_config);
+
+  // --- ProtocolModule ----------------------------------------------------
+  const char* module_kind() const override { return "service"; }
+  /// Nothing of its own to crash: subscriptions live in the MobileNode and
+  /// the per-link state in MldHost, both reset by their own modules.
+  void on_crash() override {}
+  void on_restart() override {}
+  /// Teardown: releases the MobileNode callbacks.
+  void stop() override;
 
   void set_strategy(StrategyOptions opts);
   const StrategyOptions& strategy() const { return opts_; }

@@ -1,0 +1,49 @@
+#include "core/node_runtime.hpp"
+
+#include "util/errors.hpp"
+
+namespace mip6 {
+
+NodeRuntime::NodeRuntime(Node& n, bool router) : node(&n), router_(router) {
+  // Crash wipes soft state in reverse construction order (dependents
+  // before their substrates); restart boots forward. The hooks run after
+  // the node's interfaces detached / re-attached respectively.
+  n.add_crash_hook([this] {
+    for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+      (*it)->on_crash();
+    }
+  });
+  n.add_restart_hook([this] {
+    for (auto& m : modules_) m->on_restart();
+  });
+}
+
+NodeRuntime::~NodeRuntime() { stop_modules(); }
+
+void NodeRuntime::stop_modules() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+    (*it)->stop();
+  }
+}
+
+Address NodeRuntime::address_on(const Link& link) const {
+  return stack->global_address(iface_on(link));
+}
+
+IfaceId NodeRuntime::iface_on(const Link& link) const {
+  for (const auto& iface : node->interfaces()) {
+    if (iface->attached() && iface->link() == &link) return iface->id();
+  }
+  throw LogicError(node->name() + " is not attached to " + link.name());
+}
+
+IfaceId NodeRuntime::iface() const {
+  if (mn == nullptr) {
+    throw LogicError(node->name() + " has no mobile-node module");
+  }
+  return mn->iface();
+}
+
+}  // namespace mip6

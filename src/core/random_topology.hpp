@@ -20,7 +20,7 @@ struct RandomTopologyParams {
 
 struct RandomTopology {
   std::unique_ptr<World> world;
-  std::vector<RouterEnv*> routers;
+  std::vector<NodeRuntime*> routers;
   /// One stub LAN per router (index-aligned with `routers`).
   std::vector<Link*> stub_links;
   /// Transit links between routers.

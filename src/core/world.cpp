@@ -4,19 +4,19 @@
 
 namespace mip6 {
 
-Address RouterEnv::address_on(const Link& link) const {
-  return stack->global_address(iface_on(link));
-}
-
-IfaceId RouterEnv::iface_on(const Link& link) const {
-  for (const auto& iface : node->interfaces()) {
-    if (iface->attached() && iface->link() == &link) return iface->id();
-  }
-  throw LogicError(node->name() + " is not attached to " + link.name());
-}
-
 World::World(std::uint64_t seed, WorldConfig config)
     : config_(config), net_(seed), routing_(net_, plan_) {}
+
+World::~World() { stop(); }
+
+void World::stop() {
+  for (auto it = hosts_.rbegin(); it != hosts_.rend(); ++it) {
+    (*it)->stop_modules();
+  }
+  for (auto it = routers_.rbegin(); it != routers_.rend(); ++it) {
+    (*it)->stop_modules();
+  }
+}
 
 Link& World::add_link(const std::string& name, const std::string& prefix) {
   Link& link = net_.add_link(name, config_.link_delay,
@@ -29,92 +29,113 @@ Link& World::add_link(const std::string& name, const std::string& prefix) {
   return link;
 }
 
-RouterEnv& World::add_router(const std::string& name,
-                             const std::vector<Link*>& links) {
-  auto env = std::make_unique<RouterEnv>();
-  env->node = &net_.add_node(name);
+NodeRuntime& World::add_router(const std::string& name,
+                               const std::vector<Link*>& links,
+                               const RouterOptions& opts) {
+  if (opts.with_pim && !opts.with_mld) {
+    throw LogicError("router " + name +
+                     ": module 'pimdm' requires 'mld' (PIM learns local "
+                     "receivers from MLD)");
+  }
+  if (opts.with_ha && !opts.with_pim) {
+    throw LogicError("router " + name +
+                     ": module 'home-agent' requires 'pimdm' (PIM-backed "
+                     "group membership)");
+  }
+  const bool with_ripng =
+      opts.with_ripng.value_or(config_.unicast == UnicastRouting::kRipng);
+
+  auto rt = std::make_unique<NodeRuntime>(net_.add_node(name),
+                                          /*router=*/true);
   for (Link* link : links) {
-    Interface& iface = env->node->add_interface();
+    Interface& iface = rt->node->add_interface();
     iface.attach(*link);
   }
-  env->stack = std::make_unique<Ipv6Stack>(*env->node, plan_,
-                                           /*forwarding=*/true);
+  rt->stack = &rt->emplace_module<Ipv6Stack>(*rt->node, plan_,
+                                             /*forwarding=*/true);
   // Addresses: link-local + global per attached interface.
-  for (const auto& iface : env->node->interfaces()) {
-    env->stack->add_address(
+  for (const auto& iface : rt->node->interfaces()) {
+    rt->stack->add_address(
         iface->id(),
-        Address::from_prefix_iid(Address::parse("fe80::"),
-                                 env->stack->iid()));
+        Address::from_prefix_iid(Address::parse("fe80::"), rt->stack->iid()));
     const Prefix& prefix = plan_.prefix_of(iface->link()->id());
-    env->stack->add_address(
+    rt->stack->add_address(
         iface->id(),
-        Address::from_prefix_iid(prefix.network(), env->stack->iid()));
+        Address::from_prefix_iid(prefix.network(), rt->stack->iid()));
   }
-  env->dispatch = std::make_unique<Icmpv6Dispatcher>(*env->stack);
-  env->udp = std::make_unique<UdpDemux>(*env->stack);
-  env->mld = std::make_unique<MldRouter>(*env->stack, *env->dispatch,
-                                         config_.mld);
-  env->pim = std::make_unique<PimDmRouter>(*env->stack, *env->mld,
-                                           config_.pim);
-  for (const auto& iface : env->node->interfaces()) {
-    env->mld->enable_iface(iface->id());
-    env->pim->enable_iface(iface->id());
+  rt->dispatch = &rt->emplace_module<Icmpv6Dispatcher>(*rt->stack);
+  rt->udp = &rt->emplace_module<UdpDemux>(*rt->stack);
+  if (opts.with_mld) {
+    rt->mld = &rt->emplace_module<MldRouter>(*rt->stack, *rt->dispatch,
+                                             opts.mld.value_or(config_.mld));
   }
-  if (config_.unicast == UnicastRouting::kRipng) {
-    env->ripng = std::make_unique<Ripng>(*env->stack, *env->udp,
-                                         config_.ripng);
-    for (const auto& iface : env->node->interfaces()) {
-      env->ripng->enable_iface(iface->id());
+  if (opts.with_pim) {
+    rt->pim = &rt->emplace_module<PimDmRouter>(
+        *rt->stack, *rt->mld, opts.pim.value_or(config_.pim));
+  }
+  for (const auto& iface : rt->node->interfaces()) {
+    if (rt->mld) rt->mld->enable_iface(iface->id());
+    if (rt->pim) rt->pim->enable_iface(iface->id());
+  }
+  if (with_ripng) {
+    rt->ripng = &rt->emplace_module<Ripng>(
+        *rt->stack, *rt->udp, opts.ripng.value_or(config_.ripng));
+    for (const auto& iface : rt->node->interfaces()) {
+      rt->ripng->enable_iface(iface->id());
     }
   }
-  // Home agent with PIM-backed group membership ("HA is a PIM router").
-  PimDmRouter* pim = env->pim.get();
-  env->ha = std::make_unique<HomeAgent>(
-      *env->stack, config_.mipv6,
-      HomeAgent::MembershipBackend{
-          [pim](const Address& g) { pim->add_local_receiver(g); },
-          [pim](const Address& g) { pim->remove_local_receiver(g); }});
-  routing_.register_stack(*env->stack);
+  if (opts.with_ha) {
+    // Home agent with PIM-backed group membership ("HA is a PIM router").
+    PimDmRouter* pim = rt->pim;
+    rt->ha = &rt->emplace_module<HomeAgent>(
+        *rt->stack, opts.mipv6.value_or(config_.mipv6),
+        HomeAgent::MembershipBackend{
+            [pim](const Address& g) { pim->add_local_receiver(g); },
+            [pim](const Address& g) { pim->remove_local_receiver(g); }});
+  }
+  routing_.register_stack(*rt->stack);
   // First router on a link becomes its default router / home agent.
   for (Link* link : links) {
     if (!plan_.default_router(link->id())) {
-      plan_.set_default_router(link->id(), env->address_on(*link));
+      plan_.set_default_router(link->id(), rt->address_on(*link));
     }
   }
-  routers_.push_back(std::move(env));
+  routers_.push_back(std::move(rt));
   return *routers_.back();
 }
 
-HostEnv& World::add_host(const std::string& name, Link& home,
-                         StrategyOptions strategy) {
-  auto env = std::make_unique<HostEnv>();
-  env->node = &net_.add_node(name);
-  Interface& iface = env->node->add_interface();
+NodeRuntime& World::add_host(const std::string& name, Link& home,
+                             const HostOptions& opts) {
+  auto rt = std::make_unique<NodeRuntime>(net_.add_node(name),
+                                          /*router=*/false);
+  Interface& iface = rt->node->add_interface();
   iface.attach(home);
-  env->stack = std::make_unique<Ipv6Stack>(*env->node, plan_,
-                                           /*forwarding=*/false);
-  env->dispatch = std::make_unique<Icmpv6Dispatcher>(*env->stack);
-  env->mld = std::make_unique<MldHost>(*env->stack, *env->dispatch,
-                                       config_.mld, config_.mld_host);
+  rt->stack = &rt->emplace_module<Ipv6Stack>(*rt->node, plan_,
+                                             /*forwarding=*/false);
+  rt->dispatch = &rt->emplace_module<Icmpv6Dispatcher>(*rt->stack);
+  rt->mld_host = &rt->emplace_module<MldHost>(
+      *rt->stack, *rt->dispatch, opts.mld.value_or(config_.mld),
+      opts.mld_host.value_or(config_.mld_host));
 
   const Prefix& home_prefix = plan_.prefix_of(home.id());
   Address home_addr =
-      Address::from_prefix_iid(home_prefix.network(), env->stack->iid());
+      Address::from_prefix_iid(home_prefix.network(), rt->stack->iid());
   auto gw = plan_.default_router(home.id());
   if (!gw) {
     throw LogicError("host " + name + " added to link " + home.name() +
                      " without a router (add the router first)");
   }
-  env->mn = std::make_unique<MobileNode>(*env->stack, iface.id(), home_addr,
-                                         *gw, config_.mipv6);
-  env->service = std::make_unique<MobileMulticastService>(
-      *env->mn, *env->mld, strategy, config_.mld);
-  routing_.register_stack(*env->stack);
-  hosts_.push_back(std::move(env));
+  rt->mn = &rt->emplace_module<MobileNode>(*rt->stack, iface.id(), home_addr,
+                                           *gw,
+                                           opts.mipv6.value_or(config_.mipv6));
+  rt->service = &rt->emplace_module<MobileMulticastService>(
+      *rt->mn, *rt->mld_host, opts.strategy, opts.mld.value_or(config_.mld));
+  routing_.register_stack(*rt->stack);
+  hosts_.push_back(std::move(rt));
   return *hosts_.back();
 }
 
-void World::set_link_router(Link& link, RouterEnv& router) {
+void World::set_link_router(Link& link, NodeRuntime& router) {
   plan_.set_default_router(link.id(), router.address_on(link));
 }
 
@@ -127,14 +148,14 @@ void World::finalize() {
   }
 }
 
-RouterEnv& World::router_by_name(const std::string& name) const {
+NodeRuntime& World::router_by_name(const std::string& name) const {
   for (const auto& r : routers_) {
     if (r->node->name() == name) return *r;
   }
   throw LogicError("no router named " + name);
 }
 
-HostEnv& World::host_by_name(const std::string& name) const {
+NodeRuntime& World::host_by_name(const std::string& name) const {
   for (const auto& h : hosts_) {
     if (h->node->name() == name) return *h;
   }

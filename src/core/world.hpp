@@ -1,26 +1,21 @@
-// The scenario world: one Network plus fully wired protocol engines per
-// node. Routers get the full paper role — PIM-DM router, MLD querier and
-// Mobile IPv6 home agent — and every host is mobility-capable (a host that
-// never moves behaves exactly like a static host).
+// The scenario world: one Network plus a NodeRuntime (ordered
+// ProtocolModule stack) per node. By default routers get the full paper
+// role — PIM-DM router, MLD querier and Mobile IPv6 home agent — and every
+// host is mobility-capable (a host that never moves behaves exactly like a
+// static host). Per-node module sets and config overrides allow
+// heterogeneous scenarios (e.g. a PIM-less unicast router or a host with a
+// different MLD policy).
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
-#include "core/mobile_service.hpp"
+#include "core/node_runtime.hpp"
 #include "core/strategy.hpp"
 #include "ipv6/global_routing.hpp"
-#include "ipv6/icmpv6_dispatch.hpp"
-#include "ipv6/ripng.hpp"
-#include "ipv6/udp_demux.hpp"
-#include "ipv6/stack.hpp"
-#include "mipv6/home_agent.hpp"
-#include "mipv6/mobile_node.hpp"
-#include "mld/host.hpp"
-#include "mld/router.hpp"
 #include "net/network.hpp"
-#include "pimdm/router.hpp"
 
 namespace mip6 {
 
@@ -44,35 +39,36 @@ struct WorldConfig {
   std::uint64_t link_bit_rate_bps = 0;  // 0 = infinitely fast
 };
 
-struct RouterEnv {
-  Node* node = nullptr;
-  std::unique_ptr<Ipv6Stack> stack;
-  std::unique_ptr<Icmpv6Dispatcher> dispatch;
-  std::unique_ptr<UdpDemux> udp;
-  std::unique_ptr<MldRouter> mld;
-  std::unique_ptr<PimDmRouter> pim;
-  std::unique_ptr<HomeAgent> ha;
-  std::unique_ptr<Ripng> ripng;  // only with UnicastRouting::kRipng
-
-  /// Global address of this router's interface attached to `link`.
-  Address address_on(const Link& link) const;
-  IfaceId iface_on(const Link& link) const;
+/// Per-router module selection + config overrides (defaults reproduce the
+/// classic full-role router). `ripng` unset follows WorldConfig::unicast.
+struct RouterOptions {
+  bool with_mld = true;
+  bool with_pim = true;  // requires with_mld
+  bool with_ha = true;   // requires with_pim (PIM-backed membership)
+  std::optional<bool> with_ripng;
+  std::optional<MldConfig> mld;
+  std::optional<PimDmConfig> pim;
+  std::optional<Mipv6Config> mipv6;
+  std::optional<RipngConfig> ripng;
 };
 
-struct HostEnv {
-  Node* node = nullptr;
-  std::unique_ptr<Ipv6Stack> stack;
-  std::unique_ptr<Icmpv6Dispatcher> dispatch;
-  std::unique_ptr<MldHost> mld;
-  std::unique_ptr<MobileNode> mn;
-  std::unique_ptr<MobileMulticastService> service;
+/// Per-host strategy + config overrides. Implicitly constructible from a
+/// StrategyOptions (or its two enums) so add_host keeps its short forms.
+struct HostOptions {
+  HostOptions() = default;
+  HostOptions(StrategyOptions s) : strategy(s) {}
+  HostOptions(McastStrategy s, HaRegistration r) : strategy{s, r} {}
 
-  IfaceId iface() const { return mn->iface(); }
+  StrategyOptions strategy;
+  std::optional<MldConfig> mld;
+  std::optional<MldHostPolicy> mld_host;
+  std::optional<Mipv6Config> mipv6;
 };
 
 class World {
  public:
   explicit World(std::uint64_t seed = 1, WorldConfig config = {});
+  ~World();
 
   Network& net() { return net_; }
   AddressingPlan& plan() { return plan_; }
@@ -84,19 +80,20 @@ class World {
   /// Creates a link; `prefix` empty means auto ("2001:db8:<n>::/64").
   Link& add_link(const std::string& name, const std::string& prefix = "");
 
-  /// Creates a router attached to `links` with PIM + MLD enabled on every
-  /// interface and a home agent (PIM-backed membership).
-  RouterEnv& add_router(const std::string& name,
-                        const std::vector<Link*>& links);
+  /// Creates a router attached to `links` with (by default) PIM + MLD
+  /// enabled on every interface and a home agent (PIM-backed membership).
+  NodeRuntime& add_router(const std::string& name,
+                          const std::vector<Link*>& links,
+                          const RouterOptions& opts = {});
 
   /// Creates a (mobility-capable) host homed on `home`, with the link's
   /// designated router as home agent. Strategy defaults to local membership.
-  HostEnv& add_host(const std::string& name, Link& home,
-                    StrategyOptions strategy = {});
+  NodeRuntime& add_host(const std::string& name, Link& home,
+                        const HostOptions& opts = {});
 
   /// Designates `router` as default router / home agent for `link` (done
   /// automatically for the first router attached to a link).
-  void set_link_router(Link& link, RouterEnv& router);
+  void set_link_router(Link& link, NodeRuntime& router);
 
   /// Installs routes and autoconfigures hosts. Call after building the
   /// topology and before run().
@@ -104,20 +101,26 @@ class World {
 
   std::uint64_t run_until(Time t) { return net_.scheduler().run_until(t); }
 
-  const std::vector<std::unique_ptr<RouterEnv>>& routers() const {
+  /// Deterministic teardown: stops every module, hosts first then routers,
+  /// each in reverse construction order (also run by the destructor).
+  void stop();
+
+  const std::vector<std::unique_ptr<NodeRuntime>>& routers() const {
     return routers_;
   }
-  const std::vector<std::unique_ptr<HostEnv>>& hosts() const { return hosts_; }
-  RouterEnv& router_by_name(const std::string& name) const;
-  HostEnv& host_by_name(const std::string& name) const;
+  const std::vector<std::unique_ptr<NodeRuntime>>& hosts() const {
+    return hosts_;
+  }
+  NodeRuntime& router_by_name(const std::string& name) const;
+  NodeRuntime& host_by_name(const std::string& name) const;
 
  private:
   WorldConfig config_;
   Network net_;
   AddressingPlan plan_;
   GlobalRouting routing_;
-  std::vector<std::unique_ptr<RouterEnv>> routers_;
-  std::vector<std::unique_ptr<HostEnv>> hosts_;
+  std::vector<std::unique_ptr<NodeRuntime>> routers_;
+  std::vector<std::unique_ptr<NodeRuntime>> hosts_;
   std::uint32_t next_prefix_index_ = 1;
 };
 

@@ -48,8 +48,8 @@ const Link* Auditor::link_of(const Node& node, IfaceId iface) {
   return i.attached() ? i.link() : nullptr;
 }
 
-bool Auditor::is_router_address_on(const RouterEnv& router, const Link& link,
-                                   const Address& addr) {
+bool Auditor::is_router_address_on(const NodeRuntime& router,
+                                   const Link& link, const Address& addr) {
   for (const auto& iface : router.node->interfaces()) {
     if (!iface->attached() || iface->link() != &link) continue;
     if (router.stack->has_global_address(iface->id()) &&
@@ -67,7 +67,7 @@ bool Auditor::is_router_address_on(const RouterEnv& router, const Link& link,
 std::vector<PimDmRouter::SgKey> Auditor::all_sg_keys() const {
   std::set<PimDmRouter::SgKey> keys;
   for (const auto& r : world_->routers()) {
-    if (!r->node->up()) continue;
+    if (!r->node->up() || r->pim == nullptr) continue;
     for (const auto& key : r->pim->sg_keys()) keys.insert(key);
   }
   return {keys.begin(), keys.end()};
@@ -75,7 +75,7 @@ std::vector<PimDmRouter::SgKey> Auditor::all_sg_keys() const {
 
 void Auditor::check_oif_iif(AuditReport& r) const {
   for (const auto& env : world_->routers()) {
-    if (!env->node->up()) continue;
+    if (!env->node->up() || env->pim == nullptr) continue;
     for (const auto& key : env->pim->sg_keys()) {
       IfaceId iif = env->pim->incoming(key.source, key.group);
       auto oifs = env->pim->outgoing(key.source, key.group);
@@ -98,8 +98,9 @@ void Auditor::check_forwarding_loops(AuditReport& r) const {
     std::vector<std::set<LinkId>> out_links(routers.size());
     std::vector<const Link*> in_link(routers.size(), nullptr);
     for (std::size_t i = 0; i < routers.size(); ++i) {
-      const RouterEnv& env = *routers[i];
-      if (!env.node->up() || !env.pim->has_entry(key.source, key.group)) {
+      const NodeRuntime& env = *routers[i];
+      if (!env.node->up() || env.pim == nullptr ||
+          !env.pim->has_entry(key.source, key.group)) {
         continue;
       }
       in_link[i] = link_of(*env.node, env.pim->incoming(key.source, key.group));
@@ -141,7 +142,7 @@ void Auditor::check_forwarding_loops(AuditReport& r) const {
 
 void Auditor::check_binding_coherence(AuditReport& r) const {
   for (const auto& env : world_->routers()) {
-    if (!env->node->up()) continue;
+    if (!env->node->up() || env->ha == nullptr) continue;
     for (const BindingCache::Entry* e : env->ha->cache().entries()) {
       for (const auto& h : world_->hosts()) {
         if (!(h->mn->home_address() == e->home)) continue;
@@ -168,7 +169,8 @@ void Auditor::check_binding_coherence(AuditReport& r) const {
     }
     bool found = false;
     for (const auto& env : world_->routers()) {
-      if (env->ha->cache().find(h->mn->home_address()) != nullptr) {
+      if (env->ha != nullptr &&
+          env->ha->cache().find(h->mn->home_address()) != nullptr) {
         found = true;
         break;
       }
@@ -187,7 +189,8 @@ void Auditor::check_duplicate_forwarders(AuditReport& r) const {
   for (const auto& key : all_sg_keys()) {
     std::map<LinkId, std::vector<std::string>> forwarders;
     for (const auto& env : world_->routers()) {
-      if (!env->node->up() || !env->pim->has_entry(key.source, key.group)) {
+      if (!env->node->up() || env->pim == nullptr ||
+          !env->pim->has_entry(key.source, key.group)) {
         continue;
       }
       for (IfaceId oif : env->pim->outgoing(key.source, key.group)) {
@@ -210,7 +213,7 @@ void Auditor::check_duplicate_forwarders(AuditReport& r) const {
 
 void Auditor::check_prune_coherence(AuditReport& r) const {
   for (const auto& up : world_->routers()) {
-    if (!up->node->up()) continue;
+    if (!up->node->up() || up->pim == nullptr) continue;
     for (const auto& key : up->pim->sg_keys()) {
       for (IfaceId oif_iface : up->pim->enabled_ifaces()) {
         if (up->pim->downstream_state(key.source, key.group, oif_iface) !=
@@ -221,6 +224,7 @@ void Auditor::check_prune_coherence(AuditReport& r) const {
         if (l == nullptr || !l->up()) continue;
         for (const auto& down : world_->routers()) {
           if (down.get() == up.get() || !down->node->up() ||
+              down->pim == nullptr ||
               !down->pim->has_entry(key.source, key.group)) {
             continue;
           }
@@ -251,10 +255,10 @@ void Auditor::check_mld_coverage(AuditReport& r) const {
     const Link* l = link_of(*h->node, iface);
     if (l == nullptr || !l->up()) continue;
     for (const Address& g : h->mn->subscriptions()) {
-      if (!h->mld->joined(iface, g)) continue;  // strategy reports elsewhere
+      if (!h->mld_host->joined(iface, g)) continue;  // strategy reports elsewhere
       bool covered = false;
       for (const auto& env : world_->routers()) {
-        if (!env->node->up()) continue;
+        if (!env->node->up() || env->mld == nullptr) continue;
         for (const auto& ri : env->node->interfaces()) {
           if (ri->attached() && ri->link() == l &&
               env->mld->has_listeners(ri->id(), g)) {

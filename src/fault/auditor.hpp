@@ -74,8 +74,8 @@ class Auditor {
   /// Link the interface is attached to, or nullptr.
   static const Link* link_of(const Node& node, IfaceId iface);
   /// True if `addr` is one of `router`'s addresses on `link`.
-  static bool is_router_address_on(const RouterEnv& router, const Link& link,
-                                   const Address& addr);
+  static bool is_router_address_on(const NodeRuntime& router,
+                                   const Link& link, const Address& addr);
 
   World* world_;
   AuditorConfig config_;

@@ -32,26 +32,36 @@ void ChaosEngine::apply(const FaultEvent& e) {
       world_->net().link_by_name(e.target).clear_impairments();
       break;
     case FaultKind::kRouterCrash:
-      apply_router_crash(world_->router_by_name(e.target));
+      apply_crash(world_->router_by_name(e.target));
       break;
     case FaultKind::kRouterRestart:
-      apply_router_restart(world_->router_by_name(e.target));
+      apply_restart(world_->router_by_name(e.target));
       break;
     case FaultKind::kHostCrash:
-      apply_host_crash(world_->host_by_name(e.target));
+      apply_crash(world_->host_by_name(e.target));
       break;
     case FaultKind::kHostRestart:
-      apply_host_restart(world_->host_by_name(e.target));
+      apply_restart(world_->host_by_name(e.target));
       break;
     case FaultKind::kHaOutage: {
-      RouterEnv& env = world_->router_by_name(e.target);
-      env.ha->set_enabled(false);
-      env.ha->clear_bindings();
+      HomeAgent* ha = world_->router_by_name(e.target).find<HomeAgent>();
+      if (ha == nullptr) {
+        throw LogicError("ha-outage targets " + e.target +
+                         " which has no home-agent module");
+      }
+      ha->set_enabled(false);
+      ha->clear_bindings();
       break;
     }
-    case FaultKind::kHaRestore:
-      world_->router_by_name(e.target).ha->set_enabled(true);
+    case FaultKind::kHaRestore: {
+      HomeAgent* ha = world_->router_by_name(e.target).find<HomeAgent>();
+      if (ha == nullptr) {
+        throw LogicError("ha-restore targets " + e.target +
+                         " which has no home-agent module");
+      }
+      ha->set_enabled(true);
       break;
+    }
   }
   executed_.push_back(e.str());
   applied_.push_back(e);
@@ -62,51 +72,28 @@ void ChaosEngine::apply(const FaultEvent& e) {
   }
 }
 
-void ChaosEngine::apply_router_crash(RouterEnv& env) {
-  if (!env.node->up()) return;
-  // Protocol soft state first (no goodbyes — a crash sends nothing), then
-  // power-off. The home agent loses every binding and represented group.
-  env.ha->clear_bindings();
-  env.ha->set_enabled(false);
-  env.pim->shutdown();
-  env.mld->shutdown();
-  if (env.ripng) env.ripng->shutdown();
-  env.stack->rib().clear();
-  env.node->crash();
-  recompute_if_oracle();
+void ChaosEngine::apply_crash(NodeRuntime& rt) {
+  if (!rt.node->up()) return;
+  // Power-off: interfaces detach (a crash sends nothing — any goodbye a
+  // module would emit is dropped at the detached interface), then every
+  // module's on_crash() wipes its soft state in reverse construction
+  // order. Application-level subscriptions survive (the app still wants
+  // its groups at restart).
+  rt.node->crash();
+  if (rt.is_router()) recompute_if_oracle();
 }
 
-void ChaosEngine::apply_router_restart(RouterEnv& env) {
-  if (env.node->up()) return;
-  env.node->restart();
-  // Cold boot: protocols come back on every attached interface and learn
-  // everything again (Hellos, queries, flood-and-prune, RIPng updates).
-  for (const auto& iface : env.node->interfaces()) {
-    if (!iface->attached()) continue;
-    env.mld->enable_iface(iface->id());
-    env.pim->enable_iface(iface->id());
-    if (env.ripng) env.ripng->enable_iface(iface->id());
-  }
-  env.ha->set_enabled(true);
-  recompute_if_oracle();
-}
-
-void ChaosEngine::apply_host_crash(HostEnv& env) {
-  if (!env.node->up()) return;
-  env.node->crash();
-  // Mobility and membership soft state dies with the node; application
-  // subscriptions survive (the app still wants its groups at restart).
-  env.mn->reset_soft_state();
-  env.mld->shutdown();
-}
-
-void ChaosEngine::apply_host_restart(HostEnv& env) {
-  if (env.node->up()) return;
-  // Re-attaching fires the interface link-change handler: movement
-  // detection, SLAAC care-of address, Binding Update, strategy re-join —
-  // the ordinary "arrived on a link" path, which is exactly what a
-  // rebooted mobile node does.
-  env.node->restart();
+void ChaosEngine::apply_restart(NodeRuntime& rt) {
+  if (rt.node->up()) return;
+  // Cold boot: interfaces re-attach, then every module's on_restart() runs
+  // in construction order. Routers re-enable their protocols on every
+  // configured attached interface and learn everything again (Hellos,
+  // queries, flood-and-prune, RIPng updates); a host's re-attachment fires
+  // the link-change handler — movement detection, SLAAC care-of address,
+  // Binding Update, strategy re-join — the ordinary "arrived on a link"
+  // path, which is exactly what a rebooted mobile node does.
+  rt.node->restart();
+  if (rt.is_router()) recompute_if_oracle();
 }
 
 void ChaosEngine::recompute_if_oracle() {

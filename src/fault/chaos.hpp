@@ -77,10 +77,10 @@ class ChaosEngine {
   void record_recoveries(const GroupReceiverApp& app);
 
  private:
-  void apply_router_crash(RouterEnv& env);
-  void apply_router_restart(RouterEnv& env);
-  void apply_host_crash(HostEnv& env);
-  void apply_host_restart(HostEnv& env);
+  /// Generic over the node's module set: Node::crash()/restart() drive the
+  /// ProtocolModule lifecycle hooks; no engine is named here.
+  void apply_crash(NodeRuntime& rt);
+  void apply_restart(NodeRuntime& rt);
   void recompute_if_oracle();
   void count(const std::string& name);
 

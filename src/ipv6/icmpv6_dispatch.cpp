@@ -12,8 +12,21 @@ Icmpv6Dispatcher::Icmpv6Dispatcher(Ipv6Stack& stack) : stack_(&stack) {
       });
 }
 
-void Icmpv6Dispatcher::subscribe(std::uint8_t type, Handler h) {
-  handlers_[type].push_back(std::move(h));
+std::size_t Icmpv6Dispatcher::subscribe(std::uint8_t type, Handler h) {
+  auto& slot = handlers_[type];
+  slot.push_back(std::move(h));
+  return slot.size() - 1;
+}
+
+void Icmpv6Dispatcher::unsubscribe(std::uint8_t type, std::size_t token) {
+  auto it = handlers_.find(type);
+  if (it == handlers_.end() || token >= it->second.size()) return;
+  it->second[token] = nullptr;
+}
+
+void Icmpv6Dispatcher::stop() {
+  handlers_.clear();
+  stack_->clear_proto_handler(proto::kIcmpv6);
 }
 
 void Icmpv6Dispatcher::on_icmpv6(const ParsedDatagram& d, IfaceId iface) {
@@ -34,6 +47,7 @@ void Icmpv6Dispatcher::on_icmpv6(const ParsedDatagram& d, IfaceId iface) {
   // decoder must not abort delivery to its siblings. Only the offending
   // subscriber's element is dropped.
   for (const auto& h : it->second) {
+    if (!h) continue;
     try {
       h(msg, d, iface);
     } catch (const ParseError&) {

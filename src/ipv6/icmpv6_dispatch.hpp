@@ -10,17 +10,25 @@
 
 #include "ipv6/icmpv6.hpp"
 #include "ipv6/stack.hpp"
+#include "net/protocol_module.hpp"
 
 namespace mip6 {
 
-class Icmpv6Dispatcher {
+class Icmpv6Dispatcher : public ProtocolModule {
  public:
   using Handler = std::function<void(const Icmpv6Message&,
                                      const ParsedDatagram&, IfaceId)>;
 
   explicit Icmpv6Dispatcher(Ipv6Stack& stack);
 
-  void subscribe(std::uint8_t type, Handler h);
+  const char* module_kind() const override { return "icmpv6"; }
+  /// Drops every subscription and releases the stack's ICMPv6 protocol
+  /// handler so a later dispatcher (same node, rebuilt world) can claim it.
+  void stop() override;
+
+  /// Subscribes to one ICMPv6 type; returns a token for unsubscribe.
+  std::size_t subscribe(std::uint8_t type, Handler h);
+  void unsubscribe(std::uint8_t type, std::size_t token);
 
  private:
   void on_icmpv6(const ParsedDatagram& d, IfaceId iface);

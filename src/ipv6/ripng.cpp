@@ -75,7 +75,7 @@ std::vector<RipngRte> parse_ripng_response(BytesView payload) {
 }
 
 Ripng::Ripng(Ipv6Stack& stack, UdpDemux& udp, RipngConfig config)
-    : stack_(&stack), config_(config),
+    : stack_(&stack), udp_(&udp), config_(config),
       update_timer_(stack.scheduler(), [this] {
         send_periodic_update();
         update_timer_.arm(config_.update_interval);
@@ -93,7 +93,21 @@ Ripng::Ripng(Ipv6Stack& stack, UdpDemux& udp, RipngConfig config)
   update_timer_.arm(Time::ms(100));
 }
 
+void Ripng::start() {
+  for (const auto& ifp : stack_->node().interfaces()) {
+    if (ifp->attached() && configured_.contains(ifp->id())) {
+      enable_iface(ifp->id());
+    }
+  }
+}
+
+void Ripng::stop() {
+  shutdown();
+  udp_->unbind(kRipngPort);
+}
+
 void Ripng::enable_iface(IfaceId iface) {
+  configured_.insert(iface);
   ifaces_.push_back(iface);
   stack_->join_local_group(iface, ripng_group());
   // Re-arm the update cycle if a shutdown() stopped it.

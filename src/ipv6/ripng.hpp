@@ -14,11 +14,13 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "ipv6/stack.hpp"
 #include "ipv6/udp.hpp"
 #include "ipv6/udp_demux.hpp"
+#include "net/protocol_module.hpp"
 #include "sim/timer.hpp"
 
 namespace mip6 {
@@ -50,12 +52,23 @@ inline constexpr std::uint16_t kRipngPort = 521;
 /// All-RIP-routers link-scope group.
 Address ripng_group();
 
-class Ripng {
+class Ripng : public ProtocolModule {
  public:
   Ripng(Ipv6Stack& stack, UdpDemux& udp, RipngConfig config = {});
 
+  // --- ProtocolModule ----------------------------------------------------
+  const char* module_kind() const override { return "ripng"; }
+  /// Re-enables RIPng on every configured interface that is currently
+  /// attached (cold boot after a restart).
+  void start() override;
+  /// Crash semantics: shutdown(), keeping the configured-interface set.
+  void reset() override { shutdown(); }
+  /// Teardown: shutdown() plus releasing the UDP port binding.
+  void stop() override;
+
   /// Starts RIPng on an interface and installs the connected prefix (from
-  /// the addressing plan) at metric 1.
+  /// the addressing plan) at metric 1. Remembered for start() after a
+  /// crash/restart cycle.
   void enable_iface(IfaceId iface);
 
   /// Crash support: forgets every route (and its RIB entry), all enabled
@@ -94,7 +107,10 @@ class Ripng {
   void count(const std::string& name);
 
   Ipv6Stack* stack_;
+  UdpDemux* udp_;
   RipngConfig config_;
+  /// Every interface enable_iface() was ever called for (restart wiring).
+  std::set<IfaceId> configured_;
   std::vector<IfaceId> ifaces_;
   std::map<Prefix, std::unique_ptr<RouteState>> routes_;
   Timer update_timer_;

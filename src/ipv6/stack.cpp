@@ -223,12 +223,33 @@ void Ipv6Stack::set_proto_handler(std::uint8_t protocol, ProtoHandler h) {
   proto_handlers_[protocol] = std::move(h);
 }
 
+void Ipv6Stack::clear_proto_handler(std::uint8_t protocol) {
+  proto_handlers_.erase(protocol);
+}
+
 void Ipv6Stack::set_option_handler(std::uint8_t type, OptionHandler h) {
   option_handlers_[type] = std::move(h);
 }
 
-void Ipv6Stack::add_group_delivery_hook(GroupDeliveryHook h) {
+void Ipv6Stack::clear_option_handler(std::uint8_t type) {
+  option_handlers_.erase(type);
+}
+
+std::size_t Ipv6Stack::add_group_delivery_hook(GroupDeliveryHook h) {
   group_hooks_.push_back(std::move(h));
+  return group_hooks_.size() - 1;
+}
+
+void Ipv6Stack::remove_group_delivery_hook(std::size_t token) {
+  if (token < group_hooks_.size()) group_hooks_[token] = nullptr;
+}
+
+void Ipv6Stack::stop() {
+  proto_handlers_.clear();
+  option_handlers_.clear();
+  group_hooks_.clear();
+  mcast_forwarder_ = nullptr;
+  intercept_ = nullptr;
 }
 
 // ---------------------------------------------------------------------------
@@ -337,7 +358,9 @@ void Ipv6Stack::deliver_local(const ParsedDatagram& d, const Packet& pkt,
     }
   }
   if (d.hdr.dst.is_multicast()) {
-    for (const auto& hook : group_hooks_) hook(d, pkt, iface);
+    for (const auto& hook : group_hooks_) {
+      if (hook) hook(d, pkt, iface);
+    }
   }
   auto it = proto_handlers_.find(d.protocol);
   if (it != proto_handlers_.end()) {

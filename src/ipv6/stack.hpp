@@ -20,15 +20,25 @@
 #include "ipv6/datagram.hpp"
 #include "ipv6/routing.hpp"
 #include "net/network.hpp"
+#include "net/protocol_module.hpp"
 
 namespace mip6 {
 
-class Ipv6Stack {
+class Ipv6Stack : public ProtocolModule {
  public:
   /// `forwarding` true makes this node a router.
   Ipv6Stack(Node& node, AddressingPlan& plan, bool forwarding);
   Ipv6Stack(const Ipv6Stack&) = delete;
   Ipv6Stack& operator=(const Ipv6Stack&) = delete;
+
+  // --- ProtocolModule ----------------------------------------------------
+  const char* module_kind() const override { return "ipv6"; }
+  /// Forgets every learned route (crash: the RIB is soft state; addresses
+  /// and handler registrations belong to configuration and survive).
+  void reset() override { rib_.clear(); }
+  /// Deterministic teardown: drops every registered handler so dependent
+  /// modules can be destroyed in any order after stop().
+  void stop() override;
 
   Node& node() const { return *node_; }
   Network& network() const { return node_->network(); }
@@ -89,16 +99,20 @@ class Ipv6Stack {
   using ProtoHandler =
       std::function<void(const ParsedDatagram&, const Packet&, IfaceId)>;
   void set_proto_handler(std::uint8_t protocol, ProtoHandler h);
+  void clear_proto_handler(std::uint8_t protocol);
 
   using OptionHandler =
       std::function<void(const DestOption&, const ParsedDatagram&, IfaceId)>;
   void set_option_handler(std::uint8_t type, OptionHandler h);
+  void clear_option_handler(std::uint8_t type);
 
   /// Invoked whenever a multicast datagram is accepted locally (any group).
   /// The home agent hooks this to relay group traffic into MN tunnels.
+  /// Returns a token for remove_group_delivery_hook.
   using GroupDeliveryHook =
       std::function<void(const ParsedDatagram&, const Packet&, IfaceId)>;
-  void add_group_delivery_hook(GroupDeliveryHook h);
+  std::size_t add_group_delivery_hook(GroupDeliveryHook h);
+  void remove_group_delivery_hook(std::size_t token);
 
   // --- Router-side hooks -------------------------------------------------
   Rib& rib() { return rib_; }
@@ -109,6 +123,7 @@ class Ipv6Stack {
   using McastForwarder =
       std::function<void(const ParsedDatagram&, const Packet&, IfaceId)>;
   void set_mcast_forwarder(McastForwarder f) { mcast_forwarder_ = std::move(f); }
+  void clear_mcast_forwarder() { mcast_forwarder_ = nullptr; }
 
   /// Replicates `pkt` out of `out_iface` with the hop limit decremented
   /// (used by PIM to place a copy on a downstream link). Returns false if
@@ -129,6 +144,7 @@ class Ipv6Stack {
   /// Receives datagrams whose destination is an intercepted address.
   using InterceptHandler = std::function<void(const ParsedDatagram&, const Packet&)>;
   void set_intercept_handler(InterceptHandler h) { intercept_ = std::move(h); }
+  void clear_intercept_handler() { intercept_ = nullptr; }
 
  private:
   struct AddrEntry {

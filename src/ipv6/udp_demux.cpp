@@ -16,6 +16,13 @@ void UdpDemux::bind(std::uint16_t port, Handler h) {
   handlers_[port] = std::move(h);
 }
 
+void UdpDemux::unbind(std::uint16_t port) { handlers_.erase(port); }
+
+void UdpDemux::stop() {
+  handlers_.clear();
+  stack_->clear_proto_handler(proto::kUdp);
+}
+
 void UdpDemux::on_udp(const ParsedDatagram& d, IfaceId iface) {
   ParseResult<UdpDatagram> parsed =
       UdpDatagram::try_parse(d.payload, d.hdr.src, d.hdr.dst);

@@ -9,17 +9,23 @@
 
 #include "ipv6/stack.hpp"
 #include "ipv6/udp.hpp"
+#include "net/protocol_module.hpp"
 
 namespace mip6 {
 
-class UdpDemux {
+class UdpDemux : public ProtocolModule {
  public:
   using Handler =
       std::function<void(const UdpDatagram&, const ParsedDatagram&, IfaceId)>;
 
   explicit UdpDemux(Ipv6Stack& stack);
 
+  const char* module_kind() const override { return "udp"; }
+  /// Drops every binding and releases the stack's UDP protocol handler.
+  void stop() override;
+
   void bind(std::uint16_t port, Handler h);
+  void unbind(std::uint16_t port);
 
  private:
   void on_udp(const ParsedDatagram& d, IfaceId iface);

@@ -35,12 +35,20 @@ HomeAgent::HomeAgent(Ipv6Stack& stack, Mipv6Config config,
       [this](const ParsedDatagram& d, const Packet&, IfaceId iface) {
         on_tunneled(d, iface);
       });
-  stack.add_group_delivery_hook(
+  group_hook_token_ = stack.add_group_delivery_hook(
       [this](const ParsedDatagram& d, const Packet& pkt, IfaceId) {
         on_group_delivery(d, pkt);
       });
   cache_.set_expiry_callback(
       [this](const BindingCache::Entry& e) { on_binding_expired(e); });
+}
+
+void HomeAgent::stop() {
+  clear_bindings();
+  stack_->clear_option_handler(opt::kBindingUpdate);
+  stack_->clear_intercept_handler();
+  stack_->clear_proto_handler(proto::kIpv6);
+  stack_->remove_group_delivery_hook(group_hook_token_);
 }
 
 std::vector<Address> HomeAgent::represented_groups() const {

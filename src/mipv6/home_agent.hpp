@@ -28,10 +28,11 @@
 #include "mipv6/binding_cache.hpp"
 #include "mipv6/config.hpp"
 #include "mipv6/messages.hpp"
+#include "net/protocol_module.hpp"
 
 namespace mip6 {
 
-class HomeAgent {
+class HomeAgent : public ProtocolModule {
  public:
   struct MembershipBackend {
     std::function<void(const Address& group)> join;
@@ -39,6 +40,18 @@ class HomeAgent {
   };
 
   HomeAgent(Ipv6Stack& stack, Mipv6Config config, MembershipBackend backend);
+
+  // --- ProtocolModule ----------------------------------------------------
+  const char* module_kind() const override { return "ha"; }
+  /// Crash semantics: loses the binding cache (soft state the mobile nodes
+  /// must re-register) and goes disabled until on_restart().
+  void on_crash() override {
+    clear_bindings();
+    set_enabled(false);
+  }
+  void on_restart() override { set_enabled(true); }
+  /// Teardown: drops bindings and releases every stack registration.
+  void stop() override;
 
   BindingCache& cache() { return cache_; }
   const BindingCache& cache() const { return cache_; }
@@ -110,6 +123,7 @@ class HomeAgent {
   }
 
   Ipv6Stack* stack_;
+  std::size_t group_hook_token_;  // for stop()
   std::string component_;  // "ha/<node>", cached for trace records
   Mipv6Config config_;
   MembershipBackend backend_;

@@ -92,6 +92,13 @@ void MobileNode::reset_soft_state() {
   count("mn/soft-state-reset");
 }
 
+void MobileNode::stop() {
+  reset_soft_state();
+  stack_->clear_option_handler(opt::kBindingAck);
+  stack_->clear_proto_handler(proto::kIpv6);
+  stack_->node().iface_by_id(iface_).set_link_change_handler(nullptr);
+}
+
 void MobileNode::on_link_changed(Link* link) {
   movement_timer_->cancel();
   if (on_link_change_) on_link_change_();

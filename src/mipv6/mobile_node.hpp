@@ -22,14 +22,27 @@
 #include "ipv6/stack.hpp"
 #include "mipv6/config.hpp"
 #include "mipv6/messages.hpp"
+#include "net/protocol_module.hpp"
 #include "sim/timer.hpp"
 
 namespace mip6 {
 
-class MobileNode {
+class MobileNode : public ProtocolModule {
  public:
   MobileNode(Ipv6Stack& stack, IfaceId iface, Address home_address,
              Address home_agent, Mipv6Config config);
+
+  // --- ProtocolModule ----------------------------------------------------
+  const char* module_kind() const override { return "mn"; }
+  /// Crash semantics: reset_soft_state() — binding and care-of address are
+  /// lost; the restart path re-runs attachment and re-registers.
+  void reset() override { reset_soft_state(); }
+  /// Restart is driven by the interface re-attaching (link-change handler
+  /// fires movement detection); nothing extra to do here.
+  void on_restart() override {}
+  /// Teardown: reset_soft_state() plus releasing the stack registrations
+  /// and the interface's link-change handler.
+  void stop() override;
 
   // --- Identity / state -------------------------------------------------
   const Address& home_address() const { return home_address_; }

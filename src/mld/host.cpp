@@ -6,7 +6,7 @@ namespace mip6 {
 
 MldHost::MldHost(Ipv6Stack& stack, Icmpv6Dispatcher& dispatch,
                  MldConfig config, MldHostPolicy policy)
-    : stack_(&stack), config_(config), policy_(policy) {
+    : stack_(&stack), dispatch_(&dispatch), config_(config), policy_(policy) {
   auto handler = [this](const Icmpv6Message& msg, const ParsedDatagram& d,
                         IfaceId iface) {
     ParseResult<MldMessage> m = MldMessage::try_from_icmpv6(msg);
@@ -17,8 +17,16 @@ MldHost::MldHost(Ipv6Stack& stack, Icmpv6Dispatcher& dispatch,
     }
     on_message(m.value(), d, iface);
   };
-  dispatch.subscribe(icmpv6::kMldQuery, handler);
-  dispatch.subscribe(icmpv6::kMldReport, handler);
+  subs_.emplace_back(icmpv6::kMldQuery,
+                     dispatch.subscribe(icmpv6::kMldQuery, handler));
+  subs_.emplace_back(icmpv6::kMldReport,
+                     dispatch.subscribe(icmpv6::kMldReport, handler));
+}
+
+void MldHost::stop() {
+  shutdown();
+  for (auto [type, token] : subs_) dispatch_->unsubscribe(type, token);
+  subs_.clear();
 }
 
 void MldHost::join(IfaceId iface, const Address& group) {

@@ -14,11 +14,14 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "ipv6/icmpv6_dispatch.hpp"
 #include "ipv6/stack.hpp"
 #include "mld/config.hpp"
 #include "mld/messages.hpp"
+#include "net/protocol_module.hpp"
 #include "sim/timer.hpp"
 
 namespace mip6 {
@@ -32,10 +35,17 @@ struct MldHostPolicy {
   bool send_done_on_leave = true;
 };
 
-class MldHost {
+class MldHost : public ProtocolModule {
  public:
   MldHost(Ipv6Stack& stack, Icmpv6Dispatcher& dispatch, MldConfig config,
           MldHostPolicy policy = {});
+
+  // --- ProtocolModule ----------------------------------------------------
+  const char* module_kind() const override { return "mld-host"; }
+  /// Crash semantics: shutdown() — the application re-joins after restart.
+  void reset() override { shutdown(); }
+  /// Teardown: shutdown() plus unsubscribing from the ICMPv6 dispatcher.
+  void stop() override;
 
   /// Application-level join: installs the receive filter and (per policy)
   /// transmits unsolicited Reports.
@@ -80,6 +90,8 @@ class MldHost {
   void count(const std::string& name);
 
   Ipv6Stack* stack_;
+  Icmpv6Dispatcher* dispatch_;
+  std::vector<std::pair<std::uint8_t, std::size_t>> subs_;  // for stop()
   MldConfig config_;
   MldHostPolicy policy_;
   std::map<std::pair<IfaceId, Address>, GroupState> groups_;

@@ -8,8 +8,8 @@ namespace mip6 {
 
 MldRouter::MldRouter(Ipv6Stack& stack, Icmpv6Dispatcher& dispatch,
                      MldConfig config)
-    : stack_(&stack), component_("mld/" + stack.node().name()),
-      config_(config) {
+    : stack_(&stack), dispatch_(&dispatch),
+      component_("mld/" + stack.node().name()), config_(config) {
   // Routers must hear Reports addressed to arbitrary group addresses.
   stack.set_mcast_promiscuous(true);
   auto handler = [this](const Icmpv6Message& msg, const ParsedDatagram& d,
@@ -22,12 +22,30 @@ MldRouter::MldRouter(Ipv6Stack& stack, Icmpv6Dispatcher& dispatch,
     }
     on_message(m.value(), d, iface);
   };
-  dispatch.subscribe(icmpv6::kMldQuery, handler);
-  dispatch.subscribe(icmpv6::kMldReport, handler);
-  dispatch.subscribe(icmpv6::kMldDone, handler);
+  subs_.emplace_back(icmpv6::kMldQuery,
+                     dispatch.subscribe(icmpv6::kMldQuery, handler));
+  subs_.emplace_back(icmpv6::kMldReport,
+                     dispatch.subscribe(icmpv6::kMldReport, handler));
+  subs_.emplace_back(icmpv6::kMldDone,
+                     dispatch.subscribe(icmpv6::kMldDone, handler));
+}
+
+void MldRouter::start() {
+  for (const auto& ifp : stack_->node().interfaces()) {
+    if (ifp->attached() && configured_.contains(ifp->id())) {
+      enable_iface(ifp->id());
+    }
+  }
+}
+
+void MldRouter::stop() {
+  shutdown();
+  for (auto [type, token] : subs_) dispatch_->unsubscribe(type, token);
+  subs_.clear();
 }
 
 void MldRouter::enable_iface(IfaceId iface) {
+  configured_.insert(iface);
   auto [it, fresh] = ifaces_.try_emplace(iface);
   if (!fresh) return;
   IfaceState& st = it->second;

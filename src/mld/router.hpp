@@ -22,11 +22,12 @@
 #include "ipv6/stack.hpp"
 #include "mld/config.hpp"
 #include "mld/messages.hpp"
+#include "net/protocol_module.hpp"
 #include "sim/timer.hpp"
 
 namespace mip6 {
 
-class MldRouter {
+class MldRouter : public ProtocolModule {
  public:
   /// `present` true when the first listener for (iface, group) appears,
   /// false when the last one times out / leaves.
@@ -35,8 +36,20 @@ class MldRouter {
 
   MldRouter(Ipv6Stack& stack, Icmpv6Dispatcher& dispatch, MldConfig config);
 
+  // --- ProtocolModule ----------------------------------------------------
+  const char* module_kind() const override { return "mld"; }
+  /// Re-enables MLD on every configured interface that is currently
+  /// attached (cold boot after a restart).
+  void start() override;
+  /// Crash semantics: shutdown(), keeping the configured-interface set so
+  /// start() can bring the protocol back up.
+  void reset() override { shutdown(); }
+  /// Teardown: shutdown() plus unsubscribing from the ICMPv6 dispatcher.
+  void stop() override;
+
   /// Enables MLD on a router interface and starts querier duty (startup
-  /// queries, then periodic general queries).
+  /// queries, then periodic general queries). Remembers the interface for
+  /// start() after a crash/restart cycle.
   void enable_iface(IfaceId iface);
 
   /// Crash support: forgets all listener state and querier duty on every
@@ -94,9 +107,14 @@ class MldRouter {
   }
 
   Ipv6Stack* stack_;
+  Icmpv6Dispatcher* dispatch_;
+  std::vector<std::pair<std::uint8_t, std::size_t>> subs_;  // for stop()
   std::string component_;  // "mld/<node>", cached for trace records
   MldConfig config_;
   GroupCallback group_cb_;
+  /// Every interface enable_iface() was ever called for — the set start()
+  /// re-enables after a node restart (intersected with attached ifaces).
+  std::set<IfaceId> configured_;
   std::map<IfaceId, IfaceState> ifaces_;
   std::map<std::pair<IfaceId, Address>, ListenerState> listeners_;
 };

@@ -1,0 +1,45 @@
+// Uniform lifecycle for every protocol engine instantiated on a node.
+//
+// A NodeRuntime (core layer) owns an ordered set of ProtocolModules —
+// IPv6 stack, dispatchers, MLD, PIM-DM, Mobile IPv6 engines — and drives
+// them through one contract instead of special-casing each engine:
+//
+//   start()      bring the protocol up on the node's attached interfaces
+//                (idempotent; used at construction and after restart)
+//   stop()       deterministic teardown — cancel timers and unregister
+//                every handler the module installed in lower layers, so a
+//                World can be torn down and rebuilt within one process
+//   reset()      wipe protocol soft state without power-cycling the node
+//   on_crash()   crash semantics (default: reset()); invoked in reverse
+//                construction order after the node's interfaces detached
+//   on_restart() cold-boot semantics (default: start()); invoked in
+//                construction order after the interfaces re-attached
+//
+// module_kind() names the engine ("pimdm", "mld", "ha", ...) — the same
+// token the module uses to scope its counters and trace records — and is
+// what scenario specs and generic fault/audit code look modules up by.
+#pragma once
+
+namespace mip6 {
+
+class ProtocolModule {
+ public:
+  virtual ~ProtocolModule() = default;
+
+  /// Short kind token, e.g. "pimdm". Doubles as the module's counter/trace
+  /// scope prefix and the name scenario specs select modules by.
+  virtual const char* module_kind() const = 0;
+
+  virtual void start() {}
+  virtual void stop() {}
+  virtual void reset() {}
+  virtual void on_crash() { reset(); }
+  virtual void on_restart() { start(); }
+
+ protected:
+  ProtocolModule() = default;
+  ProtocolModule(const ProtocolModule&) = delete;
+  ProtocolModule& operator=(const ProtocolModule&) = delete;
+};
+
+}  // namespace mip6

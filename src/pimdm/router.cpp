@@ -26,7 +26,23 @@ PimDmRouter::PimDmRouter(Ipv6Stack& stack, MldRouter& mld, PimDmConfig config)
       });
 }
 
+void PimDmRouter::start() {
+  for (const auto& ifp : stack_->node().interfaces()) {
+    if (ifp->attached() && configured_.contains(ifp->id())) {
+      enable_iface(ifp->id());
+    }
+  }
+}
+
+void PimDmRouter::stop() {
+  shutdown();
+  stack_->clear_mcast_forwarder();
+  stack_->clear_proto_handler(proto::kPim);
+  mld_->set_group_callback(nullptr);
+}
+
 void PimDmRouter::enable_iface(IfaceId iface) {
+  configured_.insert(iface);
   auto [it, fresh] = ifaces_.try_emplace(iface);
   if (!fresh) return;
   it->second.hello_timer = std::make_unique<Timer>(

@@ -25,17 +25,30 @@
 
 #include "ipv6/stack.hpp"
 #include "mld/router.hpp"
+#include "net/protocol_module.hpp"
 #include "pimdm/config.hpp"
 #include "pimdm/messages.hpp"
 #include "sim/timer.hpp"
 
 namespace mip6 {
 
-class PimDmRouter {
+class PimDmRouter : public ProtocolModule {
  public:
   PimDmRouter(Ipv6Stack& stack, MldRouter& mld, PimDmConfig config);
 
+  // --- ProtocolModule ----------------------------------------------------
+  const char* module_kind() const override { return "pimdm"; }
+  /// Re-enables PIM on every configured interface that is currently
+  /// attached (cold boot after a restart).
+  void start() override;
+  /// Crash semantics: shutdown(), keeping the configured-interface set.
+  void reset() override { shutdown(); }
+  /// Teardown: shutdown() plus releasing the stack hooks (multicast
+  /// forwarder + PIM protocol handler) this router installed.
+  void stop() override;
+
   /// Enables PIM on an interface: Hello emission + neighbor tracking.
+  /// Remembered for start() after a crash/restart cycle.
   void enable_iface(IfaceId iface);
 
   /// Crash support: drops every (S,G) entry, every neighbor, all timers and
@@ -175,6 +188,8 @@ class PimDmRouter {
   std::string component_;  // "pimdm/<node>", cached for trace records
   /// Cell for the per-fan-out "pimdm/data-fwd" counter, resolved once.
   std::uint64_t* c_data_fwd_;
+  /// Every interface enable_iface() was ever called for (restart wiring).
+  std::set<IfaceId> configured_;
   std::map<IfaceId, IfaceState> ifaces_;
   std::map<SgKey, std::unique_ptr<SgEntry>> entries_;
   std::map<Address, int> local_receivers_;

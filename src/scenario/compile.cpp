@@ -1,0 +1,153 @@
+#include "scenario/compile.hpp"
+
+#include <map>
+
+#include "core/random_topology.hpp"
+
+namespace mip6 {
+
+namespace {
+
+Link& resolve_link(World& world, const std::string& name) {
+  return world.net().link_by_name(name);
+}
+
+std::unique_ptr<World> build_topology(const ScenarioSpec& spec,
+                                      std::uint64_t seed) {
+  if (spec.random) {
+    RandomTopology t;
+    switch (spec.random->kind) {
+      case ScenarioRandomTopology::Kind::kRandom: {
+        RandomTopologyParams params;
+        params.routers = spec.random->routers;
+        params.extra_links = spec.random->extra_links;
+        params.seed = seed;
+        t = build_random_topology(params, spec.config);
+        break;
+      }
+      case ScenarioRandomTopology::Kind::kLine:
+        t = build_line_topology(spec.random->routers, spec.config, seed);
+        break;
+      case ScenarioRandomTopology::Kind::kStar:
+        // build_star_topology's `arms` excludes the core router.
+        t = build_star_topology(spec.random->routers - 1, spec.config, seed);
+        break;
+    }
+    return std::move(t.world);
+  }
+
+  auto world = std::make_unique<World>(seed, spec.config);
+  std::map<std::string, Link*> links;
+  for (const ScenarioLink& l : spec.links) {
+    links[l.name] = &world->add_link(l.name, l.prefix);
+  }
+  for (const ScenarioRouter& r : spec.routers) {
+    std::vector<Link*> attach;
+    attach.reserve(r.links.size());
+    for (const std::string& name : r.links) attach.push_back(links.at(name));
+    world->add_router(r.name, attach, r.opts);
+  }
+  return world;
+}
+
+}  // namespace
+
+GroupReceiverApp* CompiledScenario::receiver(const std::string& host) const {
+  for (const Receiver& r : receivers) {
+    if (r.host == host) return r.app.get();
+  }
+  return nullptr;
+}
+
+CompiledScenario compile_scenario(
+    const ScenarioSpec& spec, std::uint64_t seed,
+    const std::function<void(World&)>& on_world_ready) {
+  CompiledScenario c;
+  c.world = build_topology(spec, seed);
+  World& w = *c.world;
+
+  for (const ScenarioLinkRouter& lr : spec.link_routers) {
+    w.set_link_router(resolve_link(w, lr.link), w.router_by_name(lr.router));
+  }
+  for (const ScenarioHost& h : spec.hosts) {
+    w.add_host(h.name, resolve_link(w, h.home), h.opts);
+  }
+  w.finalize();
+  if (on_world_ready) on_world_ready(w);
+
+  if (!spec.traffic.empty()) {
+    c.metrics = std::make_unique<McastMetrics>(
+        w.net(), w.routing(), spec.traffic.front().group,
+        spec.traffic.front().port);
+  }
+
+  // Receiver apps, in first-subscription order. The app's UDP port is the
+  // port of the first flow addressed to any group this host subscribes to
+  // (falling back to the first flow's port, then 9000).
+  for (const ScenarioSubscription& sub : spec.subscriptions) {
+    if (c.receiver(sub.host) != nullptr) continue;
+    std::uint16_t port =
+        spec.traffic.empty() ? std::uint16_t{9000} : spec.traffic.front().port;
+    for (const ScenarioFlow& f : spec.traffic) {
+      bool match = false;
+      for (const ScenarioSubscription& other : spec.subscriptions) {
+        if (other.host == sub.host && other.group == f.group) {
+          match = true;
+          break;
+        }
+      }
+      if (match) {
+        port = f.port;
+        break;
+      }
+    }
+    NodeRuntime& rt = w.host_by_name(sub.host);
+    c.receivers.push_back(
+        {sub.host, std::make_unique<GroupReceiverApp>(*rt.stack, port)});
+  }
+
+  for (const ScenarioFlow& f : spec.traffic) {
+    MobileMulticastService* service = w.host_by_name(f.source).service;
+    Address group = f.group;
+    std::uint16_t port = f.port;
+    c.flows.push_back(
+        {f.source,
+         std::make_unique<CbrSource>(
+             w.scheduler(),
+             [service, group, port](Bytes p) {
+               service->send_multicast(group, port, port, std::move(p));
+             },
+             f.interval, f.payload_bytes)});
+  }
+
+  for (const ScenarioSubscription& sub : spec.subscriptions) {
+    MobileMulticastService* service = w.host_by_name(sub.host).service;
+    if (sub.at == Time::zero()) {
+      service->subscribe(sub.group);
+    } else {
+      Address group = sub.group;
+      w.scheduler().schedule_at(sub.at,
+                                [service, group] { service->subscribe(group); });
+    }
+  }
+
+  for (std::size_t i = 0; i < spec.traffic.size(); ++i) {
+    c.flows[i].cbr->start(spec.traffic[i].start);
+  }
+
+  for (const ScenarioMove& m : spec.moves) {
+    MobileNode* mn = w.host_by_name(m.host).mn;
+    Link* to = &resolve_link(w, m.to);
+    w.scheduler().schedule_at(m.at, [mn, to] { mn->move_to(*to); });
+  }
+
+  if (!spec.faults.empty()) {
+    ChaosConfig chaos_config;
+    chaos_config.audit_after_each_event = spec.fault_audit;
+    c.chaos = std::make_unique<ChaosEngine>(w, spec.faults, chaos_config);
+    c.chaos->arm();
+  }
+  return c;
+}
+
+}  // namespace mip6

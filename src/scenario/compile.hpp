@@ -1,0 +1,75 @@
+// ScenarioSpec -> live World.
+//
+// compile_scenario() materializes a validated spec in a fixed canonical
+// order so that a compiled scenario is event-for-event identical to the
+// equivalent hand-wired construction (the round-trip tests assert byte
+// parity on traces and counters):
+//
+//   1. World(seed, config); links, routers, link_routers overrides, hosts
+//      in listed order (or the generated random/line/star topology);
+//      finalize().
+//   2. McastMetrics observing the first traffic flow's (group, port).
+//   3. One GroupReceiverApp per subscribing host, in first-subscription
+//      order.
+//   4. One CbrSource per traffic flow (not yet started).
+//   5. Subscriptions: at_s == 0 applied synchronously now, later ones
+//      scheduled — all in listed order.
+//   6. Traffic flows started at their start_s.
+//   7. Mobility steps scheduled in listed order.
+//   8. ChaosEngine armed with the fault plan (if any).
+//
+// The caller then just runs world->run_until(...) and reads the apps,
+// counters and chaos reports back.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/traffic.hpp"
+#include "core/world.hpp"
+#include "fault/chaos.hpp"
+#include "scenario/spec.hpp"
+
+namespace mip6 {
+
+struct CompiledScenario {
+  std::unique_ptr<World> world;
+
+  /// Network-wide group-data accounting for the first flow's (group, port);
+  /// null when the scenario has no traffic.
+  std::unique_ptr<McastMetrics> metrics;
+
+  struct Receiver {
+    std::string host;
+    std::unique_ptr<GroupReceiverApp> app;
+  };
+  /// One per subscribing host, in first-subscription order.
+  std::vector<Receiver> receivers;
+
+  struct Flow {
+    std::string source;
+    std::unique_ptr<CbrSource> cbr;
+  };
+  /// One per traffic entry, in listed order.
+  std::vector<Flow> flows;
+
+  /// Armed fault engine; null when the spec has no fault events.
+  std::unique_ptr<ChaosEngine> chaos;
+
+  /// Receiver app of `host`, or nullptr if it never subscribes.
+  GroupReceiverApp* receiver(const std::string& host) const;
+};
+
+/// Builds the world for one replication. `seed` overrides the spec's seed
+/// (run_replications derives one per replication). `on_world_ready`, if
+/// set, runs right after finalize() and before any app/subscription side
+/// effects — the hook tests use to install a trace sink that sees the
+/// whole protocol exchange.
+CompiledScenario compile_scenario(
+    const ScenarioSpec& spec, std::uint64_t seed,
+    const std::function<void(World&)>& on_world_ready = nullptr);
+
+}  // namespace mip6

@@ -1,0 +1,48 @@
+#include "scenario/run.hpp"
+
+namespace mip6 {
+
+ReplicationResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
+                               std::optional<Time> duration) {
+  CompiledScenario c = compile_scenario(spec, seed);
+  c.world->run_until(duration.value_or(spec.duration));
+
+  ReplicationResult r;
+  if (spec.metrics.events) {
+    r["events"] =
+        static_cast<double>(c.world->scheduler().executed_events());
+  }
+  if (spec.metrics.delivery) {
+    for (const CompiledScenario::Flow& f : c.flows) {
+      r["sent/" + f.source] += static_cast<double>(f.cbr->sent());
+    }
+    for (const CompiledScenario::Receiver& rec : c.receivers) {
+      r["delivered/" + rec.host] =
+          static_cast<double>(rec.app->unique_received());
+      r["duplicates/" + rec.host] =
+          static_cast<double>(rec.app->duplicates());
+    }
+  }
+  const CounterRegistry& counters = c.world->net().counters();
+  for (const std::string& name : spec.metrics.counters) {
+    r["counter/" + name] = static_cast<double>(counters.get(name));
+  }
+  for (const std::string& prefix : spec.metrics.counter_prefixes) {
+    r["prefix/" + prefix] = static_cast<double>(counters.sum_prefix(prefix));
+  }
+  if (c.chaos) {
+    r["faults_applied"] = static_cast<double>(c.chaos->executed().size());
+    if (spec.fault_audit) {
+      double violations = 0;
+      for (const AuditReport& report : c.chaos->audit_reports()) {
+        violations += static_cast<double>(report.violations.size());
+      }
+      r["fault_audit_violations"] = violations;
+    }
+  }
+  // Deterministic teardown before the next replication reuses the process.
+  c.world->stop();
+  return r;
+}
+
+}  // namespace mip6

@@ -1,0 +1,28 @@
+// One scenario replication: compile, run, collect the selected metrics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "runner/parallel.hpp"
+#include "scenario/compile.hpp"
+
+namespace mip6 {
+
+/// Compiles `spec` with `seed`, runs it to the spec's horizon (or
+/// `duration` when given) and returns the metric samples selected by
+/// spec.metrics:
+///   "events"                    scheduler executed-event count
+///   "sent/<host>"               per traffic flow
+///   "delivered/<host>"          per subscribing host
+///   "duplicates/<host>"         per subscribing host
+///   "counter/<name>"            each metrics.counters entry
+///   "prefix/<prefix>"           each metrics.counter_prefixes sum
+///   "faults_applied"            when the spec has a fault plan
+///   "fault_audit_violations"    when fault auditing is on
+/// Deterministic per (spec, seed): feeding this through run_replications
+/// on any thread count yields identical per-seed results.
+ReplicationResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
+                               std::optional<Time> duration = {});
+
+}  // namespace mip6

@@ -1,0 +1,748 @@
+#include "scenario/spec.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace mip6 {
+
+namespace {
+
+// --- Low-level field access with contextual errors ------------------------
+
+[[noreturn]] void fail(const std::string& what) { throw ScenarioError(what); }
+
+const Json& field(const Json& obj, const std::string& key,
+                  const std::string& ctx) {
+  if (!obj.contains(key)) fail(ctx + ": missing required key '" + key + "'");
+  return obj[key];
+}
+
+std::string str_field(const Json& obj, const std::string& key,
+                      const std::string& ctx) {
+  const Json& v = field(obj, key, ctx);
+  if (!v.is_string()) fail(ctx + ": '" + key + "' must be a string");
+  return v.as_string();
+}
+
+std::string str_or(const Json& obj, const std::string& key,
+                   const std::string& ctx, const std::string& fallback) {
+  if (!obj.contains(key)) return fallback;
+  if (!obj[key].is_string()) fail(ctx + ": '" + key + "' must be a string");
+  return obj[key].as_string();
+}
+
+double num_field(const Json& obj, const std::string& key,
+                 const std::string& ctx) {
+  const Json& v = field(obj, key, ctx);
+  if (!v.is_number()) fail(ctx + ": '" + key + "' must be a number");
+  return v.as_number();
+}
+
+double num_or(const Json& obj, const std::string& key, const std::string& ctx,
+              double fallback) {
+  if (!obj.contains(key)) return fallback;
+  if (!obj[key].is_number()) fail(ctx + ": '" + key + "' must be a number");
+  return obj[key].as_number();
+}
+
+bool bool_or(const Json& obj, const std::string& key, const std::string& ctx,
+             bool fallback) {
+  if (!obj.contains(key)) return fallback;
+  if (!obj[key].is_bool()) fail(ctx + ": '" + key + "' must be a boolean");
+  return obj[key].as_bool();
+}
+
+std::uint64_t uint_field(const Json& obj, const std::string& key,
+                         const std::string& ctx) {
+  double d = num_field(obj, key, ctx);
+  if (d < 0 || d != std::floor(d)) {
+    fail(ctx + ": '" + key + "' must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+std::uint64_t uint_or(const Json& obj, const std::string& key,
+                      const std::string& ctx, std::uint64_t fallback) {
+  if (!obj.contains(key)) return fallback;
+  return uint_field(obj, key, ctx);
+}
+
+Time secs_or(const Json& obj, const std::string& key, const std::string& ctx,
+             Time fallback) {
+  if (!obj.contains(key)) return fallback;
+  return Time::seconds(num_field(obj, key, ctx));
+}
+
+void require_object(const Json& v, const std::string& ctx) {
+  if (!v.is_object()) fail(ctx + " must be a JSON object");
+}
+
+void require_array(const Json& v, const std::string& ctx) {
+  if (!v.is_array()) fail(ctx + " must be a JSON array");
+}
+
+/// Strict key check: a typo'd key is an error, not silence.
+void reject_unknown_keys(const Json& obj, const std::string& ctx,
+                         std::initializer_list<const char*> known) {
+  for (const auto& [key, value] : obj.members()) {
+    (void)value;
+    bool ok = false;
+    for (const char* k : known) {
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      std::string list;
+      for (const char* k : known) {
+        if (!list.empty()) list += ", ";
+        list += k;
+      }
+      fail(ctx + ": unknown key '" + key + "' (known keys: " + list + ")");
+    }
+  }
+}
+
+Address group_field(const Json& obj, const std::string& key,
+                    const std::string& ctx) {
+  std::string text = str_field(obj, key, ctx);
+  Address a;
+  try {
+    a = Address::parse(text);
+  } catch (const ParseError& e) {
+    fail(ctx + ": '" + key + "' is not an IPv6 address: " + e.what());
+  }
+  if (!a.is_multicast()) {
+    fail(ctx + ": '" + key + "' (" + text + ") is not a multicast address");
+  }
+  return a;
+}
+
+// --- Enumerations ----------------------------------------------------------
+
+McastStrategy parse_strategy(const std::string& s, const std::string& ctx) {
+  if (s == "local-membership") return McastStrategy::kLocalMembership;
+  if (s == "bidir-tunnel") return McastStrategy::kBidirTunnel;
+  if (s == "tunnel-mh-to-ha") return McastStrategy::kTunnelMhToHa;
+  if (s == "tunnel-ha-to-mh") return McastStrategy::kTunnelHaToMh;
+  fail(ctx + ": unknown strategy '" + s +
+       "' (known: local-membership, bidir-tunnel, tunnel-mh-to-ha, "
+       "tunnel-ha-to-mh)");
+}
+
+HaRegistration parse_registration(const std::string& s,
+                                  const std::string& ctx) {
+  if (s == "group-list-bu") return HaRegistration::kGroupListBu;
+  if (s == "tunnel-mld") return HaRegistration::kTunnelMld;
+  fail(ctx + ": unknown registration '" + s +
+       "' (known: group-list-bu, tunnel-mld)");
+}
+
+FaultKind parse_fault_kind(const std::string& s, const std::string& ctx) {
+  if (s == "link-down") return FaultKind::kLinkDown;
+  if (s == "link-up") return FaultKind::kLinkUp;
+  if (s == "link-degrade") return FaultKind::kLinkDegrade;
+  if (s == "link-restore") return FaultKind::kLinkRestore;
+  if (s == "router-crash") return FaultKind::kRouterCrash;
+  if (s == "router-restart") return FaultKind::kRouterRestart;
+  if (s == "host-crash") return FaultKind::kHostCrash;
+  if (s == "host-restart") return FaultKind::kHostRestart;
+  if (s == "ha-outage") return FaultKind::kHaOutage;
+  if (s == "ha-restore") return FaultKind::kHaRestore;
+  fail(ctx + ": unknown fault kind '" + s +
+       "' (known: link-down, link-up, link-degrade, link-restore, "
+       "router-crash, router-restart, host-crash, host-restart, ha-outage, "
+       "ha-restore)");
+}
+
+// --- Config overrides ------------------------------------------------------
+
+MldConfig parse_mld(const Json& v, const std::string& ctx, MldConfig base) {
+  require_object(v, ctx);
+  reject_unknown_keys(
+      v, ctx,
+      {"robustness", "query_interval_s", "query_response_interval_s",
+       "last_listener_query_interval_s", "last_listener_query_count",
+       "unsolicited_report_interval_s", "unsolicited_report_count",
+       "adaptive_querier"});
+  base.robustness = static_cast<int>(
+      uint_or(v, "robustness", ctx, static_cast<std::uint64_t>(base.robustness)));
+  base.query_interval = secs_or(v, "query_interval_s", ctx, base.query_interval);
+  base.query_response_interval =
+      secs_or(v, "query_response_interval_s", ctx, base.query_response_interval);
+  base.last_listener_query_interval = secs_or(
+      v, "last_listener_query_interval_s", ctx,
+      base.last_listener_query_interval);
+  base.last_listener_query_count = static_cast<int>(uint_or(
+      v, "last_listener_query_count", ctx,
+      static_cast<std::uint64_t>(base.last_listener_query_count)));
+  base.unsolicited_report_interval =
+      secs_or(v, "unsolicited_report_interval_s", ctx,
+              base.unsolicited_report_interval);
+  base.unsolicited_report_count = static_cast<int>(uint_or(
+      v, "unsolicited_report_count", ctx,
+      static_cast<std::uint64_t>(base.unsolicited_report_count)));
+  base.adaptive_querier =
+      bool_or(v, "adaptive_querier", ctx, base.adaptive_querier);
+  return base;
+}
+
+MldHostPolicy parse_mld_host(const Json& v, const std::string& ctx,
+                             MldHostPolicy base) {
+  require_object(v, ctx);
+  reject_unknown_keys(v, ctx, {"unsolicited_reports", "send_done_on_leave"});
+  base.unsolicited_reports =
+      bool_or(v, "unsolicited_reports", ctx, base.unsolicited_reports);
+  base.send_done_on_leave =
+      bool_or(v, "send_done_on_leave", ctx, base.send_done_on_leave);
+  return base;
+}
+
+PimDmConfig parse_pim(const Json& v, const std::string& ctx, PimDmConfig base) {
+  require_object(v, ctx);
+  reject_unknown_keys(v, ctx,
+                      {"hello_period_s", "data_timeout_s", "prune_hold_time_s",
+                       "prune_delay_s", "graft_retry_period_s",
+                       "assert_time_s", "state_refresh",
+                       "state_refresh_interval_s"});
+  base.hello_period = secs_or(v, "hello_period_s", ctx, base.hello_period);
+  base.data_timeout = secs_or(v, "data_timeout_s", ctx, base.data_timeout);
+  base.prune_hold_time =
+      secs_or(v, "prune_hold_time_s", ctx, base.prune_hold_time);
+  base.prune_delay = secs_or(v, "prune_delay_s", ctx, base.prune_delay);
+  base.graft_retry_period =
+      secs_or(v, "graft_retry_period_s", ctx, base.graft_retry_period);
+  base.assert_time = secs_or(v, "assert_time_s", ctx, base.assert_time);
+  base.state_refresh = bool_or(v, "state_refresh", ctx, base.state_refresh);
+  base.state_refresh_interval =
+      secs_or(v, "state_refresh_interval_s", ctx, base.state_refresh_interval);
+  return base;
+}
+
+Mipv6Config parse_mipv6(const Json& v, const std::string& ctx,
+                        Mipv6Config base) {
+  require_object(v, ctx);
+  reject_unknown_keys(v, ctx,
+                      {"binding_lifetime_s", "bu_refresh_interval_s",
+                       "movement_detection_delay_ms", "request_ack"});
+  base.binding_lifetime =
+      secs_or(v, "binding_lifetime_s", ctx, base.binding_lifetime);
+  base.bu_refresh_interval =
+      secs_or(v, "bu_refresh_interval_s", ctx, base.bu_refresh_interval);
+  if (v.contains("movement_detection_delay_ms")) {
+    base.movement_detection_delay = Time::seconds(
+        num_field(v, "movement_detection_delay_ms", ctx) / 1000.0);
+  }
+  base.request_ack = bool_or(v, "request_ack", ctx, base.request_ack);
+  return base;
+}
+
+RipngConfig parse_ripng(const Json& v, const std::string& ctx,
+                        RipngConfig base) {
+  require_object(v, ctx);
+  reject_unknown_keys(v, ctx,
+                      {"update_interval_s", "route_timeout_s", "gc_interval_s",
+                       "triggered_update_delay_s"});
+  base.update_interval =
+      secs_or(v, "update_interval_s", ctx, base.update_interval);
+  base.route_timeout = secs_or(v, "route_timeout_s", ctx, base.route_timeout);
+  base.gc_interval = secs_or(v, "gc_interval_s", ctx, base.gc_interval);
+  base.triggered_update_delay =
+      secs_or(v, "triggered_update_delay_s", ctx, base.triggered_update_delay);
+  return base;
+}
+
+WorldConfig parse_world_config(const Json& v, const std::string& ctx) {
+  require_object(v, ctx);
+  reject_unknown_keys(v, ctx,
+                      {"unicast", "link_delay_us", "link_bit_rate_bps", "mld",
+                       "mld_host", "pim", "mipv6", "ripng"});
+  WorldConfig c;
+  std::string unicast = str_or(v, "unicast", ctx, "oracle");
+  if (unicast == "oracle") {
+    c.unicast = UnicastRouting::kGlobalOracle;
+  } else if (unicast == "ripng") {
+    c.unicast = UnicastRouting::kRipng;
+  } else {
+    fail(ctx + ": unknown unicast mode '" + unicast +
+         "' (known: oracle, ripng)");
+  }
+  if (v.contains("link_delay_us")) {
+    c.link_delay = Time::seconds(num_field(v, "link_delay_us", ctx) / 1e6);
+  }
+  c.link_bit_rate_bps =
+      uint_or(v, "link_bit_rate_bps", ctx, c.link_bit_rate_bps);
+  if (v.contains("mld")) c.mld = parse_mld(v["mld"], ctx + ".mld", c.mld);
+  if (v.contains("mld_host")) {
+    c.mld_host = parse_mld_host(v["mld_host"], ctx + ".mld_host", c.mld_host);
+  }
+  if (v.contains("pim")) c.pim = parse_pim(v["pim"], ctx + ".pim", c.pim);
+  if (v.contains("mipv6")) {
+    c.mipv6 = parse_mipv6(v["mipv6"], ctx + ".mipv6", c.mipv6);
+  }
+  if (v.contains("ripng")) {
+    c.ripng = parse_ripng(v["ripng"], ctx + ".ripng", c.ripng);
+  }
+  return c;
+}
+
+// --- Topology entries ------------------------------------------------------
+
+RouterOptions parse_router_modules(const Json& list, const std::string& ctx) {
+  require_array(list, ctx + ".modules");
+  RouterOptions o;
+  o.with_mld = o.with_pim = o.with_ha = false;
+  o.with_ripng = false;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const Json& m = list.at(i);
+    if (!m.is_string()) fail(ctx + ".modules must contain strings");
+    const std::string& name = m.as_string();
+    if (name == "mld") {
+      o.with_mld = true;
+    } else if (name == "pimdm") {
+      o.with_pim = true;
+    } else if (name == "home-agent") {
+      o.with_ha = true;
+    } else if (name == "ripng") {
+      o.with_ripng = true;
+    } else {
+      fail(ctx + ": unknown module '" + name +
+           "' (known modules: mld, pimdm, home-agent, ripng)");
+    }
+  }
+  return o;
+}
+
+ScenarioRouter parse_router(const Json& v, const std::string& ctx,
+                            const WorldConfig& world_config) {
+  require_object(v, ctx);
+  reject_unknown_keys(v, ctx, {"name", "links", "modules", "config"});
+  ScenarioRouter r;
+  r.name = str_field(v, "name", ctx);
+  const std::string rctx = "router '" + r.name + "'";
+  const Json& links = field(v, "links", rctx);
+  require_array(links, rctx + ".links");
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (!links.at(i).is_string()) fail(rctx + ".links must contain strings");
+    r.links.push_back(links.at(i).as_string());
+  }
+  if (v.contains("modules")) {
+    r.opts = parse_router_modules(v["modules"], rctx);
+  }
+  if (v.contains("config")) {
+    const Json& c = v["config"];
+    require_object(c, rctx + ".config");
+    reject_unknown_keys(c, rctx + ".config", {"mld", "pim", "mipv6", "ripng"});
+    if (c.contains("mld")) {
+      r.opts.mld = parse_mld(c["mld"], rctx + ".config.mld", world_config.mld);
+    }
+    if (c.contains("pim")) {
+      r.opts.pim = parse_pim(c["pim"], rctx + ".config.pim", world_config.pim);
+    }
+    if (c.contains("mipv6")) {
+      r.opts.mipv6 =
+          parse_mipv6(c["mipv6"], rctx + ".config.mipv6", world_config.mipv6);
+    }
+    if (c.contains("ripng")) {
+      r.opts.ripng =
+          parse_ripng(c["ripng"], rctx + ".config.ripng", world_config.ripng);
+    }
+  }
+  return r;
+}
+
+ScenarioHost parse_host(const Json& v, const std::string& ctx,
+                        const WorldConfig& world_config) {
+  require_object(v, ctx);
+  reject_unknown_keys(v, ctx,
+                      {"name", "home", "strategy", "registration", "config"});
+  ScenarioHost h;
+  h.name = str_field(v, "name", ctx);
+  const std::string hctx = "host '" + h.name + "'";
+  h.home = str_field(v, "home", hctx);
+  if (v.contains("strategy")) {
+    h.opts.strategy.strategy =
+        parse_strategy(str_field(v, "strategy", hctx), hctx);
+  }
+  if (v.contains("registration")) {
+    h.opts.strategy.registration =
+        parse_registration(str_field(v, "registration", hctx), hctx);
+  }
+  if (v.contains("config")) {
+    const Json& c = v["config"];
+    require_object(c, hctx + ".config");
+    reject_unknown_keys(c, hctx + ".config", {"mld", "mld_host", "mipv6"});
+    if (c.contains("mld")) {
+      h.opts.mld = parse_mld(c["mld"], hctx + ".config.mld", world_config.mld);
+    }
+    if (c.contains("mld_host")) {
+      h.opts.mld_host = parse_mld_host(c["mld_host"], hctx + ".config.mld_host",
+                                       world_config.mld_host);
+    }
+    if (c.contains("mipv6")) {
+      h.opts.mipv6 =
+          parse_mipv6(c["mipv6"], hctx + ".config.mipv6", world_config.mipv6);
+    }
+  }
+  return h;
+}
+
+ScenarioRandomTopology parse_random(const Json& v, const std::string& ctx) {
+  require_object(v, ctx);
+  reject_unknown_keys(v, ctx, {"kind", "routers", "extra_links"});
+  ScenarioRandomTopology r;
+  std::string kind = str_or(v, "kind", ctx, "random");
+  if (kind == "random") {
+    r.kind = ScenarioRandomTopology::Kind::kRandom;
+  } else if (kind == "line") {
+    r.kind = ScenarioRandomTopology::Kind::kLine;
+  } else if (kind == "star") {
+    r.kind = ScenarioRandomTopology::Kind::kStar;
+  } else {
+    fail(ctx + ": unknown topology kind '" + kind +
+         "' (known: random, line, star)");
+  }
+  r.routers = uint_or(v, "routers", ctx, r.routers);
+  r.extra_links = uint_or(v, "extra_links", ctx, r.extra_links);
+  if (r.routers == 0) fail(ctx + ": 'routers' must be at least 1");
+  return r;
+}
+
+FaultEvent parse_fault(const Json& v, const std::string& ctx) {
+  require_object(v, ctx);
+  reject_unknown_keys(v, ctx,
+                      {"kind", "target", "at_s", "loss", "corrupt",
+                       "jitter_ms"});
+  FaultEvent e;
+  e.kind = parse_fault_kind(str_field(v, "kind", ctx), ctx);
+  e.target = str_field(v, "target", ctx);
+  e.at = Time::seconds(num_field(v, "at_s", ctx));
+  if (e.kind == FaultKind::kLinkDegrade) {
+    e.impairment.loss = num_or(v, "loss", ctx, 0.0);
+    e.impairment.corrupt = num_or(v, "corrupt", ctx, 0.0);
+    e.impairment.jitter = Time::seconds(num_or(v, "jitter_ms", ctx, 0.0) /
+                                        1000.0);
+  }
+  return e;
+}
+
+}  // namespace
+
+ScenarioSpec ScenarioSpec::from_json(const Json& doc) {
+  require_object(doc, "scenario document");
+  reject_unknown_keys(doc, "scenario",
+                      {"name", "description", "duration_s", "seed", "config",
+                       "topology", "subscriptions", "traffic", "mobility",
+                       "faults", "fault_audit", "metrics"});
+  ScenarioSpec s;
+  s.name = str_or(doc, "name", "scenario", s.name);
+  s.description = str_or(doc, "description", "scenario", "");
+  s.duration = secs_or(doc, "duration_s", "scenario", s.duration);
+  s.seed = uint_or(doc, "seed", "scenario", s.seed);
+  if (doc.contains("config")) {
+    s.config = parse_world_config(doc["config"], "config");
+  }
+
+  const Json& topo = field(doc, "topology", "scenario");
+  require_object(topo, "topology");
+  reject_unknown_keys(topo, "topology",
+                      {"links", "routers", "random", "link_routers", "hosts"});
+  if (topo.contains("random")) {
+    if (topo.contains("links") || topo.contains("routers")) {
+      fail("topology: 'random' is mutually exclusive with explicit "
+           "'links'/'routers'");
+    }
+    s.random = parse_random(topo["random"], "topology.random");
+  } else {
+    const Json& links = field(topo, "links", "topology");
+    require_array(links, "topology.links");
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      const Json& l = links.at(i);
+      const std::string ctx = "topology.links[" + std::to_string(i) + "]";
+      require_object(l, ctx);
+      reject_unknown_keys(l, ctx, {"name", "prefix"});
+      s.links.push_back(
+          {str_field(l, "name", ctx), str_or(l, "prefix", ctx, "")});
+    }
+    const Json& routers = field(topo, "routers", "topology");
+    require_array(routers, "topology.routers");
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      s.routers.push_back(
+          parse_router(routers.at(i),
+                       "topology.routers[" + std::to_string(i) + "]",
+                       s.config));
+    }
+  }
+  if (topo.contains("link_routers")) {
+    const Json& lr = topo["link_routers"];
+    require_array(lr, "topology.link_routers");
+    for (std::size_t i = 0; i < lr.size(); ++i) {
+      const Json& v = lr.at(i);
+      const std::string ctx =
+          "topology.link_routers[" + std::to_string(i) + "]";
+      require_object(v, ctx);
+      reject_unknown_keys(v, ctx, {"link", "router"});
+      s.link_routers.push_back(
+          {str_field(v, "link", ctx), str_field(v, "router", ctx)});
+    }
+  }
+  if (topo.contains("hosts")) {
+    const Json& hosts = topo["hosts"];
+    require_array(hosts, "topology.hosts");
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      s.hosts.push_back(parse_host(
+          hosts.at(i), "topology.hosts[" + std::to_string(i) + "]", s.config));
+    }
+  }
+
+  if (doc.contains("subscriptions")) {
+    const Json& subs = doc["subscriptions"];
+    require_array(subs, "subscriptions");
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      const Json& v = subs.at(i);
+      const std::string ctx = "subscriptions[" + std::to_string(i) + "]";
+      require_object(v, ctx);
+      reject_unknown_keys(v, ctx, {"host", "group", "at_s"});
+      ScenarioSubscription sub;
+      sub.host = str_field(v, "host", ctx);
+      sub.group = group_field(v, "group", ctx);
+      sub.at = secs_or(v, "at_s", ctx, Time::zero());
+      s.subscriptions.push_back(sub);
+    }
+  }
+
+  if (doc.contains("traffic")) {
+    const Json& flows = doc["traffic"];
+    require_array(flows, "traffic");
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      const Json& v = flows.at(i);
+      const std::string ctx = "traffic[" + std::to_string(i) + "]";
+      require_object(v, ctx);
+      reject_unknown_keys(v, ctx,
+                          {"type", "source", "group", "port", "interval_ms",
+                           "payload_bytes", "start_s"});
+      std::string type = str_or(v, "type", ctx, "cbr");
+      if (type != "cbr") {
+        fail(ctx + ": unknown traffic type '" + type + "' (known: cbr)");
+      }
+      ScenarioFlow f;
+      f.source = str_field(v, "source", ctx);
+      f.group = group_field(v, "group", ctx);
+      f.port = static_cast<std::uint16_t>(uint_or(v, "port", ctx, f.port));
+      if (v.contains("interval_ms")) {
+        f.interval = Time::seconds(num_field(v, "interval_ms", ctx) / 1000.0);
+      }
+      f.payload_bytes = uint_or(v, "payload_bytes", ctx, f.payload_bytes);
+      f.start = secs_or(v, "start_s", ctx, f.start);
+      s.traffic.push_back(f);
+    }
+  }
+
+  if (doc.contains("mobility")) {
+    const Json& moves = doc["mobility"];
+    require_array(moves, "mobility");
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+      const Json& v = moves.at(i);
+      const std::string ctx = "mobility[" + std::to_string(i) + "]";
+      require_object(v, ctx);
+      reject_unknown_keys(v, ctx, {"host", "at_s", "to"});
+      ScenarioMove m;
+      m.host = str_field(v, "host", ctx);
+      m.at = Time::seconds(num_field(v, "at_s", ctx));
+      m.to = str_field(v, "to", ctx);
+      s.moves.push_back(m);
+    }
+  }
+
+  if (doc.contains("faults")) {
+    const Json& faults = doc["faults"];
+    require_array(faults, "faults");
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      s.faults.add(
+          parse_fault(faults.at(i), "faults[" + std::to_string(i) + "]"));
+    }
+  }
+  s.fault_audit = bool_or(doc, "fault_audit", "scenario", s.fault_audit);
+
+  if (doc.contains("metrics")) {
+    const Json& m = doc["metrics"];
+    require_object(m, "metrics");
+    reject_unknown_keys(m, "metrics",
+                        {"counters", "counter_prefixes", "delivery", "events"});
+    if (m.contains("counters")) {
+      require_array(m["counters"], "metrics.counters");
+      for (std::size_t i = 0; i < m["counters"].size(); ++i) {
+        if (!m["counters"].at(i).is_string()) {
+          fail("metrics.counters must contain strings");
+        }
+        s.metrics.counters.push_back(m["counters"].at(i).as_string());
+      }
+    }
+    if (m.contains("counter_prefixes")) {
+      require_array(m["counter_prefixes"], "metrics.counter_prefixes");
+      for (std::size_t i = 0; i < m["counter_prefixes"].size(); ++i) {
+        if (!m["counter_prefixes"].at(i).is_string()) {
+          fail("metrics.counter_prefixes must contain strings");
+        }
+        s.metrics.counter_prefixes.push_back(
+            m["counter_prefixes"].at(i).as_string());
+      }
+    }
+    s.metrics.delivery = bool_or(m, "delivery", "metrics", s.metrics.delivery);
+    s.metrics.events = bool_or(m, "events", "metrics", s.metrics.events);
+  }
+
+  s.validate();
+  return s;
+}
+
+ScenarioSpec ScenarioSpec::parse(const std::string& text) {
+  return from_json(Json::parse(text));
+}
+
+ScenarioSpec ScenarioSpec::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ScenarioError("cannot read scenario file " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse(buf.str());
+  } catch (const ParseError& e) {
+    throw ScenarioError(path + ": " + e.what());
+  } catch (const ScenarioError& e) {
+    // Re-prefix with the file so a sweep over many scenarios names the
+    // culprit. (e.what() already carries the "scenario: " prefix.)
+    throw ScenarioError(path + ": " + e.what());
+  }
+}
+
+void ScenarioSpec::validate() const {
+  std::set<std::string> link_names;
+  std::set<std::string> node_names;
+
+  if (random) {
+    // Generated topology: links are Stub<i>/Transit<j>, routers Router<i>.
+    for (std::size_t i = 0; i < random->routers; ++i) {
+      link_names.insert("Stub" + std::to_string(i));
+      node_names.insert("Router" + std::to_string(i));
+    }
+    // Transit link count depends on the RNG (random kind skips self-pairs),
+    // so transit names are not statically checkable here; hosts should home
+    // on stubs. Compile resolves transits dynamically.
+  } else {
+    if (links.empty()) fail("topology has no links");
+    if (routers.empty()) fail("topology has no routers");
+    for (const ScenarioLink& l : links) {
+      if (l.name.empty()) fail("topology.links: a link has an empty name");
+      if (!link_names.insert(l.name).second) {
+        fail("duplicate link '" + l.name + "'");
+      }
+    }
+    for (const ScenarioRouter& r : routers) {
+      if (r.name.empty()) fail("topology.routers: a router has an empty name");
+      if (!node_names.insert(r.name).second) {
+        fail("duplicate node '" + r.name + "'");
+      }
+      if (r.links.empty()) {
+        fail("router '" + r.name + "' is attached to no links");
+      }
+      for (const std::string& l : r.links) {
+        if (!link_names.contains(l)) {
+          fail("router '" + r.name + "' references undefined link '" + l +
+               "' (dangling link)");
+        }
+      }
+      if (r.opts.with_pim && !r.opts.with_mld) {
+        fail("router '" + r.name +
+             "': module 'pimdm' requires 'mld' (PIM learns local receivers "
+             "from MLD)");
+      }
+      if (r.opts.with_ha && !r.opts.with_pim) {
+        fail("router '" + r.name +
+             "': module 'home-agent' requires 'pimdm' (PIM-backed group "
+             "membership)");
+      }
+    }
+  }
+
+  std::set<std::string> host_names;
+  std::set<std::string> router_names = node_names;
+  for (const ScenarioHost& h : hosts) {
+    if (h.name.empty()) fail("topology.hosts: a host has an empty name");
+    if (!node_names.insert(h.name).second) {
+      fail("duplicate node '" + h.name + "'");
+    }
+    host_names.insert(h.name);
+    if (!random && !link_names.contains(h.home)) {
+      fail("host '" + h.name + "' is homed on undefined link '" + h.home +
+           "' (dangling link)");
+    }
+  }
+
+  for (const ScenarioLinkRouter& lr : link_routers) {
+    if (!random && !link_names.contains(lr.link)) {
+      fail("link_routers references undefined link '" + lr.link + "'");
+    }
+    if (!router_names.contains(lr.router)) {
+      fail("link_routers references undefined router '" + lr.router + "'");
+    }
+  }
+
+  for (const ScenarioSubscription& sub : subscriptions) {
+    if (!host_names.contains(sub.host)) {
+      fail("subscription references undefined host '" + sub.host + "'");
+    }
+  }
+  for (const ScenarioFlow& f : traffic) {
+    if (!host_names.contains(f.source)) {
+      fail("traffic source references undefined host '" + f.source + "'");
+    }
+    if (f.payload_bytes < 12) {
+      fail("traffic flow from '" + f.source +
+           "': payload_bytes must be at least 12 (CBR header)");
+    }
+  }
+  for (const ScenarioMove& m : moves) {
+    if (!host_names.contains(m.host)) {
+      fail("mobility references undefined host '" + m.host + "'");
+    }
+    if (!random && !link_names.contains(m.to)) {
+      fail("mobility moves '" + m.host + "' to undefined link '" + m.to +
+           "'");
+    }
+  }
+  for (const FaultEvent& e : faults.events()) {
+    switch (e.kind) {
+      case FaultKind::kLinkDown:
+      case FaultKind::kLinkUp:
+      case FaultKind::kLinkDegrade:
+      case FaultKind::kLinkRestore:
+        if (!random && !link_names.contains(e.target)) {
+          fail(std::string("fault ") + fault_kind_name(e.kind) +
+               " targets undefined link '" + e.target + "'");
+        }
+        break;
+      case FaultKind::kRouterCrash:
+      case FaultKind::kRouterRestart:
+      case FaultKind::kHaOutage:
+      case FaultKind::kHaRestore:
+        if (!router_names.contains(e.target)) {
+          fail(std::string("fault ") + fault_kind_name(e.kind) +
+               " targets undefined router '" + e.target + "'");
+        }
+        break;
+      case FaultKind::kHostCrash:
+      case FaultKind::kHostRestart:
+        if (!host_names.contains(e.target)) {
+          fail(std::string("fault ") + fault_kind_name(e.kind) +
+               " targets undefined host '" + e.target + "'");
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace mip6

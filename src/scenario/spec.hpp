@@ -1,0 +1,141 @@
+// Declarative scenario descriptions.
+//
+// A ScenarioSpec is plain data parsed from JSON: topology (explicit links +
+// routers + hosts, or a generated random/line/star router graph), per-node
+// module sets and config overrides, subscriptions, CBR traffic flows,
+// scripted mobility, a fault plan and a metric selection. Building a spec
+// has no side effects; compile_scenario() turns it into a live World. The
+// full schema is documented in docs/SCENARIOS.md.
+//
+// Parsing is strict: unknown keys, unknown module names, dangling link
+// references and duplicate node names are rejected with a ScenarioError
+// that names the offending entry — a scenario file either loads completely
+// or fails with an actionable message.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "core/world.hpp"
+#include "fault/plan.hpp"
+#include "util/json.hpp"
+
+namespace mip6 {
+
+/// Semantic scenario errors (malformed structure, unknown references).
+/// JSON *syntax* errors surface as ParseError from Json::parse.
+class ScenarioError : public std::runtime_error {
+ public:
+  explicit ScenarioError(const std::string& what)
+      : std::runtime_error("scenario: " + what) {}
+};
+
+struct ScenarioLink {
+  std::string name;
+  /// Empty = auto-assigned "2001:db8:<n>::/64".
+  std::string prefix;
+};
+
+struct ScenarioRouter {
+  std::string name;
+  std::vector<std::string> links;
+  /// Module set; defaults to the full paper role. Parsed from the JSON
+  /// "modules" list (subset of "mld", "pimdm", "home-agent", "ripng") plus
+  /// per-router "config" overrides.
+  RouterOptions opts;
+};
+
+struct ScenarioHost {
+  std::string name;
+  std::string home;
+  HostOptions opts;
+};
+
+/// Generated router graph (one stub LAN per router); hosts reference the
+/// generated "Stub<i>" links by name.
+struct ScenarioRandomTopology {
+  enum class Kind { kRandom, kLine, kStar };
+  Kind kind = Kind::kRandom;
+  std::size_t routers = 8;
+  /// Extra non-tree links (kRandom only).
+  std::size_t extra_links = 2;
+};
+
+struct ScenarioLinkRouter {
+  std::string link;
+  std::string router;
+};
+
+struct ScenarioSubscription {
+  std::string host;
+  Address group;
+  /// zero = applied synchronously before the run starts.
+  Time at = Time::zero();
+};
+
+struct ScenarioFlow {
+  std::string source;
+  Address group;
+  std::uint16_t port = 9000;
+  Time interval = Time::ms(100);
+  std::size_t payload_bytes = 64;
+  Time start = Time::sec(1);
+};
+
+struct ScenarioMove {
+  std::string host;
+  Time at;
+  std::string to;
+};
+
+struct ScenarioMetrics {
+  /// Exact counter names read back per replication ("counter/<name>").
+  std::vector<std::string> counters;
+  /// Prefix sums ("prefix/<prefix>"), e.g. "pimdm/tx/".
+  std::vector<std::string> counter_prefixes;
+  /// Per-receiver delivered/duplicate counts and per-flow sent counts.
+  bool delivery = true;
+  /// Scheduler executed-event count.
+  bool events = true;
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  std::string description;
+  Time duration = Time::sec(60);
+  std::uint64_t seed = 1;
+  WorldConfig config;
+
+  // Topology: either explicit links+routers or a generated graph.
+  std::vector<ScenarioLink> links;
+  std::vector<ScenarioRouter> routers;
+  std::optional<ScenarioRandomTopology> random;
+  std::vector<ScenarioLinkRouter> link_routers;
+  std::vector<ScenarioHost> hosts;
+
+  std::vector<ScenarioSubscription> subscriptions;
+  std::vector<ScenarioFlow> traffic;
+  std::vector<ScenarioMove> moves;
+  FaultPlan faults;
+  /// Audit after each fault event (ChaosConfig::audit_after_each_event).
+  bool fault_audit = true;
+  ScenarioMetrics metrics;
+
+  /// Parses and validates; throws ScenarioError with the offending entry
+  /// named on any malformation.
+  static ScenarioSpec from_json(const Json& doc);
+  static ScenarioSpec parse(const std::string& text);
+  /// Reads `path`, parses and validates; errors are prefixed with the path.
+  static ScenarioSpec load_file(const std::string& path);
+
+  /// Referential integrity: every link/router/host reference resolves,
+  /// names are unique, module dependencies hold. from_json calls this;
+  /// call it directly on programmatically built specs.
+  void validate() const;
+};
+
+}  // namespace mip6

@@ -19,10 +19,10 @@ struct Roam {
   Link& hl;
   Link& tl;
   Link& fl;
-  RouterEnv& ha;
-  RouterEnv& fr;
-  HostEnv& mn;
-  HostEnv& src;
+  NodeRuntime& ha;
+  NodeRuntime& fr;
+  NodeRuntime& mn;
+  NodeRuntime& src;
 
   explicit Roam(StrategyOptions strategy = {}, std::uint64_t seed = 1)
       : world(seed), hl(world.add_link("HL")), tl(world.add_link("TL")),
@@ -100,13 +100,13 @@ TEST(MobileService, TwoMobileNodesShareOneHomeAgentFanOut) {
   Link& tl = world.add_link("TL");
   Link& fl1 = world.add_link("FL1");
   Link& fl2 = world.add_link("FL2");
-  RouterEnv& ha = world.add_router("HA", {&hl, &tl});
+  NodeRuntime& ha = world.add_router("HA", {&hl, &tl});
   world.add_router("FR", {&tl, &fl1, &fl2});
   StrategyOptions tunnel{McastStrategy::kBidirTunnel,
                          HaRegistration::kGroupListBu};
-  HostEnv& mn1 = world.add_host("MN1", hl, tunnel);
-  HostEnv& mn2 = world.add_host("MN2", hl, tunnel);
-  HostEnv& src = world.add_host("SRC", hl);
+  NodeRuntime& mn1 = world.add_host("MN1", hl, tunnel);
+  NodeRuntime& mn2 = world.add_host("MN2", hl, tunnel);
+  NodeRuntime& src = world.add_host("SRC", hl);
   world.finalize();
 
   GroupReceiverApp app1(*mn1.stack, kPort);

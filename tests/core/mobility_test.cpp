@@ -12,7 +12,7 @@ struct ThreeLinks {
   Link& l1;
   Link& l2;
   Link& l3;
-  HostEnv* host;
+  NodeRuntime* host;
 
   ThreeLinks()
       : world(11), l1(world.add_link("L1")), l2(world.add_link("L2")),

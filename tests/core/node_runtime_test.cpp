@@ -1,0 +1,119 @@
+#include "core/node_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/figure1.hpp"
+#include "core/traffic.hpp"
+
+namespace mip6 {
+namespace {
+
+// Records every lifecycle call so the generic dispatch order is observable.
+struct SentinelModule : ProtocolModule {
+  explicit SentinelModule(std::vector<std::string>& log) : log_(&log) {}
+  const char* module_kind() const override { return "sentinel"; }
+  void start() override { log_->push_back("start"); }
+  void stop() override { log_->push_back("stop"); }
+  void reset() override { log_->push_back("reset"); }
+  std::vector<std::string>* log_;
+};
+
+TEST(NodeRuntime, TypedShortcutsAreFindableModules) {
+  Figure1 f = build_figure1();
+  NodeRuntime& a = *f.a;
+  EXPECT_TRUE(a.is_router());
+  ASSERT_NE(a.pim, nullptr);
+  EXPECT_EQ(a.find<Ipv6Stack>(), a.stack);
+  EXPECT_EQ(a.find<MldRouter>(), a.mld);
+  EXPECT_EQ(a.find<PimDmRouter>(), a.pim);
+  EXPECT_EQ(a.find<HomeAgent>(), a.ha);
+  EXPECT_EQ(a.find<MobileNode>(), nullptr);
+
+  NodeRuntime& h = *f.recv3;
+  EXPECT_FALSE(h.is_router());
+  EXPECT_EQ(h.find<MobileNode>(), h.mn);
+  EXPECT_EQ(h.find<MldHost>(), h.mld_host);
+  EXPECT_EQ(h.find<MobileMulticastService>(), h.service);
+  EXPECT_EQ(h.find<PimDmRouter>(), nullptr);
+}
+
+TEST(NodeRuntime, EveryModuleNamesItsKind) {
+  Figure1 f = build_figure1();
+  std::set<std::string> router_kinds;
+  for (const auto& m : f.a->modules()) router_kinds.insert(m->module_kind());
+  for (const char* k : {"ipv6", "icmpv6", "udp", "mld", "pimdm", "ha"}) {
+    EXPECT_TRUE(router_kinds.contains(k)) << k;
+  }
+  std::set<std::string> host_kinds;
+  for (const auto& m : f.recv1->modules()) host_kinds.insert(m->module_kind());
+  for (const char* k : {"ipv6", "mld-host", "mn", "service"}) {
+    EXPECT_TRUE(host_kinds.contains(k)) << k;
+  }
+}
+
+TEST(NodeRuntime, CrashRunsReverseAndRestartRunsForward) {
+  std::vector<std::string> log;  // outlives the world: stop() writes to it
+  Figure1 f = build_figure1();
+  // Appended last => crash (reverse order) must hit the sentinel first,
+  // restart (construction order) must hit it last.
+  f.recv3->emplace_module<SentinelModule>(log);
+  f.world->run_until(Time::sec(2));
+
+  log.clear();
+  f.recv3->node->crash();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.front(), "reset");  // default on_crash() == reset()
+
+  log.clear();
+  f.recv3->node->restart();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.back(), "start");  // default on_restart() == start()
+}
+
+TEST(NodeRuntime, StopModulesIsIdempotent) {
+  std::vector<std::string> log;  // outlives the world: stop() writes to it
+  Figure1 f = build_figure1();
+  f.recv1->emplace_module<SentinelModule>(log);
+  f.recv1->stop_modules();
+  EXPECT_EQ(log, std::vector<std::string>{"stop"});
+  f.recv1->stop_modules();  // second call must be a no-op
+  EXPECT_EQ(log, std::vector<std::string>{"stop"});
+}
+
+TEST(NodeRuntime, WorldRebuildsCleanlyInOneProcess) {
+  // Teardown order (stop hosts then routers, each reverse) must leave no
+  // dangling handlers: three full build/run/destroy cycles give identical
+  // event counts and deliveries.
+  std::uint64_t events0 = 0, delivered0 = 0;
+  for (int i = 0; i < 3; ++i) {
+    Figure1 f = build_figure1(7);
+    GroupReceiverApp app(*f.recv3->stack, Figure1::kDataPort);
+    CbrSource source(
+        f.world->scheduler(),
+        [&](Bytes p) {
+          f.sender->service->send_multicast(Figure1::group(),
+                                            Figure1::kDataPort,
+                                            Figure1::kDataPort, std::move(p));
+        },
+        Time::ms(100), 64);
+    f.recv3->service->subscribe(Figure1::group());
+    source.start(Time::sec(1));
+    std::uint64_t events = f.world->run_until(Time::sec(15));
+    if (i == 0) {
+      events0 = events;
+      delivered0 = app.unique_received();
+      EXPECT_GT(delivered0, 0u);
+    } else {
+      EXPECT_EQ(events, events0);
+      EXPECT_EQ(app.unique_received(), delivered0);
+    }
+    f.world->stop();  // explicit teardown; destructor repeats it harmlessly
+  }
+}
+
+}  // namespace
+}  // namespace mip6

@@ -48,8 +48,8 @@ TEST_P(ShapeSweep, MulticastEndToEnd) {
                          ? build_star_topology(4)
                          : build_random_topology({8, 2, 17});
   World& world = *t.world;
-  HostEnv& sender = world.add_host("S", *t.stub_links.front());
-  HostEnv& receiver = world.add_host("R", *t.stub_links.back());
+  NodeRuntime& sender = world.add_host("S", *t.stub_links.front());
+  NodeRuntime& receiver = world.add_host("R", *t.stub_links.back());
   world.finalize();
 
   GroupReceiverApp app(*receiver.stack, kPort);

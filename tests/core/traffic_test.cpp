@@ -70,7 +70,7 @@ TEST(GroupReceiverApp, DeduplicatesBySequence) {
   World world(1);
   Link& lan = world.add_link("lan");
   world.add_router("R", {&lan});
-  HostEnv& h = world.add_host("H", lan);
+  NodeRuntime& h = world.add_host("H", lan);
   world.finalize();
   GroupReceiverApp app(*h.stack, 9000);
 
@@ -100,7 +100,7 @@ TEST(GroupReceiverApp, FiltersByPort) {
   World world(1);
   Link& lan = world.add_link("lan");
   world.add_router("R", {&lan});
-  HostEnv& h = world.add_host("H", lan);
+  NodeRuntime& h = world.add_host("H", lan);
   world.finalize();
   GroupReceiverApp app(*h.stack, 9000);
 
@@ -122,7 +122,7 @@ TEST(GroupReceiverApp, TimeQueries) {
   World world(1);
   Link& lan = world.add_link("lan");
   world.add_router("R", {&lan});
-  HostEnv& h = world.add_host("H", lan);
+  NodeRuntime& h = world.add_host("H", lan);
   world.finalize();
   GroupReceiverApp app(*h.stack, 9000);
   Address group = Address::parse("ff1e::3");

@@ -20,7 +20,7 @@ TEST(World, RouterGetsAddressesOnEveryLink) {
   World w(1);
   Link& l1 = w.add_link("L1");
   Link& l2 = w.add_link("L2");
-  RouterEnv& r = w.add_router("R", {&l1, &l2});
+  NodeRuntime& r = w.add_router("R", {&l1, &l2});
   EXPECT_TRUE(
       w.plan().prefix_of(l1.id()).contains(r.address_on(l1)));
   EXPECT_TRUE(
@@ -31,8 +31,8 @@ TEST(World, RouterGetsAddressesOnEveryLink) {
 TEST(World, FirstRouterBecomesDefaultUnlessOverridden) {
   World w(1);
   Link& lan = w.add_link("L");
-  RouterEnv& r1 = w.add_router("R1", {&lan});
-  RouterEnv& r2 = w.add_router("R2", {&lan});
+  NodeRuntime& r1 = w.add_router("R1", {&lan});
+  NodeRuntime& r2 = w.add_router("R2", {&lan});
   EXPECT_EQ(*w.plan().default_router(lan.id()), r1.address_on(lan));
   w.set_link_router(lan, r2);
   EXPECT_EQ(*w.plan().default_router(lan.id()), r2.address_on(lan));
@@ -48,7 +48,7 @@ TEST(World, HostHomeAddressOnHomePrefix) {
   World w(1);
   Link& lan = w.add_link("L");
   w.add_router("R", {&lan});
-  HostEnv& h = w.add_host("H", lan);
+  NodeRuntime& h = w.add_host("H", lan);
   w.finalize();
   EXPECT_TRUE(w.plan().prefix_of(lan.id()).contains(h.mn->home_address()));
   EXPECT_TRUE(h.stack->owns_address(h.mn->home_address()));

@@ -158,13 +158,13 @@ TEST(Chaos, HostCrashRestartRejoinsThroughAttachmentPath) {
 
   h.f.world->run_until(Time::sec(21));
   EXPECT_FALSE(h.f.recv3->node->up());
-  EXPECT_FALSE(h.f.recv3->mld->joined(h.f.recv3->iface(), Figure1::group()));
+  EXPECT_FALSE(h.f.recv3->mld_host->joined(h.f.recv3->iface(), Figure1::group()));
 
   h.f.world->run_until(Time::sec(45));
   EXPECT_TRUE(chaos.all_audits_ok());
   EXPECT_TRUE(h.f.recv3->node->up());
   // The restart ran the ordinary attachment path: local membership is back.
-  EXPECT_TRUE(h.f.recv3->mld->joined(h.f.recv3->iface(), Figure1::group()));
+  EXPECT_TRUE(h.f.recv3->mld_host->joined(h.f.recv3->iface(), Figure1::group()));
   EXPECT_EQ(h.app->received_in(Time::sec(21), Time::sec(25)), 0u);
   EXPECT_GT(h.app->received_in(Time::sec(26), Time::sec(45)), 150u);
 }

@@ -25,9 +25,9 @@ struct FuzzWorld {
   World world;
   Link& l0;
   Link& l1;
-  RouterEnv& r;
-  HostEnv& sender;
-  HostEnv& host;
+  NodeRuntime& r;
+  NodeRuntime& sender;
+  NodeRuntime& host;
 
   FuzzWorld()
       : world(7), l0(world.add_link("L0")), l1(world.add_link("L1")),

@@ -15,7 +15,7 @@ constexpr std::uint16_t kPort = 9000;
 TEST(EdgeCases, PimIntrospectionThrowsOnMissingEntry) {
   World world(1);
   Link& lan = world.add_link("lan");
-  RouterEnv& r = world.add_router("R", {&lan});
+  NodeRuntime& r = world.add_router("R", {&lan});
   world.add_host("H", lan);
   world.finalize();
   Address s = Address::parse("2001:db8:9::1");
@@ -28,7 +28,7 @@ TEST(EdgeCases, PimIntrospectionThrowsOnMissingEntry) {
 TEST(EdgeCases, LocalReceiverRefCounting) {
   World world(1);
   Link& lan = world.add_link("lan");
-  RouterEnv& r = world.add_router("R", {&lan});
+  NodeRuntime& r = world.add_router("R", {&lan});
   world.finalize();
   r.pim->add_local_receiver(kGroup);
   r.pim->add_local_receiver(kGroup);
@@ -43,7 +43,7 @@ TEST(EdgeCases, LocalReceiverRefCounting) {
 TEST(EdgeCases, EnableIfaceTwiceIsIdempotent) {
   World world(1);
   Link& lan = world.add_link("lan");
-  RouterEnv& r = world.add_router("R", {&lan});
+  NodeRuntime& r = world.add_router("R", {&lan});
   world.finalize();
   IfaceId iface = r.iface_on(lan);
   r.pim->enable_iface(iface);  // already enabled by add_router
@@ -58,8 +58,8 @@ TEST(EdgeCases, HostOutOfCoverageThenBack) {
   Link& l1 = world.add_link("L1");
   Link& l2 = world.add_link("L2");
   world.add_router("R", {&l1, &l2});
-  HostEnv& h = world.add_host("H", l1);
-  HostEnv& src = world.add_host("S", l1);
+  NodeRuntime& h = world.add_host("H", l1);
+  NodeRuntime& src = world.add_host("S", l1);
   world.finalize();
 
   GroupReceiverApp app(*h.stack, kPort);
@@ -91,7 +91,7 @@ TEST(EdgeCases, HomeAgentAdoptAndDropBindingDirectly) {
   World world(1);
   Link& hl = world.add_link("HL");
   Link& fl = world.add_link("FL");
-  RouterEnv& r = world.add_router("R", {&hl, &fl});
+  NodeRuntime& r = world.add_router("R", {&hl, &fl});
   world.add_host("H", hl);
   world.finalize();
 
@@ -114,7 +114,7 @@ TEST(EdgeCases, HomeAgentAdoptAndDropBindingDirectly) {
 TEST(EdgeCases, AdoptedBindingExpiresLikeAnyOther) {
   World world(1);
   Link& hl = world.add_link("HL");
-  RouterEnv& r = world.add_router("R", {&hl});
+  NodeRuntime& r = world.add_router("R", {&hl});
   world.add_host("H", hl);
   world.finalize();
   Address home = Address::parse("2001:db8:1:0:abc::1");
@@ -133,12 +133,12 @@ TEST(EdgeCases, HaRedundancyWorksOverRipng) {
   Link& hl = world.add_link("HL");
   Link& tl = world.add_link("TL");
   Link& fl = world.add_link("FL");
-  RouterEnv& ha1 = world.add_router("HA1", {&hl, &tl});
-  RouterEnv& ha2 = world.add_router("HA2", {&hl, &tl});
+  NodeRuntime& ha1 = world.add_router("HA1", {&hl, &tl});
+  NodeRuntime& ha2 = world.add_router("HA2", {&hl, &tl});
   world.add_router("FR", {&tl, &fl});
-  HostEnv& mn = world.add_host(
+  NodeRuntime& mn = world.add_host(
       "MN", hl, {McastStrategy::kBidirTunnel, HaRegistration::kGroupListBu});
-  HostEnv& src = world.add_host("SRC", hl);
+  NodeRuntime& src = world.add_host("SRC", hl);
   world.finalize();
 
   HaRedundancy red2(*ha2.stack, *ha2.ha, *ha2.udp, ha2.iface_on(hl),

@@ -213,8 +213,8 @@ TEST(FailureInjection, RouterFailureSevershPathUntilRemoved) {
 
   // Kill whichever of B/C currently forwards onto Link3.
   const Address s = f.sender->mn->home_address();
-  RouterEnv* forwarder = nullptr;
-  for (RouterEnv* r : {f.b, f.c}) {
+  NodeRuntime* forwarder = nullptr;
+  for (NodeRuntime* r : {f.b, f.c}) {
     if (!r->pim->outgoing(s, group).empty()) forwarder = r;
   }
   ASSERT_NE(forwarder, nullptr);

@@ -24,7 +24,7 @@ struct Harness {
     app1 = std::make_unique<GroupReceiverApp>(*f.recv1->stack, kPort);
     app2 = std::make_unique<GroupReceiverApp>(*f.recv2->stack, kPort);
     app3 = std::make_unique<GroupReceiverApp>(*f.recv3->stack, kPort);
-    for (HostEnv* r : {f.recv1, f.recv2, f.recv3}) {
+    for (NodeRuntime* r : {f.recv1, f.recv2, f.recv3}) {
       r->service->subscribe(group);
     }
     source = std::make_unique<CbrSource>(
@@ -61,7 +61,7 @@ TEST(Figure1Smoke, InitialTreeMatchesFigure1) {
 
   const Address s = h.f.sender->mn->home_address();
   // Every router learned the (S,G) entry during the flood.
-  for (RouterEnv* r : {h.f.a, h.f.b, h.f.c, h.f.d, h.f.e}) {
+  for (NodeRuntime* r : {h.f.a, h.f.b, h.f.c, h.f.d, h.f.e}) {
     EXPECT_TRUE(r->pim->has_entry(s, h.group))
         << r->node->name() << " lacks (S,G)";
   }
@@ -144,7 +144,7 @@ TEST(Figure1Smoke, MobileSenderReverseTunnelKeepsTree) {
   const Address home = h.f.sender->mn->home_address();
   const Address coa = h.f.sender->mn->care_of();
   ASSERT_FALSE(coa.is_unspecified());
-  for (RouterEnv* r : {h.f.a, h.f.b, h.f.c, h.f.d, h.f.e}) {
+  for (NodeRuntime* r : {h.f.a, h.f.b, h.f.c, h.f.d, h.f.e}) {
     EXPECT_FALSE(r->pim->has_entry(coa, h.group))
         << r->node->name() << " built a care-of tree";
   }
@@ -167,7 +167,7 @@ TEST(Figure1Smoke, MobileSenderLocalCreatesNewTreeAndAsserts) {
   ASSERT_FALSE(coa.is_unspecified());
   // New tree rooted at the care-of address exists...
   bool coa_tree = false;
-  for (RouterEnv* r : {h.f.a, h.f.b, h.f.c, h.f.d, h.f.e}) {
+  for (NodeRuntime* r : {h.f.a, h.f.b, h.f.c, h.f.d, h.f.e}) {
     if (r->pim->has_entry(coa, h.group)) coa_tree = true;
   }
   EXPECT_TRUE(coa_tree);

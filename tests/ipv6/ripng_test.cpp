@@ -52,11 +52,11 @@ struct Chain {
   Link& l1;
   Link& l2;
   Link& l3;
-  RouterEnv& r0;
-  RouterEnv& r1;
-  RouterEnv& r2;
-  HostEnv& h0;
-  HostEnv& h1;
+  NodeRuntime& r0;
+  NodeRuntime& r1;
+  NodeRuntime& r2;
+  NodeRuntime& h0;
+  NodeRuntime& h1;
 
   Chain()
       : l0(world.add_link("L0")), l1(world.add_link("L1")),
@@ -126,9 +126,9 @@ TEST(Ripng, ReconvergesToAlternatePathAfterFailure) {
   Link& top = world.add_link("Top");
   Link& bottom = world.add_link("Bottom");
   Link& ldst = world.add_link("Ldst");
-  RouterEnv& a = world.add_router("A", {&lsrc, &top, &bottom});
-  RouterEnv& b = world.add_router("B", {&top, &ldst});
-  RouterEnv& c = world.add_router("C", {&bottom, &ldst});
+  NodeRuntime& a = world.add_router("A", {&lsrc, &top, &bottom});
+  NodeRuntime& b = world.add_router("B", {&top, &ldst});
+  NodeRuntime& c = world.add_router("C", {&bottom, &ldst});
   world.add_host("H", lsrc);
   world.finalize();
   world.run_until(Time::sec(95));
@@ -140,7 +140,7 @@ TEST(Ripng, ReconvergesToAlternatePathAfterFailure) {
   EXPECT_EQ(before.metric, 2u);
 
   // Kill whichever router A currently routes through.
-  RouterEnv& victim = before.out_iface == a.iface_on(top) ? b : c;
+  NodeRuntime& victim = before.out_iface == a.iface_on(top) ? b : c;
   for (const auto& iface : victim.node->interfaces()) iface->detach();
 
   // Route via the victim times out after 180 s, then the alternative is

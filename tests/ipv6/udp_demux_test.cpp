@@ -10,8 +10,8 @@ namespace {
 TEST(UdpDemux, DispatchesByDestinationPort) {
   World world(1);
   Link& lan = world.add_link("lan");
-  RouterEnv& r = world.add_router("R", {&lan});
-  HostEnv& h = world.add_host("H", lan);
+  NodeRuntime& r = world.add_router("R", {&lan});
+  NodeRuntime& h = world.add_host("H", lan);
   world.finalize();
 
   int on_100 = 0, on_200 = 0;
@@ -45,8 +45,8 @@ TEST(UdpDemux, DispatchesByDestinationPort) {
 TEST(UdpDemux, MalformedUdpCounted) {
   World world(1);
   Link& lan = world.add_link("lan");
-  RouterEnv& r = world.add_router("R", {&lan});
-  HostEnv& h = world.add_host("H", lan);
+  NodeRuntime& r = world.add_router("R", {&lan});
+  NodeRuntime& h = world.add_host("H", lan);
   world.finalize();
   (void)r;
 
@@ -63,8 +63,8 @@ TEST(UdpDemux, MalformedUdpCounted) {
 TEST(UdpDemux, RebindReplacesHandler) {
   World world(1);
   Link& lan = world.add_link("lan");
-  RouterEnv& r = world.add_router("R", {&lan});
-  HostEnv& h = world.add_host("H", lan);
+  NodeRuntime& r = world.add_router("R", {&lan});
+  NodeRuntime& h = world.add_host("H", lan);
   world.finalize();
 
   int first = 0, second = 0;

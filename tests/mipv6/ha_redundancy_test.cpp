@@ -21,11 +21,11 @@ struct Redundant {
   Link& hl;
   Link& tl;
   Link& fl;
-  RouterEnv& ha1;
-  RouterEnv& ha2;
-  RouterEnv& fr;
-  HostEnv& mn;
-  HostEnv& src;
+  NodeRuntime& ha1;
+  NodeRuntime& ha2;
+  NodeRuntime& fr;
+  NodeRuntime& mn;
+  NodeRuntime& src;
   std::unique_ptr<HaRedundancy> red1;
   std::unique_ptr<HaRedundancy> red2;
 

@@ -23,10 +23,10 @@ struct Roam {
   Link& hl;
   Link& tl;
   Link& fl;
-  RouterEnv& ha;
-  RouterEnv& fr;
-  HostEnv& mn;
-  HostEnv& peer;  // a static host on the home link
+  NodeRuntime& ha;
+  NodeRuntime& fr;
+  NodeRuntime& mn;
+  NodeRuntime& peer;  // a static host on the home link
 
   explicit Roam(WorldConfig config = {})
       : world(1, config), hl(world.add_link("HL")), tl(world.add_link("TL")),
@@ -311,7 +311,7 @@ TEST(Mipv6, BindingExpiryReleasesGroupRepresentation) {
 
 TEST(Mipv6, ReverseTunnelDeliversMulticastFromHomeLink) {
   Roam t;
-  t.peer.mld->join(t.peer.iface(), kGroup);
+  t.peer.mld_host->join(t.peer.iface(), kGroup);
   GroupReceiverApp app(*t.peer.stack, kPort);
   t.mn.mn->move_to(t.fl);
   t.world.run_until(Time::sec(2));

@@ -14,8 +14,8 @@ struct Lan {
   World world;
   Link& lan;
   Link& other;
-  RouterEnv& router;
-  HostEnv& h1;
+  NodeRuntime& router;
+  NodeRuntime& h1;
 
   explicit Lan(bool adaptive)
       : world(1,
@@ -38,7 +38,7 @@ struct Lan {
 
 TEST(AdaptiveQuerier, DisabledUsesConfiguredInterval) {
   Lan t(false);
-  t.h1.mld->join(t.h1.iface(), kGroup);
+  t.h1.mld_host->join(t.h1.iface(), kGroup);
   t.world.net().node_by_name("H1").iface(0).detach();  // churn
   t.world.run_until(Time::sec(300));
   EXPECT_EQ(t.router.mld->effective_query_interval(t.riface()),
@@ -52,9 +52,9 @@ TEST(AdaptiveQuerier, ChurnAcceleratesQueries) {
   // Two churn events close together: a join (listener added) and an
   // explicit leave (Done -> last-listener queries -> fast expiry).
   t.world.run_until(Time::sec(20));
-  t.h1.mld->join(t.h1.iface(), kGroup);
+  t.h1.mld_host->join(t.h1.iface(), kGroup);
   t.world.run_until(Time::sec(30));
-  t.h1.mld->leave(t.h1.iface(), kGroup);
+  t.h1.mld_host->leave(t.h1.iface(), kGroup);
   t.world.run_until(Time::sec(40));  // fast leave expired the listener
   EXPECT_EQ(t.router.mld->effective_query_interval(t.riface()),
             Time::sec(10));
@@ -70,9 +70,9 @@ TEST(AdaptiveQuerier, ChurnAcceleratesQueries) {
 TEST(AdaptiveQuerier, DecaysBackWhenQuiet) {
   Lan t(true);
   t.world.run_until(Time::sec(20));
-  t.h1.mld->join(t.h1.iface(), kGroup);
+  t.h1.mld_host->join(t.h1.iface(), kGroup);
   t.world.run_until(Time::sec(30));
-  t.h1.mld->leave(t.h1.iface(), kGroup);
+  t.h1.mld_host->leave(t.h1.iface(), kGroup);
   t.world.run_until(Time::sec(40));
   ASSERT_EQ(t.router.mld->effective_query_interval(t.riface()),
             Time::sec(10));
@@ -96,7 +96,7 @@ TEST(AdaptiveQuerier, MobileChurnAcceleratesWithoutManualTuning) {
     Link& l1 = world.add_link("L1");
     Link& l2 = world.add_link("L2");
     world.add_router("R", {&l1, &l2});
-    HostEnv& h = world.add_host("H", l1);
+    NodeRuntime& h = world.add_host("H", l1);
     world.finalize();
     h.service->subscribe(kGroup);
     for (int i = 1; i <= 4; ++i) {

@@ -17,9 +17,9 @@ const Address kGroup = Address::parse("ff1e::77");
 struct Lan {
   World world;
   Link& lan;
-  RouterEnv& router;
-  HostEnv& h1;
-  HostEnv& h2;
+  NodeRuntime& router;
+  NodeRuntime& h1;
+  NodeRuntime& h2;
 
   explicit Lan(WorldConfig config = {}, std::uint64_t seed = 1)
       : world(seed, config), lan(world.add_link("lan")),
@@ -36,7 +36,7 @@ TEST(MldProtocol, UnsolicitedReportCreatesListenerQuickly) {
   Lan t;
   t.world.run_until(Time::sec(1));
   EXPECT_FALSE(t.router.mld->has_listeners(t.riface(), kGroup));
-  t.h1.mld->join(t.h1.iface(), kGroup);
+  t.h1.mld_host->join(t.h1.iface(), kGroup);
   t.world.run_until(Time::sec(2));
   EXPECT_TRUE(t.router.mld->has_listeners(t.riface(), kGroup));
   // Two unsolicited reports (RFC robustness).
@@ -52,7 +52,7 @@ TEST(MldProtocol, WithoutUnsolicitedReportsJoinWaitsForQuery) {
   // Skip past the startup queries at t=0 and t=31.25; steady state then
   // queries every 125 s.
   t.world.run_until(Time::sec(40));
-  t.h1.mld->join(t.h1.iface(), kGroup);
+  t.h1.mld_host->join(t.h1.iface(), kGroup);
   t.world.run_until(Time::sec(41));
   EXPECT_FALSE(t.router.mld->has_listeners(t.riface(), kGroup));
   // Next general query at t=125+31.25 (approx); listener learned within the
@@ -63,7 +63,7 @@ TEST(MldProtocol, WithoutUnsolicitedReportsJoinWaitsForQuery) {
 
 TEST(MldProtocol, ListenerRefreshedByQueryResponses) {
   Lan t;
-  t.h1.mld->join(t.h1.iface(), kGroup);
+  t.h1.mld_host->join(t.h1.iface(), kGroup);
   // Far beyond T_MLI: periodic query/report keeps the listener alive.
   t.world.run_until(Time::sec(900));
   EXPECT_TRUE(t.router.mld->has_listeners(t.riface(), kGroup));
@@ -71,13 +71,13 @@ TEST(MldProtocol, ListenerRefreshedByQueryResponses) {
 
 TEST(MldProtocol, SilentDepartureExpiresAfterListenerInterval) {
   Lan t;
-  t.h1.mld->join(t.h1.iface(), kGroup);
+  t.h1.mld_host->join(t.h1.iface(), kGroup);
   t.world.run_until(Time::sec(5));
   ASSERT_TRUE(t.router.mld->has_listeners(t.riface(), kGroup));
 
   // Host vanishes without a Done (moved away): detach at t=5.
   t.world.net().node_by_name("H1").iface(0).detach();
-  t.h1.mld->cancel_pending(t.h1.iface());
+  t.h1.mld_host->cancel_pending(t.h1.iface());
   Time gone_at = t.world.now();
 
   // The listener must persist for a while (leave delay!) ...
@@ -91,11 +91,11 @@ TEST(MldProtocol, SilentDepartureExpiresAfterListenerInterval) {
 
 TEST(MldProtocol, DoneTriggersFastLeaveViaLastListenerQuery) {
   Lan t;
-  t.h1.mld->join(t.h1.iface(), kGroup);
+  t.h1.mld_host->join(t.h1.iface(), kGroup);
   t.world.run_until(Time::sec(5));
   ASSERT_TRUE(t.router.mld->has_listeners(t.riface(), kGroup));
 
-  t.h1.mld->leave(t.h1.iface(), kGroup);
+  t.h1.mld_host->leave(t.h1.iface(), kGroup);
   EXPECT_EQ(t.counters().get("mld/tx/done"), 1u);
   // Last-listener queries (1 s interval, 2 queries) expire the state fast —
   // orders of magnitude below T_MLI.
@@ -105,11 +105,11 @@ TEST(MldProtocol, DoneTriggersFastLeaveViaLastListenerQuery) {
 
 TEST(MldProtocol, DoneWithRemainingMemberKeepsState) {
   Lan t;
-  t.h1.mld->join(t.h1.iface(), kGroup);
-  t.h2.mld->join(t.h2.iface(), kGroup);
+  t.h1.mld_host->join(t.h1.iface(), kGroup);
+  t.h2.mld_host->join(t.h2.iface(), kGroup);
   t.world.run_until(Time::sec(5));
 
-  t.h1.mld->leave(t.h1.iface(), kGroup);
+  t.h1.mld_host->leave(t.h1.iface(), kGroup);
   t.world.run_until(Time::sec(20));
   // H2 answered the group-specific query; membership survives.
   EXPECT_TRUE(t.router.mld->has_listeners(t.riface(), kGroup));
@@ -119,8 +119,8 @@ TEST(MldProtocol, ReportSuppressionLimitsResponses) {
   WorldConfig config;
   config.mld_host.unsolicited_reports = false;
   Lan t(config);
-  t.h1.mld->join(t.h1.iface(), kGroup);
-  t.h2.mld->join(t.h2.iface(), kGroup);
+  t.h1.mld_host->join(t.h1.iface(), kGroup);
+  t.h2.mld_host->join(t.h2.iface(), kGroup);
   // Run through several query cycles.
   t.world.run_until(Time::sec(600));
   std::uint64_t reports = t.counters().get("mld/tx/report");
@@ -135,8 +135,8 @@ TEST(MldProtocol, ReportSuppressionLimitsResponses) {
 TEST(MldProtocol, QuerierElectionLowestAddressWins) {
   World world(1);
   Link& lan = world.add_link("lan");
-  RouterEnv& r1 = world.add_router("R1", {&lan});
-  RouterEnv& r2 = world.add_router("R2", {&lan});
+  NodeRuntime& r1 = world.add_router("R1", {&lan});
+  NodeRuntime& r2 = world.add_router("R2", {&lan});
   world.finalize();
   world.run_until(Time::sec(10));
   // R1 has the numerically lower link-local (iid from lower node id).
@@ -148,8 +148,8 @@ TEST(MldProtocol, QuerierElectionLowestAddressWins) {
 TEST(MldProtocol, BackupQuerierTakesOverAfterSilence) {
   World world(1);
   Link& lan = world.add_link("lan");
-  RouterEnv& r1 = world.add_router("R1", {&lan});
-  RouterEnv& r2 = world.add_router("R2", {&lan});
+  NodeRuntime& r1 = world.add_router("R1", {&lan});
+  NodeRuntime& r2 = world.add_router("R2", {&lan});
   world.finalize();
   world.run_until(Time::sec(10));
   ASSERT_FALSE(r2.mld->is_querier(r2.iface_on(lan)));
@@ -164,8 +164,8 @@ TEST(MldProtocol, BackupQuerierTakesOverAfterSilence) {
 TEST(MldProtocol, GroupsOnListsLearnedGroups) {
   Lan t;
   const Address g2 = Address::parse("ff1e::78");
-  t.h1.mld->join(t.h1.iface(), kGroup);
-  t.h2.mld->join(t.h2.iface(), g2);
+  t.h1.mld_host->join(t.h1.iface(), kGroup);
+  t.h2.mld_host->join(t.h2.iface(), g2);
   t.world.run_until(Time::sec(5));
   auto groups = t.router.mld->groups_on(t.riface());
   EXPECT_EQ(groups.size(), 2u);
@@ -176,9 +176,9 @@ TEST(MldProtocol, TraceRecordsQueryReportDoneLifecycle) {
   std::vector<TraceRecord> records;
   t.world.net().trace().set_sink(Trace::recorder(records));
 
-  t.h1.mld->join(t.h1.iface(), kGroup);
+  t.h1.mld_host->join(t.h1.iface(), kGroup);
   t.world.run_until(Time::sec(5));
-  t.h1.mld->leave(t.h1.iface(), kGroup);
+  t.h1.mld_host->leave(t.h1.iface(), kGroup);
   t.world.run_until(Time::sec(10));
 
   auto find = [&](const char* event) {
@@ -205,7 +205,7 @@ TEST(MldProtocol, GroupCallbackFiresOnAddAndExpiry) {
       [&](IfaceId, const Address& g, bool present) {
         events.emplace_back(g, present);
       });
-  t.h1.mld->join(t.h1.iface(), kGroup);
+  t.h1.mld_host->join(t.h1.iface(), kGroup);
   t.world.run_until(Time::sec(5));
   ASSERT_EQ(events.size(), 1u);
   EXPECT_TRUE(events[0].second);

@@ -19,11 +19,11 @@ TEST_P(QueryIntervalSweep, LeaveDetectedWithinListenerInterval) {
   config.mld = MldConfig::with_query_interval(Time::sec(tq));
   World world(1, config);
   Link& lan = world.add_link("lan");
-  RouterEnv& r = world.add_router("R", {&lan});
-  HostEnv& h = world.add_host("H", lan);
+  NodeRuntime& r = world.add_router("R", {&lan});
+  NodeRuntime& h = world.add_host("H", lan);
   world.finalize();
 
-  h.mld->join(h.iface(), kGroup);
+  h.mld_host->join(h.iface(), kGroup);
   world.run_until(Time::sec(5));
   ASSERT_TRUE(r.mld->has_listeners(r.iface_on(lan), kGroup)) << tq;
 
@@ -44,14 +44,14 @@ TEST_P(QueryIntervalSweep, QueryWaitingJoinerLearnedWithinBound) {
   config.mld_host.unsolicited_reports = false;  // worst case
   World world(1, config);
   Link& lan = world.add_link("lan");
-  RouterEnv& r = world.add_router("R", {&lan});
-  HostEnv& h = world.add_host("H", lan);
+  NodeRuntime& r = world.add_router("R", {&lan});
+  NodeRuntime& h = world.add_host("H", lan);
   world.finalize();
 
   // Join mid-cycle, far from startup queries.
   Time join_at = Time::sec(3 * tq) + Time::sec(tq / 2);
   world.run_until(join_at);
-  h.mld->join(h.iface(), kGroup);
+  h.mld_host->join(h.iface(), kGroup);
   // Paper bound: next Query within T_Query, response within T_RespDel.
   world.run_until(join_at + Time::sec(tq) + Time::sec(10) + Time::sec(1));
   EXPECT_TRUE(r.mld->has_listeners(r.iface_on(lan), kGroup))

@@ -13,7 +13,7 @@ namespace {
 const Address kGroup = Address::parse("ff1e::5");
 constexpr std::uint16_t kPort = 9000;
 
-void send_data(HostEnv& host, const Address& group, std::uint32_t seq) {
+void send_data(NodeRuntime& host, const Address& group, std::uint32_t seq) {
   CbrPayload p;
   p.seq = seq;
   p.sent_at = host.stack->scheduler().now();
@@ -27,11 +27,11 @@ struct Chain {
   Link& l1;
   Link& l2;
   Link& l3;
-  RouterEnv& r0;
-  RouterEnv& r1;
-  RouterEnv& r2;
-  HostEnv& sender;
-  HostEnv& host;
+  NodeRuntime& r0;
+  NodeRuntime& r1;
+  NodeRuntime& r2;
+  NodeRuntime& sender;
+  NodeRuntime& host;
   McastMetrics metrics;
 
   explicit Chain(WorldConfig config = {})
@@ -90,7 +90,7 @@ TEST(PimDm, MemberJoinGraftsCascade) {
   ASSERT_EQ(app.unique_received(), 0u);
 
   // Host joins: R2 needs the MLD report, then grafts; R1 cascades.
-  t.host.mld->join(t.host.iface(), kGroup);
+  t.host.mld_host->join(t.host.iface(), kGroup);
   t.world.run_until(Time::sec(30));
   EXPECT_GT(app.unique_received(), 50u);
   EXPECT_GE(t.world.net().counters().get("pimdm/tx/graft"), 2u);
@@ -125,7 +125,7 @@ TEST(PimDm, GraftRetransmittedUntilAcked) {
       Time::ms(100), 32);
   source.start(Time::ms(100));
   t.world.run_until(Time::sec(20));  // prune settles
-  t.host.mld->join(t.host.iface(), kGroup);
+  t.host.mld_host->join(t.host.iface(), kGroup);
   t.world.run_until(Time::sec(40));
   // Graft keeps being retransmitted every 3 s while unacknowledged.
   EXPECT_GE(t.world.net().counters().get("pimdm/graft-retry"), 3u);
@@ -133,7 +133,7 @@ TEST(PimDm, GraftRetransmittedUntilAcked) {
 
 TEST(PimDm, DataTimeoutExpiresSilentSource) {
   Chain t;
-  t.host.mld->join(t.host.iface(), kGroup);
+  t.host.mld_host->join(t.host.iface(), kGroup);
   CbrSource source(
       t.world.scheduler(),
       [&t](Bytes p) {
@@ -164,11 +164,11 @@ struct SharedLan {
   Link& lb;
   Link& lc;
   Link& ld;
-  RouterEnv& u;
-  RouterEnv& d1;
-  RouterEnv& d2;
-  HostEnv& sender;
-  HostEnv& member;
+  NodeRuntime& u;
+  NodeRuntime& d1;
+  NodeRuntime& d2;
+  NodeRuntime& sender;
+  NodeRuntime& member;
   McastMetrics metrics;
 
   SharedLan()
@@ -185,7 +185,7 @@ struct SharedLan {
 
 TEST(PimDm, JoinOverridesPruneOnSharedLan) {
   SharedLan t;
-  t.member.mld->join(t.member.iface(), kGroup);
+  t.member.mld_host->join(t.member.iface(), kGroup);
   GroupReceiverApp app(*t.member.stack, kPort);
   CbrSource source(
       t.world.scheduler(),
@@ -212,10 +212,10 @@ struct Diamond {
   World world;
   Link& top;
   Link& bottom;
-  RouterEnv& left;
-  RouterEnv& right;
-  HostEnv& sender;
-  HostEnv& member;
+  NodeRuntime& left;
+  NodeRuntime& right;
+  NodeRuntime& sender;
+  NodeRuntime& member;
 
   Diamond()
       : world(3), top(world.add_link("Top")), bottom(world.add_link("Bottom")),
@@ -228,7 +228,7 @@ struct Diamond {
 
 TEST(PimDm, AssertElectsSingleForwarder) {
   Diamond t;
-  t.member.mld->join(t.member.iface(), kGroup);
+  t.member.mld_host->join(t.member.iface(), kGroup);
   GroupReceiverApp app(*t.member.stack, kPort);
   CbrSource source(
       t.world.scheduler(),
@@ -249,7 +249,7 @@ TEST(PimDm, AssertElectsSingleForwarder) {
   // Exactly one of the two routers still forwards onto the bottom LAN.
   const Address s = t.sender.mn->home_address();
   int forwarders = 0;
-  for (RouterEnv* r : {&t.left, &t.right}) {
+  for (NodeRuntime* r : {&t.left, &t.right}) {
     auto oifs = r->pim->outgoing(s, kGroup);
     if (!oifs.empty()) ++forwarders;
   }

@@ -20,11 +20,11 @@ struct Chain {
   Link& l1;
   Link& l2;
   Link& l3;
-  RouterEnv& r0;
-  RouterEnv& r1;
-  RouterEnv& r2;
-  HostEnv& sender;
-  HostEnv& host;
+  NodeRuntime& r0;
+  NodeRuntime& r1;
+  NodeRuntime& r2;
+  NodeRuntime& sender;
+  NodeRuntime& host;
   McastMetrics metrics;
   std::unique_ptr<CbrSource> source;
 
@@ -108,7 +108,7 @@ TEST(StateRefresh, GraftStillWorksThroughRefreshedPrunes) {
   t.world.run_until(Time::sec(300));  // long-held (refreshed) prunes
   ASSERT_EQ(app.unique_received(), 0u);
 
-  t.host.mld->join(t.host.iface(), kGroup);
+  t.host.mld_host->join(t.host.iface(), kGroup);
   t.world.run_until(Time::sec(310));
   auto first = app.first_rx_at_or_after(Time::sec(300));
   ASSERT_TRUE(first.has_value());

@@ -59,6 +59,25 @@ TEST(ParallelRunner, ExceptionPropagates) {
                std::runtime_error);
 }
 
+TEST(ParallelRunner, FailFastStopsRemainingReplications) {
+  // With one worker the schedule is deterministic: the third replication
+  // throws, so exactly three bodies run and the original message survives.
+  ReplicationOptions opts;
+  opts.replications = 8;
+  opts.threads = 1;
+  int invocations = 0;
+  try {
+    run_replications(opts, [&](std::uint64_t) -> ReplicationResult {
+      if (++invocations == 3) throw std::runtime_error("kaput at #3");
+      return {{"x", 1.0}};
+    });
+    FAIL() << "expected run_replications to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "kaput at #3");
+  }
+  EXPECT_EQ(invocations, 3);
+}
+
 TEST(ParallelRunner, SingleThreadWorks) {
   ReplicationOptions opts;
   opts.replications = 3;

@@ -1,0 +1,170 @@
+// Round-trip parity: compiling a shipped Figure 1-4 scenario file must
+// reproduce, byte for byte, the trace and counter output of the equivalent
+// hand-wired construction (the pre-scenario idiom used by the benches).
+// Any drift in the compiler's canonical construction order shows up here
+// as a trace diff.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/figure1.hpp"
+#include "core/metrics.hpp"
+#include "core/traffic.hpp"
+#include "runner/parallel.hpp"
+#include "scenario/run.hpp"
+
+namespace mip6 {
+namespace {
+
+constexpr std::uint16_t kPort = Figure1::kDataPort;
+
+struct RunOutput {
+  std::string trace;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::uint64_t> delivered;  // Receiver1, Receiver2, Receiver3
+};
+
+std::string trace_str(const std::vector<TraceRecord>& records) {
+  std::string out;
+  for (const TraceRecord& r : records) out += r.str() + "\n";
+  return out;
+}
+
+/// Compiles and runs a shipped scenario file for `horizon`.
+RunOutput run_compiled(const std::string& file, Time horizon) {
+  ScenarioSpec spec =
+      ScenarioSpec::load_file(std::string(MIP6_SCENARIO_DIR) + "/" + file);
+  std::vector<TraceRecord> records;
+  CompiledScenario c =
+      compile_scenario(spec, spec.seed, [&records](World& w) {
+        w.net().trace().set_sink(Trace::recorder(records));
+      });
+  c.world->run_until(horizon);
+  RunOutput out;
+  out.trace = trace_str(records);
+  out.counters = c.world->net().counters().snapshot();
+  for (const char* host : {"Receiver1", "Receiver2", "Receiver3"}) {
+    out.delivered.push_back(c.receiver(host)->unique_received());
+  }
+  return out;
+}
+
+/// Hand-wires the same scenario the way the benches do, in the compiler's
+/// canonical order: topology, metrics, apps, source, subscriptions, start,
+/// move.
+RunOutput run_hand_wired(StrategyOptions strategy, Time horizon,
+                         const std::string& mover, int move_to_link,
+                         Time move_at) {
+  Figure1 f = build_figure1(/*seed=*/1, WorldConfig{}, strategy);
+  std::vector<TraceRecord> records;
+  f.world->net().trace().set_sink(Trace::recorder(records));
+
+  Address group = Figure1::group();
+  McastMetrics metrics(f.world->net(), f.world->routing(), group, kPort);
+  GroupReceiverApp app1(*f.recv1->stack, kPort);
+  GroupReceiverApp app2(*f.recv2->stack, kPort);
+  GroupReceiverApp app3(*f.recv3->stack, kPort);
+  CbrSource source(
+      f.world->scheduler(),
+      [&](Bytes p) {
+        f.sender->service->send_multicast(group, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  f.recv1->service->subscribe(group);
+  f.recv2->service->subscribe(group);
+  f.recv3->service->subscribe(group);
+  source.start(Time::sec(1));
+  if (!mover.empty()) {
+    MobileNode* mn = f.world->host_by_name(mover).mn;
+    Link* to = &f.link(move_to_link);
+    f.world->scheduler().schedule_at(move_at, [mn, to] { mn->move_to(*to); });
+  }
+  f.world->run_until(horizon);
+
+  RunOutput out;
+  out.trace = trace_str(records);
+  out.counters = f.world->net().counters().snapshot();
+  out.delivered = {app1.unique_received(), app2.unique_received(),
+                   app3.unique_received()};
+  return out;
+}
+
+void expect_parity(const RunOutput& compiled, const RunOutput& hand) {
+  EXPECT_GT(compiled.trace.size(), 0u);
+  EXPECT_EQ(compiled.trace, hand.trace);
+  EXPECT_EQ(compiled.counters, hand.counters);
+  EXPECT_EQ(compiled.delivered, hand.delivered);
+  EXPECT_GT(compiled.delivered[0], 0u);
+}
+
+TEST(ScenarioRoundTrip, Fig1TreeMatchesHandWired) {
+  const Time horizon = Time::sec(20);
+  expect_parity(run_compiled("fig1_tree.json", horizon),
+                run_hand_wired({}, horizon, "", 0, Time::zero()));
+}
+
+TEST(ScenarioRoundTrip, Fig2ReceiverLocalMatchesHandWired) {
+  const Time horizon = Time::sec(45);
+  expect_parity(
+      run_compiled("fig2_receiver_local.json", horizon),
+      run_hand_wired({McastStrategy::kLocalMembership,
+                      HaRegistration::kGroupListBu},
+                     horizon, "Receiver3", 6, Time::sec(30)));
+}
+
+TEST(ScenarioRoundTrip, Fig3ReceiverTunnelMatchesHandWired) {
+  const Time horizon = Time::sec(45);
+  expect_parity(
+      run_compiled("fig3_receiver_tunnel.json", horizon),
+      run_hand_wired({McastStrategy::kBidirTunnel,
+                      HaRegistration::kGroupListBu},
+                     horizon, "Receiver3", 1, Time::sec(30)));
+}
+
+TEST(ScenarioRoundTrip, Fig4SenderTunnelMatchesHandWired) {
+  const Time horizon = Time::sec(45);
+  expect_parity(
+      run_compiled("fig4_sender_tunnel.json", horizon),
+      run_hand_wired({McastStrategy::kBidirTunnel,
+                      HaRegistration::kGroupListBu},
+                     horizon, "SenderS", 6, Time::sec(30)));
+}
+
+TEST(ScenarioRoundTrip, RunScenarioIsDeterministicAcrossThreads) {
+  ScenarioSpec spec = ScenarioSpec::load_file(
+      std::string(MIP6_SCENARIO_DIR) + "/quickstart.json");
+  auto body = [&spec](std::uint64_t seed) {
+    return run_scenario(spec, seed, Time::sec(15));
+  };
+  ReplicationOptions opts;
+  opts.replications = 4;
+  opts.base_seed = 42;
+  opts.threads = 1;
+  auto serial = run_replications(opts, body);
+  opts.threads = 4;
+  auto parallel = run_replications(opts, body);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (const auto& [name, summary] : serial) {
+    ASSERT_TRUE(parallel.contains(name)) << name;
+    EXPECT_DOUBLE_EQ(summary.mean(), parallel.at(name).mean()) << name;
+    EXPECT_DOUBLE_EQ(summary.stddev(), parallel.at(name).stddev()) << name;
+  }
+}
+
+TEST(ScenarioRoundTrip, CompilesRepeatedlyInOneProcess) {
+  // World teardown must be deterministic enough that scenario sweeps can
+  // loop without leaking handlers between iterations: same spec + seed =>
+  // identical results on every pass.
+  ScenarioSpec spec = ScenarioSpec::load_file(
+      std::string(MIP6_SCENARIO_DIR) + "/fig1_tree.json");
+  ReplicationResult first = run_scenario(spec, 1, Time::sec(10));
+  for (int i = 0; i < 2; ++i) {
+    ReplicationResult again = run_scenario(spec, 1, Time::sec(10));
+    EXPECT_EQ(first, again);
+  }
+}
+
+}  // namespace
+}  // namespace mip6

@@ -1,0 +1,357 @@
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mip6 {
+namespace {
+
+// Minimal valid scenario used as the mutation baseline.
+const char* kMinimal = R"({
+  "topology": {
+    "links": [{"name": "L1"}],
+    "routers": [{"name": "R", "links": ["L1"]}],
+    "hosts": [{"name": "H", "home": "L1"}]
+  }
+})";
+
+/// Message of the ScenarioError thrown by parsing `json`, or "" if parsing
+/// unexpectedly succeeds.
+std::string error_of(const std::string& json) {
+  try {
+    ScenarioSpec::parse(json);
+  } catch (const ScenarioError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+void expect_error_contains(const std::string& json, const std::string& text) {
+  std::string err = error_of(json);
+  EXPECT_NE(err.find(text), std::string::npos)
+      << "expected error containing \"" << text << "\", got: \"" << err
+      << "\"";
+}
+
+TEST(ScenarioSpec, ParsesMinimalSpecWithDefaults) {
+  ScenarioSpec s = ScenarioSpec::parse(kMinimal);
+  EXPECT_EQ(s.name, "scenario");
+  EXPECT_EQ(s.duration, Time::sec(60));
+  EXPECT_EQ(s.seed, 1u);
+  ASSERT_EQ(s.routers.size(), 1u);
+  // Default module set is the full paper role.
+  EXPECT_TRUE(s.routers[0].opts.with_mld);
+  EXPECT_TRUE(s.routers[0].opts.with_pim);
+  EXPECT_TRUE(s.routers[0].opts.with_ha);
+  EXPECT_FALSE(s.routers[0].opts.with_ripng.has_value());
+  ASSERT_EQ(s.hosts.size(), 1u);
+  EXPECT_EQ(s.hosts[0].opts.strategy.strategy,
+            McastStrategy::kLocalMembership);
+}
+
+TEST(ScenarioSpec, ParsesFullSpec) {
+  ScenarioSpec s = ScenarioSpec::parse(R"({
+    "name": "full",
+    "description": "everything at once",
+    "duration_s": 90.5,
+    "seed": 7,
+    "config": {
+      "unicast": "ripng",
+      "link_delay_us": 250,
+      "mld": {"query_interval_s": 30, "robustness": 3},
+      "mld_host": {"unsolicited_reports": false}
+    },
+    "topology": {
+      "links": [{"name": "L1"}, {"name": "L2", "prefix": "2001:db8:aa::/64"}],
+      "routers": [
+        {"name": "R1", "links": ["L1", "L2"]},
+        {"name": "R2", "links": ["L2"], "modules": ["mld"],
+         "config": {"mld": {"query_interval_s": 10}}}
+      ],
+      "link_routers": [{"link": "L2", "router": "R2"}],
+      "hosts": [
+        {"name": "S", "home": "L1", "strategy": "bidir-tunnel",
+         "registration": "tunnel-mld"},
+        {"name": "H", "home": "L2",
+         "config": {"mipv6": {"binding_lifetime_s": 64}}}
+      ]
+    },
+    "subscriptions": [{"host": "H", "group": "ff1e::1", "at_s": 2}],
+    "traffic": [{"type": "cbr", "source": "S", "group": "ff1e::1",
+                 "port": 7000, "interval_ms": 50, "payload_bytes": 32,
+                 "start_s": 3}],
+    "mobility": [{"host": "H", "at_s": 20, "to": "L1"}],
+    "faults": [
+      {"kind": "link-down", "target": "L2", "at_s": 40},
+      {"kind": "link-degrade", "target": "L1", "at_s": 41,
+       "loss": 0.1, "corrupt": 0.05, "jitter_ms": 2},
+      {"kind": "router-crash", "target": "R1", "at_s": 42},
+      {"kind": "host-crash", "target": "H", "at_s": 43}
+    ],
+    "fault_audit": false,
+    "metrics": {"counters": ["pimdm/tx/assert"],
+                "counter_prefixes": ["mld/"], "delivery": false}
+  })");
+  EXPECT_EQ(s.name, "full");
+  EXPECT_EQ(s.duration, Time::seconds(90.5));
+  EXPECT_EQ(s.seed, 7u);
+  EXPECT_EQ(s.config.unicast, UnicastRouting::kRipng);
+  EXPECT_EQ(s.config.link_delay, Time::us(250));
+  EXPECT_EQ(s.config.mld.query_interval, Time::sec(30));
+  EXPECT_EQ(s.config.mld.robustness, 3);
+  EXPECT_FALSE(s.config.mld_host.unsolicited_reports);
+
+  ASSERT_EQ(s.routers.size(), 2u);
+  EXPECT_FALSE(s.routers[1].opts.with_pim);
+  EXPECT_FALSE(s.routers[1].opts.with_ha);
+  ASSERT_TRUE(s.routers[1].opts.mld.has_value());
+  EXPECT_EQ(s.routers[1].opts.mld->query_interval, Time::sec(10));
+  // Per-router override inherits the world-level base for untouched knobs.
+  EXPECT_EQ(s.routers[1].opts.mld->robustness, 3);
+
+  ASSERT_EQ(s.hosts.size(), 2u);
+  EXPECT_EQ(s.hosts[0].opts.strategy.strategy, McastStrategy::kBidirTunnel);
+  EXPECT_EQ(s.hosts[0].opts.strategy.registration, HaRegistration::kTunnelMld);
+  ASSERT_TRUE(s.hosts[1].opts.mipv6.has_value());
+  EXPECT_EQ(s.hosts[1].opts.mipv6->binding_lifetime, Time::sec(64));
+
+  ASSERT_EQ(s.subscriptions.size(), 1u);
+  EXPECT_EQ(s.subscriptions[0].at, Time::sec(2));
+  ASSERT_EQ(s.traffic.size(), 1u);
+  EXPECT_EQ(s.traffic[0].port, 7000);
+  EXPECT_EQ(s.traffic[0].interval, Time::ms(50));
+  EXPECT_EQ(s.traffic[0].payload_bytes, 32u);
+  ASSERT_EQ(s.moves.size(), 1u);
+  EXPECT_EQ(s.moves[0].to, "L1");
+  ASSERT_EQ(s.faults.size(), 4u);
+  EXPECT_EQ(s.faults.events()[1].impairment.loss, 0.1);
+  EXPECT_EQ(s.faults.events()[1].impairment.jitter, Time::ms(2));
+  EXPECT_FALSE(s.fault_audit);
+  EXPECT_FALSE(s.metrics.delivery);
+  EXPECT_TRUE(s.metrics.events);
+}
+
+TEST(ScenarioSpec, UnknownTopLevelKeyRejected) {
+  expect_error_contains(R"({"topology": {"links": [], "routers": []},
+                            "trafic": []})",
+                        "unknown key 'trafic'");
+}
+
+TEST(ScenarioSpec, UnknownModuleRejected) {
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"], "modules": ["mld", "quic"]}]
+    }
+  })",
+                        "unknown module 'quic'");
+}
+
+TEST(ScenarioSpec, ModuleDependenciesChecked) {
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"], "modules": ["pimdm"]}]
+    }
+  })",
+                        "'pimdm' requires 'mld'");
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"],
+                   "modules": ["mld", "home-agent"]}]
+    }
+  })",
+                        "'home-agent' requires 'pimdm'");
+}
+
+TEST(ScenarioSpec, DanglingLinkRejected) {
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1", "L9"]}]
+    }
+  })",
+                        "undefined link 'L9'");
+}
+
+TEST(ScenarioSpec, HostOnUndefinedLinkRejected) {
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"]}],
+      "hosts": [{"name": "H", "home": "Lx"}]
+    }
+  })",
+                        "undefined link 'Lx'");
+}
+
+TEST(ScenarioSpec, DuplicateNamesRejected) {
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}, {"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"]}]
+    }
+  })",
+                        "duplicate link 'L1'");
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"]},
+                  {"name": "R", "links": ["L1"]}]
+    }
+  })",
+                        "duplicate node 'R'");
+  // Router and host share a name.
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "N", "links": ["L1"]}],
+      "hosts": [{"name": "N", "home": "L1"}]
+    }
+  })",
+                        "duplicate node 'N'");
+}
+
+TEST(ScenarioSpec, UnknownReferencesRejected) {
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"]}],
+      "hosts": [{"name": "H", "home": "L1"}]
+    },
+    "subscriptions": [{"host": "Nobody", "group": "ff1e::1"}]
+  })",
+                        "undefined host 'Nobody'");
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"]}],
+      "hosts": [{"name": "H", "home": "L1"}]
+    },
+    "traffic": [{"source": "Ghost", "group": "ff1e::1"}]
+  })",
+                        "undefined host 'Ghost'");
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"]}],
+      "hosts": [{"name": "H", "home": "L1"}]
+    },
+    "mobility": [{"host": "H", "at_s": 5, "to": "L7"}]
+  })",
+                        "undefined link 'L7'");
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"]}],
+      "hosts": [{"name": "H", "home": "L1"}]
+    },
+    "faults": [{"kind": "router-crash", "target": "Rx", "at_s": 5}]
+  })",
+                        "undefined router 'Rx'");
+  // A host is not a valid router-crash target.
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"]}],
+      "hosts": [{"name": "H", "home": "L1"}]
+    },
+    "faults": [{"kind": "router-crash", "target": "H", "at_s": 5}]
+  })",
+                        "undefined router 'H'");
+}
+
+TEST(ScenarioSpec, BadEnumsRejected) {
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"]}],
+      "hosts": [{"name": "H", "home": "L1", "strategy": "teleport"}]
+    }
+  })",
+                        "unknown strategy 'teleport'");
+  expect_error_contains(R"({
+    "topology": {"links": [{"name": "L1"}],
+                 "routers": [{"name": "R", "links": ["L1"]}]},
+    "faults": [{"kind": "explode", "target": "L1", "at_s": 1}]
+  })",
+                        "unknown fault kind 'explode'");
+}
+
+TEST(ScenarioSpec, NonMulticastGroupRejected) {
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"]}],
+      "hosts": [{"name": "H", "home": "L1"}]
+    },
+    "subscriptions": [{"host": "H", "group": "2001:db8::1"}]
+  })",
+                        "not a multicast address");
+}
+
+TEST(ScenarioSpec, TinyPayloadRejected) {
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"]}],
+      "hosts": [{"name": "H", "home": "L1"}]
+    },
+    "traffic": [{"source": "H", "group": "ff1e::1", "payload_bytes": 4}]
+  })",
+                        "payload_bytes");
+}
+
+TEST(ScenarioSpec, RandomTopologyParses) {
+  ScenarioSpec s = ScenarioSpec::parse(R"({
+    "topology": {
+      "random": {"kind": "line", "routers": 4},
+      "hosts": [{"name": "H", "home": "Stub0"}]
+    },
+    "mobility": [{"host": "H", "at_s": 10, "to": "Stub3"}]
+  })");
+  ASSERT_TRUE(s.random.has_value());
+  EXPECT_EQ(s.random->kind, ScenarioRandomTopology::Kind::kLine);
+  EXPECT_EQ(s.random->routers, 4u);
+  EXPECT_TRUE(s.links.empty());
+}
+
+TEST(ScenarioSpec, RandomExclusiveWithExplicitTopology) {
+  expect_error_contains(R"({
+    "topology": {
+      "random": {"routers": 4},
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"]}]
+    }
+  })",
+                        "mutually exclusive");
+}
+
+TEST(ScenarioSpec, JsonSyntaxErrorIsParseError) {
+  EXPECT_THROW(ScenarioSpec::parse("{not json"), ParseError);
+}
+
+TEST(ScenarioSpec, LoadFileNamesTheFile) {
+  try {
+    ScenarioSpec::load_file("/nonexistent/foo.json");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/foo.json"),
+              std::string::npos);
+  }
+}
+
+TEST(ScenarioSpec, ShippedScenariosLoadAndValidate) {
+  for (const char* name :
+       {"quickstart", "fig1_tree", "fig2_receiver_local",
+        "fig3_receiver_tunnel", "fig4_sender_tunnel"}) {
+    std::string path =
+        std::string(MIP6_SCENARIO_DIR) + "/" + name + ".json";
+    ScenarioSpec s = ScenarioSpec::load_file(path);
+    EXPECT_EQ(s.name, name) << path;
+    EXPECT_FALSE(s.description.empty()) << path;
+  }
+}
+
+}  // namespace
+}  // namespace mip6

@@ -34,6 +34,25 @@ TEST(CounterRegistry, PrefixSumDoesNotOvermatch) {
   EXPECT_EQ(c.sum_prefix("ab"), 7u);  // ab, abc, abd — not ac
 }
 
+TEST(CounterRegistry, PrefixSumRangeEndIsExact) {
+  // Regression for the naive upper-bound bug: the scan must stop at the
+  // first key that no longer starts with the prefix, not at prefix+1 in
+  // byte order (which would skip keys like "ab/x" sorting after "ab\xff").
+  CounterRegistry c;
+  c.add("aa", 1);
+  c.add("ab", 2);
+  c.add("ab/x", 4);
+  c.add("ab0", 8);
+  c.add("ab\xff!", 16);
+  c.add("ac", 32);
+  c.add("b", 64);
+  EXPECT_EQ(c.sum_prefix("ab"), 2u + 4u + 8u + 16u);
+  EXPECT_EQ(c.sum_prefix("ab/"), 4u);
+  EXPECT_EQ(c.sum_prefix("a"), 63u);
+  EXPECT_EQ(c.sum_prefix("b"), 64u);
+  EXPECT_EQ(c.sum_prefix("\xff"), 0u);
+}
+
 TEST(CounterRegistry, SnapshotOrderedByName) {
   CounterRegistry c;
   c.add("b", 2);

@@ -1,0 +1,170 @@
+// mip6sim — declarative scenario runner.
+//
+// Loads a ScenarioSpec JSON file, fans `--replications` derived seeds
+// through run_replications() (each replication compiles its own World, so
+// workers share nothing), prints per-metric summary statistics and writes
+// a mip6-bench-v1 report (same schema as the bench trajectory,
+// docs/PERF.md) so scenario sweeps plug into the existing JSON tooling.
+//
+// Usage:
+//   mip6sim <scenario.json> [--replications N] [--seed S] [--threads T]
+//           [--duration SECS] [--out FILE]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "report.hpp"
+#include "scenario/run.hpp"
+#include "stats/table.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <scenario.json> [options]\n"
+      "  --replications N   independent seeded runs (default 1)\n"
+      "  --seed S           base seed (default: the spec's seed)\n"
+      "  --threads T        worker threads, 0 = hardware (default 0)\n"
+      "  --duration SECS    override the spec's duration_s\n"
+      "  --out FILE         report path (default BENCH_<name>.json)\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mip6;
+
+  std::string scenario_path;
+  std::size_t replications = 1;
+  std::size_t threads = 0;
+  std::optional<std::uint64_t> seed;
+  std::optional<Time> duration;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--replications") {
+      replications = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (arg == "--seed") {
+      seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--threads") {
+      threads = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (arg == "--duration") {
+      duration = Time::seconds(std::strtod(value(), nullptr));
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown option %s\n", argv[0], arg.c_str());
+      return usage(argv[0]);
+    } else if (scenario_path.empty()) {
+      scenario_path = arg;
+    } else {
+      std::fprintf(stderr, "%s: more than one scenario file given\n", argv[0]);
+      return usage(argv[0]);
+    }
+  }
+  if (scenario_path.empty()) return usage(argv[0]);
+  if (replications == 0) {
+    std::fprintf(stderr, "%s: --replications must be at least 1\n", argv[0]);
+    return 2;
+  }
+
+  ScenarioSpec spec;
+  try {
+    spec = ScenarioSpec::load_file(scenario_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  ReplicationOptions opts;
+  opts.replications = replications;
+  opts.base_seed = seed.value_or(spec.seed);
+  opts.threads = threads;
+
+  std::printf("scenario %s (%s)\n", spec.name.c_str(),
+              spec.description.empty() ? "no description"
+                                       : spec.description.c_str());
+  std::printf("horizon %s, %zu replication(s), base seed %llu\n\n",
+              duration.value_or(spec.duration).str().c_str(), replications,
+              static_cast<unsigned long long>(opts.base_seed));
+
+  std::map<std::string, Summary> merged;
+  bench::WallTimer timer;
+  try {
+    merged = run_replications(opts, [&](std::uint64_t s) {
+      return run_scenario(spec, s, duration);
+    });
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "replication failed: %s\n", e.what());
+    return 1;
+  }
+  const double wall_s = timer.elapsed_s();
+
+  Table table({"metric", "mean", "min", "max", "stddev", "n"});
+  for (const auto& [name, summary] : merged) {
+    table.add_row({name, fmt_double(summary.mean(), 3),
+                   fmt_double(summary.min(), 3), fmt_double(summary.max(), 3),
+                   fmt_double(summary.stddev(), 3),
+                   std::to_string(summary.count())});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  // mip6-bench-v1 report: headline run stats + one row per metric.
+  double total_events = 0.0;
+  if (auto it = merged.find("events"); it != merged.end()) {
+    total_events = it->second.sum();
+  }
+  Json doc = Json::object();
+  doc.set("schema", "mip6-bench-v1");
+  doc.set("name", spec.name);
+  Json metrics = Json::object();
+  metrics.set("wall_s", wall_s);
+  metrics.set("events", total_events);
+  metrics.set("ns_per_event",
+              total_events > 0 ? wall_s * 1e9 / total_events : 0.0);
+  metrics.set("events_per_s", wall_s > 0 ? total_events / wall_s : 0.0);
+  metrics.set("peak_rss_bytes", bench::peak_rss_bytes());
+  metrics.set("replications", static_cast<double>(replications));
+  metrics.set("base_seed", static_cast<double>(opts.base_seed));
+  doc.set("metrics", std::move(metrics));
+  Json rows = Json::array();
+  for (const auto& [name, summary] : merged) {
+    Json row = Json::object();
+    row.set("metric", name);
+    row.set("mean", summary.mean());
+    row.set("min", summary.min());
+    row.set("max", summary.max());
+    row.set("stddev", summary.stddev());
+    row.set("n", static_cast<double>(summary.count()));
+    rows.push_back(std::move(row));
+  }
+  doc.set("rows", std::move(rows));
+
+  if (out_path.empty()) out_path = "BENCH_" + spec.name + ".json";
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::string text = doc.dump(2);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("# report: %s\n", out_path.c_str());
+  return 0;
+}
