@@ -23,7 +23,9 @@
 #include "mipv6/mobile_node.hpp"
 #include "mld/host.hpp"
 #include "mld/router.hpp"
+#include "hpimdm/router.hpp"
 #include "net/protocol_module.hpp"
+#include "pimdm/dense_engine.hpp"
 #include "pimdm/router.hpp"
 
 namespace mip6 {
@@ -81,7 +83,12 @@ class NodeRuntime {
   UdpDemux* udp = nullptr;
   MldRouter* mld = nullptr;
   MldHost* mld_host = nullptr;
+  /// Whichever dense-mode engine the router runs (aliases pim or hpim).
+  /// Engine-agnostic code — the auditor, metrics, the home-agent backend —
+  /// goes through this one.
+  DenseModeEngine* dense = nullptr;
   PimDmRouter* pim = nullptr;
+  HpimDmRouter* hpim = nullptr;
   HomeAgent* ha = nullptr;
   Ripng* ripng = nullptr;
   MobileNode* mn = nullptr;

@@ -70,12 +70,22 @@ NodeRuntime& World::add_router(const std::string& name,
                                              opts.mld.value_or(config_.mld));
   }
   if (opts.with_pim) {
-    rt->pim = &rt->emplace_module<PimDmRouter>(
-        *rt->stack, *rt->mld, opts.pim.value_or(config_.pim));
+    switch (opts.engine.value_or(config_.dense_engine)) {
+      case DenseEngineKind::kPimDm:
+        rt->pim = &rt->emplace_module<PimDmRouter>(
+            *rt->stack, *rt->mld, opts.pim.value_or(config_.pim));
+        rt->dense = rt->pim;
+        break;
+      case DenseEngineKind::kHpimDm:
+        rt->hpim = &rt->emplace_module<HpimDmRouter>(
+            *rt->stack, *rt->mld, opts.hpim.value_or(config_.hpim));
+        rt->dense = rt->hpim;
+        break;
+    }
   }
   for (const auto& iface : rt->node->interfaces()) {
     if (rt->mld) rt->mld->enable_iface(iface->id());
-    if (rt->pim) rt->pim->enable_iface(iface->id());
+    if (rt->dense) rt->dense->enable_iface(iface->id());
   }
   if (with_ripng) {
     rt->ripng = &rt->emplace_module<Ripng>(
@@ -85,13 +95,14 @@ NodeRuntime& World::add_router(const std::string& name,
     }
   }
   if (opts.with_ha) {
-    // Home agent with PIM-backed group membership ("HA is a PIM router").
-    PimDmRouter* pim = rt->pim;
+    // Home agent with dense-engine-backed group membership ("HA is a
+    // multicast router") — engine-agnostic, so either engine serves.
+    DenseModeEngine* dense = rt->dense;
     rt->ha = &rt->emplace_module<HomeAgent>(
         *rt->stack, opts.mipv6.value_or(config_.mipv6),
         HomeAgent::MembershipBackend{
-            [pim](const Address& g) { pim->add_local_receiver(g); },
-            [pim](const Address& g) { pim->remove_local_receiver(g); }});
+            [dense](const Address& g) { dense->add_local_receiver(g); },
+            [dense](const Address& g) { dense->remove_local_receiver(g); }});
   }
   routing_.register_stack(*rt->stack);
   // First router on a link becomes its default router / home agent.

@@ -27,12 +27,22 @@ enum class UnicastRouting {
   kRipng,
 };
 
+/// Which dense-mode multicast engine `with_pim` routers run.
+enum class DenseEngineKind {
+  /// Soft-state flood-and-prune (the paper's substrate) — default.
+  kPimDm,
+  /// Hard-state engine with reliable, acknowledged control sync.
+  kHpimDm,
+};
+
 struct WorldConfig {
   MldConfig mld;
   MldHostPolicy mld_host;
   PimDmConfig pim;
+  HpimDmConfig hpim;
   Mipv6Config mipv6;
   UnicastRouting unicast = UnicastRouting::kGlobalOracle;
+  DenseEngineKind dense_engine = DenseEngineKind::kPimDm;
   RipngConfig ripng;
   /// Per-link propagation delay / bit rate for new links.
   Time link_delay = Time::us(100);
@@ -40,14 +50,17 @@ struct WorldConfig {
 };
 
 /// Per-router module selection + config overrides (defaults reproduce the
-/// classic full-role router). `ripng` unset follows WorldConfig::unicast.
+/// classic full-role router). `ripng` unset follows WorldConfig::unicast;
+/// `engine` unset follows WorldConfig::dense_engine.
 struct RouterOptions {
   bool with_mld = true;
   bool with_pim = true;  // requires with_mld
   bool with_ha = true;   // requires with_pim (PIM-backed membership)
+  std::optional<DenseEngineKind> engine;
   std::optional<bool> with_ripng;
   std::optional<MldConfig> mld;
   std::optional<PimDmConfig> pim;
+  std::optional<HpimDmConfig> hpim;
   std::optional<Mipv6Config> mipv6;
   std::optional<RipngConfig> ripng;
 };

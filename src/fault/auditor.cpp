@@ -8,7 +8,7 @@ namespace mip6 {
 
 namespace {
 
-std::string sg_str(const PimDmRouter::SgKey& key) {
+std::string sg_str(const DenseModeEngine::SgKey& key) {
   return "(" + key.source.str() + "," + key.group.str() + ")";
 }
 
@@ -25,7 +25,7 @@ std::string AuditReport::str() const {
 }
 
 Auditor::Auditor(World& world, AuditorConfig config)
-    : world_(&world), config_(config) {}
+    : world_(&world), config_(config), last_sample_(world.now()) {}
 
 AuditReport Auditor::run() {
   AuditReport r;
@@ -38,9 +38,31 @@ AuditReport Auditor::run() {
     if (config_.check_prune_coherence) check_prune_coherence(r);
     if (config_.check_mld_coverage) check_mld_coverage(r);
   }
+  r.windows = windows_;
   world_->net().counters().add("audit/runs");
   world_->net().counters().add("audit/violations", r.violations.size());
   return r;
+}
+
+void Auditor::sample_windows() {
+  Time now = world_->now();
+  double dt = (now - last_sample_).to_seconds();
+  last_sample_ = now;
+  if (dt <= 0.0) return;
+  for (const auto& key : all_sg_keys()) {
+    if (group_blackholed(key)) windows_[key].blackhole_s += dt;
+    if (group_duplicating(key)) windows_[key].duplication_s += dt;
+  }
+}
+
+void Auditor::arm_window_sampler(Time period) {
+  // The callback is fixed at Timer construction, so a new period means a
+  // fresh timer.
+  sampler_ = std::make_unique<Timer>(world_->scheduler(), [this, period] {
+    sample_windows();
+    sampler_->arm(period);
+  });
+  sampler_->arm(period);
 }
 
 const Link* Auditor::link_of(const Node& node, IfaceId iface) {
@@ -64,21 +86,91 @@ bool Auditor::is_router_address_on(const NodeRuntime& router,
   return false;
 }
 
-std::vector<PimDmRouter::SgKey> Auditor::all_sg_keys() const {
-  std::set<PimDmRouter::SgKey> keys;
+std::vector<DenseModeEngine::SgKey> Auditor::all_sg_keys() const {
+  std::set<DenseModeEngine::SgKey> keys;
   for (const auto& r : world_->routers()) {
-    if (!r->node->up() || r->pim == nullptr) continue;
-    for (const auto& key : r->pim->sg_keys()) keys.insert(key);
+    if (!r->node->up() || r->dense == nullptr) continue;
+    for (const auto& key : r->dense->sg_keys()) keys.insert(key);
   }
   return {keys.begin(), keys.end()};
 }
 
+bool Auditor::group_blackholed(const DenseModeEngine::SgKey& key) const {
+  // Which links can (S,G) traffic currently reach? Seed with the first-hop
+  // links (an up router holding the entry with no RPF neighbor is directly
+  // attached to the source), then propagate through each up router's
+  // incoming -> outgoing interfaces until a fixpoint.
+  std::set<LinkId> reachable;
+  for (const auto& env : world_->routers()) {
+    if (!env->node->up() || env->dense == nullptr ||
+        !env->dense->has_entry(key.source, key.group)) {
+      continue;
+    }
+    if (!env->dense->rpf_neighbor_of(key.source, key.group).is_unspecified()) {
+      continue;
+    }
+    const Link* l =
+        link_of(*env->node, env->dense->incoming(key.source, key.group));
+    if (l != nullptr && l->up()) reachable.insert(l->id());
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& env : world_->routers()) {
+      if (!env->node->up() || env->dense == nullptr ||
+          !env->dense->has_entry(key.source, key.group)) {
+        continue;
+      }
+      const Link* in =
+          link_of(*env->node, env->dense->incoming(key.source, key.group));
+      if (in == nullptr || !in->up() || !reachable.contains(in->id())) {
+        continue;
+      }
+      for (IfaceId oif : env->dense->outgoing(key.source, key.group)) {
+        const Link* l = link_of(*env->node, oif);
+        if (l != nullptr && l->up() && reachable.insert(l->id()).second) {
+          changed = true;
+        }
+      }
+    }
+  }
+  // A subscribed-and-joined, up, at-home host on an up link outside the
+  // reachable set is starved. (Away hosts receive through the HA tunnel,
+  // which link reachability does not model — skipped.)
+  for (const auto& h : world_->hosts()) {
+    if (!h->node->up() || h->mn->away_from_home()) continue;
+    if (!h->mn->subscriptions().contains(key.group)) continue;
+    IfaceId iface = h->iface();
+    if (!h->mld_host->joined(iface, key.group)) continue;
+    const Link* l = link_of(*h->node, iface);
+    if (l == nullptr || !l->up()) continue;
+    if (!reachable.contains(l->id())) return true;
+  }
+  return false;
+}
+
+bool Auditor::group_duplicating(const DenseModeEngine::SgKey& key) const {
+  std::map<LinkId, int> forwarders;
+  for (const auto& env : world_->routers()) {
+    if (!env->node->up() || env->dense == nullptr ||
+        !env->dense->has_entry(key.source, key.group)) {
+      continue;
+    }
+    for (IfaceId oif : env->dense->outgoing(key.source, key.group)) {
+      if (const Link* l = link_of(*env->node, oif)) {
+        if (l->up() && ++forwarders[l->id()] > 1) return true;
+      }
+    }
+  }
+  return false;
+}
+
 void Auditor::check_oif_iif(AuditReport& r) const {
   for (const auto& env : world_->routers()) {
-    if (!env->node->up() || env->pim == nullptr) continue;
-    for (const auto& key : env->pim->sg_keys()) {
-      IfaceId iif = env->pim->incoming(key.source, key.group);
-      auto oifs = env->pim->outgoing(key.source, key.group);
+    if (!env->node->up() || env->dense == nullptr) continue;
+    for (const auto& key : env->dense->sg_keys()) {
+      IfaceId iif = env->dense->incoming(key.source, key.group);
+      auto oifs = env->dense->outgoing(key.source, key.group);
       if (std::find(oifs.begin(), oifs.end(), iif) != oifs.end()) {
         r.violations.push_back(
             {"oif-contains-iif",
@@ -99,12 +191,13 @@ void Auditor::check_forwarding_loops(AuditReport& r) const {
     std::vector<const Link*> in_link(routers.size(), nullptr);
     for (std::size_t i = 0; i < routers.size(); ++i) {
       const NodeRuntime& env = *routers[i];
-      if (!env.node->up() || env.pim == nullptr ||
-          !env.pim->has_entry(key.source, key.group)) {
+      if (!env.node->up() || env.dense == nullptr ||
+          !env.dense->has_entry(key.source, key.group)) {
         continue;
       }
-      in_link[i] = link_of(*env.node, env.pim->incoming(key.source, key.group));
-      for (IfaceId oif : env.pim->outgoing(key.source, key.group)) {
+      in_link[i] =
+          link_of(*env.node, env.dense->incoming(key.source, key.group));
+      for (IfaceId oif : env.dense->outgoing(key.source, key.group)) {
         if (const Link* l = link_of(*env.node, oif)) {
           if (l->up()) out_links[i].insert(l->id());
         }
@@ -189,11 +282,11 @@ void Auditor::check_duplicate_forwarders(AuditReport& r) const {
   for (const auto& key : all_sg_keys()) {
     std::map<LinkId, std::vector<std::string>> forwarders;
     for (const auto& env : world_->routers()) {
-      if (!env->node->up() || env->pim == nullptr ||
-          !env->pim->has_entry(key.source, key.group)) {
+      if (!env->node->up() || env->dense == nullptr ||
+          !env->dense->has_entry(key.source, key.group)) {
         continue;
       }
-      for (IfaceId oif : env->pim->outgoing(key.source, key.group)) {
+      for (IfaceId oif : env->dense->outgoing(key.source, key.group)) {
         if (const Link* l = link_of(*env->node, oif)) {
           forwarders[l->id()].push_back(env->node->name());
         }
@@ -213,29 +306,28 @@ void Auditor::check_duplicate_forwarders(AuditReport& r) const {
 
 void Auditor::check_prune_coherence(AuditReport& r) const {
   for (const auto& up : world_->routers()) {
-    if (!up->node->up() || up->pim == nullptr) continue;
-    for (const auto& key : up->pim->sg_keys()) {
-      for (IfaceId oif_iface : up->pim->enabled_ifaces()) {
-        if (up->pim->downstream_state(key.source, key.group, oif_iface) !=
-            PimDmRouter::DownstreamState::kPruned) {
+    if (!up->node->up() || up->dense == nullptr) continue;
+    for (const auto& key : up->dense->sg_keys()) {
+      for (IfaceId oif_iface : up->dense->enabled_ifaces()) {
+        if (!up->dense->downstream_pruned(key.source, key.group, oif_iface)) {
           continue;
         }
         const Link* l = link_of(*up->node, oif_iface);
         if (l == nullptr || !l->up()) continue;
         for (const auto& down : world_->routers()) {
           if (down.get() == up.get() || !down->node->up() ||
-              down->pim == nullptr ||
-              !down->pim->has_entry(key.source, key.group)) {
+              down->dense == nullptr ||
+              !down->dense->has_entry(key.source, key.group)) {
             continue;
           }
-          const Link* in =
-              link_of(*down->node, down->pim->incoming(key.source, key.group));
+          const Link* in = link_of(
+              *down->node, down->dense->incoming(key.source, key.group));
           if (in != l) continue;
-          Address rpf = down->pim->rpf_neighbor_of(key.source, key.group);
+          Address rpf = down->dense->rpf_neighbor_of(key.source, key.group);
           if (!is_router_address_on(*up, *l, rpf)) continue;
-          bool wants = !down->pim->outgoing(key.source, key.group).empty() ||
-                       down->pim->is_local_receiver(key.group);
-          if (wants && !down->pim->upstream_pruned(key.source, key.group)) {
+          bool wants = !down->dense->outgoing(key.source, key.group).empty() ||
+                       down->dense->is_local_receiver(key.group);
+          if (wants && !down->dense->upstream_pruned(key.source, key.group)) {
             r.violations.push_back(
                 {"prune-starvation",
                  down->node->name() + " wants " + sg_str(key) + " via " +

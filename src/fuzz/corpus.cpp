@@ -4,6 +4,7 @@
 #include "ipv6/icmpv6.hpp"
 #include "ipv6/ripng.hpp"
 #include "ipv6/udp.hpp"
+#include "hpimdm/messages.hpp"
 #include "mipv6/messages.hpp"
 #include "mld/messages.hpp"
 #include "pimdm/messages.hpp"
@@ -133,6 +134,48 @@ std::vector<FuzzFrame> pim_frames() {
   return out;
 }
 
+std::vector<FuzzFrame> hpim_frames() {
+  std::vector<FuzzFrame> out;
+  auto wire = [](HpimType t, const Bytes& body) {
+    return serialize_hpim(t, body, fuzz_src(), fuzz_dst());
+  };
+  HpimHello hello;
+  hello.holdtime = 105;
+  hello.generation_id = 0xdecade01;
+  out.push_back(frame("hpim-hello", wire(HpimType::kHello, hello.body())));
+
+  HpimAck ack;
+  ack.seq = 12;
+  out.push_back(frame("hpim-ack", wire(HpimType::kAck, ack.body())));
+
+  HpimInterest interest;
+  interest.seq = 3;
+  interest.source = fuzz_src();
+  interest.group = fuzz_group();
+  interest.interested = true;
+  out.push_back(
+      frame("hpim-interest", wire(HpimType::kInterest, interest.body())));
+
+  HpimSync sync;
+  sync.seq = 4;
+  sync.more = true;
+  sync.entries.push_back({fuzz_src(), fuzz_group(), true});
+  sync.entries.push_back({fuzz_dst(), fuzz_group(), false});
+  // Header is 4 octets; offsets 9-10 = the entry-count field (the
+  // amplification-lie target the O(1) count check guards).
+  out.push_back(frame("hpim-sync", wire(HpimType::kSync, sync.body()),
+                      {9, 10}));
+
+  HpimAssert assert_msg;
+  assert_msg.group = fuzz_group();
+  assert_msg.source = fuzz_src();
+  assert_msg.metric_preference = 101;
+  assert_msg.metric = 3;
+  out.push_back(
+      frame("hpim-assert", wire(HpimType::kAssert, assert_msg.body())));
+  return out;
+}
+
 std::vector<FuzzFrame> udp_frames() {
   std::vector<FuzzFrame> out;
   UdpDatagram udp;
@@ -200,6 +243,7 @@ std::string_view fuzz_proto_name(FuzzProto p) {
     case FuzzProto::kUdp: return "udp";
     case FuzzProto::kRipng: return "ripng";
     case FuzzProto::kBindingUpdate: return "binding-update";
+    case FuzzProto::kHpim: return "hpim";
   }
   return "unknown";
 }
@@ -227,6 +271,7 @@ std::vector<FuzzFrame> seed_frames(FuzzProto p) {
     case FuzzProto::kUdp: return udp_frames();
     case FuzzProto::kRipng: return ripng_frames();
     case FuzzProto::kBindingUpdate: return bu_frames();
+    case FuzzProto::kHpim: return hpim_frames();
   }
   return {};
 }
@@ -304,6 +349,39 @@ std::optional<ParseFailure> drive_decoder(FuzzProto p, BytesView frame) {
         ParseResult<MulticastGroupListSubOption> m =
             MulticastGroupListSubOption::try_decode(s);
         if (!m.ok()) return m.failure();
+      }
+      return std::nullopt;
+    }
+    case FuzzProto::kHpim: {
+      ParseResult<HpimHeader> r = try_parse_hpim(frame, fuzz_src(), fuzz_dst());
+      if (!r.ok()) return r.failure();
+      const HpimHeader& h = r.value();
+      switch (h.type) {
+        case HpimType::kHello: {
+          ParseResult<HpimHello> m = HpimHello::try_parse(h.body);
+          if (!m.ok()) return m.failure();
+          break;
+        }
+        case HpimType::kAck: {
+          ParseResult<HpimAck> m = HpimAck::try_parse(h.body);
+          if (!m.ok()) return m.failure();
+          break;
+        }
+        case HpimType::kInterest: {
+          ParseResult<HpimInterest> m = HpimInterest::try_parse(h.body);
+          if (!m.ok()) return m.failure();
+          break;
+        }
+        case HpimType::kSync: {
+          ParseResult<HpimSync> m = HpimSync::try_parse(h.body);
+          if (!m.ok()) return m.failure();
+          break;
+        }
+        case HpimType::kAssert: {
+          ParseResult<HpimAssert> m = HpimAssert::try_parse(h.body);
+          if (!m.ok()) return m.failure();
+          break;
+        }
       }
       return std::nullopt;
     }

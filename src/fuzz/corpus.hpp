@@ -25,8 +25,9 @@ enum class FuzzProto : std::uint8_t {
   kUdp,           // UdpDatagram::try_parse
   kRipng,         // try_parse_ripng_response
   kBindingUpdate, // BindingUpdateOption -> MulticastGroupListSubOption
+  kHpim,          // try_parse_hpim -> per-type body parser
 };
-inline constexpr std::size_t kFuzzProtoCount = 6;
+inline constexpr std::size_t kFuzzProtoCount = 7;
 
 std::string_view fuzz_proto_name(FuzzProto p);
 

@@ -1,0 +1,941 @@
+#include "hpimdm/router.hpp"
+
+#include <algorithm>
+
+#include "net/wire_stats.hpp"
+
+namespace mip6 {
+
+HpimDmRouter::HpimDmRouter(Ipv6Stack& stack, MldRouter& mld,
+                           HpimDmConfig config)
+    : stack_(&stack), mld_(&mld), config_(config),
+      component_("hpimdm/" + stack.node().name()),
+      c_data_fwd_(
+          &stack.network().counters().counter("hpimdm/data-fwd")) {
+  generation_id_ = fresh_generation_id();
+  leaf_reconcile_timer_ = std::make_unique<Timer>(
+      stack.scheduler(), [this] { reconcile_leaf_groups(); });
+  stack.set_mcast_forwarder(
+      [this](const ParsedDatagram& d, const Packet& pkt, IfaceId iface) {
+        on_multicast_data(d, pkt, iface);
+      });
+  stack.set_proto_handler(
+      proto::kPim,
+      [this](const ParsedDatagram& d, const Packet&, IfaceId iface) {
+        on_hpim_message(d, iface);
+      });
+  mld.set_group_callback(
+      [this](IfaceId iface, const Address& group, bool present) {
+        on_mld_change(iface, group, present);
+      });
+}
+
+void HpimDmRouter::start() {
+  for (const auto& ifp : stack_->node().interfaces()) {
+    if (ifp->attached() && configured_.contains(ifp->id())) {
+      enable_iface(ifp->id());
+    }
+  }
+}
+
+void HpimDmRouter::stop() {
+  shutdown();
+  stack_->clear_mcast_forwarder();
+  stack_->clear_proto_handler(proto::kPim);
+  mld_->set_group_callback(nullptr);
+}
+
+void HpimDmRouter::shutdown() {
+  entries_.clear();
+  ifaces_.clear();
+  leaf_groups_.clear();
+  leaf_reconcile_timer_->cancel();
+  local_receivers_.clear();
+  count("hpimdm/shutdown");
+}
+
+void HpimDmRouter::on_crash() {
+  // The whole point of the hard-state engine: (S,G) entries, recorded
+  // downstream interest and leaf groups survive; only the live channel
+  // machinery (timers, sequence state, unacked queues) dies with us.
+  ifaces_.clear();
+  leaf_reconcile_timer_->cancel();
+  for (auto& [key, e] : entries_) {
+    e->entry_timer->cancel();
+    e->my_interest.reset();  // re-declare once channels are back
+    for (auto& [iface, d] : e->downstream) {
+      if (d->assert_timer) d->assert_timer->cancel();
+      d->assert_loser = false;
+      d->last_assert_tx = Time::never();
+      d->last_nonrpf_tx = Time::never();
+    }
+  }
+  // Home-agent local-receiver pins are soft state owned by the HA module;
+  // it re-registers them as bindings refresh (keeping them would double
+  // the refcounts on re-registration).
+  local_receivers_.clear();
+  count("hpimdm/crash");
+}
+
+void HpimDmRouter::on_restart() {
+  // New incarnation: neighbors spot the generation change in our first
+  // hello and re-sync their interest toward us reliably.
+  generation_id_ = fresh_generation_id();
+  start();
+  for (auto& [key, e] : entries_) {
+    e->entry_timer->arm(config_.data_timeout);
+  }
+  // The surviving leaf groups keep their interfaces forwarding through the
+  // outage; once listeners had time to re-report to MLD, drop the ones
+  // that did not come back.
+  leaf_reconcile_timer_->arm(config_.leaf_reconcile_delay);
+  count("hpimdm/restart");
+  trace_event("restart", [&] {
+    return "entries=" + std::to_string(entries_.size());
+  });
+}
+
+void HpimDmRouter::enable_iface(IfaceId iface) {
+  configured_.insert(iface);
+  auto [it, fresh] = ifaces_.try_emplace(iface);
+  if (!fresh) return;
+  it->second.hello_timer = std::make_unique<Timer>(
+      stack_->scheduler(), [this, iface] {
+        send_hello(iface);
+        ifaces_.at(iface).hello_timer->arm(config_.hello_period);
+      });
+  // First hello immediately (triggered hello on interface up).
+  it->second.hello_timer->arm(Time::zero());
+}
+
+std::vector<IfaceId> HpimDmRouter::enabled_ifaces() const {
+  std::vector<IfaceId> out;
+  for (const auto& [iface, st] : ifaces_) out.push_back(iface);
+  return out;
+}
+
+void HpimDmRouter::add_local_receiver(const Address& group) {
+  int& refs = local_receivers_[group];
+  ++refs;
+  if (refs > 1) return;
+  for (auto& [key, e] : entries_) {
+    if (key.group == group) recompute_interest(*e);
+  }
+}
+
+void HpimDmRouter::remove_local_receiver(const Address& group) {
+  auto it = local_receivers_.find(group);
+  if (it == local_receivers_.end()) return;
+  if (--it->second <= 0) {
+    local_receivers_.erase(it);
+    for (auto& [key, e] : entries_) {
+      if (key.group == group) recompute_interest(*e);
+    }
+  }
+}
+
+bool HpimDmRouter::is_local_receiver(const Address& group) const {
+  return local_receivers_.contains(group);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+bool HpimDmRouter::has_entry(const Address& src, const Address& group) const {
+  return entries_.contains(SgKey{src, group});
+}
+
+std::vector<HpimDmRouter::SgKey> HpimDmRouter::sg_keys() const {
+  std::vector<SgKey> out;
+  for (const auto& [key, e] : entries_) out.push_back(key);
+  return out;
+}
+
+bool HpimDmRouter::upstream_pruned(const Address& src,
+                                   const Address& group) const {
+  const SgEntry* e = find_entry(src, group);
+  return e != nullptr && e->my_interest.has_value() && !*e->my_interest;
+}
+
+Address HpimDmRouter::rpf_neighbor_of(const Address& src,
+                                      const Address& group) const {
+  const SgEntry* e = find_entry(src, group);
+  if (e == nullptr) throw LogicError("no such (S,G) entry");
+  return e->rpf_neighbor;
+}
+
+bool HpimDmRouter::assert_loser(const Address& src, const Address& group,
+                                IfaceId iface) const {
+  const SgEntry* e = find_entry(src, group);
+  if (e == nullptr) return false;
+  auto it = e->downstream.find(iface);
+  return it != e->downstream.end() && it->second->assert_loser;
+}
+
+std::vector<IfaceId> HpimDmRouter::outgoing(const Address& src,
+                                            const Address& group) const {
+  const SgEntry* e = find_entry(src, group);
+  if (e == nullptr) return {};
+  return oiflist(*e);
+}
+
+IfaceId HpimDmRouter::incoming(const Address& src, const Address& group) const {
+  const SgEntry* e = find_entry(src, group);
+  if (e == nullptr) throw LogicError("no such (S,G) entry");
+  return e->incoming;
+}
+
+bool HpimDmRouter::downstream_pruned(const Address& src, const Address& group,
+                                     IfaceId iface) const {
+  const SgEntry* e = find_entry(src, group);
+  if (e == nullptr) return false;
+  if (iface == e->incoming) return false;
+  auto lit = leaf_groups_.find(iface);
+  if (lit != leaf_groups_.end() && lit->second.contains(group)) return false;
+  auto it = e->downstream.find(iface);
+  if (it == e->downstream.end()) return false;
+  const Downstream& d = *it->second;
+  if (d.assert_loser) return false;  // suppressed by election, not interest
+  // Positively pruned only when every live neighbor has declared no
+  // interest; one unknown neighbor keeps the dense-mode default.
+  auto ifit = ifaces_.find(iface);
+  if (ifit == ifaces_.end() || ifit->second.neighbors.empty()) return false;
+  for (const auto& [nbr, ch] : ifit->second.neighbors) {
+    auto dit = d.declared.find(nbr);
+    if (dit == d.declared.end() || dit->second) return false;
+  }
+  return true;
+}
+
+std::vector<Address> HpimDmRouter::neighbors(IfaceId iface) const {
+  std::vector<Address> out;
+  auto it = ifaces_.find(iface);
+  if (it != ifaces_.end()) {
+    for (const auto& [addr, ch] : it->second.neighbors) out.push_back(addr);
+  }
+  return out;
+}
+
+bool HpimDmRouter::has_neighbors(IfaceId iface) const {
+  auto it = ifaces_.find(iface);
+  return it != ifaces_.end() && !it->second.neighbors.empty();
+}
+
+// ---------------------------------------------------------------------------
+// Entry management
+
+HpimDmRouter::SgEntry* HpimDmRouter::find_entry(const Address& src,
+                                                const Address& group) {
+  auto it = entries_.find(SgKey{src, group});
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+const HpimDmRouter::SgEntry* HpimDmRouter::find_entry(
+    const Address& src, const Address& group) const {
+  auto it = entries_.find(SgKey{src, group});
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+HpimDmRouter::SgEntry* HpimDmRouter::create_entry(const Address& src,
+                                                  const Address& group) {
+  const Route* route = stack_->rib().lookup(src);
+  if (route == nullptr) {
+    count("hpimdm/rpf-fail");
+    return nullptr;
+  }
+  auto e = std::make_unique<SgEntry>();
+  e->source = src;
+  e->group = group;
+  e->incoming = route->out_iface;
+  e->rpf_neighbor = route->next_hop;  // unspecified when source is on-link
+  e->rpf_metric = route->metric;
+  e->assert_winner_pref = config_.metric_preference;
+  e->assert_winner_metric = route->metric;
+  SgKey key{src, group};
+  e->entry_timer = std::make_unique<Timer>(
+      stack_->scheduler(), [this, key] { delete_entry(key); });
+  e->entry_timer->arm(config_.data_timeout);
+  // Dense-mode default: every enabled interface except the incoming one is
+  // a potential oif until its neighbors declare otherwise.
+  for (const auto& [iface, st] : ifaces_) {
+    if (iface == e->incoming) continue;
+    e->downstream.emplace(iface, std::make_unique<Downstream>());
+  }
+  SgEntry* raw = e.get();
+  entries_.emplace(key, std::move(e));
+  count("hpimdm/sg-created");
+  trace_event("sg-created", [&] {
+    return "src=" + src.str() + " group=" + group.str() + " iif=" +
+           std::to_string(raw->incoming);
+  });
+  return raw;
+}
+
+void HpimDmRouter::delete_entry(const SgKey& key) {
+  if (entries_.erase(key) > 0) {
+    count("hpimdm/sg-expired");
+    trace_event("sg-expired", [&] {
+      return "src=" + key.source.str() + " group=" + key.group.str();
+    });
+  }
+}
+
+HpimDmRouter::Downstream& HpimDmRouter::downstream(SgEntry& e, IfaceId iface) {
+  auto it = e.downstream.find(iface);
+  if (it == e.downstream.end()) {
+    it = e.downstream.emplace(iface, std::make_unique<Downstream>()).first;
+  }
+  return *it->second;
+}
+
+std::vector<IfaceId> HpimDmRouter::oiflist(const SgEntry& e) const {
+  std::vector<IfaceId> out;
+  for (const auto& [iface, d] : e.downstream) {
+    if (iface == e.incoming) continue;
+    if (d->assert_loser) continue;
+    auto lit = leaf_groups_.find(iface);
+    bool member = lit != leaf_groups_.end() && lit->second.contains(e.group);
+    // A neighbor that never declared is unknown and keeps the interface
+    // forwarding; positively uninterested neighbors do not.
+    bool nbr_fwd = false;
+    auto ifit = ifaces_.find(iface);
+    if (ifit != ifaces_.end()) {
+      for (const auto& [nbr, ch] : ifit->second.neighbors) {
+        auto dit = d->declared.find(nbr);
+        if (dit == d->declared.end() || dit->second) {
+          nbr_fwd = true;
+          break;
+        }
+      }
+    }
+    if (member || nbr_fwd) out.push_back(iface);
+  }
+  return out;
+}
+
+bool HpimDmRouter::wants_traffic(const SgEntry& e) const {
+  return !oiflist(e).empty() || is_local_receiver(e.group);
+}
+
+void HpimDmRouter::recompute_interest(SgEntry& e) {
+  if (e.rpf_neighbor.is_unspecified()) return;  // we are the first hop
+  bool wants = wants_traffic(e);
+  if (e.my_interest.has_value() && *e.my_interest == wants) return;
+  send_interest(e, wants);
+}
+
+void HpimDmRouter::apply_interest(const Address& from, IfaceId iface,
+                                  const Address& src, const Address& group,
+                                  bool interested) {
+  SgEntry* e = find_entry(src, group);
+  if (e == nullptr) {
+    e = create_entry(src, group);
+    if (e == nullptr) return;
+  }
+  if (iface == e->incoming) return;  // upstream neighbors have no say here
+  Downstream& d = downstream(*e, iface);
+  auto [it, fresh] = d.declared.try_emplace(from, interested);
+  if (!fresh) {
+    if (it->second == interested) return;
+    it->second = interested;
+  }
+  trace_event("interest-recorded", [&] {
+    return "src=" + src.str() + " group=" + group.str() + " nbr=" +
+           from.str() + " interested=" + (interested ? "1" : "0");
+  });
+  recompute_interest(*e);
+}
+
+// ---------------------------------------------------------------------------
+// Data plane
+
+void HpimDmRouter::on_multicast_data(const ParsedDatagram& d,
+                                     const Packet& pkt, IfaceId iface) {
+  const Address& src = d.hdr.src;
+  const Address& group = d.hdr.dst;
+  if (src.is_multicast() || src.is_unspecified()) return;
+
+  SgEntry* e = find_entry(src, group);
+  if (e == nullptr) {
+    e = create_entry(src, group);
+    if (e == nullptr) return;
+  }
+
+  if (iface != e->incoming) {
+    // RPF re-anchor: the unicast route toward S can move (mobility, link
+    // repair, or a post-restart RIB rebuild). If the RIB now names this
+    // interface, follow it — and re-declare interest to the new upstream.
+    const Route* route = stack_->rib().lookup(src);
+    if (route != nullptr && route->out_iface == iface) {
+      e->incoming = route->out_iface;
+      e->rpf_neighbor = route->next_hop;
+      e->rpf_metric = route->metric;
+      e->assert_winner_pref = config_.metric_preference;
+      e->assert_winner_metric = route->metric;
+      e->assert_winner_addr = Address();
+      e->downstream.erase(iface);
+      e->my_interest.reset();
+      count("hpimdm/rpf-updated");
+      recompute_interest(*e);
+    }
+  }
+
+  if (iface != e->incoming) {
+    std::vector<IfaceId> oifs = oiflist(*e);
+    if (std::find(oifs.begin(), oifs.end(), iface) != oifs.end()) {
+      // Duplicate forwarder on this LAN: resolve by Assert, as in PIM-DM.
+      send_assert(*e, iface);
+    } else {
+      // Non-RPF bystander: declare no-interest to the forwarders on this
+      // link so they drop it from their oif lists. Reliable, so once acked
+      // this self-quenches; the rate limit only spaces the initial burst.
+      send_uninterest_nonrpf(*e, iface);
+    }
+    count("hpimdm/rx-wrong-iface");
+    return;
+  }
+
+  e->entry_timer->arm(config_.data_timeout);
+  std::vector<IfaceId> oifs = oiflist(*e);
+  if (oifs.empty() && !is_local_receiver(e->group)) {
+    // Nothing downstream: tell the upstream once, reliably.
+    recompute_interest(*e);
+    return;
+  }
+  *c_data_fwd_ += stack_->forward_out_many(pkt, oifs);
+}
+
+// ---------------------------------------------------------------------------
+// Control plane
+
+void HpimDmRouter::on_hpim_message(const ParsedDatagram& d, IfaceId iface) {
+  if (!hpim_enabled(iface)) return;
+  auto reject = [&](const ParseFailure& f) {
+    count("hpimdm/rx-drop/parse-error");
+    note_parse_reject(stack_->network(), "hpimdm", f);
+  };
+  ParseResult<HpimHeader> hdr =
+      try_parse_hpim(d.payload, d.hdr.src, d.hdr.dst);
+  if (!hdr.ok()) {
+    reject(hdr.failure());
+    return;
+  }
+  HpimHeader h = std::move(hdr).value();
+  switch (h.type) {
+    case HpimType::kHello: {
+      ParseResult<HpimHello> m = HpimHello::try_parse(h.body);
+      if (!m.ok()) return reject(m.failure());
+      on_hello(m.value(), d.hdr.src, iface);
+      break;
+    }
+    case HpimType::kAck: {
+      ParseResult<HpimAck> m = HpimAck::try_parse(h.body);
+      if (!m.ok()) return reject(m.failure());
+      on_ack(m.value(), d.hdr.src, iface);
+      break;
+    }
+    case HpimType::kInterest: {
+      ParseResult<HpimInterest> m = HpimInterest::try_parse(h.body);
+      if (!m.ok()) return reject(m.failure());
+      on_interest(m.value(), d.hdr.src, iface);
+      break;
+    }
+    case HpimType::kSync: {
+      ParseResult<HpimSync> m = HpimSync::try_parse(h.body);
+      if (!m.ok()) return reject(m.failure());
+      on_sync(m.value(), d.hdr.src, iface);
+      break;
+    }
+    case HpimType::kAssert: {
+      ParseResult<HpimAssert> m = HpimAssert::try_parse(h.body);
+      if (!m.ok()) return reject(m.failure());
+      on_assert(m.value(), d.hdr.src, iface);
+      break;
+    }
+  }
+}
+
+void HpimDmRouter::on_hello(const HpimHello& hello, const Address& from,
+                            IfaceId iface) {
+  auto it = ifaces_.at(iface).neighbors.find(from);
+  if (it == ifaces_.at(iface).neighbors.end()) {
+    ensure_channel(iface, from, hello.holdtime, hello.generation_id,
+                   /*generation_known=*/true);
+    return;
+  }
+  NeighborChannel& ch = it->second;
+  ch.liveness->arm(Time::sec(hello.holdtime));
+  if (!ch.generation_known) {
+    // Channel adopted from a sequenced message before any hello: this is
+    // the first word on the neighbor's incarnation, not a reboot.
+    ch.generation_id = hello.generation_id;
+    ch.generation_known = true;
+    return;
+  }
+  if (ch.generation_id != hello.generation_id) {
+    // The neighbor rebooted: its receive expectations are gone. Reset the
+    // channel's sequence machinery but KEEP every interest it declared —
+    // that is hard state and keeps forwarding alive through the outage —
+    // then re-sync our own interest toward it.
+    ch.generation_id = hello.generation_id;
+    ch.tx_seq = 0;
+    ch.rx_expected = 1;
+    ch.pending.clear();
+    ch.retx_timer->cancel();
+    ch.rto = config_.ack_timeout;
+    count("hpimdm/neighbor-resync");
+    trace_event("neighbor-resync", [&] {
+      return "iface=" + std::to_string(iface) + " nbr=" + from.str();
+    });
+    send_hello(iface);  // triggered: the rebooted side relearns us fast
+    schedule_sync(iface, from);
+  }
+}
+
+HpimDmRouter::NeighborChannel* HpimDmRouter::channel(IfaceId iface,
+                                                     const Address& nbr) {
+  auto it = ifaces_.find(iface);
+  if (it == ifaces_.end()) return nullptr;
+  auto nit = it->second.neighbors.find(nbr);
+  return nit == it->second.neighbors.end() ? nullptr : &nit->second;
+}
+
+HpimDmRouter::NeighborChannel& HpimDmRouter::ensure_channel(
+    IfaceId iface, const Address& nbr, std::uint16_t holdtime_s,
+    std::uint32_t generation_id, bool generation_known) {
+  IfaceState& st = ifaces_.at(iface);
+  auto it = st.neighbors.find(nbr);
+  if (it != st.neighbors.end()) return it->second;
+
+  NeighborChannel ch;
+  ch.generation_id = generation_id;
+  ch.generation_known = generation_known;
+  ch.rto = config_.ack_timeout;
+  ch.liveness = std::make_unique<Timer>(
+      stack_->scheduler(), [this, iface, nbr] {
+        neighbor_failed(iface, nbr, "holdtime expired");
+      });
+  ch.liveness->arm(Time::sec(holdtime_s));
+  ch.retx_timer = std::make_unique<Timer>(
+      stack_->scheduler(), [this, iface, nbr] {
+        NeighborChannel* c = channel(iface, nbr);
+        if (c == nullptr || c->pending.empty()) return;
+        for (const Pending& p : c->pending) {
+          emit(iface, p.type, p.body, nbr);
+        }
+        count("hpimdm/retx", c->pending.size());
+        Time next = c->rto + c->rto;  // exponential backoff
+        c->rto = next < config_.ack_timeout_max ? next
+                                                : config_.ack_timeout_max;
+        c->retx_timer->arm(c->rto);
+      });
+  ch.sync_timer = std::make_unique<Timer>(
+      stack_->scheduler(), [this, iface, nbr] {
+        NeighborChannel* c = channel(iface, nbr);
+        if (c != nullptr && c->sync_pending) send_sync(iface, nbr);
+      });
+  it = st.neighbors.emplace(nbr, std::move(ch)).first;
+  count("hpimdm/neighbor-up");
+  trace_event("neighbor-up", [&] {
+    return "iface=" + std::to_string(iface) + " nbr=" + nbr.str();
+  });
+  // Triggered hello so the new neighbor learns us (and our generation id)
+  // quickly, then reliably sync the tree state routed through it.
+  send_hello(iface);
+  schedule_sync(iface, nbr);
+  return it->second;
+}
+
+void HpimDmRouter::neighbor_failed(IfaceId iface, const Address& nbr,
+                                   const char* why) {
+  auto it = ifaces_.find(iface);
+  if (it == ifaces_.end()) return;
+  if (it->second.neighbors.erase(nbr) == 0) return;
+  count("hpimdm/neighbor-expired");
+  trace_event("neighbor-expired", [&, why] {
+    return "iface=" + std::to_string(iface) + " nbr=" + nbr.str() + " (" +
+           why + ")";
+  });
+  // Graceful degradation: drop everything the neighbor declared and let
+  // interest recomputation settle the trees without it.
+  for (auto& [key, e] : entries_) {
+    auto dit = e->downstream.find(iface);
+    if (dit != e->downstream.end() &&
+        dit->second->declared.erase(nbr) > 0) {
+      recompute_interest(*e);
+    }
+    if (e->incoming == iface && e->rpf_neighbor == nbr) {
+      // Upstream gone: undeclared until a replacement (assert winner or
+      // RPF re-anchor) shows up.
+      e->my_interest.reset();
+    }
+  }
+}
+
+bool HpimDmRouter::accept_sequenced(IfaceId iface, const Address& from,
+                                    std::uint32_t seq) {
+  // A sequenced message from a neighbor we have no channel for (its hello
+  // lost or not yet seen): adopt it, it is evidently alive. The next hello
+  // corrects holdtime and generation id.
+  NeighborChannel& ch = ensure_channel(iface, from, config_.hello_holdtime_s,
+                                       0, /*generation_known=*/false);
+  if (seq == ch.rx_expected) {
+    ++ch.rx_expected;
+    send_ack(iface, from, seq);
+    return true;
+  }
+  // Duplicate or gap: re-ack the last in-order point so the sender's
+  // cumulative ack state converges; go-back-N retransmission fills gaps.
+  send_ack(iface, from, ch.rx_expected - 1);
+  count(seq < ch.rx_expected ? "hpimdm/rx-duplicate" : "hpimdm/rx-gap");
+  return false;
+}
+
+void HpimDmRouter::on_ack(const HpimAck& ack, const Address& from,
+                          IfaceId iface) {
+  NeighborChannel* ch = channel(iface, from);
+  if (ch == nullptr) return;
+  bool progressed = false;
+  while (!ch->pending.empty() && ch->pending.front().seq <= ack.seq) {
+    ch->pending.pop_front();
+    progressed = true;
+  }
+  if (!progressed) return;
+  ch->rto = config_.ack_timeout;
+  if (ch->pending.empty()) {
+    ch->retx_timer->cancel();
+  } else {
+    ch->retx_timer->arm(ch->rto);
+  }
+}
+
+void HpimDmRouter::on_interest(const HpimInterest& m, const Address& from,
+                               IfaceId iface) {
+  if (!accept_sequenced(iface, from, m.seq)) return;
+  count("hpimdm/rx/interest");
+  apply_interest(from, iface, m.source, m.group, m.interested);
+}
+
+void HpimDmRouter::on_sync(const HpimSync& m, const Address& from,
+                           IfaceId iface) {
+  if (!accept_sequenced(iface, from, m.seq)) return;
+  count("hpimdm/rx/sync");
+  for (const HpimSync::Entry& se : m.entries) {
+    apply_interest(from, iface, se.source, se.group, se.interested);
+  }
+}
+
+void HpimDmRouter::on_assert(const HpimAssert& a, const Address& from,
+                             IfaceId iface) {
+  SgEntry* e = find_entry(a.source, a.group);
+  if (e == nullptr) return;
+  count("hpimdm/rx-assert");
+
+  if (iface == e->incoming) {
+    // Downstream observer: the assert winner becomes our RPF neighbor —
+    // and our interest must be re-declared to the new upstream.
+    bool better;
+    if (a.metric_preference != e->assert_winner_pref) {
+      better = a.metric_preference < e->assert_winner_pref;
+    } else if (a.metric != e->assert_winner_metric) {
+      better = a.metric < e->assert_winner_metric;
+    } else {
+      better = e->assert_winner_addr.is_unspecified() ||
+               from > e->assert_winner_addr;
+    }
+    if (better && e->rpf_neighbor != from) {
+      e->assert_winner_pref = a.metric_preference;
+      e->assert_winner_metric = a.metric;
+      e->assert_winner_addr = from;
+      e->rpf_neighbor = from;
+      e->my_interest.reset();
+      recompute_interest(*e);
+    }
+    return;
+  }
+
+  auto it = e->downstream.find(iface);
+  if (it == e->downstream.end()) return;
+  Downstream& d = *it->second;
+  if (d.assert_loser) return;
+  Address my_addr = source_address(iface);
+  bool they_win;
+  if (a.metric_preference != config_.metric_preference) {
+    they_win = a.metric_preference < config_.metric_preference;
+  } else if (a.metric != e->rpf_metric) {
+    they_win = a.metric < e->rpf_metric;
+  } else {
+    they_win = from > my_addr;
+  }
+  if (they_win) {
+    d.assert_loser = true;
+    count("hpimdm/assert-lost");
+    trace_event("assert-lost", [&] {
+      return "src=" + e->source.str() + " group=" + e->group.str() +
+             " iface=" + std::to_string(iface) + " winner=" + from.str();
+    });
+    SgKey key{a.source, a.group};
+    if (!d.assert_timer) {
+      d.assert_timer = std::make_unique<Timer>(
+          stack_->scheduler(), [this, key, iface] {
+            SgEntry* en = find_entry(key.source, key.group);
+            if (en == nullptr) return;
+            auto dit = en->downstream.find(iface);
+            if (dit != en->downstream.end()) {
+              dit->second->assert_loser = false;
+            }
+          });
+    }
+    d.assert_timer->arm(config_.assert_time);
+    recompute_interest(*e);
+  } else {
+    send_assert(*e, iface);  // defend our role as forwarder
+  }
+}
+
+void HpimDmRouter::on_mld_change(IfaceId iface, const Address& group,
+                                 bool present) {
+  if (present) {
+    leaf_groups_[iface].insert(group);
+  } else {
+    auto it = leaf_groups_.find(iface);
+    if (it != leaf_groups_.end()) {
+      it->second.erase(group);
+      if (it->second.empty()) leaf_groups_.erase(it);
+    }
+  }
+  for (auto& [key, e] : entries_) {
+    if (key.group != group) continue;
+    if (present && iface != e->incoming) downstream(*e, iface);
+    recompute_interest(*e);
+  }
+}
+
+void HpimDmRouter::reconcile_leaf_groups() {
+  std::vector<std::pair<IfaceId, Address>> stale;
+  for (const auto& [iface, groups] : leaf_groups_) {
+    for (const Address& g : groups) {
+      if (!mld_->has_listeners(iface, g)) stale.emplace_back(iface, g);
+    }
+  }
+  for (const auto& [iface, g] : stale) {
+    count("hpimdm/leaf-reconciled");
+    on_mld_change(iface, g, false);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reliable channel senders
+
+std::uint32_t HpimDmRouter::next_seq(IfaceId iface, const Address& nbr) {
+  NeighborChannel* ch = channel(iface, nbr);
+  if (ch == nullptr) throw LogicError("next_seq without a channel");
+  return ++ch->tx_seq;
+}
+
+void HpimDmRouter::send_reliable(IfaceId iface, const Address& nbr,
+                                 HpimType type, Bytes body_with_seq,
+                                 std::uint32_t seq) {
+  NeighborChannel* ch = channel(iface, nbr);
+  if (ch == nullptr) return;
+  if (ch->pending.size() >= config_.max_retransmit_queue) {
+    // The neighbor is not acking: bounded queue, same consequence as a
+    // holdtime expiry.
+    count("hpimdm/channel-overflow");
+    neighbor_failed(iface, nbr, "retransmit queue overflow");
+    return;
+  }
+  ch->pending.push_back(Pending{seq, type, body_with_seq});
+  emit(iface, type, body_with_seq, nbr);
+  if (!ch->retx_timer->running()) {
+    ch->rto = config_.ack_timeout;
+    ch->retx_timer->arm(ch->rto);
+  }
+}
+
+HpimDmRouter::NeighborChannel* HpimDmRouter::upstream_channel(
+    SgEntry& e, Address* nbr_out) {
+  auto it = ifaces_.find(e.incoming);
+  if (it == ifaces_.end()) return nullptr;
+  auto nit = it->second.neighbors.find(e.rpf_neighbor);
+  if (nit != it->second.neighbors.end()) {
+    if (nbr_out != nullptr) *nbr_out = nit->first;
+    return &nit->second;
+  }
+  // The RPF neighbor's hello has not arrived (or names another of its
+  // addresses): with exactly one neighbor on the incoming interface it can
+  // only be that one. Otherwise stay silent — sync-on-neighbor-up heals
+  // the miss once the channel exists.
+  if (it->second.neighbors.size() == 1) {
+    auto& only = *it->second.neighbors.begin();
+    if (nbr_out != nullptr) *nbr_out = only.first;
+    return &only.second;
+  }
+  return nullptr;
+}
+
+void HpimDmRouter::schedule_sync(IfaceId iface, const Address& nbr) {
+  NeighborChannel* ch = channel(iface, nbr);
+  if (ch == nullptr) return;
+  ch->sync_pending = true;
+  Time since = ch->last_sync_tx.is_never() ? Time::never()
+                                           : now() - ch->last_sync_tx;
+  if (since.is_never() || since >= config_.sync_min_interval) {
+    send_sync(iface, nbr);
+  } else if (!ch->sync_timer->running()) {
+    // Storm damping: coalesce triggers into one deferred transmission.
+    ch->sync_timer->arm(config_.sync_min_interval - since);
+    count("hpimdm/sync-damped");
+  }
+}
+
+void HpimDmRouter::send_sync(IfaceId iface, const Address& nbr) {
+  NeighborChannel* ch = channel(iface, nbr);
+  if (ch == nullptr) return;
+  ch->sync_pending = false;
+  ch->sync_timer->cancel();
+  ch->last_sync_tx = now();
+
+  // Everything we route through this neighbor, with our current interest.
+  // Interest toward a non-RPF neighbor is deliberately NOT synced: it
+  // would keep a sibling's oif alive and duplicate traffic.
+  std::vector<HpimSync::Entry> entries;
+  for (auto& [key, e] : entries_) {
+    if (e->incoming != iface) continue;
+    Address up;
+    if (upstream_channel(*e, &up) != channel(iface, nbr) || up != nbr) {
+      continue;
+    }
+    bool wants = wants_traffic(*e);
+    e->my_interest = wants;
+    entries.push_back(HpimSync::Entry{e->source, e->group, wants});
+  }
+  if (entries.empty()) return;
+
+  for (std::size_t off = 0; off < entries.size();
+       off += config_.sync_fragment_entries) {
+    HpimSync frag;
+    std::size_t end =
+        std::min(off + config_.sync_fragment_entries, entries.size());
+    frag.entries.assign(entries.begin() + static_cast<std::ptrdiff_t>(off),
+                        entries.begin() + static_cast<std::ptrdiff_t>(end));
+    frag.more = end < entries.size();
+    frag.seq = next_seq(iface, nbr);
+    send_reliable(iface, nbr, HpimType::kSync, frag.body(), frag.seq);
+    count("hpimdm/tx/sync");
+  }
+  trace_event("tx-sync", [&] {
+    return "iface=" + std::to_string(iface) + " nbr=" + nbr.str() +
+           " entries=" + std::to_string(entries.size());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Emission
+
+Address HpimDmRouter::source_address(IfaceId iface) const {
+  return stack_->has_global_address(iface) ? stack_->global_address(iface)
+                                           : stack_->link_local_address(iface);
+}
+
+void HpimDmRouter::emit(IfaceId iface, HpimType type, BytesView body,
+                        const Address& dst) {
+  DatagramSpec spec;
+  spec.src = source_address(iface);
+  spec.dst = dst;
+  spec.hop_limit = 1;
+  spec.protocol = proto::kPim;
+  spec.payload = serialize_hpim(type, body, spec.src, spec.dst);
+  std::size_t wire = Ipv6Header::kSize + spec.payload.size();
+  stack_->send_on_iface(iface, spec);
+  stack_->network().counters().add("hpimdm/tx-bytes", wire);
+}
+
+void HpimDmRouter::send_hello(IfaceId iface) {
+  HpimHello hello;
+  hello.holdtime = config_.hello_holdtime_s;
+  hello.generation_id = generation_id_;
+  emit(iface, HpimType::kHello, hello.body(), Address::all_pim_routers());
+  count("hpimdm/tx/hello");
+  trace_event("tx-hello", [&] { return "iface=" + std::to_string(iface); });
+}
+
+void HpimDmRouter::send_ack(IfaceId iface, const Address& to,
+                            std::uint32_t seq) {
+  HpimAck ack;
+  ack.seq = seq;
+  emit(iface, HpimType::kAck, ack.body(), to);
+  count("hpimdm/tx/ack");
+}
+
+void HpimDmRouter::send_interest(SgEntry& e, bool interested) {
+  Address nbr;
+  NeighborChannel* ch = upstream_channel(e, &nbr);
+  if (ch == nullptr) return;  // healed by sync once the channel exists
+  HpimInterest m;
+  m.source = e.source;
+  m.group = e.group;
+  m.interested = interested;
+  m.seq = ++ch->tx_seq;
+  e.my_interest = interested;
+  send_reliable(e.incoming, nbr, HpimType::kInterest, m.body(), m.seq);
+  count("hpimdm/tx/interest");
+  trace_event("tx-interest", [&] {
+    return "src=" + e.source.str() + " group=" + e.group.str() +
+           " upstream=" + nbr.str() + " interested=" +
+           (interested ? "1" : "0");
+  });
+}
+
+void HpimDmRouter::send_uninterest_nonrpf(SgEntry& e, IfaceId iface) {
+  Downstream& d = downstream(e, iface);
+  if (d.assert_loser) return;  // the elected forwarder serves this LAN
+  if (!d.last_nonrpf_tx.is_never() &&
+      now() - d.last_nonrpf_tx < config_.assert_rate_limit) {
+    return;
+  }
+  d.last_nonrpf_tx = now();
+  for (const Address& nbr : neighbors(iface)) {
+    NeighborChannel* ch = channel(iface, nbr);
+    if (ch == nullptr) continue;
+    HpimInterest m;
+    m.source = e.source;
+    m.group = e.group;
+    m.interested = false;
+    m.seq = ++ch->tx_seq;
+    send_reliable(iface, nbr, HpimType::kInterest, m.body(), m.seq);
+    count("hpimdm/tx/nonrpf-uninterest");
+  }
+}
+
+void HpimDmRouter::send_assert(SgEntry& e, IfaceId iface) {
+  Downstream& d = downstream(e, iface);
+  if (!d.last_assert_tx.is_never() &&
+      now() - d.last_assert_tx < config_.assert_rate_limit) {
+    return;
+  }
+  d.last_assert_tx = now();
+  HpimAssert a;
+  a.group = e.group;
+  a.source = e.source;
+  a.metric_preference = config_.metric_preference;
+  a.metric = e.rpf_metric;
+  emit(iface, HpimType::kAssert, a.body(), Address::all_pim_routers());
+  count("hpimdm/tx/assert");
+  trace_event("tx-assert", [&] {
+    return "src=" + e.source.str() + " group=" + e.group.str() + " iface=" +
+           std::to_string(iface);
+  });
+}
+
+std::uint32_t HpimDmRouter::fresh_generation_id() {
+  // Drawn from the per-network deterministic RNG: same seed, same ids,
+  // byte-identical traces.
+  return static_cast<std::uint32_t>(stack_->network().rng().next_u64());
+}
+
+void HpimDmRouter::count(const std::string& name, std::uint64_t delta) {
+  stack_->network().counters().add(name, delta);
+}
+
+}  // namespace mip6

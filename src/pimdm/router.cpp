@@ -150,6 +150,15 @@ PimDmRouter::DownstreamState PimDmRouter::downstream_state(
   return it->second->state;
 }
 
+bool PimDmRouter::downstream_pruned(const Address& src, const Address& group,
+                                    IfaceId iface) const {
+  const SgEntry* e = find_entry(src, group);
+  if (e == nullptr) return false;
+  auto it = e->downstream.find(iface);
+  return it != e->downstream.end() &&
+         it->second->state == DownstreamState::kPruned;
+}
+
 std::vector<Address> PimDmRouter::neighbors(IfaceId iface) const {
   std::vector<Address> out;
   auto it = ifaces_.find(iface);

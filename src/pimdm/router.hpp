@@ -25,14 +25,14 @@
 
 #include "ipv6/stack.hpp"
 #include "mld/router.hpp"
-#include "net/protocol_module.hpp"
 #include "pimdm/config.hpp"
+#include "pimdm/dense_engine.hpp"
 #include "pimdm/messages.hpp"
 #include "sim/timer.hpp"
 
 namespace mip6 {
 
-class PimDmRouter : public ProtocolModule {
+class PimDmRouter : public DenseModeEngine {
  public:
   PimDmRouter(Ipv6Stack& stack, MldRouter& mld, PimDmConfig config);
 
@@ -49,48 +49,51 @@ class PimDmRouter : public ProtocolModule {
 
   /// Enables PIM on an interface: Hello emission + neighbor tracking.
   /// Remembered for start() after a crash/restart cycle.
-  void enable_iface(IfaceId iface);
+  void enable_iface(IfaceId iface) override;
 
   /// Crash support: drops every (S,G) entry, every neighbor, all timers and
   /// all local-receiver pins — the router forgets everything it learned.
   /// Re-enable interfaces (enable_iface) to bring the protocol back up.
   void shutdown();
   /// The interfaces PIM is currently enabled on (for restart wiring).
-  std::vector<IfaceId> enabled_ifaces() const;
+  std::vector<IfaceId> enabled_ifaces() const override;
 
   /// Marks this router node itself as a receiver for `group` (the home
   /// agent "joins on behalf of" mobile nodes this way): the router will not
   /// prune itself off the (S,G) trees of the group even with an empty
   /// outgoing list. Reference-counted per caller tag.
-  void add_local_receiver(const Address& group);
-  void remove_local_receiver(const Address& group);
-  bool is_local_receiver(const Address& group) const;
+  void add_local_receiver(const Address& group) override;
+  void remove_local_receiver(const Address& group) override;
+  bool is_local_receiver(const Address& group) const override;
 
   // --- Introspection for tests, metrics and benches ---------------------
-  struct SgKey {
-    Address source;
-    Address group;
-    friend auto operator<=>(const SgKey&, const SgKey&) = default;
-  };
+  // SgKey comes from DenseModeEngine; PimDmRouter::SgKey stays valid at
+  // every historical call site via inheritance.
   enum class DownstreamState { kForwarding, kPrunePending, kPruned };
 
-  std::size_t entry_count() const { return entries_.size(); }
+  std::size_t entry_count() const override { return entries_.size(); }
   /// Keys of every live (S,G) entry (auditor walks these).
-  std::vector<SgKey> sg_keys() const;
-  bool has_entry(const Address& src, const Address& group) const;
+  std::vector<SgKey> sg_keys() const override;
+  bool has_entry(const Address& src, const Address& group) const override;
   /// True if this router pruned itself off the (S,G) tree upstream.
-  bool upstream_pruned(const Address& src, const Address& group) const;
+  bool upstream_pruned(const Address& src,
+                       const Address& group) const override;
   /// The upstream RPF neighbor (unspecified when first-hop router).
-  Address rpf_neighbor_of(const Address& src, const Address& group) const;
+  Address rpf_neighbor_of(const Address& src,
+                          const Address& group) const override;
   /// True if this router lost the Assert election on `iface`.
   bool assert_loser(const Address& src, const Address& group,
-                    IfaceId iface) const;
+                    IfaceId iface) const override;
   /// Interfaces the entry currently forwards onto (the "oif list").
-  std::vector<IfaceId> outgoing(const Address& src, const Address& group) const;
-  IfaceId incoming(const Address& src, const Address& group) const;
+  std::vector<IfaceId> outgoing(const Address& src,
+                                const Address& group) const override;
+  IfaceId incoming(const Address& src, const Address& group) const override;
   DownstreamState downstream_state(const Address& src, const Address& group,
                                    IfaceId iface) const;
-  std::vector<Address> neighbors(IfaceId iface) const;
+  /// Engine-neutral form of downstream_state(): true iff kPruned.
+  bool downstream_pruned(const Address& src, const Address& group,
+                         IfaceId iface) const override;
+  std::vector<Address> neighbors(IfaceId iface) const override;
   const PimDmConfig& config() const { return config_; }
 
  private:

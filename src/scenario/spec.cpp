@@ -222,6 +222,40 @@ PimDmConfig parse_pim(const Json& v, const std::string& ctx, PimDmConfig base) {
   return base;
 }
 
+HpimDmConfig parse_hpim(const Json& v, const std::string& ctx,
+                        HpimDmConfig base) {
+  require_object(v, ctx);
+  reject_unknown_keys(v, ctx,
+                      {"hello_period_s", "hello_holdtime_s", "data_timeout_s",
+                       "ack_timeout_ms", "ack_timeout_max_ms",
+                       "max_retransmit_queue", "sync_min_interval_ms",
+                       "assert_time_s", "leaf_reconcile_delay_s"});
+  base.hello_period = secs_or(v, "hello_period_s", ctx, base.hello_period);
+  base.hello_holdtime_s = static_cast<std::uint16_t>(uint_or(
+      v, "hello_holdtime_s", ctx,
+      static_cast<std::uint64_t>(base.hello_holdtime_s)));
+  base.data_timeout = secs_or(v, "data_timeout_s", ctx, base.data_timeout);
+  if (v.contains("ack_timeout_ms")) {
+    base.ack_timeout =
+        Time::seconds(num_field(v, "ack_timeout_ms", ctx) / 1000.0);
+  }
+  if (v.contains("ack_timeout_max_ms")) {
+    base.ack_timeout_max =
+        Time::seconds(num_field(v, "ack_timeout_max_ms", ctx) / 1000.0);
+  }
+  base.max_retransmit_queue = static_cast<std::size_t>(uint_or(
+      v, "max_retransmit_queue", ctx,
+      static_cast<std::uint64_t>(base.max_retransmit_queue)));
+  if (v.contains("sync_min_interval_ms")) {
+    base.sync_min_interval =
+        Time::seconds(num_field(v, "sync_min_interval_ms", ctx) / 1000.0);
+  }
+  base.assert_time = secs_or(v, "assert_time_s", ctx, base.assert_time);
+  base.leaf_reconcile_delay =
+      secs_or(v, "leaf_reconcile_delay_s", ctx, base.leaf_reconcile_delay);
+  return base;
+}
+
 Mipv6Config parse_mipv6(const Json& v, const std::string& ctx,
                         Mipv6Config base) {
   require_object(v, ctx);
@@ -258,8 +292,9 @@ RipngConfig parse_ripng(const Json& v, const std::string& ctx,
 WorldConfig parse_world_config(const Json& v, const std::string& ctx) {
   require_object(v, ctx);
   reject_unknown_keys(v, ctx,
-                      {"unicast", "link_delay_us", "link_bit_rate_bps", "mld",
-                       "mld_host", "pim", "mipv6", "ripng"});
+                      {"unicast", "dense_engine", "link_delay_us",
+                       "link_bit_rate_bps", "mld", "mld_host", "pim", "hpim",
+                       "mipv6", "ripng"});
   WorldConfig c;
   std::string unicast = str_or(v, "unicast", ctx, "oracle");
   if (unicast == "oracle") {
@@ -269,6 +304,15 @@ WorldConfig parse_world_config(const Json& v, const std::string& ctx) {
   } else {
     fail(ctx + ": unknown unicast mode '" + unicast +
          "' (known: oracle, ripng)");
+  }
+  std::string engine = str_or(v, "dense_engine", ctx, "pimdm");
+  if (engine == "pimdm") {
+    c.dense_engine = DenseEngineKind::kPimDm;
+  } else if (engine == "hpimdm") {
+    c.dense_engine = DenseEngineKind::kHpimDm;
+  } else {
+    fail(ctx + ": unknown dense_engine '" + engine +
+         "' (known: pimdm, hpimdm)");
   }
   if (v.contains("link_delay_us")) {
     c.link_delay = Time::seconds(num_field(v, "link_delay_us", ctx) / 1e6);
@@ -280,6 +324,9 @@ WorldConfig parse_world_config(const Json& v, const std::string& ctx) {
     c.mld_host = parse_mld_host(v["mld_host"], ctx + ".mld_host", c.mld_host);
   }
   if (v.contains("pim")) c.pim = parse_pim(v["pim"], ctx + ".pim", c.pim);
+  if (v.contains("hpim")) {
+    c.hpim = parse_hpim(v["hpim"], ctx + ".hpim", c.hpim);
+  }
   if (v.contains("mipv6")) {
     c.mipv6 = parse_mipv6(v["mipv6"], ctx + ".mipv6", c.mipv6);
   }
@@ -303,14 +350,26 @@ RouterOptions parse_router_modules(const Json& list, const std::string& ctx) {
     if (name == "mld") {
       o.with_mld = true;
     } else if (name == "pimdm") {
+      if (o.engine == DenseEngineKind::kHpimDm) {
+        fail(ctx + ": modules list names both 'pimdm' and 'hpimdm' (pick one "
+             "dense-mode engine)");
+      }
       o.with_pim = true;
+      o.engine = DenseEngineKind::kPimDm;
+    } else if (name == "hpimdm") {
+      if (o.engine == DenseEngineKind::kPimDm) {
+        fail(ctx + ": modules list names both 'pimdm' and 'hpimdm' (pick one "
+             "dense-mode engine)");
+      }
+      o.with_pim = true;
+      o.engine = DenseEngineKind::kHpimDm;
     } else if (name == "home-agent") {
       o.with_ha = true;
     } else if (name == "ripng") {
       o.with_ripng = true;
     } else {
       fail(ctx + ": unknown module '" + name +
-           "' (known modules: mld, pimdm, home-agent, ripng)");
+           "' (known modules: mld, pimdm, hpimdm, home-agent, ripng)");
     }
   }
   return o;
@@ -335,12 +394,17 @@ ScenarioRouter parse_router(const Json& v, const std::string& ctx,
   if (v.contains("config")) {
     const Json& c = v["config"];
     require_object(c, rctx + ".config");
-    reject_unknown_keys(c, rctx + ".config", {"mld", "pim", "mipv6", "ripng"});
+    reject_unknown_keys(c, rctx + ".config",
+                        {"mld", "pim", "hpim", "mipv6", "ripng"});
     if (c.contains("mld")) {
       r.opts.mld = parse_mld(c["mld"], rctx + ".config.mld", world_config.mld);
     }
     if (c.contains("pim")) {
       r.opts.pim = parse_pim(c["pim"], rctx + ".config.pim", world_config.pim);
+    }
+    if (c.contains("hpim")) {
+      r.opts.hpim =
+          parse_hpim(c["hpim"], rctx + ".config.hpim", world_config.hpim);
     }
     if (c.contains("mipv6")) {
       r.opts.mipv6 =
@@ -656,9 +720,10 @@ void ScenarioSpec::validate() const {
         }
       }
       if (r.opts.with_pim && !r.opts.with_mld) {
-        fail("router '" + r.name +
-             "': module 'pimdm' requires 'mld' (PIM learns local receivers "
-             "from MLD)");
+        const bool hpim = r.opts.engine == DenseEngineKind::kHpimDm;
+        fail("router '" + r.name + "': module '" +
+             (hpim ? "hpimdm" : "pimdm") +
+             "' requires 'mld' (PIM learns local receivers from MLD)");
       }
       if (r.opts.with_ha && !r.opts.with_pim) {
         fail("router '" + r.name +

@@ -44,7 +44,8 @@ struct ScenarioRouter {
   std::string name;
   std::vector<std::string> links;
   /// Module set; defaults to the full paper role. Parsed from the JSON
-  /// "modules" list (subset of "mld", "pimdm", "home-agent", "ripng") plus
+  /// "modules" list (subset of "mld", "pimdm", "hpimdm", "home-agent",
+  /// "ripng"; pimdm/hpimdm are mutually exclusive dense-engine picks) plus
   /// per-router "config" overrides.
   RouterOptions opts;
 };

@@ -66,6 +66,8 @@ inline constexpr std::size_t kMaxPimSourcesPerGroup = 256;
 inline constexpr std::size_t kMaxRipngRtes = 128;
 /// Sub-options in one Binding Update.
 inline constexpr std::size_t kMaxBuSubOptions = 16;
+/// (S,G) entries in one HPIM-DM Sync fragment.
+inline constexpr std::size_t kMaxHpimSyncEntries = 256;
 }  // namespace bound
 
 /// One rejection: the taxonomy bucket plus a static human-readable detail.

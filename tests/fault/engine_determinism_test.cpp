@@ -1,0 +1,151 @@
+// Engine-swap determinism and the crash-recovery A/B the HPIM-DM engine
+// exists for. Runs under the `chaos-smoke` ctest label (and the chaos
+// presets): a short seeded FaultPlan through BOTH dense-mode engines.
+//
+//  * Per engine, the same world + seed + fault schedule twice yields
+//    byte-identical traces, counters and delivery — chaos replay is exact
+//    regardless of which engine is selected.
+//  * Under an identical mid-run router crash/restart, HPIM-DM's hard state
+//    survives the crash and restores forwarding strictly earlier than
+//    PIM-DM's re-flood + MLD-relearn path, without creating a single new
+//    (S,G) entry.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/figure1.hpp"
+#include "core/traffic.hpp"
+#include "fault/chaos.hpp"
+
+namespace mip6 {
+namespace {
+
+constexpr std::uint16_t kPort = Figure1::kDataPort;
+
+struct RunOutput {
+  std::string trace;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::uint64_t delivered = 0;
+  Time recovered = Time::never();
+  std::size_t entries_while_down = 0;
+  std::uint64_t refloods = 0;  // sg-created after the crash event
+  bool audits_ok = false;
+};
+
+/// Figure 1 + Receiver3 + CBR + the given fault plan under one engine.
+RunOutput run_chaos(DenseEngineKind engine, std::uint64_t seed,
+                    const FaultPlan& plan, Time horizon) {
+  WorldConfig config;
+  config.dense_engine = engine;
+  Figure1 f = build_figure1(seed, config);
+  std::vector<TraceRecord> records;
+  f.world->net().trace().set_sink(Trace::recorder(records));
+
+  Address group = Figure1::group();
+  GroupReceiverApp app(*f.recv3->stack, kPort);
+  f.recv3->service->subscribe(group);
+  auto* sender = f.sender;
+  CbrSource source(
+      f.world->scheduler(),
+      [sender, group](Bytes p) {
+        sender->service->send_multicast(group, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  source.start(Time::sec(1));
+
+  ChaosEngine chaos(*f.world, plan);
+  chaos.arm();
+
+  RunOutput out;
+  // Snapshot the crashed router's (S,G) table mid-outage and the engine's
+  // sg-created counter right after the crash — hard state vs wiped state,
+  // and whatever re-flooding follows, is where the engines diverge.
+  const std::string sg_created =
+      engine == DenseEngineKind::kPimDm ? "pimdm/sg-created"
+                                        : "hpimdm/sg-created";
+  std::uint64_t created_at_crash = 0;
+  for (const FaultEvent& e : plan.sorted()) {
+    if (e.kind == FaultKind::kRouterCrash) {
+      NodeRuntime* rt = &f.world->router_by_name(e.target);
+      CounterRegistry& counters = f.world->net().counters();
+      f.world->scheduler().schedule_at(
+          e.at + Time::ms(1), [&out, &created_at_crash, &counters, rt,
+                               sg_created] {
+            out.entries_while_down = rt->dense->entry_count();
+            created_at_crash = counters.get(sg_created);
+          });
+      break;
+    }
+  }
+  f.world->run_until(horizon);
+  out.refloods = f.world->net().counters().get(sg_created) - created_at_crash;
+
+  for (const TraceRecord& r : records) out.trace += r.str() + "\n";
+  out.counters = f.world->net().counters().snapshot();
+  out.delivered = app.unique_received();
+  out.audits_ok = chaos.all_audits_ok();
+  auto recs = chaos.recoveries(app);
+  if (!recs.empty() && recs[0].recovered_at) {
+    out.recovered = *recs[0].recovered_at;
+  }
+  return out;
+}
+
+FaultPlan crash_restart_plan() {
+  FaultPlan plan;
+  plan.router_crash(Time::sec(20), "RouterD")
+      .router_restart(Time::sec(25), "RouterD");
+  return plan;
+}
+
+class EngineChaosDeterminism
+    : public ::testing::TestWithParam<DenseEngineKind> {};
+
+TEST_P(EngineChaosDeterminism, SameSeedSameFaultsSameTraceTwice) {
+  RunOutput a = run_chaos(GetParam(), 51, crash_restart_plan(), Time::sec(40));
+  RunOutput b = run_chaos(GetParam(), 51, crash_restart_plan(), Time::sec(40));
+  EXPECT_GT(a.trace.size(), 0u);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_GT(a.delivered, 0u);
+  EXPECT_TRUE(a.audits_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, EngineChaosDeterminism,
+                         ::testing::Values(DenseEngineKind::kPimDm,
+                                           DenseEngineKind::kHpimDm),
+                         [](const auto& param_info) {
+                           return param_info.param == DenseEngineKind::kPimDm
+                                      ? "pimdm"
+                                      : "hpimdm";
+                         });
+
+TEST(EngineChaosAb, HpimRestartRecoversStrictlyFasterWithoutReflood) {
+  const Time horizon = Time::sec(50);
+  RunOutput pim =
+      run_chaos(DenseEngineKind::kPimDm, 53, crash_restart_plan(), horizon);
+  RunOutput hpim =
+      run_chaos(DenseEngineKind::kHpimDm, 53, crash_restart_plan(), horizon);
+
+  ASSERT_FALSE(pim.recovered.is_never());
+  ASSERT_FALSE(hpim.recovered.is_never());
+  // PIM-DM's crash wipes the (S,G) entry and the restart re-learns it from
+  // a fresh flood; HPIM-DM holds the entry through the outage and restarts
+  // without creating a single new one.
+  EXPECT_EQ(pim.entries_while_down, 0u);
+  EXPECT_GT(hpim.entries_while_down, 0u);
+  EXPECT_GT(pim.refloods, 0u);
+  EXPECT_EQ(hpim.refloods, 0u);
+  EXPECT_LT(hpim.recovered, pim.recovered);
+  // Hard state means forwarding resumes with the first post-restart
+  // datagrams (CBR period 100 ms, plus one interval of slack).
+  EXPECT_LT(hpim.recovered, Time::sec(25) + Time::ms(300));
+  EXPECT_TRUE(pim.audits_ok);
+  EXPECT_TRUE(hpim.audits_ok);
+}
+
+}  // namespace
+}  // namespace mip6

@@ -52,7 +52,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllProtocols, DecoderFuzz,
     ::testing::Values(FuzzProto::kDatagram, FuzzProto::kIcmpv6,
                       FuzzProto::kPim, FuzzProto::kUdp, FuzzProto::kRipng,
-                      FuzzProto::kBindingUpdate),
+                      FuzzProto::kBindingUpdate, FuzzProto::kHpim),
     [](const ::testing::TestParamInfo<FuzzProto>& param_info) {
       std::string name(fuzz_proto_name(param_info.param));
       for (char& c : name) {

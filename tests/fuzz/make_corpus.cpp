@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "fuzz/corpus.hpp"
+#include "hpimdm/messages.hpp"
 #include "ipv6/datagram.hpp"
 #include "ipv6/icmpv6.hpp"
 #include "ipv6/ripng.hpp"
@@ -179,6 +180,63 @@ std::vector<Entry> build_entries() {
     }
     add("bu-subopt-bound.hex", FuzzProto::kBindingUpdate, "bound-exceeded",
         std::move(raw));
+  }
+
+  // --- HPIM-DM ------------------------------------------------------------
+  HpimSync sync;
+  sync.seq = 9;
+  sync.entries.push_back({fuzz_src(), fuzz_group(), true});
+  sync.entries.push_back({fuzz_dst(), fuzz_group(), false});
+  Bytes sync_body = sync.body();
+  {
+    // Valid single-fragment sync: the accept side of the boundary.
+    HpimHello hello;
+    hello.holdtime = 105;
+    hello.generation_id = 0xdecade02;
+    add("hpim-hello-ok.hex", FuzzProto::kHpim, "ok",
+        serialize_hpim(HpimType::kHello, hello.body(), fuzz_src(),
+                       fuzz_dst()));
+  }
+  {
+    // Body cut mid-entry; checksum computed over the cut body.
+    add("hpim-sync-truncated.hex", FuzzProto::kHpim, "truncated",
+        serialize_hpim(HpimType::kSync, truncated(sync_body, 20), fuzz_src(),
+                       fuzz_dst()));
+  }
+  {
+    // Entry count lies (promises 200 entries, frame holds 2). Stays under
+    // bound::kMaxHpimSyncEntries so the O(1) count-vs-body check, not the
+    // amplification bound, is what rejects it.
+    Bytes lie = sync_body;
+    lie[5] = 0;    // count hi (4 seq + 1 more-flag)
+    lie[6] = 200;  // count lo
+    add("hpim-sync-count-lie.hex", FuzzProto::kHpim, "truncated",
+        serialize_hpim(HpimType::kSync, lie, fuzz_src(), fuzz_dst()));
+  }
+  {
+    // Entry count beyond the amplification bound.
+    Bytes many = sync_body;
+    many[5] = 0xff;
+    many[6] = 0xff;
+    add("hpim-sync-bound.hex", FuzzProto::kHpim, "bound-exceeded",
+        serialize_hpim(HpimType::kSync, many, fuzz_src(), fuzz_dst()));
+  }
+  {
+    // Cross-engine frames: the two engines share proto 103, so each decoder
+    // must reject the other's version nibble by name instead of half-parsing.
+    PimHello pim_hello;
+    pim_hello.holdtime = 105;
+    add("pim-frame-via-hpim-decoder.hex", FuzzProto::kHpim, "bad-type",
+        serialize_pim(PimType::kHello, pim_hello.body(), fuzz_src(),
+                      fuzz_dst()));
+    HpimInterest interest;
+    interest.seq = 1;
+    interest.source = fuzz_src();
+    interest.group = fuzz_group();
+    interest.interested = true;
+    add("hpim-frame-via-pim-decoder.hex", FuzzProto::kPim, "bad-type",
+        serialize_hpim(HpimType::kInterest, interest.body(), fuzz_src(),
+                       fuzz_dst()));
   }
 
   // --- Whole datagrams ---------------------------------------------------
