@@ -20,6 +20,15 @@ struct Cell {
   std::size_t routers;
   std::size_t groups;
   int dwell_s;  // 0 = static receivers
+  /// Fanout cap handed to the topology generator (0 = unbounded). The
+  /// large cells need one so no router exceeds the MFC interface budget.
+  std::size_t max_fanout = 0;
+  /// 0 = use the sweep-wide replication count.
+  std::size_t reps_override = 0;
+  /// Headline cells feed the aggregate ns/event // events/s trajectory;
+  /// the large memory-envelope cells are reported per-row only so the
+  /// headline stays comparable across runs.
+  bool headline = true;
 };
 
 ReplicationResult run_cell(std::uint64_t seed, const Cell& cell,
@@ -28,6 +37,7 @@ ReplicationResult run_cell(std::uint64_t seed, const Cell& cell,
   params.routers = cell.routers;
   params.extra_links = cell.routers / 4;
   params.seed = seed;
+  params.max_fanout = cell.max_fanout;
   RandomTopology topo = build_random_topology(params);
   World& world = *topo.world;
 
@@ -88,6 +98,10 @@ ReplicationResult run_cell(std::uint64_t seed, const Cell& cell,
   for (const GroupEnv& env : envs) {
     for (const auto& app : env.apps) delivered += app->unique_received();
   }
+  std::uint64_t sg_entries = 0;
+  for (NodeRuntime* rt : topo.routers) {
+    if (rt->dense != nullptr) sg_entries += rt->dense->entry_count();
+  }
   ReplicationResult r;
   r["wall_s"] = wall;
   r["events"] = static_cast<double>(world.scheduler().executed_events());
@@ -96,6 +110,9 @@ ReplicationResult run_cell(std::uint64_t seed, const Cell& cell,
   r["delivered"] = static_cast<double>(delivered);
   r["pending_at_end"] =
       static_cast<double>(world.scheduler().pending_events());
+  r["sg_entries"] = static_cast<double>(sg_entries);
+  r["mfc_hit"] = static_cast<double>(c.get("pimdm/mfc-hit"));
+  r["mfc_miss"] = static_cast<double>(c.get("pimdm/mfc-miss"));
   return r;
 }
 
@@ -115,36 +132,51 @@ int main(int argc, char** argv) {
   std::vector<Cell> cells;
   if (smoke) {
     cells = {{8, 1, 0}, {8, 2, 30}};
+    // Memory-envelope cell, smoke-sized in replication count only: the
+    // router count must stay ≥1k for the rss-per-(S,G) figure to mean
+    // anything. Static receivers, fanout-capped topology.
+    cells.push_back({1024, 8, 0, /*max_fanout=*/32, /*reps_override=*/1,
+                     /*headline=*/false});
   } else {
     for (std::size_t routers : {8, 16, 32}) {
       for (std::size_t groups : {std::size_t{1}, std::size_t{4}}) {
         for (int dwell : {0, 30}) cells.push_back({routers, groups, dwell});
       }
     }
+    cells.push_back({1024, 64, 0, /*max_fanout=*/32, /*reps_override=*/2,
+                     /*headline=*/false});
   }
 
   BenchReport report("scale");
   Table t({"routers", "groups", "dwell", "events/rep", "Mev/s", "ns/event",
-           "data fwd", "delivered", "pending@end"});
+           "data fwd", "delivered", "sg", "rss/sg", "pending@end"});
   double total_wall = 0.0, total_events = 0.0, total_fwd = 0.0;
   for (const Cell& cell : cells) {
     ReplicationOptions opts;
-    opts.replications = reps;
+    opts.replications = cell.reps_override > 0 ? cell.reps_override : reps;
     opts.base_seed = 4242;
     // Serial on purpose: parallel replications would share cores and
     // poison each other's wall-clock (the quantity under test).
     opts.threads = 1;
+    const auto cell_reps = static_cast<double>(opts.replications);
     auto m = run_replications(opts, [&](std::uint64_t seed) {
       return run_cell(seed, cell, horizon);
     });
-    double wall = m.at("wall_s").mean() * static_cast<double>(reps);
-    double events = m.at("events").mean() * static_cast<double>(reps);
-    double fwd = m.at("data_fwd").mean() * static_cast<double>(reps) +
-                 m.at("unicast_fwd").mean() * static_cast<double>(reps);
-    total_wall += wall;
-    total_events += events;
-    total_fwd += fwd;
+    double wall = m.at("wall_s").mean() * cell_reps;
+    double events = m.at("events").mean() * cell_reps;
+    double fwd = m.at("data_fwd").mean() * cell_reps +
+                 m.at("unicast_fwd").mean() * cell_reps;
+    if (cell.headline) {
+      total_wall += wall;
+      total_events += events;
+      total_fwd += fwd;
+    }
     double ns_per_event = events > 0 ? wall * 1e9 / events : 0.0;
+    // Cumulative process peak: meaningful for the largest cell (which
+    // dominates it), reported per-row for the record.
+    double rss = peak_rss_bytes();
+    double sg = m.at("sg_entries").mean();
+    double rss_per_sg = sg > 0 ? rss / sg : 0.0;
     t.add_row({std::to_string(cell.routers), std::to_string(cell.groups),
                cell.dwell_s == 0 ? "static" : std::to_string(cell.dwell_s) +
                                                   " s",
@@ -153,6 +185,7 @@ int main(int argc, char** argv) {
                fmt_double(ns_per_event, 0),
                fmt_double(m.at("data_fwd").mean(), 0),
                fmt_double(m.at("delivered").mean(), 0),
+               fmt_double(sg, 0), fmt_double(rss_per_sg, 0),
                fmt_double(m.at("pending_at_end").mean(), 0)});
     Json row = Json::object();
     row.set("routers", static_cast<double>(cell.routers));
@@ -163,7 +196,19 @@ int main(int argc, char** argv) {
     row.set("data_fwd", m.at("data_fwd").mean());
     row.set("delivered", m.at("delivered").mean());
     row.set("pending_at_end", m.at("pending_at_end").mean());
+    row.set("sg_entries", sg);
+    row.set("peak_rss_bytes", rss);
+    row.set("rss_per_sg_bytes", rss_per_sg);
+    row.set("mfc_hit", m.at("mfc_hit").mean());
+    row.set("mfc_miss", m.at("mfc_miss").mean());
+    row.set("headline", cell.headline);
     report.add_row(std::move(row));
+    if (cell.routers >= 1024) {
+      report.metric("scale_1k_ns_per_event", ns_per_event);
+      report.metric("scale_1k_peak_rss_bytes", rss);
+      report.metric("scale_1k_rss_per_sg_bytes", rss_per_sg);
+      report.metric("scale_1k_sg_entries", sg);
+    }
   }
   std::printf("%s\n", t.str().c_str());
 

@@ -22,8 +22,31 @@ RandomTopology build_random_topology(const RandomTopologyParams& params,
   // Links must exist before add_router, so decide the shape first.
   std::vector<std::vector<Link*>> attach(n);
   for (std::size_t i = 0; i < n; ++i) attach[i].push_back(t.stub_links[i]);
+  // With max_fanout set, a candidate endpoint is rejected once its attach
+  // list is full. All fanout-related RNG draws are gated behind the knob
+  // so max_fanout == 0 reproduces the historical stream exactly.
+  auto has_room = [&](std::size_t r) {
+    return params.max_fanout == 0 || attach[r].size() < params.max_fanout;
+  };
   for (std::size_t i = 1; i < n; ++i) {
     std::size_t parent = topo_rng.uniform_int(i);
+    if (params.max_fanout > 0 && !has_room(parent)) {
+      for (int tries = 0; tries < 32 && !has_room(parent); ++tries) {
+        parent = topo_rng.uniform_int(i);
+      }
+      if (!has_room(parent)) {
+        // Deterministic fallback: the earliest router with headroom.
+        // (If every earlier router is full — only possible for tiny
+        // max_fanout values — the bound is exceeded rather than failing:
+        // connectivity wins.)
+        for (std::size_t r = 0; r < i; ++r) {
+          if (has_room(r)) {
+            parent = r;
+            break;
+          }
+        }
+      }
+    }
     Link& l = w.add_link("Transit" + std::to_string(t.transit_links.size()));
     t.transit_links.push_back(&l);
     attach[parent].push_back(&l);
@@ -33,6 +56,7 @@ RandomTopology build_random_topology(const RandomTopologyParams& params,
     std::size_t a = topo_rng.uniform_int(n);
     std::size_t b = topo_rng.uniform_int(n);
     if (a == b) continue;
+    if (params.max_fanout > 0 && (!has_room(a) || !has_room(b))) continue;
     Link& l = w.add_link("Transit" + std::to_string(t.transit_links.size()));
     t.transit_links.push_back(&l);
     attach[a].push_back(&l);

@@ -16,6 +16,12 @@ struct RandomTopologyParams {
   /// and assert opportunities).
   std::size_t extra_links = 2;
   std::uint64_t seed = 1;
+  /// Upper bound on a router's attached links (stub included); 0 = no
+  /// bound. Large sweeps need this: an unbounded random spanning tree
+  /// gives early routers O(log n) fanout, and the per-router interface
+  /// budget (e.g. the MFC mif-table width) is finite. 0 keeps the
+  /// historical RNG stream byte-for-byte.
+  std::size_t max_fanout = 0;
 };
 
 struct RandomTopology {

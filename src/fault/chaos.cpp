@@ -137,7 +137,7 @@ void ChaosEngine::record_recoveries(const GroupReceiverApp& app) {
   }
 }
 
-void ChaosEngine::count(const std::string& name) {
+void ChaosEngine::count(std::string_view name) {
   world_->net().counters().add(name);
 }
 

@@ -18,6 +18,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/traffic.hpp"
@@ -82,7 +83,7 @@ class ChaosEngine {
   void apply_crash(NodeRuntime& rt);
   void apply_restart(NodeRuntime& rt);
   void recompute_if_oracle();
-  void count(const std::string& name);
+  void count(std::string_view name);
 
   World* world_;
   FaultPlan plan_;

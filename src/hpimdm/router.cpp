@@ -11,7 +11,10 @@ HpimDmRouter::HpimDmRouter(Ipv6Stack& stack, MldRouter& mld,
     : stack_(&stack), mld_(&mld), config_(config),
       component_("hpimdm/" + stack.node().name()),
       c_data_fwd_(
-          &stack.network().counters().counter("hpimdm/data-fwd")) {
+          &stack.network().counters().counter("hpimdm/data-fwd")),
+      c_mfc_hit_(&stack.network().counters().counter("hpimdm/mfc-hit")),
+      c_mfc_miss_(&stack.network().counters().counter("hpimdm/mfc-miss")),
+      mifs_(config_.mfc_max_ifaces) {
   generation_id_ = fresh_generation_id();
   leaf_reconcile_timer_ = std::make_unique<Timer>(
       stack.scheduler(), [this] { reconcile_leaf_groups(); });
@@ -46,6 +49,7 @@ void HpimDmRouter::stop() {
 }
 
 void HpimDmRouter::shutdown() {
+  mfc_.clear();  // entry pointers just dangled
   entries_.clear();
   ifaces_.clear();
   leaf_groups_.clear();
@@ -58,6 +62,9 @@ void HpimDmRouter::on_crash() {
   // The whole point of the hard-state engine: (S,G) entries, recorded
   // downstream interest and leaf groups survive; only the live channel
   // machinery (timers, sequence state, unacked queues) dies with us.
+  // The flow cache is derived state over the neighbor set we are about to
+  // drop — flush it; the first post-restart datagram refills it.
+  mfc_.invalidate_all();
   ifaces_.clear();
   leaf_reconcile_timer_->cancel();
   for (auto& [key, e] : entries_) {
@@ -96,6 +103,7 @@ void HpimDmRouter::on_restart() {
 }
 
 void HpimDmRouter::enable_iface(IfaceId iface) {
+  if (config_.mfc) mif_of(iface);  // fail-fast on width overflow
   configured_.insert(iface);
   auto [it, fresh] = ifaces_.try_emplace(iface);
   if (!fresh) return;
@@ -119,7 +127,9 @@ void HpimDmRouter::add_local_receiver(const Address& group) {
   ++refs;
   if (refs > 1) return;
   for (auto& [key, e] : entries_) {
-    if (key.group == group) recompute_interest(*e);
+    if (key.group != group) continue;
+    invalidate_mfc(*e);
+    recompute_interest(*e);
   }
 }
 
@@ -129,7 +139,9 @@ void HpimDmRouter::remove_local_receiver(const Address& group) {
   if (--it->second <= 0) {
     local_receivers_.erase(it);
     for (auto& [key, e] : entries_) {
-      if (key.group == group) recompute_interest(*e);
+      if (key.group != group) continue;
+      invalidate_mfc(*e);
+      recompute_interest(*e);
     }
   }
 }
@@ -272,6 +284,7 @@ HpimDmRouter::SgEntry* HpimDmRouter::create_entry(const Address& src,
 }
 
 void HpimDmRouter::delete_entry(const SgKey& key) {
+  invalidate_mfc(key);  // before erase: the cached state pointer dies here
   if (entries_.erase(key) > 0) {
     count("hpimdm/sg-expired");
     trace_event("sg-expired", [&] {
@@ -284,42 +297,58 @@ HpimDmRouter::Downstream& HpimDmRouter::downstream(SgEntry& e, IfaceId iface) {
   auto it = e.downstream.find(iface);
   if (it == e.downstream.end()) {
     it = e.downstream.emplace(iface, std::make_unique<Downstream>()).first;
+    // A freshly materialized record can join the oif set (dense-mode
+    // default: forwarding while its neighbors are unknown).
+    invalidate_mfc(e);
   }
   return *it->second;
+}
+
+bool HpimDmRouter::oif_active(const SgEntry& e, IfaceId iface,
+                              const Downstream& d) const {
+  if (iface == e.incoming) return false;
+  if (d.assert_loser) return false;
+  auto lit = leaf_groups_.find(iface);
+  if (lit != leaf_groups_.end() && lit->second.contains(e.group)) return true;
+  // A neighbor that never declared is unknown and keeps the interface
+  // forwarding; positively uninterested neighbors do not.
+  auto ifit = ifaces_.find(iface);
+  if (ifit == ifaces_.end()) return false;
+  for (const auto& [nbr, ch] : ifit->second.neighbors) {
+    auto dit = d.declared.find(nbr);
+    if (dit == d.declared.end() || dit->second) return true;
+  }
+  return false;
 }
 
 std::vector<IfaceId> HpimDmRouter::oiflist(const SgEntry& e) const {
   std::vector<IfaceId> out;
   for (const auto& [iface, d] : e.downstream) {
-    if (iface == e.incoming) continue;
-    if (d->assert_loser) continue;
-    auto lit = leaf_groups_.find(iface);
-    bool member = lit != leaf_groups_.end() && lit->second.contains(e.group);
-    // A neighbor that never declared is unknown and keeps the interface
-    // forwarding; positively uninterested neighbors do not.
-    bool nbr_fwd = false;
-    auto ifit = ifaces_.find(iface);
-    if (ifit != ifaces_.end()) {
-      for (const auto& [nbr, ch] : ifit->second.neighbors) {
-        auto dit = d->declared.find(nbr);
-        if (dit == d->declared.end() || dit->second) {
-          nbr_fwd = true;
-          break;
-        }
-      }
-    }
-    if (member || nbr_fwd) out.push_back(iface);
+    if (oif_active(e, iface, *d)) out.push_back(iface);
   }
   return out;
 }
 
+bool HpimDmRouter::in_oiflist(const SgEntry& e, IfaceId iface) const {
+  auto it = e.downstream.find(iface);
+  return it != e.downstream.end() && oif_active(e, iface, *it->second);
+}
+
 bool HpimDmRouter::wants_traffic(const SgEntry& e) const {
-  return !oiflist(e).empty() || is_local_receiver(e.group);
+  if (is_local_receiver(e.group)) return true;
+  for (const auto& [iface, d] : e.downstream) {
+    if (oif_active(e, iface, *d)) return true;
+  }
+  return false;
 }
 
 void HpimDmRouter::recompute_interest(SgEntry& e) {
   if (e.rpf_neighbor.is_unspecified()) return;  // we are the first hop
-  bool wants = wants_traffic(e);
+  recompute_interest(e, wants_traffic(e));
+}
+
+void HpimDmRouter::recompute_interest(SgEntry& e, bool wants) {
+  if (e.rpf_neighbor.is_unspecified()) return;  // we are the first hop
   if (e.my_interest.has_value() && *e.my_interest == wants) return;
   send_interest(e, wants);
 }
@@ -339,11 +368,64 @@ void HpimDmRouter::apply_interest(const Address& from, IfaceId iface,
     if (it->second == interested) return;
     it->second = interested;
   }
+  invalidate_mfc(*e);
   trace_event("interest-recorded", [&] {
     return "src=" + src.str() + " group=" + group.str() + " nbr=" +
            from.str() + " interested=" + (interested ? "1" : "0");
   });
   recompute_interest(*e);
+}
+
+// ---------------------------------------------------------------------------
+// MFC layer
+
+FlowKey HpimDmRouter::flow_key(const Address& src, const Address& group) {
+  return FlowKey{{src.high64(), src.low64(), group.high64(), group.low64()}};
+}
+
+Mifi HpimDmRouter::mif_of(IfaceId iface) {
+  Mifi m = mifs_.lookup(iface);
+  if (m != kNoMif) return m;
+  m = mifs_.add(iface);
+  // Insertion keeps the table sorted by IfaceId, renumbering later
+  // interfaces: every cached bitmap is now in the wrong basis.
+  mfc_.invalidate_all();
+  return m;
+}
+
+MfcEntry* HpimDmRouter::refill_mfc(SgEntry& e) {
+  // Two passes: registering an interface can renumber the mif table (and
+  // flush the cache), so register everything before building the bitmap.
+  for (const auto& [iface, d] : e.downstream) mif_of(iface);
+  IfSet set;
+  std::uint16_t n = 0;
+  for (const auto& [iface, d] : e.downstream) {
+    if (!oif_active(e, iface, *d)) continue;
+    set.set(mifs_.lookup(iface));
+    ++n;
+  }
+  bool local = is_local_receiver(e.group);
+  if (n == 0 && !local) {
+    // Not cacheable: this path re-declares no-interest upstream and must
+    // keep seeing every datagram.
+    invalidate_mfc(e);
+    return nullptr;
+  }
+  MfcEntry& m = mfc_.insert(flow_key(e.source, e.group));
+  m.iif = e.incoming;
+  m.oif_count = n;
+  m.local_receiver = local;
+  m.oifs = set;
+  m.state = &e;
+  return &m;
+}
+
+void HpimDmRouter::invalidate_mfc(const SgEntry& e) {
+  mfc_.invalidate(flow_key(e.source, e.group));
+}
+
+void HpimDmRouter::invalidate_mfc(const SgKey& key) {
+  mfc_.invalidate(flow_key(key.source, key.group));
 }
 
 // ---------------------------------------------------------------------------
@@ -354,6 +436,20 @@ void HpimDmRouter::on_multicast_data(const ParsedDatagram& d,
   const Address& src = d.hdr.src;
   const Address& group = d.hdr.dst;
   if (src.is_multicast() || src.is_unspecified()) return;
+
+  if (config_.mfc) {
+    if (MfcEntry* m = mfc_.find(flow_key(src, group))) {
+      if (iface == m->iif) {
+        ++*c_mfc_hit_;
+        auto* entry = static_cast<SgEntry*>(m->state);
+        entry->entry_timer->arm(config_.data_timeout);
+        *c_data_fwd_ += stack_->forward_out_many(pkt, m->oifs, mifs_);
+        return;
+      }
+    } else {
+      ++*c_mfc_miss_;
+    }
+  }
 
   SgEntry* e = find_entry(src, group);
   if (e == nullptr) {
@@ -375,14 +471,14 @@ void HpimDmRouter::on_multicast_data(const ParsedDatagram& d,
       e->assert_winner_addr = Address();
       e->downstream.erase(iface);
       e->my_interest.reset();
+      invalidate_mfc(*e);  // cached iif/bitmap are both stale now
       count("hpimdm/rpf-updated");
       recompute_interest(*e);
     }
   }
 
   if (iface != e->incoming) {
-    std::vector<IfaceId> oifs = oiflist(*e);
-    if (std::find(oifs.begin(), oifs.end(), iface) != oifs.end()) {
+    if (in_oiflist(*e, iface)) {
       // Duplicate forwarder on this LAN: resolve by Assert, as in PIM-DM.
       send_assert(*e, iface);
     } else {
@@ -396,10 +492,19 @@ void HpimDmRouter::on_multicast_data(const ParsedDatagram& d,
   }
 
   e->entry_timer->arm(config_.data_timeout);
+  if (config_.mfc) {
+    if (MfcEntry* m = refill_mfc(*e)) {
+      *c_data_fwd_ += stack_->forward_out_many(pkt, m->oifs, mifs_);
+      return;
+    }
+    // Nothing downstream: tell the upstream once, reliably.
+    recompute_interest(*e, false);
+    return;
+  }
   std::vector<IfaceId> oifs = oiflist(*e);
   if (oifs.empty() && !is_local_receiver(e->group)) {
     // Nothing downstream: tell the upstream once, reliably.
-    recompute_interest(*e);
+    recompute_interest(*e, false);
     return;
   }
   *c_data_fwd_ += stack_->forward_out_many(pkt, oifs);
@@ -535,6 +640,8 @@ HpimDmRouter::NeighborChannel& HpimDmRouter::ensure_channel(
         if (c != nullptr && c->sync_pending) send_sync(iface, nbr);
       });
   it = st.neighbors.emplace(nbr, std::move(ch)).first;
+  mfc_.invalidate_all();  // a new (unknown-interest) neighbor turns
+                          // interfaces forwarding
   count("hpimdm/neighbor-up");
   trace_event("neighbor-up", [&] {
     return "iface=" + std::to_string(iface) + " nbr=" + nbr.str();
@@ -551,6 +658,8 @@ void HpimDmRouter::neighbor_failed(IfaceId iface, const Address& nbr,
   auto it = ifaces_.find(iface);
   if (it == ifaces_.end()) return;
   if (it->second.neighbors.erase(nbr) == 0) return;
+  mfc_.invalidate_all();  // the neighbor set feeds every entry's oif set
+                          // on this iface
   count("hpimdm/neighbor-expired");
   trace_event("neighbor-expired", [&, why] {
     return "iface=" + std::to_string(iface) + " nbr=" + nbr.str() + " (" +
@@ -669,6 +778,7 @@ void HpimDmRouter::on_assert(const HpimAssert& a, const Address& from,
   }
   if (they_win) {
     d.assert_loser = true;
+    invalidate_mfc(*e);
     count("hpimdm/assert-lost");
     trace_event("assert-lost", [&] {
       return "src=" + e->source.str() + " group=" + e->group.str() +
@@ -683,6 +793,7 @@ void HpimDmRouter::on_assert(const HpimAssert& a, const Address& from,
             auto dit = en->downstream.find(iface);
             if (dit != en->downstream.end()) {
               dit->second->assert_loser = false;
+              invalidate_mfc(key);
             }
           });
     }
@@ -707,6 +818,7 @@ void HpimDmRouter::on_mld_change(IfaceId iface, const Address& group,
   for (auto& [key, e] : entries_) {
     if (key.group != group) continue;
     if (present && iface != e->incoming) downstream(*e, iface);
+    invalidate_mfc(*e);
     recompute_interest(*e);
   }
 }
@@ -934,7 +1046,7 @@ std::uint32_t HpimDmRouter::fresh_generation_id() {
   return static_cast<std::uint32_t>(stack_->network().rng().next_u64());
 }
 
-void HpimDmRouter::count(const std::string& name, std::uint64_t delta) {
+void HpimDmRouter::count(std::string_view name, std::uint64_t delta) {
   stack_->network().counters().add(name, delta);
 }
 

@@ -34,6 +34,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -41,6 +42,7 @@
 #include "hpimdm/messages.hpp"
 #include "ipv6/stack.hpp"
 #include "mld/router.hpp"
+#include "net/mfc.hpp"
 #include "pimdm/dense_engine.hpp"
 #include "sim/timer.hpp"
 
@@ -171,10 +173,30 @@ class HpimDmRouter : public DenseModeEngine {
   void delete_entry(const SgKey& key);
   Downstream& downstream(SgEntry& e, IfaceId iface);
   std::vector<IfaceId> oiflist(const SgEntry& e) const;
+  /// The oiflist() membership predicate for one downstream interface.
+  bool oif_active(const SgEntry& e, IfaceId iface, const Downstream& d) const;
+  /// Allocation-free "is this interface in oiflist(e)?".
+  bool in_oiflist(const SgEntry& e, IfaceId iface) const;
   bool wants_traffic(const SgEntry& e) const;
   /// Declares interest upstream iff the wanted state flipped (or was never
   /// declared). The hard-state replacement for prune/graft/join-override.
   void recompute_interest(SgEntry& e);
+  /// Variant taking the already-computed wants_traffic() result so the
+  /// data path never evaluates the oif set twice for one packet.
+  void recompute_interest(SgEntry& e, bool wants);
+
+  // MFC layer (config_.mfc): dense interface indices, precomputed oif
+  // bitmaps and the (S,G) flow cache the data path consults first.
+  static FlowKey flow_key(const Address& src, const Address& group);
+  /// Registers `iface` in the mif table; a renumbering insertion flushes
+  /// the whole cache (bitmaps built under the old numbering are garbage).
+  Mifi mif_of(IfaceId iface);
+  /// Recomputes e's bitmap and installs it; nullptr when the entry is not
+  /// cacheable (empty oif set and no local receiver: that path stays
+  /// per-packet because it carries the reliable no-interest declaration).
+  MfcEntry* refill_mfc(SgEntry& e);
+  void invalidate_mfc(const SgEntry& e);
+  void invalidate_mfc(const SgKey& key);
   void apply_interest(const Address& from, IfaceId iface, const Address& src,
                       const Address& group, bool interested);
 
@@ -212,7 +234,7 @@ class HpimDmRouter : public DenseModeEngine {
   bool has_neighbors(IfaceId iface) const;
   std::uint32_t fresh_generation_id();
   void reconcile_leaf_groups();
-  void count(const std::string& name, std::uint64_t delta = 1);
+  void count(std::string_view name, std::uint64_t delta = 1);
   Time now() const { return stack_->network().now(); }
   Trace& trace() const { return stack_->network().trace(); }
   template <typename DetailFn>
@@ -226,6 +248,12 @@ class HpimDmRouter : public DenseModeEngine {
   std::string component_;  // "hpimdm/<node>", cached for trace records
   /// Cell for the per-fan-out "hpimdm/data-fwd" counter, resolved once.
   std::uint64_t* c_data_fwd_;
+  /// Flow-cache hit/miss cells, resolved once (hot path, no string work).
+  std::uint64_t* c_mfc_hit_;
+  std::uint64_t* c_mfc_miss_;
+  /// Dense interface indices + (S,G) flow cache (the MFC data plane).
+  MifTable mifs_;
+  FlowCache mfc_;
   std::uint32_t generation_id_ = 0;
   /// Every interface enable_iface() was ever called for (restart wiring).
   std::set<IfaceId> configured_;

@@ -76,7 +76,7 @@ ParseResult<ParsedDatagram> try_parse_datagram(BytesView bytes) {
     next = h.value().next_header;
   }
   d.protocol = next;
-  d.payload = c.raw(c.remaining());
+  d.payload = c.view(c.remaining());
   d.effective_src = d.hdr.src;
   if (const DestOption* home = d.find_option(opt::kHomeAddress)) {
     if (home->data.size() != Address::kBytes) {

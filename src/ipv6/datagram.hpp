@@ -35,7 +35,11 @@ struct ParsedDatagram {
   Ipv6Header hdr;
   std::vector<DestOption> dest_options;
   std::uint8_t protocol = proto::kNoNext;  // final next-header
-  Bytes payload;                           // final upper-layer octets
+  /// Final upper-layer octets, viewing into the parsed buffer: a
+  /// ParsedDatagram must not outlive the octets it was parsed from.
+  /// Zero-copy keeps the per-hop receive path allocation-free; every
+  /// consumer is a synchronous handler holding the backing Packet.
+  BytesView payload;
   /// hdr.src unless a Home Address option is present, then the home address.
   Address effective_src;
   /// Offset within the datagram of the Next Header octet that selected

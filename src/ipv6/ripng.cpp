@@ -291,7 +291,7 @@ void Ripng::sync_rib(const RouteState& r, bool removed) {
   }
 }
 
-void Ripng::count(const std::string& name) {
+void Ripng::count(std::string_view name) {
   stack_->network().counters().add(name);
 }
 

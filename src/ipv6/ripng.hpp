@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string_view>
 #include <vector>
 
 #include "ipv6/stack.hpp"
@@ -104,7 +105,7 @@ class Ripng : public ProtocolModule {
   void send_update_on(IfaceId iface, bool changed_only);
   void schedule_triggered_update();
   void sync_rib(const RouteState& r, bool removed);
-  void count(const std::string& name);
+  void count(std::string_view name);
 
   Ipv6Stack* stack_;
   UdpDemux* udp_;

@@ -1,6 +1,7 @@
 #include "ipv6/stack.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "ipv6/icmpv6.hpp"
 #include "net/wire_stats.hpp"
@@ -466,7 +467,33 @@ std::size_t Ipv6Stack::forward_out_many(const Packet& pkt,
   return sent;
 }
 
-void Ipv6Stack::count(const std::string& name, std::uint64_t delta) const {
+std::size_t Ipv6Stack::forward_out_many(const Packet& pkt, const IfSet& oifs,
+                                        const MifTable& mifs) {
+  if (oifs.empty()) return 0;
+  Packet fwd = pkt;
+  if (!rewrite_decremented(fwd)) {
+    count("ipv6/fwd-drop/hop-limit");
+    return 0;
+  }
+  std::size_t sent = 0;
+  for (std::size_t w = 0; w < IfSet::kWords; ++w) {
+    std::uint64_t bits = oifs.word(w);
+    while (bits != 0) {
+      auto b = static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      Interface* i = iface_ptr(mifs.iface(static_cast<Mifi>(w * 64 + b)));
+      if (!i->attached()) {
+        count("ipv6/tx-drop/detached");
+        continue;
+      }
+      i->send(fwd);
+      ++sent;
+    }
+  }
+  return sent;
+}
+
+void Ipv6Stack::count(std::string_view name, std::uint64_t delta) const {
   network().counters().add(name, delta);
 }
 

@@ -9,6 +9,7 @@
 // Mobile IPv6 — registers handlers.
 #pragma once
 
+#include <string_view>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -19,6 +20,7 @@
 #include "ipv6/addressing.hpp"
 #include "ipv6/datagram.hpp"
 #include "ipv6/routing.hpp"
+#include "net/mfc.hpp"
 #include "net/network.hpp"
 #include "net/protocol_module.hpp"
 
@@ -137,6 +139,13 @@ class Ipv6Stack : public ProtocolModule {
   std::size_t forward_out_many(const Packet& pkt,
                                const std::vector<IfaceId>& oifs);
 
+  /// Bitmap variant for precomputed MFC entries: iterates the set bits of
+  /// `oifs` (mifi order == ascending IfaceId order by MifTable contract,
+  /// so transmission order matches the vector overload) and shares one
+  /// hop-limit-decremented buffer across every replica. Allocation-free.
+  std::size_t forward_out_many(const Packet& pkt, const IfSet& oifs,
+                               const MifTable& mifs);
+
   // --- Home-agent intercept (proxy for away-from-home addresses) -------
   void add_intercept(const Address& home_addr);
   void remove_intercept(const Address& home_addr);
@@ -169,7 +178,7 @@ class Ipv6Stack : public ProtocolModule {
   bool transmit_unicast_on(IfaceId iface, const Address& l2_target,
                            const Packet& pkt);
   Interface* iface_ptr(IfaceId id) const;
-  void count(const std::string& name, std::uint64_t delta = 1) const;
+  void count(std::string_view name, std::uint64_t delta = 1) const;
 
   Node* node_;
   AddressingPlan* plan_;

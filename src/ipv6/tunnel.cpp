@@ -22,7 +22,7 @@ ParseResult<Bytes> try_decapsulate(const ParsedDatagram& outer) {
   // but rejecting garbage here keeps tunnel endpoints honest.
   ParseResult<ParsedDatagram> inner = try_parse_datagram(outer.payload);
   if (!inner.ok()) return inner.failure();
-  return outer.payload;
+  return Bytes(outer.payload.begin(), outer.payload.end());
 }
 
 Bytes decapsulate(const ParsedDatagram& outer) {

@@ -231,7 +231,7 @@ void HaRedundancy::fail_back(Peer& peer) {
   }
 }
 
-void HaRedundancy::count(const std::string& name) {
+void HaRedundancy::count(std::string_view name) {
   stack_->network().counters().add(name);
 }
 

@@ -13,6 +13,7 @@
 
 #include <map>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "ipv6/udp_demux.hpp"
@@ -75,7 +76,7 @@ class HaRedundancy {
   void take_over(Peer& peer);
   void fail_back(Peer& peer);
   void transmit(Bytes payload);
-  void count(const std::string& name);
+  void count(std::string_view name);
 
   Ipv6Stack* stack_;
   HomeAgent* ha_;

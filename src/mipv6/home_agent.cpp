@@ -386,7 +386,7 @@ void HomeAgent::send_binding_ack(const Address& home, const Address& care_of,
   stack_->send(spec);
 }
 
-void HomeAgent::count(const std::string& name, std::uint64_t delta) {
+void HomeAgent::count(std::string_view name, std::uint64_t delta) {
   stack_->network().counters().add(name, delta);
 }
 

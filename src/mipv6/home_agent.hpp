@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string_view>
 
 #include "ipv6/icmpv6_dispatch.hpp"
 #include "ipv6/stack.hpp"
@@ -113,7 +114,7 @@ class HomeAgent : public ProtocolModule {
   /// 5 in the paper's topology). Falls back to any interface with a global
   /// address.
   std::optional<IfaceId> iface_for_home(const Address& home) const;
-  void count(const std::string& name, std::uint64_t delta = 1);
+  void count(std::string_view name, std::uint64_t delta = 1);
   /// Lazy protocol-event trace; `detail_fn` only runs when a sink is
   /// installed, so this is free in benches.
   template <typename DetailFn>

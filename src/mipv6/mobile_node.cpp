@@ -270,7 +270,7 @@ void MobileNode::send_tunneled_report(const Address& group) {
   tunnel_to_ha(build_datagram(inner));
 }
 
-void MobileNode::count(const std::string& name, std::uint64_t delta) {
+void MobileNode::count(std::string_view name, std::uint64_t delta) {
   stack_->network().counters().add(name, delta);
 }
 

@@ -16,6 +16,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <string_view>
 #include <vector>
 
 #include "ipv6/icmpv6_dispatch.hpp"
@@ -112,7 +113,7 @@ class MobileNode : public ProtocolModule {
   /// retransmission interval, capped at config.bu_retransmit_max.
   void retransmit_binding_update();
   void send_tunneled_report(const Address& group);
-  void count(const std::string& name, std::uint64_t delta = 1);
+  void count(std::string_view name, std::uint64_t delta = 1);
 
   Ipv6Stack* stack_;
   IfaceId iface_;

@@ -181,7 +181,7 @@ void MldHost::send_done(IfaceId iface, const Address& group) {
                                    MldMessage::kDatagramSize);
 }
 
-void MldHost::count(const std::string& name) {
+void MldHost::count(std::string_view name) {
   stack_->network().counters().add(name);
 }
 

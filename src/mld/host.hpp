@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -87,7 +88,7 @@ class MldHost : public ProtocolModule {
   void send_report(IfaceId iface, const Address& group);
   void send_done(IfaceId iface, const Address& group);
   void start_unsolicited(IfaceId iface, const Address& group);
-  void count(const std::string& name);
+  void count(std::string_view name);
 
   Ipv6Stack* stack_;
   Icmpv6Dispatcher* dispatch_;

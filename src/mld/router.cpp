@@ -273,7 +273,7 @@ void MldRouter::expire_listener(IfaceId iface, const Address& group) {
   if (group_cb_) group_cb_(iface, group, false);
 }
 
-void MldRouter::count(const std::string& name) {
+void MldRouter::count(std::string_view name) {
   stack_->network().counters().add(name);
 }
 

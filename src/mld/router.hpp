@@ -15,6 +15,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -97,7 +98,7 @@ class MldRouter : public ProtocolModule {
   void expire_listener(IfaceId iface, const Address& group);
   void note_churn(IfaceId iface);
   IfaceState& state(IfaceId iface);
-  void count(const std::string& name);
+  void count(std::string_view name);
   /// Lazy protocol-event trace; `detail_fn` only runs when a sink is
   /// installed, so this is free in benches.
   template <typename DetailFn>

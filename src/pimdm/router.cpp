@@ -10,7 +10,10 @@ PimDmRouter::PimDmRouter(Ipv6Stack& stack, MldRouter& mld, PimDmConfig config)
     : stack_(&stack), mld_(&mld), config_(config),
       component_("pimdm/" + stack.node().name()),
       c_data_fwd_(
-          &stack.network().counters().counter("pimdm/data-fwd")) {
+          &stack.network().counters().counter("pimdm/data-fwd")),
+      c_mfc_hit_(&stack.network().counters().counter("pimdm/mfc-hit")),
+      c_mfc_miss_(&stack.network().counters().counter("pimdm/mfc-miss")),
+      mifs_(config_.mfc_max_ifaces) {
   stack.set_mcast_forwarder(
       [this](const ParsedDatagram& d, const Packet& pkt, IfaceId iface) {
         on_multicast_data(d, pkt, iface);
@@ -43,6 +46,7 @@ void PimDmRouter::stop() {
 
 void PimDmRouter::enable_iface(IfaceId iface) {
   configured_.insert(iface);
+  if (config_.mfc) mif_of(iface);  // fail-fast on width overflow
   auto [it, fresh] = ifaces_.try_emplace(iface);
   if (!fresh) return;
   it->second.hello_timer = std::make_unique<Timer>(
@@ -60,6 +64,7 @@ void PimDmRouter::shutdown() {
   entries_.clear();
   ifaces_.clear();
   local_receivers_.clear();
+  mfc_.clear();  // entry pointers just dangled
   count("pimdm/shutdown");
 }
 
@@ -75,7 +80,9 @@ void PimDmRouter::add_local_receiver(const Address& group) {
   if (refs > 1) return;
   // Existing pruned entries for this group must be re-grafted.
   for (auto& [key, e] : entries_) {
-    if (key.group == group) check_upstream(*e);
+    if (key.group != group) continue;
+    invalidate_mfc(*e);
+    check_upstream(*e);
   }
 }
 
@@ -85,7 +92,9 @@ void PimDmRouter::remove_local_receiver(const Address& group) {
   if (--it->second <= 0) {
     local_receivers_.erase(it);
     for (auto& [key, e] : entries_) {
-      if (key.group == group) check_upstream(*e);
+      if (key.group != group) continue;
+      invalidate_mfc(*e);
+      check_upstream(*e);
     }
   }
 }
@@ -256,6 +265,7 @@ PimDmRouter::SgEntry* PimDmRouter::create_entry(const Address& src,
 }
 
 void PimDmRouter::delete_entry(const SgKey& key) {
+  invalidate_mfc(key);  // before erase: the cached state pointer dies here
   if (entries_.erase(key) > 0) {
     count("pimdm/sg-expired");
     trace_event("sg-expired", [&] {
@@ -268,36 +278,108 @@ PimDmRouter::Downstream& PimDmRouter::downstream(SgEntry& e, IfaceId iface) {
   auto it = e.downstream.find(iface);
   if (it == e.downstream.end()) {
     it = e.downstream.emplace(iface, std::make_unique<Downstream>()).first;
+    // A freshly materialized record can join the oif set (it starts in
+    // kForwarding, the dense-mode default).
+    invalidate_mfc(e);
   }
   return *it->second;
+}
+
+bool PimDmRouter::oif_active(const SgEntry& e, IfaceId iface,
+                             const Downstream& d) const {
+  if (iface == e.incoming) return false;
+  if (d.assert_loser) return false;
+  // Members always get traffic; otherwise forward only where PIM
+  // neighbors exist and have not pruned.
+  return mld_->has_listeners(iface, e.group) ||
+         ((d.state != DownstreamState::kPruned) && has_neighbors(iface));
 }
 
 std::vector<IfaceId> PimDmRouter::oiflist(const SgEntry& e) const {
   std::vector<IfaceId> out;
   for (const auto& [iface, d] : e.downstream) {
-    if (iface == e.incoming) continue;
-    if (d->assert_loser) continue;
-    bool member = mld_->has_listeners(iface, e.group);
-    bool pim_fwd = (d->state != DownstreamState::kPruned) &&
-                   has_neighbors(iface);
-    // Members always get traffic; otherwise forward only where PIM
-    // neighbors exist and have not pruned.
-    if (member || pim_fwd) out.push_back(iface);
+    if (oif_active(e, iface, *d)) out.push_back(iface);
   }
   return out;
 }
 
+bool PimDmRouter::in_oiflist(const SgEntry& e, IfaceId iface) const {
+  auto it = e.downstream.find(iface);
+  return it != e.downstream.end() && oif_active(e, iface, *it->second);
+}
+
 bool PimDmRouter::wants_traffic(const SgEntry& e) const {
-  return !oiflist(e).empty() || is_local_receiver(e.group);
+  if (is_local_receiver(e.group)) return true;
+  for (const auto& [iface, d] : e.downstream) {
+    if (oif_active(e, iface, *d)) return true;
+  }
+  return false;
 }
 
 void PimDmRouter::check_upstream(SgEntry& e) {
+  check_upstream(e, wants_traffic(e));
+}
+
+void PimDmRouter::check_upstream(SgEntry& e, bool wants) {
   if (e.rpf_neighbor.is_unspecified()) return;  // we are the first hop
-  if (wants_traffic(e)) {
+  if (wants) {
     if (e.upstream_pruned) send_graft_upstream(e);
   } else {
     if (!e.upstream_pruned) send_prune_upstream(e);
   }
+}
+
+// ---------------------------------------------------------------------------
+// MFC layer
+
+FlowKey PimDmRouter::flow_key(const Address& src, const Address& group) {
+  return FlowKey{{src.high64(), src.low64(), group.high64(), group.low64()}};
+}
+
+Mifi PimDmRouter::mif_of(IfaceId iface) {
+  Mifi m = mifs_.lookup(iface);
+  if (m != kNoMif) return m;
+  m = mifs_.add(iface);
+  // The insertion renumbered every later index: bitmaps built under the
+  // old numbering would transmit out the wrong interfaces.
+  mfc_.invalidate_all();
+  return m;
+}
+
+MfcEntry* PimDmRouter::refill_mfc(SgEntry& e) {
+  // Two passes: register every candidate interface first (registration can
+  // renumber and flush the cache), then build the bitmap under the final
+  // numbering.
+  for (const auto& [iface, d] : e.downstream) (void)mif_of(iface);
+  IfSet set;
+  std::uint16_t n = 0;
+  for (const auto& [iface, d] : e.downstream) {
+    if (!oif_active(e, iface, *d)) continue;
+    set.set(mifs_.lookup(iface));
+    ++n;
+  }
+  bool local = is_local_receiver(e.group);
+  if (n == 0 && !local) {
+    // Not cacheable: this state carries the rate-limited upstream
+    // self-prune, which must keep running per packet.
+    invalidate_mfc(e);
+    return nullptr;
+  }
+  MfcEntry& m = mfc_.insert(flow_key(e.source, e.group));
+  m.iif = e.incoming;
+  m.oif_count = n;
+  m.local_receiver = local;
+  m.oifs = set;
+  m.state = &e;
+  return &m;
+}
+
+void PimDmRouter::invalidate_mfc(const SgEntry& e) {
+  mfc_.invalidate(flow_key(e.source, e.group));
+}
+
+void PimDmRouter::invalidate_mfc(const SgKey& key) {
+  mfc_.invalidate(flow_key(key.source, key.group));
 }
 
 // ---------------------------------------------------------------------------
@@ -311,6 +393,24 @@ void PimDmRouter::on_multicast_data(const ParsedDatagram& d, const Packet& pkt,
   const Address& src = d.hdr.src;
   const Address& group = d.hdr.dst;
   if (src.is_multicast() || src.is_unspecified()) return;
+
+  if (config_.mfc) {
+    // Fast path: a fresh flow-cache entry holds the whole forwarding
+    // decision; the state machines below are only consulted on a miss.
+    // Wrong-interface arrivals fall through (assert / non-RPF prune
+    // handling is control-plane work).
+    if (MfcEntry* m = mfc_.find(flow_key(src, group))) {
+      if (iface == m->iif) {
+        ++*c_mfc_hit_;
+        auto* e = static_cast<SgEntry*>(m->state);
+        e->entry_timer->arm(config_.data_timeout);
+        *c_data_fwd_ += stack_->forward_out_many(pkt, m->oifs, mifs_);
+        return;
+      }
+    } else {
+      ++*c_mfc_miss_;
+    }
+  }
 
   SgEntry* e = find_entry(src, group);
   if (e == nullptr) {
@@ -332,6 +432,7 @@ void PimDmRouter::on_multicast_data(const ParsedDatagram& d, const Packet& pkt,
       e->assert_winner_metric = route->metric;
       e->assert_winner_addr = Address();
       e->downstream.erase(iface);  // the new incoming iface is not an oif
+      invalidate_mfc(*e);          // cached iif/bitmap are both stale now
       count("pimdm/rpf-updated");
     }
   }
@@ -345,8 +446,7 @@ void PimDmRouter::on_multicast_data(const ParsedDatagram& d, const Packet& pkt,
     // without this, loops in the topology keep branches alive forever
     // (any router that still legitimately needs the link overrides with a
     // Join, and MLD members keep it in the forwarder's oif list anyway).
-    std::vector<IfaceId> oifs = oiflist(*e);
-    if (std::find(oifs.begin(), oifs.end(), iface) != oifs.end()) {
+    if (in_oiflist(*e, iface)) {
       send_assert(*e, iface);
     } else {
       Downstream& ds = downstream(*e, iface);
@@ -372,10 +472,26 @@ void PimDmRouter::on_multicast_data(const ParsedDatagram& d, const Packet& pkt,
   }
 
   e->entry_timer->arm(config_.data_timeout);
-  std::vector<IfaceId> oifs = oiflist(*e);
-  if (oifs.empty() && !is_local_receiver(e->group)) {
+  if (config_.mfc) {
+    // Miss path: recompute the bitmap once, install it, forward. The next
+    // packet of this flow hits the cache until a control-plane transition
+    // invalidates it.
+    if (MfcEntry* m = refill_mfc(*e)) {
+      *c_data_fwd_ += stack_->forward_out_many(pkt, m->oifs, mifs_);
+      return;
+    }
     // Nothing downstream: prune ourselves off the tree (rate-limited; on a
     // LAN the upstream may keep transmitting because a sibling overrode).
+    // Deliberately uncached so the rate limiter keeps seeing every packet.
+    if (!e->rpf_neighbor.is_unspecified() &&
+        (e->last_prune_tx.is_never() ||
+         now() - e->last_prune_tx >= config_.prune_hold_time)) {
+      send_prune_upstream(*e);
+    }
+    return;
+  }
+  std::vector<IfaceId> oifs = oiflist(*e);
+  if (oifs.empty() && !is_local_receiver(e->group)) {
     if (!e->rpf_neighbor.is_unspecified() &&
         (e->last_prune_tx.is_never() ||
          now() - e->last_prune_tx >= config_.prune_hold_time)) {
@@ -455,6 +571,8 @@ void PimDmRouter::on_hello(const PimHello& hello, const Address& from,
     auto timer = std::make_unique<Timer>(
         stack_->scheduler(), [this, iface, from] {
           ifaces_.at(iface).neighbors.erase(from);
+          // has_neighbors() feeds every entry's oif set on this iface.
+          mfc_.invalidate_all();
           count("pimdm/neighbor-expired");
           trace_event("neighbor-expired", [&] {
             return "iface=" + std::to_string(iface) + " nbr=" + from.str();
@@ -462,6 +580,7 @@ void PimDmRouter::on_hello(const PimHello& hello, const Address& from,
         });
     timer->arm(Time::sec(hello.holdtime));
     st.neighbors.emplace(from, std::move(timer));
+    mfc_.invalidate_all();  // a new neighbor turns interfaces forwarding
     count("pimdm/neighbor-up");
     trace_event("neighbor-up", [&] {
       return "iface=" + std::to_string(iface) + " nbr=" + from.str();
@@ -508,6 +627,7 @@ void PimDmRouter::on_join_prune(const PimJoinPrune& jp, const Address& from,
                   Downstream& dd = downstream(*entry, iface);
                   if (dd.state != DownstreamState::kPrunePending) return;
                   dd.state = DownstreamState::kPruned;
+                  invalidate_mfc(key);
                   count("pimdm/iface-pruned");
                   trace_event("iface-pruned", [&] {
                     return "src=" + key.source.str() + " group=" +
@@ -539,6 +659,7 @@ void PimDmRouter::on_join_prune(const PimJoinPrune& jp, const Address& from,
                           Downstream& x = downstream(*en, iface);
                           if (x.state == DownstreamState::kPruned) {
                             x.state = DownstreamState::kForwarding;
+                            invalidate_mfc(key);
                             count("pimdm/prune-expired");
                             // Downstream interest is presumed again; if we
                             // had pruned ourselves upstream meanwhile, we
@@ -576,6 +697,7 @@ void PimDmRouter::on_join_prune(const PimJoinPrune& jp, const Address& from,
         if (d.state == DownstreamState::kPrunePending) {
           d.prune_pending_timer->cancel();
           d.state = DownstreamState::kForwarding;
+          invalidate_mfc(*e);
           count("pimdm/prune-overridden");
           trace_event("prune-overridden", [&] {
             return "src=" + src.str() + " group=" + g.group.str() +
@@ -584,6 +706,7 @@ void PimDmRouter::on_join_prune(const PimJoinPrune& jp, const Address& from,
         } else if (d.state == DownstreamState::kPruned) {
           if (d.prune_expiry_timer) d.prune_expiry_timer->cancel();
           d.state = DownstreamState::kForwarding;
+          invalidate_mfc(*e);
         }
       } else if (iface == e->incoming) {
         // Someone else already sent the override; suppress ours.
@@ -609,6 +732,7 @@ void PimDmRouter::on_graft(const PimJoinPrune& graft, const Address& from,
       if (d.prune_pending_timer) d.prune_pending_timer->cancel();
       if (d.prune_expiry_timer) d.prune_expiry_timer->cancel();
       d.state = DownstreamState::kForwarding;
+      invalidate_mfc(*e);
       count("pimdm/graft-processed");
       check_upstream(*e);  // cascade the graft upstream if we had pruned
     }
@@ -675,6 +799,7 @@ void PimDmRouter::on_assert(const PimAssert& a, const Address& from,
   }
   if (they_win) {
     d.assert_loser = true;
+    invalidate_mfc(*e);
     count("pimdm/assert-lost");
     trace_event("assert-lost", [&] {
       return "src=" + e->source.str() + " group=" + e->group.str() +
@@ -689,6 +814,7 @@ void PimDmRouter::on_assert(const PimAssert& a, const Address& from,
             auto dit = en->downstream.find(iface);
             if (dit != en->downstream.end()) {
               dit->second->assert_loser = false;
+              invalidate_mfc(key);
             }
           });
     }
@@ -718,6 +844,7 @@ void PimDmRouter::on_mld_change(IfaceId iface, const Address& group,
     if (present) {
       if (iface != e->incoming) downstream(*e, iface);  // materialize state
     }
+    invalidate_mfc(*e);
     check_upstream(*e);
   }
   (void)iface;
@@ -736,8 +863,7 @@ void PimDmRouter::on_state_refresh(const PimStateRefresh& sr, IfaceId iface) {
     // this link earlier (or should). Re-advertise the prune so the
     // forwarder's prune state is refreshed in place instead of expiring
     // into a re-flood (RFC 3973 Prune-Indicator handling).
-    std::vector<IfaceId> oifs = oiflist(*e);
-    if (std::find(oifs.begin(), oifs.end(), iface) == oifs.end()) {
+    if (!in_oiflist(*e, iface)) {
       Downstream& d = downstream(*e, iface);
       if (!d.assert_loser) {
         d.last_nonrpf_prune_tx = now();
@@ -898,7 +1024,7 @@ void PimDmRouter::send_graft_ack(const PimJoinPrune& graft, const Address& to,
   });
 }
 
-void PimDmRouter::count(const std::string& name, std::uint64_t delta) {
+void PimDmRouter::count(std::string_view name, std::uint64_t delta) {
   stack_->network().counters().add(name, delta);
 }
 

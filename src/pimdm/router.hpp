@@ -20,11 +20,13 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "ipv6/stack.hpp"
 #include "mld/router.hpp"
+#include "net/mfc.hpp"
 #include "pimdm/config.hpp"
 #include "pimdm/dense_engine.hpp"
 #include "pimdm/messages.hpp"
@@ -157,8 +159,28 @@ class PimDmRouter : public DenseModeEngine {
   SgEntry* create_entry(const Address& src, const Address& group);
   void delete_entry(const SgKey& key);
   std::vector<IfaceId> oiflist(const SgEntry& e) const;
+  /// The oiflist() membership predicate for one downstream interface.
+  bool oif_active(const SgEntry& e, IfaceId iface, const Downstream& d) const;
+  /// Allocation-free "is this interface in oiflist(e)?".
+  bool in_oiflist(const SgEntry& e, IfaceId iface) const;
   bool wants_traffic(const SgEntry& e) const;
   void check_upstream(SgEntry& e);
+  /// Variant taking the already-computed wants_traffic() result so the
+  /// data path never evaluates the oif set twice for one packet.
+  void check_upstream(SgEntry& e, bool wants);
+
+  // MFC layer (config_.mfc): dense interface indices, precomputed oif
+  // bitmaps and the (S,G) flow cache the data path consults first.
+  static FlowKey flow_key(const Address& src, const Address& group);
+  /// Registers `iface` in the mif table; a renumbering insertion flushes
+  /// the whole cache (bitmaps built under the old numbering are garbage).
+  Mifi mif_of(IfaceId iface);
+  /// Recomputes e's bitmap and installs it; nullptr when the entry is not
+  /// cacheable (empty oif set and no local receiver: that path stays
+  /// per-packet because it carries the rate-limited self-prune).
+  MfcEntry* refill_mfc(SgEntry& e);
+  void invalidate_mfc(const SgEntry& e);
+  void invalidate_mfc(const SgKey& key);
 
   // Message emission.
   void send_hello(IfaceId iface);
@@ -175,7 +197,7 @@ class PimDmRouter : public DenseModeEngine {
   Downstream& downstream(SgEntry& e, IfaceId iface);
   bool pim_enabled(IfaceId iface) const { return ifaces_.contains(iface); }
   bool has_neighbors(IfaceId iface) const;
-  void count(const std::string& name, std::uint64_t delta = 1);
+  void count(std::string_view name, std::uint64_t delta = 1);
   Time now() const { return stack_->network().now(); }
   Trace& trace() const { return stack_->network().trace(); }
   /// Lazy protocol-event trace; `detail_fn` only runs when a sink is
@@ -191,6 +213,12 @@ class PimDmRouter : public DenseModeEngine {
   std::string component_;  // "pimdm/<node>", cached for trace records
   /// Cell for the per-fan-out "pimdm/data-fwd" counter, resolved once.
   std::uint64_t* c_data_fwd_;
+  /// Flow-cache hit/miss cells, resolved once (hot path, no string work).
+  std::uint64_t* c_mfc_hit_;
+  std::uint64_t* c_mfc_miss_;
+  /// Dense interface indices + (S,G) flow cache (the MFC data plane).
+  MifTable mifs_;
+  FlowCache mfc_;
   /// Every interface enable_iface() was ever called for (restart wiring).
   std::set<IfaceId> configured_;
   std::map<IfaceId, IfaceState> ifaces_;

@@ -2,23 +2,32 @@
 
 namespace mip6 {
 
-void CounterRegistry::add(const std::string& name, std::uint64_t delta) {
-  counters_[name] += delta;
+void CounterRegistry::add(std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
 }
 
-std::uint64_t CounterRegistry::get(const std::string& name) const {
+std::uint64_t CounterRegistry::get(std::string_view name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
-std::uint64_t& CounterRegistry::counter(const std::string& name) {
-  return counters_[name];
+std::uint64_t& CounterRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), 0).first;
+  }
+  return it->second;
 }
 
-std::uint64_t CounterRegistry::sum_prefix(const std::string& prefix) const {
+std::uint64_t CounterRegistry::sum_prefix(std::string_view prefix) const {
   std::uint64_t total = 0;
   for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    if (std::string_view(it->first).substr(0, prefix.size()) != prefix) break;
     total += it->second;
   }
   return total;

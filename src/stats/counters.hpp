@@ -10,28 +10,33 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mip6 {
 
 class CounterRegistry {
  public:
-  void add(const std::string& name, std::uint64_t delta = 1);
-  std::uint64_t get(const std::string& name) const;
+  /// Lookups are heterogeneous (std::less<> map): bumping an existing
+  /// counter from a string literal or string_view never materializes a
+  /// std::string, so count sites on the data path stay allocation-free
+  /// once the name has been registered.
+  void add(std::string_view name, std::uint64_t delta = 1);
+  std::uint64_t get(std::string_view name) const;
   /// Direct reference to a counter cell, created at zero if absent. The
   /// reference stays valid for the registry's lifetime (reset() zeroes
   /// values in place rather than erasing); hot paths resolve it once and
   /// increment through it instead of paying a string lookup per event.
-  std::uint64_t& counter(const std::string& name);
+  std::uint64_t& counter(std::string_view name);
   /// Sum of all counters whose name starts with `prefix`.
-  std::uint64_t sum_prefix(const std::string& prefix) const;
+  std::uint64_t sum_prefix(std::string_view prefix) const;
   /// All (name, value) pairs with a non-zero count, name-ordered.
   /// (Zero-valued cells are pre-registered hot counters that never fired.)
   std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
   void reset();
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
 };
 
 }  // namespace mip6

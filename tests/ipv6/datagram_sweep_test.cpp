@@ -51,7 +51,7 @@ TEST_P(DatagramSweep, RoundTripsExactly) {
   EXPECT_EQ(d.hdr.dst, spec.dst);
   EXPECT_EQ(d.hdr.hop_limit, 77);
   EXPECT_EQ(d.protocol, proto::kUdp);
-  EXPECT_EQ(d.payload, spec.payload);
+  EXPECT_EQ(Bytes(d.payload.begin(), d.payload.end()), spec.payload);
   EXPECT_EQ(d.dest_options.size(), spec.dest_options.size());
   // Effective source honours a Home Address option.
   if (option_combo & 1) {
@@ -66,7 +66,7 @@ TEST_P(DatagramSweep, RoundTripsExactly) {
   again.hop_limit = d.hdr.hop_limit;
   again.dest_options = d.dest_options;
   again.protocol = d.protocol;
-  again.payload = d.payload;
+  again.payload.assign(d.payload.begin(), d.payload.end());
   EXPECT_EQ(build_datagram(again), wire);
 }
 

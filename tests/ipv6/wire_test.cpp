@@ -117,7 +117,7 @@ TEST(Datagram, BuildParseNoOptions) {
   ParsedDatagram d = parse_datagram(wire);
   EXPECT_EQ(d.hdr.src, spec.src);
   EXPECT_EQ(d.protocol, proto::kUdp);
-  EXPECT_EQ(d.payload, spec.payload);
+  EXPECT_EQ(Bytes(d.payload.begin(), d.payload.end()), spec.payload);
   EXPECT_TRUE(d.dest_options.empty());
   EXPECT_EQ(d.effective_src, spec.src);
 }
