@@ -23,6 +23,20 @@ const char* fault_kind_name(FaultKind kind) {
   return "?";
 }
 
+std::optional<FaultKind> fault_kind_from_name(std::string_view name) {
+  static constexpr FaultKind kAll[] = {
+      FaultKind::kLinkDown,    FaultKind::kLinkUp,
+      FaultKind::kLinkDegrade, FaultKind::kLinkRestore,
+      FaultKind::kRouterCrash, FaultKind::kRouterRestart,
+      FaultKind::kHostCrash,   FaultKind::kHostRestart,
+      FaultKind::kHaOutage,    FaultKind::kHaRestore,
+  };
+  for (FaultKind k : kAll) {
+    if (name == fault_kind_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
 bool is_disruption(FaultKind kind) {
   switch (kind) {
     case FaultKind::kLinkDown:
@@ -41,6 +55,24 @@ bool is_disruption(FaultKind kind) {
   return false;
 }
 
+FaultKind repair_kind_of(FaultKind disruption) {
+  switch (disruption) {
+    case FaultKind::kLinkDown: return FaultKind::kLinkUp;
+    case FaultKind::kLinkDegrade: return FaultKind::kLinkRestore;
+    case FaultKind::kRouterCrash: return FaultKind::kRouterRestart;
+    case FaultKind::kHostCrash: return FaultKind::kHostRestart;
+    case FaultKind::kHaOutage: return FaultKind::kHaRestore;
+    case FaultKind::kLinkUp:
+    case FaultKind::kLinkRestore:
+    case FaultKind::kRouterRestart:
+    case FaultKind::kHostRestart:
+    case FaultKind::kHaRestore:
+      break;
+  }
+  throw LogicError(std::string("repair_kind_of: ") +
+                   fault_kind_name(disruption) + " is not a disruption");
+}
+
 std::string FaultEvent::str() const {
   std::string out = at.str() + " " + fault_kind_name(kind) + " " + target;
   if (kind == FaultKind::kLinkDegrade) {
@@ -49,6 +81,55 @@ std::string FaultEvent::str() const {
            " jitter=" + impairment.jitter.str();
   }
   return out;
+}
+
+Json FaultEvent::to_json() const {
+  Json o = Json::object();
+  o.set("kind", fault_kind_name(kind));
+  o.set("target", target);
+  o.set("at_s", at.to_seconds());
+  // Authoritative: Json numbers are doubles, exact for integers < 2^53 ns
+  // (~104 days of sim time), so the ns round trip is lossless where at_s
+  // alone could land one ns off.
+  o.set("at_ns", at.nanos());
+  if (kind == FaultKind::kLinkDegrade) {
+    o.set("loss", impairment.loss);
+    o.set("corrupt", impairment.corrupt);
+    o.set("jitter_ms", static_cast<double>(impairment.jitter.nanos()) / 1e6);
+  }
+  return o;
+}
+
+FaultEvent FaultEvent::from_json(const Json& v) {
+  if (!v.is_object()) throw ParseError("fault event: expected object");
+  if (!v.contains("kind") || !v["kind"].is_string()) {
+    throw ParseError("fault event: missing string field 'kind'");
+  }
+  FaultEvent e;
+  const std::string& kind_name = v["kind"].as_string();
+  auto kind = fault_kind_from_name(kind_name);
+  if (!kind) throw ParseError("fault event: unknown kind '" + kind_name + "'");
+  e.kind = *kind;
+  if (!v.contains("target") || !v["target"].is_string()) {
+    throw ParseError("fault event: missing string field 'target'");
+  }
+  e.target = v["target"].as_string();
+  if (v.contains("at_ns")) {
+    e.at = Time::ns(static_cast<std::int64_t>(v["at_ns"].as_number()));
+  } else if (v.contains("at_s")) {
+    e.at = Time::seconds(v["at_s"].as_number());
+  } else {
+    throw ParseError("fault event: missing field 'at_ns' (or 'at_s')");
+  }
+  if (e.kind == FaultKind::kLinkDegrade) {
+    if (v.contains("loss")) e.impairment.loss = v["loss"].as_number();
+    if (v.contains("corrupt")) e.impairment.corrupt = v["corrupt"].as_number();
+    if (v.contains("jitter_ms")) {
+      e.impairment.jitter =
+          Time::ns(static_cast<std::int64_t>(v["jitter_ms"].as_number() * 1e6));
+    }
+  }
+  return e;
 }
 
 FaultPlan& FaultPlan::add(FaultEvent e) {
@@ -103,6 +184,19 @@ std::string FaultPlan::str() const {
   return out;
 }
 
+Json FaultPlan::to_json() const {
+  Json arr = Json::array();
+  for (const FaultEvent& e : events_) arr.push_back(e.to_json());
+  return arr;
+}
+
+FaultPlan FaultPlan::from_json(const Json& arr) {
+  if (!arr.is_array()) throw ParseError("fault plan: expected array");
+  FaultPlan plan;
+  for (const Json& v : arr.items()) plan.add(FaultEvent::from_json(v));
+  return plan;
+}
+
 FaultPlan FaultPlan::random(const RandomPlanSpec& spec, std::uint64_t seed) {
   if (spec.links.empty() && spec.routers.empty() && spec.hosts.empty() &&
       spec.home_agents.empty()) {
@@ -135,41 +229,59 @@ FaultPlan FaultPlan::random(const RandomPlanSpec& spec, std::uint64_t seed) {
   const std::int64_t outage_span =
       std::max<std::int64_t>(1, spec.max_outage.nanos() -
                                     spec.min_outage.nanos() + 1);
+
+  // Per-target disruption windows already placed, [begin, finish) ns. A new
+  // window may touch an existing one (finish == other.begin) but never
+  // overlap it — overlapping pairs on one target would interleave repairs
+  // (crash-of-crashed, up-before-down) with undefined semantics.
+  std::vector<std::pair<std::string, std::pair<std::int64_t, std::int64_t>>>
+      placed;
+  auto target_free = [&placed](const std::string& t, std::int64_t b,
+                               std::int64_t f) {
+    for (const auto& [name, w] : placed) {
+      if (name == t && b < w.second && f > w.first) return false;
+    }
+    return true;
+  };
+
   for (int i = 0; i < spec.disruptions; ++i) {
-    Category cat = cats[rng.uniform_int(cats.size())];
-    Time begin = spec.start +
-                 Time::ns(static_cast<std::int64_t>(
-                     rng.uniform_int(static_cast<std::uint64_t>(window))));
-    Time outage = spec.min_outage +
-                  Time::ns(static_cast<std::int64_t>(rng.uniform_int(
-                      static_cast<std::uint64_t>(outage_span))));
-    Time finish = std::min(begin + outage, spec.end);
-    switch (cat) {
-      case kLink: {
-        const std::string& t = pick(spec.links);
-        plan.link_down(begin, t).link_up(finish, t);
-        break;
+    // Bounded deterministic redraws: a draw landing inside an open window
+    // on the same target is discarded and retried; a saturated schedule
+    // drops the disruption rather than emit an overlapping pair.
+    constexpr int kMaxRedraws = 64;
+    for (int attempt = 0; attempt < kMaxRedraws; ++attempt) {
+      Category cat = cats[rng.uniform_int(cats.size())];
+      Time begin = spec.start +
+                   Time::ns(static_cast<std::int64_t>(
+                       rng.uniform_int(static_cast<std::uint64_t>(window))));
+      Time outage = spec.min_outage +
+                    Time::ns(static_cast<std::int64_t>(rng.uniform_int(
+                        static_cast<std::uint64_t>(outage_span))));
+      Time finish = std::min(begin + outage, spec.end);
+      const std::string* t = nullptr;
+      switch (cat) {
+        case kLink:
+        case kLinkDegradeCat: t = &pick(spec.links); break;
+        case kRouter: t = &pick(spec.routers); break;
+        case kHost: t = &pick(spec.hosts); break;
+        case kHa: t = &pick(spec.home_agents); break;
       }
-      case kLinkDegradeCat: {
-        const std::string& t = pick(spec.links);
-        plan.degrade(begin, t, spec.degrade).restore(finish, t);
-        break;
+      if (!target_free(*t, begin.nanos(), finish.nanos())) continue;
+      placed.push_back({*t, {begin.nanos(), finish.nanos()}});
+      switch (cat) {
+        case kLink: plan.link_down(begin, *t).link_up(finish, *t); break;
+        case kLinkDegradeCat:
+          plan.degrade(begin, *t, spec.degrade).restore(finish, *t);
+          break;
+        case kRouter:
+          plan.router_crash(begin, *t).router_restart(finish, *t);
+          break;
+        case kHost:
+          plan.host_crash(begin, *t).host_restart(finish, *t);
+          break;
+        case kHa: plan.ha_outage(begin, *t).ha_restore(finish, *t); break;
       }
-      case kRouter: {
-        const std::string& t = pick(spec.routers);
-        plan.router_crash(begin, t).router_restart(finish, t);
-        break;
-      }
-      case kHost: {
-        const std::string& t = pick(spec.hosts);
-        plan.host_crash(begin, t).host_restart(finish, t);
-        break;
-      }
-      case kHa: {
-        const std::string& t = pick(spec.home_agents);
-        plan.ha_outage(begin, t).ha_restore(finish, t);
-        break;
-      }
+      break;
     }
   }
   return plan;

@@ -11,11 +11,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/link.hpp"
 #include "sim/time.hpp"
+#include "util/json.hpp"
 
 namespace mip6 {
 
@@ -33,10 +36,16 @@ enum class FaultKind {
 };
 
 const char* fault_kind_name(FaultKind kind);
+/// Inverse of fault_kind_name; nullopt for unknown names.
+std::optional<FaultKind> fault_kind_from_name(std::string_view name);
 
 /// True for the fault half of a fault/repair pair (crash, down, degrade,
 /// outage) — the events recovery is measured from.
 bool is_disruption(FaultKind kind);
+
+/// The repair kind that closes a disruption (link-down -> link-up, ...).
+/// Calling it with a repair kind is a LogicError.
+FaultKind repair_kind_of(FaultKind disruption);
 
 struct FaultEvent {
   Time at;
@@ -50,6 +59,15 @@ struct FaultEvent {
   /// e.g. "12.000s link-down link3" — the unit of the reproducibility
   /// contract (same seed => identical event traces).
   std::string str() const;
+
+  /// JSON object for the reproducer corpus. Times carry an authoritative
+  /// nanosecond field ("at_ns") next to the human-readable "at_s", so a
+  /// round trip is bit-exact (double seconds may be one ns off).
+  Json to_json() const;
+  /// Inverse of to_json; also accepts the ScenarioSpec fault schema
+  /// (at_s / loss / corrupt / jitter_ms). Throws ParseError naming the
+  /// offending field.
+  static FaultEvent from_json(const Json& v);
 };
 
 /// Parameters for FaultPlan::random(). Targets are drawn only from the
@@ -96,10 +114,23 @@ class FaultPlan {
   /// One line per event, activation order.
   std::string str() const;
 
+  /// JSON array of events (insertion order); inverse is from_json.
+  Json to_json() const;
+  static FaultPlan from_json(const Json& arr);
+
   /// Seed-deterministic plan: `disruptions` fault/recovery pairs drawn
   /// uniformly over the spec's targets and the [start, end] window. Uses
   /// its own Rng(seed) — independent of any Network RNG, so the plan is a
   /// pure function of (spec, seed).
+  ///
+  /// Overlap semantics: no two disruption windows on the same *target name*
+  /// ever overlap — a target whose previous fault/repair pair is still open
+  /// is ineligible until its repair time (touching windows, repair.at ==
+  /// next fault.at, are allowed). A draw that lands on a busy target is
+  /// redrawn (bounded retries); when the window is so saturated that no
+  /// placement can be found the disruption is dropped, so a plan may carry
+  /// fewer than `disruptions` pairs rather than an overlapping schedule
+  /// with undefined repair ordering (crash-of-crashed, down-of-down).
   static FaultPlan random(const RandomPlanSpec& spec, std::uint64_t seed);
 
  private:

@@ -1,0 +1,553 @@
+#include "fault/search.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "fault/auditor.hpp"
+#include "scenario/compile.hpp"
+#include "sim/rng.hpp"
+#include "util/errors.hpp"
+
+namespace mip6 {
+
+const char* violation_class_name(ViolationClass cls) {
+  switch (cls) {
+    case ViolationClass::kAudit: return "audit";
+    case ViolationClass::kConvergenceDeadline: return "convergence-deadline";
+    case ViolationClass::kTimerLeak: return "timer-leak";
+    case ViolationClass::kRetxBacklog: return "retx-backlog";
+    case ViolationClass::kStateLeak: return "state-leak";
+    case ViolationClass::kNeverRecovered: return "never-recovered";
+  }
+  return "?";
+}
+
+std::optional<ViolationClass> violation_class_from_name(std::string_view name) {
+  static constexpr ViolationClass kAll[] = {
+      ViolationClass::kAudit,       ViolationClass::kConvergenceDeadline,
+      ViolationClass::kTimerLeak,   ViolationClass::kRetxBacklog,
+      ViolationClass::kStateLeak,   ViolationClass::kNeverRecovered,
+  };
+  for (ViolationClass c : kAll) {
+    if (name == violation_class_name(c)) return c;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> ChaosRunResult::classes() const {
+  std::set<std::string> s;
+  for (const ChaosViolation& v : violations) {
+    s.insert(violation_class_name(v.cls));
+  }
+  return {s.begin(), s.end()};
+}
+
+Time chaos_horizon(const ScenarioSpec& spec, const ChaosRunOptions& opts) {
+  // Fixed per (spec, settle) — every plan, and the fault-free oracle, run
+  // to the same instant so end-state comparisons are like for like. Plans
+  // are generated inside [0, duration], leaving at least 2*settle of
+  // repair-and-quiesce tail.
+  return spec.duration + opts.settle + opts.settle;
+}
+
+namespace {
+
+/// End-state totals of a live world (shared by oracle and faulted runs).
+struct EndState {
+  std::size_t live_events = 0;
+  std::size_t sg_entries = 0;
+  std::size_t mfc_entries = 0;
+  std::size_t bindings = 0;
+  std::size_t retx_backlog = 0;
+};
+
+EndState snapshot_end_state(const World& world) {
+  EndState s;
+  s.live_events = const_cast<World&>(world).scheduler().live_events();
+  for (const auto& rt : world.routers()) {
+    if (rt->dense != nullptr) {
+      s.sg_entries += rt->dense->entry_count();
+      s.mfc_entries += rt->dense->mfc_entries();
+    }
+    if (rt->hpim != nullptr) s.retx_backlog += rt->hpim->retransmit_backlog();
+    if (rt->ha != nullptr) s.bindings += rt->ha->cache().size();
+  }
+  return s;
+}
+
+FaultPlan filter_plan(const FaultPlan& plan,
+                      const std::optional<FaultKind>& skip) {
+  if (!skip) return plan;
+  FaultPlan out;
+  for (const FaultEvent& e : plan.events()) {
+    if (e.kind != *skip) out.add(e);
+  }
+  return out;
+}
+
+Time plan_last_event(const FaultPlan& plan) {
+  Time last = Time::zero();
+  for (const FaultEvent& e : plan.events()) last = std::max(last, e.at);
+  return last;
+}
+
+std::string sg_str(const DenseModeEngine::SgKey& key) {
+  return "(" + key.source.str() + "," + key.group.str() + ")";
+}
+
+}  // namespace
+
+WorldOracle compute_world_oracle(const ScenarioSpec& spec, std::uint64_t seed,
+                                 Time horizon) {
+  ScenarioSpec s = spec;
+  s.faults = FaultPlan{};
+  s.fault_audit = false;
+  CompiledScenario cs = compile_scenario(s, seed);
+  cs.world->run_until(horizon);
+  EndState end = snapshot_end_state(*cs.world);
+  return {end.live_events, end.sg_entries, end.mfc_entries, end.bindings};
+}
+
+ChaosRunResult run_fault_plan(const ScenarioSpec& spec, const FaultPlan& plan,
+                              std::uint64_t seed, const ChaosRunOptions& opts,
+                              const WorldOracle* oracle) {
+  ScenarioSpec s = spec;
+  s.faults = filter_plan(plan, opts.skip_repair);
+  s.fault_audit = opts.audit_each_event;
+
+  ChaosRunResult result;
+  result.horizon = chaos_horizon(spec, opts);
+  // Convergence deadline: `settle` after the armed plan's last event (the
+  // injected-bug path may have dropped the real last repair — then the
+  // deadline moves up and the still-open window is caught sooner).
+  Time deadline = std::min(plan_last_event(s.faults) + opts.settle,
+                           result.horizon - opts.settle);
+  if (deadline < Time::zero()) deadline = Time::zero();
+
+  // The window auditor lives alongside the world; all point-in-time checks
+  // stay off here — per-event audits come from the ChaosEngine, the final
+  // quiesced audit runs separately below.
+  std::unique_ptr<Auditor> windows;
+  std::map<DenseModeEngine::SgKey, SgWindows> at_deadline;
+  CompiledScenario cs = compile_scenario(s, seed, [&](World& w) {
+    windows = std::make_unique<Auditor>(w, AuditorConfig{});
+    windows->arm_window_sampler(opts.window_sample_period);
+    w.scheduler().schedule_at(deadline, [&] {
+      windows->sample_windows();
+      at_deadline = windows->windows();
+    });
+  });
+
+  cs.world->run_until(result.horizon);
+  windows->sample_windows();
+
+  if (cs.chaos != nullptr) {
+    result.trace = cs.chaos->executed();
+    for (const AuditReport& report : cs.chaos->audit_reports()) {
+      for (const AuditViolation& v : report.violations) {
+        result.violations.push_back(
+            {ViolationClass::kAudit,
+             report.at.str() + " " + v.check + ": " + v.detail});
+      }
+    }
+  }
+
+  if (opts.final_quiesced_audit) {
+    AuditorConfig quiesced;
+    quiesced.quiesced = true;
+    Auditor final_audit(*cs.world, quiesced);
+    for (const AuditViolation& v : final_audit.run().violations) {
+      result.violations.push_back(
+          {ViolationClass::kAudit, "final " + v.check + ": " + v.detail});
+    }
+  }
+
+  // Liveness: any window still growing after the deadline means the
+  // protocols never re-closed the failure the repairs should have fixed.
+  for (const auto& [key, w] : windows->windows()) {
+    SgWindows base;  // zero when the (S,G) had no window before the deadline
+    auto it = at_deadline.find(key);
+    if (it != at_deadline.end()) base = it->second;
+    double bh = w.blackhole_s - base.blackhole_s;
+    double dup = w.duplication_s - base.duplication_s;
+    if (bh > opts.deadline_grace_s) {
+      result.violations.push_back(
+          {ViolationClass::kConvergenceDeadline,
+           sg_str(key) + " blackholed " + std::to_string(bh) +
+               "s past the deadline"});
+    }
+    if (dup > opts.deadline_grace_s) {
+      result.violations.push_back(
+          {ViolationClass::kConvergenceDeadline,
+           sg_str(key) + " duplicating " + std::to_string(dup) +
+               "s past the deadline"});
+    }
+  }
+
+  EndState end = snapshot_end_state(*cs.world);
+  if (end.retx_backlog > opts.retx_backlog_limit) {
+    result.violations.push_back(
+        {ViolationClass::kRetxBacklog,
+         std::to_string(end.retx_backlog) + " unacked messages at horizon"});
+  }
+  if (oracle != nullptr) {
+    const auto limit = static_cast<std::size_t>(
+        static_cast<double>(oracle->live_events) * opts.timer_leak_factor +
+        static_cast<double>(opts.timer_leak_slack));
+    if (end.live_events > limit) {
+      result.violations.push_back(
+          {ViolationClass::kTimerLeak,
+           std::to_string(end.live_events) + " live events vs oracle " +
+               std::to_string(oracle->live_events)});
+    }
+    auto leak = [&](const char* what, std::size_t got, std::size_t want) {
+      if (got > want) {
+        result.violations.push_back(
+            {ViolationClass::kStateLeak, std::string(what) + " " +
+                                             std::to_string(got) +
+                                             " vs oracle " +
+                                             std::to_string(want)});
+      }
+    };
+    leak("sg-entries", end.sg_entries, oracle->sg_entries);
+    leak("mfc-entries", end.mfc_entries, oracle->mfc_entries);
+    leak("bindings", end.bindings, oracle->bindings);
+  }
+
+  if (!spec.traffic.empty() && cs.chaos != nullptr) {
+    for (const auto& recv : cs.receivers) {
+      for (const auto& rec : cs.chaos->recoveries(*recv.app)) {
+        if (!rec.recovered_at) {
+          result.violations.push_back(
+              {ViolationClass::kNeverRecovered,
+               recv.host + " never recovered after " + rec.event.str()});
+        }
+      }
+    }
+  }
+
+  for (const auto& recv : cs.receivers) {
+    result.delivered_total += static_cast<double>(recv.app->unique_received());
+  }
+  result.executed_events = cs.world->scheduler().executed_events();
+  return result;
+}
+
+// --- Plan generation -------------------------------------------------------
+
+namespace {
+
+RandomPlanSpec plan_spec_for(const ScenarioSpec& spec,
+                             const ChaosSearchConfig& cfg, Rng& rng) {
+  RandomPlanSpec ps;
+  ps.start = cfg.earliest_fault;
+  ps.end = spec.duration;
+  ps.disruptions =
+      cfg.min_disruptions +
+      static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(
+          cfg.max_disruptions - cfg.min_disruptions + 1)));
+  ps.min_outage = cfg.min_outage;
+  ps.max_outage = cfg.max_outage;
+  ps.allow_degrade = cfg.allow_degrade;
+  if (spec.random) {
+    // Generated topologies name stubs/routers canonically; transit link
+    // names depend on the topology RNG, so chaos sticks to stubs.
+    for (std::size_t i = 0; i < spec.random->routers; ++i) {
+      ps.links.push_back("Stub" + std::to_string(i));
+      ps.routers.push_back("Router" + std::to_string(i));
+    }
+  } else {
+    for (const ScenarioLink& l : spec.links) ps.links.push_back(l.name);
+    for (const ScenarioRouter& r : spec.routers) {
+      ps.routers.push_back(r.name);
+      if (r.opts.with_ha) ps.home_agents.push_back(r.name);
+    }
+  }
+  for (const ScenarioHost& h : spec.hosts) ps.hosts.push_back(h.name);
+  return ps;
+}
+
+bool has_target_overlap(const std::vector<FaultUnit>& units) {
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (!units[i].repair) continue;
+    for (std::size_t j = i + 1; j < units.size(); ++j) {
+      if (!units[j].repair) continue;
+      if (units[i].fault.target != units[j].fault.target) continue;
+      if (units[i].fault.at < units[j].repair->at &&
+          units[j].fault.at < units[i].repair->at) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Moves unit `i`'s window to start at `begin` (outage preserved, clamped
+/// to `end`); reverted if the per-target no-overlap invariant would break.
+void retime_unit(std::vector<FaultUnit>& units, std::size_t i, Time begin,
+                 Time end) {
+  if (!units[i].repair) return;
+  if (begin < Time::zero()) begin = Time::zero();
+  if (begin >= end) return;
+  FaultUnit saved = units[i];
+  Time outage = units[i].repair->at - units[i].fault.at;
+  units[i].fault.at = begin;
+  units[i].repair->at = std::min(begin + outage, end);
+  if (has_target_overlap(units)) units[i] = saved;
+}
+
+}  // namespace
+
+FaultPlan biased_random_plan(const ScenarioSpec& spec,
+                             const ChaosSearchConfig& cfg,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  RandomPlanSpec ps = plan_spec_for(spec, cfg, rng);
+  // The base plan consumes an independent substream so bias rolls below
+  // don't perturb which targets/windows a seed draws.
+  FaultPlan base = FaultPlan::random(ps, Rng::derive_seed(seed, 1));
+  std::vector<FaultUnit> units = pair_units(base);
+
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (!spec.moves.empty() && rng.bernoulli(cfg.mobility_bias)) {
+      // Land the fault within ±2 s of a scripted handoff — the paper's
+      // interesting races all live there.
+      const ScenarioMove& mv =
+          spec.moves[rng.uniform_int(spec.moves.size())];
+      Time begin = mv.at + Time::ms(static_cast<std::int64_t>(
+                               rng.uniform_int(4001)) - 2000);
+      retime_unit(units, i, begin, ps.end);
+      continue;
+    }
+    if (units.size() > 1 && rng.bernoulli(cfg.recovery_bias)) {
+      // Fault-during-recovery: start just after another pair's repair,
+      // while its protocols are still re-converging.
+      std::size_t j = rng.uniform_int(units.size());
+      if (j != i && units[j].repair) {
+        Time begin = units[j].repair->at +
+                     Time::ms(static_cast<std::int64_t>(
+                         rng.uniform_int(1000)));
+        retime_unit(units, i, begin, ps.end);
+      }
+      continue;
+    }
+    if (units.size() > 1 && rng.bernoulli(cfg.overlap_bias)) {
+      // Overlapping disruptions on *different* targets (same-target
+      // overlap stays forbidden — retime_unit enforces it).
+      std::size_t j = rng.uniform_int(units.size());
+      if (j != i && units[j].repair) {
+        Time span = units[j].repair->at - units[j].fault.at;
+        Time begin =
+            units[j].fault.at +
+            Time::ns(static_cast<std::int64_t>(rng.uniform_int(
+                static_cast<std::uint64_t>(std::max<std::int64_t>(
+                    1, span.nanos())))));
+        retime_unit(units, i, begin, ps.end);
+      }
+    }
+  }
+  return units_to_plan(units);
+}
+
+void apply_engine(ScenarioSpec& spec, const std::string& engine) {
+  if (engine == "spec") return;
+  DenseEngineKind kind;
+  if (engine == "pimdm") {
+    kind = DenseEngineKind::kPimDm;
+  } else if (engine == "hpimdm") {
+    kind = DenseEngineKind::kHpimDm;
+  } else {
+    throw LogicError("apply_engine: unknown engine '" + engine +
+                     "' (known: spec, pimdm, hpimdm)");
+  }
+  spec.config.dense_engine = kind;
+  for (ScenarioRouter& r : spec.routers) {
+    if (r.opts.engine) r.opts.engine = kind;
+  }
+}
+
+ChaosSearchResult chaos_search(const ScenarioSpec& spec,
+                               const ChaosSearchConfig& cfg) {
+  ChaosSearchResult result;
+
+  std::vector<std::string> engines;
+  if (cfg.both_engines) {
+    engines = {"pimdm", "hpimdm"};
+  } else {
+    engines = {"spec"};
+  }
+
+  // One oracle and one engine-rewritten spec per engine, reused across the
+  // whole batch (and across every shrink re-run).
+  Time horizon = chaos_horizon(spec, cfg.run);
+  std::vector<ScenarioSpec> engine_specs;
+  std::vector<WorldOracle> oracles;
+  for (const std::string& engine : engines) {
+    ScenarioSpec s = spec;
+    apply_engine(s, engine);
+    oracles.push_back(compute_world_oracle(s, s.seed, horizon));
+    engine_specs.push_back(std::move(s));
+  }
+
+  for (std::size_t i = 0; i < cfg.budget; ++i) {
+    std::uint64_t plan_seed = Rng::derive_seed(cfg.seed, i);
+    FaultPlan plan = biased_random_plan(spec, cfg, plan_seed);
+    result.plans.emplace_back(plan_seed, plan);
+    if (plan.empty()) continue;
+
+    for (std::size_t e = 0; e < engines.size(); ++e) {
+      const ScenarioSpec& es = engine_specs[e];
+      ChaosRunResult run =
+          run_fault_plan(es, plan, es.seed, cfg.run, &oracles[e]);
+      ++result.explored;
+      result.executed_events += run.executed_events;
+      if (!run.violated()) continue;
+
+      ++result.violating;
+      for (const std::string& cls : run.classes()) {
+        ++result.class_counts[cls];
+      }
+
+      ChaosSearchFinding finding;
+      finding.plan_seed = plan_seed;
+      finding.engine = engines[e];
+      finding.plan = plan;
+      finding.shrunk = plan;
+      finding.classes = run.classes();
+      finding.violations = run.violations;
+
+      if (cfg.shrink_failures) {
+        // "Still fails" = any of the original classes fires again; a
+        // shrink that morphs the failure into a different class is not a
+        // smaller version of the same bug.
+        const std::set<std::string> want(finding.classes.begin(),
+                                         finding.classes.end());
+        auto still_fails = [&](const FaultPlan& candidate) {
+          ChaosRunResult rr =
+              run_fault_plan(es, candidate, es.seed, cfg.run, &oracles[e]);
+          for (const std::string& cls : rr.classes()) {
+            if (want.contains(cls)) return true;
+          }
+          return false;
+        };
+        finding.shrunk = shrink_plan(finding.plan, still_fails, cfg.shrink,
+                                     &finding.shrink_stats);
+        if (finding.shrink_stats.final_units <
+                finding.shrink_stats.initial_units ||
+            finding.shrink_stats.coarsened_events > 0) {
+          ++result.shrunk;
+        }
+      }
+      result.findings.push_back(std::move(finding));
+    }
+  }
+  return result;
+}
+
+// --- Reproducers -----------------------------------------------------------
+
+Json ChaosReproducer::to_json() const {
+  Json doc = Json::object();
+  doc.set("schema", kSchema);
+  doc.set("scenario", scenario);
+  doc.set("engine", engine);
+  doc.set("seed", seed);
+  doc.set("settle_s", settle_s);
+  doc.set("plan", plan.to_json());
+  Json expected = Json::object();
+  Json cls = Json::array();
+  for (const std::string& c : classes) cls.push_back(c);
+  expected.set("classes", std::move(cls));
+  Json tr = Json::array();
+  for (const std::string& line : trace) tr.push_back(line);
+  expected.set("trace", std::move(tr));
+  doc.set("expected", std::move(expected));
+  return doc;
+}
+
+ChaosReproducer ChaosReproducer::from_json(const Json& doc) {
+  if (!doc.is_object()) throw ParseError("reproducer: expected object");
+  if (!doc.contains("schema") || !doc["schema"].is_string() ||
+      doc["schema"].as_string() != kSchema) {
+    throw ParseError(std::string("reproducer: schema must be '") + kSchema +
+                     "'");
+  }
+  ChaosReproducer r;
+  if (!doc.contains("scenario") || !doc["scenario"].is_string()) {
+    throw ParseError("reproducer: missing string field 'scenario'");
+  }
+  r.scenario = doc["scenario"].as_string();
+  if (doc.contains("engine")) r.engine = doc["engine"].as_string();
+  if (r.engine != "spec" && r.engine != "pimdm" && r.engine != "hpimdm") {
+    throw ParseError("reproducer: unknown engine '" + r.engine + "'");
+  }
+  if (!doc.contains("seed") || !doc["seed"].is_number()) {
+    throw ParseError("reproducer: missing number field 'seed'");
+  }
+  r.seed = static_cast<std::uint64_t>(doc["seed"].as_number());
+  if (doc.contains("settle_s")) r.settle_s = doc["settle_s"].as_number();
+  if (!doc.contains("plan")) {
+    throw ParseError("reproducer: missing field 'plan'");
+  }
+  r.plan = FaultPlan::from_json(doc["plan"]);
+  if (doc.contains("expected")) {
+    const Json& expected = doc["expected"];
+    if (!expected.is_object()) {
+      throw ParseError("reproducer: 'expected' must be an object");
+    }
+    if (expected.contains("classes")) {
+      for (const Json& c : expected["classes"].items()) {
+        if (!violation_class_from_name(c.as_string())) {
+          throw ParseError("reproducer: unknown violation class '" +
+                           c.as_string() + "'");
+        }
+        r.classes.push_back(c.as_string());
+      }
+    }
+    if (expected.contains("trace")) {
+      for (const Json& line : expected["trace"].items()) {
+        r.trace.push_back(line.as_string());
+      }
+    }
+  }
+  return r;
+}
+
+ChaosReproducer ChaosReproducer::load_file(const std::string& path) {
+  std::string text;
+  {
+    // Small files; read via the same idiom ScenarioSpec::load_file uses.
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) throw ParseError("reproducer: cannot open " + path);
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      text.append(buf, n);
+    }
+    std::fclose(f);
+  }
+  try {
+    return from_json(Json::parse(text));
+  } catch (const ParseError& e) {
+    throw ParseError(path + ": " + e.what());
+  }
+}
+
+ChaosRunResult replay_reproducer(const ScenarioSpec& spec,
+                                 const ChaosReproducer& r,
+                                 const ChaosRunOptions& opts,
+                                 const WorldOracle* oracle) {
+  ScenarioSpec s = spec;
+  apply_engine(s, r.engine);
+  ChaosRunOptions o = opts;
+  o.settle = Time::seconds(r.settle_s);
+  if (oracle != nullptr) return run_fault_plan(s, r.plan, r.seed, o, oracle);
+  // No baseline supplied: derive it, or the oracle-relative classes
+  // (state-leak, timer-leak) silently disappear from the verdict and a
+  // replayed entry can never match a capture that had them.
+  WorldOracle derived = compute_world_oracle(s, r.seed, chaos_horizon(s, o));
+  return run_fault_plan(s, r.plan, r.seed, o, &derived);
+}
+
+}  // namespace mip6

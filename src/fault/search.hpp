@@ -1,0 +1,231 @@
+// Chaos search: seeded exploration of the fault-schedule space.
+//
+// The wire fuzzer (tests/fuzz) hunts decoder bugs; this module hunts
+// *world-level* bugs — convergence failures, state leaks, starved
+// receivers — by generating batches of randomized FaultPlans against a
+// ScenarioSpec, running each world to a fixed horizon, and classifying the
+// outcome with the invariant Auditor plus liveness watchdogs that compare
+// the faulted world's end state against a fault-free oracle run:
+//
+//   audit                 any per-event or final quiesced Auditor violation
+//   convergence-deadline  a blackhole/duplication window still growing
+//                         `settle` seconds after the last repair
+//   timer-leak            live scheduler events far above the oracle's
+//   retx-backlog          HPIM-DM unacked control messages never drained
+//   state-leak            more (S,G)/MFC/binding entries than the oracle
+//                         after full repair and settle
+//   never-recovered       a subscribed receiver that a disruption starved
+//                         for the rest of the run
+//
+// Plan generation is biased toward the schedules hand-written tests miss:
+// disruptions overlapping across targets, faults landing during another
+// fault's recovery, and fault times coinciding with scripted mobility.
+// Every failing plan is handed to the ddmin shrinker (fault/shrink.hpp)
+// and emitted as a JSON reproducer replayable byte-exactly — the artifacts
+// committed under tests/fault/corpus/. Everything here is a pure function
+// of (spec, seed): same inputs, same plans, same traces, same verdicts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "fault/shrink.hpp"
+#include "scenario/spec.hpp"
+#include "sim/time.hpp"
+#include "util/json.hpp"
+
+namespace mip6 {
+
+enum class ViolationClass {
+  kAudit,
+  kConvergenceDeadline,
+  kTimerLeak,
+  kRetxBacklog,
+  kStateLeak,
+  kNeverRecovered,
+};
+
+const char* violation_class_name(ViolationClass cls);
+std::optional<ViolationClass> violation_class_from_name(std::string_view name);
+
+struct ChaosViolation {
+  ViolationClass cls;
+  std::string detail;  // names the event/node/(S,G)/counter behind it
+};
+
+/// Watchdog thresholds for one chaos run.
+struct ChaosRunOptions {
+  /// Convergence budget: after the plan's last event the world gets this
+  /// long to close every blackhole/duplication window, drain retransmit
+  /// queues and shed leaked state. PIM-DM's MLD-relearn tail after a
+  /// router restart is ~10 s with default timers, so keep this above that.
+  Time settle = Time::sec(15);
+  /// Window-metric sampling period (Auditor::arm_window_sampler).
+  Time window_sample_period = Time::ms(250);
+  /// Window growth after the deadline below this many seconds is forgiven
+  /// (dense-mode re-floods cause sub-second duplication transients).
+  double deadline_grace_s = 0.5;
+  /// timer-leak fires when live events > oracle * factor + slack.
+  double timer_leak_factor = 2.0;
+  std::size_t timer_leak_slack = 64;
+  /// retx-backlog fires when HPIM-DM unacked messages at the horizon
+  /// exceed this.
+  std::size_t retx_backlog_limit = 32;
+  /// Run the Auditor's structural checks after each fault event.
+  bool audit_each_event = true;
+  /// Run a final quiesced audit at the horizon.
+  bool final_quiesced_audit = true;
+  /// Test-only bug injection: silently drop every plan event of this kind
+  /// before arming (e.g. kLinkUp — the repair never happens), simulating a
+  /// lost-repair defect so the shrinker acceptance test has a real
+  /// violation to minimize.
+  std::optional<FaultKind> skip_repair;
+};
+
+/// End-state of a fault-free run of (spec, seed) to the same horizon — the
+/// baseline the leak watchdogs compare against.
+struct WorldOracle {
+  std::size_t live_events = 0;
+  std::size_t sg_entries = 0;
+  std::size_t mfc_entries = 0;
+  std::size_t bindings = 0;
+};
+
+WorldOracle compute_world_oracle(const ScenarioSpec& spec, std::uint64_t seed,
+                                 Time horizon);
+
+/// The fixed horizon every run of (spec, settle) uses — fault-free oracle
+/// included, so end-state comparisons are apples to apples.
+Time chaos_horizon(const ScenarioSpec& spec, const ChaosRunOptions& opts);
+
+struct ChaosRunResult {
+  /// ChaosEngine executed trace, one line per applied event — the
+  /// byte-exactness contract of corpus replay is over these lines.
+  std::vector<std::string> trace;
+  std::vector<ChaosViolation> violations;
+  Time horizon;
+  double delivered_total = 0.0;
+  std::uint64_t executed_events = 0;
+
+  bool violated() const { return !violations.empty(); }
+  /// Sorted, deduplicated class names present in `violations`.
+  std::vector<std::string> classes() const;
+};
+
+/// Runs `spec` with its fault plan replaced by `plan` and classifies the
+/// outcome. `oracle` enables the leak watchdogs (pass null to skip them —
+/// e.g. while shrinking, where re-deriving the oracle per candidate would
+/// dominate the budget... it is computed once and reused instead).
+ChaosRunResult run_fault_plan(const ScenarioSpec& spec, const FaultPlan& plan,
+                              std::uint64_t seed,
+                              const ChaosRunOptions& opts = {},
+                              const WorldOracle* oracle = nullptr);
+
+// --- Search ----------------------------------------------------------------
+
+struct ChaosSearchConfig {
+  /// Plans to explore. Each runs once per selected engine.
+  std::size_t budget = 16;
+  std::uint64_t seed = 1;
+  int min_disruptions = 1;
+  int max_disruptions = 4;
+  Time earliest_fault = Time::sec(5);
+  Time min_outage = Time::ms(500);
+  Time max_outage = Time::sec(8);
+  bool allow_degrade = true;
+  /// Per-disruption probabilities of retiming toward interesting
+  /// schedules (tried in this order; at most one applies per disruption).
+  double mobility_bias = 0.3;  // start within ±2 s of a scripted move
+  double recovery_bias = 0.3;  // start just after another pair's repair
+  double overlap_bias = 0.3;   // start inside another pair's open window
+  /// Also run every plan with the dense engine flipped (PIM-DM <-> HPIM-DM
+  /// A/B) instead of only the spec's configured engine.
+  bool both_engines = false;
+  ChaosRunOptions run;
+  /// Minimization of failing plans (shrink budget is per failing plan).
+  bool shrink_failures = true;
+  ShrinkConfig shrink;
+};
+
+struct ChaosSearchFinding {
+  std::uint64_t plan_seed = 0;
+  /// "spec" (the scenario's own engine), "pimdm" or "hpimdm".
+  std::string engine;
+  FaultPlan plan;
+  FaultPlan shrunk;  // == plan when shrinking is off or exhausted
+  std::vector<std::string> classes;
+  std::vector<ChaosViolation> violations;
+  ShrinkStats shrink_stats;
+};
+
+struct ChaosSearchResult {
+  std::size_t explored = 0;   // worlds run (plans x engines)
+  std::size_t violating = 0;  // runs with at least one violation
+  std::size_t shrunk = 0;     // findings the shrinker reduced
+  /// Violating runs per class name.
+  std::map<std::string, std::size_t> class_counts;
+  std::vector<ChaosSearchFinding> findings;
+  /// Every generated (seed, plan) in exploration order — `chaos-search
+  /// --pin` turns the first N into corpus entries.
+  std::vector<std::pair<std::uint64_t, FaultPlan>> plans;
+  /// Scheduler events executed across every explored world (shrink re-runs
+  /// excluded) — the throughput denominator in the bench report.
+  std::uint64_t executed_events = 0;
+};
+
+/// Seeded biased plan generator: FaultPlan::random over the spec's own
+/// targets, then per-disruption retiming toward mobility/recovery/overlap
+/// coincidence. Preserves the per-target no-overlap invariant (a retiming
+/// that would break it is dropped). Pure function of (spec, cfg, seed).
+FaultPlan biased_random_plan(const ScenarioSpec& spec,
+                             const ChaosSearchConfig& cfg, std::uint64_t seed);
+
+/// Explores `cfg.budget` plans (seed i = derive_seed(cfg.seed, i)), runs
+/// each against the selected engines, shrinks failures. Deterministic.
+ChaosSearchResult chaos_search(const ScenarioSpec& spec,
+                               const ChaosSearchConfig& cfg);
+
+/// Rewrites `spec` to force one dense engine everywhere. `engine` is
+/// "spec" (no-op), "pimdm" or "hpimdm"; anything else throws LogicError.
+void apply_engine(ScenarioSpec& spec, const std::string& engine);
+
+// --- Reproducer corpus -----------------------------------------------------
+
+/// One committed corpus entry: everything needed to re-run a (scenario,
+/// engine, seed, plan) tuple and check it still behaves identically —
+/// violation classes AND the byte-exact chaos trace.
+struct ChaosReproducer {
+  static constexpr const char* kSchema = "mip6-chaos-repro-v1";
+
+  /// Scenario file name, resolved against a caller-supplied directory.
+  std::string scenario;
+  std::string engine = "spec";
+  std::uint64_t seed = 1;
+  double settle_s = 15.0;
+  FaultPlan plan;
+  /// Expected outcome recorded at capture time.
+  std::vector<std::string> classes;  // sorted violation class names
+  std::vector<std::string> trace;    // ChaosEngine executed lines
+
+  Json to_json() const;
+  static ChaosReproducer from_json(const Json& doc);
+  static ChaosReproducer load_file(const std::string& path);
+};
+
+/// Replays `r` against `spec` (already loaded from r.scenario and engine-
+/// rewritten by the caller or not — this applies r.engine itself).
+/// The reproducer's settle overrides opts.settle. When `oracle` is null
+/// the fault-free baseline is derived on the spot so the oracle-relative
+/// watchdogs (state-leak, timer-leak) classify exactly as at capture;
+/// pass an oracle only to reuse one across many replays of one tuple.
+ChaosRunResult replay_reproducer(const ScenarioSpec& spec,
+                                 const ChaosReproducer& r,
+                                 const ChaosRunOptions& opts = {},
+                                 const WorldOracle* oracle = nullptr);
+
+}  // namespace mip6

@@ -1,0 +1,194 @@
+#include "fault/shrink.hpp"
+
+#include <algorithm>
+
+#include "util/errors.hpp"
+
+namespace mip6 {
+
+std::vector<FaultUnit> pair_units(const FaultPlan& plan) {
+  std::vector<FaultEvent> events = plan.sorted();
+  std::vector<bool> claimed(events.size(), false);
+  std::vector<FaultUnit> units;
+  // Disruptions first, in activation order, each claiming the earliest
+  // unclaimed matching repair at or after it.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (!is_disruption(events[i].kind)) continue;
+    claimed[i] = true;
+    FaultUnit u{events[i], std::nullopt};
+    FaultKind want = repair_kind_of(events[i].kind);
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      if (claimed[j]) continue;
+      if (events[j].kind == want && events[j].target == events[i].target) {
+        claimed[j] = true;
+        u.repair = events[j];
+        break;
+      }
+    }
+    units.push_back(std::move(u));
+  }
+  // Orphan repairs (no disruption before them) become single-event units.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (claimed[i]) continue;
+    units.push_back({events[i], std::nullopt});
+  }
+  return units;
+}
+
+FaultPlan units_to_plan(const std::vector<FaultUnit>& units) {
+  FaultPlan plan;
+  for (const FaultUnit& u : units) {
+    plan.add(u.fault);
+    if (u.repair) plan.add(*u.repair);
+  }
+  return plan;
+}
+
+namespace {
+
+class Budget {
+ public:
+  Budget(const std::function<bool(const FaultPlan&)>& pred,
+         std::size_t max_runs, ShrinkStats* stats)
+      : pred_(pred), max_runs_(max_runs), stats_(stats) {}
+
+  bool exhausted() const { return runs_ >= max_runs_; }
+
+  /// Evaluates the predicate (false when out of budget — an unevaluated
+  /// candidate is treated as not-failing, i.e. rejected).
+  bool fails(const std::vector<FaultUnit>& units) {
+    if (exhausted()) return false;
+    ++runs_;
+    if (stats_ != nullptr) stats_->runs = runs_;
+    return pred_(units_to_plan(units));
+  }
+
+ private:
+  const std::function<bool(const FaultPlan&)>& pred_;
+  std::size_t max_runs_;
+  std::size_t runs_ = 0;
+  ShrinkStats* stats_;
+};
+
+/// Classic ddmin over units: try removing chunks, halving chunk size until
+/// single units; restart from coarse chunks after any successful removal.
+std::vector<FaultUnit> ddmin(std::vector<FaultUnit> units, Budget& budget) {
+  std::size_t chunk = (units.size() + 1) / 2;
+  while (units.size() > 1 && chunk >= 1 && !budget.exhausted()) {
+    bool removed_any = false;
+    for (std::size_t start = 0; start < units.size();) {
+      std::size_t len = std::min(chunk, units.size() - start);
+      std::vector<FaultUnit> candidate;
+      candidate.reserve(units.size() - len);
+      candidate.insert(candidate.end(), units.begin(),
+                       units.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(
+          candidate.end(),
+          units.begin() + static_cast<std::ptrdiff_t>(start + len),
+          units.end());
+      if (!candidate.empty() && budget.fails(candidate)) {
+        units = std::move(candidate);
+        removed_any = true;
+        // Keep `start` — the next chunk slid into place.
+      } else {
+        start += len;
+      }
+      if (budget.exhausted()) break;
+    }
+    if (removed_any) {
+      chunk = std::min(chunk, (units.size() + 1) / 2);
+    } else if (chunk == 1) {
+      break;
+    } else {
+      chunk = (chunk + 1) / 2;
+    }
+  }
+  return units;
+}
+
+Time snap_down(Time t, Time gran) {
+  std::int64_t g = gran.nanos();
+  if (g <= 0) return t;
+  return Time::ns((t.nanos() / g) * g);
+}
+
+Time snap_up(Time t, Time gran) {
+  std::int64_t g = gran.nanos();
+  if (g <= 0) return t;
+  return Time::ns(((t.nanos() + g - 1) / g) * g);
+}
+
+/// Per-unit coarsening: each proposal is kept only if the plan still
+/// fails. Proposals are tried unit by unit so a rejection rolls back just
+/// that unit.
+void coarsen(std::vector<FaultUnit>& units, Budget& budget,
+             const ShrinkConfig& cfg, ShrinkStats* stats) {
+  auto try_replace = [&](std::size_t i, const FaultUnit& proposal) {
+    if (budget.exhausted()) return false;
+    FaultUnit saved = units[i];
+    units[i] = proposal;
+    if (budget.fails(units)) {
+      if (stats != nullptr) ++stats->coarsened_events;
+      return true;
+    }
+    units[i] = saved;
+    return false;
+  };
+
+  for (std::size_t i = 0; i < units.size() && !budget.exhausted(); ++i) {
+    // Round the fault time down (repairs round up, preserving coverage of
+    // the original window).
+    {
+      FaultUnit p = units[i];
+      p.fault.at = snap_down(p.fault.at, cfg.granularity);
+      if (p.repair) p.repair->at = snap_up(p.repair->at, cfg.granularity);
+      if (p.fault.at != units[i].fault.at ||
+          (p.repair && p.repair->at != units[i].repair->at)) {
+        try_replace(i, p);
+      }
+    }
+    // Shorten the outage to the floor.
+    if (units[i].repair) {
+      FaultUnit p = units[i];
+      Time shortened = p.fault.at + cfg.min_outage;
+      if (shortened < p.repair->at) {
+        p.repair->at = shortened;
+        try_replace(i, p);
+      }
+    }
+    // Canonicalize degrade impairments: pure 50% loss beats a three-knob
+    // soup when reading a reproducer.
+    if (units[i].fault.kind == FaultKind::kLinkDegrade) {
+      LinkImpairment canon{0.5, 0.0, Time::zero()};
+      if (units[i].fault.impairment.loss != canon.loss ||
+          units[i].fault.impairment.corrupt != canon.corrupt ||
+          units[i].fault.impairment.jitter != canon.jitter) {
+        FaultUnit p = units[i];
+        p.fault.impairment = canon;
+        try_replace(i, p);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FaultPlan shrink_plan(const FaultPlan& plan,
+                      const std::function<bool(const FaultPlan&)>& still_fails,
+                      const ShrinkConfig& cfg, ShrinkStats* stats) {
+  std::vector<FaultUnit> units = pair_units(plan);
+  if (stats != nullptr) {
+    *stats = {};
+    stats->initial_units = units.size();
+  }
+  Budget budget(still_fails, cfg.max_runs, stats);
+  if (!budget.fails(units)) {
+    throw LogicError("shrink_plan: input plan does not fail the predicate");
+  }
+  units = ddmin(std::move(units), budget);
+  coarsen(units, budget, cfg, stats);
+  if (stats != nullptr) stats->final_units = units.size();
+  return units_to_plan(units);
+}
+
+}  // namespace mip6

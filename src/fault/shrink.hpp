@@ -1,0 +1,67 @@
+// Delta-debugging minimizer for failing FaultPlans.
+//
+// Given a plan that provokes a violation (as judged by a caller-supplied
+// predicate — typically "re-run the world and check the same violation
+// class fires"), shrink_plan() first runs ddmin over whole fault/repair
+// *units* (a disruption plus the repair that closes it travels as one —
+// dropping a crash but keeping its restart would change semantics, not
+// shrink them), then coarsens the survivors event by event: snap times to
+// a round granularity, shorten outages toward a minimum, simplify degrade
+// impairments. Every candidate is accepted only if the predicate still
+// fails, so the result is a locally minimal reproducer. The predicate
+// budget is bounded; shrinking is best-effort within it.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "sim/time.hpp"
+
+namespace mip6 {
+
+/// A disruption and the repair that closes it (matched by target and
+/// repair_kind_of; earliest unclaimed repair wins). Unpaired events —
+/// a repair with no prior disruption, a disruption left open — travel as
+/// single-event units so ddmin can still drop them.
+struct FaultUnit {
+  FaultEvent fault;
+  std::optional<FaultEvent> repair;
+};
+
+/// Groups a plan's events into units. Order follows the disruptions'
+/// activation order; pure repairs sort by their own time.
+std::vector<FaultUnit> pair_units(const FaultPlan& plan);
+
+/// Flattens units back into a plan (fault before its repair, units in
+/// order).
+FaultPlan units_to_plan(const std::vector<FaultUnit>& units);
+
+struct ShrinkConfig {
+  /// Hard cap on predicate evaluations (world re-runs). ddmin gets first
+  /// claim; whatever remains goes to coarsening.
+  std::size_t max_runs = 200;
+  /// Times are snapped to multiples of this during coarsening.
+  Time granularity = Time::ms(500);
+  /// Outages are never shortened below this.
+  Time min_outage = Time::ms(500);
+};
+
+struct ShrinkStats {
+  std::size_t runs = 0;            // predicate evaluations spent
+  std::size_t initial_units = 0;
+  std::size_t final_units = 0;
+  std::size_t coarsened_events = 0;  // events whose time/duration changed
+};
+
+/// Minimizes `plan` under `still_fails`. The predicate must be true for
+/// the input plan (LogicError otherwise — shrinking a passing plan is a
+/// caller bug, and ddmin's invariant needs a failing baseline).
+FaultPlan shrink_plan(const FaultPlan& plan,
+                      const std::function<bool(const FaultPlan&)>& still_fails,
+                      const ShrinkConfig& cfg = {},
+                      ShrinkStats* stats = nullptr);
+
+}  // namespace mip6

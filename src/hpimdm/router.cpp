@@ -122,6 +122,14 @@ std::vector<IfaceId> HpimDmRouter::enabled_ifaces() const {
   return out;
 }
 
+std::size_t HpimDmRouter::retransmit_backlog() const {
+  std::size_t total = 0;
+  for (const auto& [iface, st] : ifaces_) {
+    for (const auto& [nbr, ch] : st.neighbors) total += ch.pending.size();
+  }
+  return total;
+}
+
 void HpimDmRouter::add_local_receiver(const Address& group) {
   int& refs = local_receivers_[group];
   ++refs;

@@ -77,6 +77,11 @@ class HpimDmRouter : public DenseModeEngine {
   bool is_local_receiver(const Address& group) const override;
 
   std::size_t entry_count() const override { return entries_.size(); }
+  std::size_t mfc_entries() const override { return mfc_.size(); }
+  /// Unacked control messages queued across every neighbor channel. A
+  /// healthy channel drains to zero after convergence; the chaos-search
+  /// retx-backlog watchdog samples this.
+  std::size_t retransmit_backlog() const;
   std::vector<SgKey> sg_keys() const override;
   bool has_entry(const Address& src, const Address& group) const override;
   bool upstream_pruned(const Address& src,

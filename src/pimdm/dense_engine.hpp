@@ -45,6 +45,9 @@ class DenseModeEngine : public ProtocolModule {
 
   // --- Introspection for the auditor, metrics and benches ----------------
   virtual std::size_t entry_count() const = 0;
+  /// Occupied (S,G) flow-cache slots, stale entries included — the chaos
+  /// watchdogs compare this against a fault-free oracle to catch leaks.
+  virtual std::size_t mfc_entries() const = 0;
   /// Keys of every live (S,G) entry (auditor walks these).
   virtual std::vector<SgKey> sg_keys() const = 0;
   virtual bool has_entry(const Address& src, const Address& group) const = 0;

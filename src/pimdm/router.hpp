@@ -74,6 +74,7 @@ class PimDmRouter : public DenseModeEngine {
   enum class DownstreamState { kForwarding, kPrunePending, kPruned };
 
   std::size_t entry_count() const override { return entries_.size(); }
+  std::size_t mfc_entries() const override { return mfc_.size(); }
   /// Keys of every live (S,G) entry (auditor walks these).
   std::vector<SgKey> sg_keys() const override;
   bool has_entry(const Address& src, const Address& group) const override;

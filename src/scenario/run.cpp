@@ -39,6 +39,20 @@ ReplicationResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
       }
       r["fault_audit_violations"] = violations;
     }
+    // Disruptions no receiver ever came back from (only meaningful when
+    // traffic flows — without packets there is nothing to recover).
+    if (!spec.traffic.empty() && !c.receivers.empty()) {
+      double unrecovered_total = 0;
+      for (const CompiledScenario::Receiver& rec : c.receivers) {
+        double unrecovered = 0;
+        for (const auto& recovery : c.chaos->recoveries(*rec.app)) {
+          if (!recovery.recovered_at) unrecovered += 1;
+        }
+        r["unrecovered/" + rec.host] = unrecovered;
+        unrecovered_total += unrecovered;
+      }
+      r["fault_unrecovered"] = unrecovered_total;
+    }
   }
   // Deterministic teardown before the next replication reuses the process.
   c.world->stop();

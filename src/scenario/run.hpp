@@ -20,6 +20,9 @@ namespace mip6 {
 ///   "prefix/<prefix>"           each metrics.counter_prefixes sum
 ///   "faults_applied"            when the spec has a fault plan
 ///   "fault_audit_violations"    when fault auditing is on
+///   "unrecovered/<host>"        disruptions the receiver never came back
+///                               from (faulted runs with traffic only)
+///   "fault_unrecovered"         sum of the above across receivers
 /// Deterministic per (spec, seed): feeding this through run_replications
 /// on any thread count yields identical per-seed results.
 ReplicationResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,

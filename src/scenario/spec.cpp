@@ -142,16 +142,7 @@ HaRegistration parse_registration(const std::string& s,
 }
 
 FaultKind parse_fault_kind(const std::string& s, const std::string& ctx) {
-  if (s == "link-down") return FaultKind::kLinkDown;
-  if (s == "link-up") return FaultKind::kLinkUp;
-  if (s == "link-degrade") return FaultKind::kLinkDegrade;
-  if (s == "link-restore") return FaultKind::kLinkRestore;
-  if (s == "router-crash") return FaultKind::kRouterCrash;
-  if (s == "router-restart") return FaultKind::kRouterRestart;
-  if (s == "host-crash") return FaultKind::kHostCrash;
-  if (s == "host-restart") return FaultKind::kHostRestart;
-  if (s == "ha-outage") return FaultKind::kHaOutage;
-  if (s == "ha-restore") return FaultKind::kHaRestore;
+  if (auto k = fault_kind_from_name(s)) return *k;
   fail(ctx + ": unknown fault kind '" + s +
        "' (known: link-down, link-up, link-degrade, link-restore, "
        "router-crash, router-restart, host-crash, host-restart, ha-outage, "

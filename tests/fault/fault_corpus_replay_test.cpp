@@ -1,0 +1,79 @@
+// Replays the committed chaos reproducer corpus byte-exact: every entry
+// under tests/fault/corpus/ is re-run twice and must produce (a) identical
+// chaos traces both times, (b) the violation classes recorded at capture
+// time, and (c) the recorded trace line for line. A mismatch means world
+// behavior under that fault schedule changed — either fix the regression
+// or re-record deliberately with `mip6sim chaos-replay --record` and
+// review the diff.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fault/search.hpp"
+
+#ifndef MIP6_FAULT_CORPUS_DIR
+#error "MIP6_FAULT_CORPUS_DIR must point at tests/fault/corpus"
+#endif
+#ifndef MIP6_SCENARIO_DIR
+#error "MIP6_SCENARIO_DIR must point at examples/scenarios"
+#endif
+
+namespace mip6 {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(MIP6_FAULT_CORPUS_DIR)) {
+    if (entry.path().extension() == ".json")
+      files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(FaultCorpus, EveryReproducerReplaysByteExactTwice) {
+  std::vector<std::string> files = corpus_files();
+  ASSERT_FALSE(files.empty()) << "no corpus entries under "
+                              << MIP6_FAULT_CORPUS_DIR;
+  for (const std::string& path : files) {
+    SCOPED_TRACE(path);
+    ChaosReproducer repro = ChaosReproducer::load_file(path);
+    ScenarioSpec spec = ScenarioSpec::load_file(
+        std::string(MIP6_SCENARIO_DIR) + "/" + repro.scenario);
+
+    ChaosRunResult first = replay_reproducer(spec, repro);
+    ChaosRunResult second = replay_reproducer(spec, repro);
+
+    // Determinism: two runs of the same tuple are indistinguishable.
+    EXPECT_EQ(first.trace, second.trace);
+    EXPECT_EQ(first.classes(), second.classes());
+    EXPECT_EQ(first.delivered_total, second.delivered_total);
+    EXPECT_EQ(first.executed_events, second.executed_events);
+
+    // Regression anchor: behavior matches what was recorded at capture.
+    EXPECT_EQ(first.classes(), repro.classes);
+    EXPECT_EQ(first.trace, repro.trace);
+  }
+}
+
+TEST(FaultCorpus, EntriesValidateAgainstTheReproSchema) {
+  for (const std::string& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    ChaosReproducer repro = ChaosReproducer::load_file(path);
+    EXPECT_FALSE(repro.scenario.empty());
+    EXPECT_GT(repro.settle_s, 0.0);
+    // Round-trip through JSON is lossless for the replay-relevant fields.
+    ChaosReproducer back = ChaosReproducer::from_json(repro.to_json());
+    EXPECT_EQ(back.plan.str(), repro.plan.str());
+    EXPECT_EQ(back.trace, repro.trace);
+    EXPECT_EQ(back.classes, repro.classes);
+    EXPECT_EQ(back.seed, repro.seed);
+  }
+}
+
+}  // namespace
+}  // namespace mip6

@@ -91,5 +91,126 @@ TEST(FaultPlanRandom, RejectsEmptySpecs) {
   EXPECT_THROW(FaultPlan::random(inverted, 1), LogicError);
 }
 
+TEST(FaultKindNames, RoundTripAndRepairPairing) {
+  for (FaultKind k :
+       {FaultKind::kLinkDown, FaultKind::kLinkUp, FaultKind::kLinkDegrade,
+        FaultKind::kLinkRestore, FaultKind::kRouterCrash,
+        FaultKind::kRouterRestart, FaultKind::kHostCrash,
+        FaultKind::kHostRestart, FaultKind::kHaOutage,
+        FaultKind::kHaRestore}) {
+    auto back = fault_kind_from_name(fault_kind_name(k));
+    ASSERT_TRUE(back.has_value()) << fault_kind_name(k);
+    EXPECT_EQ(*back, k);
+  }
+  EXPECT_FALSE(fault_kind_from_name("link-sideways").has_value());
+
+  EXPECT_EQ(repair_kind_of(FaultKind::kLinkDown), FaultKind::kLinkUp);
+  EXPECT_EQ(repair_kind_of(FaultKind::kLinkDegrade), FaultKind::kLinkRestore);
+  EXPECT_EQ(repair_kind_of(FaultKind::kRouterCrash),
+            FaultKind::kRouterRestart);
+  EXPECT_EQ(repair_kind_of(FaultKind::kHostCrash), FaultKind::kHostRestart);
+  EXPECT_EQ(repair_kind_of(FaultKind::kHaOutage), FaultKind::kHaRestore);
+  EXPECT_THROW(repair_kind_of(FaultKind::kLinkUp), LogicError);
+}
+
+/// Satellite contract: FaultPlan::random never schedules a disruption
+/// against a target whose previous fault/repair pair is still open.
+TEST(FaultPlanRandom, NeverOverlapsWindowsOnOneTarget) {
+  RandomPlanSpec spec = fig1_spec();
+  // Saturate: one link, many disruptions, long outages in a short window —
+  // the regime where the old generator emitted down-of-down sequences.
+  spec.links = {"Link1"};
+  spec.routers.clear();
+  spec.hosts.clear();
+  spec.home_agents.clear();
+  spec.allow_degrade = true;
+  spec.disruptions = 8;
+  spec.min_outage = Time::sec(4);
+  spec.max_outage = Time::sec(10);
+
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    FaultPlan plan = FaultPlan::random(spec, seed);
+    // Reconstruct per-target windows from the paired events.
+    struct Window {
+      std::string target;
+      Time begin, end;
+    };
+    std::vector<Window> windows;
+    const auto& events = plan.events();
+    ASSERT_EQ(events.size() % 2, 0u);
+    for (std::size_t i = 0; i < events.size(); i += 2) {
+      ASSERT_TRUE(is_disruption(events[i].kind)) << events[i].str();
+      ASSERT_EQ(repair_kind_of(events[i].kind), events[i + 1].kind);
+      ASSERT_EQ(events[i].target, events[i + 1].target);
+      windows.push_back({events[i].target, events[i].at, events[i + 1].at});
+    }
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      for (std::size_t j = i + 1; j < windows.size(); ++j) {
+        if (windows[i].target != windows[j].target) continue;
+        // Touching (end == begin) is allowed; overlap is not.
+        EXPECT_FALSE(windows[i].begin < windows[j].end &&
+                     windows[j].begin < windows[i].end)
+            << "seed " << seed << ":\n"
+            << plan.str();
+      }
+    }
+  }
+}
+
+TEST(FaultPlanRandom, SaturatedScheduleDropsDisruptionsInsteadOfOverlapping) {
+  RandomPlanSpec spec = fig1_spec();
+  spec.links = {"Link1"};
+  spec.routers.clear();
+  spec.hosts.clear();
+  spec.home_agents.clear();
+  spec.allow_degrade = false;
+  // 40 disruptions of >= 20 s each cannot fit in a 55 s window without
+  // overlapping: the generator must come up short rather than double-book.
+  spec.disruptions = 40;
+  spec.min_outage = Time::sec(20);
+  spec.max_outage = Time::sec(30);
+  FaultPlan plan = FaultPlan::random(spec, 3);
+  EXPECT_LT(plan.size(), 80u);
+  EXPECT_GE(plan.size(), 2u);
+}
+
+TEST(FaultPlanJson, EventRoundTripIsExact) {
+  FaultEvent e{Time::ns(12'000'000'001), FaultKind::kLinkDegrade, "Link3",
+               LinkImpairment{0.25, 0.05, Time::ms(5)}};
+  FaultEvent back = FaultEvent::from_json(e.to_json());
+  EXPECT_EQ(back.at, e.at);  // at_ns is authoritative: bit-exact
+  EXPECT_EQ(back.kind, e.kind);
+  EXPECT_EQ(back.target, e.target);
+  EXPECT_EQ(back.impairment.loss, e.impairment.loss);
+  EXPECT_EQ(back.impairment.corrupt, e.impairment.corrupt);
+  EXPECT_EQ(back.impairment.jitter, e.impairment.jitter);
+}
+
+TEST(FaultPlanJson, PlanRoundTripPreservesOrderAndStr) {
+  RandomPlanSpec spec = fig1_spec();
+  FaultPlan plan = FaultPlan::random(spec, 11);
+  FaultPlan back = FaultPlan::from_json(plan.to_json());
+  EXPECT_EQ(back.str(), plan.str());
+  ASSERT_EQ(back.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(back.events()[i].at, plan.events()[i].at);
+  }
+}
+
+TEST(FaultPlanJson, FromJsonNamesTheOffendingField) {
+  Json bad = Json::object();
+  bad.set("kind", "link-down");
+  EXPECT_THROW(FaultEvent::from_json(bad), ParseError);  // no target
+  bad.set("target", "Link1");
+  EXPECT_THROW(FaultEvent::from_json(bad), ParseError);  // no time
+  bad.set("at_s", 5.0);
+  EXPECT_EQ(FaultEvent::from_json(bad).at, Time::sec(5));
+  Json unknown = Json::object();
+  unknown.set("kind", "link-sideways");
+  unknown.set("target", "Link1");
+  unknown.set("at_s", 1.0);
+  EXPECT_THROW(FaultEvent::from_json(unknown), ParseError);
+}
+
 }  // namespace
 }  // namespace mip6

@@ -1,0 +1,182 @@
+// Chaos search end-to-end: deterministic classification, clean trees stay
+// clean, biased plan generation keeps its invariants, and the shrinker
+// acceptance path — an injected lost-repair bug must shrink to a tiny
+// reproducer that still fires.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "fault/search.hpp"
+#include "sim/rng.hpp"
+#include "util/errors.hpp"
+
+namespace mip6 {
+namespace {
+
+ScenarioSpec chaos_ab_spec() {
+  return ScenarioSpec::load_file(std::string(MIP6_SCENARIO_DIR) +
+                                 "/chaos_ab.json");
+}
+
+/// Short settle keeps each world run cheap; the scenario's own plan stays
+/// far below the horizon so the deadline math still has room.
+ChaosRunOptions fast_opts() {
+  ChaosRunOptions opts;
+  opts.settle = Time::sec(12);
+  return opts;
+}
+
+TEST(ChaosRun, SameInputsSameTraceAndClassesTwice) {
+  ScenarioSpec spec = chaos_ab_spec();
+  FaultPlan plan;
+  plan.link_down(Time::sec(20), "Link3").link_up(Time::sec(24), "Link3");
+  ChaosRunOptions opts = fast_opts();
+  ChaosRunResult a = run_fault_plan(spec, plan, spec.seed, opts);
+  ChaosRunResult b = run_fault_plan(spec, plan, spec.seed, opts);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.classes(), b.classes());
+  EXPECT_EQ(a.delivered_total, b.delivered_total);
+  EXPECT_EQ(a.executed_events, b.executed_events);
+  EXPECT_FALSE(a.trace.empty());
+}
+
+TEST(ChaosRun, RepairedDisruptionOnHealthyTreeIsClean) {
+  ScenarioSpec spec = chaos_ab_spec();
+  FaultPlan plan;
+  plan.link_down(Time::sec(20), "Link3").link_up(Time::sec(24), "Link3");
+  WorldOracle oracle = compute_world_oracle(
+      spec, spec.seed, chaos_horizon(spec, fast_opts()));
+  ChaosRunResult r = run_fault_plan(spec, plan, spec.seed, fast_opts(),
+                                    &oracle);
+  EXPECT_FALSE(r.violated())
+      << violation_class_name(r.violations.front().cls) << ": "
+      << r.violations.front().detail;
+}
+
+TEST(ChaosSearch, FixedBudgetOnCleanTreeFindsNothing) {
+  ScenarioSpec spec = chaos_ab_spec();
+  ChaosSearchConfig cfg;
+  cfg.budget = 3;
+  cfg.seed = 7;
+  cfg.max_disruptions = 2;
+  cfg.run = fast_opts();
+  ChaosSearchResult r = chaos_search(spec, cfg);
+  EXPECT_EQ(r.explored, 3u);
+  EXPECT_EQ(r.violating, 0u)
+      << (r.findings.empty()
+              ? ""
+              : r.findings.front().violations.front().detail);
+  EXPECT_EQ(r.plans.size(), 3u);
+  EXPECT_GT(r.executed_events, 0u);
+}
+
+TEST(ChaosSearch, BiasedPlansAreDeterministicAndNonOverlapping) {
+  ScenarioSpec spec = chaos_ab_spec();
+  ChaosSearchConfig cfg;
+  cfg.seed = 5;
+  cfg.max_disruptions = 4;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    std::uint64_t plan_seed = Rng::derive_seed(cfg.seed, i);
+    FaultPlan a = biased_random_plan(spec, cfg, plan_seed);
+    FaultPlan b = biased_random_plan(spec, cfg, plan_seed);
+    EXPECT_EQ(a.str(), b.str());
+    // Per-target windows from paired events must not overlap even after
+    // the bias retiming pass.
+    auto units = pair_units(a);
+    for (std::size_t x = 0; x < units.size(); ++x) {
+      for (std::size_t y = x + 1; y < units.size(); ++y) {
+        if (units[x].fault.target != units[y].fault.target) continue;
+        if (!units[x].repair || !units[y].repair) continue;
+        EXPECT_FALSE(units[x].fault.at < units[y].repair->at &&
+                     units[y].fault.at < units[x].repair->at)
+            << "seed " << plan_seed << ":\n"
+            << a.str();
+      }
+    }
+  }
+}
+
+/// Acceptance criterion: inject a lost-repair bug (every link-up event is
+/// dropped before arming), search a small budget, and require the shrinker
+/// to hand back a reproducer of at most two fault/repair pairs that still
+/// triggers the same violation class.
+TEST(ChaosSearch, InjectedLostRepairBugShrinksToTinyReproducer) {
+  ScenarioSpec spec = chaos_ab_spec();
+  ChaosSearchConfig cfg;
+  cfg.budget = 6;
+  cfg.seed = 11;
+  cfg.min_disruptions = 2;
+  cfg.max_disruptions = 4;
+  cfg.allow_degrade = false;  // keep the fleet all link-down/link-up
+  cfg.run = fast_opts();
+  cfg.run.skip_repair = FaultKind::kLinkUp;  // the injected bug
+  cfg.shrink.max_runs = 60;
+  ChaosSearchResult r = chaos_search(spec, cfg);
+  ASSERT_GT(r.violating, 0u) << "injected bug never classified as a failure";
+  ASSERT_FALSE(r.findings.empty());
+
+  const ChaosSearchFinding& f = r.findings.front();
+  EXPECT_FALSE(f.classes.empty());
+  auto shrunk_units = pair_units(f.shrunk);
+  EXPECT_LE(shrunk_units.size(), 2u) << f.shrunk.str();
+  EXPECT_GE(f.shrunk.size(), 1u);
+
+  // The shrunk plan must still trigger at least one of the original
+  // violation classes under the same injected bug.
+  ChaosRunResult again =
+      run_fault_plan(spec, f.shrunk, spec.seed, cfg.run);
+  std::set<std::string> original(f.classes.begin(), f.classes.end());
+  bool intersects = false;
+  for (const auto& cls : again.classes()) {
+    if (original.count(cls)) intersects = true;
+  }
+  EXPECT_TRUE(intersects) << f.shrunk.str();
+}
+
+TEST(ChaosSearch, ApplyEngineRejectsUnknownNames) {
+  ScenarioSpec spec = chaos_ab_spec();
+  EXPECT_NO_THROW(apply_engine(spec, "spec"));
+  EXPECT_NO_THROW(apply_engine(spec, "pimdm"));
+  EXPECT_NO_THROW(apply_engine(spec, "hpimdm"));
+  EXPECT_THROW(apply_engine(spec, "densest-mode"), LogicError);
+}
+
+TEST(ChaosReproducerJson, RoundTripsAndValidates) {
+  ChaosReproducer r;
+  r.scenario = "chaos_ab.json";
+  r.engine = "hpimdm";
+  r.seed = 42;
+  r.settle_s = 12.0;
+  r.plan.link_down(Time::sec(20), "Link3").link_up(Time::sec(24), "Link3");
+  r.classes = {"convergence-deadline"};
+  r.trace = {"20.000000000s link-down Link3", "24.000000000s link-up Link3"};
+  ChaosReproducer back = ChaosReproducer::from_json(r.to_json());
+  EXPECT_EQ(back.scenario, r.scenario);
+  EXPECT_EQ(back.engine, r.engine);
+  EXPECT_EQ(back.seed, r.seed);
+  EXPECT_EQ(back.settle_s, r.settle_s);
+  EXPECT_EQ(back.plan.str(), r.plan.str());
+  EXPECT_EQ(back.classes, r.classes);
+  EXPECT_EQ(back.trace, r.trace);
+
+  Json bad = r.to_json();
+  bad.set("schema", "mip6-chaos-repro-v0");
+  EXPECT_THROW(ChaosReproducer::from_json(bad), ParseError);
+}
+
+TEST(ViolationClassNames, RoundTrip) {
+  for (ViolationClass cls :
+       {ViolationClass::kAudit, ViolationClass::kConvergenceDeadline,
+        ViolationClass::kTimerLeak, ViolationClass::kRetxBacklog,
+        ViolationClass::kStateLeak, ViolationClass::kNeverRecovered}) {
+    auto back = violation_class_from_name(violation_class_name(cls));
+    ASSERT_TRUE(back.has_value()) << violation_class_name(cls);
+    EXPECT_EQ(*back, cls);
+  }
+  EXPECT_FALSE(violation_class_from_name("gremlins").has_value());
+}
+
+}  // namespace
+}  // namespace mip6

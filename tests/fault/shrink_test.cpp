@@ -1,0 +1,157 @@
+// ddmin shrinker: unit pairing, reduction to the minimal failing core,
+// time/impairment coarsening, budget discipline.
+#include <gtest/gtest.h>
+
+#include "fault/shrink.hpp"
+#include "util/errors.hpp"
+
+namespace mip6 {
+namespace {
+
+bool has_event(const FaultPlan& plan, FaultKind kind,
+               const std::string& target) {
+  for (const auto& e : plan.events()) {
+    if (e.kind == kind && e.target == target) return true;
+  }
+  return false;
+}
+
+TEST(PairUnits, MatchesRepairsByTargetAndKind) {
+  FaultPlan plan;
+  plan.link_down(Time::sec(10), "Link1")
+      .link_down(Time::sec(12), "Link2")
+      .link_up(Time::sec(14), "Link1")
+      .link_up(Time::sec(16), "Link2")
+      .router_crash(Time::sec(20), "RouterB")
+      .router_restart(Time::sec(25), "RouterB");
+  auto units = pair_units(plan);
+  ASSERT_EQ(units.size(), 3u);
+  EXPECT_EQ(units[0].fault.target, "Link1");
+  ASSERT_TRUE(units[0].repair.has_value());
+  EXPECT_EQ(units[0].repair->at, Time::sec(14));
+  EXPECT_EQ(units[1].fault.target, "Link2");
+  ASSERT_TRUE(units[1].repair.has_value());
+  EXPECT_EQ(units[2].fault.kind, FaultKind::kRouterCrash);
+  ASSERT_TRUE(units[2].repair.has_value());
+  EXPECT_EQ(units[2].repair->kind, FaultKind::kRouterRestart);
+}
+
+TEST(PairUnits, OrphansTravelAsSingleEventUnits) {
+  FaultPlan plan;
+  plan.link_down(Time::sec(10), "Link1")   // never repaired
+      .link_up(Time::sec(20), "Link2");    // repair with no disruption
+  auto units = pair_units(plan);
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_FALSE(units[0].repair.has_value());
+  EXPECT_EQ(units[0].fault.target, "Link1");
+  EXPECT_FALSE(units[1].repair.has_value());
+  EXPECT_EQ(units[1].fault.kind, FaultKind::kLinkUp);
+}
+
+TEST(PairUnits, RoundTripsThroughUnitsToPlan) {
+  FaultPlan plan;
+  plan.link_down(Time::sec(10), "Link1")
+      .link_up(Time::sec(14), "Link1")
+      .host_crash(Time::sec(15), "Receiver3")
+      .host_restart(Time::sec(18), "Receiver3");
+  FaultPlan back = units_to_plan(pair_units(plan));
+  EXPECT_EQ(back.str(), plan.str());
+}
+
+TEST(ShrinkPlan, ReducesToTheSingleUnitThePredicateNeeds) {
+  FaultPlan plan;
+  plan.link_down(Time::sec(10), "Link1")
+      .link_up(Time::sec(12), "Link1")
+      .link_down(Time::sec(14), "Link3")  // <- the "bug trigger"
+      .link_up(Time::sec(18), "Link3")
+      .router_crash(Time::sec(20), "RouterB")
+      .router_restart(Time::sec(24), "RouterB")
+      .ha_outage(Time::sec(30), "RouterD")
+      .ha_restore(Time::sec(33), "RouterD");
+  auto still_fails = [](const FaultPlan& p) {
+    return has_event(p, FaultKind::kLinkDown, "Link3");
+  };
+  ShrinkStats stats;
+  FaultPlan shrunk = shrink_plan(plan, still_fails, {}, &stats);
+  EXPECT_EQ(stats.initial_units, 4u);
+  EXPECT_EQ(stats.final_units, 1u);
+  EXPECT_TRUE(has_event(shrunk, FaultKind::kLinkDown, "Link3"));
+  EXPECT_FALSE(has_event(shrunk, FaultKind::kRouterCrash, "RouterB"));
+  EXPECT_FALSE(has_event(shrunk, FaultKind::kHaOutage, "RouterD"));
+  EXPECT_GT(stats.runs, 0u);
+}
+
+TEST(ShrinkPlan, CoarsensTimesOutagesAndImpairments) {
+  FaultPlan plan;
+  plan.degrade(Time::ns(10'123'456'789), "Link3",
+               LinkImpairment{0.371, 0.02, Time::ms(7)})
+      .restore(Time::ns(17'987'654'321), "Link3");
+  auto still_fails = [](const FaultPlan& p) {
+    return has_event(p, FaultKind::kLinkDegrade, "Link3");
+  };
+  ShrinkConfig cfg;
+  cfg.granularity = Time::ms(500);
+  cfg.min_outage = Time::ms(500);
+  ShrinkStats stats;
+  FaultPlan shrunk = shrink_plan(plan, still_fails, cfg, &stats);
+  ASSERT_EQ(shrunk.size(), 2u);
+  const auto& events = shrunk.sorted();
+  // Fault time snapped down to the granularity grid.
+  EXPECT_EQ(events[0].at.nanos() % cfg.granularity.nanos(), 0);
+  // Outage shortened toward min_outage.
+  EXPECT_EQ(events[1].at - events[0].at, cfg.min_outage);
+  // Degrade impairment canonicalized to the simple half-loss form.
+  EXPECT_EQ(events[0].impairment.loss, 0.5);
+  EXPECT_EQ(events[0].impairment.corrupt, 0.0);
+  EXPECT_EQ(events[0].impairment.jitter, Time::zero());
+  EXPECT_GT(stats.coarsened_events, 0u);
+}
+
+TEST(ShrinkPlan, CoarseningRollsBackWhenThePredicateDependsOnTiming) {
+  FaultPlan plan;
+  plan.link_down(Time::ns(10'123'456'789), "Link1")
+      .link_up(Time::sec(19), "Link1");
+  // Predicate pins both exact instants: neither time snapping nor outage
+  // shortening may survive, and the plan must come back unchanged.
+  auto still_fails = [](const FaultPlan& p) {
+    if (p.size() != 2) return false;
+    const auto sorted = p.sorted();
+    return sorted[0].kind == FaultKind::kLinkDown &&
+           sorted[0].at == Time::ns(10'123'456'789) &&
+           sorted[1].kind == FaultKind::kLinkUp &&
+           sorted[1].at == Time::sec(19);
+  };
+  ShrinkStats stats;
+  FaultPlan shrunk = shrink_plan(plan, still_fails, {}, &stats);
+  EXPECT_EQ(shrunk.str(), plan.str());
+  EXPECT_EQ(stats.coarsened_events, 0u);
+}
+
+TEST(ShrinkPlan, BudgetExhaustionIsBestEffort) {
+  FaultPlan plan;
+  for (int i = 0; i < 8; ++i) {
+    plan.link_down(Time::sec(5 + 4 * i), "Link" + std::to_string(i % 4 + 1))
+        .link_up(Time::sec(7 + 4 * i), "Link" + std::to_string(i % 4 + 1));
+  }
+  auto still_fails = [](const FaultPlan& p) {
+    return has_event(p, FaultKind::kLinkDown, "Link3");
+  };
+  ShrinkConfig cfg;
+  cfg.max_runs = 2;  // far too small to finish ddmin
+  ShrinkStats stats;
+  FaultPlan shrunk = shrink_plan(plan, still_fails, cfg, &stats);
+  EXPECT_LE(stats.runs, cfg.max_runs);
+  // Whatever came out must still fail — shrinking never loses the bug.
+  EXPECT_TRUE(still_fails(shrunk));
+}
+
+TEST(ShrinkPlan, ThrowsWhenTheInputPlanPasses) {
+  FaultPlan plan;
+  plan.link_down(Time::sec(10), "Link1").link_up(Time::sec(12), "Link1");
+  EXPECT_THROW(
+      shrink_plan(plan, [](const FaultPlan&) { return false; }),
+      LogicError);
+}
+
+}  // namespace
+}  // namespace mip6
