@@ -6,6 +6,9 @@
 // The sweep axes mirror the scaling studies of the related literature
 // (Helmy cs/0006022; Schmidt & Wählisch cs/0408009): credible mobility
 // numbers need topology size and handover rate swept together.
+#include <map>
+#include <tuple>
+
 #include "common.hpp"
 #include "core/random_topology.hpp"
 #include "report.hpp"
@@ -29,6 +32,12 @@ struct Cell {
   /// the large memory-envelope cells are reported per-row only so the
   /// headline stays comparable across runs.
   bool headline = true;
+  /// In-world worker shards (World::enable_parallel): 1 = serial. Parallel
+  /// cells are byte-identical to their serial twin by construction (the
+  /// identity suite pins that); here only the wall clock is under test,
+  /// reported as speedup vs the serial cell with the same shape. Parallel
+  /// cells never feed the headline aggregate.
+  std::uint32_t threads = 1;
 };
 
 ReplicationResult run_cell(std::uint64_t seed, const Cell& cell,
@@ -85,9 +94,12 @@ ReplicationResult run_cell(std::uint64_t seed, const Cell& cell,
           env.sender->service->send_multicast(env.group, kPort, kPort,
                                               std::move(p));
         },
-        Time::ms(50), 128);
+        Time::ms(50), 128, env.sender->node->domain());
     env.source->start(Time::sec(1));
   }
+
+  const std::uint32_t shards =
+      cell.threads > 1 ? world.enable_parallel(cell.threads) : 1;
 
   WallTimer timer;
   world.run_until(horizon);
@@ -113,6 +125,8 @@ ReplicationResult run_cell(std::uint64_t seed, const Cell& cell,
   r["sg_entries"] = static_cast<double>(sg_entries);
   r["mfc_hit"] = static_cast<double>(c.get("pimdm/mfc-hit"));
   r["mfc_miss"] = static_cast<double>(c.get("pimdm/mfc-miss"));
+  // Shards actually granted (the partitioner may cap below the request).
+  r["threads"] = static_cast<double>(shards);
   return r;
 }
 
@@ -132,11 +146,21 @@ int main(int argc, char** argv) {
   std::vector<Cell> cells;
   if (smoke) {
     cells = {{8, 1, 0}, {8, 2, 30}};
+    // Parallel twin of the churny small cell: wall clock only, the
+    // identity suite already pins byte-equality.
+    cells.push_back({8, 2, 30, /*max_fanout=*/0, /*reps_override=*/0,
+                     /*headline=*/false, /*threads=*/2});
     // Memory-envelope cell, smoke-sized in replication count only: the
     // router count must stay ≥1k for the rss-per-(S,G) figure to mean
     // anything. Static receivers, fanout-capped topology.
     cells.push_back({1024, 8, 0, /*max_fanout=*/32, /*reps_override=*/1,
                      /*headline=*/false});
+    // 1k-router multi-group churn cell (smoke-sized group count), serial
+    // then parallel.
+    cells.push_back({1024, 8, 30, /*max_fanout=*/32, /*reps_override=*/1,
+                     /*headline=*/false});
+    cells.push_back({1024, 8, 30, /*max_fanout=*/32, /*reps_override=*/1,
+                     /*headline=*/false, /*threads=*/8});
   } else {
     for (std::size_t routers : {8, 16, 32}) {
       for (std::size_t groups : {std::size_t{1}, std::size_t{4}}) {
@@ -145,12 +169,24 @@ int main(int argc, char** argv) {
     }
     cells.push_back({1024, 64, 0, /*max_fanout=*/32, /*reps_override=*/2,
                      /*headline=*/false});
+    cells.push_back({1024, 64, 0, /*max_fanout=*/32, /*reps_override=*/1,
+                     /*headline=*/false, /*threads=*/8});
+    // 1k-router multi-group sweep with host churn (receivers roam with a
+    // 30 s dwell), serial and parallel.
+    cells.push_back({1024, 64, 30, /*max_fanout=*/32, /*reps_override=*/1,
+                     /*headline=*/false});
+    cells.push_back({1024, 64, 30, /*max_fanout=*/32, /*reps_override=*/1,
+                     /*headline=*/false, /*threads=*/8});
   }
 
   BenchReport report("scale");
-  Table t({"routers", "groups", "dwell", "events/rep", "Mev/s", "ns/event",
-           "data fwd", "delivered", "sg", "rss/sg", "pending@end"});
+  Table t({"routers", "groups", "dwell", "thr", "events/rep", "Mev/s",
+           "ns/event", "speedup", "data fwd", "delivered", "sg", "rss/sg",
+           "pending@end"});
   double total_wall = 0.0, total_events = 0.0, total_fwd = 0.0;
+  // events/s of each serial cell, keyed by shape, so the parallel twin
+  // (which must come later in the list) can report speedup against it.
+  std::map<std::tuple<std::size_t, std::size_t, int>, double> serial_rate;
   for (const Cell& cell : cells) {
     ReplicationOptions opts;
     opts.replications = cell.reps_override > 0 ? cell.reps_override : reps;
@@ -172,6 +208,16 @@ int main(int argc, char** argv) {
       total_fwd += fwd;
     }
     double ns_per_event = events > 0 ? wall * 1e9 / events : 0.0;
+    double events_per_s = wall > 0 ? events / wall : 0.0;
+    const auto shape = std::make_tuple(cell.routers, cell.groups,
+                                       cell.dwell_s);
+    double speedup = 0.0;
+    if (cell.threads <= 1) {
+      serial_rate[shape] = events_per_s;
+    } else if (auto it = serial_rate.find(shape); it != serial_rate.end() &&
+               it->second > 0) {
+      speedup = events_per_s / it->second;
+    }
     // Cumulative process peak: meaningful for the largest cell (which
     // dominates it), reported per-row for the record.
     double rss = peak_rss_bytes();
@@ -180,9 +226,11 @@ int main(int argc, char** argv) {
     t.add_row({std::to_string(cell.routers), std::to_string(cell.groups),
                cell.dwell_s == 0 ? "static" : std::to_string(cell.dwell_s) +
                                                   " s",
+               fmt_double(m.at("threads").mean(), 0),
                fmt_double(m.at("events").mean(), 0),
                fmt_double(events / wall / 1e6, 2),
                fmt_double(ns_per_event, 0),
+               cell.threads > 1 ? fmt_double(speedup, 2) : "-",
                fmt_double(m.at("data_fwd").mean(), 0),
                fmt_double(m.at("delivered").mean(), 0),
                fmt_double(sg, 0), fmt_double(rss_per_sg, 0),
@@ -202,12 +250,29 @@ int main(int argc, char** argv) {
     row.set("mfc_hit", m.at("mfc_hit").mean());
     row.set("mfc_miss", m.at("mfc_miss").mean());
     row.set("headline", cell.headline);
+    row.set("threads", m.at("threads").mean());
+    row.set("events_per_s", events_per_s);
+    // Guarded on *granted* shards: the partitioner may cap below the
+    // request, and a speedup on a 1-thread row fails validation.
+    if (cell.threads > 1 && m.at("threads").mean() > 1.0) {
+      row.set("speedup", speedup);
+    }
     report.add_row(std::move(row));
-    if (cell.routers >= 1024) {
+    if (cell.routers >= 1024 && cell.threads <= 1 && cell.dwell_s == 0) {
       report.metric("scale_1k_ns_per_event", ns_per_event);
       report.metric("scale_1k_peak_rss_bytes", rss);
       report.metric("scale_1k_rss_per_sg_bytes", rss_per_sg);
       report.metric("scale_1k_sg_entries", sg);
+    }
+    if (cell.routers >= 1024 && cell.threads > 1 && cell.dwell_s == 0) {
+      report.metric("scale_1k_par_events_per_s", events_per_s);
+      report.metric("scale_1k_par_speedup", speedup);
+      report.metric("scale_1k_par_threads", m.at("threads").mean());
+    }
+    if (cell.routers >= 1024 && cell.dwell_s > 0) {
+      report.metric(cell.threads > 1 ? "scale_1k_churn_par_events_per_s"
+                                     : "scale_1k_churn_events_per_s",
+                    events_per_s);
     }
   }
   std::printf("%s\n", t.str().c_str());

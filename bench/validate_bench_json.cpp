@@ -69,6 +69,25 @@ bool validate(const std::string& file) {
   }
   for (const mip6::Json& row : doc["rows"].items()) {
     if (!row.is_object()) return fail(file, "row is not an object");
+    // Parallel-execution fields (optional, introduced with in-world
+    // sharding): `threads` is the shard count granted to the cell and
+    // `speedup` its events/s ratio vs the serial cell of the same shape.
+    // A row carrying speedup must identify its thread count, and both
+    // must be sane numbers — a speedup on a 1-thread row means the bench
+    // mislabelled its serial baseline.
+    if (row.contains("threads")) {
+      if (!row["threads"].is_number() || row["threads"].as_number() < 1.0) {
+        return fail(file, "row \"threads\" not a number >= 1");
+      }
+    }
+    if (row.contains("speedup")) {
+      if (!row["speedup"].is_number() || row["speedup"].as_number() < 0.0) {
+        return fail(file, "row \"speedup\" not a non-negative number");
+      }
+      if (!row.contains("threads") || row["threads"].as_number() <= 1.0) {
+        return fail(file, "row has \"speedup\" but no parallel \"threads\"");
+      }
+    }
   }
   std::printf("%s: ok (%s, %zu rows, %.0f ns/event)\n", file.c_str(),
               doc["name"].as_string().c_str(), doc["rows"].size(),

@@ -16,8 +16,10 @@ McastMetrics::McastMetrics(Network& net, GlobalRouting& routing, Address group,
 
 void McastMetrics::update_reference_tree(
     LinkId source_link, const std::vector<LinkId>& member_links) {
-  reference_tree_links_ =
+  std::size_t tree =
       routing_->shortest_path_tree(source_link, member_links).size();
+  std::lock_guard<std::mutex> lock(mu_);
+  reference_tree_links_ = tree;
   // The tree includes the source link itself; data already exists there, so
   // the cost in *additional* transmissions excludes it — but the source's
   // own transmission onto its link is counted in actual_bytes_, so keep the
@@ -55,6 +57,8 @@ void McastMetrics::on_tx(const Link& link, const Packet& pkt) {
     return;
   }
 
+  const Time now = net_->now();
+  std::lock_guard<std::mutex> lock(mu_);
   ++data_tx_;
   actual_bytes_ += pkt.size();
   if (tunneled) tunneled_bytes_ += pkt.size();
@@ -70,7 +74,9 @@ void McastMetrics::on_tx(const Link& link, const Packet& pkt) {
   LinkStats& ls = per_link_[link.id()];
   ls.tx += 1;
   ls.bytes += pkt.size();
-  ls.last_tx = net_->now();
+  // Shards inside one window advance time independently; keep the maximum
+  // so "last transmission" is monotone regardless of hook arrival order.
+  if (ls.last_tx.is_never() || now > ls.last_tx) ls.last_tx = now;
 }
 
 Time McastMetrics::last_data_tx_on(LinkId link) const {

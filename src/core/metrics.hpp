@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -70,6 +71,10 @@ class McastMetrics {
 
   void on_tx(const Link& link, const Packet& pkt);
 
+  // on_tx runs on whichever shard transmits, so the accumulators are
+  // guarded; aggregate reads are for quiesced contexts (structural probes,
+  // post-run assertions), same contract as the Link counters.
+  mutable std::mutex mu_;
   Network* net_;
   GlobalRouting* routing_;
   Address group_;

@@ -24,6 +24,7 @@
 #include "mld/host.hpp"
 #include "mld/router.hpp"
 #include "hpimdm/router.hpp"
+#include "net/network.hpp"
 #include "net/protocol_module.hpp"
 #include "pimdm/dense_engine.hpp"
 #include "pimdm/router.hpp"
@@ -39,8 +40,12 @@ class NodeRuntime {
 
   /// Constructs a module in place and appends it to the lifecycle order.
   /// The caller (World wiring) also assigns the matching typed shortcut.
+  /// Construction runs under the node's DomainScope, so every Timer the
+  /// module creates binds to this node's domain and fires on its shard
+  /// under parallel execution.
   template <class T, class... Args>
   T& emplace_module(Args&&... args) {
+    DomainScope scope(node->network().scheduler(), node->domain());
     auto m = std::make_unique<T>(std::forward<Args>(args)...);
     T& ref = *m;
     modules_.push_back(std::move(m));

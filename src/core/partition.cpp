@@ -1,0 +1,174 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace mip6 {
+namespace {
+
+/// Plain union-find over node ids (path halving, union by size).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace
+
+Partition partition_topology(const Network& net,
+                             const std::vector<bool>& is_host,
+                             std::uint32_t max_shards) {
+  Partition out;
+  const std::size_t n = net.nodes().size();
+  out.domain_shard.assign(n + 1, 0);
+  out.domain_shard[kWorldDomain] = Scheduler::kStructuralShard;
+
+  // Lookahead: the tightest link. A zero-delay link breaks the windowing
+  // precondition (a domain could affect a neighbor "now"), so report it
+  // and let the caller fall back to serial.
+  Time min_delay = Time::never();
+  for (const auto& link : net.links()) {
+    if (link->delay() < min_delay) min_delay = link->delay();
+  }
+  out.lookahead = min_delay.is_never() ? Time::zero() : min_delay;
+
+  if (n == 0 || max_shards <= 1 || out.lookahead <= Time::zero()) {
+    out.shards = 1;
+    return out;
+  }
+
+  // 1. Safety constraint: contract every host-bearing link's attachees
+  //    into one component (see header).
+  UnionFind uf(n);
+  for (const auto& link : net.links()) {
+    const auto& att = link->attached();
+    bool host_bearing = false;
+    for (const Interface* iface : att) {
+      NodeId id = iface->node().id();
+      if (id < is_host.size() && is_host[id]) {
+        host_bearing = true;
+        break;
+      }
+    }
+    if (!host_bearing) continue;
+    for (std::size_t i = 1; i < att.size(); ++i) {
+      uf.unite(att[0]->node().id(), att[i]->node().id());
+    }
+  }
+
+  // 2. Contracted component graph: component index by first-seen root,
+  //    adjacency from the remaining (router-router) links.
+  std::vector<std::uint32_t> comp_of(n);
+  std::vector<std::uint32_t> comp_weight;
+  for (std::size_t id = 0; id < n; ++id) {
+    // The first node of each component (its union-find root after full
+    // contraction) defines the component id, so ids follow node order.
+    if (uf.find(id) == id) {
+      comp_of[id] = static_cast<std::uint32_t>(comp_weight.size());
+      comp_weight.push_back(0);
+    }
+  }
+  for (std::size_t id = 0; id < n; ++id) {
+    comp_of[id] = comp_of[uf.find(id)];
+    ++comp_weight[comp_of[id]];
+  }
+  const std::size_t c = comp_weight.size();
+  std::vector<std::vector<std::uint32_t>> adj(c);
+  for (const auto& link : net.links()) {
+    const auto& att = link->attached();
+    for (std::size_t i = 0; i < att.size(); ++i) {
+      for (std::size_t j = i + 1; j < att.size(); ++j) {
+        std::uint32_t a = comp_of[att[i]->node().id()];
+        std::uint32_t b = comp_of[att[j]->node().id()];
+        if (a != b) {
+          adj[a].push_back(b);
+          adj[b].push_back(a);
+        }
+      }
+    }
+  }
+  for (auto& v : adj) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  // 3. BFS order over components (new seeds in component-id order keep the
+  //    result deterministic), then greedy cumulative-weight chunking: a
+  //    component goes to the shard its running weight lands in, so shards
+  //    come out balanced and BFS-contiguous.
+  std::vector<std::uint32_t> order;
+  order.reserve(c);
+  std::vector<bool> seen(c, false);
+  for (std::uint32_t seed = 0; seed < c; ++seed) {
+    if (seen[seed]) continue;
+    std::queue<std::uint32_t> q;
+    q.push(seed);
+    seen[seed] = true;
+    while (!q.empty()) {
+      std::uint32_t u = q.front();
+      q.pop();
+      order.push_back(u);
+      for (std::uint32_t v : adj[u]) {
+        if (!seen[v]) {
+          seen[v] = true;
+          q.push(v);
+        }
+      }
+    }
+  }
+
+  const std::uint64_t total = n;
+  const std::uint64_t want = std::min<std::uint64_t>(max_shards, c);
+  std::vector<std::uint32_t> comp_shard(c, 0);
+  std::uint64_t cum = 0;
+  for (std::uint32_t comp : order) {
+    comp_shard[comp] = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(want - 1, cum * want / total));
+    cum += comp_weight[comp];
+  }
+
+  // A heavy component can make the running weight skip a slot entirely;
+  // compact the used ids so every worker thread gets real work.
+  std::vector<std::uint32_t> remap(want, UINT32_MAX);
+  std::uint32_t used = 0;
+  for (std::uint32_t comp : order) {
+    std::uint32_t& slot = remap[comp_shard[comp]];
+    if (slot == UINT32_MAX) slot = used++;
+    comp_shard[comp] = slot;
+  }
+
+  if (used <= 1) {
+    out.shards = 1;
+    return out;
+  }
+  out.shards = used;
+  for (std::size_t id = 0; id < n; ++id) {
+    out.domain_shard[id + 1] = comp_shard[comp_of[id]];
+  }
+  return out;
+}
+
+}  // namespace mip6

@@ -1,0 +1,53 @@
+// Topology partitioning for conservative parallel execution.
+//
+// The windowed scheduler (sim/scheduler.hpp) runs each node's domain on a
+// fixed shard; cross-shard packet deliveries are staged at window barriers
+// under the lookahead guarantee. The partition decides which nodes share a
+// shard, under one safety constraint and one quality goal:
+//
+//   Constraint — every node attached to a host-bearing link is co-sharded
+//   with that link's other attachees. A host's home link carries state
+//   that one domain writes while neighbors read synchronously during their
+//   own events: the home agent's proxy-ND answers (mutated by binding
+//   updates in the HA's domain, read by any sender resolving the home
+//   address) and the host's autoconfigured address set. Putting the whole
+//   home cell — host, designated router, and everyone else on that LAN —
+//   on one shard makes those reads same-thread. Router-to-router links
+//   only carry structurally-mutated state (attachment list, impairments,
+//   admin up/down — all world-domain) and may cross shards freely.
+//
+//   Goal — balanced shard weights with BFS locality, so most traffic stays
+//   shard-local and the per-window cross-shard staging volume stays small.
+//
+// The lookahead is the minimum propagation delay over all links: a domain
+// cannot cause an event on another node sooner than one link traversal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace mip6 {
+
+struct Partition {
+  /// Indexed by scheduler Domain (0 = world, mapped to the structural
+  /// shard; domain d >= 1 is node d-1). Values are shard slots.
+  std::vector<std::uint32_t> domain_shard;
+  /// Shards actually used (<= the requested maximum; 1 = don't bother).
+  std::uint32_t shards = 1;
+  /// Minimum link propagation delay — the conservative lookahead. Zero or
+  /// negative means the topology has a zero-delay link and cannot be
+  /// safely windowed (caller should stay serial).
+  Time lookahead = Time::zero();
+};
+
+/// Computes a partition of `net`'s nodes into at most `max_shards` shards.
+/// `is_host` is indexed by NodeId and marks mobility-capable end hosts
+/// (their attachment links become co-sharding constraints). Deterministic:
+/// depends only on topology and ids, never on execution state.
+Partition partition_topology(const Network& net,
+                             const std::vector<bool>& is_host,
+                             std::uint32_t max_shards);
+
+}  // namespace mip6

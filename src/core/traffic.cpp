@@ -20,9 +20,11 @@ CbrPayload CbrPayload::decode(BytesView payload) {
 }
 
 CbrSource::CbrSource(Scheduler& sched, SendFn send, Time interval,
-                     std::size_t payload_size)
+                     std::size_t payload_size, std::optional<Domain> domain)
     : sched_(&sched), send_(std::move(send)), interval_(interval),
-      payload_size_(payload_size), timer_(sched, [this] { tick(); }) {}
+      payload_size_(payload_size), timer_(sched, [this] { tick(); }) {
+  if (domain) timer_.bind_domain(*domain);
+}
 
 void CbrSource::start(Time at) {
   Time delay = at - sched_->now();

@@ -33,8 +33,13 @@ class CbrSource {
   /// provides it (native send vs reverse tunnel vs plain host send).
   using SendFn = std::function<void(Bytes payload)>;
 
+  /// `domain` binds the tick timer to a node's scheduler domain so the
+  /// source runs on that node's shard under parallel execution; without it
+  /// the timer inherits the construction context (the world domain when
+  /// built outside a DomainScope, which serializes every tick).
   CbrSource(Scheduler& sched, SendFn send, Time interval,
-            std::size_t payload_size);
+            std::size_t payload_size,
+            std::optional<Domain> domain = std::nullopt);
 
   void start(Time at);
   void stop();

@@ -1,5 +1,6 @@
 #include "core/world.hpp"
 
+#include "core/partition.hpp"
 #include "util/errors.hpp"
 
 namespace mip6 {
@@ -157,6 +158,23 @@ void World::finalize() {
   } else {
     routing_.recompute();
   }
+}
+
+std::uint32_t World::enable_parallel(std::uint32_t threads) {
+  if (threads <= 1) {
+    net_.disable_sharding();
+    return 1;
+  }
+  std::vector<bool> is_host(net_.nodes().size(), false);
+  for (const auto& h : hosts_) is_host[h->node->id()] = true;
+  Partition part = partition_topology(net_, is_host, threads);
+  if (part.shards <= 1) {
+    net_.disable_sharding();
+    return 1;
+  }
+  net_.enable_sharding(std::move(part.domain_shard), part.shards,
+                       part.lookahead);
+  return part.shards;
 }
 
 NodeRuntime& World::router_by_name(const std::string& name) const {

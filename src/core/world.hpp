@@ -112,6 +112,16 @@ class World {
   /// topology and before run().
   void finalize();
 
+  /// Switches the scheduler into windowed parallel execution over at most
+  /// `threads` shards (see core/partition.hpp for the placement rules;
+  /// lookahead = minimum link delay). Call after finalize(), before run.
+  /// Returns the shard count actually in effect — 1 means the world fell
+  /// back to serial (threads <= 1, a zero-delay link, or a topology whose
+  /// co-sharding constraints leave a single component). Execution is
+  /// byte-identical to serial at any returned count.
+  std::uint32_t enable_parallel(std::uint32_t threads);
+  void disable_parallel() { net_.disable_sharding(); }
+
   std::uint64_t run_until(Time t) { return net_.scheduler().run_until(t); }
 
   /// Deterministic teardown: stops every module, hosts first then routers,

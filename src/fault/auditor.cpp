@@ -61,7 +61,7 @@ void Auditor::arm_window_sampler(Time period) {
   sampler_ = std::make_unique<Timer>(world_->scheduler(), [this, period] {
     sample_windows();
     sampler_->arm(period);
-  });
+  }, kWorldDomain);
   sampler_->arm(period);
 }
 

@@ -10,14 +10,13 @@ HpimDmRouter::HpimDmRouter(Ipv6Stack& stack, MldRouter& mld,
                            HpimDmConfig config)
     : stack_(&stack), mld_(&mld), config_(config),
       component_("hpimdm/" + stack.node().name()),
-      c_data_fwd_(
-          &stack.network().counters().counter("hpimdm/data-fwd")),
-      c_mfc_hit_(&stack.network().counters().counter("hpimdm/mfc-hit")),
-      c_mfc_miss_(&stack.network().counters().counter("hpimdm/mfc-miss")),
+      c_data_fwd_(stack.network().counters().cell("hpimdm/data-fwd")),
+      c_mfc_hit_(stack.network().counters().cell("hpimdm/mfc-hit")),
+      c_mfc_miss_(stack.network().counters().cell("hpimdm/mfc-miss")),
       mifs_(config_.mfc_max_ifaces) {
   generation_id_ = fresh_generation_id();
   leaf_reconcile_timer_ = std::make_unique<Timer>(
-      stack.scheduler(), [this] { reconcile_leaf_groups(); });
+      stack.scheduler(), [this] { reconcile_leaf_groups(); }, stack.node().domain());
   stack.set_mcast_forwarder(
       [this](const ParsedDatagram& d, const Packet& pkt, IfaceId iface) {
         on_multicast_data(d, pkt, iface);
@@ -111,7 +110,7 @@ void HpimDmRouter::enable_iface(IfaceId iface) {
       stack_->scheduler(), [this, iface] {
         send_hello(iface);
         ifaces_.at(iface).hello_timer->arm(config_.hello_period);
-      });
+      }, stack_->node().domain());
   // First hello immediately (triggered hello on interface up).
   it->second.hello_timer->arm(Time::zero());
 }
@@ -273,7 +272,7 @@ HpimDmRouter::SgEntry* HpimDmRouter::create_entry(const Address& src,
   e->assert_winner_metric = route->metric;
   SgKey key{src, group};
   e->entry_timer = std::make_unique<Timer>(
-      stack_->scheduler(), [this, key] { delete_entry(key); });
+      stack_->scheduler(), [this, key] { delete_entry(key); }, stack_->node().domain());
   e->entry_timer->arm(config_.data_timeout);
   // Dense-mode default: every enabled interface except the incoming one is
   // a potential oif until its neighbors declare otherwise.
@@ -396,15 +395,31 @@ Mifi HpimDmRouter::mif_of(IfaceId iface) {
   if (m != kNoMif) return m;
   m = mifs_.add(iface);
   // Insertion keeps the table sorted by IfaceId, renumbering later
-  // interfaces: every cached bitmap is now in the wrong basis.
+  // interfaces: every cached bitmap is now in the wrong basis, and the
+  // per-mifi counter cells point at the wrong interface's counters.
   mfc_.invalidate_all();
+  rebuild_mfc_cells();
   return m;
+}
+
+void HpimDmRouter::rebuild_mfc_cells() {
+  c_mfc_shard_hit_.clear();
+  c_mfc_shard_miss_.clear();
+  auto& reg = stack_->network().counters();
+  for (Mifi m = 0; m < mifs_.size(); ++m) {
+    const std::string suffix = ".if" + std::to_string(mifs_.iface(m));
+    c_mfc_shard_hit_.push_back(reg.cell("hpimdm/mfc-hit" + suffix));
+    c_mfc_shard_miss_.push_back(reg.cell("hpimdm/mfc-miss" + suffix));
+  }
 }
 
 MfcEntry* HpimDmRouter::refill_mfc(SgEntry& e) {
   // Two passes: registering an interface can renumber the mif table (and
   // flush the cache), so register everything before building the bitmap.
+  // The RPF interface is registered too — it selects the cache sub-table
+  // the fast path will probe on arrival.
   for (const auto& [iface, d] : e.downstream) mif_of(iface);
+  mif_of(e.incoming);
   IfSet set;
   std::uint16_t n = 0;
   for (const auto& [iface, d] : e.downstream) {
@@ -419,7 +434,8 @@ MfcEntry* HpimDmRouter::refill_mfc(SgEntry& e) {
     invalidate_mfc(e);
     return nullptr;
   }
-  MfcEntry& m = mfc_.insert(flow_key(e.source, e.group));
+  MfcEntry& m = mfc_.insert(flow_key(e.source, e.group),
+                            mifs_.lookup(e.incoming));
   m.iif = e.incoming;
   m.oif_count = n;
   m.local_receiver = local;
@@ -446,17 +462,22 @@ void HpimDmRouter::on_multicast_data(const ParsedDatagram& d,
   if (src.is_multicast() || src.is_unspecified()) return;
 
   if (config_.mfc) {
-    if (MfcEntry* m = mfc_.find(flow_key(src, group))) {
-      if (iface == m->iif) {
-        ++*c_mfc_hit_;
-        auto* entry = static_cast<SgEntry*>(m->state);
-        entry->entry_timer->arm(config_.data_timeout);
-        *c_data_fwd_ += stack_->forward_out_many(pkt, m->oifs, mifs_);
-        return;
-      }
-    } else {
-      ++*c_mfc_miss_;
+    // The arrival interface's mifi selects the cache sub-table, so
+    // wrong-interface arrivals miss and fall through to the slow path,
+    // same as before sharding.
+    const Mifi rpf = mifs_.lookup(iface);
+    MfcEntry* m = rpf != kNoMif ? mfc_.find(flow_key(src, group), rpf)
+                                : nullptr;
+    if (m != nullptr && iface == m->iif) {
+      c_mfc_hit_.add();
+      c_mfc_shard_hit_[rpf].add();
+      auto* entry = static_cast<SgEntry*>(m->state);
+      entry->entry_timer->arm(config_.data_timeout);
+      c_data_fwd_.add(stack_->forward_out_many(pkt, m->oifs, mifs_));
+      return;
     }
+    c_mfc_miss_.add();
+    if (rpf != kNoMif) c_mfc_shard_miss_[rpf].add();
   }
 
   SgEntry* e = find_entry(src, group);
@@ -502,7 +523,7 @@ void HpimDmRouter::on_multicast_data(const ParsedDatagram& d,
   e->entry_timer->arm(config_.data_timeout);
   if (config_.mfc) {
     if (MfcEntry* m = refill_mfc(*e)) {
-      *c_data_fwd_ += stack_->forward_out_many(pkt, m->oifs, mifs_);
+      c_data_fwd_.add(stack_->forward_out_many(pkt, m->oifs, mifs_));
       return;
     }
     // Nothing downstream: tell the upstream once, reliably.
@@ -515,7 +536,7 @@ void HpimDmRouter::on_multicast_data(const ParsedDatagram& d,
     recompute_interest(*e, false);
     return;
   }
-  *c_data_fwd_ += stack_->forward_out_many(pkt, oifs);
+  c_data_fwd_.add(stack_->forward_out_many(pkt, oifs));
 }
 
 // ---------------------------------------------------------------------------
@@ -627,7 +648,7 @@ HpimDmRouter::NeighborChannel& HpimDmRouter::ensure_channel(
   ch.liveness = std::make_unique<Timer>(
       stack_->scheduler(), [this, iface, nbr] {
         neighbor_failed(iface, nbr, "holdtime expired");
-      });
+      }, stack_->node().domain());
   ch.liveness->arm(Time::sec(holdtime_s));
   ch.retx_timer = std::make_unique<Timer>(
       stack_->scheduler(), [this, iface, nbr] {
@@ -641,12 +662,12 @@ HpimDmRouter::NeighborChannel& HpimDmRouter::ensure_channel(
         c->rto = next < config_.ack_timeout_max ? next
                                                 : config_.ack_timeout_max;
         c->retx_timer->arm(c->rto);
-      });
+      }, stack_->node().domain());
   ch.sync_timer = std::make_unique<Timer>(
       stack_->scheduler(), [this, iface, nbr] {
         NeighborChannel* c = channel(iface, nbr);
         if (c != nullptr && c->sync_pending) send_sync(iface, nbr);
-      });
+      }, stack_->node().domain());
   it = st.neighbors.emplace(nbr, std::move(ch)).first;
   mfc_.invalidate_all();  // a new (unknown-interest) neighbor turns
                           // interfaces forwarding
@@ -803,7 +824,7 @@ void HpimDmRouter::on_assert(const HpimAssert& a, const Address& from,
               dit->second->assert_loser = false;
               invalidate_mfc(key);
             }
-          });
+          }, stack_->node().domain());
     }
     d.assert_timer->arm(config_.assert_time);
     recompute_interest(*e);

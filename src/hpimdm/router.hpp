@@ -196,6 +196,9 @@ class HpimDmRouter : public DenseModeEngine {
   /// Registers `iface` in the mif table; a renumbering insertion flushes
   /// the whole cache (bitmaps built under the old numbering are garbage).
   Mifi mif_of(IfaceId iface);
+  /// Re-resolves the per-RPF-iface hit/miss cells after a mif-table
+  /// change (cold path: string work happens here, never per packet).
+  void rebuild_mfc_cells();
   /// Recomputes e's bitmap and installs it; nullptr when the entry is not
   /// cacheable (empty oif set and no local receiver: that path stays
   /// per-packet because it carries the reliable no-interest declaration).
@@ -252,13 +255,18 @@ class HpimDmRouter : public DenseModeEngine {
   HpimDmConfig config_;
   std::string component_;  // "hpimdm/<node>", cached for trace records
   /// Cell for the per-fan-out "hpimdm/data-fwd" counter, resolved once.
-  std::uint64_t* c_data_fwd_;
+  CounterCell c_data_fwd_;
   /// Flow-cache hit/miss cells, resolved once (hot path, no string work).
-  std::uint64_t* c_mfc_hit_;
-  std::uint64_t* c_mfc_miss_;
-  /// Dense interface indices + (S,G) flow cache (the MFC data plane).
+  CounterCell c_mfc_hit_;
+  CounterCell c_mfc_miss_;
+  /// Per-RPF-interface hit/miss cells ("hpimdm/mfc-hit.if<id>"), index =
+  /// mifi. Rebuilt by mif_of() whenever the mif table renumbers, so the
+  /// hot path never does string work.
+  std::vector<CounterCell> c_mfc_shard_hit_;
+  std::vector<CounterCell> c_mfc_shard_miss_;
+  /// Dense interface indices + per-RPF-iface (S,G) flow cache bank.
   MifTable mifs_;
-  FlowCache mfc_;
+  ShardedFlowCache mfc_;
   std::uint32_t generation_id_ = 0;
   /// Every interface enable_iface() was ever called for (restart wiring).
   std::set<IfaceId> configured_;

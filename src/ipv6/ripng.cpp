@@ -218,7 +218,7 @@ void Ripng::start_timeout(RouteState& r) {
   Prefix prefix = r.prefix;
   if (!r.timeout) {
     r.timeout = std::make_unique<Timer>(
-        stack_->scheduler(), [this, prefix] { expire_route(prefix); });
+        stack_->scheduler(), [this, prefix] { expire_route(prefix); }, stack_->node().domain());
   }
   r.timeout->arm(config_.route_timeout);
   if (r.gc) r.gc->cancel();
@@ -236,7 +236,7 @@ void Ripng::expire_route(const Prefix& prefix) {
   sync_rib(r, /*removed=*/true);
   if (!r.gc) {
     r.gc = std::make_unique<Timer>(
-        stack_->scheduler(), [this, prefix] { delete_route(prefix); });
+        stack_->scheduler(), [this, prefix] { delete_route(prefix); }, stack_->node().domain());
   }
   r.gc->arm(config_.gc_interval);
   schedule_triggered_update();

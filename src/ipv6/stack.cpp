@@ -11,7 +11,7 @@ namespace mip6 {
 
 Ipv6Stack::Ipv6Stack(Node& node, AddressingPlan& plan, bool forwarding)
     : node_(&node), plan_(&plan), forwarding_(forwarding),
-      c_fwd_(&node.network().counters().counter("ipv6/fwd")) {
+      c_fwd_(node.network().counters().cell("ipv6/fwd")) {
   for (const auto& iface : node.interfaces()) register_iface(*iface);
 }
 
@@ -416,7 +416,7 @@ void Ipv6Stack::forward_unicast(const ParsedDatagram& d, const Packet& pkt) {
     count("ipv6/fwd-drop/hop-limit");
     return;
   }
-  ++*c_fwd_;
+  c_fwd_.add();
   const Address& target = route->on_link() ? d.hdr.dst : route->next_hop;
   transmit_unicast_on(route->out_iface, target, fwd);
 }

@@ -185,7 +185,7 @@ class Ipv6Stack : public ProtocolModule {
   bool forwarding_;
   /// Cell for the per-packet "ipv6/fwd" counter, resolved once (the string
   /// lookup per forwarded datagram showed up in profiles).
-  std::uint64_t* c_fwd_;
+  CounterCell c_fwd_;
   bool mcast_promiscuous_ = false;
 
   std::map<IfaceId, std::vector<AddrEntry>> addrs_;

@@ -11,7 +11,7 @@ BindingCache::Entry& BindingCache::update(const Address& home,
     auto entry = std::make_unique<Entry>();
     entry->home = home;
     entry->lifetime_timer = std::make_unique<Timer>(
-        *sched_, [this, home] { expire(home); });
+        *sched_, [this, home] { expire(home); }, domain_);
     it = entries_.emplace(home, std::move(entry)).first;
   }
   Entry& e = *it->second;

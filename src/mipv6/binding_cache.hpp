@@ -27,7 +27,11 @@ class BindingCache {
   /// Receives the just-expired entry (already removed from the cache).
   using ExpiryCallback = std::function<void(const Entry& expired)>;
 
-  explicit BindingCache(Scheduler& sched) : sched_(&sched) {}
+  /// Captures the construction context's domain (the owning home agent's
+  /// node under NodeRuntime's DomainScope) so lifetime timers created later
+  /// — from BU events or structural replays alike — expire on that shard.
+  explicit BindingCache(Scheduler& sched)
+      : sched_(&sched), domain_(sched.binding_domain()) {}
 
   /// Creates or refreshes a binding. Returns a reference valid until the
   /// next mutation.
@@ -50,6 +54,7 @@ class BindingCache {
   void expire(const Address& home);
 
   Scheduler* sched_;
+  Domain domain_;
   std::map<Address, std::unique_ptr<Entry>> entries_;
   ExpiryCallback on_expiry_;
 };

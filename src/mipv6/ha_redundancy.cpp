@@ -47,7 +47,7 @@ void HaRedundancy::add_peer(const Address& identity,
       stack_->scheduler(), [this, id] {
         auto it = peers_.find(id);
         if (it != peers_.end()) take_over(*it->second);
-      });
+      }, stack_->node().domain());
   peer->liveness->arm(config_.heartbeat_interval * config_.failure_threshold);
   peers_[identity] = std::move(peer);
 }

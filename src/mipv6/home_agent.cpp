@@ -209,7 +209,7 @@ void HomeAgent::register_tunnel_membership(const Address& home,
   if (it == tunnel_memberships_.end()) {
     auto timer = std::make_unique<Timer>(
         stack_->scheduler(),
-        [this, home, group] { expire_tunnel_membership(home, group); });
+        [this, home, group] { expire_tunnel_membership(home, group); }, stack_->node().domain());
     timer->arm(tunnel_membership_lifetime_);
     tunnel_memberships_.emplace(key, std::move(timer));
     ref_group(group);

@@ -16,15 +16,19 @@ MobileNode::MobileNode(Ipv6Stack& stack, IfaceId iface, Address home_address,
 
   movement_timer_ = std::make_unique<Timer>(
       stack.scheduler(), [this] { complete_attachment(); });
+  // Attachment completion autoconfigures addresses and filters that
+  // neighbor resolution on other shards reads; it must run structurally
+  // (all shards quiesced), like the move that armed it.
+  movement_timer_->bind_domain(kWorldDomain);
   bu_refresh_timer_ = std::make_unique<Timer>(
       stack.scheduler(), [this] {
         if (away_from_home()) {
           send_binding_update();
           bu_refresh_timer_->arm(config_.bu_refresh_interval);
         }
-      });
+      }, stack.node().domain());
   bu_retransmit_timer_ = std::make_unique<Timer>(
-      stack.scheduler(), [this] { retransmit_binding_update(); });
+      stack.scheduler(), [this] { retransmit_binding_update(); }, stack.node().domain());
 
   Interface& i = stack.node().iface_by_id(iface);
   i.set_link_change_handler([this](Link* link) { on_link_changed(link); });
@@ -243,7 +247,7 @@ void MobileNode::start_tunneled_reports(const Address& group, Time interval) {
           if (rit != tunneled_reports_.end()) {
             rit->second.timer->arm(rit->second.interval);
           }
-        });
+        }, stack_->node().domain());
   }
   send_tunneled_report(group);
   it->second.timer->arm(interval);

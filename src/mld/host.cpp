@@ -39,7 +39,7 @@ void MldHost::join(IfaceId iface, const Address& group) {
   if (!fresh) return;
   it->second.response_timer = std::make_unique<Timer>(
       stack_->scheduler(),
-      [this, iface, group] { send_report(iface, group); });
+      [this, iface, group] { send_report(iface, group); }, stack_->node().domain());
   if (policy_.unsolicited_reports) start_unsolicited(iface, group);
 }
 

@@ -53,7 +53,7 @@ void MldRouter::enable_iface(IfaceId iface) {
   st.querier = true;
   st.startup_queries_left = config_.startup_query_count;
   st.query_timer = std::make_unique<Timer>(
-      stack_->scheduler(), [this, iface] { send_general_query(iface); });
+      stack_->scheduler(), [this, iface] { send_general_query(iface); }, stack_->node().domain());
   st.other_querier_timer = std::make_unique<Timer>(
       stack_->scheduler(), [this, iface] {
         // The other querier vanished: resume querier duty.
@@ -63,7 +63,7 @@ void MldRouter::enable_iface(IfaceId iface) {
         trace_event("querier-elected",
                     [&] { return "iface=" + std::to_string(iface); });
         send_general_query(iface);
-      });
+      }, stack_->node().domain());
   // First startup query goes out immediately.
   st.query_timer->arm(Time::zero());
 }
@@ -231,7 +231,7 @@ void MldRouter::on_report(const MldMessage& msg, IfaceId iface) {
     ListenerState st;
     st.timer = std::make_unique<Timer>(
         stack_->scheduler(),
-        [this, iface, group = msg.group] { expire_listener(iface, group); });
+        [this, iface, group = msg.group] { expire_listener(iface, group); }, stack_->node().domain());
     st.timer->arm(config_.multicast_listener_interval());
     listeners_.emplace(key, std::move(st));
     count("mld/listener-added");

@@ -38,6 +38,12 @@ class BufferPool {
     for (std::size_t probe = 0; probe < n; ++probe) {
       std::size_t i = cursor_;
       cursor_ = (cursor_ + 1 == n) ? 0 : cursor_ + 1;
+      // Parallel mode: only reuse slots proven sole-owned at the last
+      // window barrier. A relaxed use_count()==1 alone would not order the
+      // remote shard's release before our reuse; the barrier does. A slot
+      // safe at the barrier is sole-owned by this pool and can only be
+      // handed out again by this shard's own thread.
+      if (parallel_ && (i >= safe_.size() || safe_[i] == 0)) continue;
       if (slots_[i].use_count() == 1) {
         ++reused_;
         slots_[i]->clear();
@@ -46,8 +52,28 @@ class BufferPool {
     }
     ++fresh_;
     auto buf = std::make_shared<Bytes>();
-    if (slots_.size() < kMaxSlots) slots_.push_back(buf);
+    if (slots_.size() < kMaxSlots) {
+      slots_.push_back(buf);
+      if (parallel_) safe_.push_back(0);
+    }
     return buf;
+  }
+
+  /// Enters/leaves barrier-gated reuse (one pool per shard under parallel
+  /// execution; serial pools skip the safe-slot bookkeeping entirely).
+  void set_parallel(bool on) {
+    parallel_ = on;
+    safe_.assign(on ? slots_.size() : 0, 0);
+  }
+
+  /// Controller-side, at every window barrier: records which slots are
+  /// sole-owned right now. The barrier's synchronization makes any prior
+  /// cross-shard release happen-before the next reuse.
+  void mark_safe() {
+    safe_.resize(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      safe_[i] = slots_[i].use_count() == 1 ? 1 : 0;
+    }
   }
 
   /// Checkout pre-filled with a copy of `src` (the common forward-path use).
@@ -63,6 +89,8 @@ class BufferPool {
 
  private:
   std::vector<std::shared_ptr<Bytes>> slots_;
+  std::vector<std::uint8_t> safe_;  // parallel mode: barrier-proven sole-owned
+  bool parallel_ = false;
   std::size_t cursor_ = 0;
   std::uint64_t reused_ = 0;
   std::uint64_t fresh_ = 0;

@@ -12,10 +12,11 @@ Link::Link(Network& net, LinkId id, std::string name, Time delay,
     : net_(&net), id_(id), name_(std::move(name)), delay_(delay),
       bit_rate_bps_(bit_rate_bps), counter_prefix_("link/" + name_ + "/") {
   auto& counters = net_->counters();
-  c_tx_ = &counters.counter(counter_prefix_ + "tx");
-  c_tx_bytes_ = &counters.counter(counter_prefix_ + "tx-bytes");
-  c_rx_ = &counters.counter(counter_prefix_ + "rx");
-  c_dropped_ = &counters.counter(counter_prefix_ + "dropped");
+  c_tx_ = counters.cell(counter_prefix_ + "tx");
+  c_tx_bytes_ = counters.cell(counter_prefix_ + "tx-bytes");
+  c_rx_ = counters.cell(counter_prefix_ + "rx");
+  c_dropped_ = counters.cell(counter_prefix_ + "dropped");
+  c_corrupted_ = counters.cell(counter_prefix_ + "corrupted");
 }
 
 void Link::do_attach(Interface& iface) {
@@ -52,14 +53,11 @@ void Link::transmit(const Interface& from, const Packet& pkt,
                     std::optional<IfaceId> l2_dst) {
   if (!up_) {
     // Carrier lost: the frame never makes it onto the wire.
-    ++dropped_packets_;
-    ++*c_dropped_;
+    c_dropped_.add();
     return;
   }
-  ++tx_packets_;
-  tx_bytes_ += pkt.size();
-  ++*c_tx_;
-  *c_tx_bytes_ += pkt.size();
+  c_tx_.add();
+  c_tx_bytes_.add(pkt.size());
   net_->notify_tx(*this, from, pkt);
 
   Time ser = Time::zero();
@@ -86,31 +84,33 @@ void Link::transmit(const Interface& from, const Packet& pkt,
           net_->rng().uniform_int(
               static_cast<std::uint64_t>(imp.jitter.nanos()) + 1)));
     }
-    net_->scheduler().schedule_in(arrival_delay + extra,
-                                  [this, to_id, pkt] {
-                                    deliver_one(to_id, pkt);
-                                  });
+    // The delivery executes in the receiving node's domain: under parallel
+    // execution that is the receiver's shard, with the event staged across
+    // the shard boundary when sender and receiver are partitioned apart.
+    // The loss/corrupt draws below then come from the receiver's own rng
+    // stream, independent of how other nodes' events interleave.
+    net_->scheduler().schedule_in(
+        arrival_delay + extra,
+        [this, to_id, pkt] { deliver_one(to_id, pkt); },
+        to->node().domain());
   }
 }
 
 void Link::deliver_one(IfaceId to_id, const Packet& pkt) {
   if (!up_) {
     // Link went down while the frame was in flight.
-    ++dropped_packets_;
-    ++*c_dropped_;
+    c_dropped_.add();
     return;
   }
   for (Interface* candidate : ifaces_) {
     if (candidate->id() != to_id) continue;
     if (drop_ && drop_(pkt, *candidate)) {
-      ++dropped_packets_;
-      ++*c_dropped_;
+      c_dropped_.add();
       return;
     }
     const LinkImpairment& imp = impairment_towards(to_id);
     if (imp.loss > 0.0 && net_->rng().bernoulli(imp.loss)) {
-      ++dropped_packets_;
-      ++*c_dropped_;
+      c_dropped_.add();
       return;
     }
     if (imp.corrupt > 0.0 && net_->rng().bernoulli(imp.corrupt) &&
@@ -122,15 +122,12 @@ void Link::deliver_one(IfaceId to_id, const Packet& pkt) {
           1 + net_->rng().uniform_int(255));
       Packet corrupted = pkt;
       corrupted.set_data(std::move(bytes));
-      ++corrupted_packets_;
-      count("corrupted");
-      ++rx_packets_;
-      ++*c_rx_;
+      c_corrupted_.add();
+      c_rx_.add();
       candidate->deliver(corrupted);
       return;
     }
-    ++rx_packets_;
-    ++*c_rx_;
+    c_rx_.add();
     candidate->deliver(pkt);
     return;
   }

@@ -24,6 +24,7 @@
 #include "net/interface.hpp"
 #include "net/packet.hpp"
 #include "sim/time.hpp"
+#include "stats/counters.hpp"
 
 namespace mip6 {
 
@@ -92,17 +93,20 @@ class Link {
   const LinkImpairment& impairment() const { return impairment_; }
 
   // --- Counters ---------------------------------------------------------
-  std::uint64_t tx_packets() const { return tx_packets_; }
+  // Backed by shard-safe registry cells (transmit and delivery run on the
+  // endpoints' shards); reads merge outstanding shard overlays, so they are
+  // for quiesced contexts (tests, metrics probes) — not packet events.
+  std::uint64_t tx_packets() const { return c_tx_.value(); }
   /// Octets placed onto the link (counted once per transmission, not per
   /// receiver — a LAN carries the frame once).
-  std::uint64_t tx_bytes() const { return tx_bytes_; }
+  std::uint64_t tx_bytes() const { return c_tx_bytes_.value(); }
   /// Per-receiver deliveries that reached an interface's rx handler.
-  std::uint64_t rx_packets() const { return rx_packets_; }
+  std::uint64_t rx_packets() const { return c_rx_.value(); }
   /// Per-receiver deliveries lost: drop_fn hits, loss impairment, link-down
   /// drops (in-flight and at the sender).
-  std::uint64_t dropped_packets() const { return dropped_packets_; }
+  std::uint64_t dropped_packets() const { return c_dropped_.value(); }
   /// Deliveries that arrived with an injected byte flip.
-  std::uint64_t corrupted_packets() const { return corrupted_packets_; }
+  std::uint64_t corrupted_packets() const { return c_corrupted_.value(); }
 
   void set_drop_fn(DropFn fn) { drop_ = std::move(fn); }
 
@@ -126,18 +130,13 @@ class Link {
   LinkImpairment impairment_;
   std::map<IfaceId, LinkImpairment> directional_impairments_;
   std::string counter_prefix_;
-  // Registry cells for the per-transmission / per-delivery counters,
-  // resolved once at construction (references are stable; see
-  // CounterRegistry::counter). count() stays for the cold names.
-  std::uint64_t* c_tx_ = nullptr;
-  std::uint64_t* c_tx_bytes_ = nullptr;
-  std::uint64_t* c_rx_ = nullptr;
-  std::uint64_t* c_dropped_ = nullptr;
-  std::uint64_t tx_packets_ = 0;
-  std::uint64_t tx_bytes_ = 0;
-  std::uint64_t rx_packets_ = 0;
-  std::uint64_t dropped_packets_ = 0;
-  std::uint64_t corrupted_packets_ = 0;
+  // Shard-routing cells for the per-transmission / per-delivery counters,
+  // resolved once at construction. count() stays for the cold names.
+  CounterCell c_tx_;
+  CounterCell c_tx_bytes_;
+  CounterCell c_rx_;
+  CounterCell c_dropped_;
+  CounterCell c_corrupted_;
 };
 
 }  // namespace mip6

@@ -4,11 +4,20 @@
 
 namespace mip6 {
 
-Network::Network(std::uint64_t seed) : rng_(seed) {}
+Network::Network(std::uint64_t seed) : seed_(seed), rng_(seed) {
+  next_packet_uid_.push_back(0);  // kWorldDomain
+}
 
 Node& Network::add_node(const std::string& name) {
   nodes_.push_back(std::make_unique<Node>(
       *this, static_cast<NodeId>(nodes_.size()), name));
+  // One scheduler domain per node, in lockstep with node ids (id + 1).
+  const Domain d = sched_.add_domain();
+  if (d != nodes_.back()->domain()) {
+    throw LogicError("node/domain id mismatch");
+  }
+  rng_streams_.emplace_back(Rng::derive_seed(seed_, d));
+  next_packet_uid_.push_back(0);
   return *nodes_.back();
 }
 
@@ -34,11 +43,50 @@ Link& Network::link_by_name(const std::string& name) const {
 }
 
 Packet Network::make_packet(Bytes data) {
-  return Packet(std::move(data), next_packet_uid_++, now());
+  return Packet(std::move(data), next_uid(), now());
 }
 
 Packet Network::make_packet(Packet::Buffer data) {
-  return Packet(std::move(data), next_packet_uid_++, now());
+  return Packet(std::move(data), next_uid(), now());
+}
+
+std::uint64_t Network::next_uid() {
+  // Domain id in the top bits, per-domain counter below: unique across the
+  // network and independent of how domains interleave.
+  const Domain d = sched_.current_domain();
+  return (static_cast<std::uint64_t>(d) << 40) | ++next_packet_uid_[d];
+}
+
+void Network::enable_sharding(std::vector<std::uint32_t> domain_shard,
+                              std::uint32_t shards, Time lookahead) {
+  if (shards <= 1) {
+    disable_sharding();
+    return;
+  }
+  counters_.enable_shards(shards);
+  trace_.enable_shards(shards);
+  buffer_pool_.set_parallel(true);
+  extra_pools_.clear();
+  for (std::uint32_t s = 1; s < shards; ++s) {
+    extra_pools_.push_back(std::make_unique<BufferPool>());
+    extra_pools_.back()->set_parallel(true);
+  }
+  sched_.set_barrier_hook([this] {
+    trace_.merge_shards();
+    counters_.merge_shards();
+    buffer_pool_.mark_safe();
+    for (auto& p : extra_pools_) p->mark_safe();
+  });
+  sched_.configure_shards(std::move(domain_shard), shards, lookahead);
+}
+
+void Network::disable_sharding() {
+  sched_.configure_serial();
+  sched_.set_barrier_hook(nullptr);
+  trace_.disable_shards();
+  counters_.disable_shards();
+  buffer_pool_.set_parallel(false);
+  extra_pools_.clear();
 }
 
 }  // namespace mip6

@@ -26,11 +26,35 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   Scheduler& scheduler() { return sched_; }
-  Rng& rng() { return rng_; }
+  /// The calling context's random stream: node domains draw from their own
+  /// xoshiro substream (derived from the world seed by domain id), the
+  /// world/structural context from the legacy stream. Per-domain streams
+  /// are what keep draws identical across thread counts — a domain's draw
+  /// sequence depends only on its own event sequence, never on how other
+  /// domains' events interleave with it.
+  Rng& rng() {
+    const Domain d = sched_.current_domain();
+    return d == kWorldDomain ? rng_ : rng_streams_[d - 1];
+  }
   Trace& trace() { return trace_; }
   CounterRegistry& counters() { return counters_; }
-  BufferPool& buffer_pool() { return buffer_pool_; }
+  /// The calling shard's buffer pool. The controller/structural context
+  /// shares shard 0's pool — they run on the same thread.
+  BufferPool& buffer_pool() {
+    const int s = Scheduler::current_shard_slot();
+    return s <= 0 ? buffer_pool_ : *extra_pools_[static_cast<std::size_t>(s) -
+                                                 1];
+  }
   Time now() const { return sched_.now(); }
+
+  /// Partitions execution into per-thread shards (see Scheduler): installs
+  /// per-shard counter overlays, trace buffers and buffer pools, the
+  /// barrier merge hook, and hands the domain->shard map to the scheduler.
+  /// `domain_shard` is indexed by domain; `lookahead` is the minimum link
+  /// propagation delay. shards <= 1 restores serial execution.
+  void enable_sharding(std::vector<std::uint32_t> domain_shard,
+                       std::uint32_t shards, Time lookahead);
+  void disable_sharding();
 
   Node& add_node(const std::string& name);
   Link& add_link(const std::string& name, Time delay = Time::us(10),
@@ -59,15 +83,25 @@ class Network {
   IfaceId next_iface_id() { return next_iface_id_++; }
 
  private:
+  std::uint64_t next_uid();
+
   Scheduler sched_;
+  std::uint64_t seed_;
   Rng rng_;
+  /// One independent stream per node domain (index d-1), created with the
+  /// node so the mapping never depends on execution order.
+  std::vector<Rng> rng_streams_;
   Trace trace_;
   CounterRegistry counters_;
   BufferPool buffer_pool_;
+  std::vector<std::unique_ptr<BufferPool>> extra_pools_;  // shards 1..S-1
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<TxHook> tx_hooks_;
-  std::uint64_t next_packet_uid_ = 1;
+  /// Per-domain uid counters: uids are unique network-wide (domain id in
+  /// the top bits) and assigned by the packet-making domain alone, so they
+  /// too are identical at any thread count.
+  std::vector<std::uint64_t> next_packet_uid_;
   IfaceId next_iface_id_ = 0;
 };
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/interface.hpp"
+#include "sim/scheduler.hpp"
 
 namespace mip6 {
 
@@ -36,6 +37,9 @@ class Node {
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }
   Network& network() const { return *net_; }
+  /// The node's scheduler domain (logical process): node N is domain N+1,
+  /// kWorldDomain 0 being the structural context.
+  Domain domain() const { return id_ + 1; }
 
   /// Creates a new interface on this node. The interface id is unique across
   /// the whole network.

@@ -9,10 +9,9 @@ namespace mip6 {
 PimDmRouter::PimDmRouter(Ipv6Stack& stack, MldRouter& mld, PimDmConfig config)
     : stack_(&stack), mld_(&mld), config_(config),
       component_("pimdm/" + stack.node().name()),
-      c_data_fwd_(
-          &stack.network().counters().counter("pimdm/data-fwd")),
-      c_mfc_hit_(&stack.network().counters().counter("pimdm/mfc-hit")),
-      c_mfc_miss_(&stack.network().counters().counter("pimdm/mfc-miss")),
+      c_data_fwd_(stack.network().counters().cell("pimdm/data-fwd")),
+      c_mfc_hit_(stack.network().counters().cell("pimdm/mfc-hit")),
+      c_mfc_miss_(stack.network().counters().cell("pimdm/mfc-miss")),
       mifs_(config_.mfc_max_ifaces) {
   stack.set_mcast_forwarder(
       [this](const ParsedDatagram& d, const Packet& pkt, IfaceId iface) {
@@ -53,7 +52,7 @@ void PimDmRouter::enable_iface(IfaceId iface) {
       stack_->scheduler(), [this, iface] {
         send_hello(iface);
         ifaces_.at(iface).hello_timer->arm(config_.hello_period);
-      });
+      }, stack_->node().domain());
   // First hello immediately (triggered hello on interface up).
   it->second.hello_timer->arm(Time::zero());
 }
@@ -214,7 +213,7 @@ PimDmRouter::SgEntry* PimDmRouter::create_entry(const Address& src,
   e->assert_winner_metric = route->metric;
   SgKey key{src, group};
   e->entry_timer = std::make_unique<Timer>(
-      stack_->scheduler(), [this, key] { delete_entry(key); });
+      stack_->scheduler(), [this, key] { delete_entry(key); }, stack_->node().domain());
   e->entry_timer->arm(config_.data_timeout);
   e->graft_retry_timer = std::make_unique<Timer>(
       stack_->scheduler(), [this, key] {
@@ -223,7 +222,7 @@ PimDmRouter::SgEntry* PimDmRouter::create_entry(const Address& src,
           count("pimdm/graft-retry");
           send_graft_upstream(*entry);
         }
-      });
+      }, stack_->node().domain());
   e->join_override_timer = std::make_unique<Timer>(
       stack_->scheduler(), [this, key] {
         SgEntry* entry = find_entry(key.source, key.group);
@@ -235,7 +234,7 @@ PimDmRouter::SgEntry* PimDmRouter::create_entry(const Address& src,
                                       : entry->join_override_target;
           send_join_override(*entry, target);
         }
-      });
+      }, stack_->node().domain());
   // Dense mode: initially forward onto every PIM interface (except the
   // incoming one). Interfaces without PIM neighbors contribute to the oif
   // list only via MLD listeners — see oiflist().
@@ -251,7 +250,7 @@ PimDmRouter::SgEntry* PimDmRouter::create_entry(const Address& src,
           if (entry == nullptr) return;
           originate_state_refresh(*entry);
           entry->state_refresh_timer->arm(config_.state_refresh_interval);
-        });
+        }, stack_->node().domain());
     e->state_refresh_timer->arm(config_.state_refresh_interval);
   }
   SgEntry* raw = e.get();
@@ -341,16 +340,31 @@ Mifi PimDmRouter::mif_of(IfaceId iface) {
   if (m != kNoMif) return m;
   m = mifs_.add(iface);
   // The insertion renumbered every later index: bitmaps built under the
-  // old numbering would transmit out the wrong interfaces.
+  // old numbering would transmit out the wrong interfaces, and the
+  // per-mifi counter cells point at the wrong interface's counters.
   mfc_.invalidate_all();
+  rebuild_mfc_cells();
   return m;
+}
+
+void PimDmRouter::rebuild_mfc_cells() {
+  c_mfc_shard_hit_.clear();
+  c_mfc_shard_miss_.clear();
+  auto& reg = stack_->network().counters();
+  for (Mifi m = 0; m < mifs_.size(); ++m) {
+    const std::string suffix = ".if" + std::to_string(mifs_.iface(m));
+    c_mfc_shard_hit_.push_back(reg.cell("pimdm/mfc-hit" + suffix));
+    c_mfc_shard_miss_.push_back(reg.cell("pimdm/mfc-miss" + suffix));
+  }
 }
 
 MfcEntry* PimDmRouter::refill_mfc(SgEntry& e) {
   // Two passes: register every candidate interface first (registration can
   // renumber and flush the cache), then build the bitmap under the final
-  // numbering.
+  // numbering. The RPF interface is registered too — it selects the
+  // cache sub-table the fast path will probe on arrival.
   for (const auto& [iface, d] : e.downstream) (void)mif_of(iface);
+  (void)mif_of(e.incoming);
   IfSet set;
   std::uint16_t n = 0;
   for (const auto& [iface, d] : e.downstream) {
@@ -365,7 +379,8 @@ MfcEntry* PimDmRouter::refill_mfc(SgEntry& e) {
     invalidate_mfc(e);
     return nullptr;
   }
-  MfcEntry& m = mfc_.insert(flow_key(e.source, e.group));
+  MfcEntry& m = mfc_.insert(flow_key(e.source, e.group),
+                            mifs_.lookup(e.incoming));
   m.iif = e.incoming;
   m.oif_count = n;
   m.local_receiver = local;
@@ -397,19 +412,22 @@ void PimDmRouter::on_multicast_data(const ParsedDatagram& d, const Packet& pkt,
   if (config_.mfc) {
     // Fast path: a fresh flow-cache entry holds the whole forwarding
     // decision; the state machines below are only consulted on a miss.
-    // Wrong-interface arrivals fall through (assert / non-RPF prune
-    // handling is control-plane work).
-    if (MfcEntry* m = mfc_.find(flow_key(src, group))) {
-      if (iface == m->iif) {
-        ++*c_mfc_hit_;
-        auto* e = static_cast<SgEntry*>(m->state);
-        e->entry_timer->arm(config_.data_timeout);
-        *c_data_fwd_ += stack_->forward_out_many(pkt, m->oifs, mifs_);
-        return;
-      }
-    } else {
-      ++*c_mfc_miss_;
+    // The arrival interface's mifi selects the cache sub-table, so
+    // wrong-interface arrivals miss and fall through (assert / non-RPF
+    // prune handling is control-plane work, same as before sharding).
+    const Mifi rpf = mifs_.lookup(iface);
+    MfcEntry* m = rpf != kNoMif ? mfc_.find(flow_key(src, group), rpf)
+                                : nullptr;
+    if (m != nullptr && iface == m->iif) {
+      c_mfc_hit_.add();
+      c_mfc_shard_hit_[rpf].add();
+      auto* e = static_cast<SgEntry*>(m->state);
+      e->entry_timer->arm(config_.data_timeout);
+      c_data_fwd_.add(stack_->forward_out_many(pkt, m->oifs, mifs_));
+      return;
     }
+    c_mfc_miss_.add();
+    if (rpf != kNoMif) c_mfc_shard_miss_[rpf].add();
   }
 
   SgEntry* e = find_entry(src, group);
@@ -477,7 +495,7 @@ void PimDmRouter::on_multicast_data(const ParsedDatagram& d, const Packet& pkt,
     // packet of this flow hits the cache until a control-plane transition
     // invalidates it.
     if (MfcEntry* m = refill_mfc(*e)) {
-      *c_data_fwd_ += stack_->forward_out_many(pkt, m->oifs, mifs_);
+      c_data_fwd_.add(stack_->forward_out_many(pkt, m->oifs, mifs_));
       return;
     }
     // Nothing downstream: prune ourselves off the tree (rate-limited; on a
@@ -501,7 +519,7 @@ void PimDmRouter::on_multicast_data(const ParsedDatagram& d, const Packet& pkt,
   }
   // One hop-limit-decremented buffer shared by every replica; see
   // Ipv6Stack::forward_out_many.
-  *c_data_fwd_ += stack_->forward_out_many(pkt, oifs);
+  c_data_fwd_.add(stack_->forward_out_many(pkt, oifs));
 }
 
 // ---------------------------------------------------------------------------
@@ -577,7 +595,7 @@ void PimDmRouter::on_hello(const PimHello& hello, const Address& from,
           trace_event("neighbor-expired", [&] {
             return "iface=" + std::to_string(iface) + " nbr=" + from.str();
           });
-        });
+        }, stack_->node().domain());
     timer->arm(Time::sec(hello.holdtime));
     st.neighbors.emplace(from, std::move(timer));
     mfc_.invalidate_all();  // a new neighbor turns interfaces forwarding
@@ -666,11 +684,11 @@ void PimDmRouter::on_join_prune(const PimJoinPrune& jp, const Address& from,
                             // must graft back or the branch stays dark.
                             check_upstream(*en);
                           }
-                        });
+                        }, stack_->node().domain());
                   }
                   dd.prune_expiry_timer->arm(hold);
                   check_upstream(*entry);
-                });
+                }, stack_->node().domain());
           }
           d.prune_pending_timer->arm(config_.prune_delay);
         }
@@ -816,7 +834,7 @@ void PimDmRouter::on_assert(const PimAssert& a, const Address& from,
               dit->second->assert_loser = false;
               invalidate_mfc(key);
             }
-          });
+          }, stack_->node().domain());
     }
     d.assert_timer->arm(config_.assert_time);
     // A loser that doesn't consume from this LAN itself (it is not its RPF

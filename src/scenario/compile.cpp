@@ -1,6 +1,7 @@
 #include "scenario/compile.hpp"
 
 #include <map>
+#include <thread>
 
 #include "core/random_topology.hpp"
 
@@ -107,9 +108,14 @@ CompiledScenario compile_scenario(
   }
 
   for (const ScenarioFlow& f : spec.traffic) {
-    MobileMulticastService* service = w.host_by_name(f.source).service;
+    NodeRuntime& src = w.host_by_name(f.source);
+    MobileMulticastService* service = src.service;
     Address group = f.group;
     std::uint16_t port = f.port;
+    // The tick timer is bound to the source host's own domain — mode-
+    // independent, so serial and parallel runs execute the identical event
+    // sequence and the ticks stay on the host's shard instead of forcing a
+    // world-domain quiesce per packet.
     c.flows.push_back(
         {f.source,
          std::make_unique<CbrSource>(
@@ -117,7 +123,7 @@ CompiledScenario compile_scenario(
              [service, group, port](Bytes p) {
                service->send_multicast(group, port, port, std::move(p));
              },
-             f.interval, f.payload_bytes)});
+             f.interval, f.payload_bytes, src.node->domain())});
   }
 
   for (const ScenarioSubscription& sub : spec.subscriptions) {
@@ -146,6 +152,17 @@ CompiledScenario compile_scenario(
     chaos_config.audit_after_each_event = spec.fault_audit;
     c.chaos = std::make_unique<ChaosEngine>(w, spec.faults, chaos_config);
     c.chaos->arm();
+  }
+
+  if (spec.threads != 1) {
+    // The spec's threads knob: shard the world for windowed parallel
+    // execution (0 = hardware). Byte-identical to serial by construction;
+    // topologies the partitioner cannot split fall back to one shard.
+    const std::uint32_t want =
+        spec.threads != 0
+            ? spec.threads
+            : std::max(1u, std::thread::hardware_concurrency());
+    w.enable_parallel(want);
   }
   return c;
 }

@@ -489,14 +489,16 @@ FaultEvent parse_fault(const Json& v, const std::string& ctx) {
 ScenarioSpec ScenarioSpec::from_json(const Json& doc) {
   require_object(doc, "scenario document");
   reject_unknown_keys(doc, "scenario",
-                      {"name", "description", "duration_s", "seed", "config",
-                       "topology", "subscriptions", "traffic", "mobility",
-                       "faults", "fault_audit", "metrics"});
+                      {"name", "description", "duration_s", "seed", "threads",
+                       "config", "topology", "subscriptions", "traffic",
+                       "mobility", "faults", "fault_audit", "metrics"});
   ScenarioSpec s;
   s.name = str_or(doc, "name", "scenario", s.name);
   s.description = str_or(doc, "description", "scenario", "");
   s.duration = secs_or(doc, "duration_s", "scenario", s.duration);
   s.seed = uint_or(doc, "seed", "scenario", s.seed);
+  s.threads = static_cast<std::uint32_t>(
+      uint_or(doc, "threads", "scenario", s.threads));
   if (doc.contains("config")) {
     s.config = parse_world_config(doc["config"], "config");
   }

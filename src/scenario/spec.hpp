@@ -109,6 +109,10 @@ struct ScenarioSpec {
   std::string description;
   Time duration = Time::sec(60);
   std::uint64_t seed = 1;
+  /// Worker shards for in-world parallel execution (World::enable_parallel):
+  /// 1 = serial, 0 = one per hardware thread. Any value yields byte-identical
+  /// traces and metrics — this is a speed knob, not a semantics knob.
+  std::uint32_t threads = 1;
   WorldConfig config;
 
   // Topology: either explicit links+routers or a generated graph.

@@ -9,7 +9,32 @@ namespace {
 // without letting a transient spike pin memory forever.
 constexpr std::size_t kStatePoolMax = 1024;
 
+// Spins before a waiter falls back to atomic wait/yield. Windows are tens of
+// microseconds of real work, so the barrier almost always resolves in the
+// spin phase; the fallback only matters between run_until calls.
+constexpr int kSpinBudget = 1 << 14;
+
+// When threads outnumber cores, spinning is pure waste: the thread being
+// waited on cannot run while the waiter burns its timeslice. Go straight
+// to the futex in that case.
+inline int spin_budget(std::uint32_t shard_count) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  return (cores != 0 && cores < shard_count) ? 1 : kSpinBudget;
+}
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
 }  // namespace
+
+thread_local Scheduler::ExecCtx Scheduler::tls_;
 
 void EventHandle::cancel() {
   if (!state_ || state_->cancelled || state_->executed) return;
@@ -21,143 +46,582 @@ bool EventHandle::pending() const {
   return state_ && !state_->cancelled && !state_->executed;
 }
 
-std::shared_ptr<EventHandle::State> Scheduler::make_state() {
-  if (!cancelled_in_heap_) {
-    cancelled_in_heap_ = std::make_shared<std::uint64_t>(0);
+Scheduler::Scheduler() {
+  domain_seq_.push_back(0);  // kWorldDomain
+  domain_sub_.push_back(0);
+  subs_.push_back(std::make_unique<SubQueue>());
+  subs_[0]->cancelled_in_heap = std::make_shared<std::uint64_t>(0);
+}
+
+Scheduler::~Scheduler() { stop_workers(); }
+
+Time Scheduler::now() const {
+  if (tls_.sched == this && tls_.sub != nullptr) return tls_.sub->now;
+  return now_;
+}
+
+Domain Scheduler::add_domain() {
+  auto d = static_cast<Domain>(domain_seq_.size());
+  domain_seq_.push_back(0);
+  // New domains run serially (sub 0) until configure_shards assigns them.
+  domain_sub_.push_back(shard_count_ > 1 ? structural_sub_ : 0);
+  return d;
+}
+
+Domain Scheduler::current_domain() const {
+  if (tls_.sched == this && tls_.key != nullptr) return tls_.domain;
+  if (!ambient_.empty()) return ambient_.back();
+  return kWorldDomain;
+}
+
+Domain Scheduler::binding_domain() const {
+  // An explicit ambient scope (module construction) wins over event context.
+  if (!ambient_.empty()) return ambient_.back();
+  if (tls_.sched == this && tls_.key != nullptr) return tls_.domain;
+  return kWorldDomain;
+}
+
+int Scheduler::current_shard_slot() { return tls_.shard; }
+
+const EventKey* Scheduler::current_key() { return tls_.key; }
+
+std::uint64_t Scheduler::next_emit_seq() {
+  return tls_.sub != nullptr ? tls_.sub->emit_seq++ : 0;
+}
+
+// --- SubQueue ---------------------------------------------------------------
+
+EventKey Scheduler::SubQueue::min_key() {
+  // Shed cancelled entries from the top so the controller's window planning
+  // never keys off a dead event.
+  while (!heap.empty()) {
+    const HeapEntry& top = heap.front();
+    Event& ev = slots[top.slot];
+    if (ev.state == nullptr || !ev.state->cancelled) return top.key;
+    std::pop_heap(heap.begin(), heap.end(), Later{});
+    --*cancelled_in_heap;
+    release_slot(heap.back().slot);
+    heap.pop_back();
   }
-  if (state_pool_.empty()) sweep_deferred();
-  if (!state_pool_.empty()) {
-    auto state = std::move(state_pool_.back());
-    state_pool_.pop_back();
+  return EventKey{Time::never(), Time::never(), 0, 0};
+}
+
+void Scheduler::SubQueue::push(const EventKey& key, SchedFn&& fn, Domain exec,
+                               std::shared_ptr<EventHandle::State> state) {
+  std::uint32_t slot = acquire_slot(std::move(fn), std::move(state), exec);
+  heap.push_back(HeapEntry{key, slot});
+  std::push_heap(heap.begin(), heap.end(), Later{});
+}
+
+std::uint32_t Scheduler::SubQueue::acquire_slot(
+    SchedFn&& fn, std::shared_ptr<EventHandle::State> state, Domain exec) {
+  if (!free_slots.empty()) {
+    std::uint32_t slot = free_slots.back();
+    free_slots.pop_back();
+    slots[slot].fn = std::move(fn);
+    slots[slot].state = std::move(state);
+    slots[slot].exec = exec;
+    return slot;
+  }
+  slots.push_back(Event{std::move(fn), std::move(state), exec});
+  return static_cast<std::uint32_t>(slots.size() - 1);
+}
+
+void Scheduler::SubQueue::release_slot(std::uint32_t slot) {
+  slots[slot].fn = SchedFn();
+  recycle(std::move(slots[slot].state));
+  free_slots.push_back(slot);
+}
+
+std::shared_ptr<EventHandle::State> Scheduler::SubQueue::make_state() {
+  if (state_pool.empty()) sweep_deferred();
+  if (!state_pool.empty()) {
+    auto state = std::move(state_pool.back());
+    state_pool.pop_back();
     return state;
   }
   auto state = std::make_shared<EventHandle::State>();
-  state->cancelled_in_heap = cancelled_in_heap_;
+  state->cancelled_in_heap = cancelled_in_heap;
   return state;
 }
 
-void Scheduler::recycle(std::shared_ptr<EventHandle::State>&& state) {
+void Scheduler::SubQueue::recycle(std::shared_ptr<EventHandle::State>&& state) {
   // Only reclaim once every handle has let go; a surviving handle keeps its
   // (executed or cancelled) state so pending() stays truthful. Park such
-  // states in deferred_ — the common case is a Timer that drops its handle
+  // states in deferred — the common case is a Timer that drops its handle
   // on the next arm(), at which point sweep_deferred() reclaims it.
   if (!state) return;
   if (state.use_count() != 1) {
-    if (deferred_.size() < kStatePoolMax) deferred_.push_back(std::move(state));
+    if (deferred.size() < kStatePoolMax) deferred.push_back(std::move(state));
     return;
   }
-  if (state_pool_.size() >= kStatePoolMax) return;
+  if (state_pool.size() >= kStatePoolMax) return;
   state->cancelled = false;
   state->executed = false;
-  state_pool_.push_back(std::move(state));
+  state->cancelled_in_heap = cancelled_in_heap;
+  state_pool.push_back(std::move(state));
 }
 
-void Scheduler::sweep_deferred() {
+void Scheduler::SubQueue::sweep_deferred() {
   // Bounded sweep: reclamation keeps pace with the one-deferral-per-pop
   // inflow without turning make_state() into an O(deferred) scan.
   constexpr std::size_t kSweepMax = 8;
   std::size_t scanned = 0;
-  for (std::size_t i = deferred_.size();
-       i-- > 0 && scanned < kSweepMax; ++scanned) {
-    if (deferred_[i].use_count() != 1) continue;
-    auto state = std::move(deferred_[i]);
-    deferred_[i] = std::move(deferred_.back());
-    deferred_.pop_back();
-    if (state_pool_.size() >= kStatePoolMax) continue;
+  for (std::size_t i = deferred.size(); i-- > 0 && scanned < kSweepMax;
+       ++scanned) {
+    if (deferred[i].use_count() != 1) continue;
+    auto state = std::move(deferred[i]);
+    deferred[i] = std::move(deferred.back());
+    deferred.pop_back();
+    if (state_pool.size() >= kStatePoolMax) continue;
     state->cancelled = false;
     state->executed = false;
-    state_pool_.push_back(std::move(state));
+    state->cancelled_in_heap = cancelled_in_heap;
+    state_pool.push_back(std::move(state));
   }
 }
 
-std::uint32_t Scheduler::acquire_slot(
-    SchedFn&& fn, std::shared_ptr<EventHandle::State> state) {
-  if (!free_slots_.empty()) {
-    std::uint32_t slot = free_slots_.back();
-    free_slots_.pop_back();
-    slots_[slot].fn = std::move(fn);
-    slots_[slot].state = std::move(state);
-    return slot;
-  }
-  slots_.push_back(Event{std::move(fn), std::move(state)});
-  return static_cast<std::uint32_t>(slots_.size() - 1);
-}
-
-void Scheduler::release_slot(std::uint32_t slot) {
-  slots_[slot].fn = SchedFn();
-  recycle(std::move(slots_[slot].state));
-  free_slots_.push_back(slot);
-}
-
-void Scheduler::maybe_compact() {
+void Scheduler::SubQueue::maybe_compact() {
   const std::uint64_t dead = cancelled();
-  if (dead < kCompactMin || dead * 2 < heap_.size()) return;
+  if (dead < Scheduler::kCompactMin || dead * 2 < heap.size()) return;
   std::size_t keep = 0;
-  for (std::size_t i = 0; i < heap_.size(); ++i) {
-    if (slots_[heap_[i].slot].state->cancelled) {
-      release_slot(heap_[i].slot);
+  for (std::size_t i = 0; i < heap.size(); ++i) {
+    Event& ev = slots[heap[i].slot];
+    if (ev.state != nullptr && ev.state->cancelled) {
+      release_slot(heap[i].slot);
       continue;
     }
-    heap_[keep] = heap_[i];
+    heap[keep] = heap[i];
     ++keep;
   }
-  heap_.resize(keep);
-  *cancelled_in_heap_ = 0;
-  std::make_heap(heap_.begin(), heap_.end(), Later{});
-  ++compactions_;
+  heap.resize(keep);
+  *cancelled_in_heap = 0;
+  std::make_heap(heap.begin(), heap.end(), Later{});
+  ++compactions;
 }
 
-EventHandle Scheduler::schedule_at(Time at, SchedFn fn) {
-  if (at < now_) {
+// --- Scheduling -------------------------------------------------------------
+
+EventHandle Scheduler::schedule_impl(Time at, SchedFn&& fn, Domain exec,
+                                     bool cancellable) {
+  const Time pnow = now();
+  if (at < pnow) {
     throw LogicError("schedule_at into the past: " + at.str() + " < " +
-                     now_.str());
+                     pnow.str());
   }
   if (at.is_never()) {
     throw LogicError("schedule_at(never)");
   }
-  maybe_compact();
-  auto state = make_state();
-  std::uint32_t slot = acquire_slot(std::move(fn), state);
-  heap_.push_back(HeapEntry{at, next_seq_++, slot});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  return EventHandle(std::move(state));
+  const Domain pd = (tls_.sched == this && tls_.key != nullptr)
+                        ? tls_.domain
+                        : (!ambient_.empty() ? ambient_.back() : kWorldDomain);
+  const EventKey key{at, pnow, pd, ++domain_seq_[pd]};
+  const std::uint32_t target =
+      exec < domain_sub_.size() ? domain_sub_[exec] : structural_sub_;
+  SubQueue& target_sub = *subs_[target];
+
+  if (tls_.sched == this && tls_.shard >= 0 && &target_sub != tls_.sub) {
+    // Cross-shard from inside a window: stage in the sender's outbox; the
+    // controller merges it into the target heap at the barrier. The
+    // lookahead guarantee is what makes the barrier late enough.
+    if (target == structural_sub_) {
+      throw LogicError("structural event scheduled from a shard context "
+                       "(domain " + std::to_string(pd) + " at " + pnow.str() +
+                       " scheduling exec domain " + std::to_string(exec) +
+                       " for " + at.str() + ")");
+    }
+    if (at < pnow + lookahead_) {
+      throw LogicError("cross-shard event inside the lookahead window: " +
+                       at.str() + " < " + (pnow + lookahead_).str());
+    }
+    tls_.sub->outbox[target].push_back(Staged{key, exec, std::move(fn)});
+    return EventHandle();  // staged events are not cancellable
+  }
+
+  target_sub.maybe_compact();
+  std::shared_ptr<EventHandle::State> state;
+  if (cancellable) state = target_sub.make_state();
+  EventHandle handle(state);
+  target_sub.push(key, std::move(fn), exec, std::move(state));
+  return handle;
+}
+
+EventHandle Scheduler::schedule_at(Time at, SchedFn fn) {
+  const Domain exec = (tls_.sched == this && tls_.key != nullptr)
+                          ? tls_.domain
+                          : (!ambient_.empty() ? ambient_.back() : kWorldDomain);
+  return schedule_impl(at, std::move(fn), exec, /*cancellable=*/true);
+}
+
+EventHandle Scheduler::schedule_at(Time at, SchedFn fn, Domain exec) {
+  return schedule_impl(at, std::move(fn), exec, /*cancellable=*/true);
 }
 
 EventHandle Scheduler::schedule_in(Time delay, SchedFn fn) {
   if (delay < Time::zero()) {
     throw LogicError("schedule_in negative delay: " + delay.str());
   }
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_at(now() + delay, std::move(fn));
 }
 
-std::uint64_t Scheduler::run_until(Time until) {
-  std::uint64_t n = 0;
-  while (!heap_.empty() && heap_.front().at <= until) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    HeapEntry entry = heap_.back();
-    heap_.pop_back();
-    Event& ev = slots_[entry.slot];
-    if (ev.state->cancelled) {
-      --*cancelled_in_heap_;
-      release_slot(entry.slot);
-      continue;
-    }
-    now_ = entry.at;
-    ev.state->executed = true;
-    // Move the callback out and free the slot before invoking: the callback
-    // may schedule (growing slots_, invalidating `ev`) and can even reuse
-    // this very slot.
-    SchedFn fn = std::move(ev.fn);
-    release_slot(entry.slot);
-    fn();
-    ++n;
-    ++executed_;
+EventHandle Scheduler::schedule_in(Time delay, SchedFn fn, Domain exec) {
+  if (delay < Time::zero()) {
+    throw LogicError("schedule_in negative delay: " + delay.str());
   }
-  // run() passes never() as the horizon; leave now_ at the last event then.
-  if (!until.is_never() && now_ < until) now_ = until;
+  return schedule_impl(now() + delay, std::move(fn), exec,
+                       /*cancellable=*/true);
+}
+
+// --- Execution --------------------------------------------------------------
+
+void Scheduler::execute_entry(SubQueue& sub, int shard, const HeapEntry& entry,
+                              std::uint64_t& count) {
+  Event& ev = sub.slots[entry.slot];
+  if (ev.state != nullptr && ev.state->cancelled) {
+    --*sub.cancelled_in_heap;
+    sub.release_slot(entry.slot);
+    return;
+  }
+  sub.now = entry.key.at;
+  tls_.domain = ev.exec;
+  tls_.key = &entry.key;
+  tls_.shard = shard;
+  tls_.sub = &sub;
+  if (ev.state != nullptr) ev.state->executed = true;
+  // Move the callback out and free the slot before invoking: the callback
+  // may schedule (growing slots, invalidating `ev`) and can even reuse
+  // this very slot.
+  SchedFn fn = std::move(ev.fn);
+  sub.release_slot(entry.slot);
+  fn();
+  tls_.key = nullptr;
+  ++count;
+  ++sub.executed;
+}
+
+std::uint64_t Scheduler::run_serial(Time until) {
+  SubQueue& sub = *subs_[0];
+  ExecCtx saved = tls_;
+  tls_ = ExecCtx{this, &sub, -1, kWorldDomain, nullptr};
+  std::uint64_t n = 0;
+  while (!sub.heap.empty() && sub.heap.front().key.at <= until) {
+    std::pop_heap(sub.heap.begin(), sub.heap.end(), Later{});
+    HeapEntry entry = sub.heap.back();
+    sub.heap.pop_back();
+    execute_entry(sub, -1, entry, n);
+    tls_.sub = &sub;  // execute_entry leaves it set; keep for clarity
+  }
+  tls_ = saved;
+  // run() passes never() as the horizon; leave now at the last event then.
+  if (!until.is_never() && sub.now < until) sub.now = until;
+  now_ = sub.now;
   return n;
 }
 
+std::uint64_t Scheduler::run_shard_before(SubQueue& sub, int shard, Time end) {
+  ExecCtx saved = tls_;
+  tls_ = ExecCtx{this, &sub, shard, kWorldDomain, nullptr};
+  std::uint64_t n = 0;
+  while (!sub.heap.empty() && sub.heap.front().key.at < end) {
+    std::pop_heap(sub.heap.begin(), sub.heap.end(), Later{});
+    HeapEntry entry = sub.heap.back();
+    sub.heap.pop_back();
+    execute_entry(sub, shard, entry, n);
+  }
+  tls_ = saved;
+  return n;
+}
+
+std::uint64_t Scheduler::run_instant(Time ts) {
+  // Serialized instant: every due event at exactly `ts`, across all shards
+  // and the structural queue, in canonical order, on this thread. Shards are
+  // quiesced, so structural events may mutate cross-shard state (moves,
+  // crashes, route recomputes) and same-instant shard events interleave with
+  // them exactly as a serial run would.
+  ExecCtx saved = tls_;
+  // execute_entry fills sub/key/shard/domain per event, but now()/provenance
+  // also require tls_.sched to recognize this scheduler — without it every
+  // schedule made by an instant's handlers reads the stale global clock and
+  // collapses to world provenance (events land keyed near t=0 mid-run).
+  tls_ = ExecCtx{this, nullptr, -1, kWorldDomain, nullptr};
+  std::uint64_t n = 0;
+  for (;;) {
+    SubQueue* best = nullptr;
+    EventKey best_key{Time::never(), Time::never(), 0, 0};
+    for (auto& sub : subs_) {
+      EventKey k = sub->min_key();
+      if (k.at.is_never()) continue;
+      if (best == nullptr || k < best_key) {
+        best = sub.get();
+        best_key = k;
+      }
+    }
+    if (best == nullptr || best_key.at != ts) break;
+    std::pop_heap(best->heap.begin(), best->heap.end(), Later{});
+    HeapEntry entry = best->heap.back();
+    best->heap.pop_back();
+    // shard = -1: trace/counter writes go straight to the merged stores.
+    execute_entry(*best, -1, entry, n);
+    tls_.key = nullptr;
+  }
+  tls_ = saved;
+  return n;
+}
+
+void Scheduler::drain_outboxes() {
+  for (auto& src : subs_) {
+    for (std::size_t dst = 0; dst < src->outbox.size(); ++dst) {
+      auto& staged = src->outbox[dst];
+      if (staged.empty()) continue;
+      SubQueue& target = *subs_[dst];
+      for (auto& s : staged) {
+        target.push(s.key, std::move(s.fn), s.exec, nullptr);
+      }
+      staged.clear();
+    }
+  }
+}
+
+std::uint64_t Scheduler::run_parallel(Time until) {
+  std::uint64_t n = 0;
+  SubQueue& structural = *subs_[structural_sub_];
+  for (;;) {
+    EventKey gmin{Time::never(), Time::never(), 0, 0};
+    for (auto& sub : subs_) {
+      EventKey k = sub->min_key();
+      if (!k.at.is_never() && (gmin.at.is_never() || k < gmin)) gmin = k;
+    }
+    if (gmin.at.is_never() || gmin.at > until) break;
+    const Time ts = structural.min_key().at;
+    if (ts == gmin.at) {
+      // The next event anywhere shares its instant with a structural event:
+      // run the whole instant single-threaded in canonical order.
+      n += run_instant(ts);
+      ++structural_instants_;
+      if (barrier_hook_) barrier_hook_();
+      continue;
+    }
+    Time wend = gmin.at + lookahead_;  // exclusive window end
+    if (ts < wend) wend = ts;
+    // run_until is inclusive of `until`, so the last window ends just past it.
+    if (!until.is_never() && until + Time::ns(1) < wend) {
+      wend = until + Time::ns(1);
+    }
+    // Dispatch the window: workers run shards 1..S-1, we run shard 0.
+    cmd_->executed.store(0, std::memory_order_relaxed);
+    cmd_->done.store(0, std::memory_order_relaxed);
+    cmd_->end_ns.store(wend.nanos(), std::memory_order_relaxed);
+    cmd_->gen.fetch_add(1, std::memory_order_release);
+    cmd_->gen.notify_all();
+    n += run_shard_before(*subs_[0], 0, wend);
+    const std::uint32_t others = shard_count_ - 1;
+    const int budget = spin_budget(shard_count_);
+    int spins = 0;
+    std::uint32_t d;
+    while ((d = cmd_->done.load(std::memory_order_acquire)) < others) {
+      if (++spins < budget) {
+        cpu_relax();
+      } else {
+        cmd_->done.wait(d, std::memory_order_acquire);
+      }
+    }
+    n += cmd_->executed.load(std::memory_order_relaxed);
+    ++windows_;
+    drain_outboxes();
+    if (barrier_hook_) barrier_hook_();
+  }
+  Time end = until;
+  if (until.is_never()) {
+    end = Time::zero();
+    for (auto& sub : subs_) end = std::max(end, sub->now);
+  }
+  for (auto& sub : subs_) {
+    if (sub->now < end) sub->now = end;
+  }
+  now_ = end;
+  return n;
+}
+
+std::uint64_t Scheduler::run_until(Time until) {
+  if (sharded()) return run_parallel(until);
+  return run_serial(until);
+}
+
 std::uint64_t Scheduler::run() { return run_until(Time::never()); }
+
+// --- Sharding ---------------------------------------------------------------
+
+void Scheduler::migrate_all_to(const std::vector<std::uint32_t>& new_map,
+                               std::uint32_t new_count) {
+  const std::size_t total = static_cast<std::size_t>(new_count) + 1;
+  std::vector<std::unique_ptr<SubQueue>> fresh;
+  fresh.reserve(total);
+  Time cur = now_;
+  for (auto& sub : subs_) cur = std::max(cur, sub->now);
+  for (std::size_t i = 0; i < total; ++i) {
+    auto sub = std::make_unique<SubQueue>();
+    sub->cancelled_in_heap = std::make_shared<std::uint64_t>(0);
+    sub->now = cur;
+    sub->outbox.resize(total);
+    fresh.push_back(std::move(sub));
+  }
+  std::uint64_t executed = 0;
+  std::uint64_t compactions = 0;
+  for (auto& old : subs_) {
+    executed += old->executed;
+    compactions += old->compactions;
+    for (const HeapEntry& entry : old->heap) {
+      Event& ev = old->slots[entry.slot];
+      if (ev.state != nullptr && ev.state->cancelled) {
+        ev.state->cancelled_in_heap.reset();
+        continue;  // dead: drop instead of migrating
+      }
+      const std::uint32_t dst =
+          ev.exec < new_map.size() ? new_map[ev.exec] : new_count;
+      SubQueue& target = *fresh[dst];
+      if (ev.state != nullptr) {
+        ev.state->cancelled_in_heap = target.cancelled_in_heap;
+      }
+      target.heap.push_back(
+          HeapEntry{entry.key,
+                    target.acquire_slot(std::move(ev.fn), std::move(ev.state),
+                                        ev.exec)});
+    }
+  }
+  for (auto& sub : fresh) {
+    std::make_heap(sub->heap.begin(), sub->heap.end(), Later{});
+  }
+  fresh[0]->executed = executed;
+  fresh[0]->compactions = compactions;
+  subs_ = std::move(fresh);
+  now_ = cur;
+}
+
+void Scheduler::configure_shards(std::vector<std::uint32_t> domain_shard,
+                                 std::uint32_t shards, Time lookahead) {
+  if (tls_.sched == this && tls_.key != nullptr) {
+    throw LogicError("configure_shards from inside an event");
+  }
+  if (shards <= 1) {
+    configure_serial();
+    return;
+  }
+  if (lookahead <= Time::zero()) {
+    throw LogicError("configure_shards needs a positive lookahead");
+  }
+  stop_workers();
+  domain_shard.resize(domain_seq_.size(), kStructuralShard);
+  std::vector<std::uint32_t> new_map(domain_seq_.size(), shards);
+  for (std::size_t d = 1; d < domain_shard.size(); ++d) {
+    if (domain_shard[d] != kStructuralShard) {
+      if (domain_shard[d] >= shards) {
+        throw LogicError("configure_shards: shard index out of range");
+      }
+      new_map[d] = domain_shard[d];
+    }
+  }
+  new_map[kWorldDomain] = shards;  // structural sub is the last one
+  migrate_all_to(new_map, shards);
+  domain_sub_ = std::move(new_map);
+  shard_count_ = shards;
+  structural_sub_ = shards;
+  lookahead_ = lookahead;
+  start_workers();
+}
+
+void Scheduler::configure_serial() {
+  if (tls_.sched == this && tls_.key != nullptr) {
+    throw LogicError("configure_serial from inside an event");
+  }
+  stop_workers();
+  if (shard_count_ == 1 && subs_.size() == 1) return;
+  // With new_count 0 there is exactly one sub: shard 0 == structural.
+  std::vector<std::uint32_t> new_map(domain_seq_.size(), 0);
+  migrate_all_to(new_map, 0);
+  subs_[0]->outbox.clear();
+  domain_sub_.assign(domain_seq_.size(), 0);
+  shard_count_ = 1;
+  structural_sub_ = 0;
+  lookahead_ = Time::zero();
+}
+
+void Scheduler::start_workers() {
+  cmd_ = std::make_unique<WorkerCmd>();
+  workers_.reserve(shard_count_ - 1);
+  for (std::uint32_t s = 1; s < shard_count_; ++s) {
+    workers_.emplace_back([this, s] { worker_main(s); });
+  }
+}
+
+void Scheduler::stop_workers() {
+  if (!cmd_) return;
+  cmd_->quit.store(true, std::memory_order_release);
+  cmd_->gen.fetch_add(1, std::memory_order_release);
+  cmd_->gen.notify_all();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+  cmd_.reset();
+}
+
+void Scheduler::worker_main(std::uint32_t shard) {
+  std::uint64_t last_gen = 0;
+  const int budget = spin_budget(shard_count_);
+  for (;;) {
+    std::uint64_t gen;
+    int spins = 0;
+    while ((gen = cmd_->gen.load(std::memory_order_acquire)) == last_gen) {
+      if (++spins < budget) {
+        cpu_relax();
+      } else {
+        cmd_->gen.wait(last_gen, std::memory_order_acquire);
+      }
+    }
+    last_gen = gen;
+    if (cmd_->quit.load(std::memory_order_acquire)) return;
+    const Time end = Time::ns(cmd_->end_ns.load(std::memory_order_relaxed));
+    const std::uint64_t n = run_shard_before(*subs_[shard], shard, end);
+    cmd_->executed.fetch_add(n, std::memory_order_relaxed);
+    cmd_->done.fetch_add(1, std::memory_order_release);
+    cmd_->done.notify_all();
+  }
+}
+
+// --- Introspection ----------------------------------------------------------
+
+std::size_t Scheduler::pending_events() const {
+  std::size_t n = 0;
+  for (auto& sub : subs_) n += sub->heap.size();
+  return n;
+}
+
+std::size_t Scheduler::event_slots() const {
+  std::size_t n = 0;
+  for (auto& sub : subs_) n += sub->slots.size();
+  return n;
+}
+
+std::size_t Scheduler::live_events() const {
+  std::size_t n = 0;
+  for (auto& sub : subs_) n += sub->heap.size() - sub->cancelled();
+  return n;
+}
+
+std::size_t Scheduler::cancelled_events() const {
+  std::size_t n = 0;
+  for (auto& sub : subs_) n += sub->cancelled();
+  return n;
+}
+
+std::uint64_t Scheduler::executed_events() const {
+  std::uint64_t n = 0;
+  for (auto& sub : subs_) n += sub->executed;
+  return n;
+}
+
+std::uint64_t Scheduler::compactions() const {
+  std::uint64_t n = 0;
+  for (auto& sub : subs_) n += sub->compactions;
+  return n;
+}
 
 }  // namespace mip6

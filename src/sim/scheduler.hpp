@@ -1,33 +1,87 @@
-// Discrete-event scheduler.
+// Discrete-event scheduler with conservative parallel (sharded) execution.
 //
-// Events are (time, sequence, callback); sequence numbers break same-time
-// ties in insertion order, which makes runs fully deterministic.
+// Ordering contract. Every event is ordered by a *canonical key*
+//   (at, ptime, pdomain, pseq)
+// where `at` is the execution time and the remaining fields are the event's
+// provenance: the simulation time of the schedule call, the *domain* that
+// made it, and that domain's own schedule counter. A domain is one logical
+// process — node N is domain N+1, and domain 0 (kWorldDomain) is the
+// world/structural context (topology construction, chaos engine, mobility
+// itineraries, cross-node probes). Because a domain always executes
+// sequentially, its schedule calls — and therefore every canonical key —
+// are identical no matter how the domains are divided among shards. That is
+// the whole determinism story: a serial run and an 8-thread run execute the
+// same events in the same canonical order and are byte-identical.
+//
+// Sharded execution (configure_shards) partitions domains into per-shard
+// sub-queues, each an independent indirect-heap scheduler over its own slot
+// arena. Shards advance in lockstep time windows no longer than the
+// configured lookahead (the minimum link propagation delay): within one
+// window no cross-shard event can affect another shard, so shards run on
+// worker threads without synchronization. An event scheduled for a domain
+// on another shard (a packet crossing a cut link) is staged in a per-edge
+// outbox and merged into the target heap at the window barrier — its
+// canonical key was fixed at schedule time, so it lands exactly where a
+// serial run would have put it. Events executed by domain 0 are
+// *structural*: they may mutate cross-shard state (move a host, crash a
+// router, recompute routes), so the controller runs them with every shard
+// quiesced, interleaved with same-instant shard events in canonical order.
+// Structural events may only be scheduled from the world context (build
+// time or another structural event) or through a structurally-bound Timer.
+//
 // Cancellation is O(1) by invalidating a shared handle state; cancelled
-// events are skipped when they surface at the top of the heap AND reclaimed
-// in bulk by threshold-based compaction: once more than half the heap (and
-// at least kCompactMin entries) is cancelled, the heap is rebuilt without
-// them. Without compaction, timer-heavy workloads — every Timer::arm()
-// cancels the previous expiry — grow the heap with dead entries faster than
-// pops drain them.
-//
-// Allocation discipline: handle states are recycled through a free list, so
-// the steady-state rearm cycle (arm → cancel → arm ...) performs no heap
-// allocation. tests/sim/alloc_guard_test.cpp enforces this.
+// events are skipped when they surface at the top of a heap AND reclaimed
+// in bulk by threshold-based compaction. Handle states are recycled through
+// a per-shard free list, so the steady-state rearm cycle performs no heap
+// allocation (tests/sim/alloc_guard_test.cpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "sim/func.hpp"
-#include "sim/rng.hpp"
 #include "sim/time.hpp"
 #include "util/errors.hpp"
 
 namespace mip6 {
 
+/// Logical-process id: 0 is the world/structural context, node N is N+1.
+using Domain = std::uint32_t;
+inline constexpr Domain kWorldDomain = 0;
+
+/// Canonical event key; see the file comment. Strictly totally ordered
+/// (pseq is unique per pdomain), which makes every heap pop deterministic.
+struct EventKey {
+  Time at;
+  Time ptime;          // simulation time of the schedule call
+  Domain pdomain = 0;  // domain whose context made the schedule call
+  std::uint64_t pseq = 0;  // that domain's schedule-call counter
+
+  friend bool operator<(const EventKey& a, const EventKey& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.ptime != b.ptime) return a.ptime < b.ptime;
+    if (a.pdomain != b.pdomain) {
+      // At equal provenance time the structural context sorts LAST: it only
+      // runs at quiesce points, i.e. causally after the shard events of that
+      // same instant. (Concretely: a host transmits a frame at t from its
+      // own event, then structural code called after run_until(t) transmits
+      // another — wire FIFO demands the host's frame arrives first even
+      // though both deliveries carry ptime == t.)
+      const Domain ra = a.pdomain == kWorldDomain ? ~Domain{0} : a.pdomain;
+      const Domain rb = b.pdomain == kWorldDomain ? ~Domain{0} : b.pdomain;
+      return ra < rb;
+    }
+    return a.pseq < b.pseq;
+  }
+};
+
 /// Cancellable handle to a scheduled event. Copyable; all copies refer to the
-/// same event. A default-constructed handle is inert.
+/// same event. A default-constructed handle is inert. Cross-shard staged
+/// events are not cancellable (Link deliveries never cancel).
 class EventHandle {
  public:
   EventHandle() = default;
@@ -44,7 +98,7 @@ class EventHandle {
     bool cancelled = false;
     bool executed = false;
     /// Count of cancelled-but-still-heaped events, shared with the owning
-    /// scheduler (shared so a handle outliving the scheduler stays safe).
+    /// sub-queue (shared so a handle outliving the scheduler stays safe).
     std::shared_ptr<std::uint64_t> cancelled_in_heap;
   };
   explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
@@ -53,88 +107,229 @@ class EventHandle {
 
 class Scheduler {
  public:
-  Scheduler() = default;
+  Scheduler();
+  ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  Time now() const { return now_; }
+  /// Simulation time of the calling context: the executing shard's clock
+  /// from inside an event, the controller clock otherwise.
+  Time now() const;
 
-  /// Schedules `fn` to run at absolute time `at` (must be >= now()).
-  /// SchedFn stores closures up to 48 bytes without heap allocation.
+  /// Registers a new domain (one per node); returns its id.
+  Domain add_domain();
+  std::size_t domain_count() const { return domain_seq_.size(); }
+  /// Domain of the event being executed by the calling context
+  /// (kWorldDomain outside event execution, or under an ambient scope).
+  Domain current_domain() const;
+  /// Domain new Timers bind to: current_domain(), or the innermost ambient
+  /// scope pushed by DomainScope during construction phases.
+  Domain binding_domain() const;
+
+  /// Schedules `fn` to run at absolute time `at` (must be >= now()), in the
+  /// context of `exec` (defaults to the scheduling domain). SchedFn stores
+  /// closures up to 48 bytes without heap allocation.
   EventHandle schedule_at(Time at, SchedFn fn);
+  EventHandle schedule_at(Time at, SchedFn fn, Domain exec);
   /// Schedules `fn` to run `delay` from now (delay must be >= 0).
   EventHandle schedule_in(Time delay, SchedFn fn);
+  EventHandle schedule_in(Time delay, SchedFn fn, Domain exec);
 
-  /// Runs events until the queue is empty or `until` is reached; events at
-  /// exactly `until` are executed. Returns the number of events executed.
+  /// Runs events until the queues are empty or `until` is reached; events
+  /// at exactly `until` are executed. Returns the number executed.
   std::uint64_t run_until(Time until);
   /// Runs to queue exhaustion.
   std::uint64_t run();
 
+  // --- Sharded execution -------------------------------------------------
+
+  /// Partitions domains into `shards` per-thread sub-queues and starts the
+  /// worker pool. `domain_shard[d]` names the shard of domain d; domain 0
+  /// (and every domain mapped to kStructuralShard) executes structurally.
+  /// `lookahead` is the synchronization window (the minimum propagation
+  /// delay of any link); must be > 0. Already-scheduled events migrate to
+  /// their shard's sub-queue. Call only while quiesced (not from an event).
+  static constexpr std::uint32_t kStructuralShard = 0xffffffff;
+  void configure_shards(std::vector<std::uint32_t> domain_shard,
+                        std::uint32_t shards, Time lookahead);
+  /// Back to single-queue serial execution (events migrate back).
+  void configure_serial();
+  std::uint32_t shards() const { return shard_count_; }
+  bool sharded() const { return shard_count_ > 1; }
+  /// Shard of the calling worker thread, or -1 (serial, controller or
+  /// structural context). Used to route trace/counter/pool accesses.
+  static int current_shard_slot();
+  /// Canonical key of the event being executed by this thread (null outside
+  /// event execution). Valid only during the event's execution.
+  static const EventKey* current_key();
+  /// Monotone per-shard emit counter for deterministic trace merging.
+  static std::uint64_t next_emit_seq();
+
+  /// Hook run by the controller at every window barrier and before every
+  /// structural instant, with all shards quiesced. The Network uses it to
+  /// merge per-shard trace buffers into the user sink in canonical order.
+  using BarrierHook = std::function<void()>;
+  void set_barrier_hook(BarrierHook hook) { barrier_hook_ = std::move(hook); }
+
+  /// Windows executed by the sharded controller (0 when serial).
+  std::uint64_t windows() const { return windows_; }
+  /// Structural instants serialized by the controller.
+  std::uint64_t structural_instants() const { return structural_instants_; }
+
+  // --- Introspection -----------------------------------------------------
   /// Heap entries, including not-yet-reclaimed cancelled events (bounded by
   /// compaction at ~2x the live count).
-  std::size_t pending_events() const { return heap_.size(); }
+  std::size_t pending_events() const;
   /// Event payload slots currently allocated (high-water mark of pending).
-  std::size_t event_slots() const { return slots_.size(); }
+  std::size_t event_slots() const;
   /// Entries scheduled and not yet executed or cancelled.
-  std::size_t live_events() const { return heap_.size() - cancelled(); }
+  std::size_t live_events() const;
   /// Cancelled entries still occupying heap slots.
-  std::size_t cancelled_events() const { return cancelled(); }
-  std::uint64_t executed_events() const { return executed_; }
-  /// Times the heap was rebuilt to shed cancelled entries.
-  std::uint64_t compactions() const { return compactions_; }
+  std::size_t cancelled_events() const;
+  std::uint64_t executed_events() const;
+  /// Times a heap was rebuilt to shed cancelled entries.
+  std::uint64_t compactions() const;
 
   /// Cancelled fraction above which (and entry count kCompactMin above
-  /// which) the heap is compacted.
+  /// which) a sub-queue is compacted.
   static constexpr std::size_t kCompactMin = 64;
 
  private:
+  friend class DomainScope;
+
   /// Event payloads live in slots_ and never move; the binary heap orders
-  /// trivially-copyable 24-byte entries, so push_heap/pop_heap sifts are
-  /// plain memcpys instead of type-erased closure relocations (which
-  /// dominated the profile when the heap held whole events).
+  /// trivially-copyable 32-byte entries, so push_heap/pop_heap sifts are
+  /// plain memcpys instead of type-erased closure relocations.
   struct Event {
     SchedFn fn;
     std::shared_ptr<EventHandle::State> state;
+    Domain exec = kWorldDomain;
   };
   struct HeapEntry {
-    Time at;
-    std::uint64_t seq;
+    EventKey key;
     std::uint32_t slot;
   };
   struct Later {
     bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+      return b.key < a.key;
     }
   };
+  /// A cross-shard event staged in the sender's outbox until the barrier.
+  struct Staged {
+    EventKey key;
+    Domain exec;
+    SchedFn fn;
+  };
 
-  std::uint64_t cancelled() const {
-    return cancelled_in_heap_ ? *cancelled_in_heap_ : 0;
+  struct SubQueue {
+    std::vector<HeapEntry> heap;  // binary heap ordered by Later
+    std::vector<Event> slots;
+    std::vector<std::uint32_t> free_slots;
+    std::shared_ptr<std::uint64_t> cancelled_in_heap;
+    std::vector<std::shared_ptr<EventHandle::State>> state_pool;
+    std::vector<std::shared_ptr<EventHandle::State>> deferred;
+    /// One outbox per target shard (staged cross-shard events).
+    std::vector<std::vector<Staged>> outbox;
+    Time now = Time::zero();
+    std::uint64_t executed = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t emit_seq = 0;
+
+    std::uint64_t cancelled() const {
+      return cancelled_in_heap ? *cancelled_in_heap : 0;
+    }
+    /// Key of the earliest live entry, or at == never() when empty.
+    EventKey min_key();
+    void push(const EventKey& key, SchedFn&& fn, Domain exec,
+              std::shared_ptr<EventHandle::State> state);
+    std::uint32_t acquire_slot(SchedFn&& fn,
+                               std::shared_ptr<EventHandle::State> state,
+                               Domain exec);
+    void release_slot(std::uint32_t slot);
+    std::shared_ptr<EventHandle::State> make_state();
+    void recycle(std::shared_ptr<EventHandle::State>&& state);
+    void sweep_deferred();
+    void maybe_compact();
+  };
+
+  /// Per-thread execution context (what current_shard_slot()/now() read).
+  struct ExecCtx {
+    Scheduler* sched = nullptr;
+    SubQueue* sub = nullptr;
+    int shard = -1;  // -1: serial/controller/structural
+    Domain domain = kWorldDomain;
+    const EventKey* key = nullptr;
+  };
+  static thread_local ExecCtx tls_;
+
+  SubQueue& sub_of_domain(Domain d) {
+    std::uint32_t s = d < domain_sub_.size() ? domain_sub_[d] : 0;
+    return *subs_[s];
   }
-  std::shared_ptr<EventHandle::State> make_state();
-  /// Returns a finished (executed or cancelled-and-popped) state to the free
-  /// list. A state some handle still references — a Timer keeps its handle
-  /// until the next arm() — parks in deferred_ and is swept back into the
-  /// pool by make_state() once the last handle lets go.
-  void recycle(std::shared_ptr<EventHandle::State>&& state);
-  void sweep_deferred();
-  void maybe_compact();
+  EventHandle schedule_impl(Time at, SchedFn&& fn, Domain exec,
+                            bool cancellable);
+  /// Executes one popped entry on `sub` with the exec context set up.
+  void execute_entry(SubQueue& sub, int shard, const HeapEntry& entry,
+                     std::uint64_t& count);
+  /// Pops and runs sub's events with key.at < end (worker-side).
+  std::uint64_t run_shard_before(SubQueue& sub, int shard, Time end);
+  /// Runs every due event at exactly `ts`, across all sub-queues, in
+  /// canonical order, on the controller thread (structural instants).
+  std::uint64_t run_instant(Time ts);
+  void drain_outboxes();
+  std::uint64_t run_serial(Time until);
+  std::uint64_t run_parallel(Time until);
+  void migrate_all_to(const std::vector<std::uint32_t>& new_map,
+                      std::uint32_t new_count);
+  void start_workers();
+  void stop_workers();
+  void worker_main(std::uint32_t shard);
 
-  std::uint32_t acquire_slot(SchedFn&& fn,
-                             std::shared_ptr<EventHandle::State> state);
-  void release_slot(std::uint32_t slot);
+  // Domains. domain_seq_ cells are only bumped by the context that owns the
+  // domain (its shard, or the quiesced controller), so no synchronization
+  // is needed.
+  std::vector<std::uint64_t> domain_seq_;  // per-domain schedule counters
+  std::vector<std::uint32_t> domain_sub_;  // domain -> sub-queue index
+  std::vector<Domain> ambient_;            // DomainScope stack (build time)
 
-  Time now_ = Time::zero();
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t executed_ = 0;
-  std::uint64_t compactions_ = 0;
-  std::vector<HeapEntry> heap_;  // binary heap ordered by Later
-  std::vector<Event> slots_;
-  std::vector<std::uint32_t> free_slots_;
-  std::shared_ptr<std::uint64_t> cancelled_in_heap_;
-  std::vector<std::shared_ptr<EventHandle::State>> state_pool_;
-  std::vector<std::shared_ptr<EventHandle::State>> deferred_;
+  std::vector<std::unique_ptr<SubQueue>> subs_;  // [0..shard_count_) +
+                                                 // structural sub last
+  std::uint32_t shard_count_ = 1;
+  std::uint32_t structural_sub_ = 0;  // == shard sub 0 in serial mode
+  Time lookahead_ = Time::zero();
+  Time now_ = Time::zero();  // controller clock (max of finished windows)
+  BarrierHook barrier_hook_;
+  std::uint64_t windows_ = 0;
+  std::uint64_t structural_instants_ = 0;
+
+  // Worker pool (sharded mode only). The controller publishes a command
+  // generation + window end; workers run their shard and report done.
+  struct WorkerCmd {
+    std::atomic<std::uint64_t> gen{0};
+    std::atomic<std::int64_t> end_ns{0};
+    std::atomic<bool> quit{false};
+    std::atomic<std::uint32_t> done{0};
+    std::atomic<std::uint64_t> executed{0};
+  };
+  std::unique_ptr<WorkerCmd> cmd_;
+  std::vector<std::thread> workers_;
+};
+
+/// RAII ambient-domain scope: Timers constructed (and events scheduled)
+/// inside the scope bind to `d` instead of the world domain. NodeRuntime
+/// wraps module construction with the node's domain so every protocol timer
+/// executes on its node's shard.
+class DomainScope {
+ public:
+  DomainScope(Scheduler& sched, Domain d) : sched_(&sched) {
+    sched_->ambient_.push_back(d);
+  }
+  ~DomainScope() { sched_->ambient_.pop_back(); }
+  DomainScope(const DomainScope&) = delete;
+  DomainScope& operator=(const DomainScope&) = delete;
+
+ private:
+  Scheduler* sched_;
 };
 
 }  // namespace mip6

@@ -5,9 +5,21 @@
 // duration, re-arming cancels the previous expiry, expiry invokes a fixed
 // callback. The callback is set once at construction, which mirrors how
 // protocol specs describe timers ("when the timer expires, do X").
+//
+// A Timer is bound to a domain. Prefer passing it explicitly: protocol
+// state (and its timers) is routinely created both from the owning node's
+// own packet events and from structural entry points (initial subscribe,
+// module restart after a crash), and only an explicit binding puts the
+// expiry on the node's shard in both cases. Without the argument the
+// binding is captured from the scheduler's context at construction
+// (NodeRuntime wraps module construction in a DomainScope, so ctor-created
+// timers land on their node). bind_domain() rebinds after the fact —
+// kWorldDomain for expiries that mutate cross-shard state and must run
+// structurally (e.g. MobileNode attachment completion).
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <utility>
 
 #include "sim/scheduler.hpp"
@@ -16,26 +28,36 @@ namespace mip6 {
 
 class Timer {
  public:
-  Timer(Scheduler& sched, std::function<void()> on_expire)
-      : sched_(&sched), on_expire_(std::move(on_expire)) {}
+  Timer(Scheduler& sched, std::function<void()> on_expire,
+        std::optional<Domain> bind = std::nullopt)
+      : sched_(&sched),
+        domain_(bind ? *bind : sched.binding_domain()),
+        on_expire_(std::move(on_expire)) {}
 
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
   ~Timer() { cancel(); }
 
+  /// Rebinds the expiry's execution domain (kWorldDomain = structural).
+  void bind_domain(Domain d) { domain_ = d; }
+  Domain domain() const { return domain_; }
+
   /// (Re)arms to fire `delay` from now.
   void arm(Time delay) {
     cancel();
     expiry_ = sched_->now() + delay;
-    handle_ = sched_->schedule_in(delay, [this] {
-      expiry_ = Time::never();
-      // Invoke through a copy: expiry handlers routinely destroy the state
-      // that owns this Timer (listener entries, (S,G) entries, neighbor
-      // records erase themselves), and destroying a std::function during
-      // its own invocation is undefined behaviour.
-      auto fn = on_expire_;
-      fn();
-    });
+    handle_ = sched_->schedule_in(
+        delay,
+        [this] {
+          expiry_ = Time::never();
+          // Invoke through a copy: expiry handlers routinely destroy the
+          // state that owns this Timer (listener entries, (S,G) entries,
+          // neighbor records erase themselves), and destroying a
+          // std::function during its own invocation is undefined behaviour.
+          auto fn = on_expire_;
+          fn();
+        },
+        domain_);
   }
 
   /// Arms only if not already running (used for "set if not set" semantics).
@@ -64,6 +86,7 @@ class Timer {
 
  private:
   Scheduler* sched_;
+  Domain domain_;
   std::function<void()> on_expire_;
   EventHandle handle_;
   Time expiry_ = Time::never();

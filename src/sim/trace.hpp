@@ -12,6 +12,13 @@
 // builds its arguments at the call site even when dropped; keep it off hot
 // paths. tests/sim/alloc_guard_test.cpp asserts the disabled emit path
 // performs zero allocations.
+// Sharded operation: records emitted from a worker shard are appended to
+// that shard's buffer tagged with the executing event's canonical key (plus
+// a per-shard emit counter for multi-emit events), then k-way merged into
+// the user sink at window barriers. Per-shard buffers are filled in
+// execution order — which within a shard IS canonical order — so the merge
+// reproduces the serial emission sequence byte for byte. Records emitted
+// from serial/structural contexts go straight to the sink.
 #pragma once
 
 #include <functional>
@@ -20,6 +27,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
 namespace mip6 {
@@ -49,8 +57,8 @@ class Trace {
   /// an enabled() guard) anywhere per-event cost matters.
   void emit(Time at, std::string component, std::string event,
             std::string detail) const {
-    if (sink_) sink_({at, std::move(component), std::move(event),
-                      std::move(detail)});
+    if (sink_) deliver({at, std::move(component), std::move(event),
+                        std::move(detail)});
   }
 
   /// Lazy emit for hot paths: `detail_fn` is only invoked — and the record's
@@ -61,14 +69,14 @@ class Trace {
   void emit(Time at, std::string_view component, std::string_view event,
             DetailFn&& detail_fn) const {
     if (!sink_) return;
-    sink_({at, std::string(component), std::string(event),
-           std::forward<DetailFn>(detail_fn)()});
+    deliver({at, std::string(component), std::string(event),
+             std::forward<DetailFn>(detail_fn)()});
   }
 
   /// Lazy emit with no detail payload.
   void emit(Time at, std::string_view component, std::string_view event) const {
     if (!sink_) return;
-    sink_({at, std::string(component), std::string(event), std::string()});
+    deliver({at, std::string(component), std::string(event), std::string()});
   }
 
   /// Sink that appends to a vector (owned by the caller).
@@ -76,8 +84,40 @@ class Trace {
   /// Sink that prints one line per record to stderr.
   static Sink stderr_printer();
 
+  // --- Sharded operation -------------------------------------------------
+  /// Allocates one buffer per shard; worker-context emits divert there.
+  void enable_shards(std::size_t shards);
+  /// Merges outstanding records and drops the buffers.
+  void disable_shards();
+  /// K-way merges the shard buffers into the sink in canonical event order.
+  /// Controller-side, called at every window barrier.
+  void merge_shards() const;
+  bool sharded() const { return sharded_; }
+
  private:
+  struct Tagged {
+    EventKey key;
+    std::uint64_t emit;
+    TraceRecord rec;
+  };
+
+  void deliver(TraceRecord&& rec) const {
+    if (sharded_) {
+      const int s = Scheduler::current_shard_slot();
+      if (s >= 0) {
+        const EventKey* k = Scheduler::current_key();
+        buffers_[static_cast<std::size_t>(s)].push_back(
+            Tagged{k != nullptr ? *k : EventKey{}, Scheduler::next_emit_seq(),
+                   std::move(rec)});
+        return;
+      }
+    }
+    sink_(rec);
+  }
+
   Sink sink_;
+  mutable std::vector<std::vector<Tagged>> buffers_;
+  bool sharded_ = false;
 };
 
 }  // namespace mip6

@@ -63,8 +63,10 @@ TEST(JoinDelayDistribution, QueryWaitIsUniformOverTheQueryInterval) {
   EXPECT_LT(join.percentile(25), join.percentile(50) - 3.0);
   EXPECT_LT(join.percentile(50), join.percentile(75) - 3.0);
 
-  // Tails present on both ends of the interval.
-  EXPECT_LT(join.percentile(10), 14.0);
+  // Tails present on both ends of the interval. The lower-tail bound is
+  // loose: with 48 samples the empirical p10 of Uniform(0,60)+U(0,10)
+  // wobbles by several seconds across rng stream layouts.
+  EXPECT_LT(join.percentile(10), 18.0);
   EXPECT_GT(join.percentile(90), 42.0);
 }
 

@@ -1,0 +1,147 @@
+// Serial/parallel identity: the windowed parallel scheduler's one
+// non-negotiable contract is that the thread count is a speed knob, not a
+// semantics knob. Every shipped Figure 1-4 scenario and every committed
+// chaos reproducer must produce byte-identical traces, counters, delivery
+// counts, and executed-event totals at --threads 1, 2, and 8. Any diff
+// here means a provenance-ordering or shard-isolation bug in the
+// scheduler, partitioner, or a protocol module scheduling onto the wrong
+// domain — fix that, never the expectation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/search.hpp"
+#include "scenario/compile.hpp"
+
+#ifndef MIP6_SCENARIO_DIR
+#error "MIP6_SCENARIO_DIR must point at examples/scenarios"
+#endif
+#ifndef MIP6_FAULT_CORPUS_DIR
+#error "MIP6_FAULT_CORPUS_DIR must point at tests/fault/corpus"
+#endif
+
+namespace mip6 {
+namespace {
+
+constexpr std::uint32_t kThreadCounts[] = {2, 8};
+
+struct RunOutput {
+  std::string trace;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::uint64_t>> delivered;
+  std::uint64_t executed = 0;
+};
+
+/// Compiles and runs a shipped scenario at the given thread count,
+/// capturing everything observable.
+RunOutput run_figure(const std::string& file, std::uint32_t threads) {
+  ScenarioSpec spec =
+      ScenarioSpec::load_file(std::string(MIP6_SCENARIO_DIR) + "/" + file);
+  spec.threads = threads;
+  std::vector<TraceRecord> records;
+  CompiledScenario c = compile_scenario(spec, spec.seed, [&records](World& w) {
+    w.net().trace().set_sink(Trace::recorder(records));
+  });
+  c.world->run_until(spec.duration);
+  RunOutput out;
+  for (const TraceRecord& r : records) out.trace += r.str() + "\n";
+  out.counters = c.world->net().counters().snapshot();
+  for (const CompiledScenario::Receiver& rec : c.receivers) {
+    out.delivered.emplace_back(rec.host, rec.app->unique_received());
+  }
+  out.executed = c.world->scheduler().executed_events();
+  c.world->stop();
+  return out;
+}
+
+void expect_identical(const RunOutput& serial, const RunOutput& parallel,
+                      std::uint32_t threads) {
+  SCOPED_TRACE("threads=" + std::to_string(threads));
+  EXPECT_GT(serial.trace.size(), 0u);
+  EXPECT_EQ(serial.trace, parallel.trace);
+  EXPECT_EQ(serial.counters, parallel.counters);
+  EXPECT_EQ(serial.delivered, parallel.delivered);
+  EXPECT_EQ(serial.executed, parallel.executed);
+}
+
+class FigureIdentity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FigureIdentity, TraceCountersAndDeliveryMatchSerial) {
+  const std::string file = GetParam();
+  RunOutput serial = run_figure(file, 1);
+  for (std::uint32_t threads : kThreadCounts) {
+    expect_identical(serial, run_figure(file, threads), threads);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Figures, FigureIdentity,
+                         ::testing::Values("fig1_tree.json",
+                                           "fig2_receiver_local.json",
+                                           "fig3_receiver_tunnel.json",
+                                           "fig4_sender_tunnel.json"),
+                         [](const ::testing::TestParamInfo<const char*>& pi) {
+                           std::string n = pi.param;
+                           return n.substr(0, n.find('_'));
+                         });
+
+// --- Chaos reproducers under parallel execution -----------------------------
+//
+// Fault plans stress exactly the paths sharding can get wrong: structural
+// link flaps and node crashes interleaved with in-flight shard traffic,
+// auditor sampling across shards, and recovery re-floods. Each committed
+// reproducer must replay to its recorded trace at every thread count.
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(MIP6_FAULT_CORPUS_DIR)) {
+    if (entry.path().extension() == ".json")
+      files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+ChaosRunResult replay_at(const std::string& path, std::uint32_t threads) {
+  ChaosReproducer repro = ChaosReproducer::load_file(path);
+  ScenarioSpec spec = ScenarioSpec::load_file(std::string(MIP6_SCENARIO_DIR) +
+                                              "/" + repro.scenario);
+  spec.threads = threads;
+  return replay_reproducer(spec, repro);
+}
+
+class CorpusIdentity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusIdentity, ReplaysByteExactAtEveryThreadCount) {
+  const std::string path = GetParam();
+  ChaosReproducer repro = ChaosReproducer::load_file(path);
+  ChaosRunResult serial = replay_at(path, 1);
+  // The serial replay anchors against the recorded capture...
+  EXPECT_EQ(serial.trace, repro.trace);
+  EXPECT_EQ(serial.classes(), repro.classes);
+  // ...and every parallel replay must be indistinguishable from it.
+  for (std::uint32_t threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ChaosRunResult parallel = replay_at(path, threads);
+    EXPECT_EQ(serial.trace, parallel.trace);
+    EXPECT_EQ(serial.classes(), parallel.classes());
+    EXPECT_EQ(serial.delivered_total, parallel.delivered_total);
+    EXPECT_EQ(serial.executed_events, parallel.executed_events);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusIdentity,
+                         ::testing::ValuesIn(corpus_files()),
+                         [](const ::testing::TestParamInfo<std::string>& pi) {
+                           std::filesystem::path p(pi.param);
+                           std::string n = p.stem().string();
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace mip6

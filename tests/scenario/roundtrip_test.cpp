@@ -71,7 +71,7 @@ RunOutput run_hand_wired(StrategyOptions strategy, Time horizon,
       [&](Bytes p) {
         f.sender->service->send_multicast(group, kPort, kPort, std::move(p));
       },
-      Time::ms(100), 64);
+      Time::ms(100), 64, f.sender->node->domain());
   f.recv1->service->subscribe(group);
   f.recv2->service->subscribe(group);
   f.recv3->service->subscribe(group);

@@ -14,11 +14,13 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <new>
 
 #include "sim/scheduler.hpp"
 #include "sim/timer.hpp"
 #include "sim/trace.hpp"
+#include "stats/counters.hpp"
 
 namespace {
 
@@ -105,6 +107,100 @@ TEST(AllocGuard, DisabledTraceEmitDoesNotAllocate) {
   }
   EXPECT_EQ(allocations(), before)
       << "Trace::emit allocated with tracing disabled";
+}
+
+// Two self-rearming timers pinned to two worker shards: every handler
+// invocation runs on a worker thread with current_shard_slot() >= 0, the
+// exact context where sharded Trace/CounterRegistry divert to per-shard
+// buffers. The steady-state window loop (dispatch, barrier, outbox drain)
+// must be allocation-free too, or these guards trip on the scheduler
+// rather than the instrumented call.
+struct ShardedFixture {
+  Scheduler sched;
+  Domain d1, d2;
+  // The timer handlers capture only `this` so they stay inside
+  // std::function's inline buffer: Timer::arm copies the handler per arm,
+  // and a spilled handler would charge one heap allocation to every fire,
+  // drowning the signal these guards are after. The test bodies live in
+  // these out-of-line functions instead.
+  std::function<void()> body1, body2;
+  std::unique_ptr<Timer> t1, t2;
+  std::atomic<std::uint64_t> fired{0};
+
+  ShardedFixture(std::function<void()> b1, std::function<void()> b2)
+      : body1(std::move(b1)), body2(std::move(b2)) {
+    d1 = sched.add_domain();
+    d2 = sched.add_domain();
+    t1 = std::make_unique<Timer>(sched, [this] {
+      body1();
+      fired.fetch_add(1, std::memory_order_relaxed);
+      t1->arm(Time::ms(1));
+    }, d1);
+    t2 = std::make_unique<Timer>(sched, [this] {
+      body2();
+      fired.fetch_add(1, std::memory_order_relaxed);
+      t2->arm(Time::ms(1));
+    }, d2);
+    // Domain 0 is the structural world domain; d1 -> shard 0, d2 -> shard 1.
+    sched.configure_shards({Scheduler::kStructuralShard, 0, 1}, 2,
+                           Time::us(100));
+    t1->arm(Time::ms(1));
+    t2->arm(Time::ms(1));
+  }
+};
+
+TEST(AllocGuard, DisabledTraceEmitFromWorkerShardsDoesNotAllocate) {
+  Trace trace;
+  ASSERT_FALSE(trace.enabled());
+  trace.enable_shards(2);
+
+  ShardedFixture f(
+      [&] {
+        trace.emit(f.sched.now(), "pimdm/Shard0", "tick", [] {
+          // Must never run: no sink is installed.
+          return std::string(64, 'x');
+        });
+      },
+      [&] {
+        trace.emit(f.sched.now(), "pimdm/Shard1", "tick", [] {
+          return std::string(64, 'y');
+        });
+      });
+
+  // Warm-up: grow heaps, worker-pool scratch and window bookkeeping to
+  // steady state.
+  f.sched.run_until(Time::ms(256));
+  ASSERT_GE(f.fired.load(), 256u);
+
+  const std::uint64_t before = allocations();
+  f.sched.run_until(Time::ms(1256));
+  EXPECT_EQ(allocations(), before)
+      << "disabled Trace::emit allocated from a worker shard";
+  ASSERT_GE(f.fired.load(), 2000u);
+}
+
+TEST(AllocGuard, ShardedCounterCellAddFromWorkersDoesNotAllocate) {
+  CounterRegistry reg;
+  // Resolve before enabling shards: cell creation is build-time work.
+  CounterCell c1 = reg.cell("guard/shard0");
+  CounterCell c2 = reg.cell("guard/shard1");
+  reg.enable_shards(2);
+
+  ShardedFixture f([&] { c1.add(); }, [&] { c2.add(); });
+
+  f.sched.run_until(Time::ms(256));
+  const std::uint64_t warm1 = reg.get("guard/shard0");
+  const std::uint64_t warm2 = reg.get("guard/shard1");
+  ASSERT_GT(warm1, 0u);
+  ASSERT_GT(warm2, 0u);
+
+  const std::uint64_t before = allocations();
+  f.sched.run_until(Time::ms(1256));
+  EXPECT_EQ(allocations(), before)
+      << "sharded CounterCell::add allocated from a worker shard";
+  // The barrier merge folded every overlay increment into the base store.
+  EXPECT_GT(reg.get("guard/shard0"), warm1);
+  EXPECT_GT(reg.get("guard/shard1"), warm2);
 }
 
 TEST(AllocGuard, EnabledTraceStillInvokesDetailBuilder) {

@@ -46,7 +46,11 @@ int usage(const char* argv0) {
       "  --seed S           base seed override; replication k runs with a\n"
       "                     seed derived from S (default: the spec's seed),\n"
       "                     so CI can pin an exact reproducible sweep\n"
-      "  --threads T        worker threads, 0 = hardware (default 0)\n"
+      "  --threads T        worker threads, 0 = hardware. With several\n"
+      "                     replications they parallelize the sweep; with\n"
+      "                     one replication they shard the world itself\n"
+      "                     (byte-identical to serial at any T). Default:\n"
+      "                     the spec's own \"threads\" (1 = serial)\n"
       "  --duration SECS    override the spec's duration_s\n"
       "  --out FILE         report path (default BENCH_<name>.json)\n"
       "\n"
@@ -152,7 +156,7 @@ int write_text_file(const std::string& path, const std::string& text) {
 int cmd_run(int argc, char** argv) {
   std::string scenario_path;
   std::size_t replications = 1;
-  std::size_t threads = 0;
+  std::optional<std::size_t> threads;
   std::optional<std::uint64_t> seed;
   std::optional<Time> duration;
   std::string out_path;
@@ -201,7 +205,14 @@ int cmd_run(int argc, char** argv) {
   ReplicationOptions opts;
   opts.replications = replications;
   opts.base_seed = seed.value_or(spec.seed);
-  opts.threads = threads;
+  opts.threads = threads.value_or(0);
+  if (threads && replications == 1) {
+    // A single world: --threads goes inside it (windowed parallel
+    // scheduler) instead of across replications. 0 = one per hardware
+    // thread. Without the flag the spec's own "threads" knob decides.
+    spec.threads = static_cast<std::uint32_t>(*threads);
+    opts.threads = 1;
+  }
 
   std::printf("scenario %s (%s)\n", spec.name.c_str(),
               spec.description.empty() ? "no description"
