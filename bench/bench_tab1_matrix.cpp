@@ -1,5 +1,7 @@
 // TAB1 — Table 1 of the paper: the 2x2 matrix of approaches for a mobile
-// host that both sends and receives multicast. The mobile host (Receiver 3
+// host that both sends and receives multicast, extended with the two
+// post-paper approaches (hier-proxy, mcast-mobility) as rows 5-6. The
+// mobile host (Receiver 3
 // in Fig. 1) subscribes to group G1 (streamed by Sender S) and itself
 // streams to group G2 (subscribed by Receiver 2); it then moves to the
 // pruned Link 6. Every cell of the matrix must keep both directions
@@ -72,7 +74,7 @@ CellResult run_cell(McastStrategy strategy) {
 }  // namespace
 
 int main() {
-  header("TAB1: the four approaches (send x receive matrix)",
+  header("TAB1: the approach matrix (paper's four + two post-paper)",
          "mobile host both sends (G2) and receives (G1); move L4 -> L6 at "
          "t=30 s");
 
@@ -89,6 +91,10 @@ int main() {
        McastStrategy::kTunnelMhToHa},
       {"4 uni-dir tunnel HA->MH       (send local,  recv tunnel)",
        McastStrategy::kTunnelHaToMh},
+      {"5 hierarchical proxy          (send tunnel, recv proxy)",
+       McastStrategy::kHierProxy},
+      {"6 multicast-based mobility    (send local,  recv mcast CoA)",
+       McastStrategy::kMcastMobility},
   };
 
   Table t({"approach", "recv ok", "send ok", "HA->MH encaps",
@@ -106,6 +112,8 @@ int main() {
       "Table 1: combining the two receive options (A local / B tunnel) "
       "with the two send options yields the four approaches; all four "
       "deliver, differing only in which machinery (grafts vs tunnels vs "
-      "new care-of-rooted trees) does the work.");
+      "new care-of-rooted trees) does the work. Rows 5-6 extend the "
+      "matrix with the hierarchical domain proxy and multicast-based "
+      "mobility; both must keep the same two streams flowing.");
   return 0;
 }

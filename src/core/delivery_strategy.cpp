@@ -1,0 +1,458 @@
+#include "core/delivery_strategy.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "ipv6/datagram.hpp"
+#include "mipv6/proxy_messages.hpp"
+#include "sim/timer.hpp"
+
+namespace mip6 {
+
+namespace {
+
+/// Sends one mobility control message (proxy register / AR join ...) as a
+/// plain UDP datagram from the MN's current source address.
+void send_ctrl(MobileNode& mn, const Address& dst, std::uint16_t port,
+               const MobilityCtrlMessage& m, const char* counter) {
+  UdpDatagram udp;
+  udp.src_port = port;
+  udp.dst_port = port;
+  udp.payload = m.serialize();
+  DatagramSpec spec;
+  spec.src = mn.current_source();
+  spec.dst = dst;
+  spec.protocol = proto::kUdp;
+  spec.payload = udp.serialize(spec.src, spec.dst);
+  mn.stack().network().counters().add(counter);
+  mn.stack().send(spec);
+}
+
+// ---------------------------------------------------------------------------
+// Approaches 1-4: the paper's Table 1, parameterized by the 2x2 predicates.
+// This is a verbatim transcription of the pre-refactor enum-driven
+// MobileMulticastService logic; the Figure 1-4 roundtrip tests pin it to
+// byte-identical traces, so resist the urge to "improve" it.
+
+class Table1DeliveryStrategy final : public DeliveryStrategy {
+ public:
+  Table1DeliveryStrategy(StrategyOptions opts, const DeliveryContext& ctx)
+      : mn_(ctx.mn), mld_(ctx.mld), opts_(opts), mld_config_(ctx.mld_config) {}
+
+  const char* name() const override { return strategy_name(opts_.strategy); }
+  bool registers_at_ha() const override {
+    return !receives_locally(opts_.strategy);
+  }
+
+  void subscribe(const Address& group) override {
+    mn_->subscribe(group);
+    apply_receive_policy();
+  }
+
+  void unsubscribe(const Address& group) override {
+    mld_->leave(mn_->iface(), group);
+    mn_->unsubscribe(group);
+    // A departing member should stop being represented at the HA too.
+    if (mn_->away_from_home() && !receives_locally(opts_.strategy)) {
+      if (opts_.registration == HaRegistration::kGroupListBu) {
+        mn_->send_binding_update();
+      }
+      mn_->stop_tunneled_reports(group);
+    }
+  }
+
+  void apply_receive_policy() override {
+    const IfaceId iface = mn_->iface();
+    const bool local =
+        receives_locally(opts_.strategy) || !mn_->away_from_home();
+
+    mn_->set_group_list_in_bu(
+        !receives_locally(opts_.strategy) &&
+        opts_.registration == HaRegistration::kGroupListBu);
+
+    for (const Address& g : mn_->subscriptions()) {
+      if (local) {
+        // Local membership on the current link (the MldHost join installs
+        // the receive filter and transmits Reports per policy).
+        mld_->join(iface, g);
+        mn_->stop_tunneled_reports(g);
+      } else {
+        // Tunnel reception: no local MLD signaling on the foreign link.
+        mld_->leave(iface, g);
+        mn_->subscribe(g);  // keep the receive filter the leave removed
+        if (opts_.registration == HaRegistration::kTunnelMld) {
+          // Refresh well inside the HA's listener lifetime.
+          mn_->start_tunneled_reports(g, mld_config_.query_interval);
+        }
+      }
+    }
+  }
+
+  void on_attached() override {
+    apply_receive_policy();
+    const bool local =
+        receives_locally(opts_.strategy) || !mn_->away_from_home();
+    if (local) {
+      // Re-announce memberships on the new link (unsolicited Reports if the
+      // policy allows; otherwise the paper's "wait for the next Query" case).
+      mld_->announce_all(mn_->iface());
+    } else if (opts_.registration == HaRegistration::kGroupListBu &&
+               mn_->away_from_home() && !mn_->subscriptions().empty()) {
+      // The BU sent during attachment already carried the group list;
+      // nothing further to do here.
+    }
+  }
+
+  void send_multicast(const Address& group, std::uint16_t src_port,
+                      std::uint16_t dst_port, Bytes payload) override {
+    const bool local = sends_locally(opts_.strategy) || !mn_->away_from_home();
+    UdpDatagram udp;
+    udp.src_port = src_port;
+    udp.dst_port = dst_port;
+    udp.payload = std::move(payload);
+
+    DatagramSpec spec;
+    spec.dst = group;
+    spec.protocol = proto::kUdp;
+    if (local) {
+      // Native send; during the movement-detection window current_source()
+      // is still the previous (stale) address.
+      spec.src = mn_->current_source();
+      spec.payload = udp.serialize(spec.src, spec.dst);
+      mn_->stack().send_on_iface(mn_->iface(), spec);
+    } else {
+      // Reverse tunnel: home address as inner source, so the home-rooted
+      // distribution tree keeps serving the group (paper Figure 4).
+      spec.src = mn_->home_address();
+      spec.payload = udp.serialize(spec.src, spec.dst);
+      mn_->tunnel_to_ha(build_datagram(spec));
+    }
+  }
+
+ private:
+  MobileNode* mn_;
+  MldHost* mld_;
+  StrategyOptions opts_;
+  MldConfig mld_config_;
+};
+
+// ---------------------------------------------------------------------------
+// Approach 5: hierarchical domain proxy (Schmidt/Waehlisch, cs/0408009).
+//
+// The addressing plan designates a MulticastProxy router per link. While
+// away on a link with a proxy, the MN keeps *no* state on the home tree and
+// no local MLD state: it registers (home, care-of, groups) at the proxy,
+// which subscribes on the MN's behalf and tunnels matching group traffic to
+// the care-of address. Intra-domain handoff (same proxy) is one refreshed
+// registration — the distribution tree is untouched. The registration is
+// soft state refreshed every MLD query interval. The send path reverse-
+// tunnels through the HA so the home-rooted tree keeps serving the group
+// regardless of where the sender roams.
+
+class HierProxyStrategy final : public DeliveryStrategy {
+ public:
+  explicit HierProxyStrategy(const DeliveryContext& ctx)
+      : mn_(ctx.mn), mld_(ctx.mld), mld_config_(ctx.mld_config) {
+    refresh_timer_ = std::make_unique<Timer>(
+        mn_->stack().scheduler(),
+        [this] {
+          if (!proxy_.is_unspecified() && mn_->away_from_home()) {
+            send_register();
+            refresh_timer_->arm(mld_config_.query_interval);
+          }
+        },
+        mn_->stack().node().domain());
+  }
+
+  const char* name() const override { return "hier-proxy"; }
+  /// Groups live at the proxy, not the HA.
+  bool registers_at_ha() const override { return false; }
+
+  void subscribe(const Address& group) override {
+    mn_->subscribe(group);
+    apply_receive_policy();
+    if (!proxy_.is_unspecified()) send_register();
+  }
+
+  void unsubscribe(const Address& group) override {
+    mld_->leave(mn_->iface(), group);
+    mn_->unsubscribe(group);
+    if (!proxy_.is_unspecified()) send_register();  // shrunk group list
+  }
+
+  void apply_receive_policy() override {
+    const IfaceId iface = mn_->iface();
+    mn_->set_group_list_in_bu(false);
+    const bool local = !mn_->away_from_home() || !current_proxy().has_value();
+    for (const Address& g : mn_->subscriptions()) {
+      if (local) {
+        // At home — or away in a proxy-less domain, where the strategy
+        // degrades to plain local membership.
+        mld_->join(iface, g);
+      } else {
+        // The proxy represents us; keep only the receive filter so the
+        // proxy's tunneled copies pass after decapsulation.
+        mld_->leave(iface, g);
+        mn_->subscribe(g);
+      }
+    }
+  }
+
+  void on_attached() override {
+    apply_receive_policy();
+    const Address new_proxy =
+        current_proxy().value_or(Address());
+    if (!proxy_.is_unspecified() && !(proxy_ == new_proxy)) {
+      // Inter-domain move (or returned home): release the old proxy now
+      // instead of letting the registration age out.
+      send_deregister(proxy_);
+    }
+    proxy_ = new_proxy;
+    if (!proxy_.is_unspecified()) {
+      send_register();
+      refresh_timer_->arm(mld_config_.query_interval);
+    } else {
+      refresh_timer_->cancel();
+      mld_->announce_all(mn_->iface());
+    }
+  }
+
+  void send_multicast(const Address& group, std::uint16_t src_port,
+                      std::uint16_t dst_port, Bytes payload) override {
+    UdpDatagram udp;
+    udp.src_port = src_port;
+    udp.dst_port = dst_port;
+    udp.payload = std::move(payload);
+    DatagramSpec spec;
+    spec.dst = group;
+    spec.protocol = proto::kUdp;
+    if (!mn_->away_from_home()) {
+      spec.src = mn_->current_source();
+      spec.payload = udp.serialize(spec.src, spec.dst);
+      mn_->stack().send_on_iface(mn_->iface(), spec);
+    } else {
+      // Reverse tunnel: the home-rooted tree is the one stable tree that
+      // survives intra-domain handoff, so mobile senders feed it.
+      spec.src = mn_->home_address();
+      spec.payload = udp.serialize(spec.src, spec.dst);
+      mn_->tunnel_to_ha(build_datagram(spec));
+    }
+  }
+
+  void deactivate() override {
+    if (!proxy_.is_unspecified()) send_deregister(proxy_);
+    proxy_ = Address();
+    refresh_timer_->cancel();
+  }
+
+  void on_host_crash() override {
+    // Silent: the proxy's registration lifetime reclaims the state.
+    proxy_ = Address();
+    refresh_timer_->cancel();
+  }
+
+ private:
+  std::optional<Address> current_proxy() const {
+    if (!mn_->away_from_home()) return std::nullopt;
+    Interface& i = mn_->stack().node().iface_by_id(mn_->iface());
+    if (i.link() == nullptr) return std::nullopt;
+    return mn_->stack().plan().mcast_proxy(i.link()->id());
+  }
+
+  void send_register() {
+    MobilityCtrlMessage m;
+    m.kind = MobilityCtrlKind::kProxyRegister;
+    m.home = mn_->home_address();
+    m.care_of_or_group = mn_->care_of();
+    m.groups.assign(mn_->subscriptions().begin(), mn_->subscriptions().end());
+    send_ctrl(*mn_, proxy_, kMcastProxyPort, m, "mn/tx/proxy-register");
+  }
+
+  void send_deregister(const Address& proxy) {
+    MobilityCtrlMessage m;
+    m.kind = MobilityCtrlKind::kProxyDeregister;
+    m.home = mn_->home_address();
+    send_ctrl(*mn_, proxy, kMcastProxyPort, m, "mn/tx/proxy-dereg");
+  }
+
+  MobileNode* mn_;
+  MldHost* mld_;
+  MldConfig mld_config_;
+  /// The proxy currently holding our registration (unspecified = none).
+  Address proxy_;
+  std::unique_ptr<Timer> refresh_timer_;
+};
+
+// ---------------------------------------------------------------------------
+// Approach 6: multicast-based mobility (Helmy, cs/0006022).
+//
+// The MN's reachability is itself a multicast group G_mn: the HA relays
+// every subscribed-group datagram into G_mn (encapsulated, re-originated on
+// the home link), and the access router of whatever link the MN visits
+// joins G_mn on the MN's behalf (proxy MLD state injected by the
+// AccessRouterAgent). Handoff = ArJoin at the new access router + explicit
+// ArPrune at the previous one, so the delivery tree is repaired by ordinary
+// dense-mode graft/prune instead of binding signaling. Sending is native —
+// the scheme tunnels nothing on the send path.
+
+class McastMobilityStrategy final : public DeliveryStrategy {
+ public:
+  explicit McastMobilityStrategy(const DeliveryContext& ctx)
+      : mn_(ctx.mn), mld_(ctx.mld), mld_config_(ctx.mld_config),
+        g_mn_(reachability_group(*ctx.mn)) {
+    // Both flags must be live *before* the next Binding Update goes out —
+    // complete_attachment() sends the BU before on_attached() fires.
+    mn_->set_group_list_in_bu(true);
+    mn_->set_mcast_care_of(g_mn_);
+    // Receive filter for the HA's encapsulated relays addressed to G_mn
+    // (the per-interface filter survives moves and crashes).
+    mn_->stack().join_local_group(mn_->iface(), g_mn_);
+    refresh_timer_ = std::make_unique<Timer>(
+        mn_->stack().scheduler(),
+        [this] {
+          if (!ar_.is_unspecified() && mn_->away_from_home()) {
+            send_ar(MobilityCtrlKind::kArJoin, ar_);  // keep MLD state alive
+            refresh_timer_->arm(mld_config_.query_interval);
+          }
+        },
+        mn_->stack().node().domain());
+  }
+
+  const char* name() const override { return "mcast-mobility"; }
+  /// Groups ride the BU group list; the HA relays them into G_mn.
+  bool registers_at_ha() const override { return true; }
+
+  void subscribe(const Address& group) override {
+    mn_->subscribe(group);
+    apply_receive_policy();
+    // Tell the HA immediately (Table 1 defers to the BU refresh; this
+    // scheme's whole point is handoff latency, so it does not).
+    if (mn_->away_from_home()) mn_->send_binding_update();
+  }
+
+  void unsubscribe(const Address& group) override {
+    mld_->leave(mn_->iface(), group);
+    mn_->unsubscribe(group);
+    if (mn_->away_from_home()) mn_->send_binding_update();
+  }
+
+  void apply_receive_policy() override {
+    const IfaceId iface = mn_->iface();
+    mn_->set_group_list_in_bu(true);
+    const bool local = !mn_->away_from_home();
+    for (const Address& g : mn_->subscriptions()) {
+      if (local) {
+        mld_->join(iface, g);
+      } else {
+        // Data arrives encapsulated inside G_mn; keep only the filter.
+        mld_->leave(iface, g);
+        mn_->subscribe(g);
+      }
+    }
+  }
+
+  void on_attached() override {
+    apply_receive_policy();
+    if (!mn_->away_from_home()) {
+      // Returned home: the home link serves us natively again.
+      mld_->announce_all(mn_->iface());
+      prune_previous_ar();
+      refresh_timer_->cancel();
+      return;
+    }
+    const Address new_ar = current_access_router().value_or(Address());
+    if (!ar_.is_unspecified() && !(ar_ == new_ar)) {
+      // Handoff: prune the old access router off G_mn within one RTT
+      // instead of waiting out the 260 s listener interval.
+      send_ar(MobilityCtrlKind::kArPrune, ar_);
+    }
+    ar_ = new_ar;
+    if (!ar_.is_unspecified()) {
+      send_ar(MobilityCtrlKind::kArJoin, ar_);
+      refresh_timer_->arm(mld_config_.query_interval);
+    } else {
+      refresh_timer_->cancel();
+    }
+  }
+
+  void send_multicast(const Address& group, std::uint16_t src_port,
+                      std::uint16_t dst_port, Bytes payload) override {
+    // Always native (Helmy's architecture tunnels nothing on the send
+    // path); a moved sender roots a fresh tree at its care-of address.
+    UdpDatagram udp;
+    udp.src_port = src_port;
+    udp.dst_port = dst_port;
+    udp.payload = std::move(payload);
+    DatagramSpec spec;
+    spec.dst = group;
+    spec.protocol = proto::kUdp;
+    spec.src = mn_->current_source();
+    spec.payload = udp.serialize(spec.src, spec.dst);
+    mn_->stack().send_on_iface(mn_->iface(), spec);
+  }
+
+  void deactivate() override {
+    prune_previous_ar();
+    refresh_timer_->cancel();
+    mn_->set_mcast_care_of(Address());
+    mn_->stack().leave_local_group(mn_->iface(), g_mn_);
+  }
+
+  void on_host_crash() override {
+    // Silent: the AR's injected listener state ages out via MLD.
+    ar_ = Address();
+    refresh_timer_->cancel();
+  }
+
+ private:
+  std::optional<Address> current_access_router() const {
+    Interface& i = mn_->stack().node().iface_by_id(mn_->iface());
+    if (i.link() == nullptr) return std::nullopt;
+    return mn_->stack().plan().default_router(i.link()->id());
+  }
+
+  void prune_previous_ar() {
+    if (!ar_.is_unspecified()) send_ar(MobilityCtrlKind::kArPrune, ar_);
+    ar_ = Address();
+  }
+
+  void send_ar(MobilityCtrlKind kind, const Address& ar) {
+    MobilityCtrlMessage m;
+    m.kind = kind;
+    m.home = mn_->home_address();
+    m.care_of_or_group = g_mn_;
+    send_ctrl(*mn_, ar, kArAgentPort, m,
+              kind == MobilityCtrlKind::kArJoin ? "mn/tx/ar-join"
+                                                : "mn/tx/ar-prune");
+  }
+
+  MobileNode* mn_;
+  MldHost* mld_;
+  MldConfig mld_config_;
+  Address g_mn_;
+  /// The access router currently joined to G_mn for us.
+  Address ar_;
+  std::unique_ptr<Timer> refresh_timer_;
+};
+
+}  // namespace
+
+Address reachability_group(const MobileNode& mn) {
+  // ff1e::/16 (transient, global scope) + a fixed tag + the node's IID.
+  static const Address kBase = Address::parse("ff1e:4d6d::");
+  return Address::from_prefix_iid(kBase, mn.stack().iid());
+}
+
+std::unique_ptr<DeliveryStrategy> make_delivery_strategy(
+    StrategyOptions opts, const DeliveryContext& ctx) {
+  switch (opts.strategy) {
+    case McastStrategy::kHierProxy:
+      return std::make_unique<HierProxyStrategy>(ctx);
+    case McastStrategy::kMcastMobility:
+      return std::make_unique<McastMobilityStrategy>(ctx);
+    default:
+      return std::make_unique<Table1DeliveryStrategy>(opts, ctx);
+  }
+}
+
+}  // namespace mip6

@@ -1,0 +1,70 @@
+// Pluggable multicast delivery strategies (the layer behind
+// MobileMulticastService), mirroring the DenseModeEngine pattern: one
+// polymorphic interface owning the send path, the receive/registration path
+// and the handoff sequence, with one object per approach.
+//
+// Approaches 1-4 (the paper's Table 1) share a single implementation,
+// Table1DeliveryStrategy, that is a verbatim transcription of the
+// pre-refactor enum-driven logic — the Figure 1-4 roundtrip tests pin it to
+// byte-identical traces. Approaches 5 (hier-proxy) and 6 (mcast-mobility)
+// are the related-work schemes the enum could not express; their router-side
+// counterparts are the MulticastProxy and AccessRouterAgent modules.
+#pragma once
+
+#include <memory>
+
+#include "core/strategy.hpp"
+#include "ipv6/udp.hpp"
+#include "mipv6/mobile_node.hpp"
+#include "mld/host.hpp"
+
+namespace mip6 {
+
+class DeliveryStrategy {
+ public:
+  virtual ~DeliveryStrategy() = default;
+
+  /// Stable name, identical to strategy_name(options().strategy).
+  virtual const char* name() const = 0;
+  /// True while the strategy represents the MN's groups *at the home agent*
+  /// (group list in BUs or tunneled MLD). A strategy switch away from a
+  /// registering strategy sends the explicit empty-group-list BU.
+  virtual bool registers_at_ha() const = 0;
+
+  /// Reconciles local MLD state, receive filters and registration signaling
+  /// with the MN's current attachment (idempotent; the handoff workhorse).
+  virtual void apply_receive_policy() = 0;
+  /// Movement completed: care-of address configured, Binding Update sent.
+  virtual void on_attached() = 0;
+  /// Application joins / leaves a group.
+  virtual void subscribe(const Address& group) = 0;
+  virtual void unsubscribe(const Address& group) = 0;
+  /// Sends one UDP datagram to the group per the sender-side approach.
+  virtual void send_multicast(const Address& group, std::uint16_t src_port,
+                              std::uint16_t dst_port, Bytes payload) = 0;
+
+  /// Releases strategy-held signaling state (proxy registrations, AR joins,
+  /// reachability-group membership) before the strategy is replaced or the
+  /// service stops. Must not touch MobileNode callbacks.
+  virtual void deactivate() {}
+  /// Host crash: forget soft state silently — no wire traffic; router-side
+  /// soft state times out on its own.
+  virtual void on_host_crash() {}
+};
+
+/// Everything a strategy needs from its host node.
+struct DeliveryContext {
+  MobileNode* mn = nullptr;
+  MldHost* mld = nullptr;
+  MldConfig mld_config;
+};
+
+/// The per-MN reachability group of the mcast-mobility approach: a global-
+/// scope transient group derived from the node's interface identifier, so
+/// it is deterministic and collision-free across the world.
+Address reachability_group(const MobileNode& mn);
+
+std::unique_ptr<DeliveryStrategy> make_delivery_strategy(
+    StrategyOptions opts, const DeliveryContext& ctx);
+
+}  // namespace mip6

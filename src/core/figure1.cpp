@@ -45,6 +45,14 @@ Figure1 build_figure1(std::uint64_t seed, WorldConfig config,
   w.set_link_router(*f.link5, *f.d);
   w.set_link_router(*f.link6, *f.e);
 
+  // RouterC (the backbone router) is the whole topology's hier-proxy
+  // domain proxy. Pure addressing-plan data: nothing touches the wire
+  // unless a host actually runs the hier-proxy strategy.
+  for (Link* l :
+       {f.link1, f.link2, f.link3, f.link4, f.link5, f.link6}) {
+    w.set_link_proxy(*l, *f.c);
+  }
+
   f.sender = &w.add_host("SenderS", *f.link1, host_strategy);
   f.recv1 = &w.add_host("Receiver1", *f.link1, host_strategy);
   f.recv2 = &w.add_host("Receiver2", *f.link2, host_strategy);

@@ -1,30 +1,44 @@
 #include "core/mobile_service.hpp"
 
-#include "ipv6/datagram.hpp"
-
 namespace mip6 {
 
 MobileMulticastService::MobileMulticastService(MobileNode& mn, MldHost& mld,
                                                StrategyOptions opts,
                                                MldConfig mld_config)
-    : mn_(&mn), mld_(&mld), opts_(opts), mld_config_(mld_config) {
-  mn.set_on_attached([this] { on_attached(); });
+    : mn_(&mn), mld_(&mld), opts_(opts), mld_config_(mld_config),
+      strategy_(make_delivery_strategy(opts, context())) {
+  mn.set_on_attached([this] { strategy_->on_attached(); });
   mn.set_on_link_change([this] {
     // Silent departure: no Done, no signaling — just forget per-link state.
     mld_->reset_link_state(mn_->iface());
   });
 }
 
+MobileMulticastService::~MobileMulticastService() = default;
+
+DeliveryContext MobileMulticastService::context() const {
+  DeliveryContext ctx;
+  ctx.mn = mn_;
+  ctx.mld = mld_;
+  ctx.mld_config = mld_config_;
+  return ctx;
+}
+
+void MobileMulticastService::on_crash() { strategy_->on_host_crash(); }
+
 void MobileMulticastService::stop() {
+  strategy_->deactivate();
   mn_->set_on_attached(nullptr);
   mn_->set_on_link_change(nullptr);
 }
 
 void MobileMulticastService::set_strategy(StrategyOptions opts) {
-  const bool was_ha_registered = !receives_locally(opts_.strategy);
+  const bool was_ha_registered = strategy_->registers_at_ha();
+  strategy_->deactivate();
   opts_ = opts;
-  apply_receive_policy();
-  if (was_ha_registered && receives_locally(opts_.strategy) &&
+  strategy_ = make_delivery_strategy(opts, context());
+  strategy_->apply_receive_policy();
+  if (was_ha_registered && !strategy_->registers_at_ha() &&
       mn_->away_from_home()) {
     // Tell the HA to stop representing our groups (explicit empty list).
     mn_->send_binding_update_with_group_list({});
@@ -32,87 +46,18 @@ void MobileMulticastService::set_strategy(StrategyOptions opts) {
 }
 
 void MobileMulticastService::subscribe(const Address& group) {
-  mn_->subscribe(group);
-  apply_receive_policy();
+  strategy_->subscribe(group);
 }
 
 void MobileMulticastService::unsubscribe(const Address& group) {
-  mld_->leave(mn_->iface(), group);
-  mn_->unsubscribe(group);
-  // A departing member should stop being represented at the HA too.
-  if (mn_->away_from_home() && !receives_locally(opts_.strategy)) {
-    if (opts_.registration == HaRegistration::kGroupListBu) {
-      mn_->send_binding_update();
-    }
-    mn_->stop_tunneled_reports(group);
-  }
-}
-
-void MobileMulticastService::apply_receive_policy() {
-  const IfaceId iface = mn_->iface();
-  const bool local = receives_locally(opts_.strategy) || !mn_->away_from_home();
-
-  mn_->set_group_list_in_bu(!receives_locally(opts_.strategy) &&
-                            opts_.registration == HaRegistration::kGroupListBu);
-
-  for (const Address& g : mn_->subscriptions()) {
-    if (local) {
-      // Local membership on the current link (the MldHost join installs the
-      // receive filter and transmits Reports per policy).
-      mld_->join(iface, g);
-      mn_->stop_tunneled_reports(g);
-    } else {
-      // Tunnel reception: no local MLD signaling on the foreign link.
-      mld_->leave(iface, g);
-      mn_->subscribe(g);  // keep the receive filter the leave removed
-      if (opts_.registration == HaRegistration::kTunnelMld) {
-        // Refresh well inside the HA's listener lifetime.
-        mn_->start_tunneled_reports(g, mld_config_.query_interval);
-      }
-    }
-  }
-}
-
-void MobileMulticastService::on_attached() {
-  apply_receive_policy();
-  const bool local = receives_locally(opts_.strategy) || !mn_->away_from_home();
-  if (local) {
-    // Re-announce memberships on the new link (unsolicited Reports if the
-    // policy allows; otherwise the paper's "wait for the next Query" case).
-    mld_->announce_all(mn_->iface());
-  } else if (opts_.registration == HaRegistration::kGroupListBu &&
-             mn_->away_from_home() && !mn_->subscriptions().empty()) {
-    // The BU sent during attachment already carried the group list; nothing
-    // further to do here.
-  }
+  strategy_->unsubscribe(group);
 }
 
 void MobileMulticastService::send_multicast(const Address& group,
                                             std::uint16_t src_port,
                                             std::uint16_t dst_port,
                                             Bytes payload) {
-  const bool local = sends_locally(opts_.strategy) || !mn_->away_from_home();
-  UdpDatagram udp;
-  udp.src_port = src_port;
-  udp.dst_port = dst_port;
-  udp.payload = std::move(payload);
-
-  DatagramSpec spec;
-  spec.dst = group;
-  spec.protocol = proto::kUdp;
-  if (local) {
-    // Native send; during the movement-detection window current_source()
-    // is still the previous (stale) address.
-    spec.src = mn_->current_source();
-    spec.payload = udp.serialize(spec.src, spec.dst);
-    mn_->stack().send_on_iface(mn_->iface(), spec);
-  } else {
-    // Reverse tunnel: home address as inner source, so the home-rooted
-    // distribution tree keeps serving the group (paper Figure 4).
-    spec.src = mn_->home_address();
-    spec.payload = udp.serialize(spec.src, spec.dst);
-    mn_->tunnel_to_ha(build_datagram(spec));
-  }
+  strategy_->send_multicast(group, src_port, dst_port, std::move(payload));
 }
 
 }  // namespace mip6

@@ -1,22 +1,18 @@
-// Strategy glue: implements the paper's four delivery approaches on top of
-// the unmodified MLD / PIM-DM / Mobile IPv6 engines.
+// The mobile host's multicast service: a thin ProtocolModule shell over a
+// pluggable DeliveryStrategy (core/delivery_strategy.hpp). The shell owns
+// what is strategy-independent — the MobileNode attachment/link-change
+// callbacks and the strategy-switch transition — and delegates the send
+// path, the receive/registration path and the handoff sequence to the
+// active strategy object.
 //
-// The mapping from Section 4.2:
-//  * receive locally  -> (re-)join via the MLD host side on every new link
-//    (with or without unsolicited Reports, per MldHostPolicy);
-//  * receive via tunnel -> register groups with the HA, either through the
-//    Multicast Group List Sub-Option in Binding Updates (Figure 5) or by
-//    sending MLD Reports through the tunnel;
-//  * send locally -> native transmission with the current source address
-//    (during the movement-detection window this is the stale address — the
-//    paper's spurious-assert trigger);
-//  * send via tunnel -> encapsulate with the home address as inner source.
+// The paper's four Table 1 approaches share one strategy implementation;
+// the related-work approaches (hier-proxy, mcast-mobility) get their own.
 #pragma once
 
-#include <set>
+#include <memory>
 
+#include "core/delivery_strategy.hpp"
 #include "core/strategy.hpp"
-#include "ipv6/udp.hpp"
 #include "mipv6/mobile_node.hpp"
 #include "mld/host.hpp"
 #include "net/protocol_module.hpp"
@@ -27,18 +23,21 @@ class MobileMulticastService : public ProtocolModule {
  public:
   MobileMulticastService(MobileNode& mn, MldHost& mld, StrategyOptions opts,
                          MldConfig mld_config);
+  ~MobileMulticastService() override;
 
   // --- ProtocolModule ----------------------------------------------------
   const char* module_kind() const override { return "service"; }
-  /// Nothing of its own to crash: subscriptions live in the MobileNode and
-  /// the per-link state in MldHost, both reset by their own modules.
-  void on_crash() override {}
+  /// Subscriptions live in the MobileNode and per-link state in MldHost
+  /// (both reset by their own modules); the strategy forgets its own soft
+  /// state silently.
+  void on_crash() override;
   void on_restart() override {}
   /// Teardown: releases the MobileNode callbacks.
   void stop() override;
 
   void set_strategy(StrategyOptions opts);
   const StrategyOptions& strategy() const { return opts_; }
+  const DeliveryStrategy& delivery() const { return *strategy_; }
 
   /// Application subscribes to / leaves a group.
   void subscribe(const Address& group);
@@ -51,13 +50,13 @@ class MobileMulticastService : public ProtocolModule {
   MobileNode& mobile_node() const { return *mn_; }
 
  private:
-  void on_attached();
-  void apply_receive_policy();
+  DeliveryContext context() const;
 
   MobileNode* mn_;
   MldHost* mld_;
   StrategyOptions opts_;
   MldConfig mld_config_;
+  std::unique_ptr<DeliveryStrategy> strategy_;
 };
 
 }  // namespace mip6

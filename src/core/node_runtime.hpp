@@ -19,7 +19,9 @@
 #include "ipv6/ripng.hpp"
 #include "ipv6/stack.hpp"
 #include "ipv6/udp_demux.hpp"
+#include "mipv6/ar_agent.hpp"
 #include "mipv6/home_agent.hpp"
+#include "mipv6/mcast_proxy.hpp"
 #include "mipv6/mobile_node.hpp"
 #include "mld/host.hpp"
 #include "mld/router.hpp"
@@ -95,6 +97,8 @@ class NodeRuntime {
   PimDmRouter* pim = nullptr;
   HpimDmRouter* hpim = nullptr;
   HomeAgent* ha = nullptr;
+  MulticastProxy* proxy = nullptr;
+  AccessRouterAgent* ar_agent = nullptr;
   Ripng* ripng = nullptr;
   MobileNode* mn = nullptr;
   MobileMulticastService* service = nullptr;

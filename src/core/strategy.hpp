@@ -1,10 +1,20 @@
-// The paper's four approaches to multicast for mobile hosts (Table 1):
+// The delivery approaches to multicast for mobile hosts. Approaches 1-4 are
+// the paper's Table 1:
 //
 //                          receive locally      receive via tunnel
 //   send locally           1 LocalMembership    4 TunnelHaToMh
 //   send via tunnel        3 TunnelMhToHa       2 BidirTunnel
+//
+// Approaches 5 and 6 come from related work and do not fit the 2x2 grid —
+// they are implemented as dedicated DeliveryStrategy objects (see
+// core/delivery_strategy.hpp):
+//   5 HierProxy      — Schmidt/Waehlisch MAP-style domain proxy that holds
+//                      group subscriptions on behalf of visiting MNs.
+//   6 McastMobility  — Helmy's scheme: the MN's reachability *is* a
+//                      dedicated multicast group joined by access routers.
 #pragma once
 
+#include <optional>
 #include <string>
 
 namespace mip6 {
@@ -21,6 +31,22 @@ enum class McastStrategy {
   /// Approach 4: uni-directional tunnel HA -> MH (receive via tunnel, send
   /// locally).
   kTunnelHaToMh,
+  /// Approach 5: hierarchical domain proxy (MAP-style). A designated proxy
+  /// router subscribes on behalf of visiting MNs and tunnels group traffic
+  /// to their care-of addresses; intra-domain handoff re-registers at the
+  /// same proxy and never touches the home tree.
+  kHierProxy,
+  /// Approach 6: multicast-based mobility. The MN's reachability is a
+  /// per-MN multicast group the HA relays into; access routers join/prune
+  /// that group as the MN arrives/leaves (handoff = join-new/prune-old).
+  kMcastMobility,
+};
+
+/// Every strategy, in Table-1-then-related-work order (bench sweeps).
+inline constexpr McastStrategy kAllStrategies[] = {
+    McastStrategy::kLocalMembership, McastStrategy::kBidirTunnel,
+    McastStrategy::kTunnelMhToHa,    McastStrategy::kTunnelHaToMh,
+    McastStrategy::kHierProxy,       McastStrategy::kMcastMobility,
 };
 
 /// How a tunnel-receiving mobile node registers its groups with the HA
@@ -39,7 +65,9 @@ struct StrategyOptions {
   HaRegistration registration = HaRegistration::kGroupListBu;
 };
 
-/// Receive path uses the local multicast router (vs the HA tunnel).
+/// Receive path uses the local multicast router (vs the HA tunnel). For the
+/// related-work approaches this is the nearest Table 1 coordinate: both
+/// receive through an encapsulating relay, not local MLD, while away.
 inline bool receives_locally(McastStrategy s) {
   return s == McastStrategy::kLocalMembership ||
          s == McastStrategy::kTunnelMhToHa;
@@ -47,7 +75,8 @@ inline bool receives_locally(McastStrategy s) {
 /// Send path transmits natively on the visited link (vs reverse tunnel).
 inline bool sends_locally(McastStrategy s) {
   return s == McastStrategy::kLocalMembership ||
-         s == McastStrategy::kTunnelHaToMh;
+         s == McastStrategy::kTunnelHaToMh ||
+         s == McastStrategy::kMcastMobility;
 }
 
 inline const char* strategy_name(McastStrategy s) {
@@ -56,8 +85,38 @@ inline const char* strategy_name(McastStrategy s) {
     case McastStrategy::kBidirTunnel: return "bidir-tunnel";
     case McastStrategy::kTunnelMhToHa: return "tunnel-mh-to-ha";
     case McastStrategy::kTunnelHaToMh: return "tunnel-ha-to-mh";
+    case McastStrategy::kHierProxy: return "hier-proxy";
+    case McastStrategy::kMcastMobility: return "mcast-mobility";
   }
   return "?";
+}
+
+/// Inverse of strategy_name(); nullopt on an unknown name. The single
+/// parser shared by the scenario spec and the benches.
+inline std::optional<McastStrategy> strategy_from_name(const std::string& s) {
+  for (McastStrategy k : kAllStrategies) {
+    if (s == strategy_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+inline const char* registration_name(HaRegistration r) {
+  switch (r) {
+    case HaRegistration::kGroupListBu: return "group-list-bu";
+    case HaRegistration::kTunnelMld: return "tunnel-mld";
+  }
+  return "?";
+}
+
+inline std::optional<HaRegistration> registration_from_name(
+    const std::string& s) {
+  if (s == registration_name(HaRegistration::kGroupListBu)) {
+    return HaRegistration::kGroupListBu;
+  }
+  if (s == registration_name(HaRegistration::kTunnelMld)) {
+    return HaRegistration::kTunnelMld;
+  }
+  return std::nullopt;
 }
 
 }  // namespace mip6

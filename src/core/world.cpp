@@ -105,6 +105,17 @@ NodeRuntime& World::add_router(const std::string& name,
             [dense](const Address& g) { dense->add_local_receiver(g); },
             [dense](const Address& g) { dense->remove_local_receiver(g); }});
   }
+  if (opts.with_proxy && rt->dense != nullptr) {
+    // hier-proxy agent: idle (no timers, no traffic) until an MN registers,
+    // so enabling it by default costs nothing on legacy scenarios.
+    rt->proxy =
+        &rt->emplace_module<MulticastProxy>(*rt->stack, *rt->udp, *rt->dense);
+  }
+  if (opts.with_ar_agent && rt->mld != nullptr) {
+    // mcast-mobility agent: likewise idle until an MN sends an ArJoin.
+    rt->ar_agent =
+        &rt->emplace_module<AccessRouterAgent>(*rt->stack, *rt->udp, *rt->mld);
+  }
   routing_.register_stack(*rt->stack);
   // First router on a link becomes its default router / home agent.
   for (Link* link : links) {
@@ -149,6 +160,25 @@ NodeRuntime& World::add_host(const std::string& name, Link& home,
 
 void World::set_link_router(Link& link, NodeRuntime& router) {
   plan_.set_default_router(link.id(), router.address_on(link));
+}
+
+void World::set_link_proxy(Link& link, NodeRuntime& router) {
+  if (router.proxy == nullptr) {
+    throw LogicError("set_link_proxy: router " + router.node->name() +
+                     " runs no multicast proxy");
+  }
+  // The proxy may serve links it is not attached to (that is the point of a
+  // *domain* proxy), so advertise any global address of the router — the
+  // registration travels by unicast routing.
+  for (const auto& iface : router.node->interfaces()) {
+    if (iface->attached() && router.stack->has_global_address(iface->id())) {
+      plan_.set_mcast_proxy(link.id(),
+                            router.stack->global_address(iface->id()));
+      return;
+    }
+  }
+  throw LogicError("set_link_proxy: router " + router.node->name() +
+                   " has no global address");
 }
 
 void World::finalize() {

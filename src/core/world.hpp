@@ -54,8 +54,10 @@ struct WorldConfig {
 /// `engine` unset follows WorldConfig::dense_engine.
 struct RouterOptions {
   bool with_mld = true;
-  bool with_pim = true;  // requires with_mld
-  bool with_ha = true;   // requires with_pim (PIM-backed membership)
+  bool with_pim = true;       // requires with_mld
+  bool with_ha = true;        // requires with_pim (PIM-backed membership)
+  bool with_proxy = true;     // hier-proxy agent; requires with_pim
+  bool with_ar_agent = true;  // mcast-mobility agent; requires with_mld
   std::optional<DenseEngineKind> engine;
   std::optional<bool> with_ripng;
   std::optional<MldConfig> mld;
@@ -107,6 +109,12 @@ class World {
   /// Designates `router` as default router / home agent for `link` (done
   /// automatically for the first router attached to a link).
   void set_link_router(Link& link, NodeRuntime& router);
+
+  /// Designates `router` (which must run a MulticastProxy) as the
+  /// hierarchical multicast proxy serving `link` — the agent hier-proxy MNs
+  /// visiting that link register their groups with. Not set by default:
+  /// proxy domains are an explicit topology decision.
+  void set_link_proxy(Link& link, NodeRuntime& router);
 
   /// Installs routes and autoconfigures hosts. Call after building the
   /// topology and before run().

@@ -29,6 +29,19 @@ class AddressingPlan {
   /// Router address hosts on `link` use as default gateway; nullopt if none.
   std::optional<Address> default_router(LinkId link) const;
 
+  /// Designates the hier-proxy domain proxy serving `link` (the MAP-style
+  /// agent a visiting MN registers its groups with). Like the default
+  /// router, this is RA-content-as-oracle: real deployments would advertise
+  /// the proxy in RAs.
+  void set_mcast_proxy(LinkId link, const Address& proxy) {
+    mcast_proxies_[link] = proxy;
+  }
+  std::optional<Address> mcast_proxy(LinkId link) const {
+    auto it = mcast_proxies_.find(link);
+    if (it == mcast_proxies_.end()) return std::nullopt;
+    return it->second;
+  }
+
   /// The link whose prefix contains `a`, if any.
   std::optional<LinkId> link_of(const Address& a) const;
 
@@ -40,6 +53,7 @@ class AddressingPlan {
  private:
   std::map<LinkId, Prefix> prefixes_;
   std::map<LinkId, Address> default_routers_;
+  std::map<LinkId, Address> mcast_proxies_;
 };
 
 }  // namespace mip6

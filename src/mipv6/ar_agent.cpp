@@ -1,0 +1,93 @@
+#include "mipv6/ar_agent.hpp"
+
+#include "net/wire_stats.hpp"
+
+namespace mip6 {
+
+AccessRouterAgent::AccessRouterAgent(Ipv6Stack& stack, UdpDemux& udp,
+                                     MldRouter& mld)
+    : stack_(&stack), udp_(&udp), mld_(&mld),
+      component_("ar/" + stack.node().name()) {
+  udp.bind(kArAgentPort,
+           [this](const UdpDatagram& u, const ParsedDatagram& d,
+                  IfaceId iface) { on_ctrl(u, d, iface); });
+}
+
+void AccessRouterAgent::stop() {
+  joins_.clear();
+  udp_->unbind(kArAgentPort);
+}
+
+void AccessRouterAgent::on_ctrl(const UdpDatagram& udp,
+                                const ParsedDatagram& d, IfaceId iface) {
+  (void)d;
+  ParseResult<MobilityCtrlMessage> msg =
+      MobilityCtrlMessage::try_parse(udp.payload);
+  if (!msg.ok()) {
+    count("ar/rx-drop/bad-ctrl");
+    note_parse_reject(stack_->network(), "mipv6", msg.failure());
+    return;
+  }
+  const MobilityCtrlMessage& m = msg.value();
+  switch (m.kind) {
+    case MobilityCtrlKind::kArJoin: {
+      count("ar/rx/join");
+      trace_event("join", [&] {
+        return "home=" + m.home.str() + " gmn=" + m.care_of_or_group.str() +
+               " iface=" + std::to_string(iface);
+      });
+      auto it = joins_.find(m.home);
+      // The join binds to the interface the request arrived on — the link
+      // the MN is actually attached to.
+      if (it != joins_.end() &&
+          (it->second.iface != iface ||
+           !(it->second.group == m.care_of_or_group))) {
+        release(m.home);
+        it = joins_.end();
+      }
+      Join j{iface, m.care_of_or_group};
+      joins_[m.home] = j;
+      // Refresh even when already joined: keeps the injected T_MLI alive.
+      mld_->inject_proxy_report(iface, j.group);
+      return;
+    }
+    case MobilityCtrlKind::kArPrune: {
+      count("ar/rx/prune");
+      trace_event("prune", [&] {
+        return "home=" + m.home.str() + " gmn=" + m.care_of_or_group.str();
+      });
+      release(m.home);
+      return;
+    }
+    default:
+      // Proxy register/deregister landed on the AR port — misdirected.
+      count("ar/rx-drop/bad-kind");
+      return;
+  }
+}
+
+void AccessRouterAgent::release(const Address& home) {
+  auto it = joins_.find(home);
+  if (it == joins_.end()) return;
+  Join j = it->second;
+  joins_.erase(it);
+  if (!shared_by_other(home, j)) {
+    mld_->retract_proxy_listener(j.iface, j.group);
+  }
+}
+
+bool AccessRouterAgent::shared_by_other(const Address& home,
+                                        const Join& j) const {
+  for (const auto& [h, other] : joins_) {
+    if (!(h == home) && other.iface == j.iface && other.group == j.group) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AccessRouterAgent::count(std::string_view name) {
+  stack_->network().counters().add(name);
+}
+
+}  // namespace mip6

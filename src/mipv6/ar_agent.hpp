@@ -1,0 +1,70 @@
+// Access-router agent for the mcast-mobility delivery approach (Helmy).
+//
+// The MN's reachability is a dedicated multicast group G_mn. On arrival the
+// MN sends an ArJoin to the link's access router; the agent injects MLD
+// listener state for G_mn on that interface (via a real proxy-originated
+// Report, so co-located queriers learn it too), which pulls the (HA, G_mn)
+// dense-mode tree toward the new link. On handoff the MN sends an ArPrune
+// to the *previous* access router, which retracts the listener immediately
+// instead of waiting out T_MLI — handoff = join-new / prune-old, repaired
+// entirely by ordinary multicast routing with no per-MN tunnel state.
+//
+// The injected listener ages out at T_MLI like any other; the MN refreshes
+// its ArJoin, so an MN that silently vanishes costs at most the same stale
+// window as a plain MLD listener.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "ipv6/stack.hpp"
+#include "ipv6/udp_demux.hpp"
+#include "mipv6/proxy_messages.hpp"
+#include "mld/router.hpp"
+#include "net/protocol_module.hpp"
+
+namespace mip6 {
+
+class AccessRouterAgent : public ProtocolModule {
+ public:
+  AccessRouterAgent(Ipv6Stack& stack, UdpDemux& udp, MldRouter& mld);
+
+  // --- ProtocolModule ----------------------------------------------------
+  const char* module_kind() const override { return "ar-agent"; }
+  /// Crash semantics: forget the join table silently — the MLD listener
+  /// state it fronts is wiped alongside by the router's own MLD crash.
+  void on_crash() override { joins_.clear(); }
+  void on_restart() override {}
+  void stop() override;
+
+  // --- Introspection ------------------------------------------------------
+  std::size_t join_count() const { return joins_.size(); }
+  bool joined_for(const Address& home) const { return joins_.contains(home); }
+
+ private:
+  struct Join {
+    IfaceId iface;
+    Address group;  // the MN's reachability group G_mn
+  };
+
+  void on_ctrl(const UdpDatagram& udp, const ParsedDatagram& d, IfaceId iface);
+  /// Drops `home`'s join, retracting the MLD listener unless another MN
+  /// still holds the same (iface, group).
+  void release(const Address& home);
+  bool shared_by_other(const Address& home, const Join& j) const;
+  void count(std::string_view name);
+  template <typename DetailFn>
+  void trace_event(const char* event, DetailFn&& detail_fn) const {
+    stack_->network().trace().emit(stack_->network().now(), component_, event,
+                                   std::forward<DetailFn>(detail_fn));
+  }
+
+  Ipv6Stack* stack_;
+  UdpDemux* udp_;
+  MldRouter* mld_;
+  std::string component_;  // "ar/<node>"
+  std::map<Address, Join> joins_;  // keyed by home address
+};
+
+}  // namespace mip6

@@ -21,6 +21,9 @@ class BindingCache {
     Address care_of;
     std::uint16_t sequence = 0;
     std::vector<Address> groups;  // from the Multicast Group List sub-option
+    /// From the Multicast Care-of sub-option: relay group traffic into this
+    /// multicast group instead of the unicast tunnel (unspecified = tunnel).
+    Address mcast_care_of;
     std::unique_ptr<Timer> lifetime_timer;
   };
 

@@ -91,7 +91,8 @@ void HomeAgent::on_binding_update(const BindingUpdateOption& bu,
     return;
   }
 
-  cache_.update(home, care_of, bu.sequence, Time::sec(bu.lifetime_s));
+  BindingCache::Entry& entry =
+      cache_.update(home, care_of, bu.sequence, Time::sec(bu.lifetime_s));
   stack_->add_intercept(home);
 
   if (const BuSubOption* sub =
@@ -105,6 +106,21 @@ void HomeAgent::on_binding_update(const BindingUpdateOption& bu,
       count("ha/rx-drop/bad-group-list");
       note_parse_reject(stack_->network(), "mipv6", mgl.failure());
     }
+  }
+  if (const BuSubOption* sub = bu.find_sub_option(subopt::kMulticastCareOf)) {
+    ParseResult<MulticastCareOfSubOption> mc =
+        MulticastCareOfSubOption::try_decode(*sub);
+    if (mc.ok()) {
+      entry.mcast_care_of = mc.value().group;
+      count("ha/rx/bu-mcast-coa");
+    } else {
+      count("ha/rx-drop/bad-mcast-coa");
+      note_parse_reject(stack_->network(), "mipv6", mc.failure());
+    }
+  } else {
+    // Sub-option absent: fall back to the unicast tunnel (an MN that
+    // switched strategies must not keep its old relay mode).
+    entry.mcast_care_of = Address();
   }
   if (bu.ack_requested) send_binding_ack(home, care_of, bu.sequence);
   if (on_binding_change_) {
@@ -257,6 +273,18 @@ void HomeAgent::on_group_delivery(const ParsedDatagram& d, const Packet& pkt) {
         std::find(e->groups.begin(), e->groups.end(), group) != e->groups.end();
     bool in_tunnel_mld = tunnel_memberships_.contains({e->home, group});
     if (!in_bu_list && !in_tunnel_mld) continue;
+    if (!e->mcast_care_of.is_unspecified()) {
+      // mcast-mobility: relay into the MN's reachability group G_mn; the
+      // dense-mode tree rooted here delivers to whichever access routers
+      // have joined on the MN's behalf.
+      count("ha/encap-mcast-coa");
+      trace_event("relay-mcast-coa", [&] {
+        return "group=" + group.str() + " home=" + e->home.str() + " gmn=" +
+               e->mcast_care_of.str();
+      });
+      relay_to_mcast_care_of(e->home, e->mcast_care_of, pkt.view());
+      continue;
+    }
     count("ha/encap-multicast");
     trace_event("tunnel-multicast", [&] {
       return "group=" + group.str() + " home=" + e->home.str() + " coa=" +
@@ -268,6 +296,12 @@ void HomeAgent::on_group_delivery(const ParsedDatagram& d, const Packet& pkt) {
 
 void HomeAgent::on_tunneled(const ParsedDatagram& outer, IfaceId iface) {
   (void)iface;
+  // Encapsulated traffic addressed to a multicast group (a relay into an
+  // mcast-mobility reachability group) is for the *member MNs*, not for
+  // every promiscuous router that happens to run a home agent — decapsulate
+  // only what is unicast-addressed to us. Silent: this is normal transit
+  // traffic, not an error.
+  if (outer.hdr.dst.is_multicast()) return;
   if (!enabled_) {
     count("ha/drop/disabled-tunnel");
     return;
@@ -363,6 +397,23 @@ void HomeAgent::tunnel_to(const Address& home, const Address& care_of,
   Bytes outer = encapsulate(inner, src, care_of);
   stack_->network().counters().add("ha/tunnel-bytes", outer.size());
   stack_->send_raw(std::move(outer));
+}
+
+void HomeAgent::relay_to_mcast_care_of(const Address& home,
+                                       const Address& group_coa,
+                                       BytesView inner) {
+  auto hi = iface_for_home(home);
+  if (!hi || !stack_->has_global_address(*hi)) {
+    count("ha/drop/no-tunnel-source");
+    return;
+  }
+  // Re-originate the encapsulated copy on the home interface (RPF-
+  // consistent: the (HA, G_mn) dense-mode tree roots at the home link) and
+  // run it through our own forwarding plane so downstream routers flood it.
+  Bytes outer = encapsulate(inner, stack_->global_address(*hi), group_coa);
+  stack_->network().counters().add("ha/tunnel-bytes", outer.size());
+  stack_->send_raw_on_iface(*hi, Bytes(outer));
+  stack_->receive_as_if(*hi, std::move(outer));
 }
 
 void HomeAgent::send_binding_ack(const Address& home, const Address& care_of,

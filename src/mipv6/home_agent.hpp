@@ -107,6 +107,10 @@ class HomeAgent : public ProtocolModule {
   void unref_group(const Address& group);
   void tunnel_to(const Address& home, const Address& care_of,
                  BytesView inner);
+  /// mcast-mobility: re-originates `inner` encapsulated to the MN's
+  /// reachability group on the home interface (the root of the G_mn tree).
+  void relay_to_mcast_care_of(const Address& home, const Address& group_coa,
+                              BytesView inner);
   void send_binding_ack(const Address& home, const Address& care_of,
                         std::uint16_t sequence);
   /// The router interface on the link owning `home`'s prefix (a router can

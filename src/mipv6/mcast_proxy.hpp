@@ -1,0 +1,93 @@
+// Hierarchical multicast proxy (the hier-proxy delivery approach,
+// Schmidt/Waehlisch MAP-style).
+//
+// A designated router holds group subscriptions on behalf of visiting
+// mobile nodes: the MN registers (home, care-of, group list) over UDP, the
+// proxy joins the groups into the dense-mode tree (add_local_receiver) and
+// tunnels every matching group datagram to the MN's care-of address.
+// Intra-domain handoff is one refreshed registration at the same proxy —
+// the distribution tree and the home agent are untouched. Registrations
+// are soft state: the MN refreshes them, and an unrefreshed registration
+// expires after `registration_lifetime` (defaults to T_MLI = 260 s, the
+// same stale-listener bound the paper derives for plain MLD).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ipv6/stack.hpp"
+#include "ipv6/udp_demux.hpp"
+#include "mipv6/proxy_messages.hpp"
+#include "net/protocol_module.hpp"
+#include "pimdm/dense_engine.hpp"
+#include "sim/timer.hpp"
+
+namespace mip6 {
+
+struct MulticastProxyConfig {
+  Time registration_lifetime = Time::sec(260);
+};
+
+class MulticastProxy : public ProtocolModule {
+ public:
+  using Config = MulticastProxyConfig;
+
+  MulticastProxy(Ipv6Stack& stack, UdpDemux& udp, DenseModeEngine& dense,
+                 Config config = {});
+
+  // --- ProtocolModule ----------------------------------------------------
+  const char* module_kind() const override { return "mcast-proxy"; }
+  /// Crash semantics: forget every registration silently (no wire traffic,
+  /// no counters) — visiting MNs re-register on their refresh timers.
+  void on_crash() override;
+  void on_restart() override {}
+  /// Teardown: releases the UDP binding and the group-delivery hook.
+  void stop() override;
+
+  // --- Introspection ------------------------------------------------------
+  std::size_t registration_count() const { return regs_.size(); }
+  bool serves(const Address& home) const { return regs_.contains(home); }
+  /// Groups currently subscribed on behalf of at least one MN.
+  std::vector<Address> represented_groups() const;
+
+ private:
+  struct Registration {
+    Address care_of;
+    std::set<Address> groups;
+    std::unique_ptr<Timer> lifetime;
+  };
+
+  void on_ctrl(const UdpDatagram& udp, const ParsedDatagram& d, IfaceId iface);
+  void on_group_delivery(const ParsedDatagram& d, const Packet& pkt);
+  /// Replaces the group set of `reg`, reference-counting into the dense
+  /// engine on 0 <-> 1 transitions.
+  void set_groups(Registration& reg, std::set<Address> groups);
+  void remove_registration(const Address& home);
+  void expire(const Address& home);
+  void ref_group(const Address& group);
+  void unref_group(const Address& group);
+  /// Outer source for proxy tunnels: first attached iface with a global
+  /// address (nullopt-equivalent: unspecified).
+  Address proxy_source() const;
+  void count(std::string_view name, std::uint64_t delta = 1);
+  template <typename DetailFn>
+  void trace_event(const char* event, DetailFn&& detail_fn) const {
+    stack_->network().trace().emit(stack_->network().now(), component_, event,
+                                   std::forward<DetailFn>(detail_fn));
+  }
+
+  Ipv6Stack* stack_;
+  UdpDemux* udp_;
+  DenseModeEngine* dense_;
+  std::string component_;  // "proxy/<node>"
+  Config config_;
+  std::size_t group_hook_token_ = 0;
+  std::map<Address, Registration> regs_;  // keyed by home address
+  std::map<Address, int> group_refs_;
+};
+
+}  // namespace mip6

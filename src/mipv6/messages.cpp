@@ -173,4 +173,35 @@ MulticastGroupListSubOption MulticastGroupListSubOption::decode(
   return try_decode(sub).take_or_throw();
 }
 
+BuSubOption MulticastCareOfSubOption::encode() const {
+  BufferWriter w(Address::kBytes);
+  group.write(w);
+  return BuSubOption{subopt::kMulticastCareOf, std::move(w).take()};
+}
+
+ParseResult<MulticastCareOfSubOption> MulticastCareOfSubOption::try_decode(
+    const BuSubOption& sub) {
+  if (sub.type != subopt::kMulticastCareOf) {
+    return ParseFailure{ParseReason::kBadType,
+                        "not a Multicast Care-of sub-option"};
+  }
+  if (sub.data.size() != Address::kBytes) {
+    return ParseFailure{ParseReason::kBadLength,
+                        "Multicast Care-of length must be 16"};
+  }
+  WireCursor c(sub.data);
+  MulticastCareOfSubOption m;
+  m.group = Address::read(c);
+  if (!m.group.is_multicast()) {
+    return ParseFailure{ParseReason::kSemantic,
+                        "Multicast Care-of address is not multicast"};
+  }
+  return m;
+}
+
+MulticastCareOfSubOption MulticastCareOfSubOption::decode(
+    const BuSubOption& sub) {
+  return try_decode(sub).take_or_throw();
+}
+
 }  // namespace mip6

@@ -28,6 +28,9 @@ inline constexpr std::uint8_t kAlternateCoa = 2;
 /// The paper's proposal; "valid only in a BINDING UPDATE sent to a home
 /// agent (Home Registration (H) is set)".
 inline constexpr std::uint8_t kMulticastGroupList = 5;
+/// mcast-mobility (Helmy): asks the HA to relay group traffic into the
+/// MN's reachability multicast group instead of the unicast care-of tunnel.
+inline constexpr std::uint8_t kMulticastCareOf = 6;
 }  // namespace subopt
 
 struct BindingUpdateOption {
@@ -74,6 +77,18 @@ struct MulticastGroupListSubOption {
   static ParseResult<MulticastGroupListSubOption> try_decode(
       const BuSubOption& sub);
   static MulticastGroupListSubOption decode(const BuSubOption& sub);
+};
+
+/// The multicast care-of address (mcast-mobility reachability group) as a
+/// BU sub-option, Sub-Option Len = 16.
+struct MulticastCareOfSubOption {
+  Address group;
+
+  BuSubOption encode() const;
+  /// No-throw decode; length must be exactly 16 and the address multicast.
+  static ParseResult<MulticastCareOfSubOption> try_decode(
+      const BuSubOption& sub);
+  static MulticastCareOfSubOption decode(const BuSubOption& sub);
 };
 
 }  // namespace mip6

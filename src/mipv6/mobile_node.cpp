@@ -176,6 +176,9 @@ void MobileNode::send_bu_impl(std::optional<std::vector<Address>> groups) {
     list.groups = std::move(*groups);
     bu.sub_options.push_back(list.encode());
   }
+  if (!mcast_care_of_.is_unspecified() && away_from_home()) {
+    bu.sub_options.push_back(MulticastCareOfSubOption{mcast_care_of_}.encode());
+  }
 
   DatagramSpec spec;
   spec.src = current_source();

@@ -70,6 +70,14 @@ class MobileNode : public ProtocolModule {
   /// Include the Multicast Group List sub-option (paper Figure 5) in BUs.
   void set_group_list_in_bu(bool on) { group_list_in_bu_ = on; }
 
+  /// Include the Multicast Care-of sub-option in BUs: asks the HA to relay
+  /// subscribed-group traffic into `group` (the mcast-mobility reachability
+  /// group) instead of tunneling to the unicast care-of address.
+  /// Unspecified disables the sub-option. Configuration, not soft state —
+  /// survives reset_soft_state() like group_list_in_bu_.
+  void set_mcast_care_of(const Address& group) { mcast_care_of_ = group; }
+  const Address& mcast_care_of() const { return mcast_care_of_; }
+
   // --- Mechanisms used by the strategies ---------------------------------
   /// (Re)sends a Binding Update now.
   void send_binding_update();
@@ -136,6 +144,7 @@ class MobileNode : public ProtocolModule {
   std::unique_ptr<Timer> bu_retransmit_timer_;
 
   bool group_list_in_bu_ = false;
+  Address mcast_care_of_;
   std::set<Address> subscriptions_;
   struct TunneledReportState {
     Time interval;

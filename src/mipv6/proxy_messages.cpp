@@ -1,0 +1,77 @@
+#include "mipv6/proxy_messages.hpp"
+
+namespace mip6 {
+
+const char* mobility_ctrl_kind_name(MobilityCtrlKind k) {
+  switch (k) {
+    case MobilityCtrlKind::kProxyRegister: return "proxy-register";
+    case MobilityCtrlKind::kProxyDeregister: return "proxy-deregister";
+    case MobilityCtrlKind::kArJoin: return "ar-join";
+    case MobilityCtrlKind::kArPrune: return "ar-prune";
+  }
+  return "?";
+}
+
+Bytes MobilityCtrlMessage::serialize() const {
+  if (groups.size() > bound::kMaxProxyGroups) {
+    throw LogicError("proxy registration exceeds group bound");
+  }
+  BufferWriter w(2 + 2 * Address::kBytes + groups.size() * Address::kBytes);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u8(static_cast<std::uint8_t>(groups.size()));
+  home.write(w);
+  care_of_or_group.write(w);
+  for (const Address& g : groups) g.write(w);
+  return std::move(w).take();
+}
+
+ParseResult<MobilityCtrlMessage> MobilityCtrlMessage::try_parse(
+    BytesView bytes) {
+  WireCursor c(bytes);
+  MobilityCtrlMessage m;
+  std::uint8_t kind = c.u8();
+  std::uint8_t count = c.u8();
+  m.home = Address::read(c);
+  m.care_of_or_group = Address::read(c);
+  if (c.failed()) {
+    return ParseFailure{ParseReason::kTruncated, "mobility control header"};
+  }
+  switch (kind) {
+    case 1: m.kind = MobilityCtrlKind::kProxyRegister; break;
+    case 2: m.kind = MobilityCtrlKind::kProxyDeregister; break;
+    case 3: m.kind = MobilityCtrlKind::kArJoin; break;
+    case 4: m.kind = MobilityCtrlKind::kArPrune; break;
+    default:
+      return ParseFailure{ParseReason::kBadType, "mobility control kind"};
+  }
+  if (count > bound::kMaxProxyGroups) {
+    return ParseFailure{ParseReason::kBoundExceeded,
+                        "proxy registration group count"};
+  }
+  for (std::uint8_t i = 0; i < count; ++i) {
+    Address g = Address::read(c);
+    if (c.failed()) {
+      return ParseFailure{ParseReason::kTruncated,
+                          "proxy registration group list"};
+    }
+    if (!g.is_multicast()) {
+      return ParseFailure{ParseReason::kSemantic,
+                          "proxy registration group is not multicast"};
+    }
+    m.groups.push_back(g);
+  }
+  if (!c.empty()) {
+    return ParseFailure{ParseReason::kOverlength,
+                        "trailing octets after mobility control message"};
+  }
+  if (m.kind == MobilityCtrlKind::kArJoin ||
+      m.kind == MobilityCtrlKind::kArPrune) {
+    if (!m.care_of_or_group.is_multicast()) {
+      return ParseFailure{ParseReason::kSemantic,
+                          "AR join/prune target is not a multicast group"};
+    }
+  }
+  return m;
+}
+
+}  // namespace mip6

@@ -1,0 +1,60 @@
+// Control messages for the two related-work delivery approaches.
+//
+// Both schemes signal over UDP to a router-side agent:
+//  * hier-proxy (Schmidt/Waehlisch MAP-style): the MN registers its home
+//    address, care-of address and group list at the domain's multicast
+//    proxy (kProxyRegister / kProxyDeregister, port kMcastProxyPort). The
+//    registration is soft state the MN refreshes.
+//  * mcast-mobility (Helmy): the MN asks the access router of its current
+//    link to join / prune its per-MN reachability group (kArJoin /
+//    kArPrune, port kArAgentPort). Handoff = join at the new AR, explicit
+//    prune at the previous one.
+//
+// One shared wire format: [kind u8][group count u8][home 16]
+// [care_of_or_group 16][groups 16*count].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ipv6/address.hpp"
+#include "util/buffer.hpp"
+#include "util/parse_result.hpp"
+
+namespace mip6 {
+
+/// UDP port of the MulticastProxy module (hier-proxy registrations).
+inline constexpr std::uint16_t kMcastProxyPort = 4754;
+/// UDP port of the AccessRouterAgent module (mcast-mobility join/prune).
+inline constexpr std::uint16_t kArAgentPort = 4755;
+
+enum class MobilityCtrlKind : std::uint8_t {
+  kProxyRegister = 1,
+  kProxyDeregister = 2,
+  kArJoin = 3,
+  kArPrune = 4,
+};
+
+const char* mobility_ctrl_kind_name(MobilityCtrlKind k);
+
+struct MobilityCtrlMessage {
+  MobilityCtrlKind kind = MobilityCtrlKind::kProxyRegister;
+  /// The mobile node's home address (its stable identity at the agent).
+  Address home;
+  /// kProxyRegister: the current care-of address the proxy tunnels to.
+  /// kArJoin / kArPrune: the MN's reachability multicast group.
+  Address care_of_or_group;
+  /// kProxyRegister only: the MN's current group subscriptions.
+  std::vector<Address> groups;
+
+  Bytes serialize() const;
+  static ParseResult<MobilityCtrlMessage> try_parse(BytesView bytes);
+};
+
+namespace bound {
+/// Groups in one proxy registration (count field is a single octet anyway;
+/// this bounds allocation against hostile input well below that).
+inline constexpr std::size_t kMaxProxyGroups = 64;
+}  // namespace bound
+
+}  // namespace mip6

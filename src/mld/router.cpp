@@ -263,6 +263,52 @@ void MldRouter::on_done(const MldMessage& msg, IfaceId iface) {
                             config_.last_listener_query_count);
 }
 
+void MldRouter::inject_proxy_report(IfaceId iface, const Address& group) {
+  if (!ifaces_.contains(iface)) return;  // MLD not enabled here
+  count("mld/proxy-report");
+  // Local state first: same path as a received Report (creates/refreshes
+  // the T_MLI listener timer and fires the group callback into PIM).
+  MldMessage rep;
+  rep.type = MldType::kReport;
+  rep.group = group;
+  on_report(rep, iface);
+  // And a real Report on the wire so co-located routers learn it too.
+  if (!stack_->has_link_local(iface)) return;
+  DatagramSpec spec;
+  spec.src = stack_->link_local_address(iface);
+  spec.dst = group;
+  spec.hop_limit = 1;
+  spec.protocol = proto::kIcmpv6;
+  spec.payload = rep.to_icmpv6().serialize(spec.src, spec.dst);
+  stack_->send_on_iface(iface, spec);
+  count("mld/tx/proxy-report");
+  stack_->network().counters().add("mld/tx-bytes", MldMessage::kDatagramSize);
+}
+
+void MldRouter::retract_proxy_listener(IfaceId iface, const Address& group) {
+  if (!listeners_.contains({iface, group})) return;
+  count("mld/proxy-retract");
+  // Done on the wire: other queriers shorten their timers and probe.
+  if (stack_->has_link_local(iface)) {
+    MldMessage done;
+    done.type = MldType::kDone;
+    done.group = group;
+    DatagramSpec spec;
+    spec.src = stack_->link_local_address(iface);
+    spec.dst = Address::all_routers();
+    spec.hop_limit = 1;
+    spec.protocol = proto::kIcmpv6;
+    spec.payload = done.to_icmpv6().serialize(spec.src, spec.dst);
+    stack_->send_on_iface(iface, spec);
+    count("mld/tx/proxy-done");
+    stack_->network().counters().add("mld/tx-bytes",
+                                     MldMessage::kDatagramSize);
+  }
+  // We *know* the proxied listener is gone — drop it now instead of the
+  // last-listener query dance (no host will answer for it anyway).
+  expire_listener(iface, group);
+}
+
 void MldRouter::expire_listener(IfaceId iface, const Address& group) {
   listeners_.erase({iface, group});
   count("mld/listener-expired");

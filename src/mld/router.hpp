@@ -62,6 +62,17 @@ class MldRouter : public ProtocolModule {
 
   void set_group_callback(GroupCallback cb) { group_cb_ = std::move(cb); }
 
+  /// Proxy-originated membership (mcast-mobility): installs / refreshes
+  /// listener state for `group` on `iface` as if a Report had been received
+  /// there, and places a real Report on the wire so co-located queriers
+  /// learn it too. The state ages out at T_MLI like any listener — the
+  /// injecting agent refreshes it.
+  void inject_proxy_report(IfaceId iface, const Address& group);
+  /// Withdraws proxy-originated membership: emits an MLD Done on the wire
+  /// (other queriers run last-listener queries) and drops the listener
+  /// entry immediately.
+  void retract_proxy_listener(IfaceId iface, const Address& group);
+
   bool is_querier(IfaceId iface) const;
   bool has_listeners(IfaceId iface, const Address& group) const;
   /// The general-query interval currently in effect on `iface` (differs

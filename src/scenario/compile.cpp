@@ -70,6 +70,9 @@ CompiledScenario compile_scenario(
   for (const ScenarioLinkRouter& lr : spec.link_routers) {
     w.set_link_router(resolve_link(w, lr.link), w.router_by_name(lr.router));
   }
+  for (const ScenarioLinkRouter& lp : spec.link_proxies) {
+    w.set_link_proxy(resolve_link(w, lp.link), w.router_by_name(lp.router));
+  }
   for (const ScenarioHost& h : spec.hosts) {
     w.add_host(h.name, resolve_link(w, h.home), h.opts);
   }

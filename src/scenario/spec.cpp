@@ -124,21 +124,21 @@ Address group_field(const Json& obj, const std::string& key,
 // --- Enumerations ----------------------------------------------------------
 
 McastStrategy parse_strategy(const std::string& s, const std::string& ctx) {
-  if (s == "local-membership") return McastStrategy::kLocalMembership;
-  if (s == "bidir-tunnel") return McastStrategy::kBidirTunnel;
-  if (s == "tunnel-mh-to-ha") return McastStrategy::kTunnelMhToHa;
-  if (s == "tunnel-ha-to-mh") return McastStrategy::kTunnelHaToMh;
-  fail(ctx + ": unknown strategy '" + s +
-       "' (known: local-membership, bidir-tunnel, tunnel-mh-to-ha, "
-       "tunnel-ha-to-mh)");
+  if (auto k = strategy_from_name(s)) return *k;
+  std::string known;
+  for (McastStrategy k : kAllStrategies) {
+    if (!known.empty()) known += ", ";
+    known += strategy_name(k);
+  }
+  fail(ctx + ": unknown strategy '" + s + "' (known: " + known + ")");
 }
 
 HaRegistration parse_registration(const std::string& s,
                                   const std::string& ctx) {
-  if (s == "group-list-bu") return HaRegistration::kGroupListBu;
-  if (s == "tunnel-mld") return HaRegistration::kTunnelMld;
-  fail(ctx + ": unknown registration '" + s +
-       "' (known: group-list-bu, tunnel-mld)");
+  if (auto r = registration_from_name(s)) return *r;
+  fail(ctx + ": unknown registration '" + s + "' (known: " +
+       registration_name(HaRegistration::kGroupListBu) + ", " +
+       registration_name(HaRegistration::kTunnelMld) + ")");
 }
 
 FaultKind parse_fault_kind(const std::string& s, const std::string& ctx) {
@@ -333,6 +333,7 @@ RouterOptions parse_router_modules(const Json& list, const std::string& ctx) {
   require_array(list, ctx + ".modules");
   RouterOptions o;
   o.with_mld = o.with_pim = o.with_ha = false;
+  o.with_proxy = o.with_ar_agent = false;
   o.with_ripng = false;
   for (std::size_t i = 0; i < list.size(); ++i) {
     const Json& m = list.at(i);
@@ -356,11 +357,16 @@ RouterOptions parse_router_modules(const Json& list, const std::string& ctx) {
       o.engine = DenseEngineKind::kHpimDm;
     } else if (name == "home-agent") {
       o.with_ha = true;
+    } else if (name == "mcast-proxy") {
+      o.with_proxy = true;
+    } else if (name == "ar-agent") {
+      o.with_ar_agent = true;
     } else if (name == "ripng") {
       o.with_ripng = true;
     } else {
       fail(ctx + ": unknown module '" + name +
-           "' (known modules: mld, pimdm, hpimdm, home-agent, ripng)");
+           "' (known modules: mld, pimdm, hpimdm, home-agent, mcast-proxy, "
+           "ar-agent, ripng)");
     }
   }
   return o;
@@ -506,7 +512,8 @@ ScenarioSpec ScenarioSpec::from_json(const Json& doc) {
   const Json& topo = field(doc, "topology", "scenario");
   require_object(topo, "topology");
   reject_unknown_keys(topo, "topology",
-                      {"links", "routers", "random", "link_routers", "hosts"});
+                      {"links", "routers", "random", "link_routers",
+                       "link_proxies", "hosts"});
   if (topo.contains("random")) {
     if (topo.contains("links") || topo.contains("routers")) {
       fail("topology: 'random' is mutually exclusive with explicit "
@@ -543,6 +550,19 @@ ScenarioSpec ScenarioSpec::from_json(const Json& doc) {
       require_object(v, ctx);
       reject_unknown_keys(v, ctx, {"link", "router"});
       s.link_routers.push_back(
+          {str_field(v, "link", ctx), str_field(v, "router", ctx)});
+    }
+  }
+  if (topo.contains("link_proxies")) {
+    const Json& lp = topo["link_proxies"];
+    require_array(lp, "topology.link_proxies");
+    for (std::size_t i = 0; i < lp.size(); ++i) {
+      const Json& v = lp.at(i);
+      const std::string ctx =
+          "topology.link_proxies[" + std::to_string(i) + "]";
+      require_object(v, ctx);
+      reject_unknown_keys(v, ctx, {"link", "router"});
+      s.link_proxies.push_back(
           {str_field(v, "link", ctx), str_field(v, "router", ctx)});
     }
   }
@@ -723,6 +743,16 @@ void ScenarioSpec::validate() const {
              "': module 'home-agent' requires 'pimdm' (PIM-backed group "
              "membership)");
       }
+      if (r.opts.with_proxy && !r.opts.with_pim) {
+        fail("router '" + r.name +
+             "': module 'mcast-proxy' requires 'pimdm' (the proxy joins "
+             "groups into the dense-mode tree)");
+      }
+      if (r.opts.with_ar_agent && !r.opts.with_mld) {
+        fail("router '" + r.name +
+             "': module 'ar-agent' requires 'mld' (the agent injects MLD "
+             "listener state)");
+      }
     }
   }
 
@@ -746,6 +776,21 @@ void ScenarioSpec::validate() const {
     }
     if (!router_names.contains(lr.router)) {
       fail("link_routers references undefined router '" + lr.router + "'");
+    }
+  }
+
+  for (const ScenarioLinkRouter& lp : link_proxies) {
+    if (!random && !link_names.contains(lp.link)) {
+      fail("link_proxies references undefined link '" + lp.link + "'");
+    }
+    if (!router_names.contains(lp.router)) {
+      fail("link_proxies references undefined router '" + lp.router + "'");
+    }
+    for (const ScenarioRouter& r : routers) {
+      if (r.name == lp.router && !r.opts.with_proxy) {
+        fail("link_proxies designates router '" + lp.router +
+             "' which does not run the 'mcast-proxy' module");
+      }
     }
   }
 

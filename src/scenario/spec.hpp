@@ -120,6 +120,9 @@ struct ScenarioSpec {
   std::vector<ScenarioRouter> routers;
   std::optional<ScenarioRandomTopology> random;
   std::vector<ScenarioLinkRouter> link_routers;
+  /// hier-proxy domain assignment: which proxy-running router serves each
+  /// link ("link_proxies" key; same shape as link_routers).
+  std::vector<ScenarioLinkRouter> link_proxies;
   std::vector<ScenarioHost> hosts;
 
   std::vector<ScenarioSubscription> subscriptions;

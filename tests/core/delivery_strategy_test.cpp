@@ -1,0 +1,241 @@
+// Behaviour of the two post-paper delivery strategies, exercised through
+// the same MobileMulticastService surface the four paper approaches use:
+// the hierarchical domain proxy keeps tree state (and the home agent)
+// untouched across intra-domain handoffs, and multicast-based mobility
+// repairs handoffs with AR join/prune instead of per-MN tunnels.
+#include <gtest/gtest.h>
+
+#include "core/delivery_strategy.hpp"
+#include "core/traffic.hpp"
+#include "core/world.hpp"
+#include "mipv6/mobile_node.hpp"
+
+namespace mip6 {
+namespace {
+
+const Address kG1 = Address::parse("ff1e::a1");
+constexpr std::uint16_t kPort = 9000;
+
+// Home link + backbone + two foreign links behind one access router (the
+// hier-proxy domain: P proxies both FL1 and FL2, so FL1 -> FL2 is an
+// intra-domain move).
+struct Domain {
+  World world;
+  Link& hl;
+  Link& tl;
+  Link& fl1;
+  Link& fl2;
+  NodeRuntime& ha;
+  NodeRuntime& p;
+  NodeRuntime& mn;
+  NodeRuntime& src;
+
+  explicit Domain(StrategyOptions strategy, std::uint64_t seed = 1)
+      : world(seed), hl(world.add_link("HL")), tl(world.add_link("TL")),
+        fl1(world.add_link("FL1")), fl2(world.add_link("FL2")),
+        ha(world.add_router("HA", {&hl, &tl})),
+        p(world.add_router("P", {&tl, &fl1, &fl2})),
+        mn(world.add_host("MN", hl, strategy)),
+        src(world.add_host("SRC", hl)) {
+    world.set_link_proxy(fl1, p);
+    world.set_link_proxy(fl2, p);
+    world.finalize();
+  }
+};
+
+// Same shape but with a distinct access router per foreign link, so a
+// FL1 -> FL2 move changes the access router (the mcast-mobility case).
+struct TwoAr {
+  World world;
+  Link& hl;
+  Link& tl;
+  Link& fl1;
+  Link& fl2;
+  NodeRuntime& ha;
+  NodeRuntime& ar1;
+  NodeRuntime& ar2;
+  NodeRuntime& mn;
+  NodeRuntime& src;
+
+  explicit TwoAr(StrategyOptions strategy, std::uint64_t seed = 1)
+      : world(seed), hl(world.add_link("HL")), tl(world.add_link("TL")),
+        fl1(world.add_link("FL1")), fl2(world.add_link("FL2")),
+        ha(world.add_router("HA", {&hl, &tl})),
+        ar1(world.add_router("AR1", {&tl, &fl1})),
+        ar2(world.add_router("AR2", {&tl, &fl2})),
+        mn(world.add_host("MN", hl, strategy)),
+        src(world.add_host("SRC", hl)) {
+    world.finalize();
+  }
+};
+
+constexpr StrategyOptions kProxy{McastStrategy::kHierProxy,
+                                 HaRegistration::kGroupListBu};
+constexpr StrategyOptions kMm{McastStrategy::kMcastMobility,
+                              HaRegistration::kGroupListBu};
+
+TEST(HierProxy, IntraDomainMoveKeepsTreeAndHomeAgentUntouched) {
+  Domain t(kProxy);
+  GroupReceiverApp app(*t.mn.stack, kPort);
+  t.mn.service->subscribe(kG1);
+  CbrSource source(
+      t.world.scheduler(),
+      [&](Bytes p) {
+        t.src.service->send_multicast(kG1, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  source.start(Time::sec(1));
+
+  t.mn.mn->move_to(t.fl1);
+  t.world.run_until(Time::sec(10));
+  // Delivery runs through the domain proxy: one registration, tunneled
+  // datagrams, and the home agent knows nothing about the group.
+  EXPECT_GT(app.received_in(Time::sec(5), Time::sec(10)), 30u);
+  ASSERT_NE(t.p.proxy, nullptr);
+  EXPECT_EQ(t.p.proxy->registration_count(), 1u);
+  EXPECT_TRUE(t.p.proxy->serves(t.mn.mn->home_address()));
+  EXPECT_FALSE(t.ha.ha->represents(kG1));
+  EXPECT_EQ(t.world.net().counters().get("ha/encap-multicast"), 0u);
+  const std::uint64_t trees_before =
+      t.world.net().counters().get("pimdm/sg-created");
+  const std::uint64_t proxy_rx_before =
+      t.world.net().counters().get("proxy/rx/register");
+
+  // Intra-domain handoff: same proxy, refreshed registration. The
+  // distribution tree must not grow and the HA must stay out of the path.
+  t.mn.mn->move_to(t.fl2);
+  t.world.run_until(Time::sec(20));
+  EXPECT_GT(app.received_in(Time::sec(12), Time::sec(20)), 60u);
+  EXPECT_EQ(t.p.proxy->registration_count(), 1u);
+  EXPECT_TRUE(t.p.proxy->serves(t.mn.mn->home_address()));
+  EXPECT_EQ(t.world.net().counters().get("pimdm/sg-created"), trees_before);
+  EXPECT_GT(t.world.net().counters().get("proxy/rx/register"),
+            proxy_rx_before);
+  EXPECT_FALSE(t.ha.ha->represents(kG1));
+  EXPECT_EQ(t.world.net().counters().get("ha/encap-multicast"), 0u);
+}
+
+TEST(HierProxy, RefreshKeepsRegistrationAlivePastLifetime) {
+  Domain t(kProxy);
+  GroupReceiverApp app(*t.mn.stack, kPort);
+  t.mn.service->subscribe(kG1);
+  CbrSource source(
+      t.world.scheduler(),
+      [&](Bytes p) {
+        t.src.service->send_multicast(kG1, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  source.start(Time::sec(1));
+  t.mn.mn->move_to(t.fl1);
+  // Far beyond the 260 s registration lifetime: the MN's refresh timer
+  // must keep the soft state (and the stream) alive.
+  t.world.run_until(Time::sec(600));
+  EXPECT_TRUE(t.p.proxy->serves(t.mn.mn->home_address()));
+  EXPECT_EQ(t.world.net().counters().get("proxy/expired"), 0u);
+  EXPECT_GT(app.received_in(Time::sec(550), Time::sec(600)), 400u);
+}
+
+TEST(HierProxy, ReturningHomeDeregisters) {
+  Domain t(kProxy);
+  t.mn.service->subscribe(kG1);
+  t.mn.mn->move_to(t.fl1);
+  t.world.run_until(Time::sec(5));
+  ASSERT_TRUE(t.p.proxy->serves(t.mn.mn->home_address()));
+  t.mn.mn->move_to(t.hl);
+  t.world.run_until(Time::sec(10));
+  EXPECT_EQ(t.p.proxy->registration_count(), 0u);
+  EXPECT_TRUE(t.p.proxy->represented_groups().empty());
+}
+
+TEST(McastMobility, HandoffPrunesOldAccessRouterWithinDeadline) {
+  TwoAr t(kMm);
+  GroupReceiverApp app(*t.mn.stack, kPort);
+  t.mn.service->subscribe(kG1);
+  CbrSource source(
+      t.world.scheduler(),
+      [&](Bytes p) {
+        t.src.service->send_multicast(kG1, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  source.start(Time::sec(1));
+  const Address g_mn = reachability_group(*t.mn.mn);
+
+  t.mn.mn->move_to(t.fl1);
+  t.world.run_until(Time::sec(10));
+  ASSERT_NE(t.ar1.ar_agent, nullptr);
+  EXPECT_TRUE(t.ar1.ar_agent->joined_for(t.mn.mn->home_address()));
+  EXPECT_TRUE(t.ar1.mld->has_listeners(t.ar1.iface_on(t.fl1), g_mn));
+  EXPECT_GT(app.received_in(Time::sec(5), Time::sec(10)), 30u);
+
+  // Handoff: join-new / prune-old. The old AR must drop its injected
+  // listener well within T_MLI — one second is generous for one control
+  // datagram.
+  t.mn.mn->move_to(t.fl2);
+  t.world.run_until(Time::sec(11));
+  EXPECT_FALSE(t.ar1.ar_agent->joined_for(t.mn.mn->home_address()));
+  EXPECT_FALSE(t.ar1.mld->has_listeners(t.ar1.iface_on(t.fl1), g_mn));
+  EXPECT_TRUE(t.ar2.ar_agent->joined_for(t.mn.mn->home_address()));
+  EXPECT_TRUE(t.ar2.mld->has_listeners(t.ar2.iface_on(t.fl2), g_mn));
+  t.world.run_until(Time::sec(20));
+  EXPECT_GT(app.received_in(Time::sec(12), Time::sec(20)), 60u);
+}
+
+TEST(McastMobility, DeliversViaReachabilityGroupNotUnicastTunnels) {
+  TwoAr t(kMm);
+  GroupReceiverApp app(*t.mn.stack, kPort);
+  t.mn.service->subscribe(kG1);
+  CbrSource source(
+      t.world.scheduler(),
+      [&](Bytes p) {
+        t.src.service->send_multicast(kG1, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  source.start(Time::sec(1));
+  t.mn.mn->move_to(t.fl1);
+  t.world.run_until(Time::sec(10));
+  EXPECT_GT(app.received_in(Time::sec(5), Time::sec(10)), 30u);
+  // The HA re-originates into G_mn; no per-MN unicast multicast tunnel.
+  EXPECT_GT(t.world.net().counters().get("ha/encap-mcast-coa"), 0u);
+  EXPECT_EQ(t.world.net().counters().get("ha/encap-multicast"), 0u);
+}
+
+TEST(McastMobility, AtHomeTouchesNoAccessRouter) {
+  TwoAr t(kMm);
+  GroupReceiverApp app(*t.mn.stack, kPort);
+  t.mn.service->subscribe(kG1);
+  CbrSource source(
+      t.world.scheduler(),
+      [&](Bytes p) {
+        t.src.service->send_multicast(kG1, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  source.start(Time::sec(1));
+  t.world.run_until(Time::sec(5));
+  EXPECT_GT(app.unique_received(), 30u);
+  EXPECT_EQ(t.ar1.ar_agent->join_count(), 0u);
+  EXPECT_EQ(t.ar2.ar_agent->join_count(), 0u);
+  EXPECT_EQ(t.world.net().counters().get("ha/encap-mcast-coa"), 0u);
+}
+
+TEST(McastMobility, RefreshSurvivesListenerInterval) {
+  TwoAr t(kMm);
+  GroupReceiverApp app(*t.mn.stack, kPort);
+  t.mn.service->subscribe(kG1);
+  CbrSource source(
+      t.world.scheduler(),
+      [&](Bytes p) {
+        t.src.service->send_multicast(kG1, kPort, kPort, std::move(p));
+      },
+      Time::ms(100), 64);
+  source.start(Time::sec(1));
+  t.mn.mn->move_to(t.fl1);
+  // Past T_MLI = 260 s: the MN's ArJoin refresh must keep the injected
+  // listener (and the stream) alive.
+  t.world.run_until(Time::sec(600));
+  const Address g_mn = reachability_group(*t.mn.mn);
+  EXPECT_TRUE(t.ar1.mld->has_listeners(t.ar1.iface_on(t.fl1), g_mn));
+  EXPECT_GT(app.received_in(Time::sec(550), Time::sec(600)), 400u);
+}
+
+}  // namespace
+}  // namespace mip6

@@ -144,6 +144,25 @@ TEST(StrategyHelpers, Names) {
                "tunnel-mh-to-ha");
   EXPECT_STREQ(strategy_name(McastStrategy::kTunnelHaToMh),
                "tunnel-ha-to-mh");
+  EXPECT_STREQ(strategy_name(McastStrategy::kHierProxy), "hier-proxy");
+  EXPECT_STREQ(strategy_name(McastStrategy::kMcastMobility),
+               "mcast-mobility");
+}
+
+TEST(StrategyHelpers, NamesRoundTripForEveryStrategy) {
+  for (McastStrategy s : kAllStrategies) {
+    auto back = strategy_from_name(strategy_name(s));
+    ASSERT_TRUE(back.has_value()) << strategy_name(s);
+    EXPECT_EQ(*back, s);
+  }
+  EXPECT_FALSE(strategy_from_name("teleport").has_value());
+  for (HaRegistration r :
+       {HaRegistration::kGroupListBu, HaRegistration::kTunnelMld}) {
+    auto back = registration_from_name(registration_name(r));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, r);
+  }
+  EXPECT_FALSE(registration_from_name("carrier-pigeon").has_value());
 }
 
 }  // namespace

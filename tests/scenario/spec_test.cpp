@@ -302,6 +302,83 @@ TEST(ScenarioSpec, TinyPayloadRejected) {
                         "payload_bytes");
 }
 
+TEST(ScenarioSpec, ParsesProxyModulesAndLinkProxies) {
+  ScenarioSpec s = ScenarioSpec::parse(R"({
+    "topology": {
+      "links": [{"name": "L1"}, {"name": "L2"}],
+      "routers": [
+        {"name": "R1", "links": ["L1", "L2"],
+         "modules": ["mld", "pimdm", "mcast-proxy"]},
+        {"name": "R2", "links": ["L2"], "modules": ["mld", "ar-agent"]}
+      ],
+      "link_proxies": [{"link": "L2", "router": "R1"}],
+      "hosts": [
+        {"name": "HP", "home": "L1", "strategy": "hier-proxy"},
+        {"name": "HM", "home": "L1", "strategy": "mcast-mobility"}
+      ]
+    }
+  })");
+  ASSERT_EQ(s.routers.size(), 2u);
+  EXPECT_TRUE(s.routers[0].opts.with_proxy);
+  EXPECT_FALSE(s.routers[0].opts.with_ar_agent);
+  EXPECT_TRUE(s.routers[1].opts.with_ar_agent);
+  EXPECT_FALSE(s.routers[1].opts.with_proxy);
+  ASSERT_EQ(s.link_proxies.size(), 1u);
+  EXPECT_EQ(s.link_proxies[0].link, "L2");
+  EXPECT_EQ(s.link_proxies[0].router, "R1");
+  ASSERT_EQ(s.hosts.size(), 2u);
+  EXPECT_EQ(s.hosts[0].opts.strategy.strategy, McastStrategy::kHierProxy);
+  EXPECT_EQ(s.hosts[1].opts.strategy.strategy,
+            McastStrategy::kMcastMobility);
+}
+
+TEST(ScenarioSpec, ProxyModuleDependenciesChecked) {
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"],
+                   "modules": ["mld", "mcast-proxy"]}]
+    }
+  })",
+                        "'mcast-proxy' requires 'pimdm'");
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"], "modules": ["ar-agent"]}]
+    }
+  })",
+                        "'ar-agent' requires 'mld'");
+}
+
+TEST(ScenarioSpec, LinkProxyReferencesChecked) {
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"]}],
+      "link_proxies": [{"link": "L9", "router": "R"}]
+    }
+  })",
+                        "undefined link 'L9'");
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"]}],
+      "link_proxies": [{"link": "L1", "router": "Rx"}]
+    }
+  })",
+                        "undefined router 'Rx'");
+  // The designated proxy router must actually run the mcast-proxy module.
+  expect_error_contains(R"({
+    "topology": {
+      "links": [{"name": "L1"}],
+      "routers": [{"name": "R", "links": ["L1"],
+                   "modules": ["mld", "pimdm"]}],
+      "link_proxies": [{"link": "L1", "router": "R"}]
+    }
+  })",
+                        "does not run the 'mcast-proxy' module");
+}
+
 TEST(ScenarioSpec, RandomTopologyParses) {
   ScenarioSpec s = ScenarioSpec::parse(R"({
     "topology": {
